@@ -1,0 +1,111 @@
+// E4 -- paper Fig. 6: the CPU Consumption Summarization Graph.
+//
+// Runs the 4-process PPS in CPU mode, builds the CCSG, writes the XML the
+// paper screenshots (ccsg.xml next to the binary), prints a summary of the
+// top-level rows (ObjectID / InvocationTimes / Self / Descendent CPU in
+// [second, microsecond] form), and times CCSG construction.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/ccsg.h"
+#include "analysis/cpu.h"
+#include "analysis/dscg.h"
+#include "monitor/tss.h"
+#include "pps/pps_system.h"
+
+namespace {
+
+using namespace causeway;
+
+analysis::LogDatabase collect_pps_cpu_logs(int jobs) {
+  monitor::tss_clear();
+  orb::Fabric fabric;
+  pps::PpsConfig config;
+  config.topology = pps::PpsConfig::Topology::kFourProcess;
+  config.monitor.mode = monitor::ProbeMode::kCpu;
+  config.cpu_scale = 0.5;
+  pps::PpsSystem system(fabric, config);
+  for (int i = 0; i < jobs; ++i) {
+    system.submit_job(2, 300, i % 2 == 0);
+  }
+  system.wait_quiescent();
+  analysis::LogDatabase db;
+  db.ingest(system.collect());
+  monitor::tss_clear();
+  return db;
+}
+
+void print_node(const analysis::CcsgNode& node, int depth, int max_depth) {
+  if (depth > max_depth) return;
+  const Nanos self = node.self_cpu.total();
+  const Nanos desc = node.descendant_cpu.total();
+  std::printf("%*s%s::%s  ObjectID=%llu  InvocationTimes=%llu  "
+              "Self=[%lld s, %lld us]  Descendent=[%lld s, %lld us]\n",
+              depth * 2, "", std::string(node.interface_name).c_str(),
+              std::string(node.function_name).c_str(),
+              static_cast<unsigned long long>(node.object_key),
+              static_cast<unsigned long long>(node.invocation_times),
+              static_cast<long long>(self / kNanosPerSecond),
+              static_cast<long long>((self % kNanosPerSecond) / 1000),
+              static_cast<long long>(desc / kNanosPerSecond),
+              static_cast<long long>((desc % kNanosPerSecond) / 1000));
+  for (const auto& child : node.children) {
+    print_node(*child, depth + 1, max_depth);
+  }
+}
+
+void report(int jobs) {
+  std::printf("=== E4: CCSG -- system-wide CPU propagation (paper Fig. 6) "
+              "===\n\n");
+  analysis::LogDatabase db = collect_pps_cpu_logs(jobs);
+  auto dscg = analysis::Dscg::build(db);
+  analysis::annotate_cpu(dscg);
+  analysis::Ccsg ccsg = analysis::Ccsg::build(dscg);
+
+  std::printf("records=%zu  dscg_nodes=%zu  ccsg_nodes=%zu\n\n", db.size(),
+              dscg.call_count(), ccsg.node_count());
+  for (const auto& root : ccsg.roots()) {
+    print_node(*root, 0, 2);
+  }
+
+  const std::string xml = ccsg.to_xml();
+  std::ofstream out("ccsg.xml");
+  out << xml;
+  std::printf("\nfull CCSG written to ccsg.xml (%zu bytes)\n\n", xml.size());
+}
+
+void BM_CcsgBuild(benchmark::State& state) {
+  analysis::LogDatabase db =
+      collect_pps_cpu_logs(static_cast<int>(state.range(0)));
+  auto dscg = analysis::Dscg::build(db);
+  analysis::annotate_cpu(dscg);
+  for (auto _ : state) {
+    analysis::Ccsg ccsg = analysis::Ccsg::build(dscg);
+    benchmark::DoNotOptimize(ccsg);
+  }
+  state.counters["dscg_nodes"] = static_cast<double>(dscg.call_count());
+}
+BENCHMARK(BM_CcsgBuild)->Arg(4)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+void BM_CcsgXmlRender(benchmark::State& state) {
+  analysis::LogDatabase db = collect_pps_cpu_logs(8);
+  auto dscg = analysis::Dscg::build(db);
+  analysis::annotate_cpu(dscg);
+  analysis::Ccsg ccsg = analysis::Ccsg::build(dscg);
+  for (auto _ : state) {
+    std::string xml = ccsg.to_xml();
+    benchmark::DoNotOptimize(xml);
+  }
+}
+BENCHMARK(BM_CcsgXmlRender)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report(/*jobs=*/10);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Pipeline-cost bench: what the monitoring *infrastructure* costs outside
+// the probes -- collecting scattered logs, encoding/decoding trace files,
+// and database ingestion -- at the paper's commercial scale.
+#include <benchmark/benchmark.h>
+
+#include "analysis/trace_io.h"
+#include "monitor/probes.h"
+#include "monitor/tss.h"
+#include "workload/logsynth.h"
+
+namespace {
+
+using namespace causeway;
+
+// The 195k-call record stream; lives for the whole benchmark run so the
+// CollectedLogs views built over it stay valid.
+analysis::LogDatabase& scale_db() {
+  static analysis::LogDatabase db = [] {
+    analysis::LogDatabase fresh;
+    workload::LogSynthConfig config;
+    config.total_calls = 195'000;
+    workload::synthesize_logs(config, fresh);
+    return fresh;
+  }();
+  return db;
+}
+
+void BM_CollectorSnapshot(benchmark::State& state) {
+  // A live store with 50k records (25k calls x stub pair).
+  monitor::MonitorRuntime rt(
+      monitor::DomainIdentity{"p", "n", "x86"},
+      monitor::MonitorConfig{true, monitor::ProbeMode::kCausalityOnly},
+      ClockDomain{});
+  monitor::tss_clear();
+  for (int i = 0; i < 25'000; ++i) {
+    monitor::StubProbes probes(
+        &rt, monitor::CallIdentity{"Bench::Iface", "op", 1},
+        monitor::CallKind::kSync);
+    probes.on_stub_start();
+    probes.on_stub_end(std::nullopt);
+  }
+  monitor::Collector collector;
+  collector.attach(&rt);
+  for (auto _ : state) {
+    monitor::CollectedLogs logs = collector.collect();
+    benchmark::DoNotOptimize(logs);
+  }
+  state.counters["records"] = 50'000;
+  monitor::tss_clear();
+}
+BENCHMARK(BM_CollectorSnapshot)->Unit(benchmark::kMillisecond);
+
+void BM_TraceEncode(benchmark::State& state) {
+  monitor::CollectedLogs logs;
+  logs.records = scale_db().records();
+  for (auto _ : state) {
+    auto bytes = analysis::encode_trace(logs);
+    benchmark::DoNotOptimize(bytes);
+    state.counters["bytes"] = static_cast<double>(bytes.size());
+  }
+  state.counters["records"] = static_cast<double>(logs.records.size());
+}
+BENCHMARK(BM_TraceEncode)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_TraceDecode(benchmark::State& state) {
+  monitor::CollectedLogs logs;
+  logs.records = scale_db().records();
+  const auto bytes = analysis::encode_trace(logs);
+  for (auto _ : state) {
+    analysis::LogDatabase db;
+    const std::size_t n = analysis::decode_trace(bytes, db);
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes.size());
+}
+BENCHMARK(BM_TraceDecode)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_DatabaseIngest(benchmark::State& state) {
+  monitor::CollectedLogs logs;
+  logs.records = scale_db().records();
+  for (auto _ : state) {
+    analysis::LogDatabase db;
+    db.ingest(logs);
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["records"] = static_cast<double>(logs.records.size());
+}
+BENCHMARK(BM_DatabaseIngest)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== monitoring pipeline costs at the 195k-call scale "
+              "(collection, codec, ingest) ===\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

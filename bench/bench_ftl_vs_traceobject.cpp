@@ -1,0 +1,135 @@
+// E6 -- FTL vs Trace Object (paper Sec. 2.1 + Related Work ablation).
+//
+// Paper: the FTL "is light-weighted since no log concatenation occurs as the
+// call progresses through the tunnel", whereas the Universal-Delegator-style
+// Trace Object "concatenates log info during call progression and
+// unavoidably introduces the barrier for the call chains that exceed tens of
+// thousands calls".
+//
+// Sweeps chain depth and reports bytes-on-wire and propagation time per hop
+// for both schemes.  Expected shape: FTL flat at 28 bytes / O(1) per hop;
+// Trace Object linear in depth in both dimensions.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baseline/trace_object.h"
+#include "common/wire.h"
+#include "monitor/ftl.h"
+
+namespace {
+
+using namespace causeway;
+
+void report() {
+  std::printf("=== E6: bytes-on-wire vs chain depth ===\n");
+  std::printf("%10s %16s %20s\n", "depth", "FTL bytes/hop",
+              "TraceObject bytes/hop");
+  for (std::size_t depth : {1u, 10u, 100u, 1000u, 10000u, 20000u}) {
+    baseline::TraceObject to;
+    for (std::size_t i = 0; i < depth; ++i) {
+      to.add_hop({"Example::Interface", "method", i, static_cast<Nanos>(i)});
+    }
+    std::printf("%10zu %16zu %20zu\n", depth, monitor::kFtlTrailerSize,
+                to.encoded_size());
+  }
+  std::printf("\n");
+}
+
+// One hop of FTL propagation: update + re-marshal the constant trailer.
+void BM_FtlPerHop(benchmark::State& state) {
+  monitor::Ftl ftl{Uuid::generate(), 0};
+  for (auto _ : state) {
+    ftl.seq += 1;
+    WireBuffer payload;
+    monitor::append_ftl_trailer(payload, ftl);
+    WireCursor cursor(payload);
+    auto peeled = monitor::peel_ftl_trailer(cursor);
+    benchmark::DoNotOptimize(peeled);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * monitor::kFtlTrailerSize));
+}
+BENCHMARK(BM_FtlPerHop);
+
+// One hop of Trace-Object propagation at a given existing depth: decode the
+// accumulated object, append this hop, re-encode.  This is the work every
+// interception point performs as the chain advances.
+void BM_TraceObjectPerHop(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  baseline::TraceObject to;
+  for (std::size_t i = 0; i < depth; ++i) {
+    to.add_hop({"Example::Interface", "method", i, static_cast<Nanos>(i)});
+  }
+  WireBuffer encoded;
+  to.encode(encoded);
+
+  for (auto _ : state) {
+    WireCursor cursor(encoded);
+    baseline::TraceObject hop = baseline::TraceObject::decode(cursor);
+    hop.add_hop({"Example::Interface", "method", depth,
+                 static_cast<Nanos>(depth)});
+    WireBuffer out;
+    hop.encode(out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["bytes_on_wire"] = static_cast<double>(encoded.size());
+}
+BENCHMARK(BM_TraceObjectPerHop)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(20000);
+
+// Whole-chain cost: drive a depth-N chain end to end under both schemes.
+void BM_FtlWholeChain(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    monitor::Ftl ftl{Uuid{1, 2}, 0};
+    std::size_t total_bytes = 0;
+    for (std::size_t hop = 0; hop < depth; ++hop) {
+      ftl.seq += 4;
+      WireBuffer payload;
+      monitor::append_ftl_trailer(payload, ftl);
+      total_bytes += payload.size();
+      WireCursor cursor(payload);
+      ftl = *monitor::peel_ftl_trailer(cursor);
+    }
+    benchmark::DoNotOptimize(total_bytes);
+  }
+}
+BENCHMARK(BM_FtlWholeChain)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_TraceObjectWholeChain(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    baseline::TraceObject to;
+    std::size_t total_bytes = 0;
+    for (std::size_t hop = 0; hop < depth; ++hop) {
+      to.add_hop({"Example::Interface", "method", hop,
+                  static_cast<Nanos>(hop)});
+      WireBuffer payload;
+      to.encode(payload);
+      total_bytes += payload.size();
+      WireCursor cursor(payload);
+      to = baseline::TraceObject::decode(cursor);
+    }
+    benchmark::DoNotOptimize(total_bytes);
+  }
+}
+BENCHMARK(BM_TraceObjectWholeChain)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Iterations(1)  // quadratic by design; one pass tells the story
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

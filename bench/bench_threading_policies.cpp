@@ -1,0 +1,186 @@
+// E8 -- causality under server threading architectures (paper Sec. 2.2).
+//
+// Part 1 (ORB): thread-per-request / thread-per-connection / thread-pool all
+// uphold O1/O2, so concurrent clients always yield clean, untangled chains;
+// the bench measures throughput per policy and verifies zero anomalies and
+// the expected chain count after each run.
+//
+// Part 2 (COM STA): the paper's negative result.  With the legacy
+// (TSS-trusting) stub and channel hooks disabled, interleaved calls into one
+// STA mingle their chains; enabling the hooks repairs attribution.  The
+// bench reports the mingled-chain rate in both settings.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "analysis/dscg.h"
+#include "com/stubs.h"
+#include "common/work.h"
+#include "monitor/tss.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace causeway;
+
+void BM_PolicyThroughput(benchmark::State& state) {
+  const auto policy = static_cast<orb::PolicyKind>(state.range(0));
+  monitor::tss_clear();
+  orb::Fabric fabric;
+  workload::SyntheticConfig config;
+  config.seed = 8;
+  config.domains = 3;
+  config.components = 9;
+  config.interfaces = 4;
+  config.methods_per_interface = 3;
+  config.levels = 3;
+  config.max_children = 2;
+  config.oneway_fraction = 0.1;
+  config.cpu_per_call = 5 * kNanosPerMicro;
+  config.policy = policy;
+  workload::SyntheticSystem system(fabric, config);
+
+  std::size_t transactions = 0;
+  for (auto _ : state) {
+    system.run_transaction();
+    ++transactions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      transactions * system.calls_per_transaction()));
+
+  // Post-run verification (outside the timed loop): chains stay untangled.
+  system.wait_quiescent();
+  analysis::LogDatabase db;
+  db.ingest(system.collect());
+  auto dscg = analysis::Dscg::build(db);
+  state.counters["anomalies"] = static_cast<double>(dscg.anomaly_count());
+  state.counters["chains"] = static_cast<double>(dscg.chains().size());
+}
+BENCHMARK(BM_PolicyThroughput)
+    ->Arg(0)  // thread-per-request
+    ->Arg(1)  // thread-per-connection
+    ->Arg(2)  // thread-pool
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.4);
+
+// --- COM STA mingling rate ---
+
+class SlowDoubler final : public com::ComServant {
+ public:
+  std::string_view interface_name() const override { return "E8::Doubler"; }
+  com::ComDispatchResult com_dispatch(com::ComDispatchContext& ctx,
+                                      com::MethodId, WireCursor& in,
+                                      WireBuffer& out) override {
+    com::ComSkelGuard guard(
+        ctx, monitor::CallIdentity{"E8::Doubler", "double_it", ctx.object_id},
+        in, true);
+    const std::int32_t x = in.read_i32();
+    idle_for(8 * kNanosPerMilli);  // hold the caller blocked => pumping
+    guard.body_end();
+    out.write_i32(2 * x);
+    guard.seal(out);
+    return {};
+  }
+};
+
+class Worker final : public com::ComServant {
+ public:
+  Worker(std::string name, com::ComObjectId helper)
+      : name_(std::move(name)), helper_(helper) {}
+  std::string_view interface_name() const override { return name_; }
+  com::ComDispatchResult com_dispatch(com::ComDispatchContext& ctx,
+                                      com::MethodId, WireCursor& in,
+                                      WireBuffer& out) override {
+    com::ComSkelGuard guard(
+        ctx, monitor::CallIdentity{name_, "outer", ctx.object_id}, in, true);
+    const std::int32_t x = in.read_i32();
+    com::ComCall call(*ctx.runtime, helper_,
+                      {"E8::Doubler", "double_it", 0, false}, true);
+    call.request().write_i32(x);
+    const std::int32_t doubled = call.invoke().read_i32();
+    guard.body_end();
+    out.write_i32(doubled + 1);
+    guard.seal(out);
+    return {};
+  }
+
+ private:
+  std::string name_;
+  com::ComObjectId helper_;
+};
+
+// Returns the fraction of rounds in which the two transactions' chains
+// mingled (records of both workers on one chain).
+double sta_mingle_rate(bool hooks, int rounds) {
+  int mingled_rounds = 0;
+  for (int round = 0; round < rounds; ++round) {
+    monitor::MonitorRuntime mon(
+        monitor::DomainIdentity{"com-proc", "n", "x86"},
+        monitor::MonitorConfig{true, monitor::ProbeMode::kCausalityOnly},
+        ClockDomain{});
+    com::ComRuntime rt(&mon, hooks);
+    rt.set_strict_inout_ftl(false);  // the paper's vulnerable legacy stub
+
+    const auto sta = rt.create_sta();
+    const auto helper_sta = rt.create_sta();
+    const auto helper = rt.register_object(
+        helper_sta, com::ComPtr<com::ComServant>(new SlowDoubler()));
+    const auto wa = rt.register_object(
+        sta, com::ComPtr<com::ComServant>(new Worker("E8::WorkerA", helper)));
+    const auto wb = rt.register_object(
+        sta, com::ComPtr<com::ComServant>(new Worker("E8::WorkerB", helper)));
+
+    auto drive = [&](com::ComObjectId target, std::string_view iface) {
+      monitor::tss_clear();
+      com::ComCall c(rt, target, {iface, "outer", 0, false}, true);
+      c.request().write_i32(1);
+      c.invoke();
+    };
+    std::thread t1([&] { drive(wa, "E8::WorkerA"); });
+    idle_for(1 * kNanosPerMilli);
+    std::thread t2([&] { drive(wb, "E8::WorkerB"); });
+    t1.join();
+    t2.join();
+
+    std::map<Uuid, std::set<std::string_view>> per_chain;
+    for (const auto& r : mon.store().snapshot()) {
+      if (r.interface_name == "E8::WorkerA" ||
+          r.interface_name == "E8::WorkerB") {
+        per_chain[r.chain].insert(r.interface_name);
+      }
+    }
+    for (const auto& [chain, ifaces] : per_chain) {
+      if (ifaces.size() > 1) {
+        ++mingled_rounds;
+        break;
+      }
+    }
+    rt.shutdown();
+  }
+  monitor::tss_clear();
+  return static_cast<double>(mingled_rounds) / rounds;
+}
+
+void report_sta(int rounds) {
+  std::printf("=== E8 part 2: STA multiplexing with the legacy COM stub ===\n");
+  const double without_hooks = sta_mingle_rate(false, rounds);
+  const double with_hooks = sta_mingle_rate(true, rounds);
+  std::printf("  chain-mingling rate over %d interleaved rounds:\n", rounds);
+  std::printf("    channel hooks OFF: %5.1f%%   (paper: chains intertwine)\n",
+              100.0 * without_hooks);
+  std::printf("    channel hooks ON : %5.1f%%   (paper: clean separation)\n\n",
+              100.0 * with_hooks);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== E8: causality under server threading policies ===\n\n");
+  report_sta(/*rounds=*/20);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

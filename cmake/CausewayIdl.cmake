@@ -1,0 +1,47 @@
+# causeway_add_idl(<target> <file.idl> [INSTRUMENT] [COM])
+#
+# Runs idlc over <file.idl> at build time and wraps the generated
+# stub/skeleton pair into a static library target.  INSTRUMENT selects the
+# paper's instrumented generation mode (probes + FTL tunneling); omit it for
+# plain stubs.  COM targets the COM-like runtime (apartments) instead of the
+# ORB.  The same .idl may be compiled under several target names to get
+# multiple flavors side by side (tests and benchmarks do).
+function(causeway_add_idl TARGET IDL_FILE)
+  cmake_parse_arguments(ARG "INSTRUMENT;COM;BOTH" "" "" ${ARGN})
+
+  get_filename_component(_base ${IDL_FILE} NAME_WE)
+  set(_gendir ${CMAKE_CURRENT_BINARY_DIR}/${TARGET}_gen)
+  set(_hdr ${_gendir}/${_base}.causeway.h)
+  set(_src ${_gendir}/${_base}.causeway.cpp)
+
+  set(_flags "")
+  if(ARG_INSTRUMENT)
+    list(APPEND _flags --instrument)
+  endif()
+  if(ARG_COM)
+    list(APPEND _flags --runtime=com)
+  elseif(ARG_BOTH)
+    list(APPEND _flags --runtime=both)
+  endif()
+
+  if(NOT IS_ABSOLUTE ${IDL_FILE})
+    set(IDL_FILE ${CMAKE_CURRENT_SOURCE_DIR}/${IDL_FILE})
+  endif()
+
+  add_custom_command(
+    OUTPUT ${_hdr} ${_src}
+    COMMAND idlc ${IDL_FILE} -o ${_gendir} --basename ${_base} ${_flags}
+    DEPENDS idlc ${IDL_FILE}
+    COMMENT "idlc ${_base}.idl -> ${TARGET}"
+    VERBATIM)
+
+  add_library(${TARGET} STATIC ${_src} ${_hdr})
+  target_include_directories(${TARGET} PUBLIC ${_gendir})
+  if(ARG_COM)
+    target_link_libraries(${TARGET} PUBLIC causeway_com)
+  elseif(ARG_BOTH)
+    target_link_libraries(${TARGET} PUBLIC causeway_orb causeway_com)
+  else()
+    target_link_libraries(${TARGET} PUBLIC causeway_orb)
+  endif()
+endfunction()

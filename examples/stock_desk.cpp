@@ -1,0 +1,148 @@
+// A COM-side application built entirely from idlc --runtime=com generated
+// bindings (idl/stock_com.idl): a pricing service in one single-threaded
+// apartment, a risk checker in another, and a market-data feed posting
+// oneway heartbeats.  The STA pricing engine calls the risk checker while
+// blocked -- the message loop pumps, exactly the paper's COM scenario -- and
+// the whole causal chain still reconstructs cleanly because the channel
+// hooks and the inout FTL are in place.
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "analysis/dscg.h"
+#include "analysis/export.h"
+#include "analysis/latency.h"
+#include "analysis/report.h"
+#include "common/work.h"
+#include "monitor/collector.h"
+#include "monitor/tss.h"
+#include "stock_com.causeway.h"
+
+using namespace causeway;
+
+namespace {
+
+// Risk desk: only quotes under a price ceiling pass.
+class RiskDeskImpl final : public Stock::Ticker {
+ public:
+  Stock::Quote quote(const std::string& symbol) override {
+    burn_cpu(40 * kNanosPerMicro);  // risk model crunching
+    Stock::Quote q;
+    q.symbol = symbol;
+    q.price_cents = 100'000;  // the approved ceiling
+    q.volume = 0;
+    return q;
+  }
+  Stock::QuoteBook book(Stock::Venue, std::int32_t) override { return {}; }
+  void heartbeat(std::int64_t) override {}
+  void set_price(const std::string&, std::int64_t) override {}
+};
+
+// Pricing engine: serves quotes, consults the risk desk on every one.
+class PricingImpl final : public Stock::Ticker {
+ public:
+  explicit PricingImpl(std::unique_ptr<Stock::TickerComProxy> risk)
+      : risk_(std::move(risk)) {}
+
+  Stock::Quote quote(const std::string& symbol) override {
+    auto it = prices_.find(symbol);
+    if (it == prices_.end()) {
+      Stock::UnknownSymbol unknown;
+      unknown.symbol = symbol;
+      throw unknown;
+    }
+    burn_cpu(25 * kNanosPerMicro);
+    // Blocking outbound call from inside this STA: the apartment pumps.
+    const Stock::Quote ceiling = risk_->quote(symbol);
+    Stock::Quote q;
+    q.symbol = symbol;
+    q.price_cents = std::min(it->second, ceiling.price_cents);
+    q.volume = 100;
+    return q;
+  }
+
+  Stock::QuoteBook book(Stock::Venue venue, std::int32_t depth) override {
+    Stock::QuoteBook out;
+    for (std::int32_t i = 0; i < depth; ++i) {
+      Stock::Quote q;
+      q.symbol = venue == Stock::Venue::kNasdaq ? "NQ" : "NY";
+      q.price_cents = 5000 + 10 * i;
+      q.volume = 10 * (i + 1);
+      out.push_back(std::move(q));
+    }
+    return out;
+  }
+
+  void heartbeat(std::int64_t at) override {
+    burn_cpu(5 * kNanosPerMicro);
+    last_beat_ = at;
+  }
+
+  void set_price(const std::string& symbol,
+                 std::int64_t price_cents) override {
+    prices_[symbol] = price_cents;
+  }
+
+ private:
+  std::unique_ptr<Stock::TickerComProxy> risk_;
+  std::map<std::string, std::int64_t> prices_;
+  std::int64_t last_beat_{0};
+};
+
+}  // namespace
+
+int main() {
+  monitor::MonitorRuntime com_monitor(
+      monitor::DomainIdentity{"trading-host", "nt-node", "nt-x86"},
+      monitor::MonitorConfig{true, monitor::ProbeMode::kLatency},
+      ClockDomain{});
+  com::ComRuntime runtime(&com_monitor);
+
+  // Risk desk in its own STA; pricing in another; heartbeats from an MTA.
+  const auto risk_sta = runtime.create_sta();
+  const auto pricing_sta = runtime.create_sta();
+  const auto risk_id =
+      Stock::register_Ticker(runtime, risk_sta, std::make_shared<RiskDeskImpl>());
+  const auto pricing_id = Stock::register_Ticker(
+      runtime, pricing_sta,
+      std::make_shared<PricingImpl>(
+          std::make_unique<Stock::TickerComProxy>(runtime, risk_id)));
+
+  Stock::TickerComProxy pricing(runtime, pricing_id);
+
+  std::printf("== trading desk over the COM runtime ==\n");
+  pricing.set_price("HPQ", 2'345);
+  pricing.set_price("AAPL", 999'999'00);  // above the risk ceiling
+  pricing.heartbeat(1);
+
+  for (const char* symbol : {"HPQ", "AAPL"}) {
+    monitor::ScopedFreshChain fresh;
+    const Stock::Quote q = pricing.quote(symbol);
+    std::printf("  quote(%-5s) = %lld cents (risk-capped)\n", symbol,
+                static_cast<long long>(q.price_cents));
+  }
+
+  try {
+    monitor::ScopedFreshChain fresh;
+    pricing.quote("ENRON");
+  } catch (const Stock::UnknownSymbol& unknown) {
+    std::printf("  quote(%s) rejected: unknown symbol\n",
+                unknown.symbol.c_str());
+  }
+
+  const Stock::QuoteBook book = pricing.book(Stock::Venue::kNasdaq, 3);
+  std::printf("  book depth %zu, top %lld cents\n", book.size(),
+              static_cast<long long>(book.front().price_cents));
+
+  // Characterize: the quote chains cross two apartments; the rejected call
+  // carries an app-error outcome.
+  idle_for(100 * kNanosPerMilli);  // let the heartbeat post drain
+  monitor::Collector collector;
+  collector.attach(&com_monitor);
+  analysis::LogDatabase db;
+  db.ingest(collector.collect());
+  auto dscg = analysis::Dscg::build(db);
+  std::printf("\n%s",
+              analysis::characterization_report(dscg, db).c_str());
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Causal-chain reconstruction: from sorted event streams to call trees.
+//
+// Following paper Sec. 3.1, each unique Function UUID's events -- sorted by
+// ascending event number -- are replayed through a state machine (paper
+// Fig. 4) "similar to the compiler parsing that creates an abstract syntax
+// tree".  The event repeating patterns (paper Table 1) uniquely determine
+// sibling vs parent/child structure:
+//
+//   sibling:       F.ss F.ks F.ke F.se  G.ss G.ks G.ke G.se
+//   parent/child:  F.ss F.ks  G.ss G.ks ... G.ke G.se  F.ke F.se
+//   oneway (stub side, parent chain):   F.ss F.se
+//   oneway (skeleton side, child chain): F.ks ... F.ke
+//
+// Records that fit no legal transition take the paper's "abnormal" path: the
+// anomaly is recorded and parsing restarts from the next record.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "monitor/record.h"
+
+namespace causeway::analysis {
+
+struct CpuVector {
+  // CPU nanoseconds per processor type -- the paper's <C1, C2, ... CM>.
+  std::vector<std::pair<std::string_view, Nanos>> by_type;
+
+  Nanos total() const {
+    Nanos sum = 0;
+    for (const auto& [type, ns] : by_type) sum += ns;
+    return sum;
+  }
+  void add(std::string_view type, Nanos ns);
+  void add(const CpuVector& other);
+  Nanos of(std::string_view type) const;
+};
+
+struct ChainTree;  // forward
+
+struct CallNode {
+  std::string_view interface_name;
+  std::string_view function_name;
+  std::uint64_t object_key{0};
+  monitor::CallKind kind{monitor::CallKind::kSync};
+
+  // The four probe records, indexed by EventKind - 1.  A sync call has all
+  // four; a oneway stub-side node has 0/3; a oneway skeleton-side node has
+  // 1/2; a node facing an uninstrumented peer is partial.
+  std::optional<monitor::TraceRecord> rec[4];
+
+  CallNode* parent{nullptr};
+  std::vector<std::unique_ptr<CallNode>> children;
+
+  // Oneway stub-side: the UUID of the chain spawned at the callee, and --
+  // once the DSCG groups the forest -- the reconstructed child trees.
+  Uuid spawned_chain;
+  std::vector<ChainTree*> spawned;
+
+  // --- analysis annotations (filled by latency.h / cpu.h) ---
+  std::optional<Nanos> latency;        // L(F), overhead-corrected
+  Nanos latency_overhead{0};           // O_F
+  std::optional<Nanos> raw_latency;    // L(F) + O_F, what a naive tool reports
+  CpuVector self_cpu;                  // SC_F
+  CpuVector descendant_cpu;            // DC_F
+
+  const std::optional<monitor::TraceRecord>& record(
+      monitor::EventKind e) const {
+    return rec[static_cast<std::size_t>(e) - 1];
+  }
+  bool is_virtual_root() const { return interface_name.empty(); }
+
+  // Semantics capture: how this invocation concluded (worst outcome seen on
+  // probes 3/4; kOk when neither observed a failure).
+  monitor::CallOutcome outcome() const {
+    auto worst = monitor::CallOutcome::kOk;
+    for (auto e : {monitor::EventKind::kSkelEnd, monitor::EventKind::kStubEnd}) {
+      const auto& r = record(e);
+      if (r && static_cast<int>(r->outcome) > static_cast<int>(worst)) {
+        worst = r->outcome;
+      }
+    }
+    return worst;
+  }
+  bool failed() const { return outcome() != monitor::CallOutcome::kOk; }
+
+  // Server-side locality (where the body ran); falls back to client side
+  // for partial nodes.
+  std::string_view server_process() const;
+  std::string_view server_processor_type() const;
+
+  std::size_t subtree_size() const;  // nodes, excluding the virtual root
+};
+
+struct Anomaly {
+  std::uint64_t seq{0};
+  std::string reason;
+};
+
+struct ChainTree {
+  Uuid chain;
+  std::unique_ptr<CallNode> root;  // virtual root holding top-level siblings
+  std::vector<Anomaly> anomalies;
+  bool oneway_child{false};     // spawned by a oneway call
+  bool skeleton_rooted{false};  // begins at a skeleton (oneway child, or the
+                                // caller was not instrumented)
+
+  std::size_t call_count() const { return root ? root->subtree_size() : 0; }
+};
+
+// Replays one chain's sorted events through the reconstruction state
+// machine. `events` must be sorted by ascending seq (LogDatabase does this).
+ChainTree build_chain_tree(const Uuid& chain,
+                           const std::vector<const monitor::TraceRecord*>& events);
+
+}  // namespace causeway::analysis

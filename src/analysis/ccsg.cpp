@@ -1,0 +1,135 @@
+#include "analysis/ccsg.h"
+
+#include <tuple>
+
+#include "common/strings.h"
+
+namespace causeway::analysis {
+namespace {
+
+using MergeKey = std::tuple<std::string_view, std::string_view, std::uint64_t>;
+
+MergeKey key_of(const CallNode& node) {
+  return {node.interface_name, node.function_name, node.object_key};
+}
+
+CcsgNode* merge_child(std::vector<std::unique_ptr<CcsgNode>>& children,
+                      std::map<MergeKey, CcsgNode*>& index,
+                      const CallNode& node) {
+  auto it = index.find(key_of(node));
+  if (it != index.end()) return it->second;
+  auto fresh = std::make_unique<CcsgNode>();
+  fresh->interface_name = node.interface_name;
+  fresh->function_name = node.function_name;
+  fresh->object_key = node.object_key;
+  CcsgNode* raw = fresh.get();
+  children.push_back(std::move(fresh));
+  index.emplace(key_of(node), raw);
+  return raw;
+}
+
+struct Level {
+  std::vector<std::unique_ptr<CcsgNode>>* children;
+  std::map<MergeKey, CcsgNode*> index;
+};
+
+void fold(const CallNode& node, CcsgNode& into, std::uint64_t& next_instance);
+
+void fold_children(const CallNode& node, CcsgNode& into,
+                   std::uint64_t& next_instance) {
+  Level level{&into.children, {}};
+  // Pre-index existing children (repeat invocations across chains).
+  for (auto& c : into.children) {
+    level.index.emplace(
+        MergeKey{c->interface_name, c->function_name, c->object_key}, c.get());
+  }
+  for (const auto& child : node.children) {
+    CcsgNode* slot = merge_child(*level.children, level.index, *child);
+    fold(*child, *slot, next_instance);
+  }
+  for (const ChainTree* spawned : node.spawned) {
+    for (const auto& top : spawned->root->children) {
+      CcsgNode* slot = merge_child(*level.children, level.index, *top);
+      fold(*top, *slot, next_instance);
+    }
+  }
+}
+
+void fold(const CallNode& node, CcsgNode& into, std::uint64_t& next_instance) {
+  into.invocation_times += 1;
+  into.instance_ids.push_back(next_instance++);
+  into.self_cpu.add(node.self_cpu);
+  into.descendant_cpu.add(node.descendant_cpu);
+  fold_children(node, into, next_instance);
+}
+
+void emit_cpu(std::string& xml, const std::string& indent,
+              const char* element, const CpuVector& cpu) {
+  for (const auto& [type, ns] : cpu.by_type) {
+    const long long sec = ns / kNanosPerSecond;
+    const long long usec = (ns % kNanosPerSecond) / kNanosPerMicro;
+    xml += strf("%s<%s processorType=\"%s\" seconds=\"%lld\" "
+                "microseconds=\"%lld\"/>\n",
+                indent.c_str(), element,
+                xml_escape(std::string(type)).c_str(), sec, usec);
+  }
+  if (cpu.by_type.empty()) {
+    xml += strf("%s<%s seconds=\"0\" microseconds=\"0\"/>\n", indent.c_str(),
+                element);
+  }
+}
+
+void emit_node(std::string& xml, const CcsgNode& node, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string inner(static_cast<std::size_t>(depth + 1) * 2, ' ');
+  xml += strf(
+      "%s<Function interface=\"%s\" name=\"%s\" ObjectID=\"%llu\" "
+      "InvocationTimes=\"%llu\">\n",
+      indent.c_str(), xml_escape(std::string(node.interface_name)).c_str(),
+      xml_escape(std::string(node.function_name)).c_str(),
+      static_cast<unsigned long long>(node.object_key),
+      static_cast<unsigned long long>(node.invocation_times));
+
+  xml += inner + "<IncludedFunctionInstances>";
+  for (std::size_t i = 0; i < node.instance_ids.size(); ++i) {
+    if (i > 0) xml += ' ';
+    xml += std::to_string(node.instance_ids[i]);
+  }
+  xml += "</IncludedFunctionInstances>\n";
+
+  emit_cpu(xml, inner, "SelfCPUConsumption", node.self_cpu);
+  emit_cpu(xml, inner, "DescendentCPUConsumption", node.descendant_cpu);
+
+  for (const auto& child : node.children) emit_node(xml, *child, depth + 1);
+  xml += indent + "</Function>\n";
+}
+
+}  // namespace
+
+Ccsg Ccsg::build(const Dscg& dscg) {
+  Ccsg ccsg;
+  std::map<MergeKey, CcsgNode*> top_index;
+  std::uint64_t next_instance = 1;
+  for (const ChainTree* tree : dscg.roots()) {
+    for (const auto& top : tree->root->children) {
+      CcsgNode* slot = merge_child(ccsg.roots_, top_index, *top);
+      fold(*top, *slot, next_instance);
+    }
+  }
+  return ccsg;
+}
+
+std::size_t Ccsg::node_count() const {
+  std::size_t n = 0;
+  for (const auto& r : roots_) n += r->subtree_size();
+  return n;
+}
+
+std::string Ccsg::to_xml() const {
+  std::string xml = "<?xml version=\"1.0\"?>\n<CCSG>\n";
+  for (const auto& r : roots_) emit_node(xml, *r, 1);
+  xml += "</CCSG>\n";
+  return xml;
+}
+
+}  // namespace causeway::analysis

@@ -1,0 +1,43 @@
+// System-wide CPU consumption characterization (paper Sec. 3.2).
+//
+// Phase 1 -- self (exclusive) CPU of each invocation:
+//     SC_F = (P_{F,3,start} - P_{F,2,end})
+//            - sum over immediate children i of (P_{i,4,end} - P_{i,1,start})
+// The first term is the server thread's CPU across the implementation body;
+// the subtracted terms remove the CPU the *caller-side* thread spent inside
+// each child call's stub window (for a collocated child that is the child's
+// entire subtree, for a remote child just the marshaling cost -- the wait
+// itself burns no CPU).
+//
+// Phase 2 -- descendant (inclusive minus self) CPU, propagated along the
+// caller/callee relationship:
+//     DC_F = sum over immediate children f of (SC_f + DC_f)
+// kept as a vector <C1..CM> per processor type, because children may execute
+// on different processor kinds.
+//
+// Phase 3 (the CCSG) lives in ccsg.h.
+//
+// Oneway spawned chains: the callee's work happens on another thread, so it
+// never appears in the spawner's SC.  Whether it is *charged* to the
+// spawner's DC is a policy choice (the paper's tech-report formulation
+// predates it); CpuOptions::charge_spawned_chains controls it, default on.
+#pragma once
+
+#include "analysis/dscg.h"
+
+namespace causeway::analysis {
+
+struct CpuOptions {
+  bool charge_spawned_chains{true};
+  // Clamp tiny negative self-CPU readings (clock granularity noise) to zero.
+  bool clamp_negative_self{true};
+};
+
+struct CpuReport {
+  std::size_t annotated{0};
+  std::size_t skipped{0};
+};
+
+CpuReport annotate_cpu(Dscg& dscg, const CpuOptions& options = {});
+
+}  // namespace causeway::analysis

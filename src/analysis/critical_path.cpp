@@ -1,0 +1,69 @@
+#include "analysis/critical_path.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace causeway::analysis {
+
+const CriticalStep* CriticalPath::dominant() const {
+  const CriticalStep* best = nullptr;
+  for (const auto& step : steps) {
+    if (!best || step.exclusive > best->exclusive) best = &step;
+  }
+  return best;
+}
+
+std::string CriticalPath::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const CriticalStep& step = steps[i];
+    out += strf("%*s%s::%s  total=%.1fus  exclusive=%.1fus\n",
+                static_cast<int>(i * 2), "",
+                std::string(step.node->interface_name).c_str(),
+                std::string(step.node->function_name).c_str(),
+                static_cast<double>(step.total) / 1e3,
+                static_cast<double>(step.exclusive) / 1e3);
+  }
+  return out;
+}
+
+CriticalPath critical_path(const CallNode& root) {
+  CriticalPath path;
+  const CallNode* current = &root;
+  while (current && current->latency) {
+    // Dominant child by latency; oneway stub-side children never bound the
+    // caller (the caller does not wait for the spawned work).
+    const CallNode* next = nullptr;
+    for (const auto& child : current->children) {
+      if (child->kind == monitor::CallKind::kOneway) continue;
+      if (!child->latency) continue;
+      if (!next || *child->latency > *next->latency) next = child.get();
+    }
+    CriticalStep step;
+    step.node = current;
+    step.total = *current->latency;
+    step.exclusive =
+        step.total - (next && next->latency ? *next->latency : 0);
+    path.steps.push_back(step);
+    current = next;
+  }
+  return path;
+}
+
+std::vector<CriticalPath> critical_paths(const Dscg& dscg) {
+  std::vector<CriticalPath> paths;
+  for (const ChainTree* tree : dscg.roots()) {
+    for (const auto& top : tree->root->children) {
+      if (!top->latency) continue;
+      paths.push_back(critical_path(*top));
+    }
+  }
+  std::sort(paths.begin(), paths.end(),
+            [](const CriticalPath& a, const CriticalPath& b) {
+              return a.total() > b.total();
+            });
+  return paths;
+}
+
+}  // namespace causeway::analysis

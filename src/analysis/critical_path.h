@@ -1,0 +1,46 @@
+// Critical-path extraction over annotated DSCG chains.
+//
+// One of the paper's named future directions is "richer end-to-end system
+// behavior characterization support".  This module implements the most
+// requested such enrichment: for a transaction (one top-level call), walk
+// the call tree picking the dominant-latency child at every level, yielding
+// the sequence of frames that actually bounds the end-to-end time -- and,
+// per frame, how much latency is its own (exclusive of the path child) vs
+// inherited.  Optimizing anything off this path cannot speed the
+// transaction up.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/dscg.h"
+
+namespace causeway::analysis {
+
+struct CriticalStep {
+  const CallNode* node{nullptr};
+  Nanos total{0};      // L(node)
+  Nanos exclusive{0};  // L(node) minus the chosen child's L: time this frame
+                       // itself is responsible for (body + transport + its
+                       // non-dominant children)
+};
+
+struct CriticalPath {
+  std::vector<CriticalStep> steps;  // root-first
+
+  Nanos total() const { return steps.empty() ? 0 : steps.front().total; }
+
+  // The single step responsible for the largest exclusive share.
+  const CriticalStep* dominant() const;
+
+  std::string to_string() const;
+};
+
+// Path for one annotated top-level call (annotate_latency must have run).
+// Nodes without latency contribute nothing and stop the descent.
+CriticalPath critical_path(const CallNode& root);
+
+// Paths for every top-level call in the DSCG, slowest transaction first.
+std::vector<CriticalPath> critical_paths(const Dscg& dscg);
+
+}  // namespace causeway::analysis

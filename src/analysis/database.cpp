@@ -1,0 +1,80 @@
+#include "analysis/database.h"
+
+#include <algorithm>
+
+namespace causeway::analysis {
+
+std::string_view LogDatabase::intern(std::string_view s) {
+  auto it = interned_.find(s);
+  if (it != interned_.end()) return it->second;
+  pool_.emplace_back(s);
+  std::string_view stable = pool_.back();
+  interned_.emplace(stable, stable);
+  return stable;
+}
+
+void LogDatabase::add_record(monitor::TraceRecord r) {
+  r.interface_name = intern(r.interface_name);
+  r.function_name = intern(r.function_name);
+  r.process_name = intern(r.process_name);
+  r.node_name = intern(r.node_name);
+  r.processor_type = intern(r.processor_type);
+
+  const std::size_t index = records_.size();
+  auto [it, inserted] = by_chain_.try_emplace(r.chain);
+  if (inserted) chains_.push_back(r.chain);
+  it->second.push_back(index);
+  records_.push_back(r);
+}
+
+void LogDatabase::ingest(const monitor::CollectedLogs& logs) {
+  for (const auto& d : logs.domains) {
+    domains_.push_back({d.identity.process_name, d.identity.node_name,
+                        d.identity.processor_type, d.mode, d.record_count});
+  }
+  ingest_records(logs.records);
+}
+
+void LogDatabase::ingest_records(
+    std::span<const monitor::TraceRecord> records) {
+  records_.reserve(records_.size() + records.size());
+  for (const auto& r : records) add_record(r);
+}
+
+std::vector<const monitor::TraceRecord*> LogDatabase::chain_events(
+    const Uuid& chain) const {
+  std::vector<const monitor::TraceRecord*> out;
+  auto it = by_chain_.find(chain);
+  if (it == by_chain_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t index : it->second) out.push_back(&records_[index]);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const monitor::TraceRecord* a,
+                      const monitor::TraceRecord* b) { return a->seq < b->seq; });
+  return out;
+}
+
+std::vector<std::string_view> LogDatabase::processor_types() const {
+  std::vector<std::string_view> types;
+  for (const auto& r : records_) {
+    if (std::find(types.begin(), types.end(), r.processor_type) ==
+        types.end()) {
+      types.push_back(r.processor_type);
+    }
+  }
+  return types;
+}
+
+monitor::ProbeMode LogDatabase::primary_mode() const {
+  std::size_t counts[3] = {0, 0, 0};
+  for (const auto& r : records_) {
+    counts[static_cast<std::size_t>(r.mode)]++;
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < 3; ++i) {
+    if (counts[i] > counts[best]) best = i;
+  }
+  return static_cast<monitor::ProbeMode>(best);
+}
+
+}  // namespace causeway::analysis

@@ -1,0 +1,78 @@
+// The off-line log database.
+//
+// "The scattered logs are collected and eventually synthesized into a
+// relational database" (paper Sec. 3).  LogDatabase is that store: it ingests
+// collected trace records, interns every identity string (so the database
+// outlives the monitored application), and serves the two queries the
+// analyzer needs (paper Sec. 3.1):
+//
+//   query 1: the set of unique Function UUIDs ever created;
+//   query 2: for one UUID, its events sorted by ascending event number.
+#pragma once
+
+#include <deque>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "monitor/collector.h"
+#include "monitor/record.h"
+
+namespace causeway::analysis {
+
+class LogDatabase {
+ public:
+  LogDatabase() = default;
+  LogDatabase(const LogDatabase&) = delete;
+  LogDatabase& operator=(const LogDatabase&) = delete;
+  LogDatabase(LogDatabase&&) = default;
+  LogDatabase& operator=(LogDatabase&&) = default;
+
+  // Ingests a collector bundle: domain metadata plus all records.
+  void ingest(const monitor::CollectedLogs& logs);
+
+  // Ingests raw records (tests and synthetic workloads build these
+  // directly). String views are interned; the source may die afterwards.
+  void ingest_records(std::span<const monitor::TraceRecord> records);
+
+  const std::vector<monitor::TraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  struct DomainEntry {
+    std::string process_name;
+    std::string node_name;
+    std::string processor_type;
+    monitor::ProbeMode mode;
+    std::size_t record_count;
+  };
+  const std::vector<DomainEntry>& domains() const { return domains_; }
+
+  // Query 1: unique chain UUIDs in first-seen order.
+  const std::vector<Uuid>& chains() const { return chains_; }
+
+  // Query 2: events of one chain sorted by ascending event number
+  // (insertion order breaks ties, which only occur on corrupt logs).
+  std::vector<const monitor::TraceRecord*> chain_events(const Uuid& chain) const;
+
+  // All distinct processor types seen (defines the <C1..CM> vector axes).
+  std::vector<std::string_view> processor_types() const;
+
+  // The probe mode of the bulk of the records (a run uses one mode).
+  monitor::ProbeMode primary_mode() const;
+
+ private:
+  std::string_view intern(std::string_view s);
+  void add_record(monitor::TraceRecord r);
+
+  std::deque<std::string> pool_;
+  std::unordered_map<std::string_view, std::string_view> interned_;
+
+  std::vector<monitor::TraceRecord> records_;
+  std::vector<DomainEntry> domains_;
+  std::vector<Uuid> chains_;
+  std::unordered_map<Uuid, std::vector<std::size_t>> by_chain_;
+};
+
+}  // namespace causeway::analysis

@@ -1,0 +1,124 @@
+#include "analysis/diff.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/cpu.h"
+#include "analysis/latency.h"
+#include "common/strings.h"
+
+namespace causeway::analysis {
+namespace {
+
+struct Accum {
+  std::size_t calls{0};
+  double sum_us{0};
+
+  double mean() const {
+    return calls == 0 ? 0 : sum_us / static_cast<double>(calls);
+  }
+};
+
+std::map<std::string, Accum> per_function(Dscg& dscg,
+                                          const LogDatabase& db) {
+  const monitor::ProbeMode mode = db.primary_mode();
+  if (mode == monitor::ProbeMode::kLatency) {
+    annotate_latency(dscg);
+  } else if (mode == monitor::ProbeMode::kCpu) {
+    annotate_cpu(dscg);
+  }
+  std::map<std::string, Accum> out;
+  dscg.visit([&](const CallNode& node, int) {
+    Accum& a = out[std::string(node.interface_name) +
+                   "::" + std::string(node.function_name)];
+    a.calls += 1;
+    if (mode == monitor::ProbeMode::kLatency && node.latency) {
+      a.sum_us += static_cast<double>(*node.latency) / 1e3;
+    } else if (mode == monitor::ProbeMode::kCpu) {
+      a.sum_us += static_cast<double>(node.self_cpu.total()) / 1e3;
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+RunDiff diff_runs(Dscg& baseline, const LogDatabase& baseline_db,
+                  Dscg& current, const LogDatabase& current_db,
+                  const DiffOptions& options) {
+  RunDiff diff;
+  diff.metric = current_db.primary_mode() == monitor::ProbeMode::kCpu
+                    ? "self-cpu"
+                    : "latency";
+
+  const auto base = per_function(baseline, baseline_db);
+  const auto cur = per_function(current, current_db);
+
+  for (const auto& [name, base_row] : base) {
+    auto it = cur.find(name);
+    if (it == cur.end()) {
+      diff.removed.push_back(name);
+      continue;
+    }
+    FunctionDelta delta;
+    delta.function = name;
+    delta.base_calls = base_row.calls;
+    delta.current_calls = it->second.calls;
+    delta.base_mean_us = base_row.mean();
+    delta.current_mean_us = it->second.mean();
+    const double pct = delta.delta_pct();
+    if (pct > options.threshold_pct) {
+      diff.regressions.push_back(std::move(delta));
+    } else if (pct < -options.threshold_pct) {
+      diff.improvements.push_back(std::move(delta));
+    } else {
+      diff.stable.push_back(std::move(delta));
+    }
+  }
+  for (const auto& [name, row] : cur) {
+    if (!base.contains(name)) diff.added.push_back(name);
+  }
+
+  std::sort(diff.regressions.begin(), diff.regressions.end(),
+            [](const FunctionDelta& a, const FunctionDelta& b) {
+              return a.delta_pct() > b.delta_pct();
+            });
+  std::sort(diff.improvements.begin(), diff.improvements.end(),
+            [](const FunctionDelta& a, const FunctionDelta& b) {
+              return a.delta_pct() < b.delta_pct();
+            });
+  return diff;
+}
+
+std::string RunDiff::to_string() const {
+  std::string out;
+  out += strf("==== run diff (%s, per-function mean) ====\n", metric.c_str());
+  auto table = [&](const char* title, const std::vector<FunctionDelta>& rows) {
+    if (rows.empty()) return;
+    out += strf("--- %s ---\n", title);
+    out += strf("%-40s %10s %10s %9s %8s->%-8s\n", "function", "base us",
+                "cur us", "delta", "calls", "calls");
+    for (const auto& d : rows) {
+      out += strf("%-40s %10.1f %10.1f %+8.1f%% %8zu->%-8zu\n",
+                  d.function.c_str(), d.base_mean_us, d.current_mean_us,
+                  d.delta_pct(), d.base_calls, d.current_calls);
+    }
+  };
+  table("regressions", regressions);
+  table("improvements", improvements);
+  if (!added.empty()) {
+    out += "--- added functions ---\n";
+    for (const auto& name : added) out += "  " + name + "\n";
+  }
+  if (!removed.empty()) {
+    out += "--- removed functions ---\n";
+    for (const auto& name : removed) out += "  " + name + "\n";
+  }
+  out += strf("%zu stable, %zu regressed, %zu improved, %zu added, "
+              "%zu removed\n",
+              stable.size(), regressions.size(), improvements.size(),
+              added.size(), removed.size());
+  return out;
+}
+
+}  // namespace causeway::analysis

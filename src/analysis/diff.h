@@ -1,0 +1,56 @@
+// Run-to-run comparison: regression detection over monitored behaviour.
+//
+// The natural downstream use of the paper's off-line characterization is
+// watching a system drift across builds: record a baseline trace, record the
+// current one, and diff the per-function behaviour.  diff_runs() aligns the
+// two DSCGs by (interface::function), compares mean latency (latency-mode
+// runs) or mean self-CPU (CPU-mode runs), and classifies functions into
+// regressions / improvements / added / removed relative to a threshold.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/database.h"
+#include "analysis/dscg.h"
+
+namespace causeway::analysis {
+
+struct DiffOptions {
+  // Minimum relative change (percent) to classify as a regression or an
+  // improvement; smaller drifts are reported as stable.
+  double threshold_pct{10.0};
+};
+
+struct FunctionDelta {
+  std::string function;       // "Iface::fn"
+  std::size_t base_calls{0};
+  std::size_t current_calls{0};
+  double base_mean_us{0};
+  double current_mean_us{0};
+
+  double delta_pct() const {
+    if (base_mean_us <= 0) return 0;
+    return 100.0 * (current_mean_us - base_mean_us) / base_mean_us;
+  }
+};
+
+struct RunDiff {
+  std::string metric;  // "latency" or "self-cpu"
+  std::vector<FunctionDelta> regressions;   // worst first
+  std::vector<FunctionDelta> improvements;  // best first
+  std::vector<FunctionDelta> stable;
+  std::vector<std::string> added;    // only in the current run
+  std::vector<std::string> removed;  // only in the baseline
+
+  bool clean() const { return regressions.empty(); }
+  std::string to_string() const;
+};
+
+// Annotates both DSCGs per their databases' probe modes (the two runs must
+// share a mode; otherwise only call counts are compared).
+RunDiff diff_runs(Dscg& baseline, const LogDatabase& baseline_db,
+                  Dscg& current, const LogDatabase& current_db,
+                  const DiffOptions& options = {});
+
+}  // namespace causeway::analysis

@@ -1,0 +1,60 @@
+#include "analysis/dscg.h"
+
+#include <unordered_set>
+
+namespace causeway::analysis {
+namespace {
+
+void link_spawned(CallNode* node, Dscg& dscg,
+                  std::unordered_set<Uuid>& spawned_ids,
+                  const std::unordered_map<Uuid, ChainTree*>& by_id) {
+  if (!node->spawned_chain.is_nil()) {
+    auto it = by_id.find(node->spawned_chain);
+    if (it != by_id.end()) {
+      node->spawned.push_back(it->second);
+      spawned_ids.insert(node->spawned_chain);
+    }
+  }
+  for (auto& c : node->children) {
+    link_spawned(c.get(), dscg, spawned_ids, by_id);
+  }
+}
+
+}  // namespace
+
+Dscg Dscg::build(const LogDatabase& db) {
+  Dscg dscg;
+  for (const Uuid& chain : db.chains()) {
+    auto tree = std::make_unique<ChainTree>(
+        build_chain_tree(chain, db.chain_events(chain)));
+    dscg.by_id_[chain] = tree.get();
+    dscg.chains_.push_back(std::move(tree));
+  }
+
+  // Hang spawned (oneway child) chains under their spawning nodes.
+  std::unordered_set<Uuid> spawned_ids;
+  for (auto& tree : dscg.chains_) {
+    link_spawned(tree->root.get(), dscg, spawned_ids, dscg.by_id_);
+  }
+
+  for (auto& tree : dscg.chains_) {
+    if (!spawned_ids.contains(tree->chain)) {
+      dscg.roots_.push_back(tree.get());
+    }
+  }
+  return dscg;
+}
+
+std::size_t Dscg::call_count() const {
+  std::size_t n = 0;
+  for (const auto& tree : chains_) n += tree->call_count();
+  return n;
+}
+
+std::size_t Dscg::anomaly_count() const {
+  std::size_t n = 0;
+  for (const auto& tree : chains_) n += tree->anomalies.size();
+  return n;
+}
+
+}  // namespace causeway::analysis

@@ -1,0 +1,271 @@
+#include "analysis/export.h"
+
+#include "common/strings.h"
+
+namespace causeway::analysis {
+namespace {
+
+std::string node_label(const CallNode& node) {
+  return strf("%s::%s#%llu", std::string(node.interface_name).c_str(),
+              std::string(node.function_name).c_str(),
+              static_cast<unsigned long long>(node.object_key));
+}
+
+std::string annotations(const CallNode& node, const ExportOptions& options) {
+  std::string out;
+  out += strf(" [%s]", std::string(to_string(node.kind)).c_str());
+  if (node.failed()) {
+    out += strf(" !%s", std::string(to_string(node.outcome())).c_str());
+  }
+  if (options.show_location && !node.server_process().empty()) {
+    out += strf(" @%s", std::string(node.server_process()).c_str());
+  }
+  if (options.show_latency && node.latency) {
+    out += strf(" latency=%.3fus",
+                static_cast<double>(*node.latency) / 1e3);
+  }
+  if (options.show_cpu && !node.self_cpu.by_type.empty()) {
+    out += strf(" self_cpu=%.3fus desc_cpu=%.3fus",
+                static_cast<double>(node.self_cpu.total()) / 1e3,
+                static_cast<double>(node.descendant_cpu.total()) / 1e3);
+  }
+  return out;
+}
+
+struct TextWalker {
+  const ExportOptions& options;
+  std::string out;
+  std::size_t emitted{0};
+
+  void walk(const CallNode& node, int depth) {
+    if (options.max_nodes && emitted >= options.max_nodes) return;
+    if (!node.is_virtual_root()) {
+      out += std::string(static_cast<std::size_t>(depth) * 2, ' ');
+      out += node_label(node) + annotations(node, options) + "\n";
+      ++emitted;
+    }
+    const int d = node.is_virtual_root() ? depth : depth + 1;
+    for (const auto& c : node.children) walk(*c, d);
+    for (const ChainTree* spawned : node.spawned) {
+      if (options.max_nodes && emitted >= options.max_nodes) return;
+      out += std::string(static_cast<std::size_t>(d) * 2, ' ');
+      out += strf("~> spawned chain %s\n",
+                  spawned->chain.to_string().c_str());
+      walk(*spawned->root, d + 1);
+    }
+  }
+};
+
+struct DotWalker {
+  const ExportOptions& options;
+  std::string out;
+  std::size_t next_id{0};
+
+  std::size_t emit_node(const CallNode& node) {
+    const std::size_t id = next_id++;
+    out += strf("  n%zu [label=\"%s%s\"];\n", id,
+                node_label(node).c_str(),
+                annotations(node, options).c_str());
+    return id;
+  }
+
+  void walk(const CallNode& node, std::size_t parent_id, bool has_parent) {
+    std::size_t id = parent_id;
+    if (!node.is_virtual_root()) {
+      id = emit_node(node);
+      if (has_parent) out += strf("  n%zu -> n%zu;\n", parent_id, id);
+    }
+    const bool ids_valid = has_parent || !node.is_virtual_root();
+    for (const auto& c : node.children) walk(*c, id, ids_valid);
+    for (const ChainTree* spawned : node.spawned) {
+      for (const auto& top : spawned->root->children) {
+        const std::size_t child_id = next_id;  // emitted by recursive call
+        walk(*top, id, ids_valid);
+        if (ids_valid) {
+          out += strf("  n%zu -> n%zu [style=dashed,label=\"oneway\"];\n", id,
+                      child_id);
+        }
+      }
+    }
+  }
+};
+
+struct JsonWalker {
+  const ExportOptions& options;
+  std::string out;
+
+  void walk(const CallNode& node) {
+    out += '{';
+    out += strf("\"interface\":\"%s\",\"function\":\"%s\",\"object\":%llu,"
+                "\"kind\":\"%s\"",
+                json_escape(std::string(node.interface_name)).c_str(),
+                json_escape(std::string(node.function_name)).c_str(),
+                static_cast<unsigned long long>(node.object_key),
+                std::string(to_string(node.kind)).c_str());
+    if (options.show_latency && node.latency) {
+      out += strf(",\"latency_ns\":%lld",
+                  static_cast<long long>(*node.latency));
+    }
+    if (options.show_cpu && !node.self_cpu.by_type.empty()) {
+      out += strf(",\"self_cpu_ns\":%lld,\"descendant_cpu_ns\":%lld",
+                  static_cast<long long>(node.self_cpu.total()),
+                  static_cast<long long>(node.descendant_cpu.total()));
+    }
+    if (options.show_location && !node.server_process().empty()) {
+      out += strf(",\"process\":\"%s\"",
+                  json_escape(std::string(node.server_process())).c_str());
+    }
+    out += ",\"children\":[";
+    bool first = true;
+    for (const auto& c : node.children) {
+      if (!first) out += ',';
+      first = false;
+      walk(*c);
+    }
+    out += "],\"spawned\":[";
+    first = true;
+    for (const ChainTree* spawned : node.spawned) {
+      for (const auto& top : spawned->root->children) {
+        if (!first) out += ',';
+        first = false;
+        walk(*top);
+      }
+    }
+    out += "]}";
+  }
+};
+
+struct HtmlWalker {
+  const ExportOptions& options;
+  std::string out;
+  std::size_t emitted{0};
+
+  static const char* kind_class(const CallNode& node) {
+    switch (node.kind) {
+      case monitor::CallKind::kSync: return "sync";
+      case monitor::CallKind::kOneway: return "oneway";
+      case monitor::CallKind::kCollocated: return "collocated";
+    }
+    return "sync";
+  }
+
+  void walk(const CallNode& node) {
+    if (options.max_nodes && emitted >= options.max_nodes) return;
+    ++emitted;
+    const bool leaf = node.children.empty() && node.spawned.empty();
+    out += leaf ? "<div class='leaf'>" : "<details open><summary>";
+    out += "<span class='" + std::string(kind_class(node)) + "'>" +
+           xml_escape(node_label(node)) + "</span>";
+    if (node.failed()) {
+      out += " <span class='fail'>" +
+             xml_escape(std::string(to_string(node.outcome()))) + "</span>";
+    }
+    if (options.show_location && !node.server_process().empty()) {
+      out += " <span class='loc'>@" +
+             xml_escape(std::string(node.server_process())) + "</span>";
+    }
+    if (options.show_latency && node.latency) {
+      out += strf(" <span class='metric'>%.1f&thinsp;&micro;s</span>",
+                  static_cast<double>(*node.latency) / 1e3);
+    }
+    if (options.show_cpu && !node.self_cpu.by_type.empty()) {
+      out += strf(" <span class='metric'>cpu %.1f+%.1f&thinsp;&micro;s</span>",
+                  static_cast<double>(node.self_cpu.total()) / 1e3,
+                  static_cast<double>(node.descendant_cpu.total()) / 1e3);
+    }
+    if (leaf) {
+      out += "</div>";
+      return;
+    }
+    out += "</summary>";
+    for (const auto& c : node.children) walk(*c);
+    for (const ChainTree* spawned : node.spawned) {
+      out += "<div class='spawn'>&#8605; spawned chain " +
+             spawned->chain.to_string() + "</div>";
+      for (const auto& top : spawned->root->children) walk(*top);
+    }
+    out += "</details>";
+  }
+};
+
+}  // namespace
+
+std::string to_text(const Dscg& dscg, const ExportOptions& options) {
+  TextWalker walker{options, {}, 0};
+  for (const ChainTree* tree : dscg.roots()) {
+    walker.out += strf("chain %s%s\n", tree->chain.to_string().c_str(),
+                       tree->anomalies.empty() ? "" : " [has anomalies]");
+    walker.walk(*tree->root, 1);
+  }
+  return std::move(walker.out);
+}
+
+std::string to_dot(const Dscg& dscg, const ExportOptions& options) {
+  DotWalker walker{options, {}, 0};
+  walker.out = "digraph DSCG {\n  node [shape=box,fontsize=10];\n";
+  for (const ChainTree* tree : dscg.roots()) {
+    walker.walk(*tree->root, 0, false);
+  }
+  walker.out += "}\n";
+  return std::move(walker.out);
+}
+
+std::string to_html(const Dscg& dscg, const ExportOptions& options) {
+  std::string out =
+      "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+      "<title>Dynamic System Call Graph</title>\n<style>\n"
+      "body{font:13px/1.5 monospace;background:#fafafa;color:#222;"
+      "margin:2em}\n"
+      "details{margin-left:1.2em;border-left:1px dotted #bbb;"
+      "padding-left:.6em}\n"
+      ".leaf{margin-left:2.2em}\n"
+      "summary{cursor:pointer}\n"
+      ".sync{color:#1a4f8a;font-weight:bold}\n"
+      ".collocated{color:#166534;font-weight:bold}\n"
+      ".oneway{color:#9a3412;font-weight:bold}\n"
+      ".loc{color:#888}\n"
+      ".metric{color:#6b21a8}\n"
+      ".fail{color:#b91c1c;font-weight:bold}\n"
+      ".spawn{color:#9a3412;margin-left:1.2em}\n"
+      ".chain{margin-top:1em;color:#555}\n"
+      "</style></head><body>\n<h2>Dynamic System Call Graph</h2>\n";
+  HtmlWalker walker{options, {}, 0};
+  for (const ChainTree* tree : dscg.roots()) {
+    walker.out += "<div class='chain'>chain " + tree->chain.to_string() +
+                  (tree->anomalies.empty() ? "" : " (has anomalies)") +
+                  "</div>\n";
+    for (const auto& top : tree->root->children) walker.walk(*top);
+    if (walker.options.max_nodes &&
+        walker.emitted >= walker.options.max_nodes) {
+      walker.out += "<div class='chain'>... truncated ...</div>";
+      break;
+    }
+  }
+  out += walker.out;
+  out += "\n</body></html>\n";
+  return out;
+}
+
+std::string to_json(const Dscg& dscg, const ExportOptions& options) {
+  JsonWalker walker{options, {}};
+  walker.out = "{\"chains\":[";
+  bool first = true;
+  for (const ChainTree* tree : dscg.roots()) {
+    if (!first) walker.out += ',';
+    first = false;
+    walker.out += strf("{\"chain\":\"%s\",\"anomalies\":%zu,\"calls\":[",
+                       tree->chain.to_string().c_str(),
+                       tree->anomalies.size());
+    bool first_call = true;
+    for (const auto& top : tree->root->children) {
+      if (!first_call) walker.out += ',';
+      first_call = false;
+      walker.walk(*top);
+    }
+    walker.out += "]}";
+  }
+  walker.out += "]}";
+  return std::move(walker.out);
+}
+
+}  // namespace causeway::analysis

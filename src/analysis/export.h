@@ -1,0 +1,32 @@
+// DSCG exporters.
+//
+// The paper browses the DSCG in a hyperbolic tree viewer (Inxight) and the
+// CCSG as XML in a browser.  Rendering is out of scope here; these exporters
+// carry the same information -- call hierarchy plus the latency / CPU
+// annotations -- as indented text (human review, golden tests), Graphviz
+// DOT, and JSON (any downstream viewer).
+#pragma once
+
+#include <string>
+
+#include "analysis/dscg.h"
+
+namespace causeway::analysis {
+
+struct ExportOptions {
+  bool show_latency{true};
+  bool show_cpu{true};
+  bool show_location{true};  // process@node annotations
+  std::size_t max_nodes{0};  // 0 = unlimited
+};
+
+std::string to_text(const Dscg& dscg, const ExportOptions& options = {});
+std::string to_dot(const Dscg& dscg, const ExportOptions& options = {});
+std::string to_json(const Dscg& dscg, const ExportOptions& options = {});
+
+// Self-contained interactive HTML: collapsible call trees with latency/CPU
+// annotations -- the closest a single file gets to the paper's hyperbolic
+// tree viewer session (Fig. 5).
+std::string to_html(const Dscg& dscg, const ExportOptions& options = {});
+
+}  // namespace causeway::analysis

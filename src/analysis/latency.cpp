@@ -1,0 +1,87 @@
+#include "analysis/latency.h"
+
+namespace causeway::analysis {
+
+using monitor::CallKind;
+using monitor::EventKind;
+using monitor::ProbeMode;
+using monitor::TraceRecord;
+
+namespace {
+
+bool latency_record(const std::optional<TraceRecord>& r) {
+  return r && r->mode == ProbeMode::kLatency;
+}
+
+// Sum of this node's probe self-durations over the probe set R(F):
+// {1,2,3,4} for sync/collocated, {1,4} for oneway (paper Sec. 3.2).
+Nanos own_probe_cost(const CallNode& node) {
+  Nanos sum = 0;
+  for (int i = 0; i < 4; ++i) {
+    const bool stub_side = (i == 0 || i == 3);
+    if (node.kind == CallKind::kOneway && !stub_side) continue;
+    if (latency_record(node.rec[i])) sum += node.rec[i]->probe_self_cost();
+  }
+  return sum;
+}
+
+// O_F: probe costs of every descendant invocation in F's window.  Spawned
+// chains run in other threads, outside the window -- excluded.
+Nanos descendant_probe_cost(const CallNode& node) {
+  Nanos sum = 0;
+  for (const auto& child : node.children) {
+    sum += own_probe_cost(*child) + descendant_probe_cost(*child);
+  }
+  return sum;
+}
+
+void annotate_node(CallNode& node, LatencyReport& report) {
+  for (auto& child : node.children) annotate_node(*child, report);
+
+  if (node.is_virtual_root()) return;
+
+  const std::optional<TraceRecord>*first = nullptr, *last = nullptr;
+  switch (node.kind) {
+    case CallKind::kSync:
+      first = &node.record(EventKind::kStubStart);
+      last = &node.record(EventKind::kStubEnd);
+      break;
+    case CallKind::kCollocated:
+      first = &node.record(EventKind::kSkelStart);
+      last = &node.record(EventKind::kSkelEnd);
+      break;
+    case CallKind::kOneway:
+      if (node.record(EventKind::kStubStart)) {
+        first = &node.record(EventKind::kStubStart);
+        last = &node.record(EventKind::kStubEnd);
+      } else {  // skeleton side of the spawned chain
+        first = &node.record(EventKind::kSkelStart);
+        last = &node.record(EventKind::kSkelEnd);
+      }
+      break;
+  }
+
+  if (!latency_record(*first) || !latency_record(*last)) {
+    ++report.skipped;
+    return;
+  }
+
+  const Nanos raw = (*last)->value_start - (*first)->value_end;
+  const Nanos overhead = descendant_probe_cost(node);
+  node.raw_latency = raw;
+  node.latency_overhead = overhead;
+  node.latency = raw - overhead;
+  ++report.annotated;
+}
+
+}  // namespace
+
+LatencyReport annotate_latency(Dscg& dscg) {
+  LatencyReport report;
+  for (const auto& tree : dscg.chains()) {
+    annotate_node(*tree->root, report);
+  }
+  return report;
+}
+
+}  // namespace causeway::analysis

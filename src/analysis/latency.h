@@ -1,0 +1,34 @@
+// End-to-end timing latency (paper Sec. 3.2).
+//
+// For a synchronous or oneway(stub-side) call:
+//     L(F) = P_{F,4,start} - P_{F,1,end} - O_F
+// For a collocated or oneway(skeleton-side) call:
+//     L(F) = P_{F,3,start} - P_{F,2,end} - O_F
+//
+// Both formulas difference two samples taken in the *same* process domain
+// (the stub pair lives with the client, the skeleton pair with the server),
+// which is why no global clock synchronization is ever needed.
+//
+// O_F is the monitoring overhead correction: the sum of the probe
+// self-durations of F's descendant invocations, where a descendant
+// contributes its probes R = {1,2,3,4} if synchronous/collocated and
+// R = {1,4} if oneway (the oneway callee's skeleton probes run in another
+// thread, outside F's measured window).  F's own probes 2/3 are *inside* the
+// stub-to-stub window and are intentionally not subtracted -- the residual
+// is the accuracy gap the paper quantifies in its PPS experiment.
+#pragma once
+
+#include "analysis/dscg.h"
+
+namespace causeway::analysis {
+
+struct LatencyReport {
+  std::size_t annotated{0};  // nodes with a computed latency
+  std::size_t skipped{0};    // partial nodes / wrong probe mode
+};
+
+// Annotates every node of the DSCG with latency / raw_latency / overhead.
+// Requires the database to have been captured in ProbeMode::kLatency.
+LatencyReport annotate_latency(Dscg& dscg);
+
+}  // namespace causeway::analysis

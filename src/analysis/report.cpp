@@ -1,0 +1,253 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/cpu.h"
+#include "analysis/critical_path.h"
+#include "analysis/latency.h"
+#include "analysis/stats.h"
+#include "analysis/topology.h"
+#include "common/strings.h"
+
+namespace causeway::analysis {
+namespace {
+
+using monitor::ProbeMode;
+
+struct FunctionRow {
+  std::size_t calls{0};
+  std::size_t failures{0};
+  std::vector<double> latency_us;
+  Nanos self_cpu{0};
+  Nanos desc_cpu{0};
+};
+
+struct SlowCall {
+  double latency_us{0};
+  std::string label;
+};
+
+std::string sv(std::string_view s) { return std::string(s); }
+
+}  // namespace
+
+std::string characterization_report(Dscg& dscg, const LogDatabase& db,
+                                    const ReportOptions& options) {
+  const ProbeMode mode = db.primary_mode();
+  if (mode == ProbeMode::kLatency) {
+    annotate_latency(dscg);
+  } else if (mode == ProbeMode::kCpu) {
+    annotate_cpu(dscg);
+  }
+
+  // --- gather ---
+  struct EdgeRow {
+    std::size_t calls{0};
+    Nanos latency_sum{0};
+    std::size_t latency_count{0};
+  };
+  std::map<std::string, FunctionRow> functions;
+  std::map<std::string, std::size_t> process_calls;
+  std::map<std::pair<std::string, std::string>, EdgeRow> edges;
+  std::map<std::string, Nanos> cpu_by_type;
+  std::vector<SlowCall> slow;
+  std::size_t failures = 0;
+
+  dscg.visit([&](const CallNode& node, int) {
+    FunctionRow& row =
+        functions[sv(node.interface_name) + "::" + sv(node.function_name)];
+    row.calls += 1;
+    if (node.failed()) {
+      row.failures += 1;
+      ++failures;
+    }
+    if (node.latency) {
+      row.latency_us.push_back(static_cast<double>(*node.latency) / 1e3);
+      slow.push_back({static_cast<double>(*node.latency) / 1e3,
+                      sv(node.interface_name) + "::" +
+                          sv(node.function_name) + " @" +
+                          sv(node.server_process())});
+    }
+    row.self_cpu += node.self_cpu.total();
+    row.desc_cpu += node.descendant_cpu.total();
+    for (const auto& [type, ns] : node.self_cpu.by_type) {
+      cpu_by_type[sv(type)] += ns;
+    }
+    if (!node.server_process().empty()) {
+      process_calls[sv(node.server_process())] += 1;
+    }
+    // Cross-process invocation edges: caller (stub side) -> callee (skel).
+    const auto& stub = node.record(monitor::EventKind::kStubStart);
+    const auto& skel = node.record(monitor::EventKind::kSkelStart);
+    if (stub && skel && stub->process_name != skel->process_name) {
+      EdgeRow& edge = edges[{sv(stub->process_name), sv(skel->process_name)}];
+      edge.calls += 1;
+      if (node.latency) {
+        edge.latency_sum += *node.latency;
+        edge.latency_count += 1;
+      }
+    }
+  });
+
+  // --- render ---
+  std::string out;
+  out += "==================== characterization report ====================\n";
+  out += strf("records: %zu   chains: %zu   calls: %zu   anomalies: %zu   "
+              "failures: %zu\n",
+              db.size(), dscg.chains().size(), dscg.call_count(),
+              dscg.anomaly_count(), failures);
+  out += strf("probe mode: %s   processor types: %zu   domains: %zu\n",
+              sv(to_string(mode)).c_str(), db.processor_types().size(),
+              db.domains().size());
+
+  const TopologyStats topo = compute_topology(dscg);
+  out += strf(
+      "topology: depth max/mean %zu/%.1f   fanout max/mean %zu/%.1f\n"
+      "          sync %zu, oneway %zu, collocated %zu; cross-process %zu, "
+      "cross-thread %zu, cross-processor %zu\n"
+      "          %zu interfaces, %zu functions, %zu objects\n\n",
+      topo.max_depth, topo.mean_depth, topo.max_fanout, topo.mean_fanout,
+      topo.sync_calls, topo.oneway_calls, topo.collocated_calls,
+      topo.cross_process, topo.cross_thread, topo.cross_processor,
+      topo.interfaces, topo.functions, topo.objects);
+
+  out += "--- per function ---\n";
+  if (mode == ProbeMode::kCpu) {
+    out += strf("%-40s %8s %6s %14s %14s\n", "function", "calls", "fail",
+                "self cpu us", "desc cpu us");
+    for (const auto& [name, row] : functions) {
+      out += strf("%-40s %8zu %6zu %14.1f %14.1f\n", name.c_str(), row.calls,
+                  row.failures, static_cast<double>(row.self_cpu) / 1e3,
+                  static_cast<double>(row.desc_cpu) / 1e3);
+    }
+  } else {
+    out += strf("%-40s %8s %6s %10s %10s %10s\n", "function", "calls", "fail",
+                "mean us", "p50 us", "p90 us");
+    for (auto& [name, row] : functions) {
+      const Summary s = summarize(std::move(row.latency_us));
+      out += strf("%-40s %8zu %6zu %10.1f %10.1f %10.1f\n", name.c_str(),
+                  row.calls, row.failures, s.mean, s.p50, s.p90);
+    }
+  }
+
+  out += "\n--- calls served per process ---\n";
+  for (const auto& [process, calls] : process_calls) {
+    out += strf("%-24s %8zu\n", process.c_str(), calls);
+  }
+
+  if (mode == ProbeMode::kCpu && !cpu_by_type.empty()) {
+    out += "\n--- self CPU per processor type (the <C1..CM> axes) ---\n";
+    for (const auto& [type, ns] : cpu_by_type) {
+      out += strf("%-24s %12.1f us\n", type.c_str(),
+                  static_cast<double>(ns) / 1e3);
+    }
+  }
+
+  if (!edges.empty()) {
+    out += "\n--- cross-process invocations (caller -> callee) ---\n";
+    for (const auto& [edge, row] : edges) {
+      out += strf("%-20s -> %-20s %8zu", edge.first.c_str(),
+                  edge.second.c_str(), row.calls);
+      if (row.latency_count > 0) {
+        out += strf("   mean %10.1f us",
+                    static_cast<double>(row.latency_sum) / 1e3 /
+                        static_cast<double>(row.latency_count));
+      }
+      out += "\n";
+    }
+  }
+
+  if (!slow.empty() && options.top_slowest > 0) {
+    out += "\n--- slowest calls (end-to-end, overhead-corrected) ---\n";
+    std::sort(slow.begin(), slow.end(),
+              [](const SlowCall& a, const SlowCall& b) {
+                return a.latency_us > b.latency_us;
+              });
+    const std::size_t n = std::min(options.top_slowest, slow.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out += strf("%10.1f us  %s\n", slow[i].latency_us,
+                  slow[i].label.c_str());
+    }
+  }
+
+  if (mode == ProbeMode::kLatency) {
+    const auto paths = critical_paths(dscg);
+    if (!paths.empty() && !paths.front().steps.empty()) {
+      const CriticalPath& worst = paths.front();
+      out += "\n--- critical path of the slowest transaction ---\n";
+      out += worst.to_string();
+      if (const CriticalStep* hot = worst.dominant()) {
+        out += strf("dominant frame: %s::%s (%.1f us exclusive of %.1f us "
+                    "end-to-end)\n",
+                    sv(hot->node->interface_name).c_str(),
+                    sv(hot->node->function_name).c_str(),
+                    static_cast<double>(hot->exclusive) / 1e3,
+                    static_cast<double>(worst.total()) / 1e3);
+      }
+    }
+  }
+
+  std::size_t anomaly_lines = 0;
+  for (const auto& tree : dscg.chains()) {
+    for (const auto& a : tree->anomalies) {
+      if (anomaly_lines == 0) out += "\n--- anomalies ---\n";
+      if (anomaly_lines++ >= options.max_anomalies) break;
+      out += strf("chain %s seq %llu: %s\n",
+                  tree->chain.to_string().c_str(),
+                  static_cast<unsigned long long>(a.seq), a.reason.c_str());
+    }
+    if (anomaly_lines > options.max_anomalies) break;
+  }
+  if (anomaly_lines > options.max_anomalies) {
+    out += strf("... (%zu anomalies total)\n", dscg.anomaly_count());
+  }
+  return out;
+}
+
+std::string summary_json(Dscg& dscg, const LogDatabase& db) {
+  const ProbeMode mode = db.primary_mode();
+  if (mode == ProbeMode::kLatency) {
+    annotate_latency(dscg);
+  } else if (mode == ProbeMode::kCpu) {
+    annotate_cpu(dscg);
+  }
+
+  std::size_t failures = 0;
+  std::vector<double> top_latency_us;
+  Nanos total_self_cpu = 0;
+  dscg.visit([&](const CallNode& node, int depth) {
+    if (node.failed()) ++failures;
+    if (depth == 0 && node.latency) {
+      top_latency_us.push_back(static_cast<double>(*node.latency) / 1e3);
+    }
+    total_self_cpu += node.self_cpu.total();
+  });
+  const TopologyStats topo = compute_topology(dscg);
+  const Summary latency = summarize(std::move(top_latency_us));
+
+  std::string out = "{";
+  out += strf("\"records\":%zu,\"chains\":%zu,\"calls\":%zu,", db.size(),
+              dscg.chains().size(), dscg.call_count());
+  out += strf("\"anomalies\":%zu,\"failures\":%zu,", dscg.anomaly_count(),
+              failures);
+  out += strf("\"mode\":\"%s\",", sv(to_string(mode)).c_str());
+  out += strf(
+      "\"topology\":{\"max_depth\":%zu,\"mean_depth\":%.3f,"
+      "\"max_fanout\":%zu,\"sync\":%zu,\"oneway\":%zu,\"collocated\":%zu,"
+      "\"cross_process\":%zu,\"cross_thread\":%zu,\"interfaces\":%zu,"
+      "\"functions\":%zu,\"objects\":%zu},",
+      topo.max_depth, topo.mean_depth, topo.max_fanout, topo.sync_calls,
+      topo.oneway_calls, topo.collocated_calls, topo.cross_process,
+      topo.cross_thread, topo.interfaces, topo.functions, topo.objects);
+  out += strf(
+      "\"transaction_latency_us\":{\"count\":%zu,\"mean\":%.3f,"
+      "\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f},",
+      latency.count, latency.mean, latency.p50, latency.p90, latency.p99);
+  out += strf("\"total_self_cpu_us\":%.3f",
+              static_cast<double>(total_self_cpu) / 1e3);
+  out += "}";
+  return out;
+}
+
+}  // namespace causeway::analysis

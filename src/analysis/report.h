@@ -1,0 +1,33 @@
+// The characterization report: the analyzer's human-facing summary.
+//
+// Renders, per run, what paper Sec. 3 computes: the reconstruction summary,
+// per-function behaviour (latency or CPU depending on the run's probe mode,
+// plus failure counts from semantics capture), where work executed (per
+// process / processor type), the cross-process invocation matrix (the
+// "dynamic system topology in terms of interface method invocation"), the
+// slowest end-to-end calls, and any abnormal-transition findings.
+#pragma once
+
+#include <string>
+
+#include "analysis/database.h"
+#include "analysis/dscg.h"
+
+namespace causeway::analysis {
+
+struct ReportOptions {
+  std::size_t top_slowest{8};    // rows in the slowest-calls table
+  std::size_t max_anomalies{8};  // anomaly lines before eliding
+};
+
+// Requires Dscg::build(db); runs latency/CPU annotation itself if the
+// database's primary probe mode calls for it and nodes are unannotated.
+std::string characterization_report(Dscg& dscg, const LogDatabase& db,
+                                    const ReportOptions& options = {});
+
+// Machine-readable headline metrics (counts, topology, latency/CPU
+// aggregates) as a single JSON object -- for CI dashboards and regression
+// tracking of monitored systems.
+std::string summary_json(Dscg& dscg, const LogDatabase& db);
+
+}  // namespace causeway::analysis

@@ -1,0 +1,79 @@
+#include "analysis/timeline.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace causeway::analysis {
+
+std::vector<TimelineEntry> build_timeline(const Dscg& dscg) {
+  std::vector<TimelineEntry> entries;
+  dscg.visit([&](const CallNode& node, int) {
+    const auto& skel_start = node.record(monitor::EventKind::kSkelStart);
+    const auto& skel_end = node.record(monitor::EventKind::kSkelEnd);
+    if (!skel_start || !skel_end) return;
+    if (skel_start->mode != monitor::ProbeMode::kLatency) return;
+
+    TimelineEntry entry;
+    entry.process = skel_start->process_name;
+    entry.thread = skel_start->thread_ordinal;
+    entry.interface_name = node.interface_name;
+    entry.function_name = node.function_name;
+    entry.start = skel_start->value_end;
+    entry.end = skel_end->value_start;
+    entry.chain = skel_start->chain;
+    entry.kind = node.kind;
+    entries.push_back(entry);
+  });
+
+  std::sort(entries.begin(), entries.end(),
+            [](const TimelineEntry& a, const TimelineEntry& b) {
+              if (a.process != b.process) return a.process < b.process;
+              if (a.thread != b.thread) return a.thread < b.thread;
+              return a.start < b.start;
+            });
+  return entries;
+}
+
+std::string timeline_to_text(const std::vector<TimelineEntry>& entries) {
+  std::string out;
+  std::string_view lane_process;
+  std::uint64_t lane_thread = 0;
+  bool first = true;
+  for (const auto& e : entries) {
+    if (first || e.process != lane_process || e.thread != lane_thread) {
+      out += strf("== %s / thread %llu ==\n",
+                  std::string(e.process).c_str(),
+                  static_cast<unsigned long long>(e.thread));
+      lane_process = e.process;
+      lane_thread = e.thread;
+      first = false;
+    }
+    out += strf("[%12lld .. %12lld]  %s::%s [%s] (chain %s)\n",
+                static_cast<long long>(e.start),
+                static_cast<long long>(e.end),
+                std::string(e.interface_name).c_str(),
+                std::string(e.function_name).c_str(),
+                std::string(to_string(e.kind)).c_str(),
+                e.chain.to_string().substr(0, 8).c_str());
+  }
+  return out;
+}
+
+std::string timeline_to_csv(const std::vector<TimelineEntry>& entries) {
+  std::string out =
+      "process,thread,interface,function,kind,start_ns,end_ns,chain\n";
+  for (const auto& e : entries) {
+    out += strf("%s,%llu,%s,%s,%s,%lld,%lld,%s\n",
+                std::string(e.process).c_str(),
+                static_cast<unsigned long long>(e.thread),
+                std::string(e.interface_name).c_str(),
+                std::string(e.function_name).c_str(),
+                std::string(to_string(e.kind)).c_str(),
+                static_cast<long long>(e.start),
+                static_cast<long long>(e.end), e.chain.to_string().c_str());
+  }
+  return out;
+}
+
+}  // namespace causeway::analysis

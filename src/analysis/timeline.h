@@ -1,0 +1,48 @@
+// Per-thread execution timelines.
+//
+// OVATION (paper §5) presents "object method calls ... in a sequence chart
+// with respect to time progressing, along with their corresponding runtime
+// execution entities (thread, process, and host)" -- but without causality
+// it cannot relate the intervals.  This module derives the same view from
+// the DSCG, where every interval additionally knows its causal chain: for
+// each call with skeleton records, the server-side execution window
+// [P2.end, P3.start] on its (process, thread), in that domain's local time.
+//
+// Within one (process, thread) lane the windows of a latency-mode run nest
+// or sequence cleanly; timestamps are never compared across processes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/dscg.h"
+
+namespace causeway::analysis {
+
+struct TimelineEntry {
+  std::string_view process;
+  std::uint64_t thread{0};
+  std::string_view interface_name;
+  std::string_view function_name;
+  Nanos start{0};  // P2.end   (domain-local)
+  Nanos end{0};    // P3.start (domain-local)
+  Uuid chain;
+  monitor::CallKind kind{monitor::CallKind::kSync};
+
+  Nanos span() const { return end - start; }
+};
+
+// Entries sorted by (process, thread, start).  Only calls whose skeleton
+// pair was captured in latency mode appear (CPU-mode values are not
+// timestamps).
+std::vector<TimelineEntry> build_timeline(const Dscg& dscg);
+
+// Lane-per-thread rendering:
+//   == procB / thread 2 ==
+//   [     1200 ..     3400]  PPS::Parser::parse (chain 1a2b..)
+std::string timeline_to_text(const std::vector<TimelineEntry>& entries);
+
+// One row per entry: process,thread,interface,function,kind,start,end,chain
+std::string timeline_to_csv(const std::vector<TimelineEntry>& entries);
+
+}  // namespace causeway::analysis

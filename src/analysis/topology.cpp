@@ -1,0 +1,69 @@
+#include "analysis/topology.h"
+
+#include <set>
+#include <string>
+
+namespace causeway::analysis {
+
+TopologyStats compute_topology(const Dscg& dscg) {
+  TopologyStats stats;
+  stats.chains = dscg.chains().size();
+
+  std::set<std::string_view> interfaces;
+  std::set<std::pair<std::string_view, std::string_view>> functions;
+  std::set<std::pair<std::string_view, std::uint64_t>> objects;
+  std::size_t depth_sum = 0;
+  std::size_t fanout_sum = 0;
+  std::size_t non_leaf = 0;
+
+  dscg.visit([&](const CallNode& node, int depth) {
+    ++stats.calls;
+    const auto d = static_cast<std::size_t>(depth) + 1;
+    depth_sum += d;
+    stats.max_depth = std::max(stats.max_depth, d);
+
+    const std::size_t fanout = node.children.size() + node.spawned.size();
+    stats.max_fanout = std::max(stats.max_fanout, fanout);
+    if (fanout > 0) {
+      fanout_sum += fanout;
+      ++non_leaf;
+    }
+
+    switch (node.kind) {
+      case monitor::CallKind::kSync: ++stats.sync_calls; break;
+      case monitor::CallKind::kOneway:
+        if (node.record(monitor::EventKind::kStubStart)) ++stats.oneway_calls;
+        break;
+      case monitor::CallKind::kCollocated: ++stats.collocated_calls; break;
+    }
+
+    const auto& stub = node.record(monitor::EventKind::kStubStart);
+    const auto& skel = node.record(monitor::EventKind::kSkelStart);
+    if (stub && skel) {
+      if (stub->process_name != skel->process_name) ++stats.cross_process;
+      if (stub->thread_ordinal != skel->thread_ordinal) ++stats.cross_thread;
+      if (stub->processor_type != skel->processor_type) {
+        ++stats.cross_processor;
+      }
+    }
+
+    interfaces.insert(node.interface_name);
+    functions.insert({node.interface_name, node.function_name});
+    objects.insert({node.interface_name, node.object_key});
+  });
+
+  stats.interfaces = interfaces.size();
+  stats.functions = functions.size();
+  stats.objects = objects.size();
+  if (stats.calls > 0) {
+    stats.mean_depth =
+        static_cast<double>(depth_sum) / static_cast<double>(stats.calls);
+  }
+  if (non_leaf > 0) {
+    stats.mean_fanout =
+        static_cast<double>(fanout_sum) / static_cast<double>(non_leaf);
+  }
+  return stats;
+}
+
+}  // namespace causeway::analysis

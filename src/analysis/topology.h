@@ -1,0 +1,41 @@
+// Dynamic system topology statistics.
+//
+// The paper's summary claims "end-to-end capture of dynamic system topology
+// in terms of interface method invocation".  This module quantifies that
+// topology over a reconstructed DSCG: call-tree depth and fan-out, how many
+// invocations crossed a thread / process / processor boundary, and the mix
+// of call kinds -- the numbers a reviewer reads off Fig. 5's tree at a
+// glance.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/dscg.h"
+
+namespace causeway::analysis {
+
+struct TopologyStats {
+  std::size_t calls{0};
+  std::size_t chains{0};
+
+  std::size_t max_depth{0};      // deepest call frame (roots are depth 1)
+  double mean_depth{0};
+  std::size_t max_fanout{0};     // most children under one call
+  double mean_fanout{0};         // over non-leaf calls
+
+  std::size_t sync_calls{0};
+  std::size_t oneway_calls{0};   // stub-side spawn points
+  std::size_t collocated_calls{0};
+
+  std::size_t cross_process{0};    // stub and skeleton in different processes
+  std::size_t cross_thread{0};     // ... different threads (same process ok)
+  std::size_t cross_processor{0};  // ... different processor types
+
+  std::size_t interfaces{0};     // distinct interfaces invoked
+  std::size_t functions{0};      // distinct (interface, function) pairs
+  std::size_t objects{0};        // distinct (interface, object key) pairs
+};
+
+TopologyStats compute_topology(const Dscg& dscg);
+
+}  // namespace causeway::analysis

@@ -1,0 +1,195 @@
+#include "analysis/trace_io.h"
+
+#include <fstream>
+#include <map>
+
+#include "common/wire.h"
+
+namespace causeway::analysis {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43575452;  // "CWTR"
+constexpr std::uint32_t kVersion = 2;
+
+class StringTable {
+ public:
+  std::uint32_t id_of(std::string_view s) {
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  void encode(WireBuffer& out) const {
+    out.write_u32(static_cast<std::uint32_t>(strings_.size()));
+    for (const auto& s : strings_) out.write_string(s);
+  }
+
+ private:
+  std::deque<std::string> strings_;
+  std::map<std::string_view, std::uint32_t> ids_;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_trace(const monitor::CollectedLogs& logs) {
+  StringTable table;
+  // Pre-intern so the table is complete before we emit record bodies.
+  struct DomainIds {
+    std::uint32_t process, node, type;
+  };
+  std::vector<DomainIds> domain_ids;
+  domain_ids.reserve(logs.domains.size());
+  for (const auto& d : logs.domains) {
+    domain_ids.push_back({table.id_of(d.identity.process_name),
+                          table.id_of(d.identity.node_name),
+                          table.id_of(d.identity.processor_type)});
+  }
+  struct RecordIds {
+    std::uint32_t iface, func, process, node, type;
+  };
+  std::vector<RecordIds> record_ids;
+  record_ids.reserve(logs.records.size());
+  for (const auto& r : logs.records) {
+    record_ids.push_back({table.id_of(r.interface_name),
+                          table.id_of(r.function_name),
+                          table.id_of(r.process_name),
+                          table.id_of(r.node_name),
+                          table.id_of(r.processor_type)});
+  }
+
+  WireBuffer out;
+  out.write_u32(kMagic);
+  out.write_u32(kVersion);
+
+  out.write_u32(static_cast<std::uint32_t>(logs.domains.size()));
+  for (std::size_t i = 0; i < logs.domains.size(); ++i) {
+    out.write_u32(domain_ids[i].process);
+    out.write_u32(domain_ids[i].node);
+    out.write_u32(domain_ids[i].type);
+    out.write_u8(static_cast<std::uint8_t>(logs.domains[i].mode));
+    out.write_u64(logs.domains[i].record_count);
+  }
+
+  table.encode(out);
+
+  out.write_u64(logs.records.size());
+  for (std::size_t i = 0; i < logs.records.size(); ++i) {
+    const auto& r = logs.records[i];
+    const auto& ids = record_ids[i];
+    out.write_u64(r.chain.hi);
+    out.write_u64(r.chain.lo);
+    out.write_u64(r.seq);
+    out.write_u8(static_cast<std::uint8_t>(r.event));
+    out.write_u8(static_cast<std::uint8_t>(r.kind));
+    out.write_u8(static_cast<std::uint8_t>(r.outcome));
+    out.write_u64(r.spawned_chain.hi);
+    out.write_u64(r.spawned_chain.lo);
+    out.write_u32(ids.iface);
+    out.write_u32(ids.func);
+    out.write_u64(r.object_key);
+    out.write_u32(ids.process);
+    out.write_u32(ids.node);
+    out.write_u32(ids.type);
+    out.write_u64(r.thread_ordinal);
+    out.write_u8(static_cast<std::uint8_t>(r.mode));
+    out.write_i64(r.value_start);
+    out.write_i64(r.value_end);
+  }
+  return std::move(out).take();
+}
+
+std::size_t decode_trace(const std::vector<std::uint8_t>& bytes,
+                         LogDatabase& db) {
+  try {
+    WireCursor in(bytes.data(), bytes.size());
+    if (in.read_u32() != kMagic) throw TraceIoError("not a causeway trace");
+    const std::uint32_t version = in.read_u32();
+    if (version != kVersion) {
+      throw TraceIoError("unsupported trace version " +
+                         std::to_string(version));
+    }
+
+    struct RawDomain {
+      std::uint32_t process, node, type;
+      std::uint8_t mode;
+      std::uint64_t count;
+    };
+    std::vector<RawDomain> raw_domains(in.read_u32());
+    for (auto& d : raw_domains) {
+      d.process = in.read_u32();
+      d.node = in.read_u32();
+      d.type = in.read_u32();
+      d.mode = in.read_u8();
+      d.count = in.read_u64();
+    }
+
+    std::vector<std::string> strings(in.read_u32());
+    for (auto& s : strings) s = in.read_string();
+    auto str = [&](std::uint32_t id) -> std::string_view {
+      if (id >= strings.size()) throw TraceIoError("string id out of range");
+      return strings[id];
+    };
+
+    monitor::CollectedLogs logs;
+    for (const auto& d : raw_domains) {
+      logs.domains.push_back(
+          {monitor::DomainIdentity{std::string(str(d.process)),
+                                   std::string(str(d.node)),
+                                   std::string(str(d.type))},
+           static_cast<monitor::ProbeMode>(d.mode), d.count});
+    }
+
+    const std::uint64_t count = in.read_u64();
+    logs.records.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      monitor::TraceRecord r;
+      r.chain.hi = in.read_u64();
+      r.chain.lo = in.read_u64();
+      r.seq = in.read_u64();
+      r.event = static_cast<monitor::EventKind>(in.read_u8());
+      r.kind = static_cast<monitor::CallKind>(in.read_u8());
+      r.outcome = static_cast<monitor::CallOutcome>(in.read_u8());
+      r.spawned_chain.hi = in.read_u64();
+      r.spawned_chain.lo = in.read_u64();
+      r.interface_name = str(in.read_u32());
+      r.function_name = str(in.read_u32());
+      r.object_key = in.read_u64();
+      r.process_name = str(in.read_u32());
+      r.node_name = str(in.read_u32());
+      r.processor_type = str(in.read_u32());
+      r.thread_ordinal = in.read_u64();
+      r.mode = static_cast<monitor::ProbeMode>(in.read_u8());
+      r.value_start = in.read_i64();
+      r.value_end = in.read_i64();
+      logs.records.push_back(r);
+    }
+    // Ingest while `strings` is still alive; the database interns copies.
+    db.ingest(logs);
+    return logs.records.size();
+  } catch (const WireError& e) {
+    throw TraceIoError(std::string("corrupt trace: ") + e.what());
+  }
+}
+
+void write_trace_file(const std::string& path,
+                      const monitor::CollectedLogs& logs) {
+  const auto bytes = encode_trace(logs);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw TraceIoError("cannot open '" + path + "' for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw TraceIoError("short write to '" + path + "'");
+}
+
+std::size_t read_trace_file(const std::string& path, LogDatabase& db) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceIoError("cannot open '" + path + "'");
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return decode_trace(bytes, db);
+}
+
+}  // namespace causeway::analysis

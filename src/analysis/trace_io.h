@@ -1,0 +1,44 @@
+// Trace files: durable storage between the collector and the analyzer.
+//
+// The paper's workflow is explicitly two-phase: probes log locally at run
+// time; "when the application ceases to exist or reaches a quiescent state,
+// the scattered logs are collected and eventually synthesized into a
+// relational database" for off-line analysis.  Trace files are that seam as
+// a real artifact: `causeway-record` writes one per run, `causeway-analyze`
+// reads any number of them back.
+//
+// Format (all little-endian, strings via a shared string table):
+//   "CWTR" magic, u32 version
+//   u32 domain count; per domain: process/node/type string ids, u8 mode,
+//     u64 record count
+//   u32 string count; length-prefixed strings
+//   u64 record count; fixed-layout records referencing the string table
+#pragma once
+
+#include <string>
+
+#include "analysis/database.h"
+#include "monitor/collector.h"
+
+namespace causeway::analysis {
+
+class TraceIoError : public std::runtime_error {
+ public:
+  explicit TraceIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Serializes a collector bundle.  Throws TraceIoError on I/O failure.
+void write_trace_file(const std::string& path,
+                      const monitor::CollectedLogs& logs);
+
+// Parses a trace file and ingests everything into `db` (which interns all
+// strings, so nothing dangles).  Returns the number of records ingested.
+// Throws TraceIoError on missing/corrupt files.
+std::size_t read_trace_file(const std::string& path, LogDatabase& db);
+
+// In-memory variants (testing, transport over other channels).
+std::vector<std::uint8_t> encode_trace(const monitor::CollectedLogs& logs);
+std::size_t decode_trace(const std::vector<std::uint8_t>& bytes,
+                         LogDatabase& db);
+
+}  // namespace causeway::analysis

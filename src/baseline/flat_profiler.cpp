@@ -1,0 +1,73 @@
+#include "baseline/flat_profiler.h"
+
+#include "common/cpu.h"
+
+namespace causeway::baseline {
+namespace {
+
+struct Frame {
+  std::string function;
+  Nanos cpu_at_entry{0};
+  Nanos child_cpu{0};
+};
+
+thread_local std::vector<Frame> t_stack;
+
+}  // namespace
+
+FlatProfiler::Scope::Scope(FlatProfiler& profiler, std::string_view function)
+    : profiler_(profiler) {
+  t_stack.push_back(Frame{std::string(function), thread_cpu_now_ns(), 0});
+}
+
+FlatProfiler::Scope::~Scope() {
+  Frame frame = std::move(t_stack.back());
+  t_stack.pop_back();
+  const Nanos total = thread_cpu_now_ns() - frame.cpu_at_entry;
+  const Nanos self = total - frame.child_cpu;
+  std::string caller;
+  if (!t_stack.empty()) {
+    caller = t_stack.back().function;
+    t_stack.back().child_cpu += total;
+  }
+  profiler_.record(caller, frame.function, self);
+}
+
+void FlatProfiler::record(const std::string& caller,
+                          const std::string& callee, Nanos self_cpu) {
+  std::lock_guard lock(mu_);
+  arcs_[{caller, callee}] += 1;
+  Entry& e = entries_[callee];
+  e.function = callee;
+  e.calls += 1;
+  e.self_cpu += self_cpu;
+}
+
+std::vector<FlatProfiler::Entry> FlatProfiler::flat_profile() const {
+  std::lock_guard lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+std::vector<FlatProfiler::Arc> FlatProfiler::arcs() const {
+  std::lock_guard lock(mu_);
+  std::vector<Arc> out;
+  out.reserve(arcs_.size());
+  for (const auto& [key, calls] : arcs_) {
+    out.push_back({key.first, key.second, calls});
+  }
+  return out;
+}
+
+std::size_t FlatProfiler::orphan_roots() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, calls] : arcs_) {
+    if (key.first.empty()) n += calls;
+  }
+  return n;
+}
+
+}  // namespace causeway::baseline

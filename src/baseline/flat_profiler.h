@@ -1,0 +1,67 @@
+// GPROF-like flat profiler baseline.
+//
+// "Execution profiler GPROF merely reports the callee-caller propagation of
+// CPU utilization within the same thread context" (paper Sec. 1) and
+// "maintains the relationship with call-depth of 1" (Sec. 3.1).  This
+// baseline reproduces that behaviour: a thread-local shadow stack records
+// caller->callee arcs of depth 1 with self-CPU attribution -- and, by
+// construction, loses every arc that crosses a thread, process or processor
+// boundary.  Benchmarks contrast its output with the DSCG on identical
+// workloads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace causeway::baseline {
+
+class FlatProfiler {
+ public:
+  // RAII frame: enters `function` on the calling thread's shadow stack.
+  class Scope {
+   public:
+    Scope(FlatProfiler& profiler, std::string_view function);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    FlatProfiler& profiler_;
+  };
+
+  struct Arc {
+    std::string caller;  // "" for a root frame on its thread
+    std::string callee;
+    std::uint64_t calls{0};
+  };
+
+  struct Entry {
+    std::string function;
+    std::uint64_t calls{0};
+    Nanos self_cpu{0};
+  };
+
+  std::vector<Entry> flat_profile() const;
+  std::vector<Arc> arcs() const;
+
+  // Arcs whose caller is "" -- frames whose true caller ran on another
+  // thread/process and is therefore invisible to a gprof-style tool.
+  std::size_t orphan_roots() const;
+
+ private:
+  friend class Scope;
+  void record(const std::string& caller, const std::string& callee,
+              Nanos self_cpu);
+
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, std::uint64_t> arcs_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace causeway::baseline

@@ -1,0 +1,41 @@
+#include "baseline/interceptor.h"
+
+namespace causeway::baseline {
+
+CorrelationResult correlate_by_time(
+    const std::vector<AnchorRecord>& records) {
+  CorrelationResult result;
+  result.parent.assign(records.size(), std::nullopt);
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const AnchorRecord& child = records[i];
+    std::optional<std::size_t> best;
+    Nanos best_span = 0;
+    for (std::size_t j = 0; j < records.size(); ++j) {
+      if (j == i) continue;
+      const AnchorRecord& parent = records[j];
+      // The child's client-side activity must nest inside the candidate's
+      // servant-side activity, on the same thread of the same process --
+      // the only correlation signal an anchor-only interceptor has.
+      if (parent.servant_process != child.client_process) continue;
+      if (parent.servant_thread != child.client_thread) continue;
+      if (parent.servant_pre <= child.client_pre &&
+          child.client_post <= parent.servant_post) {
+        const Nanos span = parent.servant_post - parent.servant_pre;
+        if (!best || span < best_span) {
+          best = j;
+          best_span = span;
+        }
+      }
+    }
+    result.parent[i] = best;
+    if (best) {
+      ++result.resolved;
+    } else {
+      ++result.unresolved;
+    }
+  }
+  return result;
+}
+
+}  // namespace causeway::baseline

@@ -1,0 +1,50 @@
+// OVATION-like interceptor baseline: four timing anchors, no causality.
+//
+// OVATION "provides four different timing anchors: client pre/post-invoke,
+// servant pre/post-invoke ... The major difference to our work is that it
+// does not provide global causality capture.  As the result, for each method
+// invocation ... the tool cannot determine how this particular invocation is
+// related to the rest of method invocations" (paper Sec. 5).
+//
+// This baseline records anchor quadruples *without* UUID or event number and
+// then tries the best available correlation heuristic -- time containment
+// within the same thread -- to rebuild nesting.  Cross-thread edges are
+// unresolvable in principle; same-thread edges become ambiguous as soon as
+// concurrency or clock jitter appears.  Benchmarks count how many parent
+// links it gets right vs the DSCG's ground truth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace causeway::baseline {
+
+struct AnchorRecord {
+  std::string function;
+  std::uint64_t client_thread{0};
+  std::uint64_t servant_thread{0};
+  std::string client_process;
+  std::string servant_process;
+  Nanos client_pre{0};    // client pre-invoke
+  Nanos servant_pre{0};   // servant pre-invoke
+  Nanos servant_post{0};  // servant post-invoke
+  Nanos client_post{0};   // client post-invoke
+};
+
+struct CorrelationResult {
+  // records[i]'s inferred parent index, or nullopt.
+  std::vector<std::optional<std::size_t>> parent;
+  std::size_t resolved{0};
+  std::size_t unresolved{0};  // no same-thread containing interval exists
+};
+
+// Infers nesting by interval containment: record j is i's parent candidate
+// when i's client-side interval lies within j's servant-side interval on the
+// same thread in the same process.  The tightest candidate wins.
+CorrelationResult correlate_by_time(const std::vector<AnchorRecord>& records);
+
+}  // namespace causeway::baseline

@@ -1,0 +1,36 @@
+#include "baseline/trace_object.h"
+
+namespace causeway::baseline {
+
+void TraceObject::encode(WireBuffer& out) const {
+  out.write_u32(static_cast<std::uint32_t>(hops.size()));
+  for (const auto& h : hops) {
+    out.write_string(h.interface_name);
+    out.write_string(h.function_name);
+    out.write_u64(h.thread);
+    out.write_i64(h.timestamp);
+  }
+}
+
+TraceObject TraceObject::decode(WireCursor& in) {
+  TraceObject to;
+  const std::uint32_t n = in.read_u32();
+  to.hops.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    TraceHop h;
+    h.interface_name = in.read_string();
+    h.function_name = in.read_string();
+    h.thread = in.read_u64();
+    h.timestamp = in.read_i64();
+    to.hops.push_back(std::move(h));
+  }
+  return to;
+}
+
+std::size_t TraceObject::encoded_size() const {
+  WireBuffer b;
+  encode(b);
+  return b.size();
+}
+
+}  // namespace causeway::baseline

@@ -1,0 +1,39 @@
+// Trace-Object propagation baseline (Universal Delegator [2] / BBN RSS [21]).
+//
+// The paper's related work carries a trace record that *concatenates* log
+// information at every hop: "the TO concatenates log info during call
+// progression and unavoidably introduces the barrier for the call chains
+// that exceed tens of thousands calls."  This baseline implements exactly
+// that growth so bench E6 can plot bytes-on-wire and propagation cost
+// against chain depth, next to the constant-size FTL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/wire.h"
+
+namespace causeway::baseline {
+
+struct TraceHop {
+  std::string interface_name;
+  std::string function_name;
+  std::uint64_t thread{0};
+  Nanos timestamp{0};
+};
+
+struct TraceObject {
+  std::vector<TraceHop> hops;
+
+  // Appends one hop (what an interception layer does at each boundary).
+  void add_hop(TraceHop hop) { hops.push_back(std::move(hop)); }
+
+  void encode(WireBuffer& out) const;
+  static TraceObject decode(WireCursor& in);
+
+  std::size_t encoded_size() const;
+};
+
+}  // namespace causeway::baseline

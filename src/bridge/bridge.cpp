@@ -1,0 +1,92 @@
+#include "bridge/bridge.h"
+
+#include "monitor/ftl.h"
+
+namespace causeway::bridge {
+namespace {
+
+// Copies the remaining payload, honoring the FTL policy: kForward keeps the
+// hidden trailer, kStrip peels and discards it (a trailer-unaware bridge
+// would re-marshal only the declared parameters).
+std::vector<std::uint8_t> relay_payload(WireCursor& in, FtlPolicy policy) {
+  if (policy == FtlPolicy::kStrip) {
+    (void)monitor::peel_ftl_trailer(in);  // drop it
+  }
+  const auto rest = in.rest();
+  return {rest.begin(), rest.end()};
+}
+
+void relay_reply_payload(const std::vector<std::uint8_t>& payload,
+                         FtlPolicy policy, WireBuffer& out) {
+  if (policy == FtlPolicy::kStrip) {
+    WireCursor cursor(payload.data(), payload.size());
+    (void)monitor::peel_ftl_trailer(cursor);
+    const auto rest = cursor.rest();
+    out.append_raw(rest);
+    return;
+  }
+  out.append_raw(payload);
+}
+
+}  // namespace
+
+orb::DispatchResult ComBackedServant::dispatch(orb::DispatchContext& ctx,
+                                               orb::MethodId method,
+                                               WireCursor& in,
+                                               WireBuffer& out) {
+  (void)ctx;
+  com::OrpcReply reply =
+      com_.call(target_, method, relay_payload(in, policy_));
+
+  orb::DispatchResult result;
+  switch (reply.status) {
+    case com::CallStatus::kOk:
+      break;
+    case com::CallStatus::kAppError:
+      result.status = orb::ReplyStatus::kAppError;
+      break;
+    case com::CallStatus::kNoObject:
+      result.status = orb::ReplyStatus::kObjectNotFound;
+      break;
+    case com::CallStatus::kSystemError:
+      result.status = orb::ReplyStatus::kSystemError;
+      break;
+  }
+  result.error_name = std::move(reply.error_name);
+  result.error_text = std::move(reply.error_text);
+  relay_reply_payload(reply.payload, policy_, out);
+  return result;
+}
+
+com::ComDispatchResult OrbBackedComServant::com_dispatch(
+    com::ComDispatchContext& ctx, com::MethodId method, WireCursor& in,
+    WireBuffer& out) {
+  (void)ctx;
+  com::ComDispatchResult result;
+  try {
+    orb::ReplyMessage reply = domain_.invoke_remote(
+        target_, method, relay_payload(in, policy_));
+    switch (reply.status) {
+      case orb::ReplyStatus::kOk:
+        break;
+      case orb::ReplyStatus::kAppError:
+        result.status = com::CallStatus::kAppError;
+        break;
+      case orb::ReplyStatus::kObjectNotFound:
+        result.status = com::CallStatus::kNoObject;
+        break;
+      case orb::ReplyStatus::kSystemError:
+        result.status = com::CallStatus::kSystemError;
+        break;
+    }
+    result.error_name = std::move(reply.error_name);
+    result.error_text = std::move(reply.error_text);
+    relay_reply_payload(reply.payload, policy_, out);
+  } catch (const std::exception& e) {
+    result.status = com::CallStatus::kSystemError;
+    result.error_text = e.what();
+  }
+  return result;
+}
+
+}  // namespace causeway::bridge

@@ -1,0 +1,80 @@
+// Bidirectional CORBA/COM bridging.
+//
+// Paper Sec. 2.3: "as long as the bi-directional CORBA-COM bridge is aware
+// of the extra FTL data hidden in the instrumented calls, and delivers it
+// from the caller's domain to the callee's domain, causality will seamlessly
+// propagate across the boundary, and continue to advance in the other
+// domain."
+//
+// Both runtimes share the wire vocabulary, so the *FTL-aware* bridge is a
+// byte-level forwarder: the hidden trailer rides through untouched and the
+// chain keeps advancing on the far side.  The *naive* variant strips
+// anything it does not recognize from the payload -- the behaviour of a
+// bridge that is NOT aware of the FTL -- and reproduces exactly the failure
+// the paper warns about: the far side starts a fresh, unlinked chain.
+// Benchmarks and tests run both variants.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "com/apartment.h"
+#include "orb/domain.h"
+#include "orb/servant.h"
+
+namespace causeway::bridge {
+
+enum class FtlPolicy {
+  kForward,  // FTL-aware: deliver the hidden trailer to the other domain
+  kStrip,    // naive: drop unknown trailing data (breaks the tunnel)
+};
+
+// CORBA-facing object whose implementation lives in the COM runtime.
+// Activate it in a ProcessDomain; every dispatched method is forwarded to
+// the COM object byte-for-byte.
+class ComBackedServant final : public orb::Servant {
+ public:
+  ComBackedServant(std::string interface_name, com::ComRuntime& com,
+                   com::ComObjectId target, FtlPolicy policy)
+      : interface_name_(std::move(interface_name)),
+        com_(com),
+        target_(target),
+        policy_(policy) {}
+
+  std::string_view interface_name() const override { return interface_name_; }
+
+  orb::DispatchResult dispatch(orb::DispatchContext& ctx,
+                               orb::MethodId method, WireCursor& in,
+                               WireBuffer& out) override;
+
+ private:
+  std::string interface_name_;
+  com::ComRuntime& com_;
+  com::ComObjectId target_;
+  FtlPolicy policy_;
+};
+
+// COM-facing object whose implementation lives behind a CORBA reference.
+class OrbBackedComServant final : public com::ComServant {
+ public:
+  OrbBackedComServant(std::string interface_name, orb::ProcessDomain& domain,
+                      orb::ObjectRef target, FtlPolicy policy)
+      : interface_name_(std::move(interface_name)),
+        domain_(domain),
+        target_(std::move(target)),
+        policy_(policy) {}
+
+  std::string_view interface_name() const override { return interface_name_; }
+
+  com::ComDispatchResult com_dispatch(com::ComDispatchContext& ctx,
+                                      com::MethodId method, WireCursor& in,
+                                      WireBuffer& out) override;
+
+ private:
+  std::string interface_name_;
+  orb::ProcessDomain& domain_;
+  orb::ObjectRef target_;
+  FtlPolicy policy_;
+};
+
+}  // namespace causeway::bridge

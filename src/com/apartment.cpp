@@ -1,0 +1,268 @@
+#include "com/apartment.h"
+
+#include "monitor/tss.h"
+
+namespace causeway::com {
+namespace {
+
+thread_local Apartment* t_current_apartment = nullptr;
+
+}  // namespace
+
+Apartment* Apartment::current() { return t_current_apartment; }
+
+Apartment::ScopedCurrent::ScopedCurrent(Apartment* a)
+    : previous_(t_current_apartment) {
+  t_current_apartment = a;
+}
+
+Apartment::ScopedCurrent::~ScopedCurrent() {
+  t_current_apartment = previous_;
+}
+
+void Apartment::dispatch_request(OrpcEnvelope& env) {
+  // The channel hook: save/restore the thread's FTL slot around the
+  // dispatch so that when an STA thread multiplexes between blocked calls,
+  // each call resumes with its own chain (paper Sec. 2.2).  Without the
+  // hook the nested call's FTL is left behind and chains intertwine.
+  std::optional<monitor::FtlSaver> hook;
+  if (runtime_.channel_hooks_enabled()) hook.emplace();
+
+  OrpcReply reply = runtime_.dispatch_now(
+      env.object, env.method, env.payload,
+      env.post ? monitor::CallKind::kOneway : monitor::CallKind::kSync);
+  if (env.post) return;
+
+  if (env.reply_to_sta != nullptr) {
+    OrpcEnvelope back;
+    back.kind = OrpcEnvelope::Kind::kReply;
+    back.call_id = env.call_id;
+    back.reply = std::move(reply);
+    env.reply_to_sta->submit(std::move(back));
+  } else if (env.token) {
+    env.token->set(std::move(reply));
+  }
+}
+
+// --- STA ---
+
+StaApartment::StaApartment(ApartmentId id, ComRuntime& runtime)
+    : Apartment(id, runtime) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+StaApartment::~StaApartment() { shutdown(); }
+
+void StaApartment::submit(OrpcEnvelope env) { queue_.push(std::move(env)); }
+
+void StaApartment::shutdown() {
+  queue_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void StaApartment::loop() {
+  ScopedCurrent scope(this);
+  while (auto env = queue_.pop()) {
+    if (env->kind == OrpcEnvelope::Kind::kRequest) {
+      dispatch_request(*env);
+    }
+    // Replies reaching the top-level loop have no waiter anymore; drop.
+  }
+}
+
+OrpcReply StaApartment::pump_until_reply(std::uint64_t call_id) {
+  for (;;) {
+    // A nested frame may have stashed our reply while we were dispatching.
+    if (auto it = stashed_replies_.find(call_id);
+        it != stashed_replies_.end()) {
+      OrpcReply r = std::move(it->second);
+      stashed_replies_.erase(it);
+      return r;
+    }
+    auto env = queue_.pop();
+    if (!env) {
+      OrpcReply dead;
+      dead.status = CallStatus::kSystemError;
+      dead.error_text = "apartment shut down while waiting for reply";
+      return dead;
+    }
+    if (env->kind == OrpcEnvelope::Kind::kReply) {
+      if (env->call_id == call_id) return std::move(env->reply);
+      stashed_replies_[env->call_id] = std::move(env->reply);
+      continue;
+    }
+    // This is the O1 violation: we are *inside* call C1's frame, and the
+    // apartment thread switches to serve incoming call C2.
+    dispatch_request(*env);
+  }
+}
+
+// --- MTA ---
+
+MtaApartment::MtaApartment(ApartmentId id, ComRuntime& runtime,
+                           std::size_t workers)
+    : Apartment(id, runtime) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] {
+      ScopedCurrent scope(this);
+      while (auto env = queue_.pop()) {
+        if (env->kind == OrpcEnvelope::Kind::kRequest) {
+          // MTA workers never pump: a worker is dedicated to its call until
+          // completion, so O1 holds and the hook is technically redundant;
+          // it still runs for uniformity with the STA path.
+          dispatch_request(*env);
+        }
+      }
+    });
+  }
+}
+
+MtaApartment::~MtaApartment() { shutdown(); }
+
+void MtaApartment::submit(OrpcEnvelope env) { queue_.push(std::move(env)); }
+
+void MtaApartment::shutdown() {
+  std::call_once(shutdown_once_, [&] {
+    queue_.close();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  });
+}
+
+// --- runtime ---
+
+ComRuntime::~ComRuntime() { shutdown(); }
+
+void ComRuntime::shutdown() {
+  std::map<ApartmentId, std::unique_ptr<Apartment>> apartments;
+  {
+    std::lock_guard lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    apartments.swap(apartments_);
+    objects_.clear();
+  }
+  for (auto& [id, apt] : apartments) apt->shutdown();
+}
+
+ApartmentId ComRuntime::create_sta() {
+  std::lock_guard lock(mu_);
+  const ApartmentId id = next_apartment_++;
+  apartments_[id] = std::make_unique<StaApartment>(id, *this);
+  return id;
+}
+
+ApartmentId ComRuntime::create_mta(std::size_t workers) {
+  std::lock_guard lock(mu_);
+  const ApartmentId id = next_apartment_++;
+  apartments_[id] = std::make_unique<MtaApartment>(id, *this, workers);
+  return id;
+}
+
+ComObjectId ComRuntime::register_object(ApartmentId apartment,
+                                        ComPtr<ComServant> obj) {
+  std::lock_guard lock(mu_);
+  auto it = apartments_.find(apartment);
+  if (it == apartments_.end()) return 0;
+  const ComObjectId id = next_object_++;
+  objects_[id] = ObjectEntry{it->second.get(), std::move(obj)};
+  return id;
+}
+
+void ComRuntime::revoke_object(ComObjectId id) {
+  std::lock_guard lock(mu_);
+  objects_.erase(id);
+}
+
+std::optional<ComRuntime::ObjectEntry> ComRuntime::find_object(
+    ComObjectId id) const {
+  std::lock_guard lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
+}
+
+OrpcReply ComRuntime::dispatch_now(ComObjectId target, MethodId method,
+                                   const std::vector<std::uint8_t>& payload,
+                                   monitor::CallKind kind) {
+  OrpcReply reply;
+  auto entry = find_object(target);
+  if (!entry) {
+    reply.status = CallStatus::kNoObject;
+    reply.error_text = "no such object";
+    return reply;
+  }
+  ComDispatchContext ctx;
+  ctx.kind = kind;
+  ctx.runtime = this;
+  ctx.object_id = target;
+  WireCursor in(payload.data(), payload.size());
+  WireBuffer out;
+  try {
+    ComDispatchResult r = entry->servant->com_dispatch(ctx, method, in, out);
+    reply.status = r.status;
+    reply.error_name = std::move(r.error_name);
+    reply.error_text = std::move(r.error_text);
+    reply.payload = std::move(out).take();
+  } catch (const std::exception& e) {
+    reply.status = CallStatus::kSystemError;
+    reply.error_text = e.what();
+  }
+  return reply;
+}
+
+OrpcReply ComRuntime::call(ComObjectId target, MethodId method,
+                           std::vector<std::uint8_t> payload) {
+  auto entry = find_object(target);
+  if (!entry) {
+    OrpcReply reply;
+    reply.status = CallStatus::kNoObject;
+    reply.error_text = "no such object";
+    return reply;
+  }
+
+  Apartment* caller = Apartment::current();
+  if (entry->apartment == caller) {
+    // Same apartment: direct call on this thread, no marshaling hop --
+    // the COM analogue of the collocated case.
+    return dispatch_now(target, method, payload,
+                        monitor::CallKind::kCollocated);
+  }
+
+  OrpcEnvelope env;
+  env.kind = OrpcEnvelope::Kind::kRequest;
+  env.call_id = next_call_.fetch_add(1);
+  env.object = target;
+  env.method = method;
+  env.payload = std::move(payload);
+
+  if (auto* sta = dynamic_cast<StaApartment*>(caller)) {
+    env.reply_to_sta = sta;
+    const std::uint64_t call_id = env.call_id;
+    entry->apartment->submit(std::move(env));
+    return sta->pump_until_reply(call_id);
+  }
+
+  env.token = std::make_shared<ReplyToken>();
+  auto token = env.token;
+  entry->apartment->submit(std::move(env));
+  return token->wait();
+}
+
+void ComRuntime::post(ComObjectId target, MethodId method,
+                      std::vector<std::uint8_t> payload) {
+  auto entry = find_object(target);
+  if (!entry) return;
+  OrpcEnvelope env;
+  env.kind = OrpcEnvelope::Kind::kRequest;
+  env.call_id = next_call_.fetch_add(1);
+  env.object = target;
+  env.method = method;
+  env.post = true;
+  env.payload = std::move(payload);
+  entry->apartment->submit(std::move(env));
+}
+
+}  // namespace causeway::com

@@ -1,0 +1,228 @@
+// Apartments and the ORPC channel.
+//
+// The COM-like runtime hosts component objects in apartments:
+//
+//   STA  one dedicated thread runs a message loop over the apartment queue.
+//        An outbound blocking call from an STA thread *pumps*: while waiting
+//        for its reply it keeps dispatching incoming requests.  This is the
+//        paper's crucial observation -- "the apartment thread T can switch
+//        to serve another incoming call C2 when the call C1 that T is
+//        serving issues an outbound call C3 and suffers blocking" -- i.e.
+//        observation O1 does NOT hold, and without countermeasures the
+//        causal chains of C1 and C2 intertwine in the thread's TSS.
+//
+//   MTA  a small pool dispatches requests directly; O1 holds as in the ORB.
+//
+// The countermeasure is the *channel hook* (paper Sec. 2.2/2.3: "only a very
+// limited amount of instrumentation before and after call sending and
+// dispatching is required to the COM infrastructure"): every nested dispatch
+// saves the thread's FTL slot on entry and restores it on exit
+// (monitor::FtlSaver).  ComRuntime::set_channel_hooks(false) disables them,
+// reproducing the chain-mingling failure the paper warns about -- tests and
+// bench E8 exercise both settings.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+#include "com/servant.h"
+
+namespace causeway::monitor {
+class MonitorRuntime;
+}
+
+namespace causeway::com {
+
+using ApartmentId = std::uint32_t;
+
+struct OrpcReply {
+  CallStatus status{CallStatus::kOk};
+  std::string error_name;
+  std::string error_text;
+  std::vector<std::uint8_t> payload;
+};
+
+// Completion cell for callers that can block on a condition variable
+// (MTA workers and plain threads).
+struct ReplyToken {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<OrpcReply> reply;
+
+  void set(OrpcReply r) {
+    {
+      std::lock_guard lock(mu);
+      reply = std::move(r);
+    }
+    cv.notify_all();
+  }
+  OrpcReply wait() {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return reply.has_value(); });
+    return std::move(*reply);
+  }
+};
+
+class StaApartment;
+
+struct OrpcEnvelope {
+  enum class Kind : std::uint8_t { kRequest, kReply } kind{Kind::kRequest};
+
+  // request
+  std::uint64_t call_id{0};
+  ComObjectId object{0};
+  MethodId method{0};
+  bool post{false};  // fire-and-forget (COM-side oneway)
+  std::vector<std::uint8_t> payload;
+
+  // reply routing: exactly one of these is set for non-post requests
+  std::shared_ptr<ReplyToken> token;
+  StaApartment* reply_to_sta{nullptr};
+
+  // reply
+  OrpcReply reply;
+};
+
+class Apartment {
+ public:
+  Apartment(ApartmentId id, ComRuntime& runtime) : id_(id), runtime_(runtime) {}
+  virtual ~Apartment() = default;
+
+  ApartmentId id() const { return id_; }
+
+  // Enqueues an envelope for this apartment's thread(s).
+  virtual void submit(OrpcEnvelope env) = 0;
+  virtual void shutdown() = 0;
+
+  // The apartment the calling thread currently executes in, or null.
+  static Apartment* current();
+
+ protected:
+  void dispatch_request(OrpcEnvelope& env);
+
+  class ScopedCurrent {
+   public:
+    explicit ScopedCurrent(Apartment* a);
+    ~ScopedCurrent();
+
+   private:
+    Apartment* previous_;
+  };
+
+  ApartmentId id_;
+  ComRuntime& runtime_;
+};
+
+class StaApartment final : public Apartment {
+ public:
+  StaApartment(ApartmentId id, ComRuntime& runtime);
+  ~StaApartment() override;
+
+  void submit(OrpcEnvelope env) override;
+  void shutdown() override;
+
+  // Blocks the calling STA thread until the reply for `call_id` arrives,
+  // dispatching (pumping) any incoming requests in the meantime.  Must be
+  // called on this apartment's thread.
+  OrpcReply pump_until_reply(std::uint64_t call_id);
+
+ private:
+  void loop();
+
+  BlockingQueue<OrpcEnvelope> queue_;
+  std::map<std::uint64_t, OrpcReply> stashed_replies_;
+  std::thread thread_;
+};
+
+class MtaApartment final : public Apartment {
+ public:
+  MtaApartment(ApartmentId id, ComRuntime& runtime, std::size_t workers);
+  ~MtaApartment() override;
+
+  void submit(OrpcEnvelope env) override;
+  void shutdown() override;
+
+ private:
+  BlockingQueue<OrpcEnvelope> queue_;
+  std::vector<std::thread> workers_;
+  std::once_flag shutdown_once_;
+};
+
+// The COM runtime: object registry, apartments, ORPC call engine.
+class ComRuntime {
+ public:
+  explicit ComRuntime(monitor::MonitorRuntime* monitor,
+                      bool channel_hooks = true)
+      : monitor_(monitor), channel_hooks_(channel_hooks) {}
+  ~ComRuntime();
+  ComRuntime(const ComRuntime&) = delete;
+  ComRuntime& operator=(const ComRuntime&) = delete;
+
+  ApartmentId create_sta();
+  ApartmentId create_mta(std::size_t workers = 2);
+
+  // Registers a servant in an apartment; the runtime holds one reference.
+  ComObjectId register_object(ApartmentId apartment, ComPtr<ComServant> obj);
+  void revoke_object(ComObjectId id);
+
+  // ORPC call engine.  Same-apartment calls dispatch directly on the caller
+  // thread (the collocated case); cross-apartment calls queue and block
+  // (pumping if the caller is an STA thread).
+  OrpcReply call(ComObjectId target, MethodId method,
+                 std::vector<std::uint8_t> payload);
+  void post(ComObjectId target, MethodId method,
+            std::vector<std::uint8_t> payload);
+
+  // Direct dispatch used by apartments and the collocated path.
+  OrpcReply dispatch_now(ComObjectId target, MethodId method,
+                         const std::vector<std::uint8_t>& payload,
+                         monitor::CallKind kind);
+
+  monitor::MonitorRuntime* monitor() const { return monitor_; }
+
+  bool channel_hooks_enabled() const { return channel_hooks_; }
+  void set_channel_hooks(bool enabled) { channel_hooks_ = enabled; }
+
+  // Strict mode (default) transports the FTL as a true inout parameter: the
+  // reply trailer carries it back and probe 4 continues from it, so the stub
+  // itself latches its chain -- synchronous calls self-heal even across STA
+  // multiplexing.  Legacy mode models the paper's pre-fix COM
+  // instrumentation, where probe 4 trusts the thread's TSS slot: under STA
+  // reentrancy that slot may hold *another* call's chain, and only the
+  // channel hooks (save/restore around nested dispatches) keep the chains
+  // from mingling.  Tests and bench E8 run all four combinations.
+  bool strict_inout_ftl() const { return strict_inout_ftl_; }
+  void set_strict_inout_ftl(bool strict) { strict_inout_ftl_ = strict; }
+
+  void shutdown();
+
+  struct ObjectEntry {
+    Apartment* apartment{nullptr};
+    ComPtr<ComServant> servant;
+  };
+  std::optional<ObjectEntry> find_object(ComObjectId id) const;
+
+ private:
+  monitor::MonitorRuntime* monitor_;
+  std::atomic<bool> channel_hooks_;
+  std::atomic<bool> strict_inout_ftl_{true};
+
+  mutable std::mutex mu_;
+  std::map<ApartmentId, std::unique_ptr<Apartment>> apartments_;
+  std::map<ComObjectId, ObjectEntry> objects_;
+  ApartmentId next_apartment_{1};
+  ComObjectId next_object_{1};
+  std::atomic<std::uint64_t> next_call_{1};
+  bool stopped_{false};
+};
+
+}  // namespace causeway::com

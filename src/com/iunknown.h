@@ -1,0 +1,92 @@
+// Minimal COM object model: IUnknown-style intrusive reference counting and
+// string-keyed QueryInterface.
+//
+// The paper's second runtime is "an embedded infrastructure similar to COM"
+// [11].  This module reproduces the parts its monitoring story depends on:
+// component objects living in apartments, ORPC-style cross-apartment calls,
+// and (in apartment.h) the single-threaded apartment's message-loop
+// reentrancy that breaks observation O1.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+namespace causeway::com {
+
+using HResult = std::int32_t;
+inline constexpr HResult kOk = 0;
+inline constexpr HResult kNoInterface = -2147467262;  // E_NOINTERFACE
+inline constexpr HResult kFail = -2147467259;         // E_FAIL
+
+class IUnknown {
+ public:
+  virtual ~IUnknown() = default;
+
+  // String-keyed QueryInterface; derived classes chain to the base.
+  virtual HResult query_interface(std::string_view iid, void** out) {
+    if (iid == "IUnknown") {
+      *out = this;
+      add_ref();
+      return kOk;
+    }
+    *out = nullptr;
+    return kNoInterface;
+  }
+
+  std::uint32_t add_ref() {
+    return refs_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  std::uint32_t release() {
+    const std::uint32_t left =
+        refs_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    if (left == 0) delete this;
+    return left;
+  }
+
+ protected:
+  IUnknown() = default;
+
+ private:
+  std::atomic<std::uint32_t> refs_{1};
+};
+
+// Intrusive smart pointer over IUnknown-derived types.
+template <typename T>
+class ComPtr {
+ public:
+  ComPtr() = default;
+  // Adopts an existing reference (the conventional "attach" construction).
+  explicit ComPtr(T* raw) : ptr_(raw) {}
+
+  ComPtr(const ComPtr& other) : ptr_(other.ptr_) {
+    if (ptr_) ptr_->add_ref();
+  }
+  ComPtr(ComPtr&& other) noexcept : ptr_(std::exchange(other.ptr_, nullptr)) {}
+
+  ComPtr& operator=(ComPtr other) noexcept {
+    std::swap(ptr_, other.ptr_);
+    return *this;
+  }
+
+  ~ComPtr() {
+    if (ptr_) ptr_->release();
+  }
+
+  T* get() const { return ptr_; }
+  T* operator->() const { return ptr_; }
+  T& operator*() const { return *ptr_; }
+  explicit operator bool() const { return ptr_ != nullptr; }
+
+  template <typename... Args>
+  static ComPtr make(Args&&... args) {
+    return ComPtr(new T(std::forward<Args>(args)...));
+  }
+
+ private:
+  T* ptr_{nullptr};
+};
+
+}  // namespace causeway::com

@@ -1,0 +1,50 @@
+// COM-side servant interface and dispatch context.
+//
+// Mirrors orb::Servant deliberately -- the same wire vocabulary on both
+// runtimes is what lets the CORBA/COM bridge forward payloads (with the
+// hidden FTL trailer intact) byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/wire.h"
+#include "com/iunknown.h"
+#include "monitor/events.h"
+
+namespace causeway::com {
+
+using ComObjectId = std::uint64_t;
+using MethodId = std::uint32_t;
+
+enum class CallStatus : std::uint8_t {
+  kOk = 0,
+  kAppError = 1,
+  kNoObject = 2,
+  kSystemError = 3,
+};
+
+struct ComDispatchResult {
+  CallStatus status{CallStatus::kOk};
+  std::string error_name;
+  std::string error_text;
+};
+
+class ComRuntime;
+
+struct ComDispatchContext {
+  monitor::CallKind kind{monitor::CallKind::kSync};
+  ComRuntime* runtime{nullptr};
+  ComObjectId object_id{0};
+};
+
+class ComServant : public IUnknown {
+ public:
+  virtual std::string_view interface_name() const = 0;
+  virtual ComDispatchResult com_dispatch(ComDispatchContext& ctx,
+                                         MethodId method, WireCursor& in,
+                                         WireBuffer& out) = 0;
+};
+
+}  // namespace causeway::com

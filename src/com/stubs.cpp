@@ -1,0 +1,99 @@
+#include "com/stubs.h"
+
+#include "monitor/ftl.h"
+#include "monitor/runtime.h"
+#include "monitor/tss.h"
+
+namespace causeway::com {
+
+monitor::CallKind ComCall::decide_kind(ComRuntime& runtime, ComObjectId target,
+                                       const ComMethodSpec& m) {
+  if (m.post) return monitor::CallKind::kOneway;
+  auto entry = runtime.find_object(target);
+  if (entry && entry->apartment == Apartment::current()) {
+    return monitor::CallKind::kCollocated;
+  }
+  return monitor::CallKind::kSync;
+}
+
+ComCall::ComCall(ComRuntime& runtime, ComObjectId target,
+                 const ComMethodSpec& m, bool instrumented)
+    : runtime_(runtime),
+      target_(target),
+      method_(m),
+      kind_(decide_kind(runtime, target, m)),
+      probes_(instrumented ? runtime.monitor() : nullptr,
+              monitor::CallIdentity{m.interface_name, m.method_name, target},
+              kind_) {}
+
+WireCursor ComCall::invoke() {
+  const monitor::Ftl ftl = probes_.on_stub_start();
+  if (ftl.valid()) monitor::append_ftl_trailer(request_, ftl);
+
+  OrpcReply reply = runtime_.call(target_, method_.id, request_.bytes());
+
+  reply_payload_ = std::move(reply.payload);
+  WireCursor cursor(reply_payload_.data(), reply_payload_.size());
+  std::optional<monitor::Ftl> probe4_source = monitor::peel_ftl_trailer(cursor);
+  if (!runtime_.strict_inout_ftl()) {
+    // Legacy COM stub: probe 4 trusts the thread slot instead of the inout
+    // FTL.  Correct only as long as the channel hooks restored the slot
+    // after any nested dispatch this thread served while blocked.
+    const monitor::Ftl slot = monitor::tss_get();
+    probe4_source =
+        slot.valid() ? std::optional<monitor::Ftl>(slot) : std::nullopt;
+  }
+  monitor::CallOutcome outcome = monitor::CallOutcome::kOk;
+  if (reply.status == CallStatus::kAppError) {
+    outcome = monitor::CallOutcome::kAppError;
+  } else if (reply.status != CallStatus::kOk) {
+    outcome = monitor::CallOutcome::kSystemError;
+  }
+  probes_.on_stub_end(probe4_source, outcome);
+
+  switch (reply.status) {
+    case CallStatus::kOk:
+      return cursor;
+    case CallStatus::kAppError:
+      app_error_ = true;
+      app_error_name_ = std::move(reply.error_name);
+      app_error_text_ = std::move(reply.error_text);
+      return cursor;
+    case CallStatus::kNoObject:
+      throw ComError("no such object");
+    case CallStatus::kSystemError:
+      throw ComError("system error: " + reply.error_text);
+  }
+  throw ComError("corrupt reply status");
+}
+
+void ComCall::invoke_post() {
+  const monitor::Ftl child_ftl = probes_.on_stub_start();
+  if (child_ftl.valid()) monitor::append_ftl_trailer(request_, child_ftl);
+  runtime_.post(target_, method_.id, request_.bytes());
+  probes_.on_stub_end_oneway();
+}
+
+ComSkelGuard::ComSkelGuard(ComDispatchContext& ctx,
+                           const monitor::CallIdentity& identity,
+                           WireCursor& in, bool instrumented)
+    : probes_(instrumented && ctx.runtime ? ctx.runtime->monitor() : nullptr,
+              identity, ctx.kind),
+      instrumented_(instrumented) {
+  std::optional<monitor::Ftl> request_ftl = monitor::peel_ftl_trailer(in);
+  if (instrumented_) probes_.on_skel_start(request_ftl);
+}
+
+void ComSkelGuard::body_end(monitor::CallOutcome outcome) {
+  if (body_ended_ || !instrumented_) return;
+  body_ended_ = true;
+  reply_ftl_ = probes_.on_skel_end(outcome);
+}
+
+void ComSkelGuard::seal(WireBuffer& out) {
+  if (!instrumented_) return;
+  body_end();
+  if (reply_ftl_.valid()) monitor::append_ftl_trailer(out, reply_ftl_);
+}
+
+}  // namespace causeway::com

@@ -1,0 +1,82 @@
+// COM-side proxy/stub support with monitoring probes.
+//
+// Mirrors orb/stubs.h for the COM runtime: ComCall is the client half
+// (probes 1/4, FTL trailer, typed status), ComSkelGuard the server half
+// (probes 2/3, trailer peel/seal).  The paper instruments COM proxies and
+// stubs through the same IDL-compiler route as CORBA; here COM components
+// are hand-written against these helpers, which keeps the probe protocol
+// byte-identical across both runtimes -- a requirement for the bridge.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "common/wire.h"
+#include "com/apartment.h"
+#include "com/servant.h"
+#include "monitor/probes.h"
+
+namespace causeway::com {
+
+struct ComMethodSpec {
+  std::string_view interface_name;
+  std::string_view method_name;
+  MethodId id{0};
+  bool post{false};  // COM-side fire-and-forget (oneway analogue)
+};
+
+class ComError : public std::runtime_error {
+ public:
+  explicit ComError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ComCall {
+ public:
+  // Whether the call will be same-apartment (collocated) cannot be known
+  // before routing; the probe kind is chosen from the runtime's registry.
+  ComCall(ComRuntime& runtime, ComObjectId target, const ComMethodSpec& m,
+          bool instrumented);
+
+  WireBuffer& request() { return request_; }
+
+  // Synchronous invocation; throws ComError on infrastructure failure.
+  // Application errors set has_app_error() as in orb::ClientCall.
+  WireCursor invoke();
+  void invoke_post();
+
+  bool has_app_error() const { return app_error_; }
+  const std::string& app_error_name() const { return app_error_name_; }
+  const std::string& app_error_text() const { return app_error_text_; }
+
+ private:
+  static monitor::CallKind decide_kind(ComRuntime& runtime, ComObjectId target,
+                                       const ComMethodSpec& m);
+
+  ComRuntime& runtime_;
+  ComObjectId target_;
+  ComMethodSpec method_;
+  monitor::CallKind kind_;
+  monitor::StubProbes probes_;
+  WireBuffer request_;
+  std::vector<std::uint8_t> reply_payload_;
+  bool app_error_{false};
+  std::string app_error_name_;
+  std::string app_error_text_;
+};
+
+class ComSkelGuard {
+ public:
+  ComSkelGuard(ComDispatchContext& ctx, const monitor::CallIdentity& identity,
+               WireCursor& in, bool instrumented);
+
+  void body_end(monitor::CallOutcome outcome = monitor::CallOutcome::kOk);
+  void seal(WireBuffer& out);
+
+ private:
+  monitor::SkelProbes probes_;
+  bool instrumented_;
+  bool body_ended_{false};
+  monitor::Ftl reply_ftl_;
+};
+
+}  // namespace causeway::com

@@ -1,0 +1,47 @@
+// Time sources and per-"process" clock domains.
+//
+// The paper stresses that all runtime behaviour is "recorded individually by
+// probes without coordination and global clock synchronization".  To make
+// that property load-bearing rather than incidental, every simulated process
+// domain reads time through its own ClockDomain, which applies a fixed skew
+// and a drift rate to the host monotonic clock.  Analysis must only ever
+// difference timestamps taken inside one domain -- tests inject hostile skews
+// to prove it does.
+#pragma once
+
+#include <cstdint>
+
+namespace causeway {
+
+// Nanoseconds.  Signed so differences are natural.
+using Nanos = std::int64_t;
+
+inline constexpr Nanos kNanosPerMicro = 1'000;
+inline constexpr Nanos kNanosPerMilli = 1'000'000;
+inline constexpr Nanos kNanosPerSecond = 1'000'000'000;
+
+// Host monotonic clock, nanoseconds since an arbitrary epoch.
+Nanos steady_now_ns();
+
+// A per-process virtual clock: reading = skew + (1 + drift) * monotonic.
+// Skews of minutes and drifts of hundreds of ppm are fair game; both are
+// invisible to a correct analyzer.
+class ClockDomain {
+ public:
+  ClockDomain() = default;
+  ClockDomain(Nanos skew, double drift_ppm)
+      : skew_(skew), drift_factor_(1.0 + drift_ppm * 1e-6) {}
+
+  Nanos now() const {
+    const Nanos t = steady_now_ns();
+    return skew_ + static_cast<Nanos>(static_cast<double>(t) * drift_factor_);
+  }
+
+  Nanos skew() const { return skew_; }
+
+ private:
+  Nanos skew_{0};
+  double drift_factor_{1.0};
+};
+
+}  // namespace causeway

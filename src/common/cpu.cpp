@@ -1,0 +1,13 @@
+#include "common/cpu.h"
+
+#include <ctime>
+
+namespace causeway {
+
+Nanos thread_cpu_now_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<Nanos>(ts.tv_sec) * kNanosPerSecond + ts.tv_nsec;
+}
+
+}  // namespace causeway

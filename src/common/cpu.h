@@ -1,0 +1,16 @@
+// Per-thread CPU accounting.
+//
+// The paper's CPU characterization samples per-thread cumulative CPU
+// consumption at each probe (available on HPUX 11; here via
+// CLOCK_THREAD_CPUTIME_ID).  Differences of two samples on the same thread
+// give the CPU burned in between, regardless of how many other threads ran.
+#pragma once
+
+#include "common/clock.h"
+
+namespace causeway {
+
+// Cumulative CPU time consumed by the calling thread, in nanoseconds.
+Nanos thread_cpu_now_ns();
+
+}  // namespace causeway

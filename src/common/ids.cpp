@@ -1,0 +1,68 @@
+#include "common/ids.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <random>
+
+#include "common/rng.h"
+
+namespace causeway {
+namespace {
+
+std::mutex g_uuid_mu;
+SplitMix64 g_uuid_rng{std::random_device{}()};  // NOLINT: seeded once at start
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+void set_uuid_seed(std::uint64_t seed) {
+  std::lock_guard lock(g_uuid_mu);
+  g_uuid_rng = SplitMix64{seed};
+}
+
+Uuid Uuid::generate() {
+  std::lock_guard lock(g_uuid_mu);
+  Uuid u{g_uuid_rng.next(), g_uuid_rng.next()};
+  if (u.is_nil()) u.lo = 1;  // nil is reserved for "no chain yet"
+  return u;
+}
+
+std::string Uuid::to_string() const {
+  char buf[37];
+  std::snprintf(buf, sizeof(buf), "%08x-%04x-%04x-%04x-%012llx",
+                static_cast<unsigned>(hi >> 32),
+                static_cast<unsigned>((hi >> 16) & 0xffff),
+                static_cast<unsigned>(hi & 0xffff),
+                static_cast<unsigned>(lo >> 48),
+                static_cast<unsigned long long>(lo & 0xffffffffffffull));
+  return std::string(buf, 36);
+}
+
+std::optional<Uuid> Uuid::parse(std::string_view text) {
+  if (text.size() != 36) return std::nullopt;
+  Uuid out;
+  std::uint64_t* word = &out.hi;
+  int bits = 0;
+  for (std::size_t i = 0; i < 36; ++i) {
+    const bool dash_slot = (i == 8 || i == 13 || i == 18 || i == 23);
+    if (dash_slot) {
+      if (text[i] != '-') return std::nullopt;
+      continue;
+    }
+    const int v = hex_value(text[i]);
+    if (v < 0) return std::nullopt;
+    *word = (*word << 4) | static_cast<std::uint64_t>(v);
+    bits += 4;
+    if (bits == 64) word = &out.lo;
+  }
+  return out;
+}
+
+}  // namespace causeway

@@ -1,0 +1,75 @@
+// Blocking multi-producer multi-consumer queue with close semantics.
+//
+// This is the delivery primitive under every simulated transport endpoint,
+// apartment message loop and thread-pool dispatcher.  pop() blocks until an
+// item arrives or the queue is closed *and* drained, which gives clean
+// shutdown: close the queue, join the consumers.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace causeway {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  // Returns false if the queue is closed (item dropped).
+  bool push(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_{false};
+};
+
+}  // namespace causeway

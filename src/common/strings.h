@@ -1,0 +1,23 @@
+// String helpers: printf-style formatting (libstdc++ 12 lacks std::format)
+// and small joining/escaping utilities used by the exporters.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace causeway {
+
+// printf-style formatting into a std::string.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Escapes &, <, >, " for XML attribute/text contexts.
+std::string xml_escape(std::string_view s);
+
+// Escapes ", \ and control characters for JSON string contexts.
+std::string json_escape(std::string_view s);
+
+}  // namespace causeway

@@ -1,0 +1,5 @@
+#include "common/wire.h"
+
+// Header-only today; this TU anchors the library and keeps the door open for
+// out-of-line growth (e.g. varint encodings) without touching every client.
+namespace causeway {}

@@ -1,0 +1,166 @@
+// Wire-format buffers: the marshaling substrate shared by the ORB, the
+// COM-like runtime, the bridge and the instrumented stubs/skeletons.
+//
+// Encoding is a compact little-endian CDR-ish format: fixed-width integers,
+// IEEE doubles, length-prefixed strings/byte blobs.  WireBuffer writes,
+// WireCursor reads with strict bounds checking (malformed input raises
+// WireError; it never reads out of bounds).
+//
+// The instrumented stubs append the FTL as a *trailer* ([payload][FTL][magic])
+// so the runtime below never needs to know monitoring exists -- see
+// monitor/ftl.h.  WireCursor::truncate() is what lets a skeleton peel such a
+// trailer off before handing the payload to user unmarshaling code.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace causeway {
+
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class WireBuffer {
+ public:
+  WireBuffer() = default;
+  explicit WireBuffer(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  void write_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void write_bool(bool v) { write_u8(v ? 1 : 0); }
+  void write_u16(std::uint16_t v) { write_le(v); }
+  void write_u32(std::uint32_t v) { write_le(v); }
+  void write_u64(std::uint64_t v) { write_le(v); }
+  void write_i32(std::int32_t v) { write_le(static_cast<std::uint32_t>(v)); }
+  void write_i64(std::int64_t v) { write_le(static_cast<std::uint64_t>(v)); }
+
+  void write_f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    write_le(bits);
+  }
+
+  void write_string(std::string_view s) {
+    write_u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  void write_bytes(std::span<const std::uint8_t> b) {
+    write_u32(static_cast<std::uint32_t>(b.size()));
+    bytes_.insert(bytes_.end(), b.begin(), b.end());
+  }
+
+  // Appends raw bytes with no length prefix (used for trailers and for
+  // splicing one buffer into another).
+  void append_raw(std::span<const std::uint8_t> b) {
+    bytes_.insert(bytes_.end(), b.begin(), b.end());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+  void clear() { bytes_.clear(); }
+
+ private:
+  template <typename T>
+  void write_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+class WireCursor {
+ public:
+  WireCursor(const std::uint8_t* data, std::size_t size)
+      : data_(data), end_(size) {}
+  explicit WireCursor(std::span<const std::uint8_t> s)
+      : WireCursor(s.data(), s.size()) {}
+  explicit WireCursor(const WireBuffer& b)
+      : WireCursor(b.bytes().data(), b.bytes().size()) {}
+
+  std::uint8_t read_u8() { return read_le<std::uint8_t>(); }
+  bool read_bool() { return read_u8() != 0; }
+  std::uint16_t read_u16() { return read_le<std::uint16_t>(); }
+  std::uint32_t read_u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_le<std::uint64_t>(); }
+  std::int32_t read_i32() { return static_cast<std::int32_t>(read_u32()); }
+  std::int64_t read_i64() { return static_cast<std::int64_t>(read_u64()); }
+
+  double read_f64() {
+    const std::uint64_t bits = read_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string read_string() {
+    const std::uint32_t n = read_u32();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<std::uint8_t> read_bytes() {
+    const std::uint32_t n = read_u32();
+    require(n);
+    std::vector<std::uint8_t> b(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+
+  std::size_t remaining() const { return end_ - pos_; }
+  std::size_t position() const { return pos_; }
+
+  // Shrinks the readable window to `new_end` absolute bytes; used to peel a
+  // fixed-size trailer off the end of a payload.
+  void truncate(std::size_t new_end) {
+    if (new_end < pos_ || new_end > end_) {
+      throw WireError("truncate outside readable window");
+    }
+    end_ = new_end;
+  }
+
+  // Peeks `n` bytes ending at the current window end without consuming.
+  std::span<const std::uint8_t> peek_tail(std::size_t n) const {
+    if (remaining() < n) throw WireError("peek_tail past start");
+    return {data_ + end_ - n, n};
+  }
+
+  std::span<const std::uint8_t> rest() const {
+    return {data_ + pos_, end_ - pos_};
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (end_ - pos_ < n) throw WireError("wire underflow");
+  }
+
+  template <typename T>
+  T read_le() {
+    require(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t pos_{0};
+  std::size_t end_;
+};
+
+}  // namespace causeway

@@ -1,0 +1,70 @@
+// Overload-based marshal/unmarshal adapters.
+//
+// Generated stubs/skeletons (idlc) marshal parameters through the uniform
+// wire_write / wire_read vocabulary; user-defined IDL structs get generated
+// overloads in their own namespace, which ADL picks up -- so
+// sequence<MyStruct> works with the same template below.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/wire.h"
+
+namespace causeway {
+
+inline void wire_write(WireBuffer& b, bool v) { b.write_bool(v); }
+inline void wire_write(WireBuffer& b, std::uint8_t v) { b.write_u8(v); }
+inline void wire_write(WireBuffer& b, std::int16_t v) {
+  b.write_u16(static_cast<std::uint16_t>(v));
+}
+inline void wire_write(WireBuffer& b, std::uint16_t v) { b.write_u16(v); }
+inline void wire_write(WireBuffer& b, std::uint32_t v) { b.write_u32(v); }
+inline void wire_write(WireBuffer& b, std::uint64_t v) { b.write_u64(v); }
+inline void wire_write(WireBuffer& b, std::int32_t v) { b.write_i32(v); }
+inline void wire_write(WireBuffer& b, std::int64_t v) { b.write_i64(v); }
+inline void wire_write(WireBuffer& b, float v) {
+  b.write_u32(std::bit_cast<std::uint32_t>(v));
+}
+inline void wire_write(WireBuffer& b, double v) { b.write_f64(v); }
+inline void wire_write(WireBuffer& b, const std::string& v) {
+  b.write_string(v);
+}
+
+inline void wire_read(WireCursor& c, bool& v) { v = c.read_bool(); }
+inline void wire_read(WireCursor& c, std::uint8_t& v) { v = c.read_u8(); }
+inline void wire_read(WireCursor& c, std::int16_t& v) {
+  v = static_cast<std::int16_t>(c.read_u16());
+}
+inline void wire_read(WireCursor& c, std::uint16_t& v) { v = c.read_u16(); }
+inline void wire_read(WireCursor& c, std::uint32_t& v) { v = c.read_u32(); }
+inline void wire_read(WireCursor& c, std::uint64_t& v) { v = c.read_u64(); }
+inline void wire_read(WireCursor& c, std::int32_t& v) { v = c.read_i32(); }
+inline void wire_read(WireCursor& c, std::int64_t& v) { v = c.read_i64(); }
+inline void wire_read(WireCursor& c, float& v) {
+  v = std::bit_cast<float>(c.read_u32());
+}
+inline void wire_read(WireCursor& c, double& v) { v = c.read_f64(); }
+inline void wire_read(WireCursor& c, std::string& v) { v = c.read_string(); }
+
+template <typename T>
+void wire_write(WireBuffer& b, const std::vector<T>& v) {
+  b.write_u32(static_cast<std::uint32_t>(v.size()));
+  for (const T& item : v) wire_write(b, item);
+}
+
+template <typename T>
+void wire_read(WireCursor& c, std::vector<T>& v) {
+  const std::uint32_t n = c.read_u32();
+  v.clear();
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    T item{};
+    wire_read(c, item);
+    v.push_back(std::move(item));
+  }
+}
+
+}  // namespace causeway

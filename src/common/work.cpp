@@ -1,0 +1,42 @@
+#include "common/work.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/cpu.h"
+
+namespace causeway {
+
+std::uint64_t churn(std::uint64_t seed, std::uint64_t rounds) {
+  std::uint64_t x = seed | 1;
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x += 0x9e3779b97f4a7c15ull;
+  }
+  return x;
+}
+
+void burn_cpu(Nanos cpu_ns) {
+  if (cpu_ns <= 0) return;
+  const Nanos start = thread_cpu_now_ns();
+  const Nanos deadline = start + cpu_ns;
+  std::uint64_t sink = 0x12345678u;
+  // Check the thread CPU clock only every few microseconds of work; the
+  // clock_gettime call itself costs CPU, which is fine -- it is still CPU
+  // attributed to this thread.
+  while (thread_cpu_now_ns() < deadline) {
+    sink = churn(sink, 512);
+  }
+  // Publish the sink so the loop cannot be optimized away.
+  volatile std::uint64_t publish = sink;
+  (void)publish;
+}
+
+void idle_for(Nanos wall_ns) {
+  if (wall_ns <= 0) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(wall_ns));
+}
+
+}  // namespace causeway

@@ -1,0 +1,27 @@
+// Synthetic work for component implementations.
+//
+// The paper's experiments run real component bodies (parsing, rasterizing,
+// ...).  Our reproduction replaces those bodies with calibrated synthetic
+// work: `burn_cpu` consumes a requested amount of *per-thread CPU time*
+// (verified against CLOCK_THREAD_CPUTIME_ID, so it is robust to preemption
+// on a loaded single-core host), and `idle_for` models I/O-ish waiting that
+// costs latency but no CPU.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace causeway {
+
+// Spins until the calling thread has consumed ~cpu_ns additional CPU time.
+void burn_cpu(Nanos cpu_ns);
+
+// Blocks the calling thread for ~wall_ns without consuming CPU.
+void idle_for(Nanos wall_ns);
+
+// A deterministic integer mixing workload: `rounds` rounds over `seed`.
+// Returns the folded value so the optimizer cannot delete the loop.
+std::uint64_t churn(std::uint64_t seed, std::uint64_t rounds);
+
+}  // namespace causeway

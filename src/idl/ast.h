@@ -1,0 +1,139 @@
+// Abstract syntax tree for the IDL subset.
+//
+// Supported: nested modules, structs, exceptions, enums, typedefs,
+// interfaces with synchronous and `oneway` operations, in/out/inout
+// parameters, primitive types (boolean, octet, short, long, long long,
+// unsigned variants, float, double, string), bounded-free sequence<T>, and
+// scoped type references.  Deliberately out of scope (as in the paper):
+// DII/DSI, interface inheritance, unions, arrays, `any`.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace causeway::idl {
+
+enum class PrimitiveKind {
+  kVoid,
+  kBoolean,
+  kOctet,
+  kShort,
+  kLong,
+  kLongLong,
+  kUShort,
+  kULong,
+  kULongLong,
+  kFloat,
+  kDouble,
+  kString,
+};
+
+struct Type {
+  enum class Kind { kPrimitive, kSequence, kNamed } kind{Kind::kPrimitive};
+  PrimitiveKind primitive{PrimitiveKind::kVoid};
+  std::shared_ptr<Type> element;   // kSequence
+  std::vector<std::string> name;   // kNamed: possibly-scoped path
+
+  bool is_void() const {
+    return kind == Kind::kPrimitive && primitive == PrimitiveKind::kVoid;
+  }
+};
+
+struct Member {
+  Type type;
+  std::string name;
+  int line{0};
+};
+
+struct StructDef {
+  std::string name;
+  std::vector<Member> members;
+  int line{0};
+};
+
+struct ExceptionDef {
+  std::string name;
+  std::vector<Member> members;
+  int line{0};
+};
+
+struct EnumDef {
+  std::string name;
+  std::vector<std::string> enumerators;
+  int line{0};
+};
+
+struct ConstDef {
+  enum class LiteralKind { kNumber, kString, kBoolean };
+
+  Type type;  // primitive only (including string/boolean)
+  std::string name;
+  LiteralKind literal_kind{LiteralKind::kNumber};
+  std::string number_text;   // verbatim digits, with optional leading '-'
+  std::string string_value;  // unescaped
+  bool bool_value{false};
+  int line{0};
+};
+
+struct TypedefDef {
+  std::string name;
+  Type aliased;
+  int line{0};
+};
+
+enum class ParamDirection { kIn, kOut, kInOut };
+
+struct Param {
+  ParamDirection direction{ParamDirection::kIn};
+  Type type;
+  std::string name;
+  int line{0};
+};
+
+struct Operation {
+  bool oneway{false};
+  Type return_type;
+  std::string name;
+  std::vector<Param> params;
+  std::vector<std::vector<std::string>> raises;  // scoped exception names
+  int line{0};
+};
+
+struct InterfaceDef {
+  std::string name;
+  std::vector<Operation> operations;
+  int line{0};
+};
+
+enum class DefKind {
+  kStruct,
+  kException,
+  kEnum,
+  kTypedef,
+  kConst,
+  kInterface,
+  kModule,
+};
+
+struct ModuleDef {
+  std::string name;
+  std::vector<StructDef> structs;
+  std::vector<ExceptionDef> exceptions;
+  std::vector<EnumDef> enums;
+  std::vector<TypedefDef> typedefs;
+  std::vector<ConstDef> consts;
+  std::vector<InterfaceDef> interfaces;
+  std::vector<std::unique_ptr<ModuleDef>> submodules;
+  // Declaration order: (kind, index into that kind's vector).  C++ emission
+  // must follow it -- a typedef may reference the struct declared above it.
+  std::vector<std::pair<DefKind, std::size_t>> order;
+  int line{0};
+};
+
+// One parsed .idl file: a sequence of top-level modules.
+struct SpecDef {
+  std::vector<std::unique_ptr<ModuleDef>> modules;
+};
+
+}  // namespace causeway::idl

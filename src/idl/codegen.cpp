@@ -1,0 +1,589 @@
+#include "idl/codegen.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+#include "idl/sema.h"
+
+namespace causeway::idl {
+namespace {
+
+std::string cpp_primitive(PrimitiveKind kind) {
+  switch (kind) {
+    case PrimitiveKind::kVoid: return "void";
+    case PrimitiveKind::kBoolean: return "bool";
+    case PrimitiveKind::kOctet: return "std::uint8_t";
+    case PrimitiveKind::kShort: return "std::int16_t";
+    case PrimitiveKind::kLong: return "std::int32_t";
+    case PrimitiveKind::kLongLong: return "std::int64_t";
+    case PrimitiveKind::kUShort: return "std::uint16_t";
+    case PrimitiveKind::kULong: return "std::uint32_t";
+    case PrimitiveKind::kULongLong: return "std::uint64_t";
+    case PrimitiveKind::kFloat: return "float";
+    case PrimitiveKind::kDouble: return "double";
+    case PrimitiveKind::kString: return "std::string";
+  }
+  return "void";
+}
+
+// Per-runtime vocabulary: the generated code differs only in which support
+// classes it binds to; the marshaling protocol is shared.
+struct RuntimeNames {
+  const char* proxy_suffix;
+  const char* call_class;       // client-side call helper
+  const char* method_spec;
+  const char* guard_class;      // server-side probe guard
+  const char* servant_base;
+  const char* dispatch_result;
+  const char* dispatch_context;
+  const char* method_id;
+  const char* status_app_error;
+  const char* status_system_error;
+  const char* generic_error;    // thrown for unmatched app errors
+  const char* object_key_expr;  // identity key inside dispatch
+  const char* oneway_invoke;    // fire-and-forget call method
+};
+
+constexpr RuntimeNames kOrbNames = {
+    "Proxy",
+    "causeway::orb::ClientCall",
+    "causeway::orb::MethodSpec",
+    "causeway::orb::SkeletonGuard",
+    "causeway::orb::Servant",
+    "causeway::orb::DispatchResult",
+    "causeway::orb::DispatchContext",
+    "causeway::orb::MethodId",
+    "causeway::orb::ReplyStatus::kAppError",
+    "causeway::orb::ReplyStatus::kSystemError",
+    "causeway::orb::AppError",
+    "ctx.object_key",
+    "invoke_oneway",
+};
+
+constexpr RuntimeNames kComNames = {
+    "ComProxy",
+    "causeway::com::ComCall",
+    "causeway::com::ComMethodSpec",
+    "causeway::com::ComSkelGuard",
+    "causeway::com::ComServant",
+    "causeway::com::ComDispatchResult",
+    "causeway::com::ComDispatchContext",
+    "causeway::com::MethodId",
+    "causeway::com::CallStatus::kAppError",
+    "causeway::com::CallStatus::kSystemError",
+    "causeway::com::ComError",
+    "ctx.object_id",
+    "invoke_post",
+};
+
+class Generator {
+ public:
+  Generator(const SpecDef& spec, const CodegenOptions& options)
+      : spec_(spec),
+        options_(options),
+        com_(options.runtime == TargetRuntime::kCom),
+        names_(com_ ? kComNames : kOrbNames),
+        table_(SymbolTable::build(spec)) {}
+
+  GeneratedCode run() {
+    emit_header_prologue();
+    emit_source_prologue();
+    for (const auto& mod : spec_.modules) emit_module(*mod);
+    hdr_ += "\n";
+    return {std::move(hdr_), std::move(src_)};
+  }
+
+ private:
+  bool com() const { return com_; }
+
+  // Selects which runtime's vocabulary the proxy/skeleton emitters use
+  // (kBoth emits one pass per runtime).
+  void select_runtime(bool com) {
+    com_ = com;
+    names_ = com ? kComNames : kOrbNames;
+  }
+
+  // --- type rendering ---
+
+  std::string cpp_type(const Type& t) const {
+    switch (t.kind) {
+      case Type::Kind::kPrimitive:
+        return cpp_primitive(t.primitive);
+      case Type::Kind::kSequence:
+        return "std::vector<" + cpp_type(*t.element) + ">";
+      case Type::Kind::kNamed: {
+        auto hit = table_.resolve(t.name, scope_);
+        assert(hit && "sema must run before codegen");
+        return "::" + hit->first;
+      }
+    }
+    return "void";
+  }
+
+  // By-value for non-string primitives and enums, resolving typedef chains
+  // to their ultimate target (each hop re-resolved in its defining scope).
+  bool pass_by_value(const Type& t) const {
+    return pass_by_value_in(t, scope_);
+  }
+
+  bool pass_by_value_in(const Type& t,
+                        const std::vector<std::string>& scope) const {
+    if (t.kind == Type::Kind::kPrimitive) {
+      return t.primitive != PrimitiveKind::kString;
+    }
+    if (t.kind == Type::Kind::kNamed) {
+      auto hit = table_.resolve(t.name, scope);
+      if (!hit) return false;
+      if (hit->second == SymbolKind::kEnum) return true;
+      if (hit->second == SymbolKind::kTypedef) {
+        const auto* info = table_.typedef_info(hit->first);
+        return info && pass_by_value_in(info->aliased, info->scope);
+      }
+    }
+    return false;
+  }
+
+  std::string param_sig(const Param& p) const {
+    const std::string type = cpp_type(p.type);
+    if (p.direction == ParamDirection::kIn) {
+      return pass_by_value(p.type) ? type + " " + p.name
+                                   : "const " + type + "& " + p.name;
+    }
+    return type + "& " + p.name;  // out / inout
+  }
+
+  std::string op_signature(const Operation& op, const std::string& qualifier =
+                                                    "") const {
+    std::string sig = cpp_type(op.return_type) + " " + qualifier + op.name + "(";
+    for (std::size_t i = 0; i < op.params.size(); ++i) {
+      if (i > 0) sig += ", ";
+      sig += param_sig(op.params[i]);
+    }
+    sig += ")";
+    return sig;
+  }
+
+  std::string qualified(const std::string& name) const {
+    return join_path(scope_) + "::" + name;
+  }
+
+  const char* instr() const {
+    return options_.instrumented ? "true" : "false";
+  }
+
+  // --- file skeletons ---
+
+  const char* runtime_banner() const {
+    switch (options_.runtime) {
+      case TargetRuntime::kOrb: return "";
+      case TargetRuntime::kCom: return " --runtime=com";
+      case TargetRuntime::kBoth: return " --runtime=both";
+    }
+    return "";
+  }
+
+  void emit_header_prologue() {
+    hdr_ += "// Generated by idlc";
+    hdr_ += options_.instrumented ? " --instrument" : "";
+    hdr_ += runtime_banner();
+    hdr_ += ". DO NOT EDIT.\n#pragma once\n\n";
+    hdr_ +=
+        "#include <cstdint>\n#include <memory>\n#include <string>\n"
+        "#include <string_view>\n#include <vector>\n\n"
+        "#include \"common/wire_io.h\"\n";
+    if (options_.runtime != TargetRuntime::kOrb) {
+      hdr_ += "#include \"com/apartment.h\"\n"
+              "#include \"com/servant.h\"\n"
+              "#include \"com/stubs.h\"\n";
+    }
+    if (options_.runtime != TargetRuntime::kCom) {
+      hdr_ += "#include \"orb/domain.h\"\n"
+              "#include \"orb/errors.h\"\n"
+              "#include \"orb/servant.h\"\n"
+              "#include \"orb/stubs.h\"\n";
+    }
+  }
+
+  void emit_source_prologue() {
+    src_ += "// Generated by idlc";
+    src_ += options_.instrumented ? " --instrument" : "";
+    src_ += runtime_banner();
+    src_ += ". DO NOT EDIT.\n";
+    src_ += "#include \"" + options_.basename + ".causeway.h\"\n";
+  }
+
+  // --- declarations ---
+
+  void emit_module(const ModuleDef& mod) {
+    scope_.push_back(mod.name);
+    hdr_ += "\nnamespace " + mod.name + " {\n";
+    src_ += "\nnamespace " + mod.name + " {\n";
+    for (const auto& [kind, index] : mod.order) {
+      switch (kind) {
+        case DefKind::kEnum: emit_enum(mod.enums[index]); break;
+        case DefKind::kTypedef: emit_typedef(mod.typedefs[index]); break;
+        case DefKind::kConst: emit_const(mod.consts[index]); break;
+        case DefKind::kStruct: {
+          const auto& s = mod.structs[index];
+          emit_struct(s.name, s.members, false);
+          break;
+        }
+        case DefKind::kException: {
+          const auto& e = mod.exceptions[index];
+          emit_struct(e.name, e.members, true);
+          break;
+        }
+        case DefKind::kInterface: emit_interface(mod.interfaces[index]); break;
+        case DefKind::kModule: emit_module(*mod.submodules[index]); break;
+      }
+    }
+    hdr_ += "\n}  // namespace " + mod.name + "\n";
+    src_ += "\n}  // namespace " + mod.name + "\n";
+    scope_.pop_back();
+  }
+
+  void emit_enum(const EnumDef& def) {
+    hdr_ += "\nenum class " + def.name + " : std::uint32_t {\n";
+    for (const auto& e : def.enumerators) {
+      hdr_ += "  " + e + ",\n";
+    }
+    hdr_ += "};\n";
+    hdr_ += "inline void wire_write(causeway::WireBuffer& b, " + def.name +
+            " v) { b.write_u32(static_cast<std::uint32_t>(v)); }\n";
+    hdr_ += "inline void wire_read(causeway::WireCursor& c, " + def.name +
+            "& v) { v = static_cast<" + def.name + ">(c.read_u32()); }\n";
+  }
+
+  void emit_typedef(const TypedefDef& def) {
+    hdr_ += "\nusing " + def.name + " = " + cpp_type(def.aliased) + ";\n";
+  }
+
+  void emit_const(const ConstDef& def) {
+    switch (def.literal_kind) {
+      case ConstDef::LiteralKind::kNumber:
+        hdr_ += "\ninline constexpr " + cpp_type(def.type) + " " + def.name +
+                " = " + def.number_text + ";\n";
+        break;
+      case ConstDef::LiteralKind::kString: {
+        std::string escaped;
+        for (char c : def.string_value) {
+          switch (c) {
+            case '"': escaped += "\\\""; break;
+            case '\\': escaped += "\\\\"; break;
+            case '\n': escaped += "\\n"; break;
+            case '\t': escaped += "\\t"; break;
+            default: escaped += c;
+          }
+        }
+        hdr_ += "\ninline constexpr std::string_view " + def.name + " = \"" +
+                escaped + "\";\n";
+        break;
+      }
+      case ConstDef::LiteralKind::kBoolean:
+        hdr_ += "\ninline constexpr bool " + def.name +
+                (def.bool_value ? " = true;\n" : " = false;\n");
+        break;
+    }
+  }
+
+  void emit_struct(const std::string& name, const std::vector<Member>& members,
+                   bool is_exception) {
+    hdr_ += "\nstruct " + name + " {\n";
+    for (const auto& m : members) {
+      hdr_ += "  " + cpp_type(m.type) + " " + m.name + "{};\n";
+    }
+    if (is_exception) {
+      hdr_ += "  static constexpr std::string_view kRepoName = \"" +
+              qualified(name) + "\";\n";
+    }
+    hdr_ += "};\n";
+    hdr_ += "void wire_write(causeway::WireBuffer& b, const " + name +
+            "& v);\n";
+    hdr_ += "void wire_read(causeway::WireCursor& c, " + name + "& v);\n";
+
+    src_ += "\nvoid wire_write(causeway::WireBuffer& b, const " + name +
+            "& v) {\n  using causeway::wire_write;\n";
+    for (const auto& m : members) {
+      src_ += "  wire_write(b, v." + m.name + ");\n";
+    }
+    src_ += "  (void)b; (void)v;\n}\n";
+    src_ += "void wire_read(causeway::WireCursor& c, " + name +
+            "& v) {\n  using causeway::wire_read;\n";
+    for (const auto& m : members) {
+      src_ += "  wire_read(c, v." + m.name + ");\n";
+    }
+    src_ += "  (void)c; (void)v;\n}\n";
+  }
+
+  void emit_interface(const InterfaceDef& iface) {
+    const std::string repo = qualified(iface.name);
+
+    // Abstract interface.
+    hdr_ += "\nclass " + iface.name + " {\n public:\n";
+    hdr_ += "  virtual ~" + iface.name + "() = default;\n";
+    hdr_ += "  static constexpr std::string_view kRepoName = \"" + repo +
+            "\";\n";
+    for (const auto& op : iface.operations) {
+      hdr_ += "  virtual " + op_signature(op) + " = 0;\n";
+    }
+    hdr_ += "};\n";
+
+    if (options_.runtime == TargetRuntime::kBoth) {
+      for (const bool com_pass : {false, true}) {
+        select_runtime(com_pass);
+        emit_proxy(iface);
+        emit_skeleton(iface);
+        emit_activation(iface);
+      }
+      select_runtime(false);
+    } else {
+      emit_proxy(iface);
+      emit_skeleton(iface);
+      emit_activation(iface);
+    }
+  }
+
+  void emit_activation(const InterfaceDef& iface) {
+    if (com()) {
+      hdr_ += "\ninline causeway::com::ComObjectId register_" + iface.name +
+              "(\n    causeway::com::ComRuntime& runtime, "
+              "causeway::com::ApartmentId apartment,\n    std::shared_ptr<" +
+              iface.name +
+              "> impl) {\n  return runtime.register_object(\n      apartment, "
+              "causeway::com::ComPtr<causeway::com::ComServant>(\n          "
+              "new " + iface.name + "ComSkeleton(std::move(impl))));\n}\n";
+    } else {
+      hdr_ += "\ninline causeway::orb::ObjectRef activate_" + iface.name +
+              "(\n    causeway::orb::ProcessDomain& domain, std::shared_ptr<" +
+              iface.name +
+              "> impl) {\n  return domain.activate(std::make_shared<" +
+              iface.name + "Skeleton>(std::move(impl)));\n}\n";
+    }
+  }
+
+  void emit_proxy(const InterfaceDef& iface) {
+    const std::string cls = iface.name + names_.proxy_suffix;
+    hdr_ += "\nclass " + cls + " final : public " + iface.name +
+            " {\n public:\n";
+    if (com()) {
+      hdr_ += "  " + cls +
+              "(causeway::com::ComRuntime& runtime, "
+              "causeway::com::ComObjectId target)\n      : runtime_(&runtime),"
+              " target_(target) {}\n";
+    } else {
+      hdr_ += "  " + cls +
+              "(causeway::orb::ProcessDomain& domain, "
+              "causeway::orb::ObjectRef ref)\n      : domain_(&domain), "
+              "ref_(std::move(ref)) {}\n";
+    }
+    for (const auto& op : iface.operations) {
+      hdr_ += "  " + op_signature(op) + " override;\n";
+    }
+    if (com()) {
+      hdr_ += "  causeway::com::ComObjectId target() const { return "
+              "target_; }\n";
+      hdr_ += " private:\n  causeway::com::ComRuntime* runtime_;\n"
+              "  causeway::com::ComObjectId target_;\n};\n";
+    } else {
+      hdr_ += "  const causeway::orb::ObjectRef& ref() const { return "
+              "ref_; }\n";
+      hdr_ += " private:\n  causeway::orb::ProcessDomain* domain_;\n"
+              "  causeway::orb::ObjectRef ref_;\n};\n";
+    }
+
+    for (std::size_t op_index = 0; op_index < iface.operations.size();
+         ++op_index) {
+      emit_proxy_method(iface, iface.operations[op_index],
+                        static_cast<std::uint32_t>(op_index));
+    }
+  }
+
+  void emit_proxy_method(const InterfaceDef& iface, const Operation& op,
+                         std::uint32_t method_id) {
+    const std::string cls = iface.name + names_.proxy_suffix;
+
+    src_ += "\n" + op_signature(op, cls + "::") + " {\n";
+    src_ += "  using causeway::wire_write;\n  using causeway::wire_read;\n";
+    src_ += strf("  %s _call(%s,\n      %s{\"%s\", \"%s\", %uu, %s},\n"
+                 "      /*instrumented=*/%s);\n",
+                 names_.call_class,
+                 com() ? "*runtime_, target_" : "*domain_, ref_",
+                 names_.method_spec, qualified(iface.name).c_str(),
+                 op.name.c_str(), method_id, op.oneway ? "true" : "false",
+                 instr());
+    src_ += "  auto& _req = _call.request();\n  (void)_req;\n";
+    for (const auto& p : op.params) {
+      if (p.direction != ParamDirection::kOut) {
+        src_ += "  wire_write(_req, " + p.name + ");\n";
+      }
+    }
+
+    if (op.oneway) {
+      src_ += strf("  _call.%s();\n}\n", names_.oneway_invoke);
+      return;
+    }
+
+    src_ += "  causeway::WireCursor _reply = _call.invoke();\n"
+            "  (void)_reply;\n";
+    // Typed application-exception reconstruction.
+    src_ += "  if (_call.has_app_error()) {\n";
+    for (const auto& raised : op.raises) {
+      auto hit = table_.resolve(raised, scope_);
+      assert(hit);
+      const std::string ex = "::" + hit->first;
+      src_ += "    if (_call.app_error_name() == " + ex +
+              "::kRepoName) {\n      " + ex +
+              " _ex;\n      wire_read(_reply, _ex);\n      throw _ex;\n"
+              "    }\n";
+    }
+    if (com()) {
+      src_ += strf("    throw %s(_call.app_error_name() + \": \" + "
+                   "_call.app_error_text());\n  }\n",
+                   names_.generic_error);
+    } else {
+      src_ += strf("    throw %s(_call.app_error_name(), "
+                   "_call.app_error_text());\n  }\n",
+                   names_.generic_error);
+    }
+
+    if (!op.return_type.is_void()) {
+      src_ += "  " + cpp_type(op.return_type) +
+              " _ret{};\n  wire_read(_reply, _ret);\n";
+    }
+    for (const auto& p : op.params) {
+      if (p.direction != ParamDirection::kIn) {
+        src_ += "  wire_read(_reply, " + p.name + ");\n";
+      }
+    }
+    if (!op.return_type.is_void()) src_ += "  return _ret;\n";
+    src_ += "}\n";
+  }
+
+  void emit_skeleton(const InterfaceDef& iface) {
+    const std::string cls =
+        iface.name + (com() ? "ComSkeleton" : "Skeleton");
+    const std::string dispatch_name = com() ? "com_dispatch" : "dispatch";
+
+    hdr_ += strf("\nclass %s final : public %s {\n public:\n", cls.c_str(),
+                 names_.servant_base);
+    hdr_ += "  explicit " + cls + "(std::shared_ptr<" + iface.name +
+            "> impl) : impl_(std::move(impl)) {}\n";
+    hdr_ += "  std::string_view interface_name() const override { return "
+            "\"" + qualified(iface.name) + "\"; }\n";
+    hdr_ += strf("  %s %s(\n      %s& ctx, %s method,\n"
+                 "      causeway::WireCursor& in, causeway::WireBuffer& out) "
+                 "override;\n",
+                 names_.dispatch_result, dispatch_name.c_str(),
+                 names_.dispatch_context, names_.method_id);
+    hdr_ += " private:\n";
+    for (const auto& op : iface.operations) {
+      hdr_ += strf("  %s _dispatch_%s(\n      %s& ctx, "
+                   "causeway::WireCursor& in,\n      causeway::WireBuffer& "
+                   "out);\n",
+                   names_.dispatch_result, op.name.c_str(),
+                   names_.dispatch_context);
+    }
+    hdr_ += "  std::shared_ptr<" + iface.name + "> impl_;\n};\n";
+
+    // dispatch switch
+    src_ += strf("\n%s %s::%s(\n    %s& ctx, %s method,\n"
+                 "    causeway::WireCursor& in, causeway::WireBuffer& out) "
+                 "{\n  switch (method) {\n",
+                 names_.dispatch_result, cls.c_str(), dispatch_name.c_str(),
+                 names_.dispatch_context, names_.method_id);
+    for (std::size_t op_index = 0; op_index < iface.operations.size();
+         ++op_index) {
+      src_ += strf("    case %zuu: return _dispatch_%s(ctx, in, out);\n",
+                   op_index, iface.operations[op_index].name.c_str());
+    }
+    src_ += strf("  }\n  %s _r;\n  _r.status = %s;\n"
+                 "  _r.error_text = \"unknown method id\";\n  return _r;\n}\n",
+                 names_.dispatch_result, names_.status_system_error);
+
+    for (const auto& op : iface.operations) emit_skeleton_method(iface, op);
+  }
+
+  void emit_skeleton_method(const InterfaceDef& iface, const Operation& op) {
+    const std::string cls =
+        iface.name + (com() ? "ComSkeleton" : "Skeleton");
+
+    src_ += strf("\n%s %s::_dispatch_%s(\n    %s& ctx, "
+                 "causeway::WireCursor& in,\n    causeway::WireBuffer& out) "
+                 "{\n",
+                 names_.dispatch_result, cls.c_str(), op.name.c_str(),
+                 names_.dispatch_context);
+    src_ += "  using causeway::wire_write;\n  using causeway::wire_read;\n"
+            "  (void)out;\n";
+    src_ += strf(
+        "  %s _guard(\n      ctx, causeway::monitor::CallIdentity{\"%s\", "
+        "\"%s\", %s},\n      in, /*instrumented=*/%s);\n",
+        names_.guard_class, qualified(iface.name).c_str(), op.name.c_str(),
+        names_.object_key_expr, instr());
+    src_ += strf("  %s _r;\n", names_.dispatch_result);
+
+    // Unmarshal in/inout, declare out.
+    for (const auto& p : op.params) {
+      src_ += "  " + cpp_type(p.type) + " " + p.name + "{};\n";
+      if (p.direction != ParamDirection::kOut) {
+        src_ += "  wire_read(in, " + p.name + ");\n";
+      }
+    }
+
+    // Invoke the user implementation.
+    std::string call = "impl_->" + op.name + "(";
+    for (std::size_t i = 0; i < op.params.size(); ++i) {
+      if (i > 0) call += ", ";
+      call += op.params[i].name;
+    }
+    call += ")";
+
+    src_ += "  try {\n";
+    if (op.return_type.is_void()) {
+      src_ += "    " + call + ";\n    _guard.body_end();\n";
+    } else {
+      src_ += "    " + cpp_type(op.return_type) + " _ret = " + call +
+              ";\n    _guard.body_end();\n    wire_write(out, _ret);\n";
+    }
+    for (const auto& p : op.params) {
+      if (p.direction != ParamDirection::kIn) {
+        src_ += "    wire_write(out, " + p.name + ");\n";
+      }
+    }
+    src_ += "  }";
+
+    for (const auto& raised : op.raises) {
+      auto hit = table_.resolve(raised, scope_);
+      assert(hit);
+      const std::string ex = "::" + hit->first;
+      src_ += " catch (const " + ex +
+              "& _ex) {\n    _guard.body_end("
+              "causeway::monitor::CallOutcome::kAppError);\n";
+      src_ += strf("    _r.status = %s;\n", names_.status_app_error);
+      src_ += "    _r.error_name = std::string(" + ex + "::kRepoName);\n"
+              "    _r.error_text = \"application exception\";\n"
+              "    wire_write(out, _ex);\n  }";
+    }
+    src_ += " catch (const std::exception& _e) {\n    _guard.body_end("
+            "causeway::monitor::CallOutcome::kSystemError);\n";
+    src_ += strf("    _r.status = %s;\n", names_.status_system_error);
+    src_ += "    _r.error_text = _e.what();\n  }\n";
+    src_ += "  _guard.seal(out);\n  return _r;\n}\n";
+  }
+
+  const SpecDef& spec_;
+  const CodegenOptions& options_;
+  bool com_;
+  RuntimeNames names_;
+  SymbolTable table_;
+  std::vector<std::string> scope_;
+  std::string hdr_;
+  std::string src_;
+};
+
+}  // namespace
+
+GeneratedCode generate(const SpecDef& spec, const CodegenOptions& options) {
+  return Generator(spec, options).run();
+}
+
+}  // namespace causeway::idl

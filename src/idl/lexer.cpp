@@ -1,0 +1,187 @@
+#include "idl/lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace causeway::idl {
+namespace {
+
+constexpr std::array<std::string_view, 22> kKeywords = {
+    "module", "interface", "struct",  "exception", "oneway",
+    "in",     "out",       "inout",   "raises",    "sequence",
+    "void",   "boolean",   "octet",   "short",     "long",
+    "float",  "double",    "string",  "unsigned",  "const",
+    "enum",   "typedef",
+};
+
+bool is_keyword(std::string_view word) {
+  for (auto kw : kKeywords) {
+    if (kw == word) return true;
+  }
+  return false;
+}
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      skip_trivia();
+      Token t = next();
+      const bool eof = t.kind == TokenKind::kEof;
+      tokens.push_back(std::move(t));
+      if (eof) return tokens;
+    }
+  }
+
+ private:
+  void skip_trivia() {
+    for (;;) {
+      while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) {
+        advance();
+      }
+      if (at_end()) return;
+      if (peek() == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (!at_end() && peek() != '\n') advance();
+        continue;
+      }
+      if (peek() == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        const int start_line = line_, start_col = col_;
+        advance();
+        advance();
+        for (;;) {
+          if (at_end()) {
+            throw LexError("unterminated block comment", start_line,
+                           start_col);
+          }
+          if (peek() == '*' && pos_ + 1 < src_.size() &&
+              src_[pos_ + 1] == '/') {
+            advance();
+            advance();
+            break;
+          }
+          advance();
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token next() {
+    Token t;
+    t.line = line_;
+    t.column = col_;
+    if (at_end()) {
+      t.kind = TokenKind::kEof;
+      return t;
+    }
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string number;
+      bool seen_dot = false;
+      while (!at_end() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              (peek() == '.' && !seen_dot))) {
+        seen_dot |= (peek() == '.');
+        number += peek();
+        advance();
+      }
+      t.kind = TokenKind::kNumber;
+      t.text = std::move(number);
+      return t;
+    }
+    if (c == '"') {
+      advance();
+      std::string text;
+      for (;;) {
+        if (at_end()) {
+          throw LexError("unterminated string literal", t.line, t.column);
+        }
+        const char ch = peek();
+        if (ch == '"') {
+          advance();
+          break;
+        }
+        if (ch == '\\') {
+          advance();
+          if (at_end()) {
+            throw LexError("unterminated escape", t.line, t.column);
+          }
+          const char esc = peek();
+          text += (esc == 'n') ? '\n' : (esc == 't') ? '\t' : esc;
+          advance();
+          continue;
+        }
+        text += ch;
+        advance();
+      }
+      t.kind = TokenKind::kStringLit;
+      t.text = std::move(text);
+      return t;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (!at_end() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_')) {
+        word += peek();
+        advance();
+      }
+      t.kind = is_keyword(word) ? TokenKind::kKeyword : TokenKind::kIdentifier;
+      t.text = std::move(word);
+      return t;
+    }
+    switch (c) {
+      case '{': advance(); t.kind = TokenKind::kLBrace; t.text = "{"; return t;
+      case '}': advance(); t.kind = TokenKind::kRBrace; t.text = "}"; return t;
+      case '(': advance(); t.kind = TokenKind::kLParen; t.text = "("; return t;
+      case ')': advance(); t.kind = TokenKind::kRParen; t.text = ")"; return t;
+      case '<': advance(); t.kind = TokenKind::kLAngle; t.text = "<"; return t;
+      case '>': advance(); t.kind = TokenKind::kRAngle; t.text = ">"; return t;
+      case ';': advance(); t.kind = TokenKind::kSemicolon; t.text = ";"; return t;
+      case ',': advance(); t.kind = TokenKind::kComma; t.text = ","; return t;
+      case '=': advance(); t.kind = TokenKind::kEquals; t.text = "="; return t;
+      case '-': advance(); t.kind = TokenKind::kMinus; t.text = "-"; return t;
+      case ':':
+        if (pos_ + 1 < src_.size() && src_[pos_ + 1] == ':') {
+          advance();
+          advance();
+          t.kind = TokenKind::kScope;
+          t.text = "::";
+          return t;
+        }
+        throw LexError("stray ':'", line_, col_);
+      default:
+        throw LexError(std::string("illegal character '") + c + "'", line_,
+                       col_);
+    }
+  }
+
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek() const { return src_[pos_]; }
+  void advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_{0};
+  int line_{1};
+  int col_{1};
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  return Scanner(source).run();
+}
+
+}  // namespace causeway::idl

@@ -1,0 +1,27 @@
+// IDL lexer: identifiers, keywords, punctuation, // and /* */ comments.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "idl/token.h"
+
+namespace causeway::idl {
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& what, int line, int column)
+      : std::runtime_error(what + " at " + std::to_string(line) + ":" +
+                           std::to_string(column)),
+        line(line),
+        column(column) {}
+  int line;
+  int column;
+};
+
+// Tokenizes the whole source; throws LexError on illegal characters or
+// unterminated comments.  The final token is always kEof.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace causeway::idl

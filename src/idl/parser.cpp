@@ -1,0 +1,335 @@
+#include "idl/parser.h"
+
+#include "idl/lexer.h"
+
+namespace causeway::idl {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  SpecDef run() {
+    SpecDef spec;
+    while (!at(TokenKind::kEof)) {
+      expect_keyword("module");
+      spec.modules.push_back(parse_module());
+    }
+    return spec;
+  }
+
+ private:
+  std::unique_ptr<ModuleDef> parse_module() {
+    auto mod = std::make_unique<ModuleDef>();
+    mod->line = peek().line;
+    mod->name = expect_ident("module name");
+    expect(TokenKind::kLBrace, "'{'");
+    while (!at(TokenKind::kRBrace)) {
+      if (peek().is_keyword("module")) {
+        advance();
+        mod->order.emplace_back(DefKind::kModule, mod->submodules.size());
+        mod->submodules.push_back(parse_module());
+      } else if (peek().is_keyword("struct")) {
+        advance();
+        mod->order.emplace_back(DefKind::kStruct, mod->structs.size());
+        mod->structs.push_back(parse_struct());
+      } else if (peek().is_keyword("exception")) {
+        advance();
+        mod->order.emplace_back(DefKind::kException, mod->exceptions.size());
+        mod->exceptions.push_back(parse_exception());
+      } else if (peek().is_keyword("enum")) {
+        advance();
+        mod->order.emplace_back(DefKind::kEnum, mod->enums.size());
+        mod->enums.push_back(parse_enum());
+      } else if (peek().is_keyword("typedef")) {
+        advance();
+        mod->order.emplace_back(DefKind::kTypedef, mod->typedefs.size());
+        mod->typedefs.push_back(parse_typedef());
+      } else if (peek().is_keyword("const")) {
+        advance();
+        mod->order.emplace_back(DefKind::kConst, mod->consts.size());
+        mod->consts.push_back(parse_const());
+      } else if (peek().is_keyword("interface")) {
+        advance();
+        mod->order.emplace_back(DefKind::kInterface, mod->interfaces.size());
+        mod->interfaces.push_back(parse_interface());
+      } else {
+        fail("expected module/struct/exception/interface");
+      }
+    }
+    expect(TokenKind::kRBrace, "'}'");
+    expect(TokenKind::kSemicolon, "';'");
+    return mod;
+  }
+
+  StructDef parse_struct() {
+    StructDef def;
+    def.line = peek().line;
+    def.name = expect_ident("struct name");
+    expect(TokenKind::kLBrace, "'{'");
+    while (!at(TokenKind::kRBrace)) def.members.push_back(parse_member());
+    expect(TokenKind::kRBrace, "'}'");
+    expect(TokenKind::kSemicolon, "';'");
+    return def;
+  }
+
+  ExceptionDef parse_exception() {
+    ExceptionDef def;
+    def.line = peek().line;
+    def.name = expect_ident("exception name");
+    expect(TokenKind::kLBrace, "'{'");
+    while (!at(TokenKind::kRBrace)) def.members.push_back(parse_member());
+    expect(TokenKind::kRBrace, "'}'");
+    expect(TokenKind::kSemicolon, "';'");
+    return def;
+  }
+
+  EnumDef parse_enum() {
+    EnumDef def;
+    def.line = peek().line;
+    def.name = expect_ident("enum name");
+    expect(TokenKind::kLBrace, "'{'");
+    for (;;) {
+      def.enumerators.push_back(expect_ident("enumerator"));
+      if (at(TokenKind::kComma)) {
+        advance();
+        if (at(TokenKind::kRBrace)) break;  // tolerate trailing comma
+        continue;
+      }
+      break;
+    }
+    expect(TokenKind::kRBrace, "'}'");
+    expect(TokenKind::kSemicolon, "';'");
+    return def;
+  }
+
+  TypedefDef parse_typedef() {
+    TypedefDef def;
+    def.line = peek().line;
+    def.aliased = parse_type();
+    if (def.aliased.is_void()) fail("cannot typedef void");
+    def.name = expect_ident("typedef name");
+    expect(TokenKind::kSemicolon, "';'");
+    return def;
+  }
+
+  ConstDef parse_const() {
+    ConstDef def;
+    def.line = peek().line;
+    def.type = parse_type();
+    if (def.type.is_void()) fail("cannot declare a void constant");
+    def.name = expect_ident("constant name");
+    expect(TokenKind::kEquals, "'='");
+
+    bool negative = false;
+    if (at(TokenKind::kMinus)) {
+      negative = true;
+      advance();
+    }
+    const Token& lit = peek();
+    if (lit.kind == TokenKind::kNumber) {
+      def.literal_kind = ConstDef::LiteralKind::kNumber;
+      def.number_text = (negative ? "-" : "") + lit.text;
+      advance();
+    } else if (lit.kind == TokenKind::kStringLit) {
+      if (negative) fail("'-' before a string literal");
+      def.literal_kind = ConstDef::LiteralKind::kString;
+      def.string_value = lit.text;
+      advance();
+    } else if (lit.is_ident() &&
+               (lit.text == "TRUE" || lit.text == "FALSE")) {
+      if (negative) fail("'-' before a boolean literal");
+      def.literal_kind = ConstDef::LiteralKind::kBoolean;
+      def.bool_value = (lit.text == "TRUE");
+      advance();
+    } else {
+      fail("expected a literal (number, \"string\", TRUE or FALSE)");
+    }
+    expect(TokenKind::kSemicolon, "';'");
+    return def;
+  }
+
+  Member parse_member() {
+    Member m;
+    m.line = peek().line;
+    m.type = parse_type();
+    if (m.type.is_void()) fail("struct member cannot be void");
+    m.name = expect_ident("member name");
+    expect(TokenKind::kSemicolon, "';'");
+    return m;
+  }
+
+  InterfaceDef parse_interface() {
+    InterfaceDef def;
+    def.line = peek().line;
+    def.name = expect_ident("interface name");
+    expect(TokenKind::kLBrace, "'{'");
+    while (!at(TokenKind::kRBrace)) def.operations.push_back(parse_operation());
+    expect(TokenKind::kRBrace, "'}'");
+    expect(TokenKind::kSemicolon, "';'");
+    return def;
+  }
+
+  Operation parse_operation() {
+    Operation op;
+    op.line = peek().line;
+    if (peek().is_keyword("oneway")) {
+      op.oneway = true;
+      advance();
+    }
+    op.return_type = parse_type();
+    op.name = expect_ident("operation name");
+    expect(TokenKind::kLParen, "'('");
+    if (!at(TokenKind::kRParen)) {
+      for (;;) {
+        op.params.push_back(parse_param());
+        if (at(TokenKind::kComma)) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    expect(TokenKind::kRParen, "')'");
+    if (peek().is_keyword("raises")) {
+      advance();
+      expect(TokenKind::kLParen, "'('");
+      for (;;) {
+        op.raises.push_back(parse_scoped_name());
+        if (at(TokenKind::kComma)) {
+          advance();
+          continue;
+        }
+        break;
+      }
+      expect(TokenKind::kRParen, "')'");
+    }
+    expect(TokenKind::kSemicolon, "';'");
+    return op;
+  }
+
+  Param parse_param() {
+    Param p;
+    p.line = peek().line;
+    if (peek().is_keyword("in")) {
+      p.direction = ParamDirection::kIn;
+    } else if (peek().is_keyword("out")) {
+      p.direction = ParamDirection::kOut;
+    } else if (peek().is_keyword("inout")) {
+      p.direction = ParamDirection::kInOut;
+    } else {
+      fail("expected parameter direction (in/out/inout)");
+    }
+    advance();
+    p.type = parse_type();
+    if (p.type.is_void()) fail("parameter cannot be void");
+    p.name = expect_ident("parameter name");
+    return p;
+  }
+
+  Type parse_type() {
+    Type t;
+    const Token& tok = peek();
+    if (tok.is_keyword("void")) { advance(); t.primitive = PrimitiveKind::kVoid; return t; }
+    if (tok.is_keyword("boolean")) { advance(); t.primitive = PrimitiveKind::kBoolean; return t; }
+    if (tok.is_keyword("octet")) { advance(); t.primitive = PrimitiveKind::kOctet; return t; }
+    if (tok.is_keyword("float")) { advance(); t.primitive = PrimitiveKind::kFloat; return t; }
+    if (tok.is_keyword("double")) { advance(); t.primitive = PrimitiveKind::kDouble; return t; }
+    if (tok.is_keyword("string")) { advance(); t.primitive = PrimitiveKind::kString; return t; }
+    if (tok.is_keyword("short")) { advance(); t.primitive = PrimitiveKind::kShort; return t; }
+    if (tok.is_keyword("long")) {
+      advance();
+      if (peek().is_keyword("long")) {
+        advance();
+        t.primitive = PrimitiveKind::kLongLong;
+      } else {
+        t.primitive = PrimitiveKind::kLong;
+      }
+      return t;
+    }
+    if (tok.is_keyword("unsigned")) {
+      advance();
+      if (peek().is_keyword("short")) {
+        advance();
+        t.primitive = PrimitiveKind::kUShort;
+      } else if (peek().is_keyword("long")) {
+        advance();
+        if (peek().is_keyword("long")) {
+          advance();
+          t.primitive = PrimitiveKind::kULongLong;
+        } else {
+          t.primitive = PrimitiveKind::kULong;
+        }
+      } else {
+        fail("expected 'short' or 'long' after 'unsigned'");
+      }
+      return t;
+    }
+    if (tok.is_keyword("sequence")) {
+      advance();
+      expect(TokenKind::kLAngle, "'<'");
+      t.kind = Type::Kind::kSequence;
+      t.element = std::make_shared<Type>(parse_type());
+      if (t.element->is_void()) fail("sequence element cannot be void");
+      expect(TokenKind::kRAngle, "'>'");
+      return t;
+    }
+    if (tok.is_ident()) {
+      t.kind = Type::Kind::kNamed;
+      t.name = parse_scoped_name();
+      return t;
+    }
+    fail("expected a type");
+    return t;  // unreachable
+  }
+
+  std::vector<std::string> parse_scoped_name() {
+    std::vector<std::string> path;
+    path.push_back(expect_ident("name"));
+    while (at(TokenKind::kScope)) {
+      advance();
+      path.push_back(expect_ident("name after '::'"));
+    }
+    return path;
+  }
+
+  // --- token plumbing ---
+  const Token& peek() const { return tokens_[pos_]; }
+  void advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+
+  void expect(TokenKind kind, const char* what) {
+    if (!at(kind)) fail(std::string("expected ") + what);
+    advance();
+  }
+
+  void expect_keyword(const char* kw) {
+    if (!peek().is_keyword(kw)) fail(std::string("expected '") + kw + "'");
+    advance();
+  }
+
+  std::string expect_ident(const char* what) {
+    if (!peek().is_ident()) fail(std::string("expected ") + what);
+    std::string name = peek().text;
+    advance();
+    return name;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message + " (got '" + peek().text + "')", peek().line,
+                     peek().column);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+SpecDef parse(std::string_view source) {
+  return Parser(lex(source)).run();
+}
+
+}  // namespace causeway::idl

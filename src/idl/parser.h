@@ -1,0 +1,26 @@
+// Recursive-descent parser for the IDL subset (see ast.h for the grammar).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "idl/ast.h"
+#include "idl/token.h"
+
+namespace causeway::idl {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, int line, int column)
+      : std::runtime_error(what + " at " + std::to_string(line) + ":" +
+                           std::to_string(column)),
+        line(line),
+        column(column) {}
+  int line;
+  int column;
+};
+
+// Parses a full IDL source (lexes internally). Throws LexError/ParseError.
+SpecDef parse(std::string_view source);
+
+}  // namespace causeway::idl

@@ -1,0 +1,263 @@
+#include "idl/sema.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace causeway::idl {
+
+std::string join_path(const std::vector<std::string>& path) {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += "::";
+    out += path[i];
+  }
+  return out;
+}
+
+namespace {
+
+void index_module(const ModuleDef& mod, std::vector<std::string>& scope,
+                  std::map<std::string, SymbolKind>& symbols,
+                  std::map<std::string, SymbolTable::TypedefInfo>& typedefs) {
+  scope.push_back(mod.name);
+  symbols.emplace(join_path(scope), SymbolKind::kModule);
+  const std::string prefix = join_path(scope) + "::";
+  for (const auto& s : mod.structs) {
+    symbols.emplace(prefix + s.name, SymbolKind::kStruct);
+  }
+  for (const auto& e : mod.exceptions) {
+    symbols.emplace(prefix + e.name, SymbolKind::kException);
+  }
+  for (const auto& e : mod.enums) {
+    symbols.emplace(prefix + e.name, SymbolKind::kEnum);
+  }
+  for (const auto& t : mod.typedefs) {
+    symbols.emplace(prefix + t.name, SymbolKind::kTypedef);
+    typedefs.emplace(prefix + t.name,
+                     SymbolTable::TypedefInfo{t.aliased, scope});
+  }
+  for (const auto& i : mod.interfaces) {
+    symbols.emplace(prefix + i.name, SymbolKind::kInterface);
+  }
+  for (const auto& sub : mod.submodules) {
+    index_module(*sub, scope, symbols, typedefs);
+  }
+  scope.pop_back();
+}
+
+}  // namespace
+
+SymbolTable SymbolTable::build(const SpecDef& spec) {
+  SymbolTable table;
+  std::vector<std::string> scope;
+  for (const auto& mod : spec.modules) {
+    index_module(*mod, scope, table.symbols_, table.typedefs_);
+  }
+  return table;
+}
+
+std::optional<std::pair<std::string, SymbolKind>> SymbolTable::resolve(
+    const std::vector<std::string>& ref,
+    const std::vector<std::string>& scope) const {
+  const std::string suffix = join_path(ref);
+  // Innermost enclosing scope outward...
+  for (std::size_t depth = scope.size(); depth > 0; --depth) {
+    std::vector<std::string> prefix(scope.begin(),
+                                    scope.begin() + static_cast<long>(depth));
+    const std::string candidate = join_path(prefix) + "::" + suffix;
+    auto it = symbols_.find(candidate);
+    if (it != symbols_.end()) return std::make_pair(candidate, it->second);
+  }
+  // ...then absolute.
+  auto it = symbols_.find(suffix);
+  if (it != symbols_.end()) return std::make_pair(suffix, it->second);
+  return std::nullopt;
+}
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(const SpecDef& spec)
+      : spec_(spec), table_(SymbolTable::build(spec)) {}
+
+  std::vector<std::string> run() {
+    std::set<std::string> top_names;
+    for (const auto& mod : spec_.modules) {
+      if (!top_names.insert(mod->name).second) {
+        error(mod->line, "duplicate module '" + mod->name + "'");
+      }
+      check_module(*mod);
+    }
+    return std::move(errors_);
+  }
+
+ private:
+  void check_module(const ModuleDef& mod) {
+    scope_.push_back(mod.name);
+    std::set<std::string> names;
+    auto claim = [&](const std::string& name, int line) {
+      if (!names.insert(name).second) {
+        error(line, "duplicate definition '" + name + "' in module '" +
+                        join_path(scope_) + "'");
+      }
+    };
+    for (const auto& s : mod.structs) {
+      claim(s.name, s.line);
+      check_members(s.members, "struct " + s.name);
+    }
+    for (const auto& e : mod.exceptions) {
+      claim(e.name, e.line);
+      check_members(e.members, "exception " + e.name);
+    }
+    for (const auto& e : mod.enums) {
+      claim(e.name, e.line);
+      std::set<std::string> enumerators;
+      if (e.enumerators.empty()) {
+        error(e.line, "enum '" + e.name + "' has no enumerators");
+      }
+      for (const auto& value : e.enumerators) {
+        if (!enumerators.insert(value).second) {
+          error(e.line, "duplicate enumerator '" + value + "' in enum '" +
+                            e.name + "'");
+        }
+      }
+    }
+    for (const auto& t : mod.typedefs) {
+      claim(t.name, t.line);
+      check_data_type(t.aliased, t.line, "typedef " + t.name);
+    }
+    for (const auto& c : mod.consts) {
+      claim(c.name, c.line);
+      check_const(c);
+    }
+    for (const auto& i : mod.interfaces) {
+      claim(i.name, i.line);
+      check_interface(i);
+    }
+    for (const auto& sub : mod.submodules) {
+      claim(sub->name, sub->line);
+      check_module(*sub);
+    }
+    scope_.pop_back();
+  }
+
+  void check_members(const std::vector<Member>& members,
+                     const std::string& context) {
+    std::set<std::string> names;
+    for (const auto& m : members) {
+      if (!names.insert(m.name).second) {
+        error(m.line, "duplicate member '" + m.name + "' in " + context);
+      }
+      check_data_type(m.type, m.line, context);
+    }
+  }
+
+  void check_interface(const InterfaceDef& iface) {
+    std::set<std::string> op_names;
+    for (const auto& op : iface.operations) {
+      const std::string context = iface.name + "::" + op.name;
+      if (!op_names.insert(op.name).second) {
+        error(op.line, "duplicate operation '" + context + "'");
+      }
+      if (!op.return_type.is_void()) {
+        check_data_type(op.return_type, op.line, context);
+      }
+      std::set<std::string> param_names;
+      for (const auto& p : op.params) {
+        if (!param_names.insert(p.name).second) {
+          error(p.line, "duplicate parameter '" + p.name + "' in " + context);
+        }
+        check_data_type(p.type, p.line, context);
+        if (op.oneway && p.direction != ParamDirection::kIn) {
+          error(p.line, "oneway operation '" + context +
+                            "' may only take 'in' parameters");
+        }
+      }
+      if (op.oneway && !op.return_type.is_void()) {
+        error(op.line, "oneway operation '" + context + "' must return void");
+      }
+      if (op.oneway && !op.raises.empty()) {
+        error(op.line,
+              "oneway operation '" + context + "' may not raise exceptions");
+      }
+      for (const auto& raised : op.raises) {
+        auto hit = table_.resolve(raised, scope_);
+        if (!hit) {
+          error(op.line, "unresolved exception '" + join_path(raised) +
+                             "' in raises clause of " + context);
+        } else if (hit->second != SymbolKind::kException) {
+          error(op.line, "'" + hit->first + "' in raises clause of " +
+                             context + " is not an exception");
+        }
+      }
+    }
+  }
+
+  void check_const(const ConstDef& c) {
+    const std::string context = "const " + c.name;
+    if (c.type.kind != Type::Kind::kPrimitive) {
+      error(c.line, context + " must have a primitive type");
+      return;
+    }
+    const bool is_string = c.type.primitive == PrimitiveKind::kString;
+    const bool is_bool = c.type.primitive == PrimitiveKind::kBoolean;
+    switch (c.literal_kind) {
+      case ConstDef::LiteralKind::kNumber:
+        if (is_string || is_bool) {
+          error(c.line, context + ": numeric literal for a non-numeric type");
+        }
+        break;
+      case ConstDef::LiteralKind::kString:
+        if (!is_string) {
+          error(c.line, context + ": string literal for a non-string type");
+        }
+        break;
+      case ConstDef::LiteralKind::kBoolean:
+        if (!is_bool) {
+          error(c.line, context + ": boolean literal for a non-boolean type");
+        }
+        break;
+    }
+  }
+
+  void check_data_type(const Type& type, int line,
+                       const std::string& context) {
+    switch (type.kind) {
+      case Type::Kind::kPrimitive:
+        return;
+      case Type::Kind::kSequence:
+        check_data_type(*type.element, line, context);
+        return;
+      case Type::Kind::kNamed: {
+        auto hit = table_.resolve(type.name, scope_);
+        if (!hit) {
+          error(line, "unresolved type '" + join_path(type.name) + "' in " +
+                          context);
+        } else if (!is_data_kind(hit->second)) {
+          error(line, "'" + hit->first + "' used as a data type in " +
+                          context + " but it is not a struct/enum/typedef");
+        }
+        return;
+      }
+    }
+  }
+
+  void error(int line, const std::string& message) {
+    errors_.push_back(strf("line %d: %s", line, message.c_str()));
+  }
+
+  const SpecDef& spec_;
+  SymbolTable table_;
+  std::vector<std::string> scope_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace
+
+std::vector<std::string> check(const SpecDef& spec) {
+  return Checker(spec).run();
+}
+
+}  // namespace causeway::idl

@@ -1,0 +1,73 @@
+// Semantic analysis for the IDL subset.
+//
+// Builds a symbol table over all modules, resolves scoped type references
+// (innermost enclosing scope outward, then absolute), and enforces:
+//   * unique symbol names per scope, unique operation/param/member names;
+//   * named parameter/member/return types resolve to structs;
+//   * raises(...) entries resolve to exceptions;
+//   * oneway operations return void, take only `in` params, raise nothing
+//     (the CORBA rules the paper's asynchronous-call discussion relies on).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "idl/ast.h"
+
+namespace causeway::idl {
+
+enum class SymbolKind {
+  kStruct,
+  kException,
+  kEnum,
+  kTypedef,
+  kInterface,
+  kModule,
+};
+
+// Kinds usable as parameter/member/return data types.
+constexpr bool is_data_kind(SymbolKind k) {
+  return k == SymbolKind::kStruct || k == SymbolKind::kEnum ||
+         k == SymbolKind::kTypedef;
+}
+
+class SymbolTable {
+ public:
+  static SymbolTable build(const SpecDef& spec);
+
+  // Resolves `ref` (e.g. {"Point"} or {"Geo","Point"}) as seen from inside
+  // `scope` (e.g. {"PPS","Internal"}).  Returns the fully-qualified name
+  // ("PPS::Point") and kind, or nullopt.
+  std::optional<std::pair<std::string, SymbolKind>> resolve(
+      const std::vector<std::string>& ref,
+      const std::vector<std::string>& scope) const;
+
+  bool contains(const std::string& fq_name) const {
+    return symbols_.contains(fq_name);
+  }
+
+  // For a fully-qualified typedef name: its aliased type and the scope it
+  // was declared in (needed to resolve the alias's own named references).
+  struct TypedefInfo {
+    Type aliased;
+    std::vector<std::string> scope;
+  };
+  const TypedefInfo* typedef_info(const std::string& fq_name) const {
+    auto it = typedefs_.find(fq_name);
+    return it == typedefs_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::string, SymbolKind> symbols_;
+  std::map<std::string, TypedefInfo> typedefs_;
+};
+
+// Returns human-readable error messages; empty means the spec is valid.
+std::vector<std::string> check(const SpecDef& spec);
+
+// Helper shared with codegen: "A::B::C" from a path.
+std::string join_path(const std::vector<std::string>& path);
+
+}  // namespace causeway::idl

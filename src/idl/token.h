@@ -1,0 +1,42 @@
+// Token stream for the IDL front end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace causeway::idl {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,
+  kKeyword,      // module, interface, struct, exception, oneway, in, out,
+                 // inout, raises, sequence, void, and the primitive types
+  kNumber,       // integer or floating literal (text preserved verbatim)
+  kStringLit,    // "..." with \\ and \" escapes resolved
+  kLBrace,       // {
+  kRBrace,       // }
+  kLParen,       // (
+  kRParen,       // )
+  kLAngle,       // <
+  kRAngle,       // >
+  kSemicolon,    // ;
+  kComma,        // ,
+  kEquals,       // =
+  kMinus,        // -
+  kScope,        // ::
+  kEof,
+};
+
+struct Token {
+  TokenKind kind{TokenKind::kEof};
+  std::string text;
+  int line{1};
+  int column{1};
+
+  bool is_keyword(std::string_view kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool is_ident() const { return kind == TokenKind::kIdentifier; }
+};
+
+}  // namespace causeway::idl

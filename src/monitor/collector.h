@@ -1,0 +1,73 @@
+// Off-line log collection.
+//
+// "When the application ceases to exist or reaches a quiescent state ... the
+// scattered logs are collected and eventually synthesized into a relational
+// database" (paper Sec. 3).  The Collector snapshots every attached domain's
+// ProcessLogStore into one CollectedLogs bundle.
+//
+// The bundle is self-contained: record identity strings are interned into a
+// pool the bundle owns (shared across copies), so it may outlive the
+// monitored application, be written to a trace file, or cross threads.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "monitor/runtime.h"
+
+namespace causeway::monitor {
+
+struct CollectedLogs {
+  struct DomainEntry {
+    DomainIdentity identity;
+    ProbeMode mode;
+    std::size_t record_count;
+  };
+  std::vector<DomainEntry> domains;
+  std::vector<TraceRecord> records;
+
+  // Backing storage for every string_view inside `records`.
+  std::shared_ptr<std::deque<std::string>> strings =
+      std::make_shared<std::deque<std::string>>();
+};
+
+class Collector {
+ public:
+  void attach(const MonitorRuntime* runtime) { runtimes_.push_back(runtime); }
+
+  CollectedLogs collect() const {
+    CollectedLogs out;
+    std::unordered_map<std::string_view, std::string_view> interned;
+    auto intern = [&](std::string_view s) -> std::string_view {
+      auto it = interned.find(s);
+      if (it != interned.end()) return it->second;
+      out.strings->emplace_back(s);
+      std::string_view stable = out.strings->back();
+      interned.emplace(stable, stable);
+      return stable;
+    };
+
+    for (const MonitorRuntime* rt : runtimes_) {
+      auto records = rt->store().snapshot();
+      out.domains.push_back({rt->identity(), rt->mode(), records.size()});
+      out.records.reserve(out.records.size() + records.size());
+      for (TraceRecord& r : records) {
+        r.interface_name = intern(r.interface_name);
+        r.function_name = intern(r.function_name);
+        r.process_name = intern(r.process_name);
+        r.node_name = intern(r.node_name);
+        r.processor_type = intern(r.processor_type);
+        out.records.push_back(r);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<const MonitorRuntime*> runtimes_;
+};
+
+}  // namespace causeway::monitor

@@ -1,0 +1,67 @@
+// Tracing events and call kinds.
+//
+// The paper defines exactly four tracing events -- stub start, skeleton
+// start, skeleton end, stub end -- one per probe (paper Fig. 1), and event
+// numbers that increment along the causal chain at each event.  The event
+// *repeating patterns* are what make call-structure reconstruction possible
+// (paper Table 1): sibling calls produce 1-2-3-4 / 1-2-3-4, nesting produces
+// 1-2-(child 1-2-3-4)-3-4.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace causeway::monitor {
+
+enum class EventKind : std::uint8_t {
+  kStubStart = 1,   // probe 1: client-side stub entered
+  kSkelStart = 2,   // probe 2: request reached the skeleton
+  kSkelEnd = 3,     // probe 3: user implementation returned
+  kStubEnd = 4,     // probe 4: reply back at the stub, about to return
+};
+
+enum class CallKind : std::uint8_t {
+  kSync = 0,        // synchronous remote invocation
+  kOneway = 1,      // asynchronous (one-way); spawns a child causal chain
+  kCollocated = 2,  // in-process with collocation optimization: probes 1+2
+                    // and 3+4 degenerate into back-to-back pairs
+};
+
+constexpr std::string_view to_string(EventKind e) {
+  switch (e) {
+    case EventKind::kStubStart: return "stub_start";
+    case EventKind::kSkelStart: return "skel_start";
+    case EventKind::kSkelEnd: return "skel_end";
+    case EventKind::kStubEnd: return "stub_end";
+  }
+  return "?";
+}
+
+// Application-semantics capture (paper Sec. 2.1 lists "application semantics
+// about each function call behavior ... thrown exceptions" among the four
+// monitored aspects): how the invocation concluded, recorded by probes 3/4.
+enum class CallOutcome : std::uint8_t {
+  kOk = 0,
+  kAppError = 1,     // IDL-declared user exception
+  kSystemError = 2,  // undeclared exception / infrastructure failure
+};
+
+constexpr std::string_view to_string(CallOutcome o) {
+  switch (o) {
+    case CallOutcome::kOk: return "ok";
+    case CallOutcome::kAppError: return "app-error";
+    case CallOutcome::kSystemError: return "system-error";
+  }
+  return "?";
+}
+
+constexpr std::string_view to_string(CallKind k) {
+  switch (k) {
+    case CallKind::kSync: return "sync";
+    case CallKind::kOneway: return "oneway";
+    case CallKind::kCollocated: return "collocated";
+  }
+  return "?";
+}
+
+}  // namespace causeway::monitor

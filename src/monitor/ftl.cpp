@@ -1,0 +1,26 @@
+#include "monitor/ftl.h"
+
+namespace causeway::monitor {
+
+void append_ftl_trailer(WireBuffer& payload, const Ftl& ftl) {
+  payload.write_u64(ftl.chain.hi);
+  payload.write_u64(ftl.chain.lo);
+  payload.write_u64(ftl.seq);
+  payload.write_u32(kFtlTrailerMagic);
+}
+
+std::optional<Ftl> peel_ftl_trailer(WireCursor& payload) {
+  if (payload.remaining() < kFtlTrailerSize) return std::nullopt;
+
+  WireCursor trailer(payload.peek_tail(kFtlTrailerSize));
+  Ftl ftl;
+  ftl.chain.hi = trailer.read_u64();
+  ftl.chain.lo = trailer.read_u64();
+  ftl.seq = trailer.read_u64();
+  if (trailer.read_u32() != kFtlTrailerMagic) return std::nullopt;
+
+  payload.truncate(payload.position() + payload.remaining() - kFtlTrailerSize);
+  return ftl;
+}
+
+}  // namespace causeway::monitor

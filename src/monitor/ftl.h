@@ -1,0 +1,55 @@
+// The Function-Transportable Log (FTL).
+//
+// This is the paper's central data structure (paper Fig. 3):
+//
+//   struct FunctionTxLogType {
+//     UUID          global_function_id;   // "Function UUID"
+//     unsigned long event_seq_no;
+//   };
+//
+// The FTL is constant-size: probes *update* it, they never append to it, so
+// chains of arbitrary depth cost the same bytes on the wire (the paper
+// contrasts this with Trace Objects that concatenate per hop and collapse at
+// tens of thousands of calls -- reproduced as a baseline in
+// baseline/trace_object.h).
+//
+// Transport is the "virtual tunnel": the IDL compiler emits stubs/skeletons
+// as if an extra `inout FunctionTxLogType` parameter existed on every method.
+// Concretely we append a fixed 28-byte trailer [uuid.hi][uuid.lo][seq][magic]
+// to the marshaled payload; the peer's instrumented skeleton/stub peels it
+// off before user unmarshaling.  Nothing in the ORB, the COM runtime or user
+// code is aware of it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/ids.h"
+#include "common/wire.h"
+
+namespace causeway::monitor {
+
+struct Ftl {
+  Uuid chain;             // the Function UUID identifying this causal chain
+  std::uint64_t seq{0};   // event sequence number, incremented per event
+
+  bool valid() const { return !chain.is_nil(); }
+
+  friend constexpr bool operator==(const Ftl&, const Ftl&) = default;
+};
+
+// Trailer size on the wire: two u64 for the UUID, one u64 for the sequence
+// number, one u32 magic marker.
+inline constexpr std::size_t kFtlTrailerSize = 8 + 8 + 8 + 4;
+inline constexpr std::uint32_t kFtlTrailerMagic = 0xF71C0DE5u;
+
+// Appends the hidden trailer to a fully-marshaled payload.
+void append_ftl_trailer(WireBuffer& payload, const Ftl& ftl);
+
+// If the readable window ends with an FTL trailer, removes it from the
+// window (so user unmarshaling sees only the declared parameters) and
+// returns it.  Returns nullopt when no trailer is present, which happens
+// when the peer was built without instrumentation.
+std::optional<Ftl> peel_ftl_trailer(WireCursor& payload);
+
+}  // namespace causeway::monitor

@@ -1,0 +1,107 @@
+// Per-process local log store.
+//
+// Probes record "individually ... without coordination" (paper Sec. 2.1):
+// every simulated process domain owns one ProcessLogStore and its probes
+// append to it locally.  Only when the application reaches a quiescent state
+// does the Collector gather the scattered stores for off-line analysis.
+//
+// Appends are sharded per thread: each thread writes to its own chunk, so
+// concurrent probes on different threads never contend with each other --
+// only a snapshot/clear briefly touches every chunk.  Within one thread,
+// record order is preserved (the analyzer orders across threads by the FTL's
+// event numbers, never by log position).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "monitor/record.h"
+
+namespace causeway::monitor {
+
+class ProcessLogStore {
+ public:
+  ProcessLogStore() : id_(next_store_id()) {}
+  ProcessLogStore(const ProcessLogStore&) = delete;
+  ProcessLogStore& operator=(const ProcessLogStore&) = delete;
+
+  void append(const TraceRecord& record) {
+    Chunk* chunk = local_chunk();
+    std::lock_guard lock(chunk->mu);
+    chunk->records.push_back(record);
+  }
+
+  // Records from all threads, grouped by writing thread (chunk
+  // registration order), in-order within each thread.
+  std::vector<TraceRecord> snapshot() const {
+    std::lock_guard registry(registry_mu_);
+    std::vector<TraceRecord> out;
+    std::size_t total = 0;
+    for (const auto& chunk : chunks_) {
+      std::lock_guard lock(chunk->mu);
+      total += chunk->records.size();
+    }
+    out.reserve(total);
+    for (const auto& chunk : chunks_) {
+      std::lock_guard lock(chunk->mu);
+      out.insert(out.end(), chunk->records.begin(), chunk->records.end());
+    }
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard registry(registry_mu_);
+    std::size_t total = 0;
+    for (const auto& chunk : chunks_) {
+      std::lock_guard lock(chunk->mu);
+      total += chunk->records.size();
+    }
+    return total;
+  }
+
+  void clear() {
+    std::lock_guard registry(registry_mu_);
+    for (const auto& chunk : chunks_) {
+      std::lock_guard lock(chunk->mu);
+      chunk->records.clear();
+    }
+  }
+
+ private:
+  struct Chunk {
+    mutable std::mutex mu;
+    std::vector<TraceRecord> records;
+  };
+
+  static std::uint64_t next_store_id() {
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Chunk* local_chunk() {
+    // Keyed by the store's unique id, never its address: a dead store's
+    // cache entry can never alias a new store.
+    thread_local std::unordered_map<std::uint64_t, Chunk*> t_chunks;
+    auto it = t_chunks.find(id_);
+    if (it != t_chunks.end()) return it->second;
+
+    auto fresh = std::make_unique<Chunk>();
+    Chunk* raw = fresh.get();
+    {
+      std::lock_guard registry(registry_mu_);
+      chunks_.push_back(std::move(fresh));
+    }
+    t_chunks.emplace(id_, raw);
+    return raw;
+  }
+
+  const std::uint64_t id_;
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+};
+
+}  // namespace causeway::monitor

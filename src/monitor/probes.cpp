@@ -1,0 +1,130 @@
+#include "monitor/probes.h"
+
+#include "monitor/tss.h"
+
+namespace causeway::monitor {
+namespace {
+
+// Fills identity/locality fields and appends.  `value_start` was sampled at
+// probe entry; the end sample is taken here, immediately before the append,
+// so the record captures the probe's own bookkeeping cost.
+void log_event(MonitorRuntime& rt, const CallIdentity& id, CallKind kind,
+               EventKind event, const Ftl& ftl, Nanos value_start,
+               const Uuid& spawned_chain = Uuid{},
+               CallOutcome outcome = CallOutcome::kOk) {
+  TraceRecord r;
+  r.chain = ftl.chain;
+  r.seq = ftl.seq;
+  r.event = event;
+  r.kind = kind;
+  r.outcome = outcome;
+  r.spawned_chain = spawned_chain;
+  r.interface_name = id.interface_name;
+  r.function_name = id.function_name;
+  r.object_key = id.object_key;
+  const DomainIdentity& di = rt.identity();
+  r.process_name = di.process_name;
+  r.node_name = di.node_name;
+  r.processor_type = di.processor_type;
+  r.thread_ordinal = this_thread_ordinal();
+  r.mode = rt.mode();
+  r.value_start = value_start;
+  r.value_end = rt.sample();
+  rt.store().append(r);
+}
+
+}  // namespace
+
+StubProbes::StubProbes(MonitorRuntime* rt, const CallIdentity& id,
+                       CallKind kind)
+    : rt_(rt && rt->enabled() ? rt : nullptr), id_(id), kind_(kind) {}
+
+Ftl StubProbes::on_stub_start() {
+  if (!rt_) return Ftl{};
+  const Nanos v0 = rt_->sample();
+
+  Ftl chain = tss_get();
+  if (!chain.valid()) {
+    // Root of a brand-new causal chain.
+    chain = Ftl{Uuid::generate(), 0};
+  }
+  chain.seq += 1;
+
+  if (kind_ == CallKind::kOneway) {
+    // Spawn the child chain carried to the callee; the parent chain keeps
+    // advancing in this thread.
+    const Ftl child{Uuid::generate(), 0};
+    tss_set(chain);
+    after_start_ = chain;
+    log_event(*rt_, id_, kind_, EventKind::kStubStart, chain, v0, child.chain);
+    return child;
+  }
+
+  tss_set(chain);
+  after_start_ = chain;
+  log_event(*rt_, id_, kind_, EventKind::kStubStart, chain, v0);
+  return chain;
+}
+
+void StubProbes::on_stub_end(const std::optional<Ftl>& reply_ftl,
+                             CallOutcome outcome) {
+  if (!rt_) return;
+  const Nanos v0 = rt_->sample();
+
+  // Continue from the reply's FTL, which reflects every event the subtree
+  // produced; fall back to our own if the peer was not instrumented.
+  Ftl chain = (reply_ftl && reply_ftl->valid()) ? *reply_ftl : after_start_;
+  chain.seq += 1;
+  tss_set(chain);
+  log_event(*rt_, id_, kind_, EventKind::kStubEnd, chain, v0, Uuid{}, outcome);
+}
+
+void StubProbes::on_stub_end_oneway() {
+  if (!rt_) return;
+  const Nanos v0 = rt_->sample();
+
+  // The parent chain lives in this thread's TSS; the child chain went out on
+  // the wire and never comes back.
+  Ftl chain = tss_get();
+  if (!chain.valid()) chain = after_start_;
+  chain.seq += 1;
+  tss_set(chain);
+  log_event(*rt_, id_, kind_, EventKind::kStubEnd, chain, v0);
+}
+
+SkelProbes::SkelProbes(MonitorRuntime* rt, const CallIdentity& id,
+                       CallKind kind)
+    : rt_(rt && rt->enabled() ? rt : nullptr), id_(id), kind_(kind) {}
+
+void SkelProbes::on_skel_start(const std::optional<Ftl>& request_ftl) {
+  if (!rt_) return;
+  const Nanos v0 = rt_->sample();
+
+  // O2: the dispatched thread is always refreshed with the incoming call's
+  // latest FTL, so a reclaimed pool thread never leaks a stale chain.
+  Ftl chain;
+  if (request_ftl && request_ftl->valid()) {
+    chain = *request_ftl;
+  } else {
+    // Caller not instrumented: monitor the subtree as a fresh chain.
+    chain = Ftl{Uuid::generate(), 0};
+  }
+  chain.seq += 1;
+  tss_set(chain);
+  log_event(*rt_, id_, kind_, EventKind::kSkelStart, chain, v0);
+}
+
+Ftl SkelProbes::on_skel_end(CallOutcome outcome) {
+  if (!rt_) return Ftl{};
+  const Nanos v0 = rt_->sample();
+
+  // The TSS accumulated every event the implementation's child calls
+  // produced in this thread.
+  Ftl chain = tss_get();
+  chain.seq += 1;
+  tss_set(chain);
+  log_event(*rt_, id_, kind_, EventKind::kSkelEnd, chain, v0, Uuid{}, outcome);
+  return chain;
+}
+
+}  // namespace causeway::monitor

@@ -1,0 +1,70 @@
+// Trace records -- what a probe logs locally.
+//
+// One record per probe activation.  Besides the causality triple
+// (chain UUID, event number, event kind), a record carries the identity of
+// the call site and *two* samples of the active behaviour dimension: the
+// probe samples once when it is initiated and once when it finishes (paper
+// Sec. 2.1).  The start/end pair is what lets the analyzer subtract
+// monitoring overhead (the O_F term) from end-to-end latency.
+//
+// Identity strings are std::string_view into stable storage (generated
+// method tables, domain names); a record is 128 bytes and sub-million-call
+// runs stay comfortably in memory, matching the paper's largest experiment.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "monitor/events.h"
+
+namespace causeway::monitor {
+
+// Which behaviour dimension the probes sample.  Latency and CPU are never
+// activated simultaneously (paper: "to reduce interference"); causality
+// capture always happens.
+enum class ProbeMode : std::uint8_t {
+  kCausalityOnly = 0,
+  kLatency = 1,
+  kCpu = 2,
+};
+
+constexpr std::string_view to_string(ProbeMode m) {
+  switch (m) {
+    case ProbeMode::kCausalityOnly: return "causality-only";
+    case ProbeMode::kLatency: return "latency";
+    case ProbeMode::kCpu: return "cpu";
+  }
+  return "?";
+}
+
+struct TraceRecord {
+  // --- causality ---
+  Uuid chain;                 // Function UUID of the causal chain
+  std::uint64_t seq{0};       // event number *after* the probe's increment
+  EventKind event{EventKind::kStubStart};
+  CallKind kind{CallKind::kSync};
+  CallOutcome outcome{CallOutcome::kOk};  // meaningful on probes 3/4
+  Uuid spawned_chain;         // oneway stub-start only: the child chain's UUID
+
+  // --- call identity ---
+  std::string_view interface_name;
+  std::string_view function_name;
+  std::uint64_t object_key{0};
+
+  // --- locality ---
+  std::string_view process_name;
+  std::string_view node_name;
+  std::string_view processor_type;
+  std::uint64_t thread_ordinal{0};
+
+  // --- sampled behaviour (meaning depends on mode) ---
+  ProbeMode mode{ProbeMode::kCausalityOnly};
+  Nanos value_start{0};  // local timestamp or per-thread CPU at probe start
+  Nanos value_end{0};    // ... at probe end
+
+  Nanos probe_self_cost() const { return value_end - value_start; }
+};
+
+}  // namespace causeway::monitor

@@ -1,0 +1,68 @@
+// Per-process monitoring runtime.
+//
+// One MonitorRuntime lives in every simulated process domain.  It bundles the
+// domain's identity (process / node / processor type -- the locality tags
+// every record carries), the active probe mode, the domain's clock, and the
+// local log store.  It is the only thing probes need.
+#pragma once
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/cpu.h"
+#include "monitor/log_store.h"
+#include "monitor/record.h"
+
+namespace causeway::monitor {
+
+struct DomainIdentity {
+  std::string process_name;
+  std::string node_name;        // "processor" in the paper's terminology
+  std::string processor_type;   // e.g. "pa-risc" / "x86" / "vxworks-ppc"
+};
+
+struct MonitorConfig {
+  bool enabled{true};
+  ProbeMode mode{ProbeMode::kLatency};
+};
+
+class MonitorRuntime {
+ public:
+  MonitorRuntime(DomainIdentity identity, MonitorConfig config,
+                 ClockDomain clock)
+      : identity_(std::move(identity)), config_(config), clock_(clock) {}
+
+  MonitorRuntime(const MonitorRuntime&) = delete;
+  MonitorRuntime& operator=(const MonitorRuntime&) = delete;
+
+  bool enabled() const { return config_.enabled; }
+  ProbeMode mode() const { return config_.mode; }
+
+  // Reconfiguring between runs (e.g. a latency run then a CPU run) is
+  // expected; reconfiguring while calls are in flight is not supported.
+  void set_config(const MonitorConfig& config) { config_ = config; }
+
+  // One sample of the active behaviour dimension, taken on the calling
+  // thread with no global coordination.
+  Nanos sample() const {
+    switch (config_.mode) {
+      case ProbeMode::kLatency: return clock_.now();
+      case ProbeMode::kCpu: return thread_cpu_now_ns();
+      case ProbeMode::kCausalityOnly: return 0;
+    }
+    return 0;
+  }
+
+  const DomainIdentity& identity() const { return identity_; }
+  const ClockDomain& clock() const { return clock_; }
+  ProcessLogStore& store() { return store_; }
+  const ProcessLogStore& store() const { return store_; }
+
+ private:
+  DomainIdentity identity_;
+  MonitorConfig config_;
+  ClockDomain clock_;
+  ProcessLogStore store_;
+};
+
+}  // namespace causeway::monitor

@@ -1,0 +1,28 @@
+#include "monitor/tss.h"
+
+#include <atomic>
+
+namespace causeway::monitor {
+namespace {
+
+thread_local Ftl t_ftl{};
+
+std::atomic<std::uint64_t> g_next_thread_ordinal{1};
+thread_local std::uint64_t t_ordinal = 0;
+
+}  // namespace
+
+Ftl tss_get() { return t_ftl; }
+
+void tss_set(const Ftl& ftl) { t_ftl = ftl; }
+
+void tss_clear() { t_ftl = Ftl{}; }
+
+std::uint64_t this_thread_ordinal() {
+  if (t_ordinal == 0) {
+    t_ordinal = g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_ordinal;
+}
+
+}  // namespace causeway::monitor

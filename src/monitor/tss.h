@@ -1,0 +1,59 @@
+// Thread-specific storage (TSS) for the FTL.
+//
+// The tunnel has two legs (paper Fig. 2): the private stub<->skeleton channel
+// crosses the wire, and the TSS bridges *within* a thread -- from a skeleton
+// up-call into the child stubs the implementation invokes, and from one
+// sibling call's stub-end to the next sibling's stub-start.  The TSS slot is
+// created by the instrumentation library, entirely outside user code.
+//
+// ORB threading policies are safe without extra work (paper observations
+// O1/O2: a thread is dedicated to a call until completion and is re-annotated
+// with the fresh FTL at each dispatch).  COM STA apartments violate O1, so
+// the ORPC channel hooks use FtlSaver to save/restore the slot around
+// nested dispatches (see com/channel_hooks).
+#pragma once
+
+#include <cstdint>
+
+#include "monitor/ftl.h"
+
+namespace causeway::monitor {
+
+// Current thread's FTL slot. Returns an invalid Ftl when no chain is active.
+Ftl tss_get();
+
+// Overwrites the slot (observation O2: each dispatch refreshes the thread
+// with the incoming call's latest FTL).
+void tss_set(const Ftl& ftl);
+
+// Clears the slot; the next outgoing stub call starts a fresh causal chain
+// with a new Function UUID.
+void tss_clear();
+
+// A small dense per-thread identifier (1, 2, 3, ...) used in trace records;
+// cheaper and more readable than hashing std::thread::id.
+std::uint64_t this_thread_ordinal();
+
+// RAII save/restore of the slot -- the COM channel hook primitive.
+class FtlSaver {
+ public:
+  FtlSaver() : saved_(tss_get()) {}
+  ~FtlSaver() { tss_set(saved_); }
+  FtlSaver(const FtlSaver&) = delete;
+  FtlSaver& operator=(const FtlSaver&) = delete;
+
+ private:
+  Ftl saved_;
+};
+
+// RAII fresh chain: clears the slot on entry and on exit, so every
+// transaction gets its own Function UUID (used by workload drivers).
+class ScopedFreshChain {
+ public:
+  ScopedFreshChain() { tss_clear(); }
+  ~ScopedFreshChain() { tss_clear(); }
+  ScopedFreshChain(const ScopedFreshChain&) = delete;
+  ScopedFreshChain& operator=(const ScopedFreshChain&) = delete;
+};
+
+}  // namespace causeway::monitor

@@ -1,0 +1,47 @@
+// ORB error taxonomy.
+//
+// Remote invocations can fail in the application (a `raises` exception
+// declared in IDL), in the object adapter (no such object), or in the
+// infrastructure (transport down, timeout).  Stubs surface all three as
+// C++ exceptions, mirroring the CORBA user/system exception split.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace causeway::orb {
+
+class OrbError : public std::runtime_error {
+ public:
+  explicit OrbError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A user exception declared with `raises(...)` in IDL.  Generated stubs
+// rethrow these with the exception's repository name preserved.
+class AppError : public OrbError {
+ public:
+  AppError(std::string name, const std::string& message)
+      : OrbError(name + ": " + message), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class ObjectNotFound : public OrbError {
+ public:
+  using OrbError::OrbError;
+};
+
+class TransportError : public OrbError {
+ public:
+  using OrbError::OrbError;
+};
+
+class TimeoutError : public OrbError {
+ public:
+  using OrbError::OrbError;
+};
+
+}  // namespace causeway::orb

@@ -1,0 +1,51 @@
+#include "orb/message.h"
+
+namespace causeway::orb {
+
+std::vector<std::uint8_t> RequestMessage::encode() const {
+  WireBuffer b;
+  b.write_u64(call_id);
+  b.write_string(reply_to);
+  b.write_string(connection);
+  b.write_u64(object_key);
+  b.write_u32(method_id);
+  b.write_bool(oneway);
+  b.write_bytes(payload);
+  return std::move(b).take();
+}
+
+RequestMessage RequestMessage::decode(const std::vector<std::uint8_t>& bytes) {
+  WireCursor c(bytes.data(), bytes.size());
+  RequestMessage m;
+  m.call_id = c.read_u64();
+  m.reply_to = c.read_string();
+  m.connection = c.read_string();
+  m.object_key = c.read_u64();
+  m.method_id = c.read_u32();
+  m.oneway = c.read_bool();
+  m.payload = c.read_bytes();
+  return m;
+}
+
+std::vector<std::uint8_t> ReplyMessage::encode() const {
+  WireBuffer b;
+  b.write_u64(call_id);
+  b.write_u8(static_cast<std::uint8_t>(status));
+  b.write_string(error_name);
+  b.write_string(error_text);
+  b.write_bytes(payload);
+  return std::move(b).take();
+}
+
+ReplyMessage ReplyMessage::decode(const std::vector<std::uint8_t>& bytes) {
+  WireCursor c(bytes.data(), bytes.size());
+  ReplyMessage m;
+  m.call_id = c.read_u64();
+  m.status = static_cast<ReplyStatus>(c.read_u8());
+  m.error_name = c.read_string();
+  m.error_text = c.read_string();
+  m.payload = c.read_bytes();
+  return m;
+}
+
+}  // namespace causeway::orb

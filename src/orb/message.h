@@ -1,0 +1,56 @@
+// GIOP-ish request/reply messages.
+//
+// Everything between domains travels as bytes: request and reply messages
+// are marshaled with the same wire format user parameters use.  The monitor
+// trailer (monitor/ftl.h) lives *inside* the request/reply payload, appended
+// by instrumented stubs -- the message layer is deliberately unaware of it,
+// which is exactly the paper's "no modification to the runtime
+// infrastructure is necessary for the FTL's transportation".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/wire.h"
+
+namespace causeway::orb {
+
+using ObjectKey = std::uint64_t;
+using MethodId = std::uint32_t;
+
+enum class MessageKind : std::uint8_t { kRequest = 1, kReply = 2 };
+
+enum class ReplyStatus : std::uint8_t {
+  kOk = 0,
+  kAppError = 1,        // IDL-declared user exception
+  kObjectNotFound = 2,  // adapter has no servant under the key
+  kSystemError = 3,     // servant threw something undeclared
+};
+
+struct RequestMessage {
+  std::uint64_t call_id{0};
+  std::string reply_to;          // requesting domain ("" for oneway)
+  std::string connection;        // client endpoint identity, keys
+                                 // thread-per-connection dispatch
+  ObjectKey object_key{0};
+  MethodId method_id{0};
+  bool oneway{false};
+  std::vector<std::uint8_t> payload;  // in/inout params [+ hidden trailer]
+
+  std::vector<std::uint8_t> encode() const;
+  static RequestMessage decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct ReplyMessage {
+  std::uint64_t call_id{0};
+  ReplyStatus status{ReplyStatus::kOk};
+  std::string error_name;   // app-error repository name
+  std::string error_text;
+  std::vector<std::uint8_t> payload;  // out/inout/return [+ hidden trailer]
+
+  std::vector<std::uint8_t> encode() const;
+  static ReplyMessage decode(const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace causeway::orb

@@ -1,0 +1,123 @@
+// Server-side request dispatch policies.
+//
+// The paper (citing Schmidt [18]) considers thread-per-request,
+// thread-per-connection and thread pooling, and argues causality tracing
+// stays correct under all of them because of two observations:
+//
+//   O1: a physical thread is dedicated to an incoming call until that call
+//       finishes -- it is never suspended to serve another call mid-flight;
+//   O2: each time a (possibly reclaimed) thread is activated for a new call,
+//       it is refreshed with that call's latest FTL.
+//
+// All three policies below uphold O1 by construction; O2 is upheld by
+// SkelProbes::on_skel_start overwriting the TSS on every dispatch.  The COM
+// STA apartment (com/apartment.h) deliberately violates O1 and needs channel
+// hooks -- reproducing the paper's contrast.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+#include "orb/message.h"
+
+namespace causeway::orb {
+
+enum class PolicyKind : std::uint8_t {
+  kThreadPerRequest = 0,
+  kThreadPerConnection = 1,
+  kThreadPool = 2,
+};
+
+constexpr std::string_view to_string(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kThreadPerRequest: return "thread-per-request";
+    case PolicyKind::kThreadPerConnection: return "thread-per-connection";
+    case PolicyKind::kThreadPool: return "thread-pool";
+  }
+  return "?";
+}
+
+// Serves one already-decoded request on the calling thread.
+using ServeFn = std::function<void(RequestMessage)>;
+
+class DispatchPolicy {
+ public:
+  virtual ~DispatchPolicy() = default;
+  virtual void submit(RequestMessage msg) = 0;
+  // Blocks until all in-flight work is finished and workers are joined.
+  virtual void shutdown() = 0;
+};
+
+// One short-lived thread per incoming request, reclaimed by the OS.
+class ThreadPerRequestPolicy : public DispatchPolicy {
+ public:
+  explicit ThreadPerRequestPolicy(ServeFn serve) : serve_(std::move(serve)) {}
+  ~ThreadPerRequestPolicy() override { shutdown(); }
+
+  void submit(RequestMessage msg) override;
+  void shutdown() override;
+
+ private:
+  ServeFn serve_;
+  std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::size_t active_{0};
+  bool stopping_{false};
+};
+
+// One long-lived thread per client connection, reclaimed by the ORB.
+class ThreadPerConnectionPolicy : public DispatchPolicy {
+ public:
+  explicit ThreadPerConnectionPolicy(ServeFn serve)
+      : serve_(std::move(serve)) {}
+  ~ThreadPerConnectionPolicy() override { shutdown(); }
+
+  void submit(RequestMessage msg) override;
+  void shutdown() override;
+
+  std::size_t connection_count() const {
+    std::lock_guard lock(mu_);
+    return workers_.size();
+  }
+
+ private:
+  struct Worker {
+    BlockingQueue<RequestMessage> queue;
+    std::thread thread;
+  };
+
+  ServeFn serve_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Worker>> workers_;
+  bool stopping_{false};
+};
+
+// Fixed pool of worker threads over a shared queue.
+class ThreadPoolPolicy : public DispatchPolicy {
+ public:
+  ThreadPoolPolicy(ServeFn serve, std::size_t workers);
+  ~ThreadPoolPolicy() override { shutdown(); }
+
+  void submit(RequestMessage msg) override;
+  void shutdown() override;
+
+ private:
+  ServeFn serve_;
+  BlockingQueue<RequestMessage> queue_;
+  std::vector<std::thread> workers_;
+  std::once_flag shutdown_once_;
+};
+
+std::unique_ptr<DispatchPolicy> make_policy(PolicyKind kind, ServeFn serve,
+                                            std::size_t pool_size);
+
+}  // namespace causeway::orb

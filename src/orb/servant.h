@@ -1,0 +1,60 @@
+// Servant base class and dispatch context.
+//
+// A servant is the implementation-side object the object adapter activates.
+// Generated skeletons derive from Servant, unmarshal the request payload,
+// up-call the user implementation and marshal the reply.  Instrumented
+// skeletons additionally peel the hidden FTL trailer and run probes 2/3 --
+// the Servant interface itself, like the rest of the ORB, knows nothing
+// about monitoring.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/wire.h"
+#include "monitor/events.h"
+#include "orb/message.h"
+
+namespace causeway::orb {
+
+class ProcessDomain;
+
+struct DispatchContext {
+  // How the call arrived: sync, oneway, or collocated (in-process with the
+  // optimization on, where probes 1+2 / 3+4 degenerate into adjacent pairs).
+  monitor::CallKind kind{monitor::CallKind::kSync};
+  ProcessDomain* domain{nullptr};  // hosting domain
+  ObjectKey object_key{0};         // key the adapter dispatched to
+};
+
+// Result of one dispatch; maps onto the reply message.
+struct DispatchResult {
+  ReplyStatus status{ReplyStatus::kOk};
+  std::string error_name;
+  std::string error_text;
+};
+
+class Servant {
+ public:
+  virtual ~Servant() = default;
+
+  virtual std::string_view interface_name() const = 0;
+
+  // Handles one invocation.  `in` is positioned at the request payload
+  // (possibly with a hidden trailer at the end, which plain skeletons simply
+  // never read); `out` receives the reply payload.  Application exceptions
+  // must be converted to DispatchResult, not thrown across this boundary.
+  virtual DispatchResult dispatch(DispatchContext& ctx, MethodId method,
+                                  WireCursor& in, WireBuffer& out) = 0;
+};
+
+// Location-transparent object reference.
+struct ObjectRef {
+  std::string process;  // hosting domain name
+  ObjectKey key{0};
+  std::string interface_name;
+
+  bool valid() const { return !process.empty(); }
+};
+
+}  // namespace causeway::orb

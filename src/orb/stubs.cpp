@@ -1,0 +1,106 @@
+#include "orb/stubs.h"
+
+#include "monitor/ftl.h"
+
+namespace causeway::orb {
+namespace {
+
+monitor::CallKind decide_kind(const ProcessDomain& local, const ObjectRef& ref,
+                              const MethodSpec& m) {
+  if (m.oneway) return monitor::CallKind::kOneway;  // always cross-thread
+  if (ref.process == local.name() && local.options().collocation_optimization) {
+    return monitor::CallKind::kCollocated;
+  }
+  return monitor::CallKind::kSync;
+}
+
+}  // namespace
+
+ClientCall::ClientCall(ProcessDomain& local, const ObjectRef& ref,
+                       const MethodSpec& m, bool instrumented)
+    : local_(local),
+      ref_(ref),
+      method_(m),
+      kind_(decide_kind(local, ref, m)),
+      probes_(instrumented ? &local.monitor_runtime() : nullptr,
+              monitor::CallIdentity{m.interface_name, m.method_name, ref.key},
+              kind_) {}
+
+WireCursor ClientCall::invoke() {
+  // Probe 1, then the hidden trailer rides at the end of the payload.
+  const monitor::Ftl ftl = probes_.on_stub_start();
+  if (ftl.valid()) monitor::append_ftl_trailer(request_, ftl);
+
+  ReplyMessage reply =
+      kind_ == monitor::CallKind::kCollocated
+          ? local_.invoke_collocated(ref_, method_.id, request_.bytes())
+          : local_.invoke_remote(ref_, method_.id, request_.bytes());
+
+  reply_payload_ = std::move(reply.payload);
+  WireCursor cursor(reply_payload_.data(), reply_payload_.size());
+  const std::optional<monitor::Ftl> reply_ftl =
+      monitor::peel_ftl_trailer(cursor);
+
+  // Probe 4 fires even when the call failed in the application: the
+  // skeleton logged probes 2/3 on the exceptional path too, and the chain
+  // must stay continuous.  The reply status doubles as semantics capture.
+  monitor::CallOutcome outcome = monitor::CallOutcome::kOk;
+  if (reply.status == ReplyStatus::kAppError) {
+    outcome = monitor::CallOutcome::kAppError;
+  } else if (reply.status != ReplyStatus::kOk) {
+    outcome = monitor::CallOutcome::kSystemError;
+  }
+  probes_.on_stub_end(reply_ftl, outcome);
+
+  switch (reply.status) {
+    case ReplyStatus::kOk:
+      return cursor;
+    case ReplyStatus::kAppError:
+      // Typed rethrow is the generated stub's job: the payload carries the
+      // marshaled exception members.
+      app_error_ = true;
+      app_error_name_ = std::move(reply.error_name);
+      app_error_text_ = std::move(reply.error_text);
+      return cursor;
+    case ReplyStatus::kObjectNotFound:
+      throw ObjectNotFound(reply.error_text);
+    case ReplyStatus::kSystemError:
+      throw OrbError("system error from peer: " + reply.error_text);
+  }
+  throw OrbError("corrupt reply status");
+}
+
+void ClientCall::invoke_oneway() {
+  const monitor::Ftl child_ftl = probes_.on_stub_start();
+  if (child_ftl.valid()) monitor::append_ftl_trailer(request_, child_ftl);
+  local_.invoke_oneway(ref_, method_.id, request_.bytes());
+  probes_.on_stub_end_oneway();
+}
+
+SkeletonGuard::SkeletonGuard(DispatchContext& ctx,
+                             const monitor::CallIdentity& identity,
+                             WireCursor& in, bool instrumented)
+    : probes_(instrumented && ctx.domain
+                  ? &ctx.domain->monitor_runtime()
+                  : nullptr,
+              identity, ctx.kind),
+      instrumented_(instrumented) {
+  // Peel regardless of our own instrumentation so a plain skeleton facing an
+  // instrumented caller still hands clean parameters to user code.
+  std::optional<monitor::Ftl> request_ftl = monitor::peel_ftl_trailer(in);
+  if (instrumented_) probes_.on_skel_start(request_ftl);
+}
+
+void SkeletonGuard::body_end(monitor::CallOutcome outcome) {
+  if (body_ended_ || !instrumented_) return;
+  body_ended_ = true;
+  reply_ftl_ = probes_.on_skel_end(outcome);
+}
+
+void SkeletonGuard::seal(WireBuffer& out) {
+  if (!instrumented_) return;
+  body_end();
+  if (reply_ftl_.valid()) monitor::append_ftl_trailer(out, reply_ftl_);
+}
+
+}  // namespace causeway::orb

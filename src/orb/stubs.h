@@ -1,0 +1,100 @@
+// Stub/skeleton support library.
+//
+// Generated stubs and skeletons (idlc) and hand-written components (the
+// synthetic workload, tests) are thin: marshaling in, unmarshaling out.  The
+// two classes here carry everything else --
+//
+//   ClientCall      the client half: picks the path (remote / oneway /
+//                   collocated), runs probes 1 and 4 when instrumented,
+//                   appends/peels the hidden FTL trailer, converts reply
+//                   status into exceptions.
+//
+//   SkeletonGuard   the server half: peels the request trailer, runs probes
+//                   2 and 3, seals the reply with the updated trailer.
+//
+// `instrumented` is a constructor argument because the paper's IDL compiler
+// decides instrumentation at *generation* time (a back-end compilation
+// flag); idlc emits `true` or `false` as a literal into the generated code.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "common/wire.h"
+#include "monitor/probes.h"
+#include "orb/domain.h"
+#include "orb/errors.h"
+#include "orb/servant.h"
+
+namespace causeway::orb {
+
+struct MethodSpec {
+  std::string_view interface_name;
+  std::string_view method_name;
+  MethodId id{0};
+  bool oneway{false};
+};
+
+class ClientCall {
+ public:
+  ClientCall(ProcessDomain& local, const ObjectRef& ref, const MethodSpec& m,
+             bool instrumented);
+
+  // Marshal in/inout parameters into this buffer before invoking.
+  WireBuffer& request() { return request_; }
+
+  monitor::CallKind kind() const { return kind_; }
+
+  // Synchronous (also collocated) invocation.  Returns a cursor over the
+  // reply payload, valid while this ClientCall lives.  Throws
+  // ObjectNotFound / OrbError on infrastructure-level reply status and
+  // TransportError / TimeoutError on transport failure.  IDL-declared
+  // application exceptions do NOT throw here: has_app_error() is set and
+  // the cursor is positioned over the marshaled exception members, so the
+  // generated stub can reconstruct and rethrow the typed exception.
+  WireCursor invoke();
+
+  void invoke_oneway();
+
+  bool has_app_error() const { return app_error_; }
+  const std::string& app_error_name() const { return app_error_name_; }
+  const std::string& app_error_text() const { return app_error_text_; }
+
+ private:
+  ProcessDomain& local_;
+  const ObjectRef& ref_;
+  MethodSpec method_;
+  monitor::CallKind kind_;
+  monitor::StubProbes probes_;
+  WireBuffer request_;
+  std::vector<std::uint8_t> reply_payload_;
+  bool app_error_{false};
+  std::string app_error_name_;
+  std::string app_error_text_;
+};
+
+class SkeletonGuard {
+ public:
+  // Runs probe 2 (skeleton start): peels the FTL trailer off `in` -- the
+  // user unmarshaling code then sees exactly the declared parameters -- and
+  // refreshes the thread's TSS with the incoming chain.
+  SkeletonGuard(DispatchContext& ctx, const monitor::CallIdentity& identity,
+                WireCursor& in, bool instrumented);
+
+  // Probe 3: call immediately after the user implementation returns (on both
+  // the normal and the exceptional path, with the observed outcome).
+  // Idempotent: the first call wins.
+  void body_end(monitor::CallOutcome outcome = monitor::CallOutcome::kOk);
+
+  // Appends the updated FTL trailer after the reply payload is marshaled.
+  // Calls body_end() first if the skeleton forgot to.
+  void seal(WireBuffer& out);
+
+ private:
+  monitor::SkelProbes probes_;
+  bool instrumented_;
+  bool body_ended_{false};
+  monitor::Ftl reply_ftl_;
+};
+
+}  // namespace causeway::orb

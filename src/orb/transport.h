@@ -1,0 +1,98 @@
+// In-memory inter-domain transport fabric.
+//
+// The paper deploys processes across HPUX, Windows NT and VxWorks hosts; the
+// reproduction runs every "process" as a ProcessDomain inside one OS process
+// and connects them through this fabric.  What is preserved:
+//
+//   * byte-level exchange -- only encoded messages cross the boundary, so a
+//     domain can never share pointers, clocks or TSS with a peer;
+//   * asymmetric, configurable link latency (deliver-at timestamps honored
+//     by the receiving domain's I/O thread);
+//   * unreachable peers fail the send like a broken TCP connection would.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/queue.h"
+#include "orb/message.h"
+
+namespace causeway::orb {
+
+struct Envelope {
+  std::string from;
+  std::string to;
+  MessageKind kind{MessageKind::kRequest};
+  std::vector<std::uint8_t> bytes;
+  Nanos deliver_at{0};  // host steady-clock deadline (link latency)
+};
+
+using Inbox = BlockingQueue<Envelope>;
+
+class Fabric {
+ public:
+  Fabric() = default;
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Applied to every link without an explicit override.
+  void set_default_latency(Nanos latency) {
+    std::lock_guard lock(mu_);
+    default_latency_ = latency;
+  }
+
+  // Directional override for the from->to link.
+  void set_link_latency(const std::string& from, const std::string& to,
+                        Nanos latency) {
+    std::lock_guard lock(mu_);
+    link_latency_[{from, to}] = latency;
+  }
+
+  void register_domain(const std::string& name, Inbox* inbox) {
+    std::lock_guard lock(mu_);
+    inboxes_[name] = inbox;
+  }
+
+  void unregister_domain(const std::string& name) {
+    std::lock_guard lock(mu_);
+    inboxes_.erase(name);
+  }
+
+  // False if the destination is unknown/closed (peer crashed or shut down).
+  bool send(const std::string& from, const std::string& to, MessageKind kind,
+            std::vector<std::uint8_t> bytes);
+
+  // Total bytes ever pushed through the fabric; benchmarks use this to
+  // compare FTL (constant) vs Trace-Object (growing) overhead on the wire.
+  std::uint64_t bytes_sent() const {
+    std::lock_guard lock(mu_);
+    return bytes_sent_;
+  }
+
+  // Fault injection: silently lose this fraction of messages (UDP-style --
+  // the sender cannot tell; a lost request surfaces as a client timeout, a
+  // lost reply likewise).  Deterministic per seed.  Rate 0 disables.
+  void set_loss(double rate, std::uint64_t seed = 1);
+
+  std::uint64_t messages_dropped() const {
+    std::lock_guard lock(mu_);
+    return messages_dropped_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Inbox*> inboxes_;
+  std::map<std::pair<std::string, std::string>, Nanos> link_latency_;
+  Nanos default_latency_{0};
+  std::uint64_t bytes_sent_{0};
+  double loss_rate_{0.0};
+  std::uint64_t loss_state_{1};
+  std::uint64_t messages_dropped_{0};
+};
+
+}  // namespace causeway::orb

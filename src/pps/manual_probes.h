@@ -1,0 +1,101 @@
+// Manual ground-truth measurement (the paper's accuracy yardstick).
+//
+// "The manual counterpart was carried out by having one probe for one target
+// function in one system run.  This probe retrieves time stamps at the
+// beginning and end of the target function."  ManualProbes reproduces that:
+// a Scope placed directly around a call site (or body) records wall-clock
+// and per-thread-CPU deltas, completely outside the monitoring framework.
+// The accuracy experiments (E3/E5) compare these numbers against the
+// framework's L(F) / SC+DC results.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/cpu.h"
+
+namespace causeway::pps {
+
+class ManualProbes {
+ public:
+  struct Sample {
+    Nanos wall{0};
+    Nanos cpu{0};
+  };
+
+  class Scope {
+   public:
+    // `probes` may be null: the scope is then free of any effect, so
+    // instrumentation points can stay in place permanently.
+    Scope(ManualProbes* probes, std::string_view key)
+        : probes_(probes), key_(key) {
+      if (probes_ && probes_->enabled_) {
+        wall0_ = steady_now_ns();
+        cpu0_ = thread_cpu_now_ns();
+        armed_ = true;
+      }
+    }
+    ~Scope() {
+      if (armed_) {
+        probes_->record(key_, {steady_now_ns() - wall0_,
+                               thread_cpu_now_ns() - cpu0_});
+      }
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ManualProbes* probes_;
+    std::string_view key_;
+    Nanos wall0_{0};
+    Nanos cpu0_{0};
+    bool armed_{false};
+  };
+
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+
+  std::vector<Sample> samples(const std::string& key) const {
+    std::lock_guard lock(mu_);
+    auto it = samples_.find(key);
+    return it == samples_.end() ? std::vector<Sample>{} : it->second;
+  }
+
+  double mean_wall(const std::string& key) const {
+    return mean(key, [](const Sample& s) { return s.wall; });
+  }
+  double mean_cpu(const std::string& key) const {
+    return mean(key, [](const Sample& s) { return s.cpu; });
+  }
+
+  void clear() {
+    std::lock_guard lock(mu_);
+    samples_.clear();
+  }
+
+ private:
+  template <typename Fn>
+  double mean(const std::string& key, Fn&& get) const {
+    std::lock_guard lock(mu_);
+    auto it = samples_.find(key);
+    if (it == samples_.end() || it->second.empty()) return 0;
+    double sum = 0;
+    for (const Sample& s : it->second) sum += static_cast<double>(get(s));
+    return sum / static_cast<double>(it->second.size());
+  }
+
+  void record(std::string_view key, Sample s) {
+    std::lock_guard lock(mu_);
+    samples_[std::string(key)].push_back(s);
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<Sample>> samples_;
+  bool enabled_{true};
+};
+
+}  // namespace causeway::pps

@@ -1,0 +1,540 @@
+#include "pps/pps_system.h"
+
+#include <thread>
+
+#include "bridge/bridge.h"
+#include "common/work.h"
+#include "monitor/tss.h"
+
+namespace causeway::pps {
+namespace {
+
+// Calibrated per-stage CPU costs (scaled by PpsConfig::cpu_scale).  These
+// stand in for the real parse/layout/raster work of the paper's pipeline;
+// what matters to the experiments is that each stage burns a *known* amount
+// of per-thread CPU that the analysis should attribute correctly.
+constexpr Nanos kNotifyCpu = 3 * kNanosPerMicro;
+constexpr Nanos kReserveCpu = 2 * kNanosPerMicro;
+constexpr Nanos kReleaseCpu = 1 * kNanosPerMicro;
+constexpr Nanos kFontBaseCpu = 8 * kNanosPerMicro;
+constexpr Nanos kFontPerNameCpu = 2 * kNanosPerMicro;
+constexpr Nanos kParseBaseCpu = 15 * kNanosPerMicro;
+constexpr Nanos kParsePerPageCpu = 3 * kNanosPerMicro;
+constexpr Nanos kLayoutBaseCpu = 12 * kNanosPerMicro;
+constexpr Nanos kLayoutPerElemCpu = 2 * kNanosPerMicro;
+constexpr Nanos kConvertBaseCpu = 6 * kNanosPerMicro;
+constexpr Nanos kRasterBaseCpu = 25 * kNanosPerMicro;
+constexpr Nanos kRasterPerDpiCpu = 50;  // per dpi unit
+constexpr Nanos kCompressBaseCpu = 10 * kNanosPerMicro;
+constexpr Nanos kMarkCpu = 8 * kNanosPerMicro;
+constexpr Nanos kSpoolCpu = 5 * kNanosPerMicro;
+constexpr Nanos kSubmitCpu = 10 * kNanosPerMicro;
+
+class Burner {
+ public:
+  explicit Burner(double scale) : scale_(scale) {}
+  void operator()(Nanos ns) const {
+    burn_cpu(static_cast<Nanos>(static_cast<double>(ns) * scale_));
+  }
+
+ private:
+  double scale_;
+};
+
+// --- component implementations ---
+
+class StatusMonitorImpl final : public PPS::StatusMonitor {
+ public:
+  explicit StatusMonitorImpl(Burner burn) : burn_(burn) {}
+  void notify(std::int32_t job_id, const std::string& stage) override {
+    (void)job_id;
+    (void)stage;
+    burn_(kNotifyCpu);
+  }
+
+ private:
+  Burner burn_;
+};
+
+class ResourceManagerImpl final : public PPS::ResourceManager {
+ public:
+  explicit ResourceManagerImpl(Burner burn) : burn_(burn) {}
+  std::int32_t reserve(std::int32_t amount) override {
+    burn_(kReserveCpu);
+    outstanding_ += amount;
+    return outstanding_;
+  }
+  void release_units(std::int32_t amount) override {
+    burn_(kReleaseCpu);
+    outstanding_ -= amount;
+  }
+
+ private:
+  Burner burn_;
+  std::int32_t outstanding_{0};
+};
+
+class FontServiceImpl final : public PPS::FontService {
+ public:
+  explicit FontServiceImpl(Burner burn) : burn_(burn) {}
+  std::vector<std::string> resolve(
+      const std::vector<std::string>& names) override {
+    burn_(kFontBaseCpu +
+          kFontPerNameCpu * static_cast<Nanos>(names.size()));
+    std::vector<std::string> resolved;
+    resolved.reserve(names.size());
+    for (const auto& n : names) resolved.push_back(n + ".pfb");
+    return resolved;
+  }
+
+ private:
+  Burner burn_;
+};
+
+class ParserImpl final : public PPS::Parser {
+ public:
+  explicit ParserImpl(Burner burn) : burn_(burn) {}
+  std::vector<std::string> parse(const PPS::JobTicket& job) override {
+    burn_(kParseBaseCpu + kParsePerPageCpu * job.pages);
+    std::vector<std::string> elements;
+    elements.reserve(static_cast<std::size_t>(job.pages) + 2);
+    elements.push_back("header:" + job.name);
+    for (std::int32_t p = 0; p < job.pages; ++p) {
+      elements.push_back("page-content");
+    }
+    elements.push_back("trailer");
+    return elements;
+  }
+
+ private:
+  Burner burn_;
+};
+
+class LayoutEngineImpl final : public PPS::LayoutEngine {
+ public:
+  LayoutEngineImpl(Burner burn, ManualProbes* manual,
+                   std::unique_ptr<PPS::FontServiceProxy> fonts,
+                   std::unique_ptr<PPS::ResourceManagerProxy> resources)
+      : burn_(burn),
+        manual_(manual),
+        fonts_(std::move(fonts)),
+        resources_(std::move(resources)) {}
+
+  std::int32_t layout(std::int32_t job_id,
+                      const std::vector<std::string>& elements) override {
+    (void)job_id;
+    {
+      ManualProbes::Scope scope(manual_, "PPS::ResourceManager::reserve");
+      resources_->reserve(static_cast<std::int32_t>(elements.size()));
+    }
+    std::vector<std::string> fonts{"helvetica", "times"};
+    {
+      ManualProbes::Scope scope(manual_, "PPS::FontService::resolve");
+      fonts = fonts_->resolve(fonts);
+    }
+    burn_(kLayoutBaseCpu +
+          kLayoutPerElemCpu * static_cast<Nanos>(elements.size()));
+    resources_->release_units(static_cast<std::int32_t>(elements.size()));
+    return static_cast<std::int32_t>(elements.size());
+  }
+
+ private:
+  Burner burn_;
+  ManualProbes* manual_;
+  std::unique_ptr<PPS::FontServiceProxy> fonts_;
+  std::unique_ptr<PPS::ResourceManagerProxy> resources_;
+};
+
+class ColorConverterImpl final : public PPS::ColorConverter {
+ public:
+  explicit ColorConverterImpl(Burner burn) : burn_(burn) {}
+  std::vector<std::uint8_t> convert(const std::vector<std::uint8_t>& raw,
+                                    bool color) override {
+    burn_(kConvertBaseCpu + static_cast<Nanos>(raw.size() / 8));
+    std::vector<std::uint8_t> out = raw;
+    if (!color) {
+      for (auto& b : out) b = static_cast<std::uint8_t>(b & 0x7f);
+    }
+    return out;
+  }
+
+ private:
+  Burner burn_;
+};
+
+class RasterizerImpl final : public PPS::Rasterizer {
+ public:
+  RasterizerImpl(Burner burn, ManualProbes* manual, std::size_t band_bytes,
+                 std::unique_ptr<PPS::ColorConverterProxy> converter)
+      : burn_(burn),
+        manual_(manual),
+        band_bytes_(band_bytes),
+        converter_(std::move(converter)) {}
+
+  PPS::Band rasterize(std::int32_t job_id, std::int32_t page,
+                      std::int32_t dpi, bool color) override {
+    burn_(kRasterBaseCpu + kRasterPerDpiCpu * dpi);
+    std::vector<std::uint8_t> raw(band_bytes_);
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      raw[i] = static_cast<std::uint8_t>((i * 31 + static_cast<std::size_t>(page)) & 0xff);
+    }
+    PPS::Band band;
+    band.job_id = job_id;
+    band.page = page;
+    {
+      ManualProbes::Scope scope(manual_, "PPS::ColorConverter::convert");
+      band.bits = converter_->convert(raw, color);
+    }
+    return band;
+  }
+
+ private:
+  Burner burn_;
+  ManualProbes* manual_;
+  std::size_t band_bytes_;
+  std::unique_ptr<PPS::ColorConverterProxy> converter_;
+};
+
+class CompressorImpl final : public PPS::Compressor {
+ public:
+  explicit CompressorImpl(Burner burn) : burn_(burn) {}
+  std::vector<std::uint8_t> compress(
+      const std::vector<std::uint8_t>& bits) override {
+    burn_(kCompressBaseCpu + static_cast<Nanos>(bits.size() / 4));
+    // Toy RLE so the output depends on the input.
+    std::vector<std::uint8_t> out;
+    out.reserve(bits.size() / 2 + 8);
+    for (std::size_t i = 0; i < bits.size();) {
+      std::size_t run = 1;
+      while (i + run < bits.size() && bits[i + run] == bits[i] && run < 255) {
+        ++run;
+      }
+      out.push_back(static_cast<std::uint8_t>(run));
+      out.push_back(bits[i]);
+      i += run;
+    }
+    return out;
+  }
+
+ private:
+  Burner burn_;
+};
+
+class MarkingEngineImpl final : public PPS::MarkingEngine {
+ public:
+  explicit MarkingEngineImpl(Burner burn) : burn_(burn) {}
+  void mark(const PPS::Band& band) override {
+    (void)band;
+    burn_(kMarkCpu);
+  }
+
+ private:
+  Burner burn_;
+};
+
+class SpoolerImpl final : public PPS::Spooler {
+ public:
+  explicit SpoolerImpl(Burner burn) : burn_(burn) {}
+  void spool(std::int32_t job_id,
+             const std::vector<std::uint8_t>& data) override {
+    (void)job_id;
+    (void)data;
+    burn_(kSpoolCpu);
+  }
+
+ private:
+  Burner burn_;
+};
+
+class JobQueueImpl final : public PPS::JobQueue {
+ public:
+  struct Downstream {
+    std::unique_ptr<PPS::ParserProxy> parser;
+    std::unique_ptr<PPS::LayoutEngineProxy> layout;
+    std::unique_ptr<PPS::RasterizerProxy> rasterizer;
+    std::unique_ptr<PPS::CompressorProxy> compressor;
+    std::unique_ptr<PPS::MarkingEngineProxy> marking;
+    std::unique_ptr<PPS::SpoolerProxy> spooler;
+    std::unique_ptr<PPS::StatusMonitorProxy> status;
+  };
+
+  JobQueueImpl(Burner burn, ManualProbes* manual, Downstream downstream)
+      : burn_(burn), manual_(manual), d_(std::move(downstream)) {}
+
+  std::int32_t submit(const PPS::JobTicket& job) override {
+    if (job.pages <= 0) {
+      PPS::JobRejected rejected;
+      rejected.reason = "job has no pages";
+      throw rejected;
+    }
+    if (job.pages > PPS::kMaxPagesPerJob) {
+      PPS::JobRejected rejected;
+      rejected.reason = "job exceeds kMaxPagesPerJob";
+      throw rejected;
+    }
+    ++pending_;
+    d_.status->notify(job.job_id, "received");
+    burn_(kSubmitCpu);
+
+    std::vector<std::string> elements;
+    {
+      ManualProbes::Scope scope(manual_, "PPS::Parser::parse");
+      elements = d_.parser->parse(job);
+    }
+    {
+      ManualProbes::Scope scope(manual_, "PPS::LayoutEngine::layout");
+      d_.layout->layout(job.job_id, elements);
+    }
+    for (std::int32_t page = 0; page < job.pages; ++page) {
+      PPS::Band band;
+      {
+        ManualProbes::Scope scope(manual_, "PPS::Rasterizer::rasterize");
+        band = d_.rasterizer->rasterize(job.job_id, page, job.dpi, job.color);
+      }
+      std::vector<std::uint8_t> compressed;
+      {
+        ManualProbes::Scope scope(manual_, "PPS::Compressor::compress");
+        compressed = d_.compressor->compress(band.bits);
+      }
+      d_.marking->mark(band);
+      {
+        ManualProbes::Scope scope(manual_, "PPS::Spooler::spool");
+        d_.spooler->spool(job.job_id, compressed);
+      }
+    }
+    d_.status->notify(job.job_id, "done");
+    --pending_;
+    return job.job_id;
+  }
+
+  std::int32_t pending() override { return pending_; }
+
+ private:
+  Burner burn_;
+  ManualProbes* manual_;
+  Downstream d_;
+  std::int32_t pending_{0};
+};
+
+}  // namespace
+
+PpsSystem::PpsSystem(orb::Fabric& fabric, PpsConfig config,
+                     ManualProbes* manual)
+    : config_(config), manual_(manual) {
+  if (config_.link_latency > 0) {
+    fabric.set_default_latency(config_.link_latency);
+  }
+
+  // --- domains per topology ---
+  std::size_t domain_count = 1;
+  switch (config_.topology) {
+    case PpsConfig::Topology::kMonolithic: domain_count = 1; break;
+    case PpsConfig::Topology::kFourProcess: domain_count = 4; break;
+    case PpsConfig::Topology::kPerComponent: domain_count = 11; break;
+    case PpsConfig::Topology::kHybridCom: domain_count = 4; break;
+  }
+  static const char* kPlatforms[] = {"hpux-pa-risc", "nt-x86",
+                                     "vxworks-ppc"};
+  for (std::size_t d = 0; d < domain_count; ++d) {
+    orb::DomainOptions opts;
+    opts.process_name = "pps" + std::to_string(d);
+    opts.node_name = "host" + std::to_string(d % 3);
+    opts.processor_type = kPlatforms[d % 3];
+    opts.monitor = config_.monitor;
+    opts.policy = config_.policy;
+    opts.pool_size = config_.pool_size;
+    opts.collocation_optimization = config_.collocation_optimization;
+    if (config_.hostile_clocks) {
+      opts.clock_skew = static_cast<Nanos>(d) * 3600 * kNanosPerSecond;
+      opts.clock_drift_ppm = 150.0 * (d % 2 == 0 ? 1.0 : -1.0);
+    }
+    domains_.push_back(std::make_unique<orb::ProcessDomain>(fabric, opts));
+  }
+
+  // Paper-style 4-process partition: P0 intake, P1 interpretation,
+  // P2 rasterization, P3 output.
+  auto domain_for = [&](std::size_t component) -> orb::ProcessDomain& {
+    if (config_.topology == PpsConfig::Topology::kMonolithic) {
+      return *domains_[0];
+    }
+    if (config_.topology == PpsConfig::Topology::kPerComponent) {
+      return *domains_[component % domains_.size()];
+    }
+    // kFourProcess / kHybridCom, components indexed:
+    // 0 JobQueue, 1 StatusMonitor, 2 Parser, 3 LayoutEngine, 4 FontService,
+    // 5 ResourceManager, 6 Rasterizer, 7 ColorConverter, 8 Compressor,
+    // 9 MarkingEngine, 10 Spooler
+    switch (component) {
+      case 0: case 1: return *domains_[0];
+      case 2: case 3: case 4: case 5: return *domains_[1];
+      case 6: case 7: return *domains_[2];
+      default: return *domains_[3];
+    }
+  };
+
+  const Burner burn(config_.cpu_scale);
+
+  // The hybrid deployment hosts ColorConverter and Compressor in a COM
+  // runtime (one STA each) and exposes them to the ORB through FTL-aware
+  // bridges activated in the domains of their callers.
+  const bool hybrid = config_.topology == PpsConfig::Topology::kHybridCom;
+  if (hybrid) {
+    com_monitor_ = std::make_unique<monitor::MonitorRuntime>(
+        monitor::DomainIdentity{"pps-com", "com-host", "embedded-com"},
+        config_.monitor, ClockDomain{});
+    com_runtime_ = std::make_unique<com::ComRuntime>(com_monitor_.get());
+  }
+
+  // --- leaf components first ---
+  orb::ProcessDomain& status_dom = domain_for(1);
+  auto status_ref = PPS::activate_StatusMonitor(
+      status_dom, std::make_shared<StatusMonitorImpl>(burn));
+
+  orb::ProcessDomain& resource_dom = domain_for(5);
+  auto resource_ref = PPS::activate_ResourceManager(
+      resource_dom, std::make_shared<ResourceManagerImpl>(burn));
+
+  orb::ProcessDomain& font_dom = domain_for(4);
+  auto font_ref = PPS::activate_FontService(
+      font_dom, std::make_shared<FontServiceImpl>(burn));
+
+  orb::ProcessDomain& parser_dom = domain_for(2);
+  auto parser_ref =
+      PPS::activate_Parser(parser_dom, std::make_shared<ParserImpl>(burn));
+
+  orb::ProcessDomain& convert_dom = domain_for(7);
+  orb::ObjectRef convert_ref;
+  orb::ProcessDomain& compress_dom = domain_for(8);
+  orb::ObjectRef compress_ref;
+  if (hybrid) {
+    const auto convert_sta = com_runtime_->create_sta();
+    const auto convert_id = PPS::register_ColorConverter(
+        *com_runtime_, convert_sta, std::make_shared<ColorConverterImpl>(burn));
+    convert_ref = convert_dom.activate(std::make_shared<bridge::ComBackedServant>(
+        "PPS::ColorConverter", *com_runtime_, convert_id,
+        bridge::FtlPolicy::kForward));
+
+    const auto compress_sta = com_runtime_->create_sta();
+    const auto compress_id = PPS::register_Compressor(
+        *com_runtime_, compress_sta, std::make_shared<CompressorImpl>(burn));
+    compress_ref = compress_dom.activate(std::make_shared<bridge::ComBackedServant>(
+        "PPS::Compressor", *com_runtime_, compress_id,
+        bridge::FtlPolicy::kForward));
+  } else {
+    convert_ref = PPS::activate_ColorConverter(
+        convert_dom, std::make_shared<ColorConverterImpl>(burn));
+    compress_ref = PPS::activate_Compressor(
+        compress_dom, std::make_shared<CompressorImpl>(burn));
+  }
+
+  orb::ProcessDomain& marking_dom = domain_for(9);
+  auto marking_ref = PPS::activate_MarkingEngine(
+      marking_dom, std::make_shared<MarkingEngineImpl>(burn));
+
+  orb::ProcessDomain& spool_dom = domain_for(10);
+  auto spool_ref =
+      PPS::activate_Spooler(spool_dom, std::make_shared<SpoolerImpl>(burn));
+
+  // --- mid-tier ---
+  orb::ProcessDomain& layout_dom = domain_for(3);
+  auto layout_ref = PPS::activate_LayoutEngine(
+      layout_dom,
+      std::make_shared<LayoutEngineImpl>(
+          burn, manual_,
+          std::make_unique<PPS::FontServiceProxy>(layout_dom, font_ref),
+          std::make_unique<PPS::ResourceManagerProxy>(layout_dom,
+                                                      resource_ref)));
+
+  orb::ProcessDomain& raster_dom = domain_for(6);
+  auto raster_ref = PPS::activate_Rasterizer(
+      raster_dom,
+      std::make_shared<RasterizerImpl>(
+          burn, manual_, config_.band_bytes,
+          std::make_unique<PPS::ColorConverterProxy>(raster_dom,
+                                                     convert_ref)));
+
+  // --- intake ---
+  orb::ProcessDomain& queue_dom = domain_for(0);
+  JobQueueImpl::Downstream down;
+  down.parser = std::make_unique<PPS::ParserProxy>(queue_dom, parser_ref);
+  down.layout = std::make_unique<PPS::LayoutEngineProxy>(queue_dom, layout_ref);
+  down.rasterizer =
+      std::make_unique<PPS::RasterizerProxy>(queue_dom, raster_ref);
+  down.compressor =
+      std::make_unique<PPS::CompressorProxy>(queue_dom, compress_ref);
+  down.marking =
+      std::make_unique<PPS::MarkingEngineProxy>(queue_dom, marking_ref);
+  down.spooler = std::make_unique<PPS::SpoolerProxy>(queue_dom, spool_ref);
+  down.status =
+      std::make_unique<PPS::StatusMonitorProxy>(queue_dom, status_ref);
+
+  auto queue_ref = PPS::activate_JobQueue(
+      queue_dom,
+      std::make_shared<JobQueueImpl>(burn, manual_, std::move(down)));
+
+  // The driver submits from the intake domain (the paper's client lives
+  // with the front process).
+  job_queue_proxy_ =
+      std::make_unique<PPS::JobQueueProxy>(*domains_.front(), queue_ref);
+}
+
+PpsSystem::~PpsSystem() { shutdown(); }
+
+void PpsSystem::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& d : domains_) d->shutdown();
+  if (com_runtime_) com_runtime_->shutdown();
+}
+
+std::int32_t PpsSystem::submit_job(std::int32_t pages, std::int32_t dpi,
+                                   bool color) {
+  monitor::ScopedFreshChain fresh;
+  PPS::JobTicket job;
+  job.job_id = next_job_++;
+  job.name = "job-" + std::to_string(job.job_id);
+  job.pages = pages;
+  job.dpi = dpi;
+  job.color = color;
+  ManualProbes::Scope scope(manual_, "PPS::JobQueue::submit");
+  return job_queue_proxy_->submit(job);
+}
+
+void PpsSystem::wait_quiescent(Nanos poll, int stable_polls) const {
+  auto total = [&] {
+    std::size_t n = 0;
+    for (const auto& d : domains_) n += d->monitor_runtime().store().size();
+    if (com_monitor_) n += com_monitor_->store().size();
+    return n;
+  };
+  std::size_t last = total();
+  int stable = 0;
+  while (stable < stable_polls) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(poll));
+    const std::size_t now = total();
+    stable = (now == last) ? stable + 1 : 0;
+    last = now;
+  }
+}
+
+void PpsSystem::set_probe_mode(monitor::ProbeMode mode) {
+  config_.monitor.mode = mode;
+  for (auto& d : domains_) {
+    auto& rt = d->monitor_runtime();
+    rt.set_config({config_.monitor.enabled, mode});
+    rt.store().clear();
+  }
+  if (com_monitor_) {
+    com_monitor_->set_config({config_.monitor.enabled, mode});
+    com_monitor_->store().clear();
+  }
+}
+
+monitor::CollectedLogs PpsSystem::collect() const {
+  monitor::Collector collector;
+  for (const auto& d : domains_) collector.attach(&d->monitor_runtime());
+  if (com_monitor_) collector.attach(com_monitor_.get());
+  return collector.collect();
+}
+
+}  // namespace causeway::pps

@@ -1,0 +1,202 @@
+#include "workload/logsynth.h"
+
+#include <deque>
+#include <map>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace causeway::workload {
+namespace {
+
+using monitor::CallKind;
+using monitor::EventKind;
+using monitor::ProbeMode;
+using monitor::TraceRecord;
+
+struct Synth {
+  const LogSynthConfig& config;
+  analysis::LogDatabase& db;
+  Xoshiro256 rng;
+  LogSynthStats stats;
+
+  std::deque<std::string> names;
+  std::vector<std::string_view> iface_names;
+  std::vector<std::string_view> method_names;
+  std::vector<std::size_t> method_iface;     // method -> interface
+  std::vector<std::size_t> component_iface;  // component -> interface
+  std::vector<std::string_view> process_names;
+  std::vector<std::int64_t> process_clock;  // monotonic per process
+  std::map<std::pair<std::size_t, std::size_t>, std::int64_t>
+      thread_cpu;  // monotonic per (process, thread) -- CPU mode
+
+  std::vector<TraceRecord> batch;
+
+  explicit Synth(const LogSynthConfig& c, analysis::LogDatabase& d)
+      : config(c), db(d), rng(c.seed) {
+    for (std::size_t i = 0; i < config.interfaces; ++i) {
+      names.push_back(strf("Embedded::Iface%03zu", i));
+      iface_names.push_back(names.back());
+    }
+    for (std::size_t m = 0; m < config.methods; ++m) {
+      names.push_back(strf("op%03zu", m));
+      method_names.push_back(names.back());
+      method_iface.push_back(m % config.interfaces);
+    }
+    for (std::size_t c2 = 0; c2 < config.components; ++c2) {
+      component_iface.push_back(c2 % config.interfaces);
+    }
+    for (std::size_t p = 0; p < config.processes; ++p) {
+      names.push_back(strf("proc%zu", p));
+      process_names.push_back(names.back());
+      process_clock.push_back(
+          static_cast<std::int64_t>(rng.uniform(1'000'000'000)));
+    }
+  }
+
+  void emit(const TraceRecord& r) {
+    ++stats.records;
+    if (config.drop_fraction > 0 && rng.chance(config.drop_fraction)) {
+      ++stats.dropped;
+      return;
+    }
+    batch.push_back(r);
+    if (config.duplicate_fraction > 0 &&
+        rng.chance(config.duplicate_fraction)) {
+      ++stats.duplicated;
+      batch.push_back(r);
+    }
+    if (batch.size() >= 8192) flush();
+  }
+
+  void flush() {
+    db.ingest_records(batch);
+    batch.clear();
+  }
+
+  TraceRecord base_record(const Uuid& chain, std::uint64_t seq,
+                          EventKind event, CallKind kind, std::size_t method,
+                          std::size_t component, std::size_t process,
+                          std::size_t thread) {
+    TraceRecord r;
+    r.chain = chain;
+    r.seq = seq;
+    r.event = event;
+    r.kind = kind;
+    r.interface_name = iface_names[method_iface[method]];
+    r.function_name = method_names[method];
+    r.object_key = component + 1;
+    r.process_name = process_names[process];
+    r.node_name = "embedded-node";
+    r.processor_type = "pa-risc";
+    r.thread_ordinal = thread;
+    r.mode = config.mode;
+    if (config.mode == ProbeMode::kCpu) {
+      std::int64_t& cpu = thread_cpu[{process, thread}];
+      r.value_start = cpu;
+      cpu += static_cast<std::int64_t>(rng.uniform(400)) + 50;
+      r.value_end = cpu;
+    } else if (config.mode == ProbeMode::kLatency) {
+      r.value_start = process_clock[process];
+      process_clock[process] +=
+          static_cast<std::int64_t>(rng.uniform(900)) + 100;
+      r.value_end = process_clock[process];
+    }
+    return r;
+  }
+
+  // Emits one call (and its subtree) on `chain`; returns remaining budget.
+  // caller_process/thread locate the stub-side records.
+  void call(const Uuid& chain, std::uint64_t& seq, std::size_t depth,
+            std::size_t caller_process, std::size_t caller_thread,
+            std::size_t& budget) {
+    if (budget == 0) return;
+    --budget;
+    ++stats.calls;
+
+    const std::size_t method = rng.uniform(config.methods);
+    const std::size_t component = rng.uniform(config.components);
+    const std::size_t process = rng.uniform(config.processes);
+    const std::size_t thread =
+        1 + rng.uniform(std::max<std::size_t>(config.threads, 1));
+
+    const bool oneway =
+        depth > 0 && rng.chance(config.oneway_fraction);
+    const bool collocated = !oneway && process == caller_process;
+    const CallKind kind = oneway ? CallKind::kOneway
+                          : collocated ? CallKind::kCollocated
+                                       : CallKind::kSync;
+
+    if (oneway) {
+      // Parent chain sees only the stub pair; the callee side becomes a
+      // fresh chain rooted at a skeleton event.
+      const Uuid child_chain = Uuid::generate();
+      TraceRecord ss = base_record(chain, ++seq, EventKind::kStubStart, kind,
+                                   method, component, caller_process,
+                                   caller_thread);
+      ss.spawned_chain = child_chain;
+      emit(ss);
+      emit(base_record(chain, ++seq, EventKind::kStubEnd, kind, method,
+                       component, caller_process, caller_thread));
+
+      std::uint64_t child_seq = 0;
+      ++stats.chains;
+      emit(base_record(child_chain, ++child_seq, EventKind::kSkelStart, kind,
+                       method, component, process, thread));
+      subtree(child_chain, child_seq, depth + 1, process, thread, budget);
+      emit(base_record(child_chain, ++child_seq, EventKind::kSkelEnd, kind,
+                       method, component, process, thread));
+      return;
+    }
+
+    const std::size_t body_process = collocated ? caller_process : process;
+    const std::size_t body_thread = collocated ? caller_thread : thread;
+
+    emit(base_record(chain, ++seq, EventKind::kStubStart, kind, method,
+                     component, caller_process, caller_thread));
+    emit(base_record(chain, ++seq, EventKind::kSkelStart, kind, method,
+                     component, body_process, body_thread));
+    subtree(chain, seq, depth + 1, body_process, body_thread, budget);
+    emit(base_record(chain, ++seq, EventKind::kSkelEnd, kind, method,
+                     component, body_process, body_thread));
+    emit(base_record(chain, ++seq, EventKind::kStubEnd, kind, method,
+                     component, caller_process, caller_thread));
+  }
+
+  void subtree(const Uuid& chain, std::uint64_t& seq, std::size_t depth,
+               std::size_t process, std::size_t thread, std::size_t& budget) {
+    if (depth >= config.max_depth || budget == 0) return;
+    const std::size_t children = rng.uniform(config.max_children + 1);
+    for (std::size_t i = 0; i < children && budget > 0; ++i) {
+      call(chain, seq, depth, process, thread, budget);
+    }
+  }
+
+  LogSynthStats run() {
+    std::size_t budget = config.total_calls;
+    while (budget > 0) {
+      const Uuid chain = Uuid::generate();
+      ++stats.chains;
+      std::uint64_t seq = 0;
+      const std::size_t client_process = rng.uniform(config.processes);
+      const std::size_t client_thread =
+          1 + rng.uniform(std::max<std::size_t>(config.threads, 1));
+      // A transaction is a burst of top-level sibling calls on one chain.
+      const std::size_t tops = 1 + rng.uniform(3);
+      for (std::size_t i = 0; i < tops && budget > 0; ++i) {
+        call(chain, seq, 0, client_process, client_thread, budget);
+      }
+    }
+    flush();
+    return stats;
+  }
+};
+
+}  // namespace
+
+LogSynthStats synthesize_logs(const LogSynthConfig& config,
+                              analysis::LogDatabase& db) {
+  return Synth(config, db).run();
+}
+
+}  // namespace causeway::workload

@@ -1,0 +1,288 @@
+#include "workload/synthetic.h"
+
+#include <thread>
+
+#include "common/strings.h"
+#include "common/work.h"
+#include "monitor/tss.h"
+
+namespace causeway::workload {
+namespace {
+
+const char* kProcessorKinds[] = {"pa-risc", "x86", "vxworks-ppc", "ia64"};
+
+}  // namespace
+
+// Generic servant: its behaviour is entirely table-driven by the system's
+// method plans -- the component population can therefore reach arbitrary
+// interface/method counts without code generation.
+class SyntheticComponent final : public orb::Servant {
+ public:
+  SyntheticComponent(SyntheticSystem* system, std::size_t index,
+                     std::string_view interface_name)
+      : system_(system), index_(index), interface_name_(interface_name) {}
+
+  std::string_view interface_name() const override { return interface_name_; }
+
+  orb::DispatchResult dispatch(orb::DispatchContext& ctx,
+                               orb::MethodId method, WireCursor& in,
+                               WireBuffer& out) override {
+    const SyntheticSystem::MethodPlan& plan = system_->plan(index_, method);
+    orb::SkeletonGuard guard(
+        ctx,
+        monitor::CallIdentity{plan.interface_name, plan.method_name,
+                              ctx.object_key},
+        in, system_->instrumented());
+
+    burn_cpu(plan.cpu / 2);
+    for (const auto& child : plan.children) {
+      system_->issue_child_call(*ctx.domain, child);
+    }
+    burn_cpu(plan.cpu - plan.cpu / 2);
+    if (plan.idle > 0) idle_for(plan.idle);
+
+    guard.body_end();
+    guard.seal(out);
+    return {};
+  }
+
+ private:
+  SyntheticSystem* system_;
+  std::size_t index_;
+  std::string_view interface_name_;
+};
+
+SyntheticSystem::SyntheticSystem(orb::Fabric& fabric, SyntheticConfig config)
+    : config_(config) {
+  Xoshiro256 rng(config_.seed);
+
+  if (config_.link_latency > 0) {
+    fabric.set_default_latency(config_.link_latency);
+  }
+
+  // --- domains ---
+  const std::size_t kinds =
+      std::min<std::size_t>(std::max<std::size_t>(config_.processor_kinds, 1),
+                            std::size(kProcessorKinds));
+  for (std::size_t d = 0; d < config_.domains; ++d) {
+    orb::DomainOptions opts;
+    opts.process_name = strf("proc%zu", d);
+    opts.node_name = strf("node%zu", d % kinds);
+    opts.processor_type = kProcessorKinds[d % kinds];
+    opts.monitor = config_.monitor;
+    opts.policy = config_.policy;
+    opts.pool_size = config_.pool_size;
+    opts.collocation_optimization = config_.collocation_optimization;
+    domains_.push_back(std::make_unique<orb::ProcessDomain>(fabric, opts));
+  }
+  {
+    orb::DomainOptions opts;
+    opts.process_name = "client";
+    opts.node_name = "node-client";
+    opts.processor_type = kProcessorKinds[0];
+    opts.monitor = config_.monitor;
+    opts.collocation_optimization = config_.collocation_optimization;
+    client_ = std::make_unique<orb::ProcessDomain>(fabric, opts);
+  }
+
+  // --- interface/method naming and level assignment ---
+  const std::size_t iface_count = std::max<std::size_t>(config_.interfaces, 1);
+  const std::size_t mpi = std::max<std::size_t>(config_.methods_per_interface, 1);
+  const std::size_t levels = std::max<std::size_t>(config_.levels, 1);
+  std::vector<std::string_view> iface_names;
+  iface_names.reserve(iface_count);
+  for (std::size_t i = 0; i < iface_count; ++i) {
+    iface_names.push_back(intern(strf("Synthetic::Iface%03zu", i)));
+  }
+  // method (i, m) has level (i*mpi + m) % levels; method (0,0) is level 0 and
+  // serves as the transaction root.
+  auto method_level = [&](std::size_t iface, std::size_t m) {
+    return (iface * mpi + m) % levels;
+  };
+
+  // Candidate callee methods per level, as (interface, method) pairs.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> by_level(levels);
+  for (std::size_t i = 0; i < iface_count; ++i) {
+    for (std::size_t m = 0; m < mpi; ++m) {
+      by_level[method_level(i, m)].push_back({i, m});
+    }
+  }
+
+  // --- component placement ---
+  const std::size_t comp_count = std::max<std::size_t>(config_.components, 1);
+  std::vector<std::vector<std::size_t>> components_of_iface(iface_count);
+  component_domain_.resize(comp_count);
+  for (std::size_t c = 0; c < comp_count; ++c) {
+    const std::size_t iface = c % iface_count;
+    components_of_iface[iface].push_back(c);
+    component_domain_[c] = c % config_.domains;
+  }
+
+  // --- per-component method plans ---
+  plans_.resize(comp_count);
+  for (std::size_t c = 0; c < comp_count; ++c) {
+    const std::size_t iface = c % iface_count;
+    plans_[c].resize(mpi);
+    for (std::size_t m = 0; m < mpi; ++m) {
+      MethodPlan& plan = plans_[c][m];
+      plan.interface_name = iface_names[iface];
+      plan.method_name = intern(strf("m%02zu", m));
+      plan.cpu = config_.cpu_per_call;
+      plan.idle = config_.idle_per_call;
+
+      const std::size_t level = method_level(iface, m);
+      if (level + 1 >= levels) continue;  // leaf level
+
+      // The transaction root (component 0, method 0) always fans out, so a
+      // transaction is never a single degenerate call.
+      const bool is_root = (c == 0 && m == 0);
+      std::size_t n_children =
+          config_.max_children == 0 ? 0 : rng.uniform(config_.max_children + 1);
+      if (is_root && config_.max_children > 0) {
+        n_children = std::max<std::size_t>(n_children, config_.max_children);
+      }
+      for (std::size_t k = 0; k < n_children; ++k) {
+        // Pick a strictly deeper level that has methods.
+        const std::size_t child_level =
+            level + 1 + rng.uniform(levels - level - 1);
+        const auto& pool = by_level[child_level];
+        if (pool.empty()) continue;
+        const auto [ci, cm] = pool[rng.uniform(pool.size())];
+        const auto& impls = components_of_iface[ci];
+        if (impls.empty()) continue;
+
+        ChildCall child;
+        child.method = static_cast<orb::MethodId>(cm);
+        child.oneway = rng.chance(config_.oneway_fraction);
+        if (rng.chance(config_.same_domain_fraction)) {
+          // Prefer an implementation living in the caller's domain.
+          std::size_t pick = impls[rng.uniform(impls.size())];
+          for (std::size_t attempt = 0; attempt < impls.size(); ++attempt) {
+            const std::size_t candidate = impls[rng.uniform(impls.size())];
+            if (component_domain_[candidate] == component_domain_[c]) {
+              pick = candidate;
+              break;
+            }
+          }
+          child.target_component = pick;
+        } else {
+          child.target_component = impls[rng.uniform(impls.size())];
+        }
+        plan.children.push_back(child);
+      }
+    }
+  }
+
+  // --- activation ---
+  refs_.reserve(comp_count);
+  for (std::size_t c = 0; c < comp_count; ++c) {
+    const std::size_t iface = c % iface_count;
+    auto servant =
+        std::make_shared<SyntheticComponent>(this, c, iface_names[iface]);
+    refs_.push_back(domains_[component_domain_[c]]->activate(servant));
+  }
+
+  calls_per_transaction_ = expansion_size(0, 0);
+}
+
+SyntheticSystem::~SyntheticSystem() { shutdown(); }
+
+void SyntheticSystem::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  client_->shutdown();
+  for (auto& d : domains_) d->shutdown();
+}
+
+std::size_t SyntheticSystem::expansion_size(std::size_t component,
+                                            orb::MethodId method) const {
+  const MethodPlan& p = plans_[component][method];
+  std::size_t n = 1;
+  for (const auto& c : p.children) {
+    n += expansion_size(c.target_component, c.method);
+  }
+  return n;
+}
+
+const SyntheticSystem::MethodPlan& SyntheticSystem::plan(
+    std::size_t component, orb::MethodId method) const {
+  return plans_[component][method];
+}
+
+void SyntheticSystem::issue_child_call(orb::ProcessDomain& from,
+                                       const ChildCall& call) {
+  const MethodPlan& target_plan =
+      plans_[call.target_component][call.method];
+  orb::MethodSpec spec{target_plan.interface_name, target_plan.method_name,
+                       call.method, call.oneway};
+  orb::ClientCall client(from, refs_[call.target_component], spec,
+                         config_.instrumented);
+  if (call.oneway) {
+    client.invoke_oneway();
+  } else {
+    client.invoke();
+  }
+}
+
+void SyntheticSystem::run_transaction() {
+  monitor::ScopedFreshChain fresh;
+  issue_child_call(*client_, ChildCall{0, 0, false});
+}
+
+void SyntheticSystem::run_transactions(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) run_transaction();
+}
+
+void SyntheticSystem::run_transactions_concurrent(std::size_t total,
+                                                  std::size_t threads) {
+  if (threads <= 1) {
+    run_transactions(total);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    // Spread the remainder over the first workers.
+    const std::size_t share = total / threads + (t < total % threads ? 1 : 0);
+    workers.emplace_back([this, share] {
+      for (std::size_t i = 0; i < share; ++i) run_transaction();
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+void SyntheticSystem::wait_quiescent(Nanos poll, int stable_polls) const {
+  auto total = [&] {
+    std::size_t n = client_->monitor_runtime().store().size();
+    for (const auto& d : domains_) n += d->monitor_runtime().store().size();
+    return n;
+  };
+  std::size_t last = total();
+  int stable = 0;
+  while (stable < stable_polls) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(poll));
+    const std::size_t now = total();
+    stable = (now == last) ? stable + 1 : 0;
+    last = now;
+  }
+}
+
+void SyntheticSystem::set_probe_mode(monitor::ProbeMode mode) {
+  config_.monitor.mode = mode;
+  auto reconfigure = [&](orb::ProcessDomain& domain) {
+    auto& rt = domain.monitor_runtime();
+    rt.set_config({config_.monitor.enabled, mode});
+    rt.store().clear();
+  };
+  reconfigure(*client_);
+  for (auto& d : domains_) reconfigure(*d);
+}
+
+monitor::CollectedLogs SyntheticSystem::collect() const {
+  monitor::Collector collector;
+  collector.attach(&client_->monitor_runtime());
+  for (const auto& d : domains_) collector.attach(&d->monitor_runtime());
+  return collector.collect();
+}
+
+}  // namespace causeway::workload

@@ -1,0 +1,134 @@
+// Synthetic component system generator.
+//
+// Builds a deterministic multi-domain component application on the ORB: a
+// configurable population of components implementing generated interfaces,
+// each method executing calibrated CPU work and issuing a fixed script of
+// child calls (sync / oneway, same- or cross-domain).  The script is a DAG
+// over method *levels*, so every transaction terminates and its exact call
+// count is known up front -- which is what lets benchmarks dial in the
+// paper's commercial-system shape (176 components, 155 interfaces, 801
+// methods, 32 threads, 4 processes, 195,000 calls) and sweep around it.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "monitor/collector.h"
+#include "orb/domain.h"
+#include "orb/stubs.h"
+
+namespace causeway::workload {
+
+struct SyntheticConfig {
+  std::uint64_t seed{42};
+
+  std::size_t domains{4};
+  std::size_t components{16};
+  std::size_t interfaces{8};
+  std::size_t methods_per_interface{4};
+
+  // Call-script shape.  Methods are assigned levels 0..levels-1; a method
+  // may only call methods of strictly greater level, so scripts are finite.
+  std::size_t levels{4};
+  std::size_t max_children{3};
+  double oneway_fraction{0.10};
+  double same_domain_fraction{0.30};  // chance a child targets the caller's
+                                      // domain (exercises collocation)
+
+  Nanos cpu_per_call{20 * kNanosPerMicro};
+  Nanos idle_per_call{0};
+
+  orb::PolicyKind policy{orb::PolicyKind::kThreadPool};
+  std::size_t pool_size{4};
+  monitor::MonitorConfig monitor{};
+  bool instrumented{true};
+  bool collocation_optimization{true};
+  Nanos link_latency{0};
+
+  // Domains cycle through this many distinct processor types (the <C1..CM>
+  // axes of the CPU analysis).
+  std::size_t processor_kinds{1};
+};
+
+class SyntheticComponent;
+
+class SyntheticSystem {
+ public:
+  SyntheticSystem(orb::Fabric& fabric, SyntheticConfig config);
+  ~SyntheticSystem();
+  SyntheticSystem(const SyntheticSystem&) = delete;
+  SyntheticSystem& operator=(const SyntheticSystem&) = delete;
+
+  // Component-boundary calls produced by one root transaction.
+  std::size_t calls_per_transaction() const { return calls_per_transaction_; }
+
+  // Drives one/many transactions from the client domain's calling thread.
+  void run_transaction();
+  void run_transactions(std::size_t n);
+
+  // Drives `total` transactions from `threads` concurrent client threads
+  // (each transaction still gets its own fresh causal chain).
+  void run_transactions_concurrent(std::size_t total, std::size_t threads);
+
+  // Blocks until the log volume stops growing (oneway cascades drained).
+  void wait_quiescent(Nanos poll = 20 * kNanosPerMilli,
+                      int stable_polls = 3) const;
+
+  monitor::CollectedLogs collect() const;
+
+  // Reconfigures all domains' probes and clears their logs (a fresh
+  // measurement pass on the same deployment).  Only call at quiescence.
+  void set_probe_mode(monitor::ProbeMode mode);
+
+  void shutdown();
+
+  std::size_t domain_count() const { return domains_.size(); }
+  orb::ProcessDomain& client_domain() { return *client_; }
+
+  // --- used by SyntheticComponent ---
+  struct ChildCall {
+    std::size_t target_component{0};
+    orb::MethodId method{0};
+    bool oneway{false};
+  };
+  struct MethodPlan {
+    std::string_view interface_name;
+    std::string_view method_name;
+    Nanos cpu{0};
+    Nanos idle{0};
+    std::vector<ChildCall> children;
+  };
+
+  const MethodPlan& plan(std::size_t component, orb::MethodId method) const;
+  const orb::ObjectRef& component_ref(std::size_t component) const {
+    return refs_[component];
+  }
+  bool instrumented() const { return config_.instrumented; }
+  void issue_child_call(orb::ProcessDomain& from, const ChildCall& call);
+
+ private:
+  std::string_view intern(std::string s) {
+    names_.push_back(std::move(s));
+    return names_.back();
+  }
+  std::size_t expansion_size(std::size_t component, orb::MethodId method) const;
+
+  SyntheticConfig config_;
+  std::deque<std::string> names_;  // stable storage for record string_views
+
+  std::vector<std::unique_ptr<orb::ProcessDomain>> domains_;
+  std::unique_ptr<orb::ProcessDomain> client_;
+
+  // plans_[component][method]
+  std::vector<std::vector<MethodPlan>> plans_;
+  std::vector<orb::ObjectRef> refs_;
+  std::vector<std::size_t> component_domain_;
+  std::size_t calls_per_transaction_{0};
+  bool stopped_{false};
+};
+
+}  // namespace causeway::workload

@@ -1,0 +1,157 @@
+#include "analysis/export.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/latency.h"
+#include "analysis_test_util.h"
+
+namespace causeway::analysis {
+namespace {
+
+using monitor::CallKind;
+using monitor::EventKind;
+using testutil::Scribe;
+
+struct Fixture {
+  LogDatabase db;
+  Dscg dscg;
+
+  Fixture() {
+    Scribe s;
+    s.emit(EventKind::kStubStart, CallKind::kSync, "Shop::Store", "buy", 0, 1);
+    s.emit(EventKind::kSkelStart, CallKind::kSync, "Shop::Store", "buy", 2, 3,
+           "procB", 2);
+    Nanos t[8] = {4, 5, 6, 7, 8, 9, 10, 11};
+    s.leaf_sync("Shop::Pay", "charge", t, "procB", "procC");
+    s.emit(EventKind::kSkelEnd, CallKind::kSync, "Shop::Store", "buy", 12, 13,
+           "procB", 2);
+    s.emit(EventKind::kStubEnd, CallKind::kSync, "Shop::Store", "buy", 14, 15);
+    db.ingest_records(s.records());
+    dscg = Dscg::build(db);
+    annotate_latency(dscg);
+  }
+};
+
+TEST(Export, TextShowsHierarchyAndAnnotations) {
+  Fixture f;
+  const std::string text = to_text(f.dscg);
+  EXPECT_NE(text.find("chain "), std::string::npos);
+  EXPECT_NE(text.find("Shop::Store::buy"), std::string::npos);
+  EXPECT_NE(text.find("Shop::Pay::charge"), std::string::npos);
+  EXPECT_NE(text.find("latency="), std::string::npos);
+  EXPECT_NE(text.find("@procB"), std::string::npos);
+  // The child is indented one level deeper than the parent.
+  const auto buy = text.find("Shop::Store::buy");
+  const auto charge = text.find("Shop::Pay::charge");
+  const auto buy_line_start = text.rfind('\n', buy) + 1;
+  const auto charge_line_start = text.rfind('\n', charge) + 1;
+  EXPECT_GT(charge - charge_line_start, buy - buy_line_start);
+}
+
+TEST(Export, TextRespectsNodeLimit) {
+  Fixture f;
+  ExportOptions options;
+  options.max_nodes = 1;
+  const std::string text = to_text(f.dscg, options);
+  EXPECT_NE(text.find("Shop::Store::buy"), std::string::npos);
+  EXPECT_EQ(text.find("Shop::Pay::charge"), std::string::npos);
+}
+
+TEST(Export, DotIsStructurallyValid) {
+  Fixture f;
+  const std::string dot = to_dot(f.dscg);
+  EXPECT_EQ(dot.find("digraph DSCG {"), 0u);
+  EXPECT_NE(dot.find("n0 ["), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(Export, JsonHasChainsAndNesting) {
+  Fixture f;
+  const std::string json = to_json(f.dscg);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"chains\":["), std::string::npos);
+  EXPECT_NE(json.find("\"function\":\"buy\""), std::string::npos);
+  EXPECT_NE(json.find("\"children\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ns\":"), std::string::npos);
+  // Balanced braces/brackets (cheap structural check).
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Export, HtmlIsSelfContainedAndNested) {
+  Fixture f;
+  const std::string html = to_html(f.dscg);
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(html.find("<style>"), std::string::npos);
+  EXPECT_NE(html.find("Shop::Store::buy"), std::string::npos);
+  EXPECT_NE(html.find("Shop::Pay::charge"), std::string::npos);
+  // Parent is a collapsible node; leaf child is a plain row.
+  EXPECT_NE(html.find("<details open><summary>"), std::string::npos);
+  EXPECT_NE(html.find("<div class='leaf'>"), std::string::npos);
+  // Balanced details tags.
+  std::size_t open = 0, close = 0, pos = 0;
+  while ((pos = html.find("<details", pos)) != std::string::npos) {
+    ++open;
+    pos += 8;
+  }
+  pos = 0;
+  while ((pos = html.find("</details>", pos)) != std::string::npos) {
+    ++close;
+    pos += 10;
+  }
+  EXPECT_EQ(open, close);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+TEST(Export, HtmlEscapesAndAnnotates) {
+  Fixture f;
+  const std::string html = to_html(f.dscg);
+  EXPECT_NE(html.find("class='metric'"), std::string::npos);  // latency shown
+  EXPECT_NE(html.find("@procB"), std::string::npos);
+}
+
+TEST(Export, SpawnedChainsRendered) {
+  Scribe parent;
+  const Uuid child = Uuid::generate();
+  auto& start = parent.emit(EventKind::kStubStart, CallKind::kOneway,
+                            "I", "notify", 0, 1);
+  start.spawned_chain = child;
+  parent.emit(EventKind::kStubEnd, CallKind::kOneway, "I", "notify", 2, 3);
+
+  std::vector<monitor::TraceRecord> child_records;
+  monitor::TraceRecord r;
+  r.chain = child;
+  r.seq = 1;
+  r.event = EventKind::kSkelStart;
+  r.kind = CallKind::kOneway;
+  r.interface_name = "I";
+  r.function_name = "notify";
+  r.process_name = "procB";
+  r.node_name = "n";
+  r.processor_type = "x";
+  child_records.push_back(r);
+  r.seq = 2;
+  r.event = EventKind::kSkelEnd;
+  child_records.push_back(r);
+
+  LogDatabase db;
+  db.ingest_records(parent.records());
+  db.ingest_records(child_records);
+  Dscg dscg = Dscg::build(db);
+
+  const std::string text = to_text(dscg);
+  EXPECT_NE(text.find("~> spawned chain"), std::string::npos);
+  const std::string json = to_json(dscg);
+  EXPECT_NE(json.find("\"spawned\":[{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace causeway::analysis

@@ -1,0 +1,73 @@
+// Builds hand-crafted trace-record streams with exact probe values, so the
+// analysis tests can check the paper's formulas against known answers.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "monitor/record.h"
+
+namespace causeway::analysis::testutil {
+
+class Scribe {
+ public:
+  explicit Scribe(monitor::ProbeMode mode = monitor::ProbeMode::kLatency)
+      : chain_(Uuid::generate()), mode_(mode) {}
+
+  const Uuid& chain() const { return chain_; }
+  std::vector<monitor::TraceRecord>& records() { return records_; }
+
+  monitor::TraceRecord& emit(monitor::EventKind event, monitor::CallKind kind,
+                             std::string_view iface, std::string_view fn,
+                             Nanos v0, Nanos v1,
+                             std::string_view process = "procA",
+                             std::uint64_t thread = 1,
+                             std::string_view processor = "x86",
+                             std::uint64_t object_key = 1) {
+    monitor::TraceRecord r;
+    r.chain = chain_;
+    r.seq = ++seq_;
+    r.event = event;
+    r.kind = kind;
+    r.interface_name = iface;
+    r.function_name = fn;
+    r.object_key = object_key;
+    r.process_name = process;
+    r.node_name = "node";
+    r.processor_type = processor;
+    r.thread_ordinal = thread;
+    r.mode = mode_;
+    r.value_start = v0;
+    r.value_end = v1;
+    records_.push_back(r);
+    return records_.back();
+  }
+
+  // Emits the four events of a leaf synchronous call with the given probe
+  // windows: p1 = (t[0],t[1]), p2 = (t[2],t[3]), p3 = (t[4],t[5]),
+  // p4 = (t[6],t[7]).
+  void leaf_sync(std::string_view iface, std::string_view fn,
+                 const Nanos (&t)[8],
+                 std::string_view client_process = "procA",
+                 std::string_view server_process = "procB",
+                 std::string_view server_processor = "x86") {
+    using monitor::CallKind;
+    using monitor::EventKind;
+    emit(EventKind::kStubStart, CallKind::kSync, iface, fn, t[0], t[1],
+         client_process, 1, "x86");
+    emit(EventKind::kSkelStart, CallKind::kSync, iface, fn, t[2], t[3],
+         server_process, 2, server_processor);
+    emit(EventKind::kSkelEnd, CallKind::kSync, iface, fn, t[4], t[5],
+         server_process, 2, server_processor);
+    emit(EventKind::kStubEnd, CallKind::kSync, iface, fn, t[6], t[7],
+         client_process, 1, "x86");
+  }
+
+ private:
+  Uuid chain_;
+  monitor::ProbeMode mode_;
+  std::uint64_t seq_{0};
+  std::vector<monitor::TraceRecord> records_;
+};
+
+}  // namespace causeway::analysis::testutil

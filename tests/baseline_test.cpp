@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "baseline/flat_profiler.h"
+#include "baseline/interceptor.h"
+#include "baseline/trace_object.h"
+#include "common/work.h"
+#include "monitor/ftl.h"
+
+namespace causeway::baseline {
+namespace {
+
+TEST(FlatProfiler, DepthOneArcsWithinAThread) {
+  FlatProfiler profiler;
+  {
+    FlatProfiler::Scope f(profiler, "F");
+    burn_cpu(500 * kNanosPerMicro);
+    {
+      FlatProfiler::Scope g(profiler, "G");
+      burn_cpu(500 * kNanosPerMicro);
+      {
+        FlatProfiler::Scope h(profiler, "H");
+        burn_cpu(200 * kNanosPerMicro);
+      }
+    }
+  }
+  auto arcs = profiler.arcs();
+  // Depth-1 only: F->G and G->H exist; an F->H arc must NOT.
+  bool fg = false, gh = false, fh = false;
+  for (const auto& a : arcs) {
+    if (a.caller == "F" && a.callee == "G") fg = true;
+    if (a.caller == "G" && a.callee == "H") gh = true;
+    if (a.caller == "F" && a.callee == "H") fh = true;
+  }
+  EXPECT_TRUE(fg);
+  EXPECT_TRUE(gh);
+  EXPECT_FALSE(fh);
+
+  // Self CPU excludes children.
+  for (const auto& e : profiler.flat_profile()) {
+    if (e.function == "F") {
+      EXPECT_LT(e.self_cpu, 900 * kNanosPerMicro);
+      EXPECT_GT(e.self_cpu, 300 * kNanosPerMicro);
+    }
+  }
+}
+
+TEST(FlatProfiler, CrossThreadCallersAreLost) {
+  // The gprof-style baseline cannot see that "parent" (thread 1) caused
+  // "child" (thread 2): the child shows up as an orphan root.
+  FlatProfiler profiler;
+  {
+    FlatProfiler::Scope parent(profiler, "parent");
+    std::thread worker([&] {
+      FlatProfiler::Scope child(profiler, "child");
+      burn_cpu(100 * kNanosPerMicro);
+    });
+    worker.join();
+  }
+  EXPECT_GE(profiler.orphan_roots(), 2u);  // parent AND child are roots
+  bool parent_child_arc = false;
+  for (const auto& a : profiler.arcs()) {
+    if (a.caller == "parent" && a.callee == "child") parent_child_arc = true;
+  }
+  EXPECT_FALSE(parent_child_arc);
+}
+
+TEST(TraceObject, GrowsLinearlyWithChainDepth) {
+  TraceObject to;
+  std::size_t last = to.encoded_size();
+  for (int hop = 1; hop <= 100; ++hop) {
+    to.add_hop({"Iface::Long::Name", "method_name", 7, hop});
+    const std::size_t now = to.encoded_size();
+    EXPECT_GT(now, last);
+    last = now;
+  }
+  // vs the FTL, which is constant size at any depth.
+  EXPECT_GT(last, 100 * 20u);
+  EXPECT_EQ(monitor::kFtlTrailerSize, 28u);
+}
+
+TEST(TraceObject, EncodeDecodeRoundTrip) {
+  TraceObject to;
+  to.add_hop({"A", "f", 1, 100});
+  to.add_hop({"B", "g", 2, 200});
+  WireBuffer b;
+  to.encode(b);
+  WireCursor c(b);
+  TraceObject back = TraceObject::decode(c);
+  ASSERT_EQ(back.hops.size(), 2u);
+  EXPECT_EQ(back.hops[0].interface_name, "A");
+  EXPECT_EQ(back.hops[1].function_name, "g");
+  EXPECT_EQ(back.hops[1].timestamp, 200);
+}
+
+TEST(Interceptor, ResolvesSameThreadNesting) {
+  // parent serves on thread 5 in proc B over [100, 500]; child's client side
+  // runs on that same thread within [200, 300]: resolvable.
+  std::vector<AnchorRecord> records(2);
+  records[0] = {"parent", 1, 5, "procA", "procB", 50, 100, 500, 550};
+  records[1] = {"child", 5, 9, "procB", "procC", 200, 220, 280, 300};
+  auto result = correlate_by_time(records);
+  ASSERT_TRUE(result.parent[1].has_value());
+  EXPECT_EQ(*result.parent[1], 0u);
+  EXPECT_FALSE(result.parent[0].has_value());
+}
+
+TEST(Interceptor, AmbiguousWhenIntervalsOverlapOnSameThread) {
+  // Two candidate parents both contain the child's interval on the same
+  // thread: the heuristic must pick one (tightest) -- there is no ground
+  // truth without causality capture, so it can be wrong.
+  std::vector<AnchorRecord> records(3);
+  records[0] = {"outer", 1, 5, "procA", "procB", 0, 10, 1000, 1010};
+  records[1] = {"inner", 1, 5, "procA", "procB", 0, 100, 500, 510};
+  records[2] = {"leaf", 5, 9, "procB", "procC", 200, 210, 290, 300};
+  auto result = correlate_by_time(records);
+  ASSERT_TRUE(result.parent[2].has_value());
+  EXPECT_EQ(*result.parent[2], 1u);  // tightest wins, may or may not be true
+}
+
+TEST(Interceptor, CrossThreadChildIsUnresolvable) {
+  // The child's client thread differs from every servant thread: no anchor
+  // correlation possible -- the paper's core criticism of OVATION.
+  std::vector<AnchorRecord> records(2);
+  records[0] = {"parent", 1, 5, "procA", "procB", 0, 10, 1000, 1010};
+  records[1] = {"orphan", 7, 9, "procB", "procC", 200, 210, 290, 300};
+  auto result = correlate_by_time(records);
+  EXPECT_FALSE(result.parent[1].has_value());
+  EXPECT_EQ(result.unresolved, 2u);
+}
+
+}  // namespace
+}  // namespace causeway::baseline

@@ -1,0 +1,114 @@
+// Collector semantics: the bundle must be self-contained (regression test
+// for a real lifetime bug: records used to hold views into the monitored
+// application's name tables, dangling once the workload was torn down).
+#include "monitor/collector.h"
+
+#include <gtest/gtest.h>
+
+#include "monitor/probes.h"
+#include "monitor/tss.h"
+
+namespace causeway::monitor {
+namespace {
+
+class CollectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { tss_clear(); }
+  void TearDown() override { tss_clear(); }
+};
+
+TEST_F(CollectorTest, BundleOutlivesTheRuntimeAndItsStrings) {
+  CollectedLogs logs;
+  {
+    // Identity strings live in short-lived storage.
+    auto iface = std::make_unique<std::string>("Ephemeral::Iface");
+    auto fn = std::make_unique<std::string>("short_lived_fn");
+
+    MonitorRuntime rt(DomainIdentity{"proc-x", "node-x", "type-x"},
+                      MonitorConfig{true, ProbeMode::kLatency},
+                      ClockDomain{});
+    StubProbes probes(&rt, CallIdentity{*iface, *fn, 1}, CallKind::kSync);
+    probes.on_stub_start();
+    probes.on_stub_end(std::nullopt);
+
+    Collector collector;
+    collector.attach(&rt);
+    logs = collector.collect();
+
+    // Scribble over and destroy the sources.
+    iface->assign("XXXXXXXXXXXXXXXX");
+    fn->assign("YYYYYYYYYYYYYYYY");
+    iface.reset();
+    fn.reset();
+  }  // runtime (and its DomainIdentity strings) destroyed here
+
+  ASSERT_EQ(logs.records.size(), 2u);
+  EXPECT_EQ(logs.records[0].interface_name, "Ephemeral::Iface");
+  EXPECT_EQ(logs.records[0].function_name, "short_lived_fn");
+  EXPECT_EQ(logs.records[0].process_name, "proc-x");
+  EXPECT_EQ(logs.domains[0].identity.processor_type, "type-x");
+}
+
+TEST_F(CollectorTest, CopiesShareThePool) {
+  MonitorRuntime rt(DomainIdentity{"p", "n", "t"},
+                    MonitorConfig{true, ProbeMode::kLatency}, ClockDomain{});
+  StubProbes probes(&rt, CallIdentity{"I", "f", 1}, CallKind::kSync);
+  probes.on_stub_start();
+
+  Collector collector;
+  collector.attach(&rt);
+  CollectedLogs original = collector.collect();
+  CollectedLogs copy = original;
+  original.records.clear();
+  original.strings.reset();
+  EXPECT_EQ(copy.records[0].interface_name, "I");
+}
+
+TEST_F(CollectorTest, MultipleRuntimesConcatenateInOrder) {
+  MonitorRuntime a(DomainIdentity{"procA", "n", "t"},
+                   MonitorConfig{true, ProbeMode::kLatency}, ClockDomain{});
+  MonitorRuntime b(DomainIdentity{"procB", "n", "t"},
+                   MonitorConfig{true, ProbeMode::kCpu}, ClockDomain{});
+  {
+    StubProbes probes(&a, CallIdentity{"I", "f", 1}, CallKind::kSync);
+    probes.on_stub_start();
+    probes.on_stub_end(std::nullopt);
+  }
+  tss_clear();
+  {
+    StubProbes probes(&b, CallIdentity{"I", "g", 1}, CallKind::kSync);
+    probes.on_stub_start();
+  }
+
+  Collector collector;
+  collector.attach(&a);
+  collector.attach(&b);
+  const CollectedLogs logs = collector.collect();
+  ASSERT_EQ(logs.domains.size(), 2u);
+  EXPECT_EQ(logs.domains[0].record_count, 2u);
+  EXPECT_EQ(logs.domains[1].record_count, 1u);
+  EXPECT_EQ(logs.domains[1].mode, ProbeMode::kCpu);
+  ASSERT_EQ(logs.records.size(), 3u);
+  EXPECT_EQ(logs.records[2].process_name, "procB");
+}
+
+TEST_F(CollectorTest, SnapshotIsPointInTime) {
+  MonitorRuntime rt(DomainIdentity{"p", "n", "t"},
+                    MonitorConfig{true, ProbeMode::kLatency}, ClockDomain{});
+  Collector collector;
+  collector.attach(&rt);
+
+  StubProbes first(&rt, CallIdentity{"I", "f", 1}, CallKind::kSync);
+  first.on_stub_start();
+  const CollectedLogs snap1 = collector.collect();
+
+  StubProbes second(&rt, CallIdentity{"I", "g", 1}, CallKind::kSync);
+  second.on_stub_start();
+  const CollectedLogs snap2 = collector.collect();
+
+  EXPECT_EQ(snap1.records.size(), 1u);
+  EXPECT_EQ(snap2.records.size(), 2u);
+}
+
+}  // namespace
+}  // namespace causeway::monitor

@@ -1,0 +1,521 @@
+// COM-like runtime: apartments, ORPC, STA message-loop reentrancy (the O1
+// violation), and the channel hooks that keep causal chains untangled.
+#include "com/apartment.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "analysis/dscg.h"
+#include "com/stubs.h"
+#include "common/work.h"
+#include "monitor/tss.h"
+
+namespace causeway::com {
+namespace {
+
+monitor::MonitorRuntime make_monitor() {
+  return monitor::MonitorRuntime(
+      monitor::DomainIdentity{"com-proc", "com-node", "x86"},
+      monitor::MonitorConfig{true, monitor::ProbeMode::kLatency},
+      ClockDomain{});
+}
+
+// Simple component: method 0 "double" doubles an int, optionally after a
+// delay (used to hold an STA caller blocked long enough to force pumping).
+class Doubler final : public ComServant {
+ public:
+  explicit Doubler(Nanos delay = 0) : delay_(delay) {}
+
+  std::string_view interface_name() const override { return "Com::Doubler"; }
+
+  ComDispatchResult com_dispatch(ComDispatchContext& ctx, MethodId method,
+                                 WireCursor& in, WireBuffer& out) override {
+    ComSkelGuard guard(ctx,
+                       monitor::CallIdentity{"Com::Doubler", "double_it",
+                                             ctx.object_id},
+                       in, true);
+    ComDispatchResult r;
+    if (method != 0) {
+      r.status = CallStatus::kSystemError;
+      r.error_text = "bad method";
+      guard.seal(out);
+      return r;
+    }
+    const std::int32_t x = in.read_i32();
+    if (delay_ > 0) idle_for(delay_);
+    guard.body_end();
+    out.write_i32(2 * x);
+    guard.seal(out);
+    return r;
+  }
+
+ private:
+  Nanos delay_;
+};
+
+std::int32_t call_double(ComRuntime& rt, ComObjectId target, std::int32_t x,
+                         bool instrumented = true) {
+  ComCall call(rt, target, {"Com::Doubler", "double_it", 0, false},
+               instrumented);
+  call.request().write_i32(x);
+  WireCursor reply = call.invoke();
+  return reply.read_i32();
+}
+
+class ComTest : public ::testing::Test {
+ protected:
+  void SetUp() override { monitor::tss_clear(); }
+  void TearDown() override { monitor::tss_clear(); }
+};
+
+TEST_F(ComTest, IUnknownRefCounting) {
+  auto* raw = new Doubler();
+  EXPECT_EQ(raw->add_ref(), 2u);
+  EXPECT_EQ(raw->release(), 1u);
+  void* out = nullptr;
+  EXPECT_EQ(raw->query_interface("IUnknown", &out), kOk);
+  EXPECT_EQ(out, raw);
+  raw->release();  // from QI
+  EXPECT_EQ(raw->query_interface("INope", &out), kNoInterface);
+  EXPECT_EQ(out, nullptr);
+  raw->release();  // destroys
+}
+
+TEST_F(ComTest, ComPtrManagesLifetime) {
+  ComPtr<Doubler> p = ComPtr<Doubler>::make();
+  ComPtr<Doubler> q = p;  // add_ref
+  ComPtr<Doubler> r = std::move(q);
+  EXPECT_TRUE(p);
+  EXPECT_FALSE(q);  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(r);
+}
+
+TEST_F(ComTest, StaDispatch) {
+  auto mon = make_monitor();
+  ComRuntime rt(&mon);
+  const ApartmentId sta = rt.create_sta();
+  const ComObjectId obj = rt.register_object(sta, ComPtr<ComServant>(new Doubler()));
+  ASSERT_NE(obj, 0u);
+  EXPECT_EQ(call_double(rt, obj, 21), 42);
+}
+
+TEST_F(ComTest, MtaDispatch) {
+  auto mon = make_monitor();
+  ComRuntime rt(&mon);
+  const ApartmentId mta = rt.create_mta(2);
+  const ComObjectId obj = rt.register_object(mta, ComPtr<ComServant>(new Doubler()));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(call_double(rt, obj, i), 2 * i);
+  }
+}
+
+TEST_F(ComTest, MissingObjectFails) {
+  auto mon = make_monitor();
+  ComRuntime rt(&mon);
+  ComCall call(rt, 777, {"Com::Doubler", "double_it", 0, false}, true);
+  call.request().write_i32(1);
+  EXPECT_THROW(call.invoke(), ComError);
+}
+
+TEST_F(ComTest, RevokedObjectFails) {
+  auto mon = make_monitor();
+  ComRuntime rt(&mon);
+  const ApartmentId sta = rt.create_sta();
+  const ComObjectId obj = rt.register_object(sta, ComPtr<ComServant>(new Doubler()));
+  rt.revoke_object(obj);
+  ComCall call(rt, obj, {"Com::Doubler", "double_it", 0, false}, true);
+  call.request().write_i32(1);
+  EXPECT_THROW(call.invoke(), ComError);
+}
+
+// Component whose method calls another object, used for reentrancy tests.
+// method 0: outer(x) -> calls helper.double_it(x), returns result + 1.
+struct FrameCounter {
+  std::atomic<int> current{0};
+  std::atomic<int> peak{0};
+
+  void enter() {
+    const int now = current.fetch_add(1) + 1;
+    int old = peak.load();
+    while (old < now && !peak.compare_exchange_weak(old, now)) {
+    }
+  }
+  void leave() { current.fetch_sub(1); }
+};
+
+class Chainer final : public ComServant {
+ public:
+  Chainer(std::string interface_name, ComObjectId helper,
+          FrameCounter* frames = nullptr)
+      : interface_name_(std::move(interface_name)),
+        helper_(helper),
+        frames_(frames) {}
+
+  std::string_view interface_name() const override { return interface_name_; }
+
+  ComDispatchResult com_dispatch(ComDispatchContext& ctx, MethodId method,
+                                 WireCursor& in, WireBuffer& out) override {
+    (void)method;
+    ComSkelGuard guard(
+        ctx, monitor::CallIdentity{interface_name_, "outer", ctx.object_id},
+        in, true);
+    const std::int32_t x = in.read_i32();
+    if (frames_) frames_->enter();
+    const std::int32_t doubled = call_double(*ctx.runtime, helper_, x);
+    if (frames_) frames_->leave();
+    guard.body_end();
+    out.write_i32(doubled + 1);
+    guard.seal(out);
+    return {};
+  }
+
+ private:
+  std::string interface_name_;
+  ComObjectId helper_;
+  FrameCounter* frames_;
+};
+
+TEST_F(ComTest, StaPumpsWhileBlockedObservationO1Violated) {
+  auto mon = make_monitor();
+  ComRuntime rt(&mon);
+  const ApartmentId sta = rt.create_sta();
+  const ApartmentId helper_sta = rt.create_sta();
+  const ComObjectId helper = rt.register_object(
+      helper_sta, ComPtr<ComServant>(new Doubler(40 * kNanosPerMilli)));
+  FrameCounter frames;
+  const ComObjectId wa = rt.register_object(
+      sta, ComPtr<ComServant>(new Chainer("Com::WorkerA", helper, &frames)));
+  const ComObjectId wb = rt.register_object(
+      sta, ComPtr<ComServant>(new Chainer("Com::WorkerB", helper, &frames)));
+
+  // Two plain client threads call into the SAME STA; the second call can
+  // only be served while the first is blocked on its outbound call -- two
+  // simultaneously-open frames prove the apartment thread multiplexed.
+  std::int32_t r1 = 0, r2 = 0;
+  std::thread t1([&] {
+    monitor::tss_clear();
+    ComCall c(rt, wa, {"Com::WorkerA", "outer", 0, false}, true);
+    c.request().write_i32(10);
+    r1 = c.invoke().read_i32();
+  });
+  idle_for(5 * kNanosPerMilli);
+  std::thread t2([&] {
+    monitor::tss_clear();
+    ComCall c(rt, wb, {"Com::WorkerB", "outer", 0, false}, true);
+    c.request().write_i32(20);
+    r2 = c.invoke().read_i32();
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(r1, 21);
+  EXPECT_EQ(r2, 41);
+  EXPECT_GE(frames.peak.load(), 2);
+}
+
+TEST_F(ComTest, ReentrantCallbackIntoBlockedSta) {
+  // A (STA1) -> B (STA2) -> callback into A (STA1 is blocked pumping).
+  // Without pumping this deadlocks; the test completing proves reentrancy.
+  auto mon = make_monitor();
+  ComRuntime rt(&mon);
+  const ApartmentId sta1 = rt.create_sta();
+  const ApartmentId sta2 = rt.create_sta();
+  const ComObjectId target =
+      rt.register_object(sta1, ComPtr<ComServant>(new Doubler()));
+  // B in STA2 calls back into STA1's Doubler.
+  const ComObjectId back =
+      rt.register_object(sta2, ComPtr<ComServant>(new Chainer("Com::Back", target)));
+  // A in STA1 calls B.
+  auto* a = new Chainer("Com::Front", back);
+  const ComObjectId front = rt.register_object(sta1, ComPtr<ComServant>(a));
+
+  ComCall c(rt, front, {"Com::Front", "outer", 0, false}, true);
+  c.request().write_i32(5);
+  // front: back(5)+1; back: double(5)+1 -> 11... then doubled? Chainer calls
+  // call_double on its helper: back's helper is `target` (a Doubler) ->
+  // 2*5=10 +1 = 11; front's helper is `back`, reached via call_double which
+  // doubles nothing (back is a Chainer, method 0 = outer): outer(5) = 11,
+  // then front adds 1 -> 12.
+  EXPECT_EQ(c.invoke().read_i32(), 12);
+}
+
+TEST_F(ComTest, SameApartmentCallIsCollocated) {
+  auto mon = make_monitor();
+  ComRuntime rt(&mon);
+  const ApartmentId sta = rt.create_sta();
+  const ComObjectId helper =
+      rt.register_object(sta, ComPtr<ComServant>(new Doubler()));
+  const ComObjectId worker =
+      rt.register_object(sta, ComPtr<ComServant>(new Chainer("Com::W", helper)));
+
+  ComCall c(rt, worker, {"Com::W", "outer", 0, false}, true);
+  c.request().write_i32(3);
+  EXPECT_EQ(c.invoke().read_i32(), 7);
+
+  // The inner call shares the apartment: its records carry the collocated
+  // kind and the same thread as the outer body.
+  bool saw_collocated = false;
+  for (const auto& r : mon.store().snapshot()) {
+    if (r.kind == monitor::CallKind::kCollocated) saw_collocated = true;
+  }
+  EXPECT_TRUE(saw_collocated);
+}
+
+TEST_F(ComTest, PostIsFireAndForget) {
+  auto mon = make_monitor();
+  ComRuntime rt(&mon);
+  const ApartmentId sta = rt.create_sta();
+  auto* doubler = new Doubler();
+  const ComObjectId obj = rt.register_object(sta, ComPtr<ComServant>(doubler));
+
+  ComCall call(rt, obj, {"Com::Doubler", "double_it", 0, true}, true);
+  call.request().write_i32(1);
+  call.invoke_post();
+
+  // Drain: wait for the skel records to land.
+  for (int i = 0; i < 500 && mon.store().size() < 4; ++i) {
+    idle_for(kNanosPerMilli);
+  }
+  auto records = mon.store().snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  // Stub pair on the parent chain, skel pair on the spawned chain.
+  std::set<Uuid> chains;
+  for (const auto& r : records) chains.insert(r.chain);
+  EXPECT_EQ(chains.size(), 2u);
+}
+
+TEST_F(ComTest, PostToOwnApartmentDoesNotDeadlock) {
+  // A servant posting to an object in its own STA: the envelope lands on
+  // the apartment's own queue and runs after the current dispatch returns.
+  class SelfPoster final : public ComServant {
+   public:
+    std::string_view interface_name() const override { return "Com::Self"; }
+    ComDispatchResult com_dispatch(ComDispatchContext& ctx, MethodId method,
+                                   WireCursor& in, WireBuffer& out) override {
+      ComSkelGuard guard(
+          ctx, monitor::CallIdentity{"Com::Self", method == 0 ? "kick" : "tick",
+                                     ctx.object_id},
+          in, true);
+      if (method == 0) {
+        ComCall call(*ctx.runtime, ctx.object_id, {"Com::Self", "tick", 1, true},
+                     true);
+        call.invoke_post();
+      } else {
+        ticks.fetch_add(1);
+      }
+      guard.body_end();
+      guard.seal(out);
+      return {};
+    }
+    std::atomic<int> ticks{0};
+  };
+
+  auto mon = make_monitor();
+  ComRuntime rt(&mon);
+  const ApartmentId sta = rt.create_sta();
+  auto* poster = new SelfPoster();
+  const ComObjectId obj = rt.register_object(sta, ComPtr<ComServant>(poster));
+
+  ComCall kick(rt, obj, {"Com::Self", "kick", 0, false}, true);
+  kick.invoke();
+  for (int i = 0; i < 500 && poster->ticks.load() == 0; ++i) {
+    idle_for(kNanosPerMilli);
+  }
+  EXPECT_EQ(poster->ticks.load(), 1);
+}
+
+TEST_F(ComTest, RuntimeShutdownFailsInFlightWaiters) {
+  auto mon = make_monitor();
+  ComRuntime rt(&mon);
+  const ApartmentId sta = rt.create_sta();
+  const ComObjectId obj = rt.register_object(
+      sta, ComPtr<ComServant>(new Doubler(30 * kNanosPerMilli)));
+
+  std::atomic<bool> finished{false};
+  std::thread caller([&] {
+    monitor::tss_clear();
+    ComCall call(rt, obj, {"Com::Doubler", "double_it", 0, false}, true);
+    call.request().write_i32(1);
+    try {
+      call.invoke();
+    } catch (const ComError&) {
+      // acceptable: shutdown raced the reply
+    }
+    finished = true;
+  });
+  idle_for(5 * kNanosPerMilli);
+  rt.shutdown();
+  caller.join();
+  EXPECT_TRUE(finished.load());
+}
+
+// The headline experiment: STA multiplexing with the legacy (TSS-trusting)
+// probe 4.  Channel hooks ON keeps every chain inside one worker interface;
+// hooks OFF lets the chains mingle across transactions (paper Sec. 2.2).
+class StaMinglingTest : public ComTest,
+                        public ::testing::WithParamInterface<bool> {};
+
+TEST_P(StaMinglingTest, LegacyProbe4) {
+  const bool hooks = GetParam();
+  auto mon = make_monitor();
+  ComRuntime rt(&mon, /*channel_hooks=*/hooks);
+  rt.set_strict_inout_ftl(false);  // the paper's vulnerable instrumentation
+
+  const ApartmentId sta = rt.create_sta();
+  const ApartmentId helper_sta = rt.create_sta();
+  const ComObjectId helper = rt.register_object(
+      helper_sta, ComPtr<ComServant>(new Doubler(40 * kNanosPerMilli)));
+  const ComObjectId wa = rt.register_object(
+      sta, ComPtr<ComServant>(new Chainer("Com::WorkerA", helper)));
+  const ComObjectId wb = rt.register_object(
+      sta, ComPtr<ComServant>(new Chainer("Com::WorkerB", helper)));
+
+  auto drive = [&](ComObjectId target, std::string_view iface) {
+    monitor::tss_clear();
+    ComCall c(rt, target, {iface, "outer", 0, false}, true);
+    c.request().write_i32(1);
+    c.invoke();
+  };
+
+  std::thread t1([&] { drive(wa, "Com::WorkerA"); });
+  idle_for(5 * kNanosPerMilli);
+  std::thread t2([&] { drive(wb, "Com::WorkerB"); });
+  t1.join();
+  t2.join();
+
+  // Group records by chain; check whether any chain mixes WorkerA and
+  // WorkerB identities.
+  std::map<Uuid, std::set<std::string_view>> workers_per_chain;
+  for (const auto& r : mon.store().snapshot()) {
+    if (r.interface_name == "Com::WorkerA" ||
+        r.interface_name == "Com::WorkerB") {
+      workers_per_chain[r.chain].insert(r.interface_name);
+    }
+  }
+  bool mingled = false;
+  for (const auto& [chain, workers] : workers_per_chain) {
+    if (workers.size() > 1) mingled = true;
+  }
+  if (hooks) {
+    EXPECT_FALSE(mingled)
+        << "channel hooks must keep each transaction on its own chain";
+  } else {
+    EXPECT_TRUE(mingled)
+        << "without hooks the STA multiplexing must mingle the chains";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HooksOnOff, StaMinglingTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "HooksOn" : "HooksOff";
+                         });
+
+// Stress sweep: many client threads hammering STA- and MTA-hosted objects
+// (sync calls + posts) must neither deadlock nor tangle chains.
+class ComStressTest : public ComTest,
+                      public ::testing::WithParamInterface<std::uint64_t> {};
+
+TEST_P(ComStressTest, ConcurrentMixedTraffic) {
+  auto mon = make_monitor();
+  ComRuntime rt(&mon);
+  const ApartmentId sta = rt.create_sta();
+  const ApartmentId mta = rt.create_mta(2);
+  const ApartmentId helper_sta = rt.create_sta();
+  const ComObjectId helper =
+      rt.register_object(helper_sta, ComPtr<ComServant>(new Doubler()));
+  const ComObjectId sta_worker = rt.register_object(
+      sta, ComPtr<ComServant>(new Chainer("Com::StaWorker", helper)));
+  const ComObjectId mta_worker = rt.register_object(
+      mta, ComPtr<ComServant>(new Chainer("Com::MtaWorker", helper)));
+
+  constexpr int kThreads = 4;
+  constexpr int kCallsEach = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  const std::uint64_t seed = GetParam();
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kCallsEach; ++i) {
+        monitor::tss_clear();  // one transaction (and chain) per call
+        const bool use_sta = ((seed + t + i) % 2) == 0;
+        const ComObjectId target = use_sta ? sta_worker : mta_worker;
+        const std::string_view iface =
+            use_sta ? "Com::StaWorker" : "Com::MtaWorker";
+        if ((seed + i) % 5 == 0) {
+          ComCall post(rt, helper, {"Com::Doubler", "double_it", 0, true},
+                       true);
+          post.request().write_i32(i);
+          post.invoke_post();
+          continue;
+        }
+        ComCall c(rt, target, {iface, "outer", 0, false}, true);
+        c.request().write_i32(t * 100 + i);
+        if (c.invoke().read_i32() != 2 * (t * 100 + i) + 1) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Strict inout FTL (default): no chain may mix the two worker interfaces.
+  std::map<Uuid, std::set<std::string_view>> per_chain;
+  for (const auto& r : mon.store().snapshot()) {
+    if (r.interface_name == "Com::StaWorker" ||
+        r.interface_name == "Com::MtaWorker") {
+      per_chain[r.chain].insert(r.interface_name);
+    }
+  }
+  for (const auto& [chain, ifaces] : per_chain) {
+    EXPECT_EQ(ifaces.size(), 1u) << "seed " << seed;
+  }
+  rt.shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComStressTest, ::testing::Values(1, 2, 3, 4));
+
+TEST_F(ComTest, StrictInoutFtlUntanglesEvenWithoutHooks) {
+  // Our stub protocol (FTL as a true inout parameter, latched in the stub)
+  // subsumes the hooks for synchronous calls -- chains stay clean even with
+  // hooks disabled.  This is strictly stronger than the paper's design.
+  auto mon = make_monitor();
+  ComRuntime rt(&mon, /*channel_hooks=*/false);
+
+  const ApartmentId sta = rt.create_sta();
+  const ApartmentId helper_sta = rt.create_sta();
+  const ComObjectId helper = rt.register_object(
+      helper_sta, ComPtr<ComServant>(new Doubler(40 * kNanosPerMilli)));
+  const ComObjectId wa = rt.register_object(
+      sta, ComPtr<ComServant>(new Chainer("Com::WorkerA", helper)));
+  const ComObjectId wb = rt.register_object(
+      sta, ComPtr<ComServant>(new Chainer("Com::WorkerB", helper)));
+
+  auto drive = [&](ComObjectId target, std::string_view iface) {
+    monitor::tss_clear();
+    ComCall c(rt, target, {iface, "outer", 0, false}, true);
+    c.request().write_i32(1);
+    c.invoke();
+  };
+  std::thread t1([&] { drive(wa, "Com::WorkerA"); });
+  idle_for(5 * kNanosPerMilli);
+  std::thread t2([&] { drive(wb, "Com::WorkerB"); });
+  t1.join();
+  t2.join();
+
+  std::map<Uuid, std::set<std::string_view>> workers_per_chain;
+  for (const auto& r : mon.store().snapshot()) {
+    if (r.interface_name == "Com::WorkerA" ||
+        r.interface_name == "Com::WorkerB") {
+      workers_per_chain[r.chain].insert(r.interface_name);
+    }
+  }
+  for (const auto& [chain, workers] : workers_per_chain) {
+    EXPECT_EQ(workers.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace causeway::com

@@ -1,0 +1,116 @@
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace causeway {
+namespace {
+
+TEST(Uuid, DefaultIsNil) {
+  Uuid u;
+  EXPECT_TRUE(u.is_nil());
+  EXPECT_EQ(u, Uuid{});
+}
+
+TEST(Uuid, GenerateIsNeverNil) {
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(Uuid::generate().is_nil());
+  }
+}
+
+TEST(Uuid, GenerateIsUnique) {
+  std::set<Uuid> seen;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(Uuid::generate()).second);
+  }
+}
+
+TEST(Uuid, SeedMakesStreamDeterministic) {
+  set_uuid_seed(1234);
+  std::vector<Uuid> first;
+  for (int i = 0; i < 16; ++i) first.push_back(Uuid::generate());
+  set_uuid_seed(1234);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(first[i], Uuid::generate());
+  set_uuid_seed(1235);
+  EXPECT_NE(first[0], Uuid::generate());
+}
+
+TEST(Uuid, ToStringCanonicalForm) {
+  const Uuid u{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  const std::string s = u.to_string();
+  ASSERT_EQ(s.size(), 36u);
+  EXPECT_EQ(s, "01234567-89ab-cdef-fedc-ba9876543210");
+}
+
+TEST(Uuid, ParseRoundTrip) {
+  set_uuid_seed(99);
+  for (int i = 0; i < 200; ++i) {
+    const Uuid u = Uuid::generate();
+    auto parsed = Uuid::parse(u.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, u);
+  }
+}
+
+TEST(Uuid, ParseAcceptsUpperCase) {
+  auto parsed = Uuid::parse("01234567-89AB-CDEF-FEDC-BA9876543210");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->hi, 0x0123456789abcdefull);
+}
+
+class UuidParseRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(UuidParseRejects, Malformed) {
+  EXPECT_FALSE(Uuid::parse(GetParam()).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, UuidParseRejects,
+    ::testing::Values("", "0123", "01234567-89ab-cdef-fedc-ba987654321",
+                      "01234567-89ab-cdef-fedc-ba98765432100",
+                      "01234567x89ab-cdef-fedc-ba9876543210",
+                      "0123456789ab-cdef-fedc-ba9876543210aa",
+                      "01234567-89ab-cdef-fedc-ba987654321g",
+                      "01234567_89ab_cdef_fedc_ba9876543210"));
+
+TEST(Uuid, OrderingIsLexicographicOnWords) {
+  const Uuid a{1, 5};
+  const Uuid b{1, 6};
+  const Uuid c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(Uuid, HashSpreads) {
+  std::set<std::size_t> hashes;
+  std::hash<Uuid> h;
+  for (int i = 0; i < 1000; ++i) hashes.insert(h(Uuid::generate()));
+  EXPECT_GT(hashes.size(), 990u);
+}
+
+TEST(Uuid, ConcurrentGenerationStaysUnique) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<Uuid>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[static_cast<std::size_t>(t)].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        results[static_cast<std::size_t>(t)].push_back(Uuid::generate());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<Uuid> all;
+  for (const auto& batch : results) {
+    for (const Uuid& u : batch) EXPECT_TRUE(all.insert(u).second);
+  }
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace causeway

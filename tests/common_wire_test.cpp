@@ -1,0 +1,173 @@
+#include "common/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/wire_io.h"
+
+namespace causeway {
+namespace {
+
+TEST(Wire, PrimitiveRoundTrip) {
+  WireBuffer b;
+  b.write_u8(0xab);
+  b.write_bool(true);
+  b.write_bool(false);
+  b.write_u16(0x1234);
+  b.write_u32(0xdeadbeef);
+  b.write_u64(0x0123456789abcdefull);
+  b.write_i32(-42);
+  b.write_i64(-1'000'000'000'000ll);
+  b.write_f64(3.25);
+
+  WireCursor c(b);
+  EXPECT_EQ(c.read_u8(), 0xab);
+  EXPECT_TRUE(c.read_bool());
+  EXPECT_FALSE(c.read_bool());
+  EXPECT_EQ(c.read_u16(), 0x1234);
+  EXPECT_EQ(c.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(c.read_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(c.read_i32(), -42);
+  EXPECT_EQ(c.read_i64(), -1'000'000'000'000ll);
+  EXPECT_DOUBLE_EQ(c.read_f64(), 3.25);
+  EXPECT_EQ(c.remaining(), 0u);
+}
+
+TEST(Wire, StringAndBytes) {
+  WireBuffer b;
+  b.write_string("hello");
+  b.write_string("");
+  b.write_string(std::string(100000, 'x'));
+  std::vector<std::uint8_t> blob{1, 2, 3, 0, 255};
+  b.write_bytes(blob);
+
+  WireCursor c(b);
+  EXPECT_EQ(c.read_string(), "hello");
+  EXPECT_EQ(c.read_string(), "");
+  EXPECT_EQ(c.read_string(), std::string(100000, 'x'));
+  EXPECT_EQ(c.read_bytes(), blob);
+}
+
+TEST(Wire, UnderflowThrows) {
+  WireBuffer b;
+  b.write_u16(7);
+  WireCursor c(b);
+  EXPECT_EQ(c.read_u16(), 7);
+  EXPECT_THROW(c.read_u8(), WireError);
+}
+
+TEST(Wire, StringLengthBeyondBufferThrows) {
+  WireBuffer b;
+  b.write_u32(1000);  // claims 1000 bytes follow
+  b.write_u8('x');
+  WireCursor c(b);
+  EXPECT_THROW(c.read_string(), WireError);
+}
+
+TEST(Wire, TruncateLimitsWindow) {
+  WireBuffer b;
+  b.write_u32(1);
+  b.write_u32(2);
+  b.write_u32(3);
+  WireCursor c(b);
+  c.truncate(8);
+  EXPECT_EQ(c.read_u32(), 1u);
+  EXPECT_EQ(c.read_u32(), 2u);
+  EXPECT_THROW(c.read_u32(), WireError);
+}
+
+TEST(Wire, TruncateBehindPositionThrows) {
+  WireBuffer b;
+  b.write_u64(1);
+  WireCursor c(b);
+  c.read_u32();
+  EXPECT_THROW(c.truncate(2), WireError);
+  EXPECT_THROW(c.truncate(100), WireError);
+}
+
+TEST(Wire, PeekTailDoesNotConsume) {
+  WireBuffer b;
+  b.write_u32(0xaabbccdd);
+  WireCursor c(b);
+  auto tail = c.peek_tail(4);
+  EXPECT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail[0], 0xdd);
+  EXPECT_EQ(c.remaining(), 4u);
+  EXPECT_EQ(c.read_u32(), 0xaabbccddu);
+}
+
+TEST(Wire, PeekTailPastStartThrows) {
+  WireBuffer b;
+  b.write_u16(1);
+  WireCursor c(b);
+  EXPECT_THROW(c.peek_tail(3), WireError);
+}
+
+TEST(WireIo, VectorRoundTrip) {
+  WireBuffer b;
+  std::vector<std::int32_t> ints{1, -2, 3};
+  std::vector<std::string> strings{"a", "", "ccc"};
+  std::vector<std::vector<double>> nested{{1.5}, {}, {2.5, -3.5}};
+  wire_write(b, ints);
+  wire_write(b, strings);
+  wire_write(b, nested);
+
+  WireCursor c(b);
+  std::vector<std::int32_t> ints2;
+  std::vector<std::string> strings2;
+  std::vector<std::vector<double>> nested2;
+  wire_read(c, ints2);
+  wire_read(c, strings2);
+  wire_read(c, nested2);
+  EXPECT_EQ(ints2, ints);
+  EXPECT_EQ(strings2, strings);
+  EXPECT_EQ(nested2, nested);
+}
+
+TEST(WireIo, FloatRoundTrip) {
+  WireBuffer b;
+  wire_write(b, 1.5f);
+  wire_write(b, -0.0f);
+  WireCursor c(b);
+  float f = 0;
+  wire_read(c, f);
+  EXPECT_EQ(f, 1.5f);
+  wire_read(c, f);
+  EXPECT_EQ(f, -0.0f);
+}
+
+// Property sweep: random typed sequences survive a round trip.
+class WireRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireRoundTrip, RandomSequences) {
+  Xoshiro256 rng(GetParam());
+  WireBuffer b;
+  std::vector<std::uint64_t> expect_u64;
+  std::vector<std::string> expect_str;
+  const std::size_t n = 1 + rng.uniform(200);
+  for (std::size_t i = 0; i < n; ++i) {
+    expect_u64.push_back(rng.next());
+    std::string s;
+    const std::size_t len = rng.uniform(64);
+    for (std::size_t k = 0; k < len; ++k) {
+      s += static_cast<char>(rng.uniform(256));
+    }
+    expect_str.push_back(std::move(s));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    b.write_u64(expect_u64[i]);
+    b.write_string(expect_str[i]);
+  }
+  WireCursor c(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(c.read_u64(), expect_u64[i]);
+    EXPECT_EQ(c.read_string(), expect_str[i]);
+  }
+  EXPECT_EQ(c.remaining(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace causeway

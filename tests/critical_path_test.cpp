@@ -1,0 +1,139 @@
+#include "analysis/critical_path.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/latency.h"
+#include "analysis_test_util.h"
+
+namespace causeway::analysis {
+namespace {
+
+using monitor::CallKind;
+using monitor::EventKind;
+using testutil::Scribe;
+
+// Builds F -> {G (slow), H (fast)}, G -> K.  Critical path: F, G, K.
+struct PathFixture {
+  LogDatabase db;
+  Dscg dscg;
+
+  PathFixture() {
+    Scribe s;
+    s.emit(EventKind::kStubStart, CallKind::kSync, "I", "F", 0, 10);
+    s.emit(EventKind::kSkelStart, CallKind::kSync, "I", "F", 0, 0, "procB", 2);
+    // G: client window 100..900 (L = 800).
+    s.emit(EventKind::kStubStart, CallKind::kSync, "I", "G", 100, 100, "procB", 2);
+    s.emit(EventKind::kSkelStart, CallKind::kSync, "I", "G", 0, 0, "procC", 3);
+    //   K inside G: window 10..210 (L = 200).
+    s.emit(EventKind::kStubStart, CallKind::kSync, "I", "K", 10, 10, "procC", 3);
+    s.emit(EventKind::kSkelStart, CallKind::kSync, "I", "K", 0, 0, "procD", 4);
+    s.emit(EventKind::kSkelEnd, CallKind::kSync, "I", "K", 0, 0, "procD", 4);
+    s.emit(EventKind::kStubEnd, CallKind::kSync, "I", "K", 210, 210, "procC", 3);
+    s.emit(EventKind::kSkelEnd, CallKind::kSync, "I", "G", 0, 0, "procC", 3);
+    s.emit(EventKind::kStubEnd, CallKind::kSync, "I", "G", 900, 900, "procB", 2);
+    // H: window 910..1010 (L = 100).
+    s.emit(EventKind::kStubStart, CallKind::kSync, "I", "H", 910, 910, "procB", 2);
+    s.emit(EventKind::kSkelStart, CallKind::kSync, "I", "H", 0, 0, "procE", 5);
+    s.emit(EventKind::kSkelEnd, CallKind::kSync, "I", "H", 0, 0, "procE", 5);
+    s.emit(EventKind::kStubEnd, CallKind::kSync, "I", "H", 1010, 1010, "procB", 2);
+    s.emit(EventKind::kSkelEnd, CallKind::kSync, "I", "F", 0, 0, "procB", 2);
+    s.emit(EventKind::kStubEnd, CallKind::kSync, "I", "F", 1100, 1100);
+    db.ingest_records(s.records());
+    dscg = Dscg::build(db);
+    annotate_latency(dscg);
+  }
+};
+
+TEST(CriticalPath, FollowsDominantChild) {
+  PathFixture f;
+  const auto paths = critical_paths(f.dscg);
+  ASSERT_EQ(paths.size(), 1u);
+  const CriticalPath& path = paths[0];
+  ASSERT_EQ(path.steps.size(), 3u);
+  EXPECT_EQ(path.steps[0].node->function_name, "F");
+  EXPECT_EQ(path.steps[1].node->function_name, "G");  // not H
+  EXPECT_EQ(path.steps[2].node->function_name, "K");
+
+  // L(F) = 1100 - 10 = 1090; L(G) = 800; L(K) = 200.
+  EXPECT_EQ(path.total(), 1090);
+  EXPECT_EQ(path.steps[0].exclusive, 1090 - 800);
+  EXPECT_EQ(path.steps[1].exclusive, 800 - 200);
+  EXPECT_EQ(path.steps[2].exclusive, 200);
+
+  // G carries the largest exclusive share (600).
+  const CriticalStep* hot = path.dominant();
+  ASSERT_NE(hot, nullptr);
+  EXPECT_EQ(hot->node->function_name, "G");
+}
+
+TEST(CriticalPath, ExclusiveSumsToTotal) {
+  PathFixture f;
+  const auto paths = critical_paths(f.dscg);
+  Nanos sum = 0;
+  for (const auto& step : paths[0].steps) sum += step.exclusive;
+  EXPECT_EQ(sum, paths[0].total());
+}
+
+TEST(CriticalPath, OnewayChildrenNeverBoundTheCaller) {
+  Scribe s;
+  s.emit(EventKind::kStubStart, CallKind::kSync, "I", "F", 0, 0);
+  s.emit(EventKind::kSkelStart, CallKind::kSync, "I", "F", 0, 0, "procB", 2);
+  auto& spawn = s.emit(EventKind::kStubStart, CallKind::kOneway, "I", "N",
+                       10, 10, "procB", 2);
+  spawn.spawned_chain = Uuid::generate();
+  s.emit(EventKind::kStubEnd, CallKind::kOneway, "I", "N", 20, 20, "procB", 2);
+  s.emit(EventKind::kSkelEnd, CallKind::kSync, "I", "F", 0, 0, "procB", 2);
+  s.emit(EventKind::kStubEnd, CallKind::kSync, "I", "F", 500, 500);
+
+  LogDatabase db;
+  db.ingest_records(s.records());
+  Dscg dscg = Dscg::build(db);
+  annotate_latency(dscg);
+  const auto paths = critical_paths(dscg);
+  ASSERT_EQ(paths.size(), 1u);
+  ASSERT_EQ(paths[0].steps.size(), 1u);  // N excluded: F is the whole path
+  EXPECT_EQ(paths[0].steps[0].node->function_name, "F");
+}
+
+TEST(CriticalPath, SortedSlowestFirstAcrossTransactions) {
+  LogDatabase db;
+  for (Nanos span : {100, 900, 400}) {
+    Scribe s;
+    s.emit(EventKind::kStubStart, CallKind::kSync, "I", "F", 0, 0);
+    s.emit(EventKind::kSkelStart, CallKind::kSync, "I", "F", 0, 0, "procB", 2);
+    s.emit(EventKind::kSkelEnd, CallKind::kSync, "I", "F", 0, 0, "procB", 2);
+    s.emit(EventKind::kStubEnd, CallKind::kSync, "I", "F", span, span);
+    db.ingest_records(s.records());
+  }
+  Dscg dscg = Dscg::build(db);
+  annotate_latency(dscg);
+  const auto paths = critical_paths(dscg);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0].total(), 900);
+  EXPECT_EQ(paths[1].total(), 400);
+  EXPECT_EQ(paths[2].total(), 100);
+}
+
+TEST(CriticalPath, UnannotatedNodesStopTheDescent) {
+  Scribe s(monitor::ProbeMode::kCausalityOnly);
+  Nanos t[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  s.leaf_sync("I", "F", t);
+  LogDatabase db;
+  db.ingest_records(s.records());
+  Dscg dscg = Dscg::build(db);
+  annotate_latency(dscg);  // annotates nothing in causality-only mode
+  EXPECT_TRUE(critical_paths(dscg).empty());
+}
+
+TEST(CriticalPath, ToStringRendersEveryStep) {
+  PathFixture f;
+  const auto paths = critical_paths(f.dscg);
+  const std::string text = paths[0].to_string();
+  EXPECT_NE(text.find("I::F"), std::string::npos);
+  EXPECT_NE(text.find("I::G"), std::string::npos);
+  EXPECT_NE(text.find("I::K"), std::string::npos);
+  EXPECT_NE(text.find("exclusive="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace causeway::analysis

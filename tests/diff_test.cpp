@@ -1,0 +1,126 @@
+#include "analysis/diff.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis_test_util.h"
+
+namespace causeway::analysis {
+namespace {
+
+using monitor::CallKind;
+using monitor::EventKind;
+using testutil::Scribe;
+
+// One leaf call of `fn` with client-side window [start, start+span].
+void add_call(LogDatabase& db, std::string_view fn, Nanos span) {
+  Scribe s;
+  s.emit(EventKind::kStubStart, CallKind::kSync, "I", fn, 0, 0);
+  s.emit(EventKind::kSkelStart, CallKind::kSync, "I", fn, 0, 0, "procB", 2);
+  s.emit(EventKind::kSkelEnd, CallKind::kSync, "I", fn, 0, 0, "procB", 2);
+  s.emit(EventKind::kStubEnd, CallKind::kSync, "I", fn, span, span);
+  db.ingest_records(s.records());
+}
+
+TEST(Diff, ClassifiesRegressionsImprovementsAndStable) {
+  LogDatabase base_db, cur_db;
+  // slow_fn: 100 -> 200 us (regression); quick_fn: 400 -> 100 (improvement);
+  // same_fn: 300 -> 310 (stable at 10% threshold).
+  add_call(base_db, "slow_fn", 100'000);
+  add_call(cur_db, "slow_fn", 200'000);
+  add_call(base_db, "quick_fn", 400'000);
+  add_call(cur_db, "quick_fn", 100'000);
+  add_call(base_db, "same_fn", 300'000);
+  add_call(cur_db, "same_fn", 310'000);
+
+  auto base = Dscg::build(base_db);
+  auto cur = Dscg::build(cur_db);
+  const RunDiff diff = diff_runs(base, base_db, cur, cur_db);
+
+  EXPECT_EQ(diff.metric, "latency");
+  ASSERT_EQ(diff.regressions.size(), 1u);
+  EXPECT_EQ(diff.regressions[0].function, "I::slow_fn");
+  EXPECT_NEAR(diff.regressions[0].delta_pct(), 100.0, 1.0);
+  ASSERT_EQ(diff.improvements.size(), 1u);
+  EXPECT_EQ(diff.improvements[0].function, "I::quick_fn");
+  ASSERT_EQ(diff.stable.size(), 1u);
+  EXPECT_EQ(diff.stable[0].function, "I::same_fn");
+  EXPECT_FALSE(diff.clean());
+}
+
+TEST(Diff, DetectsAddedAndRemovedFunctions) {
+  LogDatabase base_db, cur_db;
+  add_call(base_db, "old_only", 100'000);
+  add_call(base_db, "shared", 100'000);
+  add_call(cur_db, "shared", 100'000);
+  add_call(cur_db, "new_only", 100'000);
+
+  auto base = Dscg::build(base_db);
+  auto cur = Dscg::build(cur_db);
+  const RunDiff diff = diff_runs(base, base_db, cur, cur_db);
+  ASSERT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.added[0], "I::new_only");
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.removed[0], "I::old_only");
+  EXPECT_TRUE(diff.clean());
+}
+
+TEST(Diff, ThresholdIsConfigurable) {
+  LogDatabase base_db, cur_db;
+  add_call(base_db, "fn", 100'000);
+  add_call(cur_db, "fn", 120'000);  // +20%
+
+  auto base = Dscg::build(base_db);
+  auto cur = Dscg::build(cur_db);
+  {
+    DiffOptions options;
+    options.threshold_pct = 25.0;
+    auto base2 = Dscg::build(base_db);
+    auto cur2 = Dscg::build(cur_db);
+    const RunDiff diff = diff_runs(base2, base_db, cur2, cur_db, options);
+    EXPECT_TRUE(diff.clean());
+    EXPECT_EQ(diff.stable.size(), 1u);
+  }
+  {
+    DiffOptions options;
+    options.threshold_pct = 10.0;
+    const RunDiff diff = diff_runs(base, base_db, cur, cur_db, options);
+    EXPECT_FALSE(diff.clean());
+  }
+}
+
+TEST(Diff, MultipleCallsAveragePerFunction) {
+  LogDatabase base_db, cur_db;
+  add_call(base_db, "fn", 100'000);
+  add_call(base_db, "fn", 300'000);  // base mean 200
+  add_call(cur_db, "fn", 400'000);
+  add_call(cur_db, "fn", 400'000);  // cur mean 400
+
+  auto base = Dscg::build(base_db);
+  auto cur = Dscg::build(cur_db);
+  const RunDiff diff = diff_runs(base, base_db, cur, cur_db);
+  ASSERT_EQ(diff.regressions.size(), 1u);
+  EXPECT_EQ(diff.regressions[0].base_calls, 2u);
+  EXPECT_NEAR(diff.regressions[0].base_mean_us, 200'000 / 1e3, 1.0);
+  EXPECT_NEAR(diff.regressions[0].current_mean_us, 400'000 / 1e3, 1.0);
+}
+
+TEST(Diff, ToStringListsEverySection) {
+  LogDatabase base_db, cur_db;
+  add_call(base_db, "reg", 100'000);
+  add_call(cur_db, "reg", 300'000);
+  add_call(base_db, "gone", 50'000);
+  add_call(cur_db, "fresh", 50'000);
+
+  auto base = Dscg::build(base_db);
+  auto cur = Dscg::build(cur_db);
+  const std::string text = diff_runs(base, base_db, cur, cur_db).to_string();
+  EXPECT_NE(text.find("regressions"), std::string::npos);
+  EXPECT_NE(text.find("I::reg"), std::string::npos);
+  EXPECT_NE(text.find("added functions"), std::string::npos);
+  EXPECT_NE(text.find("I::fresh"), std::string::npos);
+  EXPECT_NE(text.find("removed functions"), std::string::npos);
+  EXPECT_NE(text.find("I::gone"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace causeway::analysis

@@ -1,0 +1,173 @@
+// Failure injection: lost messages, timeouts, and the monitoring pipeline's
+// behaviour under partial data -- the system must degrade, never lie or
+// hang.
+#include <gtest/gtest.h>
+
+#include "analysis/dscg.h"
+#include "analysis/topology.h"
+#include "monitor/tss.h"
+#include "orb/errors.h"
+#include "orb_test_util.h"
+
+namespace causeway::orb {
+namespace {
+
+using testutil::EchoServant;
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { monitor::tss_clear(); }
+  void TearDown() override { monitor::tss_clear(); }
+  Fabric fabric_;
+};
+
+TEST_F(FaultTest, LostMessagesSurfaceAsTimeouts) {
+  ProcessDomain server(fabric_, testutil::options("server"));
+  auto client_opts = testutil::options("client");
+  client_opts.call_timeout = 40 * kNanosPerMilli;
+  ProcessDomain client(fabric_, client_opts);
+  const ObjectRef ref = server.activate(std::make_shared<EchoServant>());
+
+  fabric_.set_loss(0.35, /*seed=*/99);
+  int ok = 0, timeouts = 0;
+  for (int i = 0; i < 30; ++i) {
+    monitor::tss_clear();
+    ClientCall call(client, ref, testutil::echo_spec(), true);
+    call.request().write_string("x");
+    try {
+      call.invoke();
+      ++ok;
+    } catch (const TimeoutError&) {
+      ++timeouts;
+    }
+  }
+  EXPECT_GT(timeouts, 0);
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(fabric_.messages_dropped(), 0u);
+
+  // Recovery: with loss off, calls work again.
+  fabric_.set_loss(0.0);
+  monitor::tss_clear();
+  ClientCall call(client, ref, testutil::echo_spec(), true);
+  call.request().write_string("back");
+  WireCursor reply = call.invoke();
+  EXPECT_EQ(reply.read_string(), "back!");
+}
+
+TEST_F(FaultTest, PartialChainsAreFlaggedNotFabricated) {
+  ProcessDomain server(fabric_, testutil::options("server"));
+  auto client_opts = testutil::options("client");
+  client_opts.call_timeout = 40 * kNanosPerMilli;
+  ProcessDomain client(fabric_, client_opts);
+  const ObjectRef ref = server.activate(std::make_shared<EchoServant>());
+
+  fabric_.set_loss(0.4, /*seed=*/7);
+  int timeouts = 0;
+  for (int i = 0; i < 20; ++i) {
+    monitor::tss_clear();
+    ClientCall call(client, ref, testutil::echo_spec(), true);
+    call.request().write_string("y");
+    try {
+      call.invoke();
+    } catch (const TimeoutError&) {
+      ++timeouts;
+    }
+  }
+  ASSERT_GT(timeouts, 0);
+  fabric_.set_loss(0.0);
+
+  analysis::LogDatabase db;
+  monitor::Collector collector;
+  collector.attach(&client.monitor_runtime());
+  collector.attach(&server.monitor_runtime());
+  db.ingest(collector.collect());
+  auto dscg = analysis::Dscg::build(db);
+
+  // A timed-out call leaves a stub_start with no stub_end: the chain must
+  // carry anomalies, and the analyzer must not invent completed calls.
+  EXPECT_GT(dscg.anomaly_count(), 0u);
+  EXPECT_LE(dscg.call_count(), 20u + 1);
+}
+
+TEST_F(FaultTest, LossRateZeroIsLossless) {
+  ProcessDomain server(fabric_, testutil::options("server"));
+  ProcessDomain client(fabric_, testutil::options("client"));
+  const ObjectRef ref = server.activate(std::make_shared<EchoServant>());
+  for (int i = 0; i < 50; ++i) {
+    ClientCall call(client, ref, testutil::echo_spec(), true);
+    call.request().write_string("z");
+    call.invoke();
+  }
+  EXPECT_EQ(fabric_.messages_dropped(), 0u);
+}
+
+TEST_F(FaultTest, ServerRestartInvalidatesOldRefsButServesNewOnes) {
+  auto client_opts = testutil::options("client");
+  client_opts.call_timeout = 60 * kNanosPerMilli;
+  ProcessDomain client(fabric_, client_opts);
+
+  ObjectRef old_ref;
+  {
+    ProcessDomain server(fabric_, testutil::options("server"));
+    old_ref = server.activate(std::make_shared<EchoServant>());
+    ClientCall call(client, old_ref, testutil::echo_spec(), true);
+    call.request().write_string("before");
+    EXPECT_EQ(call.invoke().read_string(), "before!");
+  }  // server "crashes"
+
+  // Old ref: unreachable while down.
+  {
+    ClientCall call(client, old_ref, testutil::echo_spec(), true);
+    call.request().write_string("x");
+    EXPECT_THROW(call.invoke(), TransportError);
+  }
+
+  // "Restart": a new process under the same name.  The stale key no longer
+  // resolves (fresh adapter), but a fresh activation works.
+  ProcessDomain revived(fabric_, testutil::options("server"));
+  const ObjectRef new_ref = revived.activate(std::make_shared<EchoServant>());
+  {
+    ClientCall stale(client, old_ref, testutil::echo_spec(), true);
+    stale.request().write_string("x");
+    EXPECT_THROW(stale.invoke(), ObjectNotFound);
+  }
+  {
+    ClientCall fresh(client, new_ref, testutil::echo_spec(), true);
+    fresh.request().write_string("after");
+    EXPECT_EQ(fresh.invoke().read_string(), "after!");
+  }
+}
+
+TEST_F(FaultTest, TopologyOnCleanRun) {
+  ProcessDomain server(fabric_, testutil::options("server"));
+  ProcessDomain client(fabric_, testutil::options("client"));
+  const ObjectRef ref = server.activate(std::make_shared<EchoServant>());
+  for (int i = 0; i < 4; ++i) {
+    ClientCall call(client, ref, testutil::add_spec(), true);
+    call.request().write_i32(i);
+    call.request().write_i32(i);
+    call.invoke();
+  }
+  analysis::LogDatabase db;
+  monitor::Collector collector;
+  collector.attach(&client.monitor_runtime());
+  collector.attach(&server.monitor_runtime());
+  db.ingest(collector.collect());
+  auto dscg = analysis::Dscg::build(db);
+
+  const auto topo = analysis::compute_topology(dscg);
+  EXPECT_EQ(topo.calls, 4u);
+  EXPECT_EQ(topo.chains, 1u);
+  EXPECT_EQ(topo.max_depth, 1u);
+  EXPECT_EQ(topo.sync_calls, 4u);
+  EXPECT_EQ(topo.cross_process, 4u);
+  EXPECT_EQ(topo.cross_thread, 4u);
+  EXPECT_EQ(topo.cross_processor, 0u);  // both domains default to x86
+  EXPECT_EQ(topo.interfaces, 1u);
+  EXPECT_EQ(topo.functions, 1u);
+  EXPECT_EQ(topo.objects, 1u);
+  EXPECT_EQ(topo.max_fanout, 0u);
+}
+
+}  // namespace
+}  // namespace causeway::orb

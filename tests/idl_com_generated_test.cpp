@@ -1,0 +1,160 @@
+// Drives idlc --runtime=com GENERATED proxies and skeletons over the
+// apartment runtime: STA/MTA dispatch, typed exceptions, oneway posts, and
+// full causality capture across apartments.
+#include <gtest/gtest.h>
+
+#include "analysis/dscg.h"
+#include "common/work.h"
+#include "monitor/tss.h"
+#include "stock_com.causeway.h"
+
+namespace {
+
+using namespace causeway;
+
+class TickerImpl final : public Stock::Ticker {
+ public:
+  Stock::Quote quote(const std::string& symbol) override {
+    auto it = prices_.find(symbol);
+    if (it == prices_.end()) {
+      Stock::UnknownSymbol unknown;
+      unknown.symbol = symbol;
+      throw unknown;
+    }
+    Stock::Quote q;
+    q.symbol = symbol;
+    q.price_cents = it->second;
+    q.volume = 100;
+    return q;
+  }
+
+  Stock::QuoteBook book(Stock::Venue venue, std::int32_t depth) override {
+    Stock::QuoteBook out;
+    for (std::int32_t i = 0; i < depth; ++i) {
+      Stock::Quote q;
+      q.symbol = venue == Stock::Venue::kNyse ? "NY" : "NQ";
+      q.price_cents = 1000 + i;
+      q.volume = i;
+      out.push_back(std::move(q));
+    }
+    return out;
+  }
+
+  void heartbeat(std::int64_t at) override {
+    (void)at;
+    beats.fetch_add(1);
+  }
+
+  void set_price(const std::string& symbol,
+                 std::int64_t price_cents) override {
+    prices_[symbol] = price_cents;
+  }
+
+  std::atomic<int> beats{0};
+
+ private:
+  std::map<std::string, std::int64_t> prices_;
+};
+
+class ComGeneratedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    monitor::tss_clear();
+    monitor_ = std::make_unique<monitor::MonitorRuntime>(
+        monitor::DomainIdentity{"stock-host", "com-node", "nt-x86"},
+        monitor::MonitorConfig{true, monitor::ProbeMode::kLatency},
+        ClockDomain{});
+    runtime_ = std::make_unique<com::ComRuntime>(monitor_.get());
+    impl_ = std::make_shared<TickerImpl>();
+    sta_ = runtime_->create_sta();
+    ticker_id_ = Stock::register_Ticker(*runtime_, sta_, impl_);
+    proxy_ = std::make_unique<Stock::TickerComProxy>(*runtime_, ticker_id_);
+  }
+  void TearDown() override {
+    runtime_->shutdown();
+    monitor::tss_clear();
+  }
+
+  std::unique_ptr<monitor::MonitorRuntime> monitor_;
+  std::unique_ptr<com::ComRuntime> runtime_;
+  std::shared_ptr<TickerImpl> impl_;
+  com::ApartmentId sta_{};
+  com::ComObjectId ticker_id_{};
+  std::unique_ptr<Stock::TickerComProxy> proxy_;
+};
+
+TEST_F(ComGeneratedTest, RoundTripThroughSta) {
+  proxy_->set_price("HPQ", 2345);
+  const Stock::Quote q = proxy_->quote("HPQ");
+  EXPECT_EQ(q.symbol, "HPQ");
+  EXPECT_EQ(q.price_cents, 2345);
+  EXPECT_EQ(q.volume, 100);
+}
+
+TEST_F(ComGeneratedTest, EnumsTypedefsAndSequences) {
+  const Stock::QuoteBook book = proxy_->book(Stock::Venue::kNyse, 3);
+  ASSERT_EQ(book.size(), 3u);
+  EXPECT_EQ(book[0].symbol, "NY");
+  EXPECT_EQ(book[2].price_cents, 1002);
+}
+
+TEST_F(ComGeneratedTest, TypedExceptionAcrossApartments) {
+  try {
+    proxy_->quote("NOPE");
+    FAIL() << "expected Stock::UnknownSymbol";
+  } catch (const Stock::UnknownSymbol& unknown) {
+    EXPECT_EQ(unknown.symbol, "NOPE");
+  }
+}
+
+TEST_F(ComGeneratedTest, OnewayPostDelivered) {
+  proxy_->heartbeat(12345);
+  for (int i = 0; i < 500 && impl_->beats.load() == 0; ++i) {
+    idle_for(kNanosPerMilli);
+  }
+  EXPECT_EQ(impl_->beats.load(), 1);
+}
+
+TEST_F(ComGeneratedTest, CausalityCapturedAcrossApartments) {
+  proxy_->set_price("HPQ", 1);
+  proxy_->quote("HPQ");
+
+  analysis::LogDatabase db;
+  monitor::Collector collector;
+  collector.attach(monitor_.get());
+  db.ingest(collector.collect());
+  ASSERT_EQ(db.size(), 8u);  // 2 sync calls x 4 probes
+  EXPECT_EQ(db.chains().size(), 1u);
+
+  auto dscg = analysis::Dscg::build(db);
+  EXPECT_EQ(dscg.anomaly_count(), 0u);
+  const auto& tops = dscg.roots()[0]->root->children;
+  ASSERT_EQ(tops.size(), 2u);
+  EXPECT_EQ(tops[0]->function_name, "set_price");
+  EXPECT_EQ(tops[1]->function_name, "quote");
+  EXPECT_EQ(tops[0]->interface_name, "Stock::Ticker");
+}
+
+TEST_F(ComGeneratedTest, MtaDispatchWorksToo) {
+  const auto mta = runtime_->create_mta(2);
+  auto impl = std::make_shared<TickerImpl>();
+  const auto id = Stock::register_Ticker(*runtime_, mta, impl);
+  Stock::TickerComProxy proxy(*runtime_, id);
+  proxy.set_price("A", 7);
+  EXPECT_EQ(proxy.quote("A").price_cents, 7);
+}
+
+TEST_F(ComGeneratedTest, FailedCallRecordsOutcome) {
+  EXPECT_THROW(proxy_->quote("NOPE"), Stock::UnknownSymbol);
+  analysis::LogDatabase db;
+  monitor::Collector collector;
+  collector.attach(monitor_.get());
+  db.ingest(collector.collect());
+  auto dscg = analysis::Dscg::build(db);
+  ASSERT_EQ(dscg.call_count(), 1u);
+  EXPECT_TRUE(dscg.roots()[0]->root->children[0]->failed());
+  EXPECT_EQ(dscg.roots()[0]->root->children[0]->outcome(),
+            monitor::CallOutcome::kAppError);
+}
+
+}  // namespace

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "idl/lexer.h"
+#include "idl/parser.h"
+#include "idl/sema.h"
+
+namespace causeway::idl {
+namespace {
+
+TEST(Lexer, TokenizesPunctuationAndWords) {
+  auto tokens = lex("module Foo { interface Bar { void f(in long x); }; };");
+  ASSERT_FALSE(tokens.empty());
+  EXPECT_TRUE(tokens[0].is_keyword("module"));
+  EXPECT_TRUE(tokens[1].is_ident());
+  EXPECT_EQ(tokens[1].text, "Foo");
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEof);
+}
+
+TEST(Lexer, SkipsLineAndBlockComments) {
+  auto tokens = lex("// line\nmodule /* blocky\n multi */ M {};");
+  EXPECT_TRUE(tokens[0].is_keyword("module"));
+  EXPECT_EQ(tokens[1].text, "M");
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto tokens = lex("module\nM\n{\n}\n;");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[4].line, 5);
+}
+
+TEST(Lexer, ScopeToken) {
+  auto tokens = lex("A::B");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kScope);
+}
+
+TEST(Lexer, RejectsIllegalCharacters) {
+  EXPECT_THROW(lex("module M { $ };"), LexError);
+  EXPECT_THROW(lex("a : b"), LexError);
+  EXPECT_THROW(lex("/* never closed"), LexError);
+}
+
+TEST(Parser, MinimalModule) {
+  SpecDef spec = parse("module M {};");
+  ASSERT_EQ(spec.modules.size(), 1u);
+  EXPECT_EQ(spec.modules[0]->name, "M");
+}
+
+TEST(Parser, FullFeatureSpec) {
+  const char* src = R"(
+    module Shop {
+      struct Item { string name; long price; };
+      exception OutOfStock { string item; };
+      module Sub { struct Inner { double d; }; };
+      interface Store {
+        Item find(in string name) raises (OutOfStock);
+        oneway void log_visit(in string who);
+        void bulk(in sequence<Item> items, out long total, inout long count);
+        sequence<sequence<octet>> blobs(in unsigned long long n);
+      };
+    };
+  )";
+  SpecDef spec = parse(src);
+  ASSERT_EQ(spec.modules.size(), 1u);
+  const ModuleDef& m = *spec.modules[0];
+  ASSERT_EQ(m.structs.size(), 1u);
+  ASSERT_EQ(m.exceptions.size(), 1u);
+  ASSERT_EQ(m.submodules.size(), 1u);
+  ASSERT_EQ(m.interfaces.size(), 1u);
+
+  const InterfaceDef& store = m.interfaces[0];
+  ASSERT_EQ(store.operations.size(), 4u);
+  EXPECT_EQ(store.operations[0].name, "find");
+  ASSERT_EQ(store.operations[0].raises.size(), 1u);
+  EXPECT_TRUE(store.operations[1].oneway);
+  const Operation& bulk = store.operations[2];
+  ASSERT_EQ(bulk.params.size(), 3u);
+  EXPECT_EQ(bulk.params[0].direction, ParamDirection::kIn);
+  EXPECT_EQ(bulk.params[1].direction, ParamDirection::kOut);
+  EXPECT_EQ(bulk.params[2].direction, ParamDirection::kInOut);
+  const Operation& blobs = store.operations[3];
+  EXPECT_EQ(blobs.return_type.kind, Type::Kind::kSequence);
+  EXPECT_EQ(blobs.return_type.element->kind, Type::Kind::kSequence);
+  EXPECT_EQ(blobs.params[0].type.primitive, PrimitiveKind::kULongLong);
+}
+
+TEST(Parser, LongLongVsLong) {
+  SpecDef spec = parse(
+      "module M { interface I { long long f(in long x); }; };");
+  const Operation& op = spec.modules[0]->interfaces[0].operations[0];
+  EXPECT_EQ(op.return_type.primitive, PrimitiveKind::kLongLong);
+  EXPECT_EQ(op.params[0].type.primitive, PrimitiveKind::kLong);
+}
+
+class ParserRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserRejects, Malformed) {
+  EXPECT_THROW(parse(GetParam()), ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserRejects,
+    ::testing::Values(
+        "interface I {};",                            // no module
+        "module M { interface I { void f() } };",     // missing semicolon
+        "module M { interface I { f(); }; };",        // missing return type
+        "module M { interface I { void f(long x); }; };",  // no direction
+        "module M { struct S { void v; }; };",        // void member
+        "module M { interface I { void f(in sequence<void> s); }; };",
+        "module M { interface I { void f(in unsigned double d); }; };",
+        "module M {"));                               // unterminated
+
+TEST(Parser, EnumAndTypedef) {
+  SpecDef spec = parse(R"(
+    module M {
+      enum State { kIdle, kBusy, kDone, };
+      typedef sequence<State> History;
+      typedef unsigned long long Ticks;
+      interface I { State poll(in History h, in Ticks t); };
+    };
+  )");
+  const ModuleDef& m = *spec.modules[0];
+  ASSERT_EQ(m.enums.size(), 1u);
+  EXPECT_EQ(m.enums[0].enumerators.size(), 3u);  // trailing comma tolerated
+  ASSERT_EQ(m.typedefs.size(), 2u);
+  EXPECT_EQ(m.typedefs[0].aliased.kind, Type::Kind::kSequence);
+  EXPECT_EQ(m.typedefs[1].aliased.primitive, PrimitiveKind::kULongLong);
+  EXPECT_TRUE(check(spec).empty());
+}
+
+TEST(Parser, ConstDeclarations) {
+  SpecDef spec = parse(R"(
+    module M {
+      const long kMaxJobs = 64;
+      const long kOffset = -7;
+      const double kRatio = 1.25;
+      const string kName = "pipeline \"A\"\n";
+      const boolean kEnabled = TRUE;
+      const boolean kDisabled = FALSE;
+    };
+  )");
+  const ModuleDef& m = *spec.modules[0];
+  ASSERT_EQ(m.consts.size(), 6u);
+  EXPECT_EQ(m.consts[0].number_text, "64");
+  EXPECT_EQ(m.consts[1].number_text, "-7");
+  EXPECT_EQ(m.consts[2].number_text, "1.25");
+  EXPECT_EQ(m.consts[3].string_value, "pipeline \"A\"\n");
+  EXPECT_TRUE(m.consts[4].bool_value);
+  EXPECT_FALSE(m.consts[5].bool_value);
+  EXPECT_TRUE(check(spec).empty());
+}
+
+TEST(Parser, ConstRejectsBadLiterals) {
+  EXPECT_THROW(parse("module M { const long kX = ; };"), ParseError);
+  EXPECT_THROW(parse("module M { const string kX = -\"s\"; };"), ParseError);
+  EXPECT_THROW(parse("module M { const boolean kX = maybe; };"), ParseError);
+  EXPECT_THROW(parse("module M { const void kX = 1; };"), ParseError);
+}
+
+TEST(Sema, ConstTypeLiteralMismatches) {
+  EXPECT_FALSE(check(parse("module M { const long kX = TRUE; };")).empty());
+  EXPECT_FALSE(
+      check(parse("module M { const string kX = 5; };")).empty());
+  EXPECT_FALSE(
+      check(parse("module M { const boolean kX = 1; };")).empty());
+  EXPECT_FALSE(check(parse("module M { struct S { long a; }; "
+                           "const S kX = 5; };"))
+                   .empty());
+}
+
+TEST(Lexer, NumberAndStringLiterals) {
+  auto tokens = lex("123 45.75 \"hi\\\"there\\n\"");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[0].text, "123");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[1].text, "45.75");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kStringLit);
+  EXPECT_EQ(tokens[2].text, "hi\"there\n");
+  EXPECT_THROW(lex("\"unterminated"), LexError);
+}
+
+TEST(Sema, EnumAndTypedefErrors) {
+  {
+    SpecDef spec = parse("module M { enum E { kA, kA }; };");
+    EXPECT_FALSE(check(spec).empty());
+  }
+  {
+    SpecDef spec = parse("module M { typedef Missing T; };");
+    EXPECT_FALSE(check(spec).empty());
+  }
+  {
+    // Interfaces are not data types, even via typedef targets.
+    SpecDef spec =
+        parse("module M { interface I {}; typedef I T; };");
+    EXPECT_FALSE(check(spec).empty());
+  }
+}
+
+TEST(Sema, AcceptsValidSpec) {
+  SpecDef spec = parse(R"(
+    module A {
+      struct P { long x; };
+      exception E { string why; };
+      interface I {
+        P f(in P p) raises (E);
+      };
+    };
+  )");
+  EXPECT_TRUE(check(spec).empty());
+}
+
+TEST(Sema, ResolvesAcrossModulesAndScopes) {
+  SpecDef spec = parse(R"(
+    module Outer {
+      struct S { long x; };
+      module Inner {
+        interface I {
+          S use_outer(in Outer::S absolute);
+        };
+      };
+    };
+  )");
+  EXPECT_TRUE(check(spec).empty());
+
+  SymbolTable table = SymbolTable::build(spec);
+  auto rel = table.resolve({"S"}, {"Outer", "Inner"});
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(rel->first, "Outer::S");
+  auto abs = table.resolve({"Outer", "S"}, {"Outer", "Inner"});
+  ASSERT_TRUE(abs.has_value());
+  EXPECT_EQ(abs->first, "Outer::S");
+  EXPECT_FALSE(table.resolve({"Nope"}, {"Outer"}).has_value());
+}
+
+struct SemaCase {
+  const char* src;
+  const char* expected_fragment;
+};
+
+class SemaRejects : public ::testing::TestWithParam<SemaCase> {};
+
+TEST_P(SemaRejects, ReportsError) {
+  SpecDef spec = parse(GetParam().src);
+  const auto errors = check(spec);
+  ASSERT_FALSE(errors.empty()) << GetParam().src;
+  bool found = false;
+  for (const auto& e : errors) {
+    if (e.find(GetParam().expected_fragment) != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << "wanted '" << GetParam().expected_fragment
+                     << "' in: " << errors[0];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SemaRejects,
+    ::testing::Values(
+        SemaCase{"module M { interface I {}; interface I {}; };",
+                 "duplicate definition"},
+        SemaCase{"module M { interface I { void f(); void f(); }; };",
+                 "duplicate operation"},
+        SemaCase{"module M { interface I { void f(in long a, in long a); }; };",
+                 "duplicate parameter"},
+        SemaCase{"module M { struct S { long a; long a; }; };",
+                 "duplicate member"},
+        SemaCase{"module M { interface I { void f(in Missing m); }; };",
+                 "unresolved type"},
+        SemaCase{"module M { exception E { string s; }; "
+                 "interface I { void f(in E e); }; };",
+                 "not a struct"},
+        SemaCase{"module M { interface I { void f() raises (Nope); }; };",
+                 "unresolved exception"},
+        SemaCase{"module M { struct S { long x; }; "
+                 "interface I { void f() raises (S); }; };",
+                 "is not an exception"},
+        SemaCase{"module M { interface I { oneway long f(); }; };",
+                 "must return void"},
+        SemaCase{"module M { interface I { oneway void f(out long x); }; };",
+                 "may only take 'in'"},
+        SemaCase{"module M { exception E { string s; }; "
+                 "interface I { oneway void f() raises (E); }; };",
+                 "may not raise"}));
+
+}  // namespace
+}  // namespace causeway::idl

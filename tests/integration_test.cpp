@@ -1,0 +1,296 @@
+// Whole-pipeline integration: run a workload on the ORB, collect the
+// scattered logs, rebuild the DSCG, annotate, export -- and verify the
+// system-level invariants the paper's design promises.
+#include <gtest/gtest.h>
+
+#include "analysis/ccsg.h"
+#include "analysis/cpu.h"
+#include "analysis/diff.h"
+#include "analysis/export.h"
+#include "analysis/latency.h"
+#include "analysis/stats.h"
+#include "analysis/timeline.h"
+#include "monitor/tss.h"
+#include "pps/pps_system.h"
+#include "workload/synthetic.h"
+
+namespace causeway {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override { monitor::tss_clear(); }
+  void TearDown() override { monitor::tss_clear(); }
+};
+
+TEST_F(IntegrationTest, SyntheticEndToEndLatencyPipeline) {
+  orb::Fabric fabric;
+  workload::SyntheticConfig config;
+  config.seed = 21;
+  config.domains = 4;
+  config.components = 12;
+  config.interfaces = 6;
+  config.methods_per_interface = 3;
+  config.levels = 4;
+  config.max_children = 2;
+  config.oneway_fraction = 0.1;
+  config.cpu_per_call = 5 * kNanosPerMicro;
+  config.processor_kinds = 2;
+  workload::SyntheticSystem system(fabric, config);
+
+  constexpr std::size_t kTransactions = 8;
+  system.run_transactions(kTransactions);
+  system.wait_quiescent();
+
+  analysis::LogDatabase db;
+  db.ingest(system.collect());
+  ASSERT_GT(db.size(), 0u);
+  EXPECT_EQ(db.primary_mode(), monitor::ProbeMode::kLatency);
+
+  auto dscg = analysis::Dscg::build(db);
+  EXPECT_EQ(dscg.anomaly_count(), 0u);
+  EXPECT_GE(dscg.roots().size(), 1u);
+
+  auto report = analysis::annotate_latency(dscg);
+  EXPECT_EQ(report.skipped, 0u);
+
+  // Invariant: a parent's uncorrected latency covers each sync child's.
+  dscg.visit([&](const analysis::CallNode& node, int) {
+    if (!node.raw_latency) return;
+    for (const auto& child : node.children) {
+      if (child->kind == monitor::CallKind::kOneway || !child->raw_latency) {
+        continue;
+      }
+      EXPECT_GE(*node.raw_latency, *child->raw_latency);
+    }
+  });
+
+  // Exports all render.
+  EXPECT_FALSE(analysis::to_text(dscg).empty());
+  EXPECT_FALSE(analysis::to_dot(dscg).empty());
+  EXPECT_FALSE(analysis::to_json(dscg).empty());
+}
+
+TEST_F(IntegrationTest, CpuAttributionApproximatesInjectedWork) {
+  // Every synthetic method burns a known amount of CPU; the analyzer's SC
+  // must land near it for leaf calls (single-core host => generous bounds).
+  orb::Fabric fabric;
+  workload::SyntheticConfig config;
+  config.seed = 33;
+  config.domains = 2;
+  config.components = 6;
+  config.interfaces = 3;
+  config.methods_per_interface = 2;
+  config.levels = 3;
+  config.max_children = 2;
+  config.oneway_fraction = 0.0;
+  config.cpu_per_call = 400 * kNanosPerMicro;
+  config.monitor.mode = monitor::ProbeMode::kCpu;
+  workload::SyntheticSystem system(fabric, config);
+
+  system.run_transactions(3);
+  system.wait_quiescent();
+
+  analysis::LogDatabase db;
+  db.ingest(system.collect());
+  auto dscg = analysis::Dscg::build(db);
+  EXPECT_EQ(dscg.anomaly_count(), 0u);
+  analysis::annotate_cpu(dscg);
+
+  std::vector<double> self_values;
+  dscg.visit([&](const analysis::CallNode& node, int) {
+    self_values.push_back(static_cast<double>(node.self_cpu.total()));
+  });
+  ASSERT_FALSE(self_values.empty());
+  const auto summary = analysis::summarize(std::move(self_values));
+  // Median self CPU within 2x of the injected 400us per call.
+  EXPECT_GT(summary.p50, 200.0 * kNanosPerMicro);
+  EXPECT_LT(summary.p50, 900.0 * kNanosPerMicro);
+}
+
+TEST_F(IntegrationTest, ClockSkewInvariance) {
+  // Same PPS workload with and without hostile clocks: the latency results
+  // must be in the same ballpark (analysis never crosses clock domains).
+  auto run = [&](bool hostile) {
+    monitor::tss_clear();
+    orb::Fabric fabric;
+    pps::PpsConfig config;
+    config.topology = pps::PpsConfig::Topology::kFourProcess;
+    config.hostile_clocks = hostile;
+    config.cpu_scale = 0.2;
+    pps::PpsSystem system(fabric, config);
+    system.submit_job(2, 200, false);
+    system.wait_quiescent();
+    analysis::LogDatabase db;
+    db.ingest(system.collect());
+    auto dscg = analysis::Dscg::build(db);
+    EXPECT_EQ(dscg.anomaly_count(), 0u);
+    analysis::annotate_latency(dscg);
+    const analysis::CallNode& submit = *dscg.roots()[0]->root->children[0];
+    return static_cast<double>(*submit.latency);
+  };
+
+  const double base = run(false);
+  const double skewed = run(true);
+  ASSERT_GT(base, 0.0);
+  ASSERT_GT(skewed, 0.0);
+  // Drift of 150ppm can shift readings by a hair; hours of *skew* must not
+  // show at all.  Allow generous scheduling noise.
+  EXPECT_LT(skewed / base, 5.0);
+  EXPECT_GT(skewed / base, 0.2);
+}
+
+TEST_F(IntegrationTest, ReconfigureProbeModeBetweenRuns) {
+  // The paper runs its PPS experiments twice -- a latency pass and a CPU
+  // pass -- on the same deployed system.  Reconfigure between quiescent
+  // runs without tearing anything down.
+  orb::Fabric fabric;
+  pps::PpsConfig config;
+  config.topology = pps::PpsConfig::Topology::kFourProcess;
+  config.cpu_scale = 0.1;
+  pps::PpsSystem system(fabric, config);
+
+  // Pass 1: latency.
+  system.submit_job(1, 150, false);
+  system.wait_quiescent();
+  {
+    analysis::LogDatabase db;
+    db.ingest(system.collect());
+    EXPECT_EQ(db.primary_mode(), monitor::ProbeMode::kLatency);
+    auto dscg = analysis::Dscg::build(db);
+    EXPECT_GT(analysis::annotate_latency(dscg).annotated, 0u);
+  }
+
+  // Pass 2: CPU, same deployed system.
+  system.set_probe_mode(monitor::ProbeMode::kCpu);
+  system.submit_job(1, 150, false);
+  system.wait_quiescent();
+  {
+    analysis::LogDatabase db;
+    db.ingest(system.collect());
+    EXPECT_EQ(db.primary_mode(), monitor::ProbeMode::kCpu);
+    auto dscg = analysis::Dscg::build(db);
+    EXPECT_EQ(dscg.anomaly_count(), 0u);
+    EXPECT_GT(analysis::annotate_cpu(dscg).annotated, 0u);
+    // No latency-mode residue leaked into this pass.
+    for (const auto& r : db.records()) {
+      EXPECT_EQ(r.mode, monitor::ProbeMode::kCpu);
+    }
+  }
+
+  // Pass 3: back to latency -- reconfiguration is not one-way.
+  system.set_probe_mode(monitor::ProbeMode::kLatency);
+  system.submit_job(1, 150, false);
+  system.wait_quiescent();
+  {
+    analysis::LogDatabase db;
+    db.ingest(system.collect());
+    EXPECT_EQ(db.primary_mode(), monitor::ProbeMode::kLatency);
+  }
+}
+
+TEST_F(IntegrationTest, TimelineOverLiveHybridRun) {
+  orb::Fabric fabric;
+  pps::PpsConfig config;
+  config.topology = pps::PpsConfig::Topology::kHybridCom;
+  config.cpu_scale = 0.1;
+  pps::PpsSystem system(fabric, config);
+  system.submit_job(2, 200, true);
+  system.wait_quiescent();
+
+  analysis::LogDatabase db;
+  db.ingest(system.collect());
+  auto dscg = analysis::Dscg::build(db);
+  const auto entries = analysis::build_timeline(dscg);
+  ASSERT_FALSE(entries.empty());
+
+  // Lanes exist on both infrastructures, ordered and non-overlapping within
+  // each single-threaded lane (STA/pool thread serves one call at a time,
+  // modulo nesting -- nested windows are contained, so starts still sort).
+  bool saw_com = false, saw_orb = false;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].process == "pps-com") saw_com = true;
+    if (entries[i].process == "pps0") saw_orb = true;
+    EXPECT_LE(entries[i].start, entries[i].end);
+    if (i > 0 && entries[i - 1].process == entries[i].process &&
+        entries[i - 1].thread == entries[i].thread) {
+      EXPECT_LE(entries[i - 1].start, entries[i].start);
+    }
+  }
+  EXPECT_TRUE(saw_com);
+  EXPECT_TRUE(saw_orb);
+
+  const std::string csv = analysis::timeline_to_csv(entries);
+  EXPECT_NE(csv.find("pps-com"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, CpuModeDiffBetweenWorkloadVersions) {
+  // Baseline vs "regressed" run of the same synthetic system (more CPU per
+  // call): the diff must flag functions in self-CPU terms.
+  auto capture = [&](Nanos cpu_per_call) {
+    monitor::tss_clear();
+    orb::Fabric fabric;
+    workload::SyntheticConfig config;
+    config.seed = 6;
+    config.domains = 2;
+    config.components = 4;
+    config.interfaces = 2;
+    config.methods_per_interface = 2;
+    config.levels = 2;
+    config.max_children = 2;
+    config.oneway_fraction = 0.0;
+    config.cpu_per_call = cpu_per_call;
+    config.monitor.mode = monitor::ProbeMode::kCpu;
+    workload::SyntheticSystem system(fabric, config);
+    system.run_transactions(4);
+    system.wait_quiescent();
+    analysis::LogDatabase db;
+    db.ingest(system.collect());
+    return db;
+  };
+
+  analysis::LogDatabase base_db = capture(100 * kNanosPerMicro);
+  analysis::LogDatabase cur_db = capture(400 * kNanosPerMicro);
+  auto base = analysis::Dscg::build(base_db);
+  auto cur = analysis::Dscg::build(cur_db);
+  analysis::DiffOptions options;
+  options.threshold_pct = 50.0;
+  const auto diff = analysis::diff_runs(base, base_db, cur, cur_db, options);
+  EXPECT_EQ(diff.metric, "self-cpu");
+  EXPECT_FALSE(diff.clean());
+  EXPECT_FALSE(diff.regressions.empty());
+  EXPECT_TRUE(diff.added.empty());
+  EXPECT_TRUE(diff.removed.empty());
+}
+
+TEST_F(IntegrationTest, ModesAreMutuallyExclusivePerRun) {
+  // Paper: latency and CPU probes are never active simultaneously.
+  orb::Fabric fabric;
+  workload::SyntheticConfig config;
+  config.seed = 4;
+  config.domains = 2;
+  config.components = 4;
+  config.interfaces = 2;
+  config.methods_per_interface = 2;
+  config.levels = 2;
+  config.monitor.mode = monitor::ProbeMode::kCausalityOnly;
+  workload::SyntheticSystem system(fabric, config);
+  system.run_transactions(2);
+  system.wait_quiescent();
+
+  analysis::LogDatabase db;
+  db.ingest(system.collect());
+  for (const auto& r : db.records()) {
+    EXPECT_EQ(r.mode, monitor::ProbeMode::kCausalityOnly);
+    EXPECT_EQ(r.value_start, 0);
+  }
+  // Causality still fully reconstructs.
+  auto dscg = analysis::Dscg::build(db);
+  EXPECT_EQ(dscg.anomaly_count(), 0u);
+  // ...but latency/CPU annotation correctly reports nothing.
+  auto latency_report = analysis::annotate_latency(dscg);
+  EXPECT_EQ(latency_report.annotated, 0u);
+}
+
+}  // namespace
+}  // namespace causeway

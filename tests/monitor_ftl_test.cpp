@@ -1,0 +1,127 @@
+#include "monitor/ftl.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace causeway::monitor {
+namespace {
+
+Ftl sample_ftl() {
+  return Ftl{Uuid{0x1111222233334444ull, 0x5555666677778888ull}, 42};
+}
+
+TEST(Ftl, DefaultIsInvalid) {
+  Ftl f;
+  EXPECT_FALSE(f.valid());
+}
+
+TEST(Ftl, TrailerRoundTrip) {
+  WireBuffer payload;
+  payload.write_string("user data");
+  const std::size_t user_size = payload.size();
+
+  append_ftl_trailer(payload, sample_ftl());
+  EXPECT_EQ(payload.size(), user_size + kFtlTrailerSize);
+
+  WireCursor cursor(payload);
+  auto peeled = peel_ftl_trailer(cursor);
+  ASSERT_TRUE(peeled.has_value());
+  EXPECT_EQ(*peeled, sample_ftl());
+  // The user payload window is exactly what was there before.
+  EXPECT_EQ(cursor.remaining(), user_size);
+  EXPECT_EQ(cursor.read_string(), "user data");
+}
+
+TEST(Ftl, TrailerOnEmptyPayload) {
+  WireBuffer payload;
+  append_ftl_trailer(payload, sample_ftl());
+  WireCursor cursor(payload);
+  auto peeled = peel_ftl_trailer(cursor);
+  ASSERT_TRUE(peeled.has_value());
+  EXPECT_EQ(*peeled, sample_ftl());
+  EXPECT_EQ(cursor.remaining(), 0u);
+}
+
+TEST(Ftl, NoTrailerReturnsNullopt) {
+  WireBuffer payload;
+  payload.write_string("plain peer payload");
+  WireCursor cursor(payload);
+  EXPECT_FALSE(peel_ftl_trailer(cursor).has_value());
+  // Window untouched.
+  EXPECT_EQ(cursor.read_string(), "plain peer payload");
+}
+
+TEST(Ftl, ShortPayloadReturnsNullopt) {
+  WireBuffer payload;
+  payload.write_u32(7);
+  WireCursor cursor(payload);
+  EXPECT_FALSE(peel_ftl_trailer(cursor).has_value());
+}
+
+TEST(Ftl, CorruptMagicReturnsNullopt) {
+  WireBuffer payload;
+  append_ftl_trailer(payload, sample_ftl());
+  std::vector<std::uint8_t> bytes = payload.bytes();
+  bytes.back() ^= 0xff;  // flip a magic byte
+  WireCursor cursor(bytes.data(), bytes.size());
+  EXPECT_FALSE(peel_ftl_trailer(cursor).has_value());
+}
+
+TEST(Ftl, PeelTwicePeelsNestedTrailersOnly) {
+  // Peeling is idempotent in the sense that a second peel only succeeds if a
+  // second (nested) trailer is actually present.
+  WireBuffer payload;
+  payload.write_u64(1);
+  append_ftl_trailer(payload, Ftl{Uuid{1, 2}, 3});
+  WireCursor cursor(payload);
+  ASSERT_TRUE(peel_ftl_trailer(cursor).has_value());
+  EXPECT_FALSE(peel_ftl_trailer(cursor).has_value());
+
+  WireBuffer doubled;
+  append_ftl_trailer(doubled, Ftl{Uuid{1, 2}, 3});
+  append_ftl_trailer(doubled, Ftl{Uuid{4, 5}, 6});
+  WireCursor c2(doubled);
+  auto outer = peel_ftl_trailer(c2);
+  ASSERT_TRUE(outer.has_value());
+  EXPECT_EQ(outer->seq, 6u);
+  auto inner = peel_ftl_trailer(c2);
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_EQ(inner->seq, 3u);
+}
+
+TEST(Ftl, ConstantSizeRegardlessOfChainDepth) {
+  // The FTL never grows -- the paper's key contrast with Trace Objects.
+  Ftl f = sample_ftl();
+  std::size_t last = 0;
+  for (int depth = 0; depth < 1000; ++depth) {
+    f.seq += 4;  // four events per hop
+    WireBuffer payload;
+    append_ftl_trailer(payload, f);
+    if (depth > 0) EXPECT_EQ(payload.size(), last);
+    last = payload.size();
+  }
+  EXPECT_EQ(last, kFtlTrailerSize);
+}
+
+TEST(Ftl, RandomPayloadsNeverMisdetect) {
+  // A payload that doesn't end in the magic must never yield a trailer.
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 500; ++i) {
+    WireBuffer payload;
+    const std::size_t n = rng.uniform(100);
+    for (std::size_t k = 0; k < n; ++k) {
+      payload.write_u8(static_cast<std::uint8_t>(rng.uniform(256)));
+    }
+    std::vector<std::uint8_t> bytes = payload.bytes();
+    if (bytes.size() >= 4) {
+      // Force the tail to differ from the magic.
+      bytes[bytes.size() - 1] = 0;
+    }
+    WireCursor cursor(bytes.data(), bytes.size());
+    EXPECT_FALSE(peel_ftl_trailer(cursor).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace causeway::monitor

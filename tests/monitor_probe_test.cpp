@@ -1,0 +1,251 @@
+// Exercises the probe protocol directly (no ORB): FTL creation, event
+// numbering, TSS bridging, oneway spawning, probe modes, channel-hook saver.
+#include "monitor/probes.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/work.h"
+#include "monitor/tss.h"
+
+namespace causeway::monitor {
+namespace {
+
+MonitorRuntime make_runtime(ProbeMode mode = ProbeMode::kLatency) {
+  return MonitorRuntime(DomainIdentity{"procA", "node0", "x86"},
+                        MonitorConfig{true, mode}, ClockDomain{});
+}
+
+CallIdentity identity(std::string_view fn = "f") {
+  return CallIdentity{"Test::Iface", fn, 9};
+}
+
+class ProbeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { tss_clear(); }
+  void TearDown() override { tss_clear(); }
+};
+
+TEST_F(ProbeTest, RootCallCreatesChain) {
+  auto rt = make_runtime();
+  StubProbes stub(&rt, identity(), CallKind::kSync);
+  const Ftl wire = stub.on_stub_start();
+  ASSERT_TRUE(wire.valid());
+  EXPECT_EQ(wire.seq, 1u);  // first event on a fresh chain
+
+  auto records = rt.store().snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].event, EventKind::kStubStart);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(records[0].chain, wire.chain);
+  EXPECT_EQ(records[0].interface_name, "Test::Iface");
+  EXPECT_EQ(records[0].function_name, "f");
+  EXPECT_EQ(records[0].object_key, 9u);
+  EXPECT_EQ(records[0].process_name, "procA");
+  EXPECT_EQ(records[0].mode, ProbeMode::kLatency);
+  EXPECT_GE(records[0].value_end, records[0].value_start);
+}
+
+TEST_F(ProbeTest, FullSyncCallEventNumbering) {
+  auto client = make_runtime();
+  auto server = make_runtime();
+
+  StubProbes stub(&client, identity(), CallKind::kSync);
+  Ftl wire = stub.on_stub_start();  // seq 1
+
+  SkelProbes skel(&server, identity(), CallKind::kSync);
+  skel.on_skel_start(wire);              // seq 2
+  Ftl reply = skel.on_skel_end();        // seq 3
+  EXPECT_EQ(reply.seq, 3u);
+  stub.on_stub_end(reply);               // seq 4
+
+  auto client_records = client.store().snapshot();
+  auto server_records = server.store().snapshot();
+  ASSERT_EQ(client_records.size(), 2u);
+  ASSERT_EQ(server_records.size(), 2u);
+  EXPECT_EQ(client_records[0].seq, 1u);
+  EXPECT_EQ(server_records[0].seq, 2u);
+  EXPECT_EQ(server_records[1].seq, 3u);
+  EXPECT_EQ(client_records[1].seq, 4u);
+  // Everything shares the one chain.
+  for (const auto& r : server_records) EXPECT_EQ(r.chain, wire.chain);
+  // Caller TSS carries the final FTL for sibling continuation.
+  EXPECT_EQ(tss_get().seq, 4u);
+  EXPECT_EQ(tss_get().chain, wire.chain);
+}
+
+TEST_F(ProbeTest, SiblingsShareChain) {
+  auto rt = make_runtime();
+  Uuid chain;
+  for (int i = 0; i < 3; ++i) {
+    StubProbes stub(&rt, identity(), CallKind::kSync);
+    Ftl wire = stub.on_stub_start();
+    if (i == 0) {
+      chain = wire.chain;
+    } else {
+      EXPECT_EQ(wire.chain, chain);  // Table 1: siblings, same Function UUID
+    }
+    stub.on_stub_end(std::nullopt);
+  }
+  // 3 calls x 2 stub events, contiguous numbering.
+  auto records = rt.store().snapshot();
+  ASSERT_EQ(records.size(), 6u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, i + 1);
+  }
+}
+
+TEST_F(ProbeTest, FreshChainAfterClear) {
+  auto rt = make_runtime();
+  StubProbes first(&rt, identity(), CallKind::kSync);
+  const Uuid chain1 = first.on_stub_start().chain;
+  first.on_stub_end(std::nullopt);
+
+  tss_clear();
+  StubProbes second(&rt, identity(), CallKind::kSync);
+  EXPECT_NE(second.on_stub_start().chain, chain1);
+}
+
+TEST_F(ProbeTest, OnewaySpawnsChildChain) {
+  auto rt = make_runtime();
+  StubProbes stub(&rt, identity("notify"), CallKind::kOneway);
+  const Ftl wire = stub.on_stub_start();
+  stub.on_stub_end_oneway();
+
+  auto records = rt.store().snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  const Uuid parent_chain = records[0].chain;
+  EXPECT_NE(wire.chain, parent_chain);     // child chain went on the wire
+  EXPECT_EQ(wire.seq, 0u);                 // child numbering starts fresh
+  EXPECT_EQ(records[0].spawned_chain, wire.chain);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(records[1].seq, 2u);
+  EXPECT_TRUE(records[1].spawned_chain.is_nil());
+  // Parent chain stays in this thread.
+  EXPECT_EQ(tss_get().chain, parent_chain);
+}
+
+TEST_F(ProbeTest, OnewayCalleeContinuesChildChain) {
+  auto server = make_runtime();
+  const Ftl wire{Uuid::generate(), 0};
+  SkelProbes skel(&server, identity("notify"), CallKind::kOneway);
+  skel.on_skel_start(wire);
+  const Ftl end = skel.on_skel_end();
+  EXPECT_EQ(end.chain, wire.chain);
+  EXPECT_EQ(end.seq, 2u);
+  auto records = server.store().snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].event, EventKind::kSkelStart);
+  EXPECT_EQ(records[1].event, EventKind::kSkelEnd);
+}
+
+TEST_F(ProbeTest, UninstrumentedCallerStartsFreshChainAtSkeleton) {
+  auto server = make_runtime();
+  SkelProbes skel(&server, identity(), CallKind::kSync);
+  skel.on_skel_start(std::nullopt);  // no trailer from the plain caller
+  auto records = server.store().snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].chain.is_nil());
+  EXPECT_EQ(records[0].seq, 1u);
+}
+
+TEST_F(ProbeTest, DisabledRuntimeIsFullyTransparent) {
+  auto rt = MonitorRuntime(DomainIdentity{"p", "n", "t"},
+                           MonitorConfig{false, ProbeMode::kLatency},
+                           ClockDomain{});
+  StubProbes stub(&rt, identity(), CallKind::kSync);
+  EXPECT_FALSE(stub.on_stub_start().valid());  // no trailer to append
+  stub.on_stub_end(std::nullopt);
+  EXPECT_EQ(rt.store().size(), 0u);
+  EXPECT_FALSE(tss_get().valid());
+
+  StubProbes null_stub(nullptr, identity(), CallKind::kSync);
+  EXPECT_FALSE(null_stub.on_stub_start().valid());
+}
+
+TEST_F(ProbeTest, CausalityOnlyModeRecordsNoValues) {
+  auto rt = make_runtime(ProbeMode::kCausalityOnly);
+  StubProbes stub(&rt, identity(), CallKind::kSync);
+  stub.on_stub_start();
+  stub.on_stub_end(std::nullopt);
+  for (const auto& r : rt.store().snapshot()) {
+    EXPECT_EQ(r.value_start, 0);
+    EXPECT_EQ(r.value_end, 0);
+    EXPECT_EQ(r.mode, ProbeMode::kCausalityOnly);
+  }
+}
+
+TEST_F(ProbeTest, CpuModeSamplesThreadCpu) {
+  auto rt = make_runtime(ProbeMode::kCpu);
+  StubProbes stub(&rt, identity(), CallKind::kSync);
+  stub.on_stub_start();
+  burn_cpu(2 * kNanosPerMilli);
+  stub.on_stub_end(std::nullopt);
+  auto records = rt.store().snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  // CPU between the two probes is at least what we burned.
+  EXPECT_GE(records[1].value_start - records[0].value_end,
+            2 * kNanosPerMilli);
+}
+
+TEST_F(ProbeTest, LatencyModeUsesDomainClock) {
+  const Nanos skew = 7200 * kNanosPerSecond;
+  auto rt = MonitorRuntime(DomainIdentity{"p", "n", "t"},
+                           MonitorConfig{true, ProbeMode::kLatency},
+                           ClockDomain(skew, 0));
+  StubProbes stub(&rt, identity(), CallKind::kSync);
+  stub.on_stub_start();
+  auto records = rt.store().snapshot();
+  EXPECT_GT(records[0].value_start, skew);  // timestamps live in domain time
+}
+
+TEST_F(ProbeTest, FtlSaverRestoresSlot) {
+  const Ftl original{Uuid::generate(), 10};
+  tss_set(original);
+  {
+    FtlSaver saver;
+    tss_set(Ftl{Uuid::generate(), 99});
+    EXPECT_NE(tss_get(), original);
+  }
+  EXPECT_EQ(tss_get(), original);
+}
+
+TEST_F(ProbeTest, ThreadOrdinalsAreStableAndDistinct) {
+  const std::uint64_t mine = this_thread_ordinal();
+  EXPECT_EQ(mine, this_thread_ordinal());
+  std::uint64_t other = 0;
+  std::thread t([&] { other = this_thread_ordinal(); });
+  t.join();
+  EXPECT_NE(other, 0u);
+  EXPECT_NE(other, mine);
+}
+
+TEST_F(ProbeTest, TssIsPerThread) {
+  tss_set(Ftl{Uuid::generate(), 5});
+  Ftl seen_in_thread;
+  std::thread t([&] { seen_in_thread = tss_get(); });
+  t.join();
+  EXPECT_FALSE(seen_in_thread.valid());
+}
+
+TEST_F(ProbeTest, ReplyFtlContinuesOverLocalFallback) {
+  auto rt = make_runtime();
+  StubProbes stub(&rt, identity(), CallKind::kSync);
+  Ftl wire = stub.on_stub_start();  // seq 1
+  // Instrumented peer advanced the chain by two skeleton events.
+  Ftl reply = wire;
+  reply.seq = 3;
+  stub.on_stub_end(reply);  // seq 4
+  EXPECT_EQ(tss_get().seq, 4u);
+
+  // Plain peer: no reply FTL, fall back to the local value.
+  tss_clear();
+  StubProbes stub2(&rt, identity(), CallKind::kSync);
+  stub2.on_stub_start();           // seq 1 on new chain
+  stub2.on_stub_end(std::nullopt); // seq 2
+  EXPECT_EQ(tss_get().seq, 2u);
+}
+
+}  // namespace
+}  // namespace causeway::monitor

@@ -1,0 +1,254 @@
+#include "orb/domain.h"
+
+#include <gtest/gtest.h>
+
+#include "monitor/tss.h"
+#include "orb/errors.h"
+#include "orb_test_util.h"
+
+namespace causeway::orb {
+namespace {
+
+using testutil::EchoServant;
+
+class DomainTest : public ::testing::Test {
+ protected:
+  void SetUp() override { monitor::tss_clear(); }
+  void TearDown() override { monitor::tss_clear(); }
+  Fabric fabric_;
+};
+
+TEST_F(DomainTest, ActivateFindDeactivate) {
+  ProcessDomain domain(fabric_, testutil::options("server"));
+  auto servant = std::make_shared<EchoServant>();
+  const ObjectRef ref = domain.activate(servant);
+  EXPECT_EQ(ref.process, "server");
+  EXPECT_EQ(ref.interface_name, "Test::Echo");
+  EXPECT_NE(ref.key, 0u);
+  EXPECT_EQ(domain.find(ref.key), servant);
+  domain.deactivate(ref.key);
+  EXPECT_EQ(domain.find(ref.key), nullptr);
+}
+
+TEST_F(DomainTest, DistinctKeysPerActivation) {
+  ProcessDomain domain(fabric_, testutil::options("server"));
+  const auto r1 = domain.activate(std::make_shared<EchoServant>());
+  const auto r2 = domain.activate(std::make_shared<EchoServant>());
+  EXPECT_NE(r1.key, r2.key);
+}
+
+TEST_F(DomainTest, RemoteSyncCall) {
+  ProcessDomain server(fabric_, testutil::options("server"));
+  ProcessDomain client(fabric_, testutil::options("client"));
+  const ObjectRef ref = server.activate(std::make_shared<EchoServant>());
+
+  ClientCall call(client, ref, testutil::echo_spec(), true);
+  call.request().write_string("hi");
+  WireCursor reply = call.invoke();
+  EXPECT_EQ(reply.read_string(), "hi!");
+}
+
+TEST_F(DomainTest, CollocatedCallRunsInCallerThread) {
+  ProcessDomain domain(fabric_, testutil::options("solo"));
+  const ObjectRef ref = domain.activate(std::make_shared<EchoServant>());
+
+  ClientCall call(domain, ref, testutil::add_spec(), true);
+  EXPECT_EQ(call.kind(), monitor::CallKind::kCollocated);
+  call.request().write_i32(20);
+  call.request().write_i32(22);
+  WireCursor reply = call.invoke();
+  EXPECT_EQ(reply.read_i32(), 42);
+
+  // All four events in this one thread on this one chain.
+  auto records = domain.monitor_runtime().store().snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  const auto thread = records[0].thread_ordinal;
+  for (const auto& r : records) {
+    EXPECT_EQ(r.thread_ordinal, thread);
+    EXPECT_EQ(r.kind, monitor::CallKind::kCollocated);
+  }
+}
+
+TEST_F(DomainTest, CollocationOffRoutesThroughLoopback) {
+  auto opts = testutil::options("solo");
+  opts.collocation_optimization = false;
+  ProcessDomain domain(fabric_, opts);
+  const ObjectRef ref = domain.activate(std::make_shared<EchoServant>());
+
+  ClientCall call(domain, ref, testutil::echo_spec(), true);
+  EXPECT_EQ(call.kind(), monitor::CallKind::kSync);
+  call.request().write_string("loop");
+  WireCursor reply = call.invoke();
+  EXPECT_EQ(reply.read_string(), "loop!");
+
+  // Skeleton events ran on a dispatcher thread, not the caller thread.
+  auto records = domain.monitor_runtime().store().snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  std::uint64_t stub_thread = 0, skel_thread = 0;
+  for (const auto& r : records) {
+    if (r.event == monitor::EventKind::kStubStart) stub_thread = r.thread_ordinal;
+    if (r.event == monitor::EventKind::kSkelStart) skel_thread = r.thread_ordinal;
+  }
+  EXPECT_NE(stub_thread, skel_thread);
+}
+
+TEST_F(DomainTest, OnewayCallDeliversAsynchronously) {
+  ProcessDomain server(fabric_, testutil::options("server"));
+  ProcessDomain client(fabric_, testutil::options("client"));
+  auto servant = std::make_shared<EchoServant>();
+  const ObjectRef ref = server.activate(servant);
+
+  ClientCall call(client, ref, testutil::ping_spec(), true);
+  call.request().write_string("fire");
+  call.invoke_oneway();
+
+  // Wait until served.
+  for (int i = 0; i < 500 && servant->ping_count() == 0; ++i) {
+    idle_for(kNanosPerMilli);
+  }
+  EXPECT_EQ(servant->ping_count(), 1);
+}
+
+TEST_F(DomainTest, AppErrorSurfacesThroughClientCall) {
+  ProcessDomain server(fabric_, testutil::options("server"));
+  ProcessDomain client(fabric_, testutil::options("client"));
+  const ObjectRef ref = server.activate(std::make_shared<EchoServant>());
+
+  ClientCall call(client, ref, testutil::boom_spec(), true);
+  WireCursor reply = call.invoke();
+  (void)reply;
+  EXPECT_TRUE(call.has_app_error());
+  EXPECT_EQ(call.app_error_name(), "Test::Boom");
+  EXPECT_EQ(call.app_error_text(), "requested failure");
+
+  // Probes fired on the error path too: 4 events.
+  EXPECT_EQ(client.monitor_runtime().store().size(), 2u);
+  EXPECT_EQ(server.monitor_runtime().store().size(), 2u);
+}
+
+TEST_F(DomainTest, UnknownObjectThrows) {
+  ProcessDomain server(fabric_, testutil::options("server"));
+  ProcessDomain client(fabric_, testutil::options("client"));
+  ObjectRef bogus{"server", 999, "Test::Echo"};
+  ClientCall call(client, bogus, testutil::echo_spec(), true);
+  call.request().write_string("x");
+  EXPECT_THROW(call.invoke(), ObjectNotFound);
+}
+
+TEST_F(DomainTest, UnknownDomainThrowsTransportError) {
+  ProcessDomain client(fabric_, testutil::options("client"));
+  ObjectRef bogus{"ghost", 1, "Test::Echo"};
+  ClientCall call(client, bogus, testutil::echo_spec(), true);
+  call.request().write_string("x");
+  EXPECT_THROW(call.invoke(), TransportError);
+}
+
+TEST_F(DomainTest, SlowServantTimesOut) {
+  auto server_opts = testutil::options("server");
+  ProcessDomain server(fabric_, server_opts);
+  auto client_opts = testutil::options("client");
+  client_opts.call_timeout = 30 * kNanosPerMilli;
+  ProcessDomain client(fabric_, client_opts);
+  const ObjectRef ref = server.activate(std::make_shared<EchoServant>());
+
+  ClientCall call(client, ref, testutil::slow_spec(), true);
+  call.request().write_i64(300 * kNanosPerMilli);
+  EXPECT_THROW(call.invoke(), TimeoutError);
+}
+
+TEST_F(DomainTest, LinkLatencyDelaysDelivery) {
+  fabric_.set_link_latency("client", "server", 50 * kNanosPerMilli);
+  ProcessDomain server(fabric_, testutil::options("server"));
+  ProcessDomain client(fabric_, testutil::options("client"));
+  const ObjectRef ref = server.activate(std::make_shared<EchoServant>());
+
+  const Nanos t0 = steady_now_ns();
+  ClientCall call(client, ref, testutil::echo_spec(), true);
+  call.request().write_string("x");
+  call.invoke();
+  EXPECT_GE(steady_now_ns() - t0, 50 * kNanosPerMilli);
+}
+
+TEST_F(DomainTest, FabricCountsBytes) {
+  ProcessDomain server(fabric_, testutil::options("server"));
+  ProcessDomain client(fabric_, testutil::options("client"));
+  const ObjectRef ref = server.activate(std::make_shared<EchoServant>());
+  const auto before = fabric_.bytes_sent();
+  ClientCall call(client, ref, testutil::echo_spec(), true);
+  call.request().write_string("x");
+  call.invoke();
+  EXPECT_GT(fabric_.bytes_sent(), before);
+}
+
+TEST_F(DomainTest, UninstrumentedCallProducesNoRecordsButWorks) {
+  ProcessDomain server(fabric_, testutil::options("server"));
+  ProcessDomain client(fabric_, testutil::options("client"));
+  const ObjectRef ref =
+      server.activate(std::make_shared<EchoServant>(/*instrumented=*/false));
+
+  ClientCall call(client, ref, testutil::echo_spec(), /*instrumented=*/false);
+  call.request().write_string("quiet");
+  WireCursor reply = call.invoke();
+  EXPECT_EQ(reply.read_string(), "quiet!");
+  EXPECT_EQ(client.monitor_runtime().store().size(), 0u);
+  EXPECT_EQ(server.monitor_runtime().store().size(), 0u);
+}
+
+TEST_F(DomainTest, MixedInstrumentationDegradesGracefully) {
+  // Instrumented client, plain servant: stub records exist, chain continues.
+  ProcessDomain server(fabric_, testutil::options("server"));
+  ProcessDomain client(fabric_, testutil::options("client"));
+  const ObjectRef ref =
+      server.activate(std::make_shared<EchoServant>(/*instrumented=*/false));
+
+  ClientCall call(client, ref, testutil::echo_spec(), true);
+  call.request().write_string("mix");
+  WireCursor reply = call.invoke();
+  EXPECT_EQ(reply.read_string(), "mix!");
+  EXPECT_EQ(client.monitor_runtime().store().size(), 2u);
+  EXPECT_EQ(server.monitor_runtime().store().size(), 0u);
+
+  // Plain client, instrumented servant: skeleton starts a fresh chain.
+  monitor::tss_clear();
+  const ObjectRef ref2 = server.activate(std::make_shared<EchoServant>(true));
+  ClientCall call2(client, ref2, testutil::echo_spec(), false);
+  call2.request().write_string("mix2");
+  call2.invoke();
+  EXPECT_EQ(server.monitor_runtime().store().size(), 2u);
+}
+
+TEST_F(DomainTest, ShutdownIsIdempotentAndFailsNewCalls) {
+  ProcessDomain server(fabric_, testutil::options("server"));
+  ProcessDomain client(fabric_, testutil::options("client"));
+  const ObjectRef ref = server.activate(std::make_shared<EchoServant>());
+  server.shutdown();
+  server.shutdown();
+
+  ClientCall call(client, ref, testutil::echo_spec(), true);
+  call.request().write_string("x");
+  EXPECT_THROW(call.invoke(), TransportError);
+}
+
+TEST_F(DomainTest, SequentialCallsFromOneThreadShareChain) {
+  ProcessDomain server(fabric_, testutil::options("server"));
+  ProcessDomain client(fabric_, testutil::options("client"));
+  const ObjectRef ref = server.activate(std::make_shared<EchoServant>());
+
+  for (int i = 0; i < 3; ++i) {
+    ClientCall call(client, ref, testutil::echo_spec(), true);
+    call.request().write_string("s");
+    call.invoke();
+  }
+  auto records = client.monitor_runtime().store().snapshot();
+  ASSERT_EQ(records.size(), 6u);
+  for (const auto& r : records) EXPECT_EQ(r.chain, records[0].chain);
+  // Contiguous global numbering across the three sibling calls: stub events
+  // are 1,4,5,8,9,12 client-side.
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(records[1].seq, 4u);
+  EXPECT_EQ(records[2].seq, 5u);
+  EXPECT_EQ(records[5].seq, 12u);
+}
+
+}  // namespace
+}  // namespace causeway::orb

@@ -1,0 +1,91 @@
+#include "orb/message.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/wire.h"
+
+namespace causeway::orb {
+namespace {
+
+TEST(Message, RequestRoundTrip) {
+  RequestMessage m;
+  m.call_id = 77;
+  m.reply_to = "clientA";
+  m.connection = "clientA#3";
+  m.object_key = 12;
+  m.method_id = 4;
+  m.oneway = true;
+  m.payload = {1, 2, 3, 4, 5};
+
+  const auto bytes = m.encode();
+  const RequestMessage d = RequestMessage::decode(bytes);
+  EXPECT_EQ(d.call_id, m.call_id);
+  EXPECT_EQ(d.reply_to, m.reply_to);
+  EXPECT_EQ(d.connection, m.connection);
+  EXPECT_EQ(d.object_key, m.object_key);
+  EXPECT_EQ(d.method_id, m.method_id);
+  EXPECT_EQ(d.oneway, m.oneway);
+  EXPECT_EQ(d.payload, m.payload);
+}
+
+TEST(Message, ReplyRoundTrip) {
+  ReplyMessage m;
+  m.call_id = 9;
+  m.status = ReplyStatus::kAppError;
+  m.error_name = "Bank::InsufficientFunds";
+  m.error_text = "balance too low";
+  m.payload = {9, 8, 7};
+
+  const auto bytes = m.encode();
+  const ReplyMessage d = ReplyMessage::decode(bytes);
+  EXPECT_EQ(d.call_id, m.call_id);
+  EXPECT_EQ(d.status, m.status);
+  EXPECT_EQ(d.error_name, m.error_name);
+  EXPECT_EQ(d.error_text, m.error_text);
+  EXPECT_EQ(d.payload, m.payload);
+}
+
+TEST(Message, EmptyPayloadRoundTrip) {
+  RequestMessage m;
+  const auto bytes = m.encode();
+  const RequestMessage d = RequestMessage::decode(bytes);
+  EXPECT_TRUE(d.payload.empty());
+  EXPECT_FALSE(d.oneway);
+}
+
+TEST(Message, TruncatedBytesThrow) {
+  RequestMessage m;
+  m.reply_to = "somewhere";
+  m.payload = {1, 2, 3};
+  auto bytes = m.encode();
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 3) {
+    std::vector<std::uint8_t> shorter(bytes.begin(),
+                                      bytes.end() - static_cast<long>(cut));
+    EXPECT_THROW(RequestMessage::decode(shorter), WireError);
+  }
+}
+
+class MessageFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MessageFuzz, RandomBytesNeverCrash) {
+  Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> bytes(rng.uniform(64));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform(256));
+    try {
+      (void)RequestMessage::decode(bytes);
+    } catch (const WireError&) {
+      // expected for malformed input
+    }
+    try {
+      (void)ReplyMessage::decode(bytes);
+    } catch (const WireError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MessageFuzz, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace causeway::orb

@@ -1,0 +1,165 @@
+// Server threading policies: all three uphold O1/O2, so concurrent clients
+// never get their causal chains intertwined (paper Sec. 2.2).
+#include "orb/policies.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "monitor/tss.h"
+#include "orb_test_util.h"
+
+namespace causeway::orb {
+namespace {
+
+using testutil::EchoServant;
+
+class PolicyTest : public ::testing::TestWithParam<PolicyKind> {
+ protected:
+  void SetUp() override { monitor::tss_clear(); }
+  void TearDown() override { monitor::tss_clear(); }
+  Fabric fabric_;
+};
+
+TEST_P(PolicyTest, ServesManySequentialCalls) {
+  ProcessDomain server(fabric_, testutil::options("server", GetParam()));
+  ProcessDomain client(fabric_, testutil::options("client"));
+  const ObjectRef ref = server.activate(std::make_shared<EchoServant>());
+
+  for (int i = 0; i < 50; ++i) {
+    ClientCall call(client, ref, testutil::add_spec(), true);
+    call.request().write_i32(i);
+    call.request().write_i32(1000);
+    WireCursor reply = call.invoke();
+    EXPECT_EQ(reply.read_i32(), i + 1000);
+  }
+}
+
+TEST_P(PolicyTest, ConcurrentClientsGetDistinctUntangledChains) {
+  ProcessDomain server(fabric_, testutil::options("server", GetParam()));
+  constexpr int kClients = 4;
+  constexpr int kCallsEach = 10;
+
+  std::vector<std::unique_ptr<ProcessDomain>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<ProcessDomain>(
+        fabric_, testutil::options("client" + std::to_string(c))));
+  }
+  const ObjectRef ref = server.activate(std::make_shared<EchoServant>());
+
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      monitor::tss_clear();
+      for (int i = 0; i < kCallsEach; ++i) {
+        ClientCall call(*clients[static_cast<std::size_t>(c)], ref,
+                        testutil::add_spec(), true);
+        call.request().write_i32(c);
+        call.request().write_i32(i);
+        WireCursor reply = call.invoke();
+        if (reply.read_i32() != c + i) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Each client thread formed exactly one chain; the server-side records
+  // must carry exactly kClients distinct chains, each with the full event
+  // complement (O2: pool/connection threads never leak a stale FTL).
+  auto server_records = server.monitor_runtime().store().snapshot();
+  EXPECT_EQ(server_records.size(),
+            static_cast<std::size_t>(kClients * kCallsEach * 2));
+  std::map<Uuid, int> events_per_chain;
+  for (const auto& r : server_records) events_per_chain[r.chain]++;
+  EXPECT_EQ(events_per_chain.size(), static_cast<std::size_t>(kClients));
+  for (const auto& [chain, n] : events_per_chain) {
+    EXPECT_EQ(n, kCallsEach * 2);
+  }
+}
+
+TEST_P(PolicyTest, OnewayFloodIsFullyServed) {
+  ProcessDomain server(fabric_, testutil::options("server", GetParam()));
+  ProcessDomain client(fabric_, testutil::options("client"));
+  auto servant = std::make_shared<EchoServant>();
+  const ObjectRef ref = server.activate(servant);
+
+  constexpr int kPings = 64;
+  for (int i = 0; i < kPings; ++i) {
+    ClientCall call(client, ref, testutil::ping_spec(), true);
+    call.request().write_string("p");
+    call.invoke_oneway();
+  }
+  for (int i = 0; i < 1000 && servant->ping_count() < kPings; ++i) {
+    idle_for(kNanosPerMilli);
+  }
+  EXPECT_EQ(servant->ping_count(), kPings);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
+                         ::testing::Values(PolicyKind::kThreadPerRequest,
+                                           PolicyKind::kThreadPerConnection,
+                                           PolicyKind::kThreadPool),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param)) == "thread-per-request"
+                                      ? "PerRequest"
+                                  : info.param == PolicyKind::kThreadPerConnection
+                                      ? "PerConnection"
+                                      : "Pool";
+                         });
+
+TEST(PolicyUnit, ThreadPerConnectionReusesWorkerPerConnection) {
+  std::atomic<int> served{0};
+  std::set<std::uint64_t> threads;
+  std::mutex mu;
+  ThreadPerConnectionPolicy policy([&](RequestMessage msg) {
+    (void)msg;
+    std::lock_guard lock(mu);
+    threads.insert(monitor::this_thread_ordinal());
+    served.fetch_add(1);
+  });
+  RequestMessage a;
+  a.connection = "connA";
+  RequestMessage b;
+  b.connection = "connB";
+  for (int i = 0; i < 10; ++i) {
+    policy.submit(a);
+    policy.submit(b);
+  }
+  policy.shutdown();
+  EXPECT_EQ(served.load(), 20);
+  EXPECT_EQ(threads.size(), 2u);  // one dedicated thread per connection
+  EXPECT_EQ(policy.connection_count(), 0u);  // reclaimed at shutdown
+}
+
+TEST(PolicyUnit, ThreadPoolBoundsWorkerSet) {
+  std::set<std::uint64_t> threads;
+  std::mutex mu;
+  ThreadPoolPolicy policy(
+      [&](RequestMessage) {
+        std::lock_guard lock(mu);
+        threads.insert(monitor::this_thread_ordinal());
+      },
+      3);
+  for (int i = 0; i < 100; ++i) policy.submit(RequestMessage{});
+  policy.shutdown();
+  EXPECT_LE(threads.size(), 3u);
+  EXPECT_GE(threads.size(), 1u);
+}
+
+TEST(PolicyUnit, ShutdownWaitsForInFlightWork) {
+  std::atomic<int> done{0};
+  ThreadPerRequestPolicy policy([&](RequestMessage) {
+    idle_for(20 * kNanosPerMilli);
+    done.fetch_add(1);
+  });
+  for (int i = 0; i < 4; ++i) policy.submit(RequestMessage{});
+  policy.shutdown();
+  EXPECT_EQ(done.load(), 4);
+}
+
+}  // namespace
+}  // namespace causeway::orb

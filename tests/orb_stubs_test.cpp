@@ -1,0 +1,135 @@
+// Unit-level corners of the stub/skeleton support classes.
+#include "orb/stubs.h"
+
+#include <gtest/gtest.h>
+
+#include "monitor/ftl.h"
+#include "monitor/tss.h"
+#include "orb_test_util.h"
+
+namespace causeway::orb {
+namespace {
+
+class StubsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { monitor::tss_clear(); }
+  void TearDown() override { monitor::tss_clear(); }
+  Fabric fabric_;
+};
+
+TEST_F(StubsTest, SkeletonGuardBodyEndIsIdempotent) {
+  ProcessDomain domain(fabric_, testutil::options("d"));
+  DispatchContext ctx;
+  ctx.kind = monitor::CallKind::kSync;
+  ctx.domain = &domain;
+  ctx.object_key = 3;
+
+  WireBuffer request;
+  monitor::append_ftl_trailer(request, {Uuid::generate(), 1});
+  WireCursor in(request);
+
+  SkeletonGuard guard(ctx, {"I", "f", 3}, in, true);
+  guard.body_end();
+  guard.body_end();  // no double event
+  WireBuffer out;
+  guard.seal(out);
+
+  // Exactly two records: skel_start + skel_end.
+  EXPECT_EQ(domain.monitor_runtime().store().size(), 2u);
+  // And exactly one trailer on the reply.
+  WireCursor reply(out);
+  EXPECT_TRUE(monitor::peel_ftl_trailer(reply).has_value());
+  EXPECT_FALSE(monitor::peel_ftl_trailer(reply).has_value());
+}
+
+TEST_F(StubsTest, SealWithoutBodyEndStillFiresProbe3) {
+  ProcessDomain domain(fabric_, testutil::options("d"));
+  DispatchContext ctx;
+  ctx.kind = monitor::CallKind::kSync;
+  ctx.domain = &domain;
+
+  WireBuffer request;
+  monitor::append_ftl_trailer(request, {Uuid::generate(), 1});
+  WireCursor in(request);
+  SkeletonGuard guard(ctx, {"I", "f", 1}, in, true);
+  WireBuffer out;
+  guard.seal(out);  // body_end was forgotten; seal covers it
+  EXPECT_EQ(domain.monitor_runtime().store().size(), 2u);
+}
+
+TEST_F(StubsTest, PlainGuardLeavesTrailerForUserCodeToIgnore) {
+  ProcessDomain domain(fabric_, testutil::options("d"));
+  DispatchContext ctx;
+  ctx.domain = &domain;
+
+  WireBuffer request;
+  request.write_i32(7);
+  monitor::append_ftl_trailer(request, {Uuid::generate(), 1});
+  WireCursor in(request);
+
+  // A plain skeleton still peels (so unmarshaling sees clean params) but
+  // fires no probes and appends no reply trailer.
+  SkeletonGuard guard(ctx, {"I", "f", 1}, in, /*instrumented=*/false);
+  EXPECT_EQ(in.read_i32(), 7);
+  EXPECT_EQ(in.remaining(), 0u);
+  WireBuffer out;
+  guard.seal(out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(domain.monitor_runtime().store().size(), 0u);
+}
+
+TEST_F(StubsTest, ClientCallOutcomeRecordedOnFailurePaths) {
+  ProcessDomain server(fabric_, testutil::options("server"));
+  ProcessDomain client(fabric_, testutil::options("client"));
+  const ObjectRef ref =
+      server.activate(std::make_shared<testutil::EchoServant>());
+
+  ClientCall call(client, ref, testutil::boom_spec(), true);
+  call.invoke();
+  ASSERT_TRUE(call.has_app_error());
+
+  // Client stub_end and server skel_end both carry the app-error outcome.
+  for (const auto& r : client.monitor_runtime().store().snapshot()) {
+    if (r.event == monitor::EventKind::kStubEnd) {
+      EXPECT_EQ(r.outcome, monitor::CallOutcome::kAppError);
+    }
+  }
+  for (const auto& r : server.monitor_runtime().store().snapshot()) {
+    if (r.event == monitor::EventKind::kSkelEnd) {
+      EXPECT_EQ(r.outcome, monitor::CallOutcome::kAppError);
+    }
+  }
+}
+
+TEST_F(StubsTest, KindDecisionMatrix) {
+  auto opts = testutil::options("solo");
+  ProcessDomain domain(fabric_, opts);
+  ProcessDomain other(fabric_, testutil::options("other"));
+  const ObjectRef local_ref =
+      domain.activate(std::make_shared<testutil::EchoServant>());
+  const ObjectRef remote_ref =
+      other.activate(std::make_shared<testutil::EchoServant>());
+
+  EXPECT_EQ(ClientCall(domain, local_ref, testutil::echo_spec(), true).kind(),
+            monitor::CallKind::kCollocated);
+  EXPECT_EQ(ClientCall(domain, remote_ref, testutil::echo_spec(), true).kind(),
+            monitor::CallKind::kSync);
+  // Oneway is never collocated-optimized, even same-domain.
+  EXPECT_EQ(ClientCall(domain, local_ref, testutil::ping_spec(), true).kind(),
+            monitor::CallKind::kOneway);
+}
+
+TEST_F(StubsTest, RequestBufferAccumulatesBeforeInvoke) {
+  ProcessDomain server(fabric_, testutil::options("server"));
+  ProcessDomain client(fabric_, testutil::options("client"));
+  const ObjectRef ref =
+      server.activate(std::make_shared<testutil::EchoServant>());
+
+  ClientCall call(client, ref, testutil::add_spec(), true);
+  call.request().write_i32(2);
+  call.request().write_i32(40);
+  EXPECT_EQ(call.invoke().read_i32(), 42);
+}
+
+}  // namespace
+}  // namespace causeway::orb

@@ -1,0 +1,105 @@
+// Shared fixtures for ORB-level tests: a hand-written echo servant that
+// follows the same guard protocol generated skeletons use.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/work.h"
+#include "orb/domain.h"
+#include "orb/stubs.h"
+
+namespace causeway::orb::testutil {
+
+// Methods: 0 echo(string)->string, 1 add(i32,i32)->i32, 2 boom() throws,
+// 3 oneway ping(string), 4 slow(i64 ns idle)->void, 5 burn(i64 cpu ns)->void.
+class EchoServant final : public Servant {
+ public:
+  explicit EchoServant(bool instrumented = true)
+      : instrumented_(instrumented) {}
+
+  std::string_view interface_name() const override { return "Test::Echo"; }
+
+  int ping_count() const { return ping_count_.load(); }
+
+  DispatchResult dispatch(DispatchContext& ctx, MethodId method,
+                          WireCursor& in, WireBuffer& out) override {
+    static constexpr std::string_view kNames[] = {"echo", "add",  "boom",
+                                                  "ping", "slow", "burn"};
+    const std::string_view name = method < 6 ? kNames[method] : "?";
+    SkeletonGuard guard(ctx,
+                        monitor::CallIdentity{"Test::Echo", name,
+                                              ctx.object_key},
+                        in, instrumented_);
+    DispatchResult r;
+    switch (method) {
+      case 0: {
+        const std::string s = in.read_string();
+        guard.body_end();
+        out.write_string(s + "!");
+        break;
+      }
+      case 1: {
+        const std::int32_t a = in.read_i32();
+        const std::int32_t b = in.read_i32();
+        guard.body_end();
+        out.write_i32(a + b);
+        break;
+      }
+      case 2: {
+        guard.body_end(monitor::CallOutcome::kAppError);
+        r.status = ReplyStatus::kAppError;
+        r.error_name = "Test::Boom";
+        r.error_text = "requested failure";
+        break;
+      }
+      case 3: {
+        const std::string s = in.read_string();
+        (void)s;
+        ping_count_.fetch_add(1);
+        guard.body_end();
+        break;
+      }
+      case 4: {
+        const std::int64_t ns = in.read_i64();
+        idle_for(ns);
+        guard.body_end();
+        break;
+      }
+      case 5: {
+        const std::int64_t ns = in.read_i64();
+        burn_cpu(ns);
+        guard.body_end();
+        break;
+      }
+      default:
+        guard.body_end();
+        r.status = ReplyStatus::kSystemError;
+        r.error_text = "unknown method";
+    }
+    guard.seal(out);
+    return r;
+  }
+
+ private:
+  bool instrumented_;
+  std::atomic<int> ping_count_{0};
+};
+
+inline MethodSpec echo_spec() { return {"Test::Echo", "echo", 0, false}; }
+inline MethodSpec add_spec() { return {"Test::Echo", "add", 1, false}; }
+inline MethodSpec boom_spec() { return {"Test::Echo", "boom", 2, false}; }
+inline MethodSpec ping_spec() { return {"Test::Echo", "ping", 3, true}; }
+inline MethodSpec slow_spec() { return {"Test::Echo", "slow", 4, false}; }
+inline MethodSpec burn_spec() { return {"Test::Echo", "burn", 5, false}; }
+
+inline DomainOptions options(std::string name,
+                             PolicyKind policy = PolicyKind::kThreadPool) {
+  DomainOptions opts;
+  opts.process_name = std::move(name);
+  opts.policy = policy;
+  opts.pool_size = 2;
+  return opts;
+}
+
+}  // namespace causeway::orb::testutil

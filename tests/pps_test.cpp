@@ -1,0 +1,283 @@
+// The Printing Pipeline Simulator end to end: topologies, probe modes,
+// hostile clocks, typed exceptions, and the reconstructed job shape.
+#include "pps/pps_system.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/ccsg.h"
+#include "analysis/cpu.h"
+#include "analysis/dscg.h"
+#include "analysis/latency.h"
+#include "monitor/tss.h"
+
+namespace causeway::pps {
+namespace {
+
+class PpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { monitor::tss_clear(); }
+  void TearDown() override { monitor::tss_clear(); }
+};
+
+analysis::Dscg analyze(PpsSystem& system, analysis::LogDatabase& db) {
+  system.wait_quiescent();
+  db.ingest(system.collect());
+  return analysis::Dscg::build(db);
+}
+
+TEST_F(PpsTest, MonolithicJobShape) {
+  orb::Fabric fabric;
+  PpsConfig config;
+  config.topology = PpsConfig::Topology::kMonolithic;
+  config.cpu_scale = 0.1;
+  PpsSystem system(fabric, config);
+
+  EXPECT_EQ(system.domain_count(), 1u);
+  EXPECT_EQ(system.submit_job(/*pages=*/2, /*dpi=*/300, /*color=*/true), 1);
+
+  analysis::LogDatabase db;
+  auto dscg = analyze(system, db);
+  EXPECT_EQ(dscg.anomaly_count(), 0u);
+
+  // submit at the top with the documented pipeline below it.
+  ASSERT_EQ(dscg.roots().size(), 1u);
+  const auto& tops = dscg.roots()[0]->root->children;
+  ASSERT_EQ(tops.size(), 1u);
+  const analysis::CallNode& submit = *tops[0];
+  EXPECT_EQ(submit.function_name, "submit");
+  EXPECT_EQ(submit.interface_name, "PPS::JobQueue");
+
+  std::map<std::string_view, int> child_counts;
+  for (const auto& c : submit.children) {
+    child_counts[c->function_name]++;
+  }
+  EXPECT_EQ(child_counts["parse"], 1);
+  EXPECT_EQ(child_counts["layout"], 1);
+  EXPECT_EQ(child_counts["rasterize"], 2);   // one per page
+  EXPECT_EQ(child_counts["compress"], 2);
+  EXPECT_EQ(child_counts["mark"], 2);
+  EXPECT_EQ(child_counts["spool"], 2);
+  EXPECT_EQ(child_counts["notify"], 2);      // received + done
+
+  // layout fans out to fonts and the resource manager.
+  for (const auto& c : submit.children) {
+    if (c->function_name == "layout") {
+      std::set<std::string_view> grandchildren;
+      for (const auto& g : c->children) grandchildren.insert(g->function_name);
+      EXPECT_TRUE(grandchildren.contains("resolve"));
+      EXPECT_TRUE(grandchildren.contains("reserve"));
+      EXPECT_TRUE(grandchildren.contains("release_units"));
+    }
+    if (c->function_name == "rasterize") {
+      ASSERT_EQ(c->children.size(), 1u);
+      EXPECT_EQ(c->children[0]->function_name, "convert");
+    }
+  }
+
+  // Oneway notifications spawned child chains hanging off the submit tree.
+  std::size_t spawned = 0;
+  dscg.visit([&](const analysis::CallNode& node, int) {
+    spawned += node.spawned.size();
+  });
+  EXPECT_EQ(spawned, 2u);
+
+  // Monolithic + collocation: every synchronous call is collocated.
+  dscg.visit([&](const analysis::CallNode& node, int) {
+    if (node.kind != monitor::CallKind::kOneway) {
+      EXPECT_EQ(node.kind, monitor::CallKind::kCollocated);
+    }
+  });
+}
+
+TEST_F(PpsTest, FourProcessLatencyAnnotates) {
+  orb::Fabric fabric;
+  PpsConfig config;
+  config.topology = PpsConfig::Topology::kFourProcess;
+  config.cpu_scale = 0.1;
+  PpsSystem system(fabric, config);
+  EXPECT_EQ(system.domain_count(), 4u);
+  system.submit_job(1, 150, false);
+
+  analysis::LogDatabase db;
+  auto dscg = analyze(system, db);
+  EXPECT_EQ(dscg.anomaly_count(), 0u);
+
+  auto report = analysis::annotate_latency(dscg);
+  EXPECT_GT(report.annotated, 8u);
+  EXPECT_EQ(report.skipped, 0u);
+
+  // Remote calls crossed processes; latency must be positive everywhere and
+  // the parent's latency must dominate any single child's.
+  dscg.visit([&](const analysis::CallNode& node, int) {
+    ASSERT_TRUE(node.latency.has_value());
+    EXPECT_GE(*node.latency, 0);
+  });
+  const analysis::CallNode& submit = *dscg.roots()[0]->root->children[0];
+  for (const auto& child : submit.children) {
+    if (child->kind == monitor::CallKind::kOneway) continue;
+    EXPECT_GT(*submit.latency, *child->latency);
+  }
+}
+
+TEST_F(PpsTest, HostileClocksDoNotBreakAnalysis) {
+  // Hours of skew and hundreds of ppm of drift across the four domains:
+  // since analysis only differences same-domain samples, results stay sane.
+  orb::Fabric fabric;
+  PpsConfig config;
+  config.topology = PpsConfig::Topology::kFourProcess;
+  config.hostile_clocks = true;
+  config.cpu_scale = 0.1;
+  PpsSystem system(fabric, config);
+  system.submit_job(1, 150, true);
+
+  analysis::LogDatabase db;
+  auto dscg = analyze(system, db);
+  EXPECT_EQ(dscg.anomaly_count(), 0u);
+  auto report = analysis::annotate_latency(dscg);
+  EXPECT_EQ(report.skipped, 0u);
+  dscg.visit([&](const analysis::CallNode& node, int) {
+    ASSERT_TRUE(node.latency.has_value());
+    EXPECT_GE(*node.latency, 0);
+    EXPECT_LT(*node.latency, 60 * kNanosPerSecond);  // no hour-sized garbage
+  });
+}
+
+TEST_F(PpsTest, CpuModeAndCcsg) {
+  orb::Fabric fabric;
+  PpsConfig config;
+  config.topology = PpsConfig::Topology::kFourProcess;
+  config.monitor.mode = monitor::ProbeMode::kCpu;
+  config.cpu_scale = 0.5;
+  PpsSystem system(fabric, config);
+  system.submit_job(2, 300, true);
+  system.submit_job(2, 300, true);
+
+  analysis::LogDatabase db;
+  auto dscg = analyze(system, db);
+  EXPECT_EQ(dscg.anomaly_count(), 0u);
+
+  auto report = analysis::annotate_cpu(dscg);
+  EXPECT_GT(report.annotated, 10u);
+
+  const analysis::CallNode& submit = *dscg.roots()[0]->root->children[0];
+  EXPECT_GT(submit.self_cpu.total(), 0);
+  EXPECT_GT(submit.descendant_cpu.total(), submit.self_cpu.total());
+
+  analysis::Ccsg ccsg = analysis::Ccsg::build(dscg);
+  EXPECT_GE(ccsg.roots().size(), 1u);
+  const std::string xml = ccsg.to_xml();
+  EXPECT_NE(xml.find("PPS::JobQueue"), std::string::npos);
+  EXPECT_NE(xml.find("InvocationTimes=\"2\""), std::string::npos);
+  EXPECT_NE(xml.find("DescendentCPUConsumption"), std::string::npos);
+}
+
+TEST_F(PpsTest, RejectedJobThrowsTypedExceptionAndKeepsChain) {
+  orb::Fabric fabric;
+  PpsConfig config;
+  config.topology = PpsConfig::Topology::kMonolithic;
+  config.cpu_scale = 0.1;
+  PpsSystem system(fabric, config);
+
+  try {
+    system.submit_job(/*pages=*/0, 300, false);
+    FAIL() << "expected PPS::JobRejected";
+  } catch (const PPS::JobRejected& rejected) {
+    EXPECT_EQ(rejected.reason, "job has no pages");
+  }
+
+  analysis::LogDatabase db;
+  auto dscg = analyze(system, db);
+  EXPECT_EQ(dscg.anomaly_count(), 0u);  // exception path logged all probes
+}
+
+TEST_F(PpsTest, OversizedJobRejectedViaIdlConst) {
+  orb::Fabric fabric;
+  PpsConfig config;
+  config.topology = PpsConfig::Topology::kMonolithic;
+  config.cpu_scale = 0.05;
+  PpsSystem system(fabric, config);
+  EXPECT_EQ(PPS::kMaxPagesPerJob, 512);
+  try {
+    system.submit_job(PPS::kMaxPagesPerJob + 1, 300, false);
+    FAIL() << "expected PPS::JobRejected";
+  } catch (const PPS::JobRejected& rejected) {
+    EXPECT_NE(rejected.reason.find("kMaxPagesPerJob"), std::string::npos);
+  }
+}
+
+TEST_F(PpsTest, PerComponentTopologyWorks) {
+  orb::Fabric fabric;
+  PpsConfig config;
+  config.topology = PpsConfig::Topology::kPerComponent;
+  config.cpu_scale = 0.05;
+  PpsSystem system(fabric, config);
+  EXPECT_EQ(system.domain_count(), 11u);
+  system.submit_job(1, 100, false);
+
+  analysis::LogDatabase db;
+  auto dscg = analyze(system, db);
+  EXPECT_EQ(dscg.anomaly_count(), 0u);
+  // Calls spread across many processes.
+  std::set<std::string_view> processes;
+  for (const auto& r : db.records()) processes.insert(r.process_name);
+  EXPECT_GE(processes.size(), 5u);
+}
+
+TEST_F(PpsTest, HybridComTopologyKeepsOneChainPerJob) {
+  // The paper's CORBA/COM hybrid: ColorConverter and Compressor live in COM
+  // apartments behind FTL-aware bridges; causality must still span the whole
+  // pipeline as a single chain per job (plus oneway spawns).
+  orb::Fabric fabric;
+  PpsConfig config;
+  config.topology = PpsConfig::Topology::kHybridCom;
+  config.cpu_scale = 0.1;
+  PpsSystem system(fabric, config);
+  system.submit_job(2, 200, true);
+
+  analysis::LogDatabase db;
+  auto dscg = analyze(system, db);
+  EXPECT_EQ(dscg.anomaly_count(), 0u);
+
+  // Convert/compress bodies executed in the COM process.
+  std::size_t com_hosted = 0;
+  dscg.visit([&](const analysis::CallNode& node, int) {
+    if (node.server_process() == "pps-com") {
+      ++com_hosted;
+      EXPECT_TRUE(node.function_name == "convert" ||
+                  node.function_name == "compress");
+    }
+  });
+  EXPECT_EQ(com_hosted, 4u);  // 2 pages x (convert + compress)
+
+  // Still one main chain (the two oneway notifications spawn their own).
+  std::size_t non_spawned_roots = 0;
+  for (const auto& tree : dscg.roots()) {
+    if (!tree->oneway_child) ++non_spawned_roots;
+  }
+  EXPECT_EQ(non_spawned_roots, 1u);
+
+  // Latency annotates across the infrastructure boundary.
+  auto report = analysis::annotate_latency(dscg);
+  EXPECT_EQ(report.skipped, 0u);
+}
+
+TEST_F(PpsTest, ManualProbesCaptureGroundTruth) {
+  orb::Fabric fabric;
+  PpsConfig config;
+  config.topology = PpsConfig::Topology::kMonolithic;
+  config.cpu_scale = 0.2;
+  ManualProbes manual;
+  PpsSystem system(fabric, config, &manual);
+  system.submit_job(2, 200, false);
+
+  EXPECT_EQ(manual.samples("PPS::JobQueue::submit").size(), 1u);
+  EXPECT_EQ(manual.samples("PPS::Rasterizer::rasterize").size(), 2u);
+  EXPECT_GT(manual.mean_wall("PPS::JobQueue::submit"), 0.0);
+  EXPECT_GT(manual.mean_cpu("PPS::JobQueue::submit"), 0.0);
+  // The whole submit costs at least as much as any inner stage.
+  EXPECT_GT(manual.mean_wall("PPS::JobQueue::submit"),
+            manual.mean_wall("PPS::Rasterizer::rasterize"));
+}
+
+}  // namespace
+}  // namespace causeway::pps

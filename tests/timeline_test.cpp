@@ -1,0 +1,119 @@
+#include "analysis/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis_test_util.h"
+
+namespace causeway::analysis {
+namespace {
+
+using monitor::CallKind;
+using monitor::EventKind;
+using testutil::Scribe;
+
+struct TimelineFixture {
+  LogDatabase db;
+  Dscg dscg;
+  std::vector<TimelineEntry> entries;
+
+  TimelineFixture() {
+    Scribe s;
+    // F served on procB/thread 2, window [110, 400]; its child G on
+    // procC/thread 3, window [210, 300].
+    s.emit(EventKind::kStubStart, CallKind::kSync, "I", "F", 0, 1);
+    s.emit(EventKind::kSkelStart, CallKind::kSync, "I", "F", 100, 110,
+           "procB", 2);
+    s.emit(EventKind::kStubStart, CallKind::kSync, "I", "G", 150, 151,
+           "procB", 2);
+    s.emit(EventKind::kSkelStart, CallKind::kSync, "I", "G", 200, 210,
+           "procC", 3);
+    s.emit(EventKind::kSkelEnd, CallKind::kSync, "I", "G", 300, 301,
+           "procC", 3);
+    s.emit(EventKind::kStubEnd, CallKind::kSync, "I", "G", 350, 351,
+           "procB", 2);
+    s.emit(EventKind::kSkelEnd, CallKind::kSync, "I", "F", 400, 401,
+           "procB", 2);
+    s.emit(EventKind::kStubEnd, CallKind::kSync, "I", "F", 500, 501);
+    db.ingest_records(s.records());
+    dscg = Dscg::build(db);
+    entries = build_timeline(dscg);
+  }
+};
+
+TEST(Timeline, ExtractsServerSideWindows) {
+  TimelineFixture f;
+  ASSERT_EQ(f.entries.size(), 2u);
+  // Sorted by (process, thread, start): procB before procC.
+  EXPECT_EQ(f.entries[0].process, "procB");
+  EXPECT_EQ(f.entries[0].function_name, "F");
+  EXPECT_EQ(f.entries[0].start, 110);
+  EXPECT_EQ(f.entries[0].end, 400);
+  EXPECT_EQ(f.entries[0].span(), 290);
+  EXPECT_EQ(f.entries[1].process, "procC");
+  EXPECT_EQ(f.entries[1].thread, 3u);
+  EXPECT_EQ(f.entries[1].function_name, "G");
+  // Both carry the one causal chain -- what OVATION cannot provide.
+  EXPECT_EQ(f.entries[0].chain, f.entries[1].chain);
+}
+
+TEST(Timeline, StubOnlyNodesAreExcluded) {
+  Scribe s;
+  s.emit(EventKind::kStubStart, CallKind::kSync, "I", "F", 0, 1);
+  s.emit(EventKind::kStubEnd, CallKind::kSync, "I", "F", 10, 11);
+  LogDatabase db;
+  db.ingest_records(s.records());
+  Dscg dscg = Dscg::build(db);
+  EXPECT_TRUE(build_timeline(dscg).empty());
+}
+
+TEST(Timeline, CpuModeRecordsAreExcluded) {
+  Scribe s(monitor::ProbeMode::kCpu);
+  Nanos t[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+  s.leaf_sync("I", "F", t);
+  LogDatabase db;
+  db.ingest_records(s.records());
+  Dscg dscg = Dscg::build(db);
+  EXPECT_TRUE(build_timeline(dscg).empty());
+}
+
+TEST(Timeline, TextGroupsByLane) {
+  TimelineFixture f;
+  const std::string text = timeline_to_text(f.entries);
+  EXPECT_NE(text.find("== procB / thread 2 =="), std::string::npos);
+  EXPECT_NE(text.find("== procC / thread 3 =="), std::string::npos);
+  EXPECT_NE(text.find("I::F [sync]"), std::string::npos);
+  EXPECT_LT(text.find("procB"), text.find("procC"));
+}
+
+TEST(Timeline, CsvHasHeaderAndOneRowPerEntry) {
+  TimelineFixture f;
+  const std::string csv = timeline_to_csv(f.entries);
+  EXPECT_EQ(csv.rfind("process,thread,", 0), 0u);
+  std::size_t rows = 0, pos = 0;
+  while ((pos = csv.find('\n', pos)) != std::string::npos) {
+    ++rows;
+    ++pos;
+  }
+  EXPECT_EQ(rows, 1u + f.entries.size());
+  EXPECT_NE(csv.find("procC,3,I,G,sync,210,300,"), std::string::npos);
+}
+
+TEST(Timeline, LanesAreTimeOrdered) {
+  // Two sibling calls served by the same thread must appear in time order.
+  Scribe s;
+  Nanos t1[8] = {0, 1, 10, 11, 40, 41, 50, 51};
+  s.leaf_sync("I", "first", t1, "procA", "procB");
+  Nanos t2[8] = {60, 61, 70, 71, 90, 91, 100, 101};
+  s.leaf_sync("I", "second", t2, "procA", "procB");
+  LogDatabase db;
+  db.ingest_records(s.records());
+  Dscg dscg = Dscg::build(db);
+  const auto entries = build_timeline(dscg);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].function_name, "first");
+  EXPECT_EQ(entries[1].function_name, "second");
+  EXPECT_LE(entries[0].end, entries[1].start);
+}
+
+}  // namespace
+}  // namespace causeway::analysis

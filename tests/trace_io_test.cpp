@@ -1,0 +1,225 @@
+#include "analysis/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "analysis/cpu.h"
+#include "analysis/dscg.h"
+#include "analysis/report.h"
+#include "workload/logsynth.h"
+
+namespace causeway::analysis {
+namespace {
+
+monitor::CollectedLogs sample_logs() {
+  monitor::CollectedLogs logs;
+  logs.domains.push_back({monitor::DomainIdentity{"procA", "node0", "x86"},
+                          monitor::ProbeMode::kLatency, 2});
+  logs.domains.push_back({monitor::DomainIdentity{"procB", "node1", "pa-risc"},
+                          monitor::ProbeMode::kLatency, 2});
+
+  const Uuid chain = Uuid::generate();
+  auto rec = [&](std::uint64_t seq, monitor::EventKind event,
+                 std::string_view process) {
+    monitor::TraceRecord r;
+    r.chain = chain;
+    r.seq = seq;
+    r.event = event;
+    r.kind = monitor::CallKind::kSync;
+    r.outcome = seq >= 3 ? monitor::CallOutcome::kAppError
+                         : monitor::CallOutcome::kOk;
+    r.interface_name = "Trace::Iface";
+    r.function_name = "fn";
+    r.object_key = 11;
+    r.process_name = process;
+    r.node_name = "node";
+    r.processor_type = "x86";
+    r.thread_ordinal = 5;
+    r.mode = monitor::ProbeMode::kLatency;
+    r.value_start = static_cast<Nanos>(seq * 100);
+    r.value_end = static_cast<Nanos>(seq * 100 + 7);
+    return r;
+  };
+  logs.records.push_back(rec(1, monitor::EventKind::kStubStart, "procA"));
+  logs.records.push_back(rec(2, monitor::EventKind::kSkelStart, "procB"));
+  logs.records.push_back(rec(3, monitor::EventKind::kSkelEnd, "procB"));
+  logs.records.push_back(rec(4, monitor::EventKind::kStubEnd, "procA"));
+  return logs;
+}
+
+TEST(TraceIo, EncodeDecodeRoundTrip) {
+  const auto logs = sample_logs();
+  const auto bytes = encode_trace(logs);
+
+  LogDatabase db;
+  EXPECT_EQ(decode_trace(bytes, db), 4u);
+  ASSERT_EQ(db.size(), 4u);
+  ASSERT_EQ(db.domains().size(), 2u);
+  EXPECT_EQ(db.domains()[1].process_name, "procB");
+  EXPECT_EQ(db.domains()[1].processor_type, "pa-risc");
+
+  const auto& r = db.records()[2];
+  EXPECT_EQ(r.seq, 3u);
+  EXPECT_EQ(r.event, monitor::EventKind::kSkelEnd);
+  EXPECT_EQ(r.outcome, monitor::CallOutcome::kAppError);
+  EXPECT_EQ(r.interface_name, "Trace::Iface");
+  EXPECT_EQ(r.process_name, "procB");
+  EXPECT_EQ(r.value_end, 307);
+
+  // The decoded stream reconstructs like the live one.
+  auto dscg = Dscg::build(db);
+  EXPECT_EQ(dscg.call_count(), 1u);
+  EXPECT_EQ(dscg.anomaly_count(), 0u);
+  EXPECT_TRUE(dscg.roots()[0]->root->children[0]->failed());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "causeway_t.cwt";
+  write_trace_file(path.string(), sample_logs());
+  LogDatabase db;
+  EXPECT_EQ(read_trace_file(path.string(), db), 4u);
+  EXPECT_EQ(db.size(), 4u);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  LogDatabase db;
+  EXPECT_THROW(read_trace_file("/no/such/file.cwt", db), TraceIoError);
+}
+
+TEST(TraceIo, CorruptBytesThrow) {
+  auto bytes = encode_trace(sample_logs());
+  // Wrong magic.
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  LogDatabase db1;
+  EXPECT_THROW(decode_trace(bad_magic, db1), TraceIoError);
+  // Truncations anywhere must throw, never crash.
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 13) {
+    std::vector<std::uint8_t> shorter(bytes.begin(),
+                                      bytes.end() - static_cast<long>(cut));
+    LogDatabase db2;
+    EXPECT_THROW(decode_trace(shorter, db2), TraceIoError);
+  }
+}
+
+TEST(TraceIo, LargeStreamRoundTrip) {
+  // Full paper-shape stream through the codec.
+  workload::LogSynthConfig config;
+  config.total_calls = 5'000;
+  LogDatabase source;
+  workload::synthesize_logs(config, source);
+
+  monitor::CollectedLogs logs;
+  logs.records = source.records();
+  const auto bytes = encode_trace(logs);
+
+  LogDatabase decoded;
+  EXPECT_EQ(decode_trace(bytes, decoded), source.size());
+  auto dscg_a = Dscg::build(source);
+  auto dscg_b = Dscg::build(decoded);
+  EXPECT_EQ(dscg_a.call_count(), dscg_b.call_count());
+  EXPECT_EQ(dscg_a.anomaly_count(), dscg_b.anomaly_count());
+  EXPECT_EQ(dscg_a.chains().size(), dscg_b.chains().size());
+}
+
+TEST(Report, RendersAllSections) {
+  workload::LogSynthConfig config;
+  config.total_calls = 800;
+  config.drop_fraction = 0.01;
+  LogDatabase db;
+  workload::synthesize_logs(config, db);
+  auto dscg = Dscg::build(db);
+
+  const std::string report = characterization_report(dscg, db);
+  EXPECT_NE(report.find("characterization report"), std::string::npos);
+  EXPECT_NE(report.find("probe mode: latency"), std::string::npos);
+  EXPECT_NE(report.find("--- per function ---"), std::string::npos);
+  EXPECT_NE(report.find("--- calls served per process ---"), std::string::npos);
+  EXPECT_NE(report.find("--- cross-process invocations"), std::string::npos);
+  EXPECT_NE(report.find("--- slowest calls"), std::string::npos);
+  EXPECT_NE(report.find("--- anomalies ---"), std::string::npos);
+}
+
+TEST(Report, SummaryJsonIsBalancedAndComplete) {
+  workload::LogSynthConfig config;
+  config.total_calls = 500;
+  LogDatabase db;
+  workload::synthesize_logs(config, db);
+  auto dscg = Dscg::build(db);
+  const std::string json = summary_json(dscg, db);
+
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key :
+       {"\"records\":", "\"chains\":", "\"calls\":", "\"anomalies\":",
+        "\"failures\":", "\"mode\":\"latency\"", "\"topology\":",
+        "\"transaction_latency_us\":", "\"total_self_cpu_us\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  int braces = 0;
+  for (char c : json) braces += (c == '{') - (c == '}');
+  EXPECT_EQ(braces, 0);
+}
+
+TEST(LogSynthCpu, CpuModeStreamsAnnotate) {
+  workload::LogSynthConfig config;
+  config.mode = monitor::ProbeMode::kCpu;
+  config.total_calls = 2'000;
+  LogDatabase db;
+  const auto stats = workload::synthesize_logs(config, db);
+  EXPECT_EQ(db.primary_mode(), monitor::ProbeMode::kCpu);
+
+  auto dscg = Dscg::build(db);
+  EXPECT_EQ(dscg.anomaly_count(), 0u);
+  auto report = annotate_cpu(dscg);
+  EXPECT_GT(report.annotated, stats.calls / 2);
+
+  // Self CPU is non-negative everywhere (clamped) and positive somewhere.
+  Nanos total = 0;
+  dscg.visit([&](const CallNode& node, int) {
+    EXPECT_GE(node.self_cpu.total(), 0);
+    total += node.self_cpu.total();
+  });
+  EXPECT_GT(total, 0);
+}
+
+TEST(Report, CpuModeShowsProcessorAxes) {
+  // Build a tiny CPU-mode stream by hand.
+  monitor::CollectedLogs logs;
+  const Uuid chain = Uuid::generate();
+  auto rec = [&](std::uint64_t seq, monitor::EventKind event, Nanos v0,
+                 Nanos v1) {
+    monitor::TraceRecord r;
+    r.chain = chain;
+    r.seq = seq;
+    r.event = event;
+    r.kind = monitor::CallKind::kSync;
+    r.interface_name = "I";
+    r.function_name = "f";
+    r.process_name = "procA";
+    r.node_name = "n";
+    r.processor_type = "pa-risc";
+    r.mode = monitor::ProbeMode::kCpu;
+    r.value_start = v0;
+    r.value_end = v1;
+    return r;
+  };
+  logs.records.push_back(rec(1, monitor::EventKind::kStubStart, 0, 1));
+  logs.records.push_back(rec(2, monitor::EventKind::kSkelStart, 100, 110));
+  logs.records.push_back(rec(3, monitor::EventKind::kSkelEnd, 5110, 5120));
+  logs.records.push_back(rec(4, monitor::EventKind::kStubEnd, 10, 11));
+
+  LogDatabase db;
+  db.ingest(logs);
+  auto dscg = Dscg::build(db);
+  const std::string report = characterization_report(dscg, db);
+  EXPECT_NE(report.find("probe mode: cpu"), std::string::npos);
+  EXPECT_NE(report.find("self cpu us"), std::string::npos);
+  EXPECT_NE(report.find("pa-risc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace causeway::analysis

@@ -1,0 +1,144 @@
+// causeway-analyze -- the stand-alone off-line analyzer.
+//
+// Reads one or more trace files (from causeway-record or any embedding of
+// analysis::write_trace_file), reconstructs the DSCG, annotates it per the
+// captured probe mode, and renders the requested artifact.
+//
+// Usage:
+//   causeway-analyze <trace.cwt> [more.cwt ...]
+//                    [--report | --text | --dot | --json | --ccsg]
+//                    [--max-nodes=N] [-o <file>]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/ccsg.h"
+#include "analysis/cpu.h"
+#include "analysis/diff.h"
+#include "analysis/dscg.h"
+#include "analysis/export.h"
+#include "analysis/latency.h"
+#include "analysis/report.h"
+#include "analysis/timeline.h"
+#include "analysis/trace_io.h"
+
+using namespace causeway;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: causeway-analyze <trace.cwt> [more.cwt ...]\n"
+               "           [--report|--summary|--text|--dot|--json|--ccsg|"
+               "--html|\n"
+               "            --timeline|--timeline-csv|--diff]\n"
+               "           [--max-nodes=N] [-o <file>]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string format = "report";
+  std::string output;
+  std::size_t max_nodes = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report" || arg == "--text" || arg == "--dot" ||
+        arg == "--json" || arg == "--ccsg" || arg == "--html" ||
+        arg == "--summary" || arg == "--diff" || arg == "--timeline" ||
+        arg == "--timeline-csv") {
+      format = arg.substr(2);
+    } else if (arg.rfind("--max-nodes=", 0) == 0) {
+      max_nodes = static_cast<std::size_t>(std::atoll(arg.c_str() + 12));
+    } else if (arg == "-o") {
+      if (++i >= argc) return usage();
+      output = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  try {
+    if (format == "diff") {
+      // --diff <baseline.cwt> <current.cwt>
+      if (inputs.size() != 2) {
+        std::fprintf(stderr,
+                     "causeway-analyze --diff needs exactly two traces "
+                     "(baseline, current)\n");
+        return 2;
+      }
+      analysis::LogDatabase base_db, cur_db;
+      analysis::read_trace_file(inputs[0], base_db);
+      analysis::read_trace_file(inputs[1], cur_db);
+      auto base = analysis::Dscg::build(base_db);
+      auto cur = analysis::Dscg::build(cur_db);
+      const auto diff =
+          analysis::diff_runs(base, base_db, cur, cur_db);
+      std::fputs(diff.to_string().c_str(), stdout);
+      return diff.clean() ? 0 : 3;  // CI-friendly: nonzero on regression
+    }
+
+    analysis::LogDatabase db;
+    for (const auto& path : inputs) {
+      const std::size_t n = analysis::read_trace_file(path, db);
+      std::fprintf(stderr, "loaded %zu records from %s\n", n, path.c_str());
+    }
+
+    auto dscg = analysis::Dscg::build(db);
+    const monitor::ProbeMode mode = db.primary_mode();
+    if (mode == monitor::ProbeMode::kLatency) {
+      analysis::annotate_latency(dscg);
+    } else if (mode == monitor::ProbeMode::kCpu) {
+      analysis::annotate_cpu(dscg);
+    }
+
+    std::string rendered;
+    analysis::ExportOptions options;
+    options.max_nodes = max_nodes;
+    if (format == "text") {
+      rendered = analysis::to_text(dscg, options);
+    } else if (format == "dot") {
+      rendered = analysis::to_dot(dscg, options);
+    } else if (format == "json") {
+      rendered = analysis::to_json(dscg, options);
+    } else if (format == "ccsg") {
+      rendered = analysis::Ccsg::build(dscg).to_xml();
+    } else if (format == "html") {
+      rendered = analysis::to_html(dscg, options);
+    } else if (format == "summary") {
+      rendered = analysis::summary_json(dscg, db) + "\n";
+    } else if (format == "timeline") {
+      rendered = analysis::timeline_to_text(analysis::build_timeline(dscg));
+    } else if (format == "timeline-csv") {
+      rendered = analysis::timeline_to_csv(analysis::build_timeline(dscg));
+    } else {
+      rendered = analysis::characterization_report(dscg, db);
+    }
+
+    if (output.empty()) {
+      std::fputs(rendered.c_str(), stdout);
+    } else {
+      std::ofstream out(output);
+      out << rendered;
+      if (!out) {
+        std::fprintf(stderr, "causeway-analyze: cannot write '%s'\n",
+                     output.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %zu bytes to %s\n", rendered.size(),
+                   output.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "causeway-analyze: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
