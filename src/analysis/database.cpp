@@ -23,20 +23,40 @@ void LogDatabase::add_record(monitor::TraceRecord r) {
   const std::size_t index = records_.size();
   auto [it, inserted] = by_chain_.try_emplace(r.chain);
   if (inserted) chains_.push_back(r.chain);
-  it->second.push_back(index);
+  it->second.events.push_back(index);
+  it->second.last_gen = generation_;
   records_.push_back(r);
 }
 
 void LogDatabase::ingest(const monitor::CollectedLogs& logs) {
   for (const auto& d : logs.domains) {
-    domains_.push_back({d.identity.process_name, d.identity.node_name,
-                        d.identity.processor_type, d.mode, d.record_count});
+    // Merge by identity: N streaming epochs each announce the same domains,
+    // and must synthesize to the single entry an offline collect produces.
+    std::string key;
+    key.reserve(d.identity.process_name.size() +
+                d.identity.node_name.size() +
+                d.identity.processor_type.size() + 4);
+    key.append(d.identity.process_name).push_back('\0');
+    key.append(d.identity.node_name).push_back('\0');
+    key.append(d.identity.processor_type).push_back('\0');
+    key.push_back(static_cast<char>(d.mode));
+    auto [it, inserted] = domain_index_.try_emplace(key, domains_.size());
+    if (inserted) {
+      domains_.push_back({d.identity.process_name, d.identity.node_name,
+                          d.identity.processor_type, d.mode, d.record_count});
+    } else {
+      domains_[it->second].record_count += d.record_count;
+    }
   }
+  overflow_dropped_ += logs.dropped;
+  last_epoch_ = std::max(last_epoch_, logs.epoch);
   ingest_records(logs.records);
 }
 
 void LogDatabase::ingest_records(
     std::span<const monitor::TraceRecord> records) {
+  if (records.empty()) return;
+  ++generation_;
   records_.reserve(records_.size() + records.size());
   for (const auto& r : records) add_record(r);
 }
@@ -46,11 +66,19 @@ std::vector<const monitor::TraceRecord*> LogDatabase::chain_events(
   std::vector<const monitor::TraceRecord*> out;
   auto it = by_chain_.find(chain);
   if (it == by_chain_.end()) return out;
-  out.reserve(it->second.size());
-  for (std::size_t index : it->second) out.push_back(&records_[index]);
+  out.reserve(it->second.events.size());
+  for (std::size_t index : it->second.events) out.push_back(&records_[index]);
   std::stable_sort(out.begin(), out.end(),
                    [](const monitor::TraceRecord* a,
                       const monitor::TraceRecord* b) { return a->seq < b->seq; });
+  return out;
+}
+
+std::vector<Uuid> LogDatabase::chains_since(std::uint64_t gen) const {
+  std::vector<Uuid> out;
+  for (const Uuid& chain : chains_) {
+    if (by_chain_.at(chain).last_gen > gen) out.push_back(chain);
+  }
   return out;
 }
 

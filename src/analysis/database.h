@@ -1,4 +1,4 @@
-// The off-line log database.
+// The log database.
 //
 // "The scattered logs are collected and eventually synthesized into a
 // relational database" (paper Sec. 3).  LogDatabase is that store: it ingests
@@ -8,6 +8,14 @@
 //
 //   query 1: the set of unique Function UUIDs ever created;
 //   query 2: for one UUID, its events sorted by ascending event number.
+//
+// Ingestion is incremental: every batch (an offline collect or one streaming
+// drain epoch) appends in place -- interning is append-only, per-chain event
+// indexes grow in place, and domain entries merge by identity so N epochs
+// synthesize to the same database one offline collect would have produced.
+// A generation counter advances per batch and each chain remembers the last
+// generation that touched it, so analyses (Dscg::update) can rebuild only
+// what changed.
 #pragma once
 
 #include <deque>
@@ -52,6 +60,23 @@ class LogDatabase {
   // Query 1: unique chain UUIDs in first-seen order.
   const std::vector<Uuid>& chains() const { return chains_; }
 
+  // Ingest-batch counter: 0 for an empty database, +1 per batch that added
+  // records.  Analyses snapshot this to know when they are stale.
+  std::uint64_t generation() const { return generation_; }
+
+  // Chains that gained at least one event in a generation > `gen`,
+  // first-seen order (a subsequence of chains()).  chains_since(0) is every
+  // chain.
+  std::vector<Uuid> chains_since(std::uint64_t gen) const;
+
+  // Cumulative ring-overflow count reported by the ingested bundles: how
+  // many records the probes dropped rather than block.  Non-zero means the
+  // database is an honest but incomplete sample.
+  std::uint64_t overflow_dropped() const { return overflow_dropped_; }
+
+  // Highest drain epoch seen across ingested bundles (0 = offline only).
+  std::uint64_t last_epoch() const { return last_epoch_; }
+
   // Query 2: events of one chain sorted by ascending event number
   // (insertion order breaks ties, which only occur on corrupt logs).
   std::vector<const monitor::TraceRecord*> chain_events(const Uuid& chain) const;
@@ -63,6 +88,11 @@ class LogDatabase {
   monitor::ProbeMode primary_mode() const;
 
  private:
+  struct ChainIndex {
+    std::vector<std::size_t> events;  // indexes into records_, log order
+    std::uint64_t last_gen{0};        // generation of the newest event
+  };
+
   std::string_view intern(std::string_view s);
   void add_record(monitor::TraceRecord r);
 
@@ -71,8 +101,13 @@ class LogDatabase {
 
   std::vector<monitor::TraceRecord> records_;
   std::vector<DomainEntry> domains_;
+  // (process, node, type, mode) -> index into domains_, for merged updates.
+  std::unordered_map<std::string, std::size_t> domain_index_;
   std::vector<Uuid> chains_;
-  std::unordered_map<Uuid, std::vector<std::size_t>> by_chain_;
+  std::unordered_map<Uuid, ChainIndex> by_chain_;
+  std::uint64_t generation_{0};
+  std::uint64_t overflow_dropped_{0};
+  std::uint64_t last_epoch_{0};
 };
 
 }  // namespace causeway::analysis

@@ -1,48 +1,121 @@
 #include "analysis/dscg.h"
 
+#include <atomic>
+#include <thread>
 #include <unordered_set>
 
 namespace causeway::analysis {
 namespace {
 
-void link_spawned(CallNode* node, Dscg& dscg,
-                  std::unordered_set<Uuid>& spawned_ids,
-                  const std::unordered_map<Uuid, ChainTree*>& by_id) {
+void collect_spawn_sites(CallNode* node,
+                         std::vector<std::pair<CallNode*, Uuid>>& sites) {
   if (!node->spawned_chain.is_nil()) {
-    auto it = by_id.find(node->spawned_chain);
-    if (it != by_id.end()) {
-      node->spawned.push_back(it->second);
-      spawned_ids.insert(node->spawned_chain);
-    }
+    sites.emplace_back(node, node->spawned_chain);
   }
-  for (auto& c : node->children) {
-    link_spawned(c.get(), dscg, spawned_ids, by_id);
+  for (auto& c : node->children) collect_spawn_sites(c.get(), sites);
+}
+
+// Chains with no dependency between their reconstructions: each tree is
+// built purely from its own (already interned, immutable) event list, so a
+// batch of dirty chains can rebuild on a worker pool with one atomic index
+// as the only shared state.
+constexpr std::size_t kParallelThreshold = 8;
+constexpr std::size_t kMaxWorkers = 8;
+
+void build_trees(const LogDatabase& db, const std::vector<Uuid>& dirty,
+                 std::vector<std::unique_ptr<ChainTree>>& out) {
+  out.resize(dirty.size());
+  auto build_one = [&](std::size_t i) {
+    out[i] = std::make_unique<ChainTree>(
+        build_chain_tree(dirty[i], db.chain_events(dirty[i])));
+  };
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t workers =
+      std::min({dirty.size(), kMaxWorkers, hw > 2 ? hw : std::size_t{2}});
+  if (dirty.size() < kParallelThreshold || workers < 2) {
+    for (std::size_t i = 0; i < dirty.size(); ++i) build_one(i);
+    return;
   }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < dirty.size();
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        build_one(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
 }
 
 }  // namespace
 
 Dscg Dscg::build(const LogDatabase& db) {
   Dscg dscg;
-  for (const Uuid& chain : db.chains()) {
-    auto tree = std::make_unique<ChainTree>(
-        build_chain_tree(chain, db.chain_events(chain)));
-    dscg.by_id_[chain] = tree.get();
-    dscg.chains_.push_back(std::move(tree));
-  }
+  dscg.update(db);
+  return dscg;
+}
 
-  // Hang spawned (oneway child) chains under their spawning nodes.
-  std::unordered_set<Uuid> spawned_ids;
-  for (auto& tree : dscg.chains_) {
-    link_spawned(tree->root.get(), dscg, spawned_ids, dscg.by_id_);
-  }
+std::size_t Dscg::update(const LogDatabase& db) {
+  const std::vector<Uuid> dirty = chains_since_built(db);
+  built_generation_ = db.generation();
+  if (dirty.empty()) return 0;
 
-  for (auto& tree : dscg.chains_) {
-    if (!spawned_ids.contains(tree->chain)) {
-      dscg.roots_.push_back(tree.get());
+  std::vector<std::unique_ptr<ChainTree>> rebuilt;
+  build_trees(db, dirty, rebuilt);
+
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    auto& sites = sites_[dirty[i]];
+    sites.clear();
+    collect_spawn_sites(rebuilt[i]->root.get(), sites);
+    if (sites.empty()) sites_.erase(dirty[i]);
+
+    auto [it, inserted] = by_id_.try_emplace(dirty[i], chains_.size());
+    if (inserted) {
+      // New chains arrive in first-seen order, so appending keeps chains_
+      // aligned with db.chains().
+      chains_.push_back(std::move(rebuilt[i]));
+    } else {
+      chains_[it->second] = std::move(rebuilt[i]);
     }
   }
-  return dscg;
+
+  relink();
+  return dirty.size();
+}
+
+std::vector<Uuid> Dscg::chains_since_built(const LogDatabase& db) const {
+  return db.chains_since(built_generation_);
+}
+
+void Dscg::relink() {
+  // Re-resolve every cached spawn site.  Sites inside unchanged trees point
+  // at live nodes (only rebuilt trees were replaced, and their sites were
+  // recollected above); targets may have been rebuilt, so pointers are
+  // always re-resolved rather than patched.
+  std::unordered_set<Uuid> spawned_ids;
+  for (auto& entry : sites_) {
+    for (auto& site : entry.second) site.first->spawned.clear();
+  }
+  for (auto& entry : sites_) {
+    for (auto& site : entry.second) {
+      auto it = by_id_.find(site.second);
+      if (it != by_id_.end()) {
+        site.first->spawned.push_back(chains_[it->second].get());
+        spawned_ids.insert(site.second);
+      }
+    }
+  }
+
+  roots_.clear();
+  for (auto& tree : chains_) {
+    if (!spawned_ids.contains(tree->chain)) roots_.push_back(tree.get());
+  }
 }
 
 std::size_t Dscg::call_count() const {

@@ -9,10 +9,18 @@
 // Unlike GPROF/QUANTIFY the DSCG preserves *complete* call chains at
 // unlimited depth -- it is exactly the "call path" profile generalized to
 // threads, processes and processors.
+//
+// Construction is incremental: update(db) reconstructs only the chains that
+// gained events since the last update (per the database's generation
+// counter), rebuilding independent chains in parallel on a small worker
+// pool, and then relinks the oneway spawn edges from a cached site list so
+// unchanged trees are never re-walked.  build(db) is the from-scratch
+// convenience form.
 #pragma once
 
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "analysis/call_tree.h"
@@ -22,8 +30,27 @@ namespace causeway::analysis {
 
 class Dscg {
  public:
+  Dscg() = default;
+  Dscg(const Dscg&) = delete;
+  Dscg& operator=(const Dscg&) = delete;
+  Dscg(Dscg&&) = default;
+  Dscg& operator=(Dscg&&) = default;
+
   // Reconstructs every chain in the database and groups the forest.
   static Dscg build(const LogDatabase& db);
+
+  // Incremental rebuild: reconstructs only chains with events newer than
+  // the last update (all of them on the first call), independent chains in
+  // parallel, then regroups the forest.  Returns the number of chains
+  // reconstructed.  Chain order always mirrors db.chains() (first-seen),
+  // so incremental and from-scratch builds yield identical graphs.
+  std::size_t update(const LogDatabase& db);
+
+  // True when the database has ingested batches this graph has not seen.
+  bool stale(const LogDatabase& db) const {
+    return db.generation() != built_generation_;
+  }
+  std::uint64_t built_generation() const { return built_generation_; }
 
   // Top-level trees (chains not spawned by any recorded oneway call).
   const std::vector<ChainTree*>& roots() const { return roots_; }
@@ -35,7 +62,7 @@ class Dscg {
 
   ChainTree* find_chain(const Uuid& id) const {
     auto it = by_id_.find(id);
-    return it == by_id_.end() ? nullptr : it->second;
+    return it == by_id_.end() ? nullptr : chains_[it->second].get();
   }
 
   // Total calls across all chains (DSCG nodes, virtual roots excluded).
@@ -61,9 +88,19 @@ class Dscg {
     }
   }
 
-  std::vector<std::unique_ptr<ChainTree>> chains_;
+  std::vector<Uuid> chains_since_built(const LogDatabase& db) const;
+  void relink();
+
+  std::vector<std::unique_ptr<ChainTree>> chains_;  // db.chains() order
   std::vector<ChainTree*> roots_;
-  std::unordered_map<Uuid, ChainTree*> by_id_;
+  std::unordered_map<Uuid, std::size_t> by_id_;  // chain uuid -> chains_ slot
+
+  // Oneway spawn sites per chain: the nodes (with their target uuids) that
+  // hang child chains.  Recollected only when a chain is rebuilt; relink()
+  // re-resolves every site against the current trees.
+  std::unordered_map<Uuid, std::vector<std::pair<CallNode*, Uuid>>> sites_;
+
+  std::uint64_t built_generation_{0};
 };
 
 }  // namespace causeway::analysis

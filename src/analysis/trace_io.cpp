@@ -9,7 +9,8 @@ namespace causeway::analysis {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x43575452;  // "CWTR"
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = 3;  // v3 added epoch + dropped words
+constexpr std::uint32_t kMinVersion = 2;
 
 class StringTable {
  public:
@@ -63,6 +64,8 @@ std::vector<std::uint8_t> encode_trace(const monitor::CollectedLogs& logs) {
   WireBuffer out;
   out.write_u32(kMagic);
   out.write_u32(kVersion);
+  out.write_u64(logs.epoch);
+  out.write_u64(logs.dropped);
 
   out.write_u32(static_cast<std::uint32_t>(logs.domains.size()));
   for (std::size_t i = 0; i < logs.domains.size(); ++i) {
@@ -101,15 +104,22 @@ std::vector<std::uint8_t> encode_trace(const monitor::CollectedLogs& logs) {
   return std::move(out).take();
 }
 
-std::size_t decode_trace(const std::vector<std::uint8_t>& bytes,
-                         LogDatabase& db) {
-  try {
-    WireCursor in(bytes.data(), bytes.size());
+namespace {
+
+// Decodes one segment starting at the cursor and ingests it into `db`.
+// Returns the segment's record count.
+std::size_t decode_segment(WireCursor& in, LogDatabase& db) {
     if (in.read_u32() != kMagic) throw TraceIoError("not a causeway trace");
     const std::uint32_t version = in.read_u32();
-    if (version != kVersion) {
+    if (version < kMinVersion || version > kVersion) {
       throw TraceIoError("unsupported trace version " +
                          std::to_string(version));
+    }
+    std::uint64_t epoch = 0;
+    std::uint64_t dropped = 0;
+    if (version >= 3) {
+      epoch = in.read_u64();
+      dropped = in.read_u64();
     }
 
     struct RawDomain {
@@ -134,6 +144,8 @@ std::size_t decode_trace(const std::vector<std::uint8_t>& bytes,
     };
 
     monitor::CollectedLogs logs;
+    logs.epoch = epoch;
+    logs.dropped = dropped;
     for (const auto& d : raw_domains) {
       logs.domains.push_back(
           {monitor::DomainIdentity{std::string(str(d.process)),
@@ -169,6 +181,18 @@ std::size_t decode_trace(const std::vector<std::uint8_t>& bytes,
     // Ingest while `strings` is still alive; the database interns copies.
     db.ingest(logs);
     return logs.records.size();
+}
+
+}  // namespace
+
+std::size_t decode_trace(const std::vector<std::uint8_t>& bytes,
+                         LogDatabase& db) {
+  try {
+    WireCursor in(bytes.data(), bytes.size());
+    std::size_t total = 0;
+    // Segments are simply concatenated; an empty input is zero segments.
+    while (in.remaining() > 0) total += decode_segment(in, db);
+    return total;
   } catch (const WireError& e) {
     throw TraceIoError(std::string("corrupt trace: ") + e.what());
   }
@@ -190,6 +214,24 @@ std::size_t read_trace_file(const std::string& path, LogDatabase& db) {
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
   return decode_trace(bytes, db);
+}
+
+TraceWriter::TraceWriter(const std::string& path)
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw TraceIoError("cannot open '" + path + "' for writing");
+}
+
+void TraceWriter::append(const monitor::CollectedLogs& logs) {
+  const auto bytes = encode_trace(logs);
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  // Flush per segment: the file on disk is a valid multi-segment trace
+  // after every epoch, so an analyzer (or a crash) mid-run sees a clean
+  // prefix of the stream.
+  out_.flush();
+  if (!out_) throw TraceIoError("short write to '" + path_ + "'");
+  ++segments_;
+  records_ += logs.records.size();
 }
 
 }  // namespace causeway::analysis

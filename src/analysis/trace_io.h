@@ -7,14 +7,23 @@
 // a real artifact: `causeway-record` writes one per run, `causeway-analyze`
 // reads any number of them back.
 //
-// Format (all little-endian, strings via a shared string table):
+// A trace file holds one or more *segments*, each a self-contained encoding
+// of one collector bundle.  Offline runs write a single segment; streaming
+// runs (`causeway-record --stream`) append one segment per drain epoch.
+// Readers loop segments until the file is exhausted, so a streamed trace
+// synthesizes into the same database as an offline one.
+//
+// Segment format (all little-endian, strings via a per-segment table):
 //   "CWTR" magic, u32 version
+//   u64 drain epoch (0 = offline collect), u64 dropped count   [v3]
 //   u32 domain count; per domain: process/node/type string ids, u8 mode,
 //     u64 record count
 //   u32 string count; length-prefixed strings
 //   u64 record count; fixed-layout records referencing the string table
+// Version 2 segments (no epoch/dropped words) are still readable.
 #pragma once
 
+#include <fstream>
 #include <string>
 
 #include "analysis/database.h"
@@ -27,18 +36,41 @@ class TraceIoError : public std::runtime_error {
   explicit TraceIoError(const std::string& what) : std::runtime_error(what) {}
 };
 
-// Serializes a collector bundle.  Throws TraceIoError on I/O failure.
+// Serializes a collector bundle as a single-segment file.  Throws
+// TraceIoError on I/O failure.
 void write_trace_file(const std::string& path,
                       const monitor::CollectedLogs& logs);
 
-// Parses a trace file and ingests everything into `db` (which interns all
-// strings, so nothing dangles).  Returns the number of records ingested.
-// Throws TraceIoError on missing/corrupt files.
+// Parses a trace file (one or more segments) and ingests everything into
+// `db` (which interns all strings, so nothing dangles).  Returns the number
+// of records ingested.  Throws TraceIoError on missing/corrupt files.
 std::size_t read_trace_file(const std::string& path, LogDatabase& db);
 
-// In-memory variants (testing, transport over other channels).
+// In-memory variants (testing, transport over other channels).  encode_trace
+// produces one segment; decode_trace accepts any concatenation of segments.
 std::vector<std::uint8_t> encode_trace(const monitor::CollectedLogs& logs);
 std::size_t decode_trace(const std::vector<std::uint8_t>& bytes,
                          LogDatabase& db);
+
+// Streaming writer: appends one segment per collector bundle to a trace
+// file as the run progresses, flushing after each so the file is always a
+// valid (if partial) trace.  Used by `causeway-record --stream`.
+class TraceWriter {
+ public:
+  // Truncates/creates the file.  Throws TraceIoError if it cannot open.
+  explicit TraceWriter(const std::string& path);
+
+  // Appends `logs` as one segment and flushes.  Throws on short writes.
+  void append(const monitor::CollectedLogs& logs);
+
+  std::size_t segments() const { return segments_; }
+  std::uint64_t records_written() const { return records_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t segments_{0};
+  std::uint64_t records_{0};
+};
 
 }  // namespace causeway::analysis

@@ -1,15 +1,24 @@
-// Off-line log collection.
+// Log collection: offline snapshots and streaming epoch drains.
 //
 // "When the application ceases to exist or reaches a quiescent state ... the
 // scattered logs are collected and eventually synthesized into a relational
-// database" (paper Sec. 3).  The Collector snapshots every attached domain's
-// ProcessLogStore into one CollectedLogs bundle.
+// database" (paper Sec. 3).  collect() is that offline path: a cumulative,
+// non-consuming snapshot of every attached domain's ProcessLogStore.
 //
-// The bundle is self-contained: record identity strings are interned into a
-// pool the bundle owns (shared across copies), so it may outlive the
+// drain() is the streaming extension: a *consuming* read that can run
+// repeatedly while the application is live.  Each call advances an epoch
+// counter and returns only the records published since the previous drain,
+// per-thread order preserved.  Concatenating the batches of every epoch
+// yields exactly what one final offline collect would have seen -- epochs
+// segment the log stream, they never reorder it (the analyzer orders by FTL
+// event numbers, so segmentation is invisible to reconstruction).
+//
+// Every bundle is self-contained: record identity strings are interned into
+// a pool the bundle owns (shared across copies), so it may outlive the
 // monitored application, be written to a trace file, or cross threads.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
@@ -29,6 +38,14 @@ struct CollectedLogs {
   std::vector<DomainEntry> domains;
   std::vector<TraceRecord> records;
 
+  // Which drain produced this bundle (0 for offline collect() snapshots).
+  std::uint64_t epoch{0};
+
+  // Ring-overflow count: records the probes had to drop rather than block.
+  // For drain() this is the delta since the previous epoch; for collect()
+  // it is the stores' cumulative count.
+  std::uint64_t dropped{0};
+
   // Backing storage for every string_view inside `records`.
   std::shared_ptr<std::deque<std::string>> strings =
       std::make_shared<std::deque<std::string>>();
@@ -38,36 +55,77 @@ class Collector {
  public:
   void attach(const MonitorRuntime* runtime) { runtimes_.push_back(runtime); }
 
+  // Offline snapshot: cumulative (everything not yet drained), non-consuming,
+  // repeatable.
   CollectedLogs collect() const {
     CollectedLogs out;
-    std::unordered_map<std::string_view, std::string_view> interned;
-    auto intern = [&](std::string_view s) -> std::string_view {
+    Interner intern(out);
+    for (const MonitorRuntime* rt : runtimes_) {
+      append_domain(out, intern, *rt, rt->store().snapshot());
+      out.dropped += rt->store().dropped();
+    }
+    return out;
+  }
+
+  // Streaming epoch read: consumes everything published since the previous
+  // drain and tags the bundle with a fresh epoch id (1, 2, ...).  Every
+  // attached domain gets an entry each epoch, even when it logged nothing,
+  // so downstream consumers always see the full deployment.  Safe to call
+  // in a loop while probes append concurrently.
+  CollectedLogs drain() {
+    CollectedLogs out;
+    out.epoch = ++epoch_;
+    Interner intern(out);
+    if (last_dropped_.size() < runtimes_.size()) {
+      last_dropped_.resize(runtimes_.size(), 0);
+    }
+    for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+      const MonitorRuntime* rt = runtimes_[i];
+      append_domain(out, intern, *rt, rt->store().drain());
+      const std::uint64_t total = rt->store().dropped();
+      out.dropped += total - last_dropped_[i];
+      last_dropped_[i] = total;
+    }
+    return out;
+  }
+
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  // Copies record strings into the bundle-owned pool so the bundle outlives
+  // the runtimes.
+  struct Interner {
+    explicit Interner(CollectedLogs& out) : out(out) {}
+    std::string_view operator()(std::string_view s) {
       auto it = interned.find(s);
       if (it != interned.end()) return it->second;
       out.strings->emplace_back(s);
       std::string_view stable = out.strings->back();
       interned.emplace(stable, stable);
       return stable;
-    };
-
-    for (const MonitorRuntime* rt : runtimes_) {
-      auto records = rt->store().snapshot();
-      out.domains.push_back({rt->identity(), rt->mode(), records.size()});
-      out.records.reserve(out.records.size() + records.size());
-      for (TraceRecord& r : records) {
-        r.interface_name = intern(r.interface_name);
-        r.function_name = intern(r.function_name);
-        r.process_name = intern(r.process_name);
-        r.node_name = intern(r.node_name);
-        r.processor_type = intern(r.processor_type);
-        out.records.push_back(r);
-      }
     }
-    return out;
+    CollectedLogs& out;
+    std::unordered_map<std::string_view, std::string_view> interned;
+  };
+
+  static void append_domain(CollectedLogs& out, Interner& intern,
+                            const MonitorRuntime& rt,
+                            std::vector<TraceRecord>&& records) {
+    out.domains.push_back({rt.identity(), rt.mode(), records.size()});
+    out.records.reserve(out.records.size() + records.size());
+    for (TraceRecord& r : records) {
+      r.interface_name = intern(r.interface_name);
+      r.function_name = intern(r.function_name);
+      r.process_name = intern(r.process_name);
+      r.node_name = intern(r.node_name);
+      r.processor_type = intern(r.processor_type);
+      out.records.push_back(r);
+    }
   }
 
- private:
   std::vector<const MonitorRuntime*> runtimes_;
+  std::uint64_t epoch_{0};
+  std::vector<std::uint64_t> last_dropped_;  // per-runtime, for drain deltas
 };
 
 }  // namespace causeway::monitor

@@ -2,18 +2,26 @@
 //
 // Probes record "individually ... without coordination" (paper Sec. 2.1):
 // every simulated process domain owns one ProcessLogStore and its probes
-// append to it locally.  Only when the application reaches a quiescent state
-// does the Collector gather the scattered stores for off-line analysis.
+// append to it locally.
 //
-// Appends are sharded per thread: each thread writes to its own chunk, so
-// concurrent probes on different threads never contend with each other --
-// only a snapshot/clear briefly touches every chunk.  Within one thread,
-// record order is preserved (the analyzer orders across threads by the FTL's
-// event numbers, never by log position).
+// Appends are sharded per thread into bounded SPSC ring buffers: each thread
+// owns the producer side of its ring, so a probe append is a plain slot
+// store followed by a release publish of the head index -- no lock, no CAS
+// loop, no contention with other probes.  The consumer side (snapshot /
+// drain / clear) is serialized by the store and may run *while probes are
+// appending*: that is what turns the paper's stop-the-world collection into
+// a streaming pipeline (repeated epoch drains against a live application).
+//
+// A full ring never blocks the probe: the record is dropped and a drop
+// counter advances, so overflow is observable instead of silent -- and the
+// application's latency is never coupled to the collector's cadence.
+// Within one thread, record order is preserved (the analyzer orders across
+// threads by the FTL's event numbers, never by log position).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -25,56 +33,142 @@ namespace causeway::monitor {
 
 class ProcessLogStore {
  public:
-  ProcessLogStore() : id_(next_store_id()) {}
+  // Default per-thread ring capacity (records).  Slots are allocated in
+  // blocks on first touch, so an idle thread costs almost nothing and a
+  // lightly used ring only materializes the blocks it wrote.
+  static constexpr std::size_t kDefaultRingCapacity = std::size_t{1} << 17;
+
+  // `ring_capacity` is rounded up to a power of two; 0 selects the default.
+  explicit ProcessLogStore(std::size_t ring_capacity = 0)
+      : id_(next_store_id()),
+        capacity_(round_up_pow2(
+            ring_capacity == 0 ? kDefaultRingCapacity : ring_capacity)) {}
   ProcessLogStore(const ProcessLogStore&) = delete;
   ProcessLogStore& operator=(const ProcessLogStore&) = delete;
 
+  // Producer side: wait-free for the calling thread (one relaxed load, one
+  // acquire load, a slot store, a release store).  Never blocks; a full
+  // ring drops the record and counts it.
   void append(const TraceRecord& record) {
-    Chunk* chunk = local_chunk();
-    std::lock_guard lock(chunk->mu);
-    chunk->records.push_back(record);
+    Ring* ring = local_ring();
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = ring->tail.load(std::memory_order_acquire);
+    if (head - tail > ring->mask) {  // full: head - tail == capacity
+      ring->dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    *ring->slot(head) = record;                            // plain store
+    ring->head.store(head + 1, std::memory_order_release);  // publish
   }
 
-  // Records from all threads, grouped by writing thread (chunk
-  // registration order), in-order within each thread.
+  // Records currently buffered, grouped by writing thread (ring
+  // registration order), in-order within each thread.  Non-consuming: the
+  // offline collector may snapshot repeatedly and always sees everything
+  // that has not been drained.
   std::vector<TraceRecord> snapshot() const {
-    std::lock_guard registry(registry_mu_);
-    std::vector<TraceRecord> out;
-    std::size_t total = 0;
-    for (const auto& chunk : chunks_) {
-      std::lock_guard lock(chunk->mu);
-      total += chunk->records.size();
-    }
-    out.reserve(total);
-    for (const auto& chunk : chunks_) {
-      std::lock_guard lock(chunk->mu);
-      out.insert(out.end(), chunk->records.begin(), chunk->records.end());
-    }
-    return out;
+    std::lock_guard lock(registry_mu_);
+    return read_rings(/*consume=*/false);
   }
 
+  // Consuming epoch read: moves everything published so far out of the
+  // rings (freeing their slots for the live producers) and returns it with
+  // the same grouping/order guarantees as snapshot().  Safe to call in a
+  // loop while probes append concurrently.  Const-qualified because
+  // collectors observe domains through const pointers; consuming buffered
+  // records does not alter the domain's logical state.
+  std::vector<TraceRecord> drain() const {
+    std::lock_guard lock(registry_mu_);
+    return read_rings(/*consume=*/true);
+  }
+
+  // Records currently buffered (appends not yet drained).
   std::size_t size() const {
-    std::lock_guard registry(registry_mu_);
+    std::lock_guard lock(registry_mu_);
     std::size_t total = 0;
-    for (const auto& chunk : chunks_) {
-      std::lock_guard lock(chunk->mu);
-      total += chunk->records.size();
+    for (const auto& ring : rings_) {
+      total += static_cast<std::size_t>(
+          ring->head.load(std::memory_order_acquire) -
+          ring->tail.load(std::memory_order_relaxed));
     }
     return total;
   }
 
+  // Monotonic count of records accepted into the rings (survives drains;
+  // quiescence detection must use this, not size(), once drains run
+  // concurrently with the application).
+  std::uint64_t appended() const {
+    std::lock_guard lock(registry_mu_);
+    std::uint64_t total = 0;
+    for (const auto& ring : rings_) {
+      total += ring->head.load(std::memory_order_acquire);
+    }
+    return total;
+  }
+
+  // Records dropped on ring overflow since construction (or the last
+  // clear()).  Overflow is counted, never silent.
+  std::uint64_t dropped() const {
+    std::lock_guard lock(registry_mu_);
+    std::uint64_t total = 0;
+    for (const auto& ring : rings_) {
+      total += ring->dropped.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Discards everything currently buffered and resets the overflow count.
+  // Like drain(), safe against concurrent producers.
   void clear() {
-    std::lock_guard registry(registry_mu_);
-    for (const auto& chunk : chunks_) {
-      std::lock_guard lock(chunk->mu);
-      chunk->records.clear();
+    std::lock_guard lock(registry_mu_);
+    for (const auto& ring : rings_) {
+      ring->tail.store(ring->head.load(std::memory_order_acquire),
+                       std::memory_order_release);
+      ring->dropped.store(0, std::memory_order_relaxed);
     }
   }
 
+  std::size_t ring_capacity() const { return capacity_; }
+
  private:
-  struct Chunk {
-    mutable std::mutex mu;
-    std::vector<TraceRecord> records;
+  static constexpr std::size_t kBlockShift = 12;  // 4096 records per block
+  static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockShift;
+
+  struct Ring {
+    explicit Ring(std::size_t capacity)
+        : mask(capacity - 1),
+          blocks((capacity + kBlockSize - 1) / kBlockSize) {}
+    ~Ring() {
+      for (auto& block : blocks) {
+        delete[] block.load(std::memory_order_relaxed);
+      }
+    }
+
+    // Producer-side slot access; allocates the backing block on first
+    // touch.  Only the owning thread ever calls this.
+    TraceRecord* slot(std::uint64_t index) {
+      const std::size_t i = static_cast<std::size_t>(index) & mask;
+      auto& block = blocks[i >> kBlockShift];
+      TraceRecord* base = block.load(std::memory_order_relaxed);
+      if (!base) {
+        base = new TraceRecord[kBlockSize];
+        block.store(base, std::memory_order_relaxed);
+      }
+      return base + (i & (kBlockSize - 1));
+    }
+
+    // Consumer-side read; the block exists for any index < head (the
+    // producer stored it before the release publish).
+    const TraceRecord* slot_read(std::uint64_t index) const {
+      const std::size_t i = static_cast<std::size_t>(index) & mask;
+      return blocks[i >> kBlockShift].load(std::memory_order_relaxed) +
+             (i & (kBlockSize - 1));
+    }
+
+    const std::size_t mask;
+    std::vector<std::atomic<TraceRecord*>> blocks;
+    alignas(64) std::atomic<std::uint64_t> head{0};  // published count
+    alignas(64) std::atomic<std::uint64_t> tail{0};  // consumed count
+    std::atomic<std::uint64_t> dropped{0};
   };
 
   static std::uint64_t next_store_id() {
@@ -82,26 +176,53 @@ class ProcessLogStore {
     return next.fetch_add(1, std::memory_order_relaxed);
   }
 
-  Chunk* local_chunk() {
+  static constexpr std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  // Copies (and optionally consumes) every ring's published window.
+  // Caller holds registry_mu_, which serializes all consumers.
+  std::vector<TraceRecord> read_rings(bool consume) const {
+    std::vector<TraceRecord> out;
+    std::size_t total = 0;
+    for (const auto& ring : rings_) {
+      total += static_cast<std::size_t>(
+          ring->head.load(std::memory_order_acquire) -
+          ring->tail.load(std::memory_order_relaxed));
+    }
+    out.reserve(total);
+    for (const auto& ring : rings_) {
+      const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+      std::uint64_t tail = ring->tail.load(std::memory_order_relaxed);
+      for (; tail != head; ++tail) out.push_back(*ring->slot_read(tail));
+      if (consume) ring->tail.store(head, std::memory_order_release);
+    }
+    return out;
+  }
+
+  Ring* local_ring() {
     // Keyed by the store's unique id, never its address: a dead store's
     // cache entry can never alias a new store.
-    thread_local std::unordered_map<std::uint64_t, Chunk*> t_chunks;
-    auto it = t_chunks.find(id_);
-    if (it != t_chunks.end()) return it->second;
+    thread_local std::unordered_map<std::uint64_t, Ring*> t_rings;
+    auto it = t_rings.find(id_);
+    if (it != t_rings.end()) return it->second;
 
-    auto fresh = std::make_unique<Chunk>();
-    Chunk* raw = fresh.get();
+    auto fresh = std::make_unique<Ring>(capacity_);
+    Ring* raw = fresh.get();
     {
       std::lock_guard registry(registry_mu_);
-      chunks_.push_back(std::move(fresh));
+      rings_.push_back(std::move(fresh));
     }
-    t_chunks.emplace(id_, raw);
+    t_rings.emplace(id_, raw);
     return raw;
   }
 
   const std::uint64_t id_;
+  const std::size_t capacity_;
   mutable std::mutex registry_mu_;
-  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<std::unique_ptr<Ring>> rings_;
 };
 
 }  // namespace causeway::monitor

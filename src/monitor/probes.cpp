@@ -39,8 +39,16 @@ StubProbes::StubProbes(MonitorRuntime* rt, const CallIdentity& id,
                        CallKind kind)
     : rt_(rt && rt->enabled() ? rt : nullptr), id_(id), kind_(kind) {}
 
+StubProbes::~StubProbes() {
+  // Exception safety: if the call unwound between probes 1 and 4, the
+  // in-flight count still has to come back down.
+  if (in_flight_) rt_->probe_end();
+}
+
 Ftl StubProbes::on_stub_start() {
   if (!rt_) return Ftl{};
+  rt_->probe_begin();
+  in_flight_ = true;
   const Nanos v0 = rt_->sample();
 
   Ftl chain = tss_get();
@@ -77,6 +85,10 @@ void StubProbes::on_stub_end(const std::optional<Ftl>& reply_ftl,
   chain.seq += 1;
   tss_set(chain);
   log_event(*rt_, id_, kind_, EventKind::kStubEnd, chain, v0, Uuid{}, outcome);
+  if (in_flight_) {
+    in_flight_ = false;
+    rt_->probe_end();
+  }
 }
 
 void StubProbes::on_stub_end_oneway() {
@@ -90,14 +102,24 @@ void StubProbes::on_stub_end_oneway() {
   chain.seq += 1;
   tss_set(chain);
   log_event(*rt_, id_, kind_, EventKind::kStubEnd, chain, v0);
+  if (in_flight_) {
+    in_flight_ = false;
+    rt_->probe_end();
+  }
 }
 
 SkelProbes::SkelProbes(MonitorRuntime* rt, const CallIdentity& id,
                        CallKind kind)
     : rt_(rt && rt->enabled() ? rt : nullptr), id_(id), kind_(kind) {}
 
+SkelProbes::~SkelProbes() {
+  if (in_flight_) rt_->probe_end();
+}
+
 void SkelProbes::on_skel_start(const std::optional<Ftl>& request_ftl) {
   if (!rt_) return;
+  rt_->probe_begin();
+  in_flight_ = true;
   const Nanos v0 = rt_->sample();
 
   // O2: the dispatched thread is always refreshed with the incoming call's
@@ -124,6 +146,10 @@ Ftl SkelProbes::on_skel_end(CallOutcome outcome) {
   chain.seq += 1;
   tss_set(chain);
   log_event(*rt_, id_, kind_, EventKind::kSkelEnd, chain, v0, Uuid{}, outcome);
+  if (in_flight_) {
+    in_flight_ = false;
+    rt_->probe_end();
+  }
   return chain;
 }
 

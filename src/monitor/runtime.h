@@ -4,8 +4,18 @@
 // domain's identity (process / node / processor type -- the locality tags
 // every record carries), the active probe mode, the domain's clock, and the
 // local log store.  It is the only thing probes need.
+//
+// Probes read the configuration (enabled / mode) on every call from many
+// threads at once, so those fields are relaxed atomics: reads are free, and
+// a concurrent set_config() is a benign word-sized race instead of UB.
+// Reconfiguration itself is still only meaningful at a quiescent point --
+// set_config() asserts no probe is in flight (probes keep an in-flight
+// count for exactly this check).
 #pragma once
 
+#include <atomic>
+#include <cassert>
+#include <cstdint>
 #include <string>
 
 #include "common/clock.h"
@@ -24,28 +34,58 @@ struct DomainIdentity {
 struct MonitorConfig {
   bool enabled{true};
   ProbeMode mode{ProbeMode::kLatency};
+
+  // Per-thread ring capacity of the domain's log store, in records; 0
+  // selects ProcessLogStore::kDefaultRingCapacity.  Fixed at construction
+  // (set_config cannot resize live rings).
+  std::size_t ring_capacity{0};
 };
 
 class MonitorRuntime {
  public:
   MonitorRuntime(DomainIdentity identity, MonitorConfig config,
                  ClockDomain clock)
-      : identity_(std::move(identity)), config_(config), clock_(clock) {}
+      : identity_(std::move(identity)),
+        enabled_(config.enabled),
+        mode_(config.mode),
+        clock_(clock),
+        store_(config.ring_capacity) {}
 
   MonitorRuntime(const MonitorRuntime&) = delete;
   MonitorRuntime& operator=(const MonitorRuntime&) = delete;
 
-  bool enabled() const { return config_.enabled; }
-  ProbeMode mode() const { return config_.mode; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  ProbeMode mode() const { return mode_.load(std::memory_order_relaxed); }
 
-  // Reconfiguring between runs (e.g. a latency run then a CPU run) is
-  // expected; reconfiguring while calls are in flight is not supported.
-  void set_config(const MonitorConfig& config) { config_ = config; }
+  // Reconfiguring between measurement passes (e.g. a latency run then a CPU
+  // run) is expected; reconfiguring while calls are in flight is not
+  // supported -- callers must reach a quiescent point first.  The assert
+  // enforces that in debug / sanitizer builds; the atomic fields keep a
+  // misplaced call a benign race rather than UB in release builds.
+  void set_config(const MonitorConfig& config) {
+    assert(probes_in_flight_.load(std::memory_order_acquire) == 0 &&
+           "set_config() requires a quiescent point: no probe in flight");
+    enabled_.store(config.enabled, std::memory_order_relaxed);
+    mode_.store(config.mode, std::memory_order_relaxed);
+  }
+
+  // In-flight accounting for the quiescence assertion above.  Probes bracket
+  // each monitored call with begin/end (exception-safe via RAII in the probe
+  // objects).
+  void probe_begin() const {
+    probes_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void probe_end() const {
+    probes_in_flight_.fetch_sub(1, std::memory_order_release);
+  }
+  std::int64_t probes_in_flight() const {
+    return probes_in_flight_.load(std::memory_order_acquire);
+  }
 
   // One sample of the active behaviour dimension, taken on the calling
   // thread with no global coordination.
   Nanos sample() const {
-    switch (config_.mode) {
+    switch (mode()) {
       case ProbeMode::kLatency: return clock_.now();
       case ProbeMode::kCpu: return thread_cpu_now_ns();
       case ProbeMode::kCausalityOnly: return 0;
@@ -60,7 +100,9 @@ class MonitorRuntime {
 
  private:
   DomainIdentity identity_;
-  MonitorConfig config_;
+  std::atomic<bool> enabled_;
+  std::atomic<ProbeMode> mode_;
+  mutable std::atomic<std::int64_t> probes_in_flight_{0};
   ClockDomain clock_;
   ProcessLogStore store_;
 };

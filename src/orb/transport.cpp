@@ -12,6 +12,9 @@ void Fabric::set_loss(double rate, std::uint64_t seed) {
 
 bool Fabric::send(const std::string& from, const std::string& to,
                   MessageKind kind, std::vector<std::uint8_t> bytes) {
+  // Hash outside the lock; both lookups are heterogeneous, so the hot path
+  // neither rehashes under the mutex nor builds temporary key strings.
+  const LinkKeyView link{from, to, link_hash(from, to)};
   Inbox* inbox = nullptr;
   Nanos latency = 0;
   {
@@ -19,7 +22,7 @@ bool Fabric::send(const std::string& from, const std::string& to,
     auto it = inboxes_.find(to);
     if (it == inboxes_.end()) return false;
     inbox = it->second;
-    auto lat = link_latency_.find({from, to});
+    auto lat = link_latency_.find(link);
     latency = (lat != link_latency_.end()) ? lat->second : default_latency_;
     if (loss_rate_ > 0.0) {
       SplitMix64 step(loss_state_);

@@ -12,10 +12,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
@@ -34,6 +36,51 @@ struct Envelope {
 
 using Inbox = BlockingQueue<Envelope>;
 
+// Directional link key with its hash precomputed at insert time, so the hot
+// send path never rehashes (and, via the transparent view below, never
+// allocates a pair of temporary strings the way the old
+// map<pair<string,string>> lookup did).
+struct LinkKey {
+  std::string from;
+  std::string to;
+  std::size_t hash;
+};
+
+struct LinkKeyView {
+  std::string_view from;
+  std::string_view to;
+  std::size_t hash;
+};
+
+inline std::size_t link_hash(std::string_view from, std::string_view to) {
+  const std::size_t h = std::hash<std::string_view>{}(from);
+  return h ^ (std::hash<std::string_view>{}(to) + 0x9e3779b97f4a7c15ull +
+              (h << 6) + (h >> 2));
+}
+
+struct LinkKeyHash {
+  using is_transparent = void;
+  std::size_t operator()(const LinkKey& k) const { return k.hash; }
+  std::size_t operator()(const LinkKeyView& k) const { return k.hash; }
+};
+
+struct LinkKeyEq {
+  using is_transparent = void;
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    return a.from == b.from && a.to == b.to;
+  }
+};
+
+// Transparent string hashing for the inbox table (lookups take string or
+// string_view without conversion).
+struct NameHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 class Fabric {
  public:
   Fabric() = default;
@@ -50,7 +97,13 @@ class Fabric {
   void set_link_latency(const std::string& from, const std::string& to,
                         Nanos latency) {
     std::lock_guard lock(mu_);
-    link_latency_[{from, to}] = latency;
+    LinkKey key{from, to, link_hash(from, to)};
+    auto it = link_latency_.find(key);
+    if (it != link_latency_.end()) {
+      it->second = latency;
+    } else {
+      link_latency_.emplace(std::move(key), latency);
+    }
   }
 
   void register_domain(const std::string& name, Inbox* inbox) {
@@ -86,8 +139,8 @@ class Fabric {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, Inbox*> inboxes_;
-  std::map<std::pair<std::string, std::string>, Nanos> link_latency_;
+  std::unordered_map<std::string, Inbox*, NameHash, std::equal_to<>> inboxes_;
+  std::unordered_map<LinkKey, Nanos, LinkKeyHash, LinkKeyEq> link_latency_;
   Nanos default_latency_{0};
   std::uint64_t bytes_sent_{0};
   double loss_rate_{0.0};

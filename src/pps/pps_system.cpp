@@ -501,17 +501,22 @@ std::int32_t PpsSystem::submit_job(std::int32_t pages, std::int32_t dpi,
 }
 
 void PpsSystem::wait_quiescent(Nanos poll, int stable_polls) const {
+  // Monotonic accepted+dropped totals: a concurrent streaming drain shrinks
+  // size() but never these, so quiescence detection works while draining.
   auto total = [&] {
-    std::size_t n = 0;
-    for (const auto& d : domains_) n += d->monitor_runtime().store().size();
-    if (com_monitor_) n += com_monitor_->store().size();
+    auto count = [](const monitor::MonitorRuntime& rt) {
+      return rt.store().appended() + rt.store().dropped();
+    };
+    std::uint64_t n = 0;
+    for (const auto& d : domains_) n += count(d->monitor_runtime());
+    if (com_monitor_) n += count(*com_monitor_);
     return n;
   };
-  std::size_t last = total();
+  std::uint64_t last = total();
   int stable = 0;
   while (stable < stable_polls) {
     std::this_thread::sleep_for(std::chrono::nanoseconds(poll));
-    const std::size_t now = total();
+    const std::uint64_t now = total();
     stable = (now == last) ? stable + 1 : 0;
     last = now;
   }
@@ -530,10 +535,14 @@ void PpsSystem::set_probe_mode(monitor::ProbeMode mode) {
   }
 }
 
-monitor::CollectedLogs PpsSystem::collect() const {
-  monitor::Collector collector;
+void PpsSystem::attach_collector(monitor::Collector& collector) const {
   for (const auto& d : domains_) collector.attach(&d->monitor_runtime());
   if (com_monitor_) collector.attach(com_monitor_.get());
+}
+
+monitor::CollectedLogs PpsSystem::collect() const {
+  monitor::Collector collector;
+  attach_collector(collector);
   return collector.collect();
 }
 

@@ -252,16 +252,21 @@ void SyntheticSystem::run_transactions_concurrent(std::size_t total,
 }
 
 void SyntheticSystem::wait_quiescent(Nanos poll, int stable_polls) const {
+  // Monotonic accepted+dropped totals: a concurrent streaming drain shrinks
+  // size() but never these, so quiescence detection works while draining.
   auto total = [&] {
-    std::size_t n = client_->monitor_runtime().store().size();
-    for (const auto& d : domains_) n += d->monitor_runtime().store().size();
+    auto count = [](const monitor::MonitorRuntime& rt) {
+      return rt.store().appended() + rt.store().dropped();
+    };
+    std::uint64_t n = count(client_->monitor_runtime());
+    for (const auto& d : domains_) n += count(d->monitor_runtime());
     return n;
   };
-  std::size_t last = total();
+  std::uint64_t last = total();
   int stable = 0;
   while (stable < stable_polls) {
     std::this_thread::sleep_for(std::chrono::nanoseconds(poll));
-    const std::size_t now = total();
+    const std::uint64_t now = total();
     stable = (now == last) ? stable + 1 : 0;
     last = now;
   }
@@ -278,10 +283,14 @@ void SyntheticSystem::set_probe_mode(monitor::ProbeMode mode) {
   for (auto& d : domains_) reconfigure(*d);
 }
 
-monitor::CollectedLogs SyntheticSystem::collect() const {
-  monitor::Collector collector;
+void SyntheticSystem::attach_collector(monitor::Collector& collector) const {
   collector.attach(&client_->monitor_runtime());
   for (const auto& d : domains_) collector.attach(&d->monitor_runtime());
+}
+
+monitor::CollectedLogs SyntheticSystem::collect() const {
+  monitor::Collector collector;
+  attach_collector(collector);
   return collector.collect();
 }
 

@@ -80,6 +80,10 @@ class SyntheticSystem {
 
   monitor::CollectedLogs collect() const;
 
+  // Attaches every domain's runtime to `collector` (for streaming drains
+  // driven by the caller; collect() is the one-shot offline form).
+  void attach_collector(monitor::Collector& collector) const;
+
   // Reconfigures all domains' probes and clears their logs (a fresh
   // measurement pass on the same deployment).  Only call at quiescence.
   void set_probe_mode(monitor::ProbeMode mode);

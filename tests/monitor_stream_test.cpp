@@ -1,0 +1,321 @@
+// Streaming-collection semantics: the SPSC ring store under concurrent
+// append-while-drain load, epoch-tagged collector drains, and incremental
+// database/DSCG updates converging to the offline result.
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/database.h"
+#include "analysis/dscg.h"
+#include "monitor/collector.h"
+#include "monitor/log_store.h"
+#include "monitor/runtime.h"
+
+namespace causeway::monitor {
+namespace {
+
+TraceRecord tagged(std::uint64_t thread, std::uint64_t i) {
+  TraceRecord r;
+  r.chain = Uuid{thread + 1, i + 1};
+  r.seq = i;
+  r.interface_name = "Stress::Iface";
+  r.function_name = "hammer";
+  r.object_key = (thread << 32) | i;
+  r.thread_ordinal = thread;
+  return r;
+}
+
+// N producer threads hammer the store while a consumer drains in a loop:
+// every record must come out exactly once, per-thread order preserved
+// across the concatenated epochs, with nothing dropped.
+TEST(ProcessLogStoreStream, AppendWhileDrainingLosesAndDuplicatesNothing) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 30000;
+
+  ProcessLogStore store;
+  std::atomic<std::size_t> finished{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&store, &finished, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        store.append(tagged(t, i));
+      }
+      finished.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  // Drain concurrently with the producers, epoch after epoch.
+  std::vector<TraceRecord> seen;
+  while (finished.load(std::memory_order_acquire) < kThreads) {
+    auto batch = store.drain();
+    seen.insert(seen.end(), batch.begin(), batch.end());
+  }
+  for (auto& p : producers) p.join();
+  // Final drain: everything published after the last mid-run epoch.
+  auto tail = store.drain();
+  seen.insert(seen.end(), tail.begin(), tail.end());
+
+  EXPECT_EQ(store.dropped(), 0u);
+  EXPECT_EQ(store.appended(), kThreads * kPerThread);
+  ASSERT_EQ(seen.size(), kThreads * kPerThread);
+
+  // No duplicates, nothing lost.
+  std::set<std::uint64_t> keys;
+  for (const auto& r : seen) keys.insert(r.object_key);
+  EXPECT_EQ(keys.size(), kThreads * kPerThread);
+
+  // Per-thread order survives epoch segmentation.
+  std::vector<std::uint64_t> next(kThreads, 0);
+  for (const auto& r : seen) {
+    const auto t = r.thread_ordinal;
+    const auto i = r.object_key & 0xffffffffu;
+    EXPECT_EQ(i, next[t]) << "thread " << t << " out of order";
+    next[t] = i + 1;
+  }
+  for (std::size_t t = 0; t < kThreads; ++t) EXPECT_EQ(next[t], kPerThread);
+
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.snapshot().empty());
+}
+
+TEST(ProcessLogStoreStream, OverflowIsCountedNotSilent) {
+  ProcessLogStore store(1024);
+  ASSERT_EQ(store.ring_capacity(), 1024u);
+  for (std::uint64_t i = 0; i < 5000; ++i) store.append(tagged(0, i));
+
+  // The first `capacity` records were accepted in order; the rest counted.
+  EXPECT_EQ(store.appended(), 1024u);
+  EXPECT_EQ(store.dropped(), 5000u - 1024u);
+  auto kept = store.snapshot();
+  ASSERT_EQ(kept.size(), 1024u);
+  EXPECT_EQ(kept.front().object_key, 0u);
+  EXPECT_EQ(kept.back().object_key, 1023u);
+
+  // Draining frees capacity for new appends; clear() resets the counter.
+  store.drain();
+  store.append(tagged(0, 9000));
+  EXPECT_EQ(store.size(), 1u);
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.dropped(), 0u);
+}
+
+TEST(ProcessLogStoreStream, SnapshotIsNonConsumingDrainConsumes) {
+  ProcessLogStore store;
+  for (std::uint64_t i = 0; i < 3; ++i) store.append(tagged(0, i));
+  EXPECT_EQ(store.snapshot().size(), 3u);
+  EXPECT_EQ(store.snapshot().size(), 3u);  // still there
+  EXPECT_EQ(store.drain().size(), 3u);
+  EXPECT_TRUE(store.drain().empty());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.appended(), 3u);  // monotonic across drains
+}
+
+TEST(CollectorStream, DrainTagsEpochsAndReportsDropDeltas) {
+  MonitorRuntime rt(DomainIdentity{"proc", "node", "x86"},
+                    MonitorConfig{true, ProbeMode::kCausalityOnly, 16},
+                    ClockDomain{});
+  Collector collector;
+  collector.attach(&rt);
+
+  for (std::uint64_t i = 0; i < 20; ++i) rt.store().append(tagged(0, i));
+  CollectedLogs first = collector.drain();
+  EXPECT_EQ(first.epoch, 1u);
+  EXPECT_EQ(first.records.size(), 16u);
+  EXPECT_EQ(first.dropped, 4u);
+  ASSERT_EQ(first.domains.size(), 1u);
+  EXPECT_EQ(first.domains[0].identity.process_name, "proc");
+  EXPECT_EQ(first.domains[0].record_count, 16u);
+
+  // An idle epoch still announces the domain, with a zero count and no
+  // double-counted drops.
+  CollectedLogs idle = collector.drain();
+  EXPECT_EQ(idle.epoch, 2u);
+  EXPECT_TRUE(idle.records.empty());
+  EXPECT_EQ(idle.dropped, 0u);
+  ASSERT_EQ(idle.domains.size(), 1u);
+  EXPECT_EQ(idle.domains[0].record_count, 0u);
+
+  // Fresh overflow after the drain shows up as the next epoch's delta.
+  for (std::uint64_t i = 0; i < 20; ++i) rt.store().append(tagged(0, 100 + i));
+  CollectedLogs third = collector.drain();
+  EXPECT_EQ(third.epoch, 3u);
+  EXPECT_EQ(third.records.size(), 16u);
+  EXPECT_EQ(third.dropped, 4u);
+
+  // collect() stays the offline view: cumulative drop count.
+  CollectedLogs offline = collector.collect();
+  EXPECT_EQ(offline.epoch, 0u);
+  EXPECT_EQ(offline.dropped, 8u);
+}
+
+}  // namespace
+}  // namespace causeway::monitor
+
+namespace causeway::analysis {
+namespace {
+
+using monitor::CallKind;
+using monitor::EventKind;
+using monitor::TraceRecord;
+
+TraceRecord event(const Uuid& chain, std::uint64_t seq, EventKind e,
+                  CallKind kind = CallKind::kSync) {
+  TraceRecord r;
+  r.chain = chain;
+  r.seq = seq;
+  r.event = e;
+  r.kind = kind;
+  r.interface_name = "Inc::Iface";
+  r.function_name = "step";
+  r.process_name = "proc";
+  r.node_name = "node";
+  r.processor_type = "x86";
+  return r;
+}
+
+void sync_call(std::vector<TraceRecord>& out, const Uuid& chain,
+               std::uint64_t& seq) {
+  out.push_back(event(chain, ++seq, EventKind::kStubStart));
+  out.push_back(event(chain, ++seq, EventKind::kSkelStart));
+  out.push_back(event(chain, ++seq, EventKind::kSkelEnd));
+  out.push_back(event(chain, ++seq, EventKind::kStubEnd));
+}
+
+TEST(IncrementalAnalysis, DscgUpdateMatchesFreshBuildAcrossBatches) {
+  const Uuid a{1, 1}, b{2, 2}, c{3, 3};
+
+  LogDatabase db;
+  EXPECT_EQ(db.generation(), 0u);
+
+  // Batch 1: chain A = one sync call, then a oneway spawn of chain B whose
+  // child events have not arrived yet.
+  std::vector<TraceRecord> batch1;
+  std::uint64_t seq_a = 0;
+  sync_call(batch1, a, seq_a);
+  TraceRecord spawn = event(a, ++seq_a, EventKind::kStubStart, CallKind::kOneway);
+  spawn.spawned_chain = b;
+  batch1.push_back(spawn);
+  batch1.push_back(event(a, ++seq_a, EventKind::kStubEnd, CallKind::kOneway));
+  db.ingest_records(batch1);
+  EXPECT_EQ(db.generation(), 1u);
+
+  Dscg dscg = Dscg::build(db);
+  EXPECT_FALSE(dscg.stale(db));
+  EXPECT_EQ(dscg.chains().size(), 1u);
+  EXPECT_EQ(dscg.roots().size(), 1u);
+
+  // Batch 2: chain B's skeleton-side events arrive, plus a new chain C.
+  std::vector<TraceRecord> batch2;
+  batch2.push_back(event(b, 1, EventKind::kSkelStart, CallKind::kOneway));
+  batch2.push_back(event(b, 2, EventKind::kSkelEnd, CallKind::kOneway));
+  std::uint64_t seq_c = 0;
+  sync_call(batch2, c, seq_c);
+  db.ingest_records(batch2);
+  EXPECT_EQ(db.generation(), 2u);
+  EXPECT_TRUE(dscg.stale(db));
+  EXPECT_EQ(db.chains_since(1).size(), 2u);  // B and C, not A
+
+  // Incremental update rebuilds only the two dirty chains, yet the spawn
+  // edge from (unchanged) A now resolves to B.
+  EXPECT_EQ(dscg.update(db), 2u);
+  EXPECT_EQ(dscg.chains().size(), 3u);
+  ASSERT_NE(dscg.find_chain(b), nullptr);
+  EXPECT_EQ(dscg.roots().size(), 2u);  // A and C; B hangs under A
+  bool b_is_root = false;
+  for (const ChainTree* t : dscg.roots()) b_is_root |= (t->chain == b);
+  EXPECT_FALSE(b_is_root);
+
+  // Batch 3: more events on A (rebuilds A; the spawn edge must survive).
+  std::vector<TraceRecord> batch3;
+  sync_call(batch3, a, seq_a);
+  db.ingest_records(batch3);
+  EXPECT_EQ(dscg.update(db), 1u);
+
+  // The incrementally maintained graph matches a from-scratch build.
+  Dscg fresh = Dscg::build(db);
+  EXPECT_EQ(dscg.chains().size(), fresh.chains().size());
+  EXPECT_EQ(dscg.roots().size(), fresh.roots().size());
+  EXPECT_EQ(dscg.call_count(), fresh.call_count());
+  EXPECT_EQ(dscg.anomaly_count(), fresh.anomaly_count());
+  for (std::size_t i = 0; i < dscg.chains().size(); ++i) {
+    EXPECT_EQ(dscg.chains()[i]->chain, fresh.chains()[i]->chain);
+  }
+
+  // A's spawn site still hangs B after A's rebuild.
+  const ChainTree* a_tree = dscg.find_chain(a);
+  ASSERT_NE(a_tree, nullptr);
+  bool linked = false;
+  for (const auto& child : a_tree->root->children) {
+    for (const ChainTree* s : child->spawned) linked |= (s->chain == b);
+  }
+  EXPECT_TRUE(linked);
+
+  // An update with no new data is a no-op.
+  EXPECT_EQ(dscg.update(db), 0u);
+}
+
+TEST(IncrementalAnalysis, DomainEntriesMergeAcrossEpochBundles) {
+  monitor::CollectedLogs epoch1;
+  epoch1.epoch = 1;
+  epoch1.dropped = 2;
+  epoch1.domains.push_back(
+      {monitor::DomainIdentity{"p1", "n1", "x86"},
+       monitor::ProbeMode::kCausalityOnly, 3});
+  std::uint64_t seq = 0;
+  sync_call(epoch1.records, Uuid{9, 9}, seq);
+
+  monitor::CollectedLogs epoch2;
+  epoch2.epoch = 2;
+  epoch2.dropped = 1;
+  epoch2.domains.push_back(
+      {monitor::DomainIdentity{"p1", "n1", "x86"},
+       monitor::ProbeMode::kCausalityOnly, 4});
+  epoch2.domains.push_back(
+      {monitor::DomainIdentity{"p2", "n2", "arm"},
+       monitor::ProbeMode::kCausalityOnly, 1});
+  sync_call(epoch2.records, Uuid{9, 9}, seq);
+
+  LogDatabase db;
+  db.ingest(epoch1);
+  db.ingest(epoch2);
+
+  ASSERT_EQ(db.domains().size(), 2u);  // p1 merged, not duplicated
+  EXPECT_EQ(db.domains()[0].process_name, "p1");
+  EXPECT_EQ(db.domains()[0].record_count, 7u);  // 3 + 4
+  EXPECT_EQ(db.domains()[1].process_name, "p2");
+  EXPECT_EQ(db.overflow_dropped(), 3u);
+  EXPECT_EQ(db.last_epoch(), 2u);
+}
+
+// Parallel rebuild path: enough dirty chains to cross the worker-pool
+// threshold, verified against the sequential from-scratch result.
+TEST(IncrementalAnalysis, ParallelChainRebuildMatchesSequential) {
+  LogDatabase db;
+  std::vector<TraceRecord> batch;
+  for (std::uint64_t n = 0; n < 64; ++n) {
+    const Uuid chain{n + 10, n + 10};
+    std::uint64_t seq = 0;
+    sync_call(batch, chain, seq);
+    sync_call(batch, chain, seq);
+  }
+  db.ingest_records(batch);
+
+  Dscg dscg;
+  EXPECT_EQ(dscg.update(db), 64u);
+  EXPECT_EQ(dscg.chains().size(), 64u);
+  EXPECT_EQ(dscg.roots().size(), 64u);
+  EXPECT_EQ(dscg.call_count(), 128u);
+  EXPECT_EQ(dscg.anomaly_count(), 0u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(dscg.chains()[i]->chain, db.chains()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace causeway::analysis

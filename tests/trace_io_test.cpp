@@ -105,6 +105,57 @@ TEST(TraceIo, CorruptBytesThrow) {
   }
 }
 
+TEST(TraceIo, MultiSegmentDecode) {
+  // Two concatenated segments (what a streaming run writes) ingest as two
+  // generations of one database.
+  auto first = sample_logs();
+  first.epoch = 1;
+  auto second = sample_logs();
+  second.epoch = 2;
+  second.dropped = 3;
+
+  auto bytes = encode_trace(first);
+  const auto more = encode_trace(second);
+  bytes.insert(bytes.end(), more.begin(), more.end());
+
+  LogDatabase db;
+  EXPECT_EQ(decode_trace(bytes, db), 8u);
+  EXPECT_EQ(db.size(), 8u);
+  EXPECT_EQ(db.generation(), 2u);
+  EXPECT_EQ(db.last_epoch(), 2u);
+  EXPECT_EQ(db.overflow_dropped(), 3u);
+  // Identical domain identities merge rather than duplicate.
+  ASSERT_EQ(db.domains().size(), 2u);
+  EXPECT_EQ(db.domains()[0].record_count, 4u);
+}
+
+TEST(TraceIo, TraceWriterStreamsSegmentsToOneFile) {
+  const auto path = std::filesystem::temp_directory_path() / "causeway_s.cwt";
+  {
+    TraceWriter writer(path.string());
+    auto epoch1 = sample_logs();
+    epoch1.epoch = 1;
+    writer.append(epoch1);
+    auto epoch2 = sample_logs();
+    epoch2.epoch = 2;
+    writer.append(epoch2);
+    // An empty final segment is legal: it carries the domain inventory.
+    monitor::CollectedLogs last;
+    last.epoch = 3;
+    last.domains = epoch1.domains;
+    for (auto& d : last.domains) d.record_count = 0;
+    writer.append(last);
+    EXPECT_EQ(writer.segments(), 3u);
+    EXPECT_EQ(writer.records_written(), 8u);
+  }
+  LogDatabase db;
+  EXPECT_EQ(read_trace_file(path.string(), db), 8u);
+  EXPECT_EQ(db.size(), 8u);
+  EXPECT_EQ(db.last_epoch(), 3u);
+  ASSERT_EQ(db.domains().size(), 2u);
+  std::filesystem::remove(path);
+}
+
 TEST(TraceIo, LargeStreamRoundTrip) {
   // Full paper-shape stream through the codec.
   workload::LogSynthConfig config;

@@ -4,14 +4,26 @@
 // the probes active, reach quiescence, collect the scattered per-process
 // logs, and persist them for the off-line analyzer (causeway-analyze).
 //
+// With --stream, collection happens *while the workload runs*: a drainer
+// thread wakes every --interval-ms, drains the per-thread ring buffers into
+// one epoch bundle, and appends it to the trace file as a segment.  The
+// resulting multi-segment trace synthesizes into the same database (and the
+// same analyzer output) as a single offline collect of the identical run.
+//
 // Usage:
 //   causeway-record [--workload=pps|synthetic] [--mode=latency|cpu|causality]
 //                   [--topology=mono|four|percomp|hybrid]   (pps)
 //                   [--jobs=N] [--transactions=N] [--seed=N]
+//                   [--stream] [--interval-ms=N]
 //                   [--out=trace.cwt]
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "analysis/trace_io.h"
 #include "pps/pps_system.h"
@@ -29,6 +41,8 @@ struct Args {
   std::size_t transactions{10};
   std::uint64_t seed{42};
   std::string out{"trace.cwt"};
+  bool stream{false};
+  int interval_ms{50};
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -52,11 +66,16 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.seed = static_cast<std::uint64_t>(std::atoll(v));
     } else if (const char* v = value("--out=")) {
       args.out = v;
+    } else if (arg == "--stream") {
+      args.stream = true;
+    } else if (const char* v = value("--interval-ms=")) {
+      args.interval_ms = std::atoi(v);
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return false;
     }
   }
+  if (args.interval_ms < 1) args.interval_ms = 1;
   return true;
 }
 
@@ -66,8 +85,57 @@ monitor::ProbeMode parse_mode(const std::string& mode) {
   return monitor::ProbeMode::kLatency;
 }
 
-monitor::CollectedLogs record_pps(const Args& args) {
-  orb::Fabric fabric;
+// Periodic drainer: one segment per epoch while the workload runs, plus a
+// final drain after quiescence so the last partial epoch (and every
+// domain's entry) always lands in the file.
+class StreamDrainer {
+ public:
+  StreamDrainer(monitor::Collector& collector, analysis::TraceWriter& writer,
+                int interval_ms)
+      : collector_(collector), writer_(writer), interval_ms_(interval_ms) {
+    thread_ = std::thread([this] { run(); });
+  }
+
+  // Stops the periodic thread and writes the final segment.  The final
+  // segment is written even when empty: it carries the domain inventory of
+  // a drain epoch, so an analyzer always sees the full deployment.
+  void finish() {
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    writer_.append(collector_.drain());
+  }
+
+ private:
+  void run() {
+    std::unique_lock lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                   [this] { return stop_; });
+      if (stop_) break;
+      lock.unlock();
+      monitor::CollectedLogs batch = collector_.drain();
+      // Skip empty mid-run epochs: no records, nothing to persist.
+      if (!batch.records.empty() || batch.dropped != 0) {
+        writer_.append(batch);
+      }
+      lock.lock();
+    }
+  }
+
+  monitor::Collector& collector_;
+  analysis::TraceWriter& writer_;
+  const int interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_{false};
+  std::thread thread_;
+};
+
+pps::PpsConfig make_pps_config(const Args& args) {
   pps::PpsConfig config;
   config.monitor.mode = parse_mode(args.mode);
   if (args.topology == "mono") {
@@ -79,16 +147,10 @@ monitor::CollectedLogs record_pps(const Args& args) {
   } else {
     config.topology = pps::PpsConfig::Topology::kFourProcess;
   }
-  pps::PpsSystem system(fabric, config);
-  for (int i = 0; i < args.jobs; ++i) {
-    system.submit_job(2 + i % 3, 150 + 150 * (i % 2), i % 2 == 0);
-  }
-  system.wait_quiescent();
-  return system.collect();
+  return config;
 }
 
-monitor::CollectedLogs record_synthetic(const Args& args) {
-  orb::Fabric fabric;
+workload::SyntheticConfig make_synthetic_config(const Args& args) {
   workload::SyntheticConfig config;
   config.seed = args.seed;
   config.domains = 4;
@@ -101,10 +163,51 @@ monitor::CollectedLogs record_synthetic(const Args& args) {
   config.cpu_per_call = 10 * kNanosPerMicro;
   config.processor_kinds = 3;
   config.monitor.mode = parse_mode(args.mode);
-  workload::SyntheticSystem system(fabric, config);
-  system.run_transactions(args.transactions);
+  return config;
+}
+
+// Runs `system` to quiescence; in streaming mode drains into `writer`
+// concurrently, otherwise collects once at the end.
+template <typename System, typename Drive>
+void record(const Args& args, System& system, Drive&& drive) {
+  if (!args.stream) {
+    drive();
+    system.wait_quiescent();
+    monitor::CollectedLogs logs = system.collect();
+    analysis::write_trace_file(args.out, logs);
+    std::printf("causeway-record: %zu records from %zu domains -> %s\n",
+                logs.records.size(), logs.domains.size(), args.out.c_str());
+    return;
+  }
+
+  monitor::Collector collector;
+  system.attach_collector(collector);
+  analysis::TraceWriter writer(args.out);
+  StreamDrainer drainer(collector, writer, args.interval_ms);
+  drive();
   system.wait_quiescent();
-  return system.collect();
+  drainer.finish();
+  std::printf(
+      "causeway-record: %llu records in %zu segments (%llu epochs) -> %s\n",
+      static_cast<unsigned long long>(writer.records_written()),
+      writer.segments(), static_cast<unsigned long long>(collector.epoch()),
+      args.out.c_str());
+}
+
+void record_pps(const Args& args) {
+  orb::Fabric fabric;
+  pps::PpsSystem system(fabric, make_pps_config(args));
+  record(args, system, [&] {
+    for (int i = 0; i < args.jobs; ++i) {
+      system.submit_job(2 + i % 3, 150 + 150 * (i % 2), i % 2 == 0);
+    }
+  });
+}
+
+void record_synthetic(const Args& args) {
+  orb::Fabric fabric;
+  workload::SyntheticSystem system(fabric, make_synthetic_config(args));
+  record(args, system, [&] { system.run_transactions(args.transactions); });
 }
 
 }  // namespace
@@ -114,12 +217,11 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, args)) return 2;
 
   try {
-    monitor::CollectedLogs logs = args.workload == "synthetic"
-                                      ? record_synthetic(args)
-                                      : record_pps(args);
-    analysis::write_trace_file(args.out, logs);
-    std::printf("causeway-record: %zu records from %zu domains -> %s\n",
-                logs.records.size(), logs.domains.size(), args.out.c_str());
+    if (args.workload == "synthetic") {
+      record_synthetic(args);
+    } else {
+      record_pps(args);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "causeway-record: %s\n", e.what());
     return 1;
