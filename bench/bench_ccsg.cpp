@@ -51,7 +51,7 @@ void print_node(const analysis::CcsgNode& node, int depth, int max_depth) {
               static_cast<long long>((self % kNanosPerSecond) / 1000),
               static_cast<long long>(desc / kNanosPerSecond),
               static_cast<long long>((desc % kNanosPerSecond) / 1000));
-  for (const auto& child : node.children) {
+  for (const auto& [key, child] : node.children) {
     print_node(*child, depth + 1, max_depth);
   }
 }

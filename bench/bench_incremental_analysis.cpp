@@ -1,0 +1,231 @@
+// Incremental analysis bench: the epoch-driven pipeline's core promise is
+// that per-epoch update cost scales with the *batch* (dirty chains, their
+// spawn-site neighborhood) and not with the accumulated graph.  A 195k-call
+// stream arrives as E epochs; every epoch runs the full pass chain (DSCG
+// update, annotation, CCSG fold, report/anomaly accumulators) and then
+// re-renders the two artifacts a live analyzer serves (report, CCSG XML).
+// Update and render are timed separately, per epoch, so the cost *curves*
+// over the run are visible -- flat curves are the win, rising ones mean a
+// pass or section still walks the whole graph.
+//
+// A from-scratch rebuild variant (Dscg::build + Ccsg::build +
+// characterization_report over everything, per epoch) runs over the same
+// slices as the baseline the incremental path replaces.
+//
+// Emits BENCH_incremental_analysis.json next to the stdout summary;
+// override the path with --json=PATH.  Flatness is reported, not enforced:
+// this bench is a non-gating artifact.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/ccsg.h"
+#include "analysis/dscg.h"
+#include "analysis/pipeline.h"
+#include "analysis/report.h"
+#include "workload/logsynth.h"
+
+namespace {
+
+using namespace causeway;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kTotalCalls = 195'000;
+constexpr std::size_t kEpochs = 64;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                 .count()) /
+         1e6;
+}
+
+double mean(std::span<const double> xs) {
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return xs.empty() ? 0 : sum / static_cast<double>(xs.size());
+}
+
+struct Curve {
+  std::vector<double> epoch_ms;  // one entry per epoch
+
+  void add(double ms) { epoch_ms.push_back(ms); }
+  double total() const { return mean(epoch_ms) * epoch_ms.size(); }
+  // Mean of the first and last quarter of the run: the flatness signal.
+  double early() const {
+    return mean(std::span(epoch_ms).first(epoch_ms.size() / 4));
+  }
+  double late() const {
+    return mean(std::span(epoch_ms).last(epoch_ms.size() / 4));
+  }
+  double ratio() const { return early() > 0 ? late() / early() : 0; }
+};
+
+struct VariantResult {
+  std::string name;
+  Curve update;  // ingest + pass chain (or full rebuild)
+  Curve render;  // report re-render
+  double final_ccsg_ms{0};
+  std::size_t final_ccsg_bytes{0};
+};
+
+std::vector<std::span<const monitor::TraceRecord>> slice_epochs(
+    const std::vector<monitor::TraceRecord>& records, std::size_t epochs) {
+  std::vector<std::span<const monitor::TraceRecord>> out;
+  const std::size_t span = (records.size() + epochs - 1) / epochs;
+  for (std::size_t off = 0; off < records.size(); off += span) {
+    out.push_back(std::span(records).subspan(
+        off, std::min(span, records.size() - off)));
+  }
+  return out;
+}
+
+// The pipeline path: one AnalysisPipeline fed epoch by epoch.  The live
+// artifact (the report) re-renders every epoch; the full CCSG XML export --
+// whose size grows with the graph's content -- renders once at the end,
+// exactly like `causeway-analyze --follow` does.
+VariantResult run_incremental(
+    const std::vector<std::span<const monitor::TraceRecord>>& slices) {
+  VariantResult result;
+  result.name = "pipeline_incremental";
+  analysis::AnalysisPipeline pipeline;
+  for (const auto slice : slices) {
+    const auto t0 = Clock::now();
+    pipeline.ingest_records(slice);
+    const auto t1 = Clock::now();
+    const std::string report = pipeline.report();
+    const auto t2 = Clock::now();
+    result.update.add(ms_between(t0, t1));
+    result.render.add(ms_between(t1, t2));
+    if (report.empty()) std::abort();  // keep the work live
+  }
+  const auto t0 = Clock::now();
+  const std::string ccsg = pipeline.ccsg_xml();
+  result.final_ccsg_ms = ms_between(t0, Clock::now());
+  result.final_ccsg_bytes = ccsg.size();
+  return result;
+}
+
+// The pre-pipeline loop: every epoch rebuilds the DSCG and the report over
+// everything seen so far.
+VariantResult run_rebuild(
+    const std::vector<std::span<const monitor::TraceRecord>>& slices) {
+  VariantResult result;
+  result.name = "rebuild_from_scratch";
+  analysis::LogDatabase db;
+  analysis::Dscg last;
+  for (const auto slice : slices) {
+    const auto t0 = Clock::now();
+    db.ingest_records(slice);
+    analysis::Dscg dscg = analysis::Dscg::build(db);
+    const auto t1 = Clock::now();
+    const std::string report = analysis::characterization_report(dscg, db);
+    const auto t2 = Clock::now();
+    result.update.add(ms_between(t0, t1));
+    result.render.add(ms_between(t1, t2));
+    if (report.empty()) std::abort();
+    last = std::move(dscg);
+  }
+  const auto t0 = Clock::now();
+  const std::string ccsg = analysis::Ccsg::build(last).to_xml();
+  result.final_ccsg_ms = ms_between(t0, Clock::now());
+  result.final_ccsg_bytes = ccsg.size();
+  return result;
+}
+
+void write_curve(std::ofstream& out, const char* key, const Curve& c,
+                 bool last) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "      \"%s\": {\"total_ms\": %.1f, \"early_epoch_ms\": %.3f, "
+                "\"late_epoch_ms\": %.3f, \"late_over_early\": %.2f,\n"
+                "        \"epoch_ms\": [",
+                key, c.total(), c.early(), c.late(), c.ratio());
+  out << buf;
+  for (std::size_t i = 0; i < c.epoch_ms.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%s%.3f", i ? ", " : "", c.epoch_ms[i]);
+    out << buf;
+  }
+  out << "]}" << (last ? "" : ",") << "\n";
+}
+
+void write_json(const std::string& path, std::size_t records,
+                const std::vector<VariantResult>& variants) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"bench_incremental_analysis\",\n"
+      << "  \"records\": " << records << ",\n"
+      << "  \"epochs\": " << kEpochs << ",\n  \"variants\": [\n";
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& v = variants[i];
+    out << "    {\n      \"variant\": \"" << v.name << "\",\n";
+    write_curve(out, "update", v.update, false);
+    write_curve(out, "render_report", v.render, false);
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "      \"final_ccsg_xml\": {\"ms\": %.1f, \"bytes\": %zu}\n",
+                  v.final_ccsg_ms, v.final_ccsg_bytes);
+    out << buf;
+    out << "    }" << (i + 1 < variants.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+void print_variant(const VariantResult& v) {
+  std::printf(
+      "%-22s update total %8.1f ms, epoch early %7.3f -> late %7.3f ms "
+      "(%.2fx)\n%-22s report total %8.1f ms, epoch early %7.3f -> late "
+      "%7.3f ms (%.2fx)\n%-22s final ccsg xml %.1f ms (%zu bytes)\n",
+      v.name.c_str(), v.update.total(), v.update.early(), v.update.late(),
+      v.update.ratio(), "", v.render.total(), v.render.early(),
+      v.render.late(), v.render.ratio(), "", v.final_ccsg_ms,
+      v.final_ccsg_bytes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_incremental_analysis.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  analysis::LogDatabase source;
+  workload::LogSynthConfig config;
+  config.total_calls = kTotalCalls;
+  workload::synthesize_logs(config, source);
+  const auto& records = source.records();
+  const auto slices = slice_epochs(records, kEpochs);
+
+  std::printf(
+      "=== incremental analysis: per-epoch pipeline cost over a growing "
+      "graph ===\n%zu records in %zu epochs\n\n",
+      records.size(), slices.size());
+
+  std::vector<VariantResult> variants;
+  variants.push_back(run_incremental(slices));
+  variants.push_back(run_rebuild(slices));
+  for (const auto& v : variants) print_variant(v);
+
+  const double inc_total = variants[0].update.total() +
+                           variants[0].render.total();
+  const double reb_total = variants[1].update.total() +
+                           variants[1].render.total();
+  std::printf(
+      "\nincremental vs rebuild: %.1fx total; incremental update late/early "
+      "%.2fx (flat = per-epoch cost tracks the batch, not the graph)\n",
+      inc_total > 0 ? reb_total / inc_total : 0, variants[0].update.ratio());
+
+  write_json(json_path, records.size(), variants);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

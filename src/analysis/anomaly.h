@@ -1,0 +1,114 @@
+// Live anomaly events for the streaming analyzer.
+//
+// The paper's monitor captures "interaction semantics" -- call outcomes and
+// the legal probe-event state machine -- precisely so operators can spot
+// misbehaviour without stopping the system.  This module turns the
+// reconstruction's findings into a stream of events an operator (or a test)
+// can subscribe to while a trace is still growing:
+//
+//   * abnormal-transition -- chain reconstruction flagged an illegal probe
+//     event sequence (ChainTree::anomalies),
+//   * call-failure        -- an invocation completed with a non-success
+//     outcome (semantics capture),
+//   * drop-spike          -- the collection tier discarded records this
+//     epoch (ring overflow), so reconstruction below is incomplete.
+//
+// AnomalyDetector is stateful and deduplicating: scanning the same chain
+// across epochs re-reports only what appeared since the previous scan, so
+// a tailing analyzer emits each finding once even though chains are
+// re-reconstructed from scratch every time they grow.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/dscg.h"
+
+namespace causeway::analysis {
+
+enum class AnomalyKind {
+  kAbnormalTransition,
+  kCallFailure,
+  kDropSpike,
+};
+
+std::string_view to_string(AnomalyKind kind);
+
+struct AnomalyEvent {
+  AnomalyKind kind{AnomalyKind::kAbnormalTransition};
+  std::uint64_t epoch{0};  // collection epoch that surfaced the finding
+  Uuid chain;              // nil for drop spikes
+  std::uint64_t seq{0};    // probe event seq (transitions / failures)
+  std::string detail;
+};
+
+// One JSON object, no trailing newline.
+std::string to_json(const AnomalyEvent& event);
+
+// Where events go.  Sinks must tolerate being called once per finding, in
+// detection order, possibly interleaved with rendering.
+class AnomalySink {
+ public:
+  virtual ~AnomalySink() = default;
+  virtual void on_event(const AnomalyEvent& event) = 0;
+};
+
+// Human-readable one-liners, flushed per event (the stream is an alert
+// channel, not a log file).  Defaults to stderr; tests inject a FILE*.
+class StderrAnomalySink : public AnomalySink {
+ public:
+  explicit StderrAnomalySink(std::FILE* out = stderr) : out_(out) {}
+  void on_event(const AnomalyEvent& event) override;
+
+ private:
+  std::FILE* out_;
+};
+
+class CallbackAnomalySink : public AnomalySink {
+ public:
+  explicit CallbackAnomalySink(std::function<void(const AnomalyEvent&)> fn)
+      : fn_(std::move(fn)) {}
+  void on_event(const AnomalyEvent& event) override { fn_(event); }
+
+ private:
+  std::function<void(const AnomalyEvent&)> fn_;
+};
+
+// Appends one JSON line per event, flushed per event.
+class JsonlAnomalySink : public AnomalySink {
+ public:
+  explicit JsonlAnomalySink(const std::string& path);
+  ~JsonlAnomalySink() override;
+  void on_event(const AnomalyEvent& event) override;
+  bool ok() const { return out_ != nullptr; }
+
+ private:
+  std::FILE* out_{nullptr};
+};
+
+class AnomalyDetector {
+ public:
+  // Scans the chains rebuilt this epoch for transitions / failures that were
+  // not reported by a previous scan, appending events to `out`.
+  void scan(const Dscg& dscg, std::span<const Uuid> rebuilt,
+            std::uint64_t epoch, std::vector<AnomalyEvent>& out);
+
+  // Collection-tier drop accounting for one epoch.
+  void drops(std::uint64_t dropped_delta, std::uint64_t epoch,
+             std::vector<AnomalyEvent>& out);
+
+ private:
+  struct ChainState {
+    std::size_t transitions_reported{0};
+    std::unordered_set<std::uint64_t> failure_seqs;
+  };
+  std::unordered_map<Uuid, ChainState> chains_;
+};
+
+}  // namespace causeway::analysis

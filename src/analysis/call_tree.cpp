@@ -194,4 +194,21 @@ ChainTree build_chain_tree(
   return parser.finish();
 }
 
+namespace {
+
+void reset_node_annotations(CallNode& node) {
+  node.latency.reset();
+  node.latency_overhead = 0;
+  node.raw_latency.reset();
+  node.self_cpu = CpuVector{};
+  node.descendant_cpu = CpuVector{};
+  for (auto& c : node.children) reset_node_annotations(*c);
+}
+
+}  // namespace
+
+void reset_annotations(ChainTree& tree) {
+  if (tree.root) reset_node_annotations(*tree.root);
+}
+
 }  // namespace causeway::analysis

@@ -110,8 +110,19 @@ struct ChainTree {
   bool skeleton_rooted{false};  // begins at a skeleton (oneway child, or the
                                 // caller was not instrumented)
 
+  // Slot in Dscg::chains() -- the chain's first-seen index in the database.
+  // Stable across rebuilds, so incremental passes key their per-root
+  // contributions (imprints) on it.
+  std::uint64_t ordinal{0};
+
   std::size_t call_count() const { return root ? root->subtree_size() : 0; }
 };
+
+// Clears every analysis annotation (latency and CPU) on the chain's nodes.
+// Incremental passes call this before re-annotating trees that were not
+// rebuilt, and the pipeline calls it on every chain when the probe mode
+// flips mid-stream.
+void reset_annotations(ChainTree& tree);
 
 // Replays one chain's sorted events through the reconstruction state
 // machine. `events` must be sorted by ascending seq (LogDatabase does this).

@@ -1,79 +1,122 @@
 #include "analysis/ccsg.h"
 
-#include <tuple>
+#include <algorithm>
 
 #include "common/strings.h"
 
 namespace causeway::analysis {
 namespace {
 
-using MergeKey = std::tuple<std::string_view, std::string_view, std::uint64_t>;
-
-MergeKey key_of(const CallNode& node) {
+CcsgKey key_of(const CallNode& node) {
   return {node.interface_name, node.function_name, node.object_key};
 }
 
-CcsgNode* merge_child(std::vector<std::unique_ptr<CcsgNode>>& children,
-                      std::map<MergeKey, CcsgNode*>& index,
-                      const CallNode& node) {
-  auto it = index.find(key_of(node));
-  if (it != index.end()) return it->second;
-  auto fresh = std::make_unique<CcsgNode>();
-  fresh->interface_name = node.interface_name;
-  fresh->function_name = node.function_name;
-  fresh->object_key = node.object_key;
-  CcsgNode* raw = fresh.get();
-  children.push_back(std::move(fresh));
-  index.emplace(key_of(node), raw);
-  return raw;
+// An instance id names one folded DSCG invocation: high word = the ordinal
+// of the chain the invocation lives in, low word = its 1-based pre-order
+// index within that chain's fold.  Both halves are stable across epochs, so
+// the incremental and offline folds assign identical ids.
+std::uint64_t instance_id(std::uint64_t chain_ordinal, std::uint64_t index) {
+  return (chain_ordinal << 32) | index;
 }
 
-struct Level {
-  std::vector<std::unique_ptr<CcsgNode>>* children;
-  std::map<MergeKey, CcsgNode*> index;
+}  // namespace
+
+// One top-level tree's folded contribution.  Mirrors the merged shape the
+// tree produced in the accumulator, so update() can subtract it exactly
+// before re-folding.
+struct ImprintNode {
+  CcsgKey key;
+  std::uint64_t count{0};
+  std::vector<std::uint64_t> ids;
+  CpuCells self;
+  CpuCells desc;
+  std::map<CcsgKey, std::unique_ptr<ImprintNode>> children;
 };
 
-void fold(const CallNode& node, CcsgNode& into, std::uint64_t& next_instance);
+struct Ccsg::Imprint {
+  std::map<CcsgKey, std::unique_ptr<ImprintNode>> tops;
+};
 
-void fold_children(const CallNode& node, CcsgNode& into,
-                   std::uint64_t& next_instance) {
-  Level level{&into.children, {}};
-  // Pre-index existing children (repeat invocations across chains).
-  for (auto& c : into.children) {
-    level.index.emplace(
-        MergeKey{c->interface_name, c->function_name, c->object_key}, c.get());
+namespace {
+
+ImprintNode* imprint_slot(std::map<CcsgKey, std::unique_ptr<ImprintNode>>& m,
+                          const CallNode& node) {
+  auto key = key_of(node);
+  auto it = m.find(key);
+  if (it == m.end()) {
+    auto fresh = std::make_unique<ImprintNode>();
+    fresh->key = key;
+    it = m.emplace(key, std::move(fresh)).first;
   }
+  return it->second.get();
+}
+
+// Per-chain pre-order counters for instance-id assignment.  Keyed by the
+// chain (not the root) so a chain shared between positions still numbers
+// its invocations in its own tree order.
+using FoldCtx = std::unordered_map<const ChainTree*, std::uint64_t>;
+
+void fold(const CallNode& node, ImprintNode& into, const ChainTree* chain,
+          FoldCtx& ctx) {
+  into.count += 1;
+  into.ids.push_back(instance_id(chain->ordinal, ++ctx[chain]));
+  into.self.add(node.self_cpu);
+  into.desc.add(node.descendant_cpu);
   for (const auto& child : node.children) {
-    CcsgNode* slot = merge_child(*level.children, level.index, *child);
-    fold(*child, *slot, next_instance);
+    fold(*child, *imprint_slot(into.children, *child), chain, ctx);
   }
   for (const ChainTree* spawned : node.spawned) {
     for (const auto& top : spawned->root->children) {
-      CcsgNode* slot = merge_child(*level.children, level.index, *top);
-      fold(*top, *slot, next_instance);
+      fold(*top, *imprint_slot(into.children, *top), spawned, ctx);
     }
   }
 }
 
-void fold(const CallNode& node, CcsgNode& into, std::uint64_t& next_instance) {
-  into.invocation_times += 1;
-  into.instance_ids.push_back(next_instance++);
-  into.self_cpu.add(node.self_cpu);
-  into.descendant_cpu.add(node.descendant_cpu);
-  fold_children(node, into, next_instance);
+void apply_add(std::map<CcsgKey, std::unique_ptr<CcsgNode>>& level,
+               const ImprintNode& imp, std::uint64_t root_ordinal) {
+  auto it = level.find(imp.key);
+  if (it == level.end()) {
+    auto fresh = std::make_unique<CcsgNode>();
+    fresh->interface_name = std::get<0>(imp.key);
+    fresh->function_name = std::get<1>(imp.key);
+    fresh->object_key = std::get<2>(imp.key);
+    it = level.emplace(imp.key, std::move(fresh)).first;
+  }
+  CcsgNode& node = *it->second;
+  node.invocation_times += imp.count;
+  node.instances[root_ordinal] = imp.ids;
+  node.self_cpu.add(imp.self);
+  node.descendant_cpu.add(imp.desc);
+  for (const auto& [key, child] : imp.children) {
+    apply_add(node.children, *child, root_ordinal);
+  }
 }
 
-void emit_cpu(std::string& xml, const std::string& indent,
-              const char* element, const CpuVector& cpu) {
-  for (const auto& [type, ns] : cpu.by_type) {
-    const long long sec = ns / kNanosPerSecond;
-    const long long usec = (ns % kNanosPerSecond) / kNanosPerMicro;
+void apply_sub(std::map<CcsgKey, std::unique_ptr<CcsgNode>>& level,
+               const ImprintNode& imp, std::uint64_t root_ordinal) {
+  auto it = level.find(imp.key);
+  CcsgNode& node = *it->second;
+  node.invocation_times -= imp.count;
+  node.instances.erase(root_ordinal);
+  node.self_cpu.sub(imp.self);
+  node.descendant_cpu.sub(imp.desc);
+  for (const auto& [key, child] : imp.children) {
+    apply_sub(node.children, *child, root_ordinal);
+  }
+  if (node.invocation_times == 0) level.erase(it);
+}
+
+void emit_cpu(std::string& xml, const std::string& indent, const char* element,
+              const CpuCells& cpu) {
+  for (const auto& [type, cell] : cpu.cells) {
+    const long long sec = cell.ns / kNanosPerSecond;
+    const long long usec = (cell.ns % kNanosPerSecond) / kNanosPerMicro;
     xml += strf("%s<%s processorType=\"%s\" seconds=\"%lld\" "
                 "microseconds=\"%lld\"/>\n",
                 indent.c_str(), element,
                 xml_escape(std::string(type)).c_str(), sec, usec);
   }
-  if (cpu.by_type.empty()) {
+  if (cpu.cells.empty()) {
     xml += strf("%s<%s seconds=\"0\" microseconds=\"0\"/>\n", indent.c_str(),
                 element);
   }
@@ -90,44 +133,90 @@ void emit_node(std::string& xml, const CcsgNode& node, int depth) {
       static_cast<unsigned long long>(node.object_key),
       static_cast<unsigned long long>(node.invocation_times));
 
+  const std::vector<std::uint64_t> ids = node.instance_ids();
   xml += inner + "<IncludedFunctionInstances>";
-  for (std::size_t i = 0; i < node.instance_ids.size(); ++i) {
+  for (std::size_t i = 0; i < ids.size(); ++i) {
     if (i > 0) xml += ' ';
-    xml += std::to_string(node.instance_ids[i]);
+    xml += std::to_string(ids[i]);
   }
   xml += "</IncludedFunctionInstances>\n";
 
   emit_cpu(xml, inner, "SelfCPUConsumption", node.self_cpu);
   emit_cpu(xml, inner, "DescendentCPUConsumption", node.descendant_cpu);
 
-  for (const auto& child : node.children) emit_node(xml, *child, depth + 1);
+  for (const auto& [key, child] : node.children) {
+    emit_node(xml, *child, depth + 1);
+  }
   xml += indent + "</Function>\n";
 }
 
 }  // namespace
 
+std::vector<std::uint64_t> CcsgNode::instance_ids() const {
+  std::vector<std::uint64_t> ids;
+  for (const auto& [root, vec] : instances) {
+    ids.insert(ids.end(), vec.begin(), vec.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Ccsg::Ccsg() = default;
+Ccsg::~Ccsg() = default;
+Ccsg::Ccsg(Ccsg&&) noexcept = default;
+Ccsg& Ccsg::operator=(Ccsg&&) noexcept = default;
+
 Ccsg Ccsg::build(const Dscg& dscg) {
   Ccsg ccsg;
-  std::map<MergeKey, CcsgNode*> top_index;
-  std::uint64_t next_instance = 1;
-  for (const ChainTree* tree : dscg.roots()) {
-    for (const auto& top : tree->root->children) {
-      CcsgNode* slot = merge_child(ccsg.roots_, top_index, *top);
-      fold(*top, *slot, next_instance);
-    }
-  }
+  std::vector<std::uint64_t> all;
+  all.reserve(dscg.roots().size());
+  for (const ChainTree* tree : dscg.roots()) all.push_back(tree->ordinal);
+  ccsg.update(dscg, UpdateScope{all, {}, {}});
   return ccsg;
+}
+
+void Ccsg::update(const Dscg& dscg, const UpdateScope& scope) {
+  auto subtract = [&](std::uint64_t ordinal) {
+    auto it = imprints_.find(ordinal);
+    if (it == imprints_.end()) return;
+    for (const auto& [key, imp] : it->second->tops) {
+      apply_sub(top_, *imp, ordinal);
+    }
+    imprints_.erase(it);
+  };
+  for (std::uint64_t ordinal : scope.removed_roots) subtract(ordinal);
+  for (std::uint64_t ordinal : scope.affected_roots) subtract(ordinal);
+
+  for (std::uint64_t ordinal : scope.affected_roots) {
+    const ChainTree* tree = dscg.chains()[ordinal].get();
+    auto imprint = std::make_unique<Imprint>();
+    FoldCtx ctx;
+    for (const auto& top : tree->root->children) {
+      fold(*top, *imprint_slot(imprint->tops, *top), tree, ctx);
+    }
+    for (const auto& [key, imp] : imprint->tops) {
+      apply_add(top_, *imp, ordinal);
+    }
+    imprints_.emplace(ordinal, std::move(imprint));
+  }
+}
+
+std::vector<const CcsgNode*> Ccsg::roots() const {
+  std::vector<const CcsgNode*> out;
+  out.reserve(top_.size());
+  for (const auto& [key, node] : top_) out.push_back(node.get());
+  return out;
 }
 
 std::size_t Ccsg::node_count() const {
   std::size_t n = 0;
-  for (const auto& r : roots_) n += r->subtree_size();
+  for (const auto& [key, node] : top_) n += node->subtree_size();
   return n;
 }
 
 std::string Ccsg::to_xml() const {
   std::string xml = "<?xml version=\"1.0\"?>\n<CCSG>\n";
-  for (const auto& r : roots_) emit_node(xml, *r, 1);
+  for (const auto& [key, node] : top_) emit_node(xml, *node, 1);
   xml += "</CCSG>\n";
   return xml;
 }

@@ -1,5 +1,7 @@
 #include "analysis/cpu.h"
 
+#include <unordered_set>
+
 namespace causeway::analysis {
 
 using monitor::CallKind;
@@ -18,6 +20,11 @@ void annotate_node(CallNode& node, const CpuOptions& options,
   for (auto& child : node.children) annotate_node(*child, options, report);
 
   if (node.is_virtual_root()) return;
+
+  // Reset before computing so re-annotation (incremental refolds, probe-mode
+  // flips) is idempotent.
+  node.self_cpu = CpuVector{};
+  node.descendant_cpu = CpuVector{};
 
   // --- phase 1: self CPU ---
   const auto& skel_start = node.record(EventKind::kSkelStart);
@@ -51,27 +58,30 @@ void annotate_node(CallNode& node, const CpuOptions& options,
 }
 
 // Spawned chains are annotated as part of their own tree; here we only fold
-// their totals into the spawner's descendant vector.
-void charge_spawned(CallNode& node) {
-  for (auto& child : node.children) charge_spawned(*child);
+// their totals into the spawner's descendant vector.  Deterministic
+// pre-conditions: each reachable chain is charged at most once per walk
+// (`charged`), and a chain's own nested spawns are folded before its totals
+// are read.
+void charge_spawned_into(CallNode& node,
+                         std::unordered_set<const ChainTree*>& charged) {
+  for (auto& child : node.children) charge_spawned_into(*child, charged);
+  if (node.spawned.empty()) return;
+
+  CpuVector spawned_total;
   for (ChainTree* spawned : node.spawned) {
-    charge_spawned(*spawned->root);
+    if (charged.insert(spawned).second) {
+      charge_spawned_into(*spawned->root, charged);
+    }
     for (const auto& top : spawned->root->children) {
       node.descendant_cpu.add(top->self_cpu);
       node.descendant_cpu.add(top->descendant_cpu);
+      spawned_total.add(top->self_cpu);
+      spawned_total.add(top->descendant_cpu);
     }
   }
-  if (!node.is_virtual_root() && !node.spawned.empty() && node.parent) {
-    // The folded amounts must also surface in every ancestor's DC.
-    // Recompute lazily: parents were annotated before spawn charging, so
-    // walk up adding the spawned totals.
-    CpuVector spawned_total;
-    for (ChainTree* spawned : node.spawned) {
-      for (const auto& top : spawned->root->children) {
-        spawned_total.add(top->self_cpu);
-        spawned_total.add(top->descendant_cpu);
-      }
-    }
+  if (!node.is_virtual_root() && node.parent) {
+    // The folded amounts must also surface in every ancestor's DC: parents
+    // were annotated before spawn charging, so walk up adding the totals.
     for (CallNode* up = node.parent; up; up = up->parent) {
       if (!up->is_virtual_root()) up->descendant_cpu.add(spawned_total);
     }
@@ -80,14 +90,25 @@ void charge_spawned(CallNode& node) {
 
 }  // namespace
 
+void annotate_chain_cpu(ChainTree& tree, const CpuOptions& options,
+                        CpuReport& report) {
+  if (tree.root) annotate_node(*tree.root, options, report);
+}
+
+void charge_spawned_tree(ChainTree& root_tree) {
+  std::unordered_set<const ChainTree*> charged;
+  charged.insert(&root_tree);  // guards against cycles back to the root
+  charge_spawned_into(*root_tree.root, charged);
+}
+
 CpuReport annotate_cpu(Dscg& dscg, const CpuOptions& options) {
   CpuReport report;
   for (const auto& tree : dscg.chains()) {
-    annotate_node(*tree->root, options, report);
+    annotate_chain_cpu(*tree, options, report);
   }
   if (options.charge_spawned_chains) {
     for (ChainTree* tree : dscg.roots()) {
-      charge_spawned(*tree->root);
+      charge_spawned_tree(*tree);
     }
   }
   return report;

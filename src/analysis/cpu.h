@@ -40,4 +40,19 @@ struct CpuReport {
 
 CpuReport annotate_cpu(Dscg& dscg, const CpuOptions& options = {});
 
+// Per-chain unit of phases 1 and 2 (self CPU and in-chain descendant
+// propagation).  Resets the chain's CPU vectors first, so re-annotation is
+// idempotent -- the incremental pipeline re-annotates exactly the chains
+// covered by the trees it re-folds.
+void annotate_chain_cpu(ChainTree& tree, const CpuOptions& options,
+                        CpuReport& report);
+
+// Folds spawned-chain totals into the spawners' descendant vectors for one
+// top-level tree: each chain reachable from `root_tree` is charged once per
+// walk (a per-call visited set makes the walk deterministic and safe on
+// cyclic/corrupt spawn graphs).  Both the offline annotate_cpu and the
+// incremental pipeline use this same walk, which keeps their outputs
+// byte-identical.
+void charge_spawned_tree(ChainTree& root_tree);
+
 }  // namespace causeway::analysis

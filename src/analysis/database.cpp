@@ -24,7 +24,15 @@ void LogDatabase::add_record(monitor::TraceRecord r) {
   auto [it, inserted] = by_chain_.try_emplace(r.chain);
   if (inserted) chains_.push_back(r.chain);
   it->second.events.push_back(index);
+  if (it->second.last_gen != generation_) {
+    // First record for this chain in the current batch: log it dirty once.
+    dirty_log_.emplace_back(generation_, r.chain);
+  }
   it->second.last_gen = generation_;
+  mode_counts_[static_cast<std::size_t>(r.mode)]++;
+  if (processor_type_set_.insert(r.processor_type).second) {
+    processor_types_.push_back(r.processor_type);
+  }
   records_.push_back(r);
 }
 
@@ -57,7 +65,12 @@ void LogDatabase::ingest_records(
     std::span<const monitor::TraceRecord> records) {
   if (records.empty()) return;
   ++generation_;
-  records_.reserve(records_.size() + records.size());
+  // Grow geometrically: an exact-fit reserve would reallocate (and copy the
+  // whole store) on every epoch of a streaming ingest.
+  const std::size_t needed = records_.size() + records.size();
+  if (records_.capacity() < needed) {
+    records_.reserve(std::max(needed, records_.capacity() * 2));
+  }
   for (const auto& r : records) add_record(r);
 }
 
@@ -75,32 +88,24 @@ std::vector<const monitor::TraceRecord*> LogDatabase::chain_events(
 }
 
 std::vector<Uuid> LogDatabase::chains_since(std::uint64_t gen) const {
+  // Entries are appended with ascending generations; binary-search the first
+  // batch newer than `gen`, then dedup keeping first occurrence (which is
+  // first-seen order for chains born after `gen`).
+  auto it = std::upper_bound(
+      dirty_log_.begin(), dirty_log_.end(), gen,
+      [](std::uint64_t g, const auto& entry) { return g < entry.first; });
   std::vector<Uuid> out;
-  for (const Uuid& chain : chains_) {
-    if (by_chain_.at(chain).last_gen > gen) out.push_back(chain);
+  std::unordered_set<Uuid> seen;
+  for (; it != dirty_log_.end(); ++it) {
+    if (seen.insert(it->second).second) out.push_back(it->second);
   }
   return out;
 }
 
-std::vector<std::string_view> LogDatabase::processor_types() const {
-  std::vector<std::string_view> types;
-  for (const auto& r : records_) {
-    if (std::find(types.begin(), types.end(), r.processor_type) ==
-        types.end()) {
-      types.push_back(r.processor_type);
-    }
-  }
-  return types;
-}
-
 monitor::ProbeMode LogDatabase::primary_mode() const {
-  std::size_t counts[3] = {0, 0, 0};
-  for (const auto& r : records_) {
-    counts[static_cast<std::size_t>(r.mode)]++;
-  }
   std::size_t best = 0;
   for (std::size_t i = 1; i < 3; ++i) {
-    if (counts[i] > counts[best]) best = i;
+    if (mode_counts_[i] > mode_counts_[best]) best = i;
   }
   return static_cast<monitor::ProbeMode>(best);
 }

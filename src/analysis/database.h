@@ -22,6 +22,8 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -66,7 +68,8 @@ class LogDatabase {
 
   // Chains that gained at least one event in a generation > `gen`,
   // first-seen order (a subsequence of chains()).  chains_since(0) is every
-  // chain.
+  // chain.  Served from a per-batch dirty log, so the cost scales with the
+  // number of touched chains, not the whole database.
   std::vector<Uuid> chains_since(std::uint64_t gen) const;
 
   // Cumulative ring-overflow count reported by the ingested bundles: how
@@ -81,10 +84,14 @@ class LogDatabase {
   // (insertion order breaks ties, which only occur on corrupt logs).
   std::vector<const monitor::TraceRecord*> chain_events(const Uuid& chain) const;
 
-  // All distinct processor types seen (defines the <C1..CM> vector axes).
-  std::vector<std::string_view> processor_types() const;
+  // All distinct processor types seen (defines the <C1..CM> vector axes),
+  // first-seen order.  Maintained at ingest, O(1) to read.
+  const std::vector<std::string_view>& processor_types() const {
+    return processor_types_;
+  }
 
   // The probe mode of the bulk of the records (a run uses one mode).
+  // Counts are maintained at ingest, O(1) to read.
   monitor::ProbeMode primary_mode() const;
 
  private:
@@ -108,6 +115,16 @@ class LogDatabase {
   std::uint64_t generation_{0};
   std::uint64_t overflow_dropped_{0};
   std::uint64_t last_epoch_{0};
+
+  // Dirty log: one (generation, chain) entry per batch that touched the
+  // chain, generations ascending.  chains_since binary-searches it instead
+  // of scanning every chain.
+  std::vector<std::pair<std::uint64_t, Uuid>> dirty_log_;
+
+  // Maintained at ingest so the hot report/render queries are O(1).
+  std::vector<std::string_view> processor_types_;
+  std::unordered_set<std::string_view> processor_type_set_;
+  std::size_t mode_counts_[3] = {0, 0, 0};
 };
 
 }  // namespace causeway::analysis

@@ -13,9 +13,15 @@
 // Construction is incremental: update(db) reconstructs only the chains that
 // gained events since the last update (per the database's generation
 // counter), rebuilding independent chains in parallel on a small worker
-// pool, and then relinks the oneway spawn edges from a cached site list so
-// unchanged trees are never re-walked.  build(db) is the from-scratch
+// pool.  Spawn-edge relinking is also incremental: a reverse index (target
+// chain -> referring spawn sites) lets the update re-point only the edges
+// touched by the batch and maintain the root list in place, so per-epoch
+// cost scales with the batch, not the graph.  build(db) is the from-scratch
 // convenience form.
+//
+// Every update records a DscgDelta -- the dirty-propagation seed the
+// analysis pipeline uses to decide which trees downstream passes (CCSG,
+// report, annotation) must re-fold.
 #pragma once
 
 #include <memory>
@@ -27,6 +33,29 @@
 #include "analysis/database.h"
 
 namespace causeway::analysis {
+
+// What one Dscg::update changed.  Consumed by AnalysisPipeline to compute
+// the affected-root closure for downstream incremental passes.
+struct DscgDelta {
+  std::vector<Uuid> rebuilt;        // chains reconstructed this update
+  std::vector<Uuid> touched;        // chains whose outbound spawn links
+                                    // resolved against a chain that appeared
+                                    // this update (subtree content changed
+                                    // without a rebuild)
+  std::vector<Uuid> roots_added;    // chains that became top-level
+  std::vector<Uuid> roots_removed;  // chains that stopped being top-level
+
+  bool empty() const {
+    return rebuilt.empty() && touched.empty() && roots_added.empty() &&
+           roots_removed.empty();
+  }
+  void clear() {
+    rebuilt.clear();
+    touched.clear();
+    roots_added.clear();
+    roots_removed.clear();
+  }
+};
 
 class Dscg {
  public:
@@ -41,10 +70,15 @@ class Dscg {
 
   // Incremental rebuild: reconstructs only chains with events newer than
   // the last update (all of them on the first call), independent chains in
-  // parallel, then regroups the forest.  Returns the number of chains
-  // reconstructed.  Chain order always mirrors db.chains() (first-seen),
-  // so incremental and from-scratch builds yield identical graphs.
+  // parallel, then re-points only the spawn edges the batch touched.
+  // Returns the number of chains reconstructed.  Chain order always mirrors
+  // db.chains() (first-seen), so incremental and from-scratch builds yield
+  // identical graphs.
   std::size_t update(const LogDatabase& db);
+
+  // What the most recent update() changed.  Cleared (empty) when the update
+  // had nothing to do.
+  const DscgDelta& last_delta() const { return delta_; }
 
   // True when the database has ingested batches this graph has not seen.
   bool stale(const LogDatabase& db) const {
@@ -52,7 +86,8 @@ class Dscg {
   }
   std::uint64_t built_generation() const { return built_generation_; }
 
-  // Top-level trees (chains not spawned by any recorded oneway call).
+  // Top-level trees (chains not spawned by any recorded oneway call),
+  // ascending chain ordinal -- i.e. db.chains() first-seen order.
   const std::vector<ChainTree*>& roots() const { return roots_; }
 
   // Every reconstructed chain, spawned or not.
@@ -65,16 +100,30 @@ class Dscg {
     return it == by_id_.end() ? nullptr : chains_[it->second].get();
   }
 
-  // Total calls across all chains (DSCG nodes, virtual roots excluded).
-  std::size_t call_count() const;
+  // Whether the chain at this ordinal is currently top-level, O(1).
+  bool is_root(std::uint64_t ordinal) const {
+    return ordinal < is_root_.size() && is_root_[ordinal];
+  }
 
-  // Anomalies across all chains (the paper's "abnormal" transitions).
-  std::size_t anomaly_count() const;
+  // Total calls across all chains (DSCG nodes, virtual roots excluded).
+  // Running total maintained by update(), O(1).
+  std::size_t call_count() const { return call_count_; }
+
+  // Anomalies across all chains (the paper's "abnormal" transitions), O(1).
+  std::size_t anomaly_count() const { return anomaly_count_; }
 
   // Depth-first visit over the whole graph, crossing into spawned chains.
   template <typename Fn>
   void visit(Fn&& fn) const {
     for (ChainTree* tree : roots_) visit_node(tree->root.get(), fn, 0);
+  }
+
+  // Depth-first visit of one tree (and the chains it spawns), with the
+  // tree's top-level calls at depth 0 -- the per-root unit of work the
+  // incremental passes fold.
+  template <typename Fn>
+  static void visit_tree(const ChainTree& tree, Fn&& fn) {
+    visit_node(tree.root.get(), fn, 0);
   }
 
  private:
@@ -88,18 +137,31 @@ class Dscg {
     }
   }
 
-  std::vector<Uuid> chains_since_built(const LogDatabase& db) const;
-  void relink();
+  void set_root(std::size_t slot, bool is_root);
 
   std::vector<std::unique_ptr<ChainTree>> chains_;  // db.chains() order
-  std::vector<ChainTree*> roots_;
+  std::vector<ChainTree*> roots_;                   // sorted by ordinal
   std::unordered_map<Uuid, std::size_t> by_id_;  // chain uuid -> chains_ slot
 
   // Oneway spawn sites per chain: the nodes (with their target uuids) that
-  // hang child chains.  Recollected only when a chain is rebuilt; relink()
-  // re-resolves every site against the current trees.
+  // hang child chains.  Recollected only when a chain is rebuilt.
   std::unordered_map<Uuid, std::vector<std::pair<CallNode*, Uuid>>> sites_;
 
+  // Reverse index: target chain uuid -> the chains whose spawn sites point
+  // at it.  Entries exist even while the target chain is still unrecorded
+  // (the site resolves the moment the target appears).  This is what makes
+  // relinking O(touched edges) instead of O(all cached sites).
+  struct InboundSite {
+    Uuid owner;       // chain that holds the spawn site
+    CallNode* node;   // the stub-side spawn node inside `owner`
+  };
+  std::unordered_map<Uuid, std::vector<InboundSite>> inbound_;
+
+  std::vector<bool> is_root_;  // per chains_ slot
+
+  std::size_t call_count_{0};
+  std::size_t anomaly_count_{0};
+  DscgDelta delta_;
   std::uint64_t built_generation_{0};
 };
 

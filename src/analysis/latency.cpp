@@ -40,6 +40,12 @@ void annotate_node(CallNode& node, LatencyReport& report) {
 
   if (node.is_virtual_root()) return;
 
+  // Reset before computing so re-annotation (incremental refolds, probe-mode
+  // flips) is idempotent.
+  node.latency.reset();
+  node.latency_overhead = 0;
+  node.raw_latency.reset();
+
   const std::optional<TraceRecord>*first = nullptr, *last = nullptr;
   switch (node.kind) {
     case CallKind::kSync:
@@ -76,10 +82,14 @@ void annotate_node(CallNode& node, LatencyReport& report) {
 
 }  // namespace
 
+void annotate_chain_latency(ChainTree& tree, LatencyReport& report) {
+  if (tree.root) annotate_node(*tree.root, report);
+}
+
 LatencyReport annotate_latency(Dscg& dscg) {
   LatencyReport report;
   for (const auto& tree : dscg.chains()) {
-    annotate_node(*tree->root, report);
+    annotate_chain_latency(*tree, report);
   }
   return report;
 }

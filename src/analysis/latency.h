@@ -31,4 +31,10 @@ struct LatencyReport {
 // Requires the database to have been captured in ProbeMode::kLatency.
 LatencyReport annotate_latency(Dscg& dscg);
 
+// Per-chain unit: latency is computed purely from a chain's own records
+// (spawned chains run outside the measured window), so the incremental
+// pipeline re-annotates only rebuilt chains.  Resets the chain's latency
+// fields first -- calling it again is idempotent.
+void annotate_chain_latency(ChainTree& tree, LatencyReport& report);
+
 }  // namespace causeway::analysis

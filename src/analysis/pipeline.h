@@ -1,0 +1,119 @@
+// The epoch-driven incremental analysis pipeline.
+//
+// Everything downstream of the log database -- DSCG reconstruction,
+// latency/CPU annotation, anomaly detection, the CCSG, the
+// characterization report, timelines, exports -- is organized as a fixed
+// sequence of AnalysisPasses over one shared database.  Each ingested batch
+// (one collection drain epoch, one trace segment of a tailed file, or one
+// offline catch-up over many generations) advances the database generation;
+// the pipeline then runs every pass once with an EpochInfo describing what
+// changed.
+//
+// Dirty propagation is the pipeline's job: the DSCG's delta (chains
+// rebuilt, spawn edges re-pointed, roots added/removed) is closed into an
+// UpdateScope -- the set of top-level trees whose folded contributions
+// downstream accumulators must subtract and re-fold.  The closure follows
+// shared spawned chains in both directions (a re-annotated chain invalidates
+// every tree whose CPU charging walk crosses it), which is what keeps the
+// incremental accumulators exactly equal to a from-scratch build.
+//
+// The contract every pass honors (and tests assert): a fresh pipeline fed
+// the whole trace in one epoch renders byte-identically to the offline free
+// functions, and feeding the same trace in N epochs renders byte-identically
+// to feeding it in one.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/anomaly.h"
+#include "analysis/ccsg.h"
+#include "analysis/database.h"
+#include "analysis/dscg.h"
+#include "analysis/export.h"
+#include "analysis/incremental.h"
+#include "analysis/report.h"
+#include "analysis/timeline.h"
+
+namespace causeway::analysis {
+
+// What one ingested batch changed, handed to every pass in order.
+struct EpochInfo {
+  std::uint64_t generation{0};     // database generation after the ingest
+  std::uint64_t epoch{0};          // collection drain epoch (db.last_epoch())
+  std::size_t new_records{0};      // records this batch added
+  std::uint64_t dropped_delta{0};  // collection-tier drops this batch
+  monitor::ProbeMode mode{monitor::ProbeMode::kCausalityOnly};
+  bool mode_changed{false};  // primary mode flipped: all annotations stale
+
+  const DscgDelta* delta{nullptr};  // what Dscg::update changed
+  UpdateScope scope;                // closed root scope for fold passes
+};
+
+// One stage of the pipeline.  update() must be incremental in the scope --
+// and updating a fresh pass with everything must equal an offline build
+// (the one-epoch degenerate case).
+class AnalysisPass {
+ public:
+  virtual ~AnalysisPass() = default;
+  virtual std::string_view name() const = 0;
+  virtual void update(const LogDatabase& db, const EpochInfo& info) = 0;
+};
+
+class AnalysisPipeline {
+ public:
+  AnalysisPipeline();
+  ~AnalysisPipeline();
+  AnalysisPipeline(const AnalysisPipeline&) = delete;
+  AnalysisPipeline& operator=(const AnalysisPipeline&) = delete;
+
+  // The shared database.  Mutable access lets trace readers append directly
+  // (read_trace_file, TraceTail); call refresh() afterwards to let the
+  // passes catch up.
+  LogDatabase& database();
+  const LogDatabase& database() const;
+
+  // Ingest one batch and run every pass.  Returns what the epoch changed.
+  EpochInfo ingest(const monitor::CollectedLogs& logs);
+  EpochInfo ingest_records(std::span<const monitor::TraceRecord> records);
+
+  // Run the passes over whatever was appended to database() since the last
+  // epoch (no-op EpochInfo when nothing was).
+  EpochInfo refresh();
+
+  const Dscg& dscg() const;
+  const Ccsg& ccsg() const;
+
+  // Renders.  Cached: only sections whose accumulators changed since the
+  // last render are recomputed, and a render at an unchanged generation is
+  // a string copy.
+  std::string report(const ReportOptions& options = {});
+  std::string summary();
+  std::string ccsg_xml();
+  const std::vector<TimelineEntry>& timeline();
+  std::string timeline_text();
+  std::string timeline_csv();
+  std::string export_text(const ExportOptions& options = {});
+  std::string export_dot(const ExportOptions& options = {});
+  std::string export_json(const ExportOptions& options = {});
+  std::string export_html(const ExportOptions& options = {});
+
+  // Sinks (not owned; must outlive the pipeline) receive anomaly events as
+  // epochs are ingested.
+  void add_sink(AnomalySink* sink);
+
+  // One-line progress summary of the last epoch, for live tails.
+  std::string live_summary() const;
+
+  std::uint64_t epochs_ingested() const;
+  std::size_t anomaly_events() const;
+  std::vector<std::string_view> pass_names() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace causeway::analysis

@@ -1,7 +1,7 @@
 #include "analysis/report.h"
 
 #include <algorithm>
-#include <map>
+#include <utility>
 
 #include "analysis/cpu.h"
 #include "analysis/critical_path.h"
@@ -15,223 +15,661 @@ namespace {
 
 using monitor::ProbeMode;
 
-struct FunctionRow {
+std::string sv(std::string_view s) { return std::string(s); }
+
+// --- accumulator cells -------------------------------------------------
+// All exact: integer nanoseconds, counts, multisets keyed on exact values.
+// Doubles appear only in the render functions below.
+
+struct FnCell {
   std::size_t calls{0};
   std::size_t failures{0};
-  std::vector<double> latency_us;
+  std::map<Nanos, std::size_t> latency;  // multiset of per-call latencies
   Nanos self_cpu{0};
   Nanos desc_cpu{0};
+
+  // Render cache: the row's formatted line, recomputed only when the cell
+  // changed -- the function table stays cheap when one epoch touches a few
+  // functions out of hundreds.
+  std::string rendered_row;
+  bool row_dirty{true};
 };
 
-struct SlowCall {
-  double latency_us{0};
+struct EdgeCell {
+  std::size_t calls{0};
+  Nanos latency_sum{0};
+  std::size_t latency_count{0};
+};
+
+struct CpuTypeCell {
+  Nanos ns{0};
+  std::size_t n{0};  // contributing nodes, so zero sums survive subtraction
+};
+
+// Slowest-calls table key: latency descending, label ascending -- the
+// canonical tie-break that makes the table independent of fold order.
+struct SlowKey {
+  Nanos latency{0};
   std::string label;
+  bool operator<(const SlowKey& o) const {
+    if (latency != o.latency) return latency > o.latency;
+    return label < o.label;
+  }
 };
 
-std::string sv(std::string_view s) { return std::string(s); }
+// Critical-path index key: worst transaction first; ties go to the lowest
+// root ordinal so the pick is independent of fold order.
+struct CriticalKey {
+  Nanos total{0};
+  std::uint64_t ordinal{0};
+  bool operator<(const CriticalKey& o) const {
+    if (total != o.total) return total > o.total;
+    return ordinal < o.ordinal;
+  }
+};
 
 }  // namespace
 
-std::string characterization_report(Dscg& dscg, const LogDatabase& db,
-                                    const ReportOptions& options) {
-  const ProbeMode mode = db.primary_mode();
-  if (mode == ProbeMode::kLatency) {
-    annotate_latency(dscg);
-  } else if (mode == ProbeMode::kCpu) {
-    annotate_cpu(dscg);
-  }
+// One top-level tree's folded contribution to every accumulator.
+struct Report::Imprint {
+  std::map<std::string, FnCell> functions;
+  std::map<std::string_view, std::size_t> process_calls;
+  std::map<std::pair<std::string_view, std::string_view>, EdgeCell> edges;
+  std::map<std::string_view, CpuTypeCell> cpu_by_type;
+  std::map<SlowKey, std::size_t> slow;
+  std::size_t failures{0};
 
-  // --- gather ---
-  struct EdgeRow {
-    std::size_t calls{0};
-    Nanos latency_sum{0};
-    std::size_t latency_count{0};
-  };
-  std::map<std::string, FunctionRow> functions;
-  std::map<std::string, std::size_t> process_calls;
-  std::map<std::pair<std::string, std::string>, EdgeRow> edges;
-  std::map<std::string, Nanos> cpu_by_type;
-  std::vector<SlowCall> slow;
-  std::size_t failures = 0;
+  // Topology contribution.  Depth/fanout maxima are per-tree, folded into
+  // the accumulator's multiset of per-tree maxima.
+  std::size_t calls{0};
+  std::size_t depth_sum{0};
+  std::size_t max_depth{0};
+  std::size_t fanout_sum{0};
+  std::size_t non_leaf{0};
+  std::size_t max_fanout{0};
+  std::size_t sync_calls{0};
+  std::size_t oneway_calls{0};
+  std::size_t collocated_calls{0};
+  std::size_t cross_process{0};
+  std::size_t cross_thread{0};
+  std::size_t cross_processor{0};
+  std::map<std::string_view, std::size_t> interfaces;
+  std::map<std::pair<std::string_view, std::string_view>, std::size_t>
+      function_ids;
+  std::map<std::pair<std::string_view, std::uint64_t>, std::size_t> objects;
 
-  dscg.visit([&](const CallNode& node, int) {
-    FunctionRow& row =
-        functions[sv(node.interface_name) + "::" + sv(node.function_name)];
+  std::map<Nanos, std::size_t> top_latency;  // depth-0 transaction latencies
+  Nanos total_self_cpu{0};
+
+  // The tree's own worst critical path, pre-rendered at fold time; the
+  // report section just picks the globally worst entry.
+  bool has_critical{false};
+  Nanos critical_total{0};
+  std::string critical_text;
+};
+
+struct Report::Acc {
+  std::map<std::string, FnCell> functions;
+  std::map<std::string_view, std::size_t> process_calls;
+  std::map<std::pair<std::string_view, std::string_view>, EdgeCell> edges;
+  std::map<std::string_view, CpuTypeCell> cpu_by_type;
+  std::map<SlowKey, std::size_t> slow;
+  std::size_t failures{0};
+
+  std::size_t calls{0};
+  std::size_t depth_sum{0};
+  std::size_t fanout_sum{0};
+  std::size_t non_leaf{0};
+  std::map<std::size_t, std::size_t> root_max_depth;   // per-tree maxima
+  std::map<std::size_t, std::size_t> root_max_fanout;  // per-tree maxima
+  std::size_t sync_calls{0};
+  std::size_t oneway_calls{0};
+  std::size_t collocated_calls{0};
+  std::size_t cross_process{0};
+  std::size_t cross_thread{0};
+  std::size_t cross_processor{0};
+  std::map<std::string_view, std::size_t> interfaces;
+  std::map<std::pair<std::string_view, std::string_view>, std::size_t>
+      function_ids;
+  std::map<std::pair<std::string_view, std::uint64_t>, std::size_t> objects;
+
+  std::map<Nanos, std::size_t> top_latency;
+  Nanos total_self_cpu{0};
+
+  // Worst-first index over every root's pre-rendered critical path; the
+  // values point into the owning Imprints (stable: imprints are erased only
+  // after their index entry is removed).
+  std::map<CriticalKey, const std::string*> critical;
+
+  // Pre-rendered anomaly lines per chain ordinal, refreshed for exactly the
+  // chains a scope rebuilt; only chains that *have* anomalies appear.
+  std::map<std::uint64_t, std::vector<std::string>> anomaly_lines;
+};
+
+namespace {
+
+Report::Imprint fold_tree(const ChainTree& tree) {
+  Report::Imprint imp;
+  Dscg::visit_tree(tree, [&](const CallNode& node, int depth) {
+    FnCell& row =
+        imp.functions[sv(node.interface_name) + "::" + sv(node.function_name)];
     row.calls += 1;
     if (node.failed()) {
       row.failures += 1;
-      ++failures;
+      ++imp.failures;
     }
     if (node.latency) {
-      row.latency_us.push_back(static_cast<double>(*node.latency) / 1e3);
-      slow.push_back({static_cast<double>(*node.latency) / 1e3,
-                      sv(node.interface_name) + "::" +
-                          sv(node.function_name) + " @" +
-                          sv(node.server_process())});
+      row.latency[*node.latency] += 1;
+      imp.slow[SlowKey{*node.latency,
+                       sv(node.interface_name) + "::" +
+                           sv(node.function_name) + " @" +
+                           sv(node.server_process())}] += 1;
+      if (depth == 0) imp.top_latency[*node.latency] += 1;
     }
     row.self_cpu += node.self_cpu.total();
     row.desc_cpu += node.descendant_cpu.total();
+    imp.total_self_cpu += node.self_cpu.total();
     for (const auto& [type, ns] : node.self_cpu.by_type) {
-      cpu_by_type[sv(type)] += ns;
+      CpuTypeCell& cell = imp.cpu_by_type[type];
+      cell.ns += ns;
+      cell.n += 1;
     }
     if (!node.server_process().empty()) {
-      process_calls[sv(node.server_process())] += 1;
+      imp.process_calls[node.server_process()] += 1;
     }
-    // Cross-process invocation edges: caller (stub side) -> callee (skel).
     const auto& stub = node.record(monitor::EventKind::kStubStart);
     const auto& skel = node.record(monitor::EventKind::kSkelStart);
     if (stub && skel && stub->process_name != skel->process_name) {
-      EdgeRow& edge = edges[{sv(stub->process_name), sv(skel->process_name)}];
+      EdgeCell& edge = imp.edges[{stub->process_name, skel->process_name}];
       edge.calls += 1;
       if (node.latency) {
         edge.latency_sum += *node.latency;
         edge.latency_count += 1;
       }
     }
+
+    // Topology.
+    imp.calls += 1;
+    const auto d = static_cast<std::size_t>(depth) + 1;
+    imp.depth_sum += d;
+    imp.max_depth = std::max(imp.max_depth, d);
+    const std::size_t fanout = node.children.size() + node.spawned.size();
+    imp.max_fanout = std::max(imp.max_fanout, fanout);
+    if (fanout > 0) {
+      imp.fanout_sum += fanout;
+      ++imp.non_leaf;
+    }
+    switch (node.kind) {
+      case monitor::CallKind::kSync: ++imp.sync_calls; break;
+      case monitor::CallKind::kOneway:
+        if (stub) ++imp.oneway_calls;
+        break;
+      case monitor::CallKind::kCollocated: ++imp.collocated_calls; break;
+    }
+    if (stub && skel) {
+      if (stub->process_name != skel->process_name) ++imp.cross_process;
+      if (stub->thread_ordinal != skel->thread_ordinal) ++imp.cross_thread;
+      if (stub->processor_type != skel->processor_type) ++imp.cross_processor;
+    }
+    imp.interfaces[node.interface_name] += 1;
+    imp.function_ids[{node.interface_name, node.function_name}] += 1;
+    imp.objects[{node.interface_name, node.object_key}] += 1;
   });
 
-  // --- render ---
+  // The tree's worst critical path (latency-annotated runs only), rendered
+  // here so the report section never has to walk the graph again.  Ties
+  // between top-level calls keep the earliest.
+  for (const auto& top : tree.root->children) {
+    if (!top->latency) continue;
+    const CriticalPath path = critical_path(*top);
+    if (path.steps.empty()) continue;
+    if (imp.has_critical && path.total() <= imp.critical_total) continue;
+    imp.has_critical = true;
+    imp.critical_total = path.total();
+    imp.critical_text = path.to_string();
+    if (const CriticalStep* hot = path.dominant()) {
+      imp.critical_text +=
+          strf("dominant frame: %s::%s (%.1f us exclusive of %.1f us "
+               "end-to-end)\n",
+               sv(hot->node->interface_name).c_str(),
+               sv(hot->node->function_name).c_str(),
+               static_cast<double>(hot->exclusive) / 1e3,
+               static_cast<double>(path.total()) / 1e3);
+    }
+  }
+  return imp;
+}
+
+// summarize() over the exact multiset without expanding it: count, mean
+// from the integer sum, percentiles by cumulative-count lookup.  Cost is
+// the number of *distinct* values, not the number of calls.
+Summary summarize_multiset(const std::map<Nanos, std::size_t>& m) {
+  Summary s;
+  std::size_t n = 0;
+  Nanos total = 0;
+  std::vector<std::pair<double, std::size_t>> cum;  // value us, running count
+  cum.reserve(m.size());
+  for (const auto& [ns, count] : m) {
+    n += count;
+    total += ns * static_cast<Nanos>(count);
+    cum.emplace_back(static_cast<double>(ns) / 1e3, n);
+  }
+  s.count = n;
+  if (n == 0) return s;
+  s.min = cum.front().first;
+  s.max = cum.back().first;
+  s.mean = static_cast<double>(total) / 1e3 / static_cast<double>(n);
+  const auto at = [&](std::size_t idx) {
+    const auto it = std::upper_bound(
+        cum.begin(), cum.end(), idx,
+        [](std::size_t v, const auto& e) { return v < e.second; });
+    return it->first;
+  };
+  const auto pct = [&](double p) {
+    const double rank = p * static_cast<double>(n - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return at(lo) * (1.0 - frac) + at(hi) * frac;
+  };
+  s.p50 = pct(0.50);
+  s.p90 = pct(0.90);
+  s.p99 = pct(0.99);
+  return s;
+}
+
+// Merge a refcounted multiset map: add counts, or subtract and erase when a
+// key's count reaches zero.
+template <typename Map>
+void merge_counts(Map& into, const Map& from, bool add) {
+  for (const auto& [key, count] : from) {
+    if (add) {
+      into[key] += count;
+    } else {
+      auto it = into.find(key);
+      it->second -= count;
+      if (it->second == 0) into.erase(it);
+    }
+  }
+}
+
+void apply(Report::Acc& acc, const Report::Imprint& imp, std::uint64_t ordinal,
+           bool add) {
+  for (const auto& [name, cell] : imp.functions) {
+    if (add) {
+      FnCell& row = acc.functions[name];
+      row.calls += cell.calls;
+      row.failures += cell.failures;
+      merge_counts(row.latency, cell.latency, true);
+      row.self_cpu += cell.self_cpu;
+      row.desc_cpu += cell.desc_cpu;
+      row.row_dirty = true;
+    } else {
+      auto it = acc.functions.find(name);
+      FnCell& row = it->second;
+      row.calls -= cell.calls;
+      row.failures -= cell.failures;
+      merge_counts(row.latency, cell.latency, false);
+      row.self_cpu -= cell.self_cpu;
+      row.desc_cpu -= cell.desc_cpu;
+      row.row_dirty = true;
+      if (row.calls == 0) acc.functions.erase(it);
+    }
+  }
+  if (imp.has_critical) {
+    const CriticalKey key{imp.critical_total, ordinal};
+    if (add) {
+      acc.critical.emplace(key, &imp.critical_text);
+    } else {
+      acc.critical.erase(key);
+    }
+  }
+  merge_counts(acc.process_calls, imp.process_calls, add);
+  for (const auto& [key, cell] : imp.edges) {
+    if (add) {
+      EdgeCell& edge = acc.edges[key];
+      edge.calls += cell.calls;
+      edge.latency_sum += cell.latency_sum;
+      edge.latency_count += cell.latency_count;
+    } else {
+      auto it = acc.edges.find(key);
+      it->second.calls -= cell.calls;
+      it->second.latency_sum -= cell.latency_sum;
+      it->second.latency_count -= cell.latency_count;
+      if (it->second.calls == 0) acc.edges.erase(it);
+    }
+  }
+  for (const auto& [type, cell] : imp.cpu_by_type) {
+    if (add) {
+      CpuTypeCell& c = acc.cpu_by_type[type];
+      c.ns += cell.ns;
+      c.n += cell.n;
+    } else {
+      auto it = acc.cpu_by_type.find(type);
+      it->second.ns -= cell.ns;
+      it->second.n -= cell.n;
+      if (it->second.n == 0) acc.cpu_by_type.erase(it);
+    }
+  }
+  merge_counts(acc.slow, imp.slow, add);
+  merge_counts(acc.top_latency, imp.top_latency, add);
+  merge_counts(acc.interfaces, imp.interfaces, add);
+  merge_counts(acc.function_ids, imp.function_ids, add);
+  merge_counts(acc.objects, imp.objects, add);
+
+  const auto flip = [add](std::size_t& into, std::size_t amount) {
+    if (add) {
+      into += amount;
+    } else {
+      into -= amount;
+    }
+  };
+  flip(acc.failures, imp.failures);
+  flip(acc.calls, imp.calls);
+  flip(acc.depth_sum, imp.depth_sum);
+  flip(acc.fanout_sum, imp.fanout_sum);
+  flip(acc.non_leaf, imp.non_leaf);
+  flip(acc.sync_calls, imp.sync_calls);
+  flip(acc.oneway_calls, imp.oneway_calls);
+  flip(acc.collocated_calls, imp.collocated_calls);
+  flip(acc.cross_process, imp.cross_process);
+  flip(acc.cross_thread, imp.cross_thread);
+  flip(acc.cross_processor, imp.cross_processor);
+  if (imp.calls > 0) {
+    if (add) {
+      acc.root_max_depth[imp.max_depth] += 1;
+      acc.root_max_fanout[imp.max_fanout] += 1;
+    } else {
+      auto d = acc.root_max_depth.find(imp.max_depth);
+      if (--d->second == 0) acc.root_max_depth.erase(d);
+      auto f = acc.root_max_fanout.find(imp.max_fanout);
+      if (--f->second == 0) acc.root_max_fanout.erase(f);
+    }
+  }
+  if (add) {
+    acc.total_self_cpu += imp.total_self_cpu;
+  } else {
+    acc.total_self_cpu -= imp.total_self_cpu;
+  }
+}
+
+TopologyStats topology_from(const Report::Acc& acc, std::size_t chains) {
+  TopologyStats topo;
+  topo.calls = acc.calls;
+  topo.chains = chains;
+  topo.max_depth =
+      acc.root_max_depth.empty() ? 0 : acc.root_max_depth.rbegin()->first;
+  topo.max_fanout =
+      acc.root_max_fanout.empty() ? 0 : acc.root_max_fanout.rbegin()->first;
+  if (acc.calls > 0) {
+    topo.mean_depth = static_cast<double>(acc.depth_sum) /
+                      static_cast<double>(acc.calls);
+  }
+  if (acc.non_leaf > 0) {
+    topo.mean_fanout = static_cast<double>(acc.fanout_sum) /
+                       static_cast<double>(acc.non_leaf);
+  }
+  topo.sync_calls = acc.sync_calls;
+  topo.oneway_calls = acc.oneway_calls;
+  topo.collocated_calls = acc.collocated_calls;
+  topo.cross_process = acc.cross_process;
+  topo.cross_thread = acc.cross_thread;
+  topo.cross_processor = acc.cross_processor;
+  topo.interfaces = acc.interfaces.size();
+  topo.functions = acc.function_ids.size();
+  topo.objects = acc.objects.size();
+  return topo;
+}
+
+}  // namespace
+
+Report::Report() : acc_(std::make_unique<Acc>()) {}
+Report::~Report() = default;
+Report::Report(Report&&) noexcept = default;
+Report& Report::operator=(Report&&) noexcept = default;
+
+void Report::update(const Dscg& dscg, const LogDatabase& db,
+                    const UpdateScope& scope) {
+  (void)db;
+  bool changed = !scope.rebuilt_chains.empty();
+  bool cpu_changed = false;
+  bool edges_changed = false;
+  auto subtract = [&](std::uint64_t ordinal) {
+    auto it = imprints_.find(ordinal);
+    if (it == imprints_.end()) return;
+    cpu_changed |= !it->second->cpu_by_type.empty();
+    edges_changed |= !it->second->edges.empty();
+    apply(*acc_, *it->second, ordinal, false);
+    imprints_.erase(it);
+    changed = true;
+  };
+  for (std::uint64_t ordinal : scope.removed_roots) subtract(ordinal);
+  for (std::uint64_t ordinal : scope.affected_roots) subtract(ordinal);
+  for (std::uint64_t ordinal : scope.affected_roots) {
+    auto imprint =
+        std::make_unique<Imprint>(fold_tree(*dscg.chains()[ordinal]));
+    cpu_changed |= !imprint->cpu_by_type.empty();
+    edges_changed |= !imprint->edges.empty();
+    apply(*acc_, *imprint, ordinal, true);
+    imprints_.emplace(ordinal, std::move(imprint));
+    changed = true;
+  }
+
+  // Refresh the pre-rendered anomaly lines of exactly the rebuilt chains
+  // (anomalies are a parse artifact: they only change on rebuild).
+  for (const Uuid& id : scope.rebuilt_chains) {
+    const ChainTree* tree = dscg.find_chain(id);
+    if (!tree) continue;
+    if (tree->anomalies.empty()) {
+      acc_->anomaly_lines.erase(tree->ordinal);
+      continue;
+    }
+    auto& lines = acc_->anomaly_lines[tree->ordinal];
+    lines.clear();
+    lines.reserve(tree->anomalies.size());
+    for (const auto& a : tree->anomalies) {
+      lines.push_back(strf("chain %s seq %llu: %s\n",
+                           tree->chain.to_string().c_str(),
+                           static_cast<unsigned long long>(a.seq),
+                           a.reason.c_str()));
+    }
+  }
+
+  if (changed) ++data_rev_;
+  if (cpu_changed) ++cpu_rev_;
+  if (edges_changed) ++edge_rev_;
+}
+
+std::string Report::render(const Dscg& dscg, const LogDatabase& db,
+                           const ReportOptions& options) {
+  if (!have_options_ ||
+      options.top_slowest != last_options_.top_slowest ||
+      options.max_anomalies != last_options_.max_anomalies) {
+    slow_cache_.rev = 0;
+    anomalies_cache_.rev = 0;
+    last_options_ = options;
+    have_options_ = true;
+  }
+  const ProbeMode mode = db.primary_mode();
+  const Acc& acc = *acc_;
+
+  // Header: a handful of O(1) counters, re-rendered every time.
   std::string out;
   out += "==================== characterization report ====================\n";
   out += strf("records: %zu   chains: %zu   calls: %zu   anomalies: %zu   "
               "failures: %zu\n",
               db.size(), dscg.chains().size(), dscg.call_count(),
-              dscg.anomaly_count(), failures);
+              dscg.anomaly_count(), acc.failures);
   out += strf("probe mode: %s   processor types: %zu   domains: %zu\n",
               sv(to_string(mode)).c_str(), db.processor_types().size(),
               db.domains().size());
 
-  const TopologyStats topo = compute_topology(dscg);
-  out += strf(
-      "topology: depth max/mean %zu/%.1f   fanout max/mean %zu/%.1f\n"
-      "          sync %zu, oneway %zu, collocated %zu; cross-process %zu, "
-      "cross-thread %zu, cross-processor %zu\n"
-      "          %zu interfaces, %zu functions, %zu objects\n\n",
-      topo.max_depth, topo.mean_depth, topo.max_fanout, topo.mean_fanout,
-      topo.sync_calls, topo.oneway_calls, topo.collocated_calls,
-      topo.cross_process, topo.cross_thread, topo.cross_processor,
-      topo.interfaces, topo.functions, topo.objects);
-
-  out += "--- per function ---\n";
-  if (mode == ProbeMode::kCpu) {
-    out += strf("%-40s %8s %6s %14s %14s\n", "function", "calls", "fail",
-                "self cpu us", "desc cpu us");
-    for (const auto& [name, row] : functions) {
-      out += strf("%-40s %8zu %6zu %14.1f %14.1f\n", name.c_str(), row.calls,
-                  row.failures, static_cast<double>(row.self_cpu) / 1e3,
-                  static_cast<double>(row.desc_cpu) / 1e3);
-    }
-  } else {
-    out += strf("%-40s %8s %6s %10s %10s %10s\n", "function", "calls", "fail",
-                "mean us", "p50 us", "p90 us");
-    for (auto& [name, row] : functions) {
-      const Summary s = summarize(std::move(row.latency_us));
-      out += strf("%-40s %8zu %6zu %10.1f %10.1f %10.1f\n", name.c_str(),
-                  row.calls, row.failures, s.mean, s.p50, s.p90);
-    }
+  if (topology_cache_.rev != data_rev_) {
+    const TopologyStats topo = topology_from(acc, dscg.chains().size());
+    topology_cache_.text = strf(
+        "topology: depth max/mean %zu/%.1f   fanout max/mean %zu/%.1f\n"
+        "          sync %zu, oneway %zu, collocated %zu; cross-process %zu, "
+        "cross-thread %zu, cross-processor %zu\n"
+        "          %zu interfaces, %zu functions, %zu objects\n\n",
+        topo.max_depth, topo.mean_depth, topo.max_fanout, topo.mean_fanout,
+        topo.sync_calls, topo.oneway_calls, topo.collocated_calls,
+        topo.cross_process, topo.cross_thread, topo.cross_processor,
+        topo.interfaces, topo.functions, topo.objects);
+    topology_cache_.rev = data_rev_;
   }
+  out += topology_cache_.text;
 
-  out += "\n--- calls served per process ---\n";
-  for (const auto& [process, calls] : process_calls) {
-    out += strf("%-24s %8zu\n", process.c_str(), calls);
-  }
-
-  if (mode == ProbeMode::kCpu && !cpu_by_type.empty()) {
-    out += "\n--- self CPU per processor type (the <C1..CM> axes) ---\n";
-    for (const auto& [type, ns] : cpu_by_type) {
-      out += strf("%-24s %12.1f us\n", type.c_str(),
-                  static_cast<double>(ns) / 1e3);
-    }
-  }
-
-  if (!edges.empty()) {
-    out += "\n--- cross-process invocations (caller -> callee) ---\n";
-    for (const auto& [edge, row] : edges) {
-      out += strf("%-20s -> %-20s %8zu", edge.first.c_str(),
-                  edge.second.c_str(), row.calls);
-      if (row.latency_count > 0) {
-        out += strf("   mean %10.1f us",
-                    static_cast<double>(row.latency_sum) / 1e3 /
-                        static_cast<double>(row.latency_count));
+  if (functions_cache_.rev != data_rev_ || mode != functions_mode_) {
+    // Rows render from their per-cell cache; only cells an imprint touched
+    // since the last render recompute.  A mode change reformats every row.
+    const bool reformat = mode != functions_mode_;
+    std::string& text = functions_cache_.text;
+    text.clear();
+    text += "--- per function ---\n";
+    if (mode == ProbeMode::kCpu) {
+      text += strf("%-40s %8s %6s %14s %14s\n", "function", "calls", "fail",
+                   "self cpu us", "desc cpu us");
+      for (auto& [name, row] : acc_->functions) {
+        if (row.row_dirty || reformat) {
+          row.rendered_row =
+              strf("%-40s %8zu %6zu %14.1f %14.1f\n", name.c_str(), row.calls,
+                   row.failures, static_cast<double>(row.self_cpu) / 1e3,
+                   static_cast<double>(row.desc_cpu) / 1e3);
+          row.row_dirty = false;
+        }
+        text += row.rendered_row;
       }
-      out += "\n";
-    }
-  }
-
-  if (!slow.empty() && options.top_slowest > 0) {
-    out += "\n--- slowest calls (end-to-end, overhead-corrected) ---\n";
-    std::sort(slow.begin(), slow.end(),
-              [](const SlowCall& a, const SlowCall& b) {
-                return a.latency_us > b.latency_us;
-              });
-    const std::size_t n = std::min(options.top_slowest, slow.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      out += strf("%10.1f us  %s\n", slow[i].latency_us,
-                  slow[i].label.c_str());
-    }
-  }
-
-  if (mode == ProbeMode::kLatency) {
-    const auto paths = critical_paths(dscg);
-    if (!paths.empty() && !paths.front().steps.empty()) {
-      const CriticalPath& worst = paths.front();
-      out += "\n--- critical path of the slowest transaction ---\n";
-      out += worst.to_string();
-      if (const CriticalStep* hot = worst.dominant()) {
-        out += strf("dominant frame: %s::%s (%.1f us exclusive of %.1f us "
-                    "end-to-end)\n",
-                    sv(hot->node->interface_name).c_str(),
-                    sv(hot->node->function_name).c_str(),
-                    static_cast<double>(hot->exclusive) / 1e3,
-                    static_cast<double>(worst.total()) / 1e3);
+    } else {
+      text += strf("%-40s %8s %6s %10s %10s %10s\n", "function", "calls",
+                   "fail", "mean us", "p50 us", "p90 us");
+      for (auto& [name, row] : acc_->functions) {
+        if (row.row_dirty || reformat) {
+          const Summary s = summarize_multiset(row.latency);
+          row.rendered_row =
+              strf("%-40s %8zu %6zu %10.1f %10.1f %10.1f\n", name.c_str(),
+                   row.calls, row.failures, s.mean, s.p50, s.p90);
+          row.row_dirty = false;
+        }
+        text += row.rendered_row;
       }
     }
+    functions_cache_.rev = data_rev_;
+    functions_mode_ = mode;
   }
+  out += functions_cache_.text;
 
-  std::size_t anomaly_lines = 0;
-  for (const auto& tree : dscg.chains()) {
-    for (const auto& a : tree->anomalies) {
-      if (anomaly_lines == 0) out += "\n--- anomalies ---\n";
-      if (anomaly_lines++ >= options.max_anomalies) break;
-      out += strf("chain %s seq %llu: %s\n",
-                  tree->chain.to_string().c_str(),
-                  static_cast<unsigned long long>(a.seq), a.reason.c_str());
+  if (process_cache_.rev != data_rev_) {
+    std::string& text = process_cache_.text;
+    text.clear();
+    text += "\n--- calls served per process ---\n";
+    for (const auto& [process, calls] : acc.process_calls) {
+      text += strf("%-24s %8zu\n", sv(process).c_str(), calls);
     }
-    if (anomaly_lines > options.max_anomalies) break;
+    process_cache_.rev = data_rev_;
   }
-  if (anomaly_lines > options.max_anomalies) {
-    out += strf("... (%zu anomalies total)\n", dscg.anomaly_count());
+  out += process_cache_.text;
+
+  if (cpu_cache_.rev != cpu_rev_) {
+    std::string& text = cpu_cache_.text;
+    text.clear();
+    if (mode == ProbeMode::kCpu && !acc.cpu_by_type.empty()) {
+      text += "\n--- self CPU per processor type (the <C1..CM> axes) ---\n";
+      for (const auto& [type, cell] : acc.cpu_by_type) {
+        text += strf("%-24s %12.1f us\n", sv(type).c_str(),
+                     static_cast<double>(cell.ns) / 1e3);
+      }
+    }
+    cpu_cache_.rev = cpu_rev_;
   }
+  out += cpu_cache_.text;
+
+  if (edges_cache_.rev != edge_rev_) {
+    std::string& text = edges_cache_.text;
+    text.clear();
+    if (!acc.edges.empty()) {
+      text += "\n--- cross-process invocations (caller -> callee) ---\n";
+      for (const auto& [edge, row] : acc.edges) {
+        text += strf("%-20s -> %-20s %8zu", sv(edge.first).c_str(),
+                     sv(edge.second).c_str(), row.calls);
+        if (row.latency_count > 0) {
+          text += strf("   mean %10.1f us",
+                       static_cast<double>(row.latency_sum) / 1e3 /
+                           static_cast<double>(row.latency_count));
+        }
+        text += "\n";
+      }
+    }
+    edges_cache_.rev = edge_rev_;
+  }
+  out += edges_cache_.text;
+
+  if (slow_cache_.rev != data_rev_) {
+    std::string& text = slow_cache_.text;
+    text.clear();
+    if (!acc.slow.empty() && options.top_slowest > 0) {
+      text += "\n--- slowest calls (end-to-end, overhead-corrected) ---\n";
+      std::size_t emitted = 0;
+      for (const auto& [key, count] : acc.slow) {
+        for (std::size_t i = 0; i < count; ++i) {
+          if (emitted++ >= options.top_slowest) break;
+          text += strf("%10.1f us  %s\n",
+                       static_cast<double>(key.latency) / 1e3,
+                       key.label.c_str());
+        }
+        if (emitted > options.top_slowest) break;
+      }
+    }
+    slow_cache_.rev = data_rev_;
+  }
+  out += slow_cache_.text;
+
+  if (critical_cache_.rev != data_rev_) {
+    std::string& text = critical_cache_.text;
+    text.clear();
+    if (mode == ProbeMode::kLatency && !acc.critical.empty()) {
+      // Every root folded its own worst path at update time; the section is
+      // just the head of the worst-first index.
+      text += "\n--- critical path of the slowest transaction ---\n";
+      text += *acc.critical.begin()->second;
+    }
+    critical_cache_.rev = data_rev_;
+  }
+  out += critical_cache_.text;
+
+  if (anomalies_cache_.rev != data_rev_) {
+    std::string& text = anomalies_cache_.text;
+    text.clear();
+    std::size_t anomaly_lines = 0;
+    for (const auto& [ordinal, lines] : acc.anomaly_lines) {
+      for (const auto& line : lines) {
+        if (anomaly_lines == 0) text += "\n--- anomalies ---\n";
+        if (anomaly_lines++ >= options.max_anomalies) break;
+        text += line;
+      }
+      if (anomaly_lines > options.max_anomalies) break;
+    }
+    if (anomaly_lines > options.max_anomalies) {
+      text += strf("... (%zu anomalies total)\n", dscg.anomaly_count());
+    }
+    anomalies_cache_.rev = data_rev_;
+  }
+  out += anomalies_cache_.text;
+
   return out;
 }
 
-std::string summary_json(Dscg& dscg, const LogDatabase& db) {
-  const ProbeMode mode = db.primary_mode();
-  if (mode == ProbeMode::kLatency) {
-    annotate_latency(dscg);
-  } else if (mode == ProbeMode::kCpu) {
-    annotate_cpu(dscg);
-  }
-
-  std::size_t failures = 0;
-  std::vector<double> top_latency_us;
-  Nanos total_self_cpu = 0;
-  dscg.visit([&](const CallNode& node, int depth) {
-    if (node.failed()) ++failures;
-    if (depth == 0 && node.latency) {
-      top_latency_us.push_back(static_cast<double>(*node.latency) / 1e3);
-    }
-    total_self_cpu += node.self_cpu.total();
-  });
-  const TopologyStats topo = compute_topology(dscg);
-  const Summary latency = summarize(std::move(top_latency_us));
+std::string Report::summary(const Dscg& dscg, const LogDatabase& db) {
+  if (summary_cache_.rev == data_rev_) return summary_cache_.text;
+  const Acc& acc = *acc_;
+  const TopologyStats topo = topology_from(acc, dscg.chains().size());
+  const Summary latency = summarize_multiset(acc.top_latency);
 
   std::string out = "{";
   out += strf("\"records\":%zu,\"chains\":%zu,\"calls\":%zu,", db.size(),
               dscg.chains().size(), dscg.call_count());
   out += strf("\"anomalies\":%zu,\"failures\":%zu,", dscg.anomaly_count(),
-              failures);
-  out += strf("\"mode\":\"%s\",", sv(to_string(mode)).c_str());
+              acc.failures);
+  out += strf("\"mode\":\"%s\",", sv(to_string(db.primary_mode())).c_str());
   out += strf(
       "\"topology\":{\"max_depth\":%zu,\"mean_depth\":%.3f,"
       "\"max_fanout\":%zu,\"sync\":%zu,\"oneway\":%zu,\"collocated\":%zu,"
@@ -245,9 +683,53 @@ std::string summary_json(Dscg& dscg, const LogDatabase& db) {
       "\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f},",
       latency.count, latency.mean, latency.p50, latency.p90, latency.p99);
   out += strf("\"total_self_cpu_us\":%.3f",
-              static_cast<double>(total_self_cpu) / 1e3);
+              static_cast<double>(acc.total_self_cpu) / 1e3);
   out += "}";
+  summary_cache_.text = out;
+  summary_cache_.rev = data_rev_;
   return out;
+}
+
+namespace {
+
+void annotate_for_mode(Dscg& dscg, const LogDatabase& db) {
+  const ProbeMode mode = db.primary_mode();
+  if (mode == ProbeMode::kLatency) {
+    annotate_latency(dscg);
+  } else if (mode == ProbeMode::kCpu) {
+    annotate_cpu(dscg);
+  }
+}
+
+std::vector<std::uint64_t> all_roots(const Dscg& dscg) {
+  std::vector<std::uint64_t> ordinals;
+  ordinals.reserve(dscg.roots().size());
+  for (const ChainTree* tree : dscg.roots()) ordinals.push_back(tree->ordinal);
+  return ordinals;
+}
+
+std::vector<Uuid> all_chains(const Dscg& dscg) {
+  std::vector<Uuid> ids;
+  ids.reserve(dscg.chains().size());
+  for (const auto& tree : dscg.chains()) ids.push_back(tree->chain);
+  return ids;
+}
+
+}  // namespace
+
+std::string characterization_report(Dscg& dscg, const LogDatabase& db,
+                                    const ReportOptions& options) {
+  annotate_for_mode(dscg, db);
+  Report report;
+  report.update(dscg, db, UpdateScope{all_roots(dscg), {}, all_chains(dscg)});
+  return report.render(dscg, db, options);
+}
+
+std::string summary_json(Dscg& dscg, const LogDatabase& db) {
+  annotate_for_mode(dscg, db);
+  Report report;
+  report.update(dscg, db, UpdateScope{all_roots(dscg), {}, all_chains(dscg)});
+  return report.summary(dscg, db);
 }
 
 }  // namespace causeway::analysis

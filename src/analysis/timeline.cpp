@@ -6,9 +6,8 @@
 
 namespace causeway::analysis {
 
-std::vector<TimelineEntry> build_timeline(const Dscg& dscg) {
-  std::vector<TimelineEntry> entries;
-  dscg.visit([&](const CallNode& node, int) {
+void gather_timeline(const ChainTree& tree, std::vector<TimelineEntry>& out) {
+  Dscg::visit_tree(tree, [&](const CallNode& node, int) {
     const auto& skel_start = node.record(monitor::EventKind::kSkelStart);
     const auto& skel_end = node.record(monitor::EventKind::kSkelEnd);
     if (!skel_start || !skel_end) return;
@@ -23,15 +22,16 @@ std::vector<TimelineEntry> build_timeline(const Dscg& dscg) {
     entry.end = skel_end->value_start;
     entry.chain = skel_start->chain;
     entry.kind = node.kind;
-    entries.push_back(entry);
+    out.push_back(entry);
   });
+}
 
-  std::sort(entries.begin(), entries.end(),
-            [](const TimelineEntry& a, const TimelineEntry& b) {
-              if (a.process != b.process) return a.process < b.process;
-              if (a.thread != b.thread) return a.thread < b.thread;
-              return a.start < b.start;
-            });
+std::vector<TimelineEntry> build_timeline(const Dscg& dscg) {
+  std::vector<TimelineEntry> entries;
+  for (const ChainTree* tree : dscg.roots()) {
+    gather_timeline(*tree, entries);
+  }
+  std::sort(entries.begin(), entries.end(), TimelineOrder{});
   return entries;
 }
 

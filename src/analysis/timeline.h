@@ -32,9 +32,34 @@ struct TimelineEntry {
   Nanos span() const { return end - start; }
 };
 
-// Entries sorted by (process, thread, start).  Only calls whose skeleton
-// pair was captured in latency mode appear (CPU-mode values are not
-// timestamps).
+// Total order over every rendered field.  Being total (no ties) is what
+// lets the incremental pipeline keep entries in an ordered multiset and
+// still render byte-identically to a from-scratch sort: equal keys render
+// equal lines, so relative order of duplicates never shows.
+struct TimelineOrder {
+  bool operator()(const TimelineEntry& a, const TimelineEntry& b) const {
+    if (a.process != b.process) return a.process < b.process;
+    if (a.thread != b.thread) return a.thread < b.thread;
+    if (a.start != b.start) return a.start < b.start;
+    if (a.end != b.end) return a.end < b.end;
+    if (a.interface_name != b.interface_name) {
+      return a.interface_name < b.interface_name;
+    }
+    if (a.function_name != b.function_name) {
+      return a.function_name < b.function_name;
+    }
+    if (a.chain != b.chain) return a.chain < b.chain;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  }
+};
+
+// Appends one top-level tree's entries (crossing into spawned chains),
+// unsorted -- the per-root unit the incremental pipeline folds.
+void gather_timeline(const ChainTree& tree, std::vector<TimelineEntry>& out);
+
+// Entries in TimelineOrder (lane by process/thread, then time).  Only calls
+// whose skeleton pair was captured in latency mode appear (CPU-mode values
+// are not timestamps).
 std::vector<TimelineEntry> build_timeline(const Dscg& dscg);
 
 // Lane-per-thread rendering:

@@ -234,4 +234,52 @@ void TraceWriter::append(const monitor::CollectedLogs& logs) {
   records_ += logs.records.size();
 }
 
+std::size_t TraceTail::poll(LogDatabase& db) {
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  if (!in) {
+    // Not created yet is fine (the writer may still be starting up), but a
+    // file that vanishes after we read from it is not.
+    if (file_offset_ == 0) return 0;
+    throw TraceIoError("cannot open '" + path_ + "'");
+  }
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  if (size < file_offset_) {
+    throw TraceIoError("trace file '" + path_ + "' shrank while tailing");
+  }
+  if (size > file_offset_) {
+    in.seekg(static_cast<std::streamoff>(file_offset_));
+    const auto grew = static_cast<std::size_t>(size - file_offset_);
+    const std::size_t base = pending_.size();
+    pending_.resize(base + grew);
+    in.read(reinterpret_cast<char*>(pending_.data() + base),
+            static_cast<std::streamsize>(grew));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    pending_.resize(base + got);
+    file_offset_ += got;
+  }
+  if (pending_.empty()) return 0;
+
+  std::size_t records = 0;
+  std::size_t decoded_end = 0;
+  WireCursor cur(pending_.data(), pending_.size());
+  while (cur.remaining() > 0) {
+    try {
+      records += decode_segment(cur, db);
+      decoded_end = cur.position();
+      ++segments_;
+    } catch (const WireError&) {
+      // Wire underflow == the segment's tail has not been written (or
+      // flushed) yet.  Keep the bytes pending and retry next poll.
+      // Structural corruption surfaces as TraceIoError and propagates.
+      break;
+    }
+  }
+  if (decoded_end > 0) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(decoded_end));
+    consumed_ += decoded_end;
+  }
+  return records;
+}
+
 }  // namespace causeway::analysis

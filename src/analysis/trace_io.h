@@ -73,4 +73,33 @@ class TraceWriter {
   std::uint64_t records_{0};
 };
 
+// Streaming reader: tails a growing trace file, ingesting each complete
+// segment as it lands.  A partially-written tail (the writer is mid-append,
+// or the reader raced a flush) is tolerated: poll() keeps the incomplete
+// bytes pending and retries on the next call.  Corrupt data (bad magic, bad
+// version, string ids out of range) still throws TraceIoError -- only
+// *incomplete* tails are recoverable.  Used by `causeway-analyze --follow`.
+class TraceTail {
+ public:
+  explicit TraceTail(std::string path) : path_(std::move(path)) {}
+
+  // Reads whatever the file grew since the last poll and ingests every
+  // complete segment into `db`.  Returns the number of records ingested (0
+  // when nothing new arrived or the tail is still incomplete).  A file that
+  // does not exist yet is "nothing new"; a file that shrinks mid-tail (was
+  // truncated or rewritten underneath us) throws TraceIoError.
+  std::size_t poll(LogDatabase& db);
+
+  std::size_t segments() const { return segments_; }
+  std::uint64_t bytes_consumed() const { return consumed_; }
+  std::size_t pending_bytes() const { return pending_.size(); }
+
+ private:
+  std::string path_;
+  std::uint64_t file_offset_{0};       // bytes read off the file so far
+  std::uint64_t consumed_{0};          // bytes decoded into segments
+  std::vector<std::uint8_t> pending_;  // read but not yet decodable
+  std::size_t segments_{0};
+};
+
 }  // namespace causeway::analysis

@@ -18,6 +18,7 @@
 // monitored application, be written to a trace file, or cross threads.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -45,6 +46,11 @@ struct CollectedLogs {
   // For drain() this is the delta since the previous epoch; for collect()
   // it is the stores' cumulative count.
   std::uint64_t dropped{0};
+
+  // Occupancy of the fullest per-thread ring across all attached domains,
+  // sampled just before this bundle consumed the rings (0.0 empty .. 1.0
+  // overflowing).  Feeds the adaptive drain cadence.
+  double ring_utilization{0.0};
 
   // Backing storage for every string_view inside `records`.
   std::shared_ptr<std::deque<std::string>> strings =
@@ -81,6 +87,10 @@ class Collector {
     }
     for (std::size_t i = 0; i < runtimes_.size(); ++i) {
       const MonitorRuntime* rt = runtimes_[i];
+      // Sample occupancy before consuming: it describes how close the rings
+      // came to overflowing during the epoch this drain closes.
+      const double util = rt->store().max_ring_utilization();
+      if (util > out.ring_utilization) out.ring_utilization = util;
       append_domain(out, intern, *rt, rt->store().drain());
       const std::uint64_t total = rt->store().dropped();
       out.dropped += total - last_dropped_[i];
@@ -127,5 +137,28 @@ class Collector {
   std::uint64_t epoch_{0};
   std::vector<std::uint64_t> last_dropped_;  // per-runtime, for drain deltas
 };
+
+// Adaptive drain cadence policy (`causeway-record --stream`): shortens the
+// interval when the rings overflowed or ran hot this epoch, stretches it
+// when they were near-idle, and holds it otherwise.  Pure function of the
+// epoch's observations so tests can drive it without a live collector.  The
+// result is clamped to [max(1, base/4), base*4] around the user-requested
+// base interval.
+inline std::uint64_t adaptive_interval_ms(std::uint64_t current_ms,
+                                          std::uint64_t base_ms,
+                                          std::uint64_t dropped,
+                                          double ring_utilization) {
+  std::uint64_t next = current_ms;
+  if (dropped > 0) {
+    next = current_ms / 2;  // overflowed: drain twice as often
+  } else if (ring_utilization > 0.5) {
+    next = current_ms * 2 / 3;  // running hot: speed up gently
+  } else if (ring_utilization < 0.1) {
+    next = current_ms + std::max<std::uint64_t>(1, current_ms / 2);  // idle
+  }
+  const std::uint64_t lo = std::max<std::uint64_t>(1, base_ms / 4);
+  const std::uint64_t hi = std::max<std::uint64_t>(lo, base_ms * 4);
+  return std::min(std::max(next, lo), hi);
+}
 
 }  // namespace causeway::monitor

@@ -129,6 +129,23 @@ class ProcessLogStore {
 
   std::size_t ring_capacity() const { return capacity_; }
 
+  // Occupancy of the fullest per-thread ring, 0.0 (all empty) to 1.0 (a
+  // ring is full and probes are dropping).  The *max* rather than the mean:
+  // drops happen per ring, so the busiest thread is the one that limits the
+  // drain cadence.
+  double max_ring_utilization() const {
+    std::lock_guard lock(registry_mu_);
+    double max_util = 0.0;
+    for (const auto& ring : rings_) {
+      const auto used = static_cast<double>(
+          ring->head.load(std::memory_order_acquire) -
+          ring->tail.load(std::memory_order_relaxed));
+      const double util = used / static_cast<double>(capacity_);
+      if (util > max_util) max_util = util;
+    }
+    return max_util;
+  }
+
  private:
   static constexpr std::size_t kBlockShift = 12;  // 4096 records per block
   static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockShift;

@@ -289,15 +289,16 @@ TEST(Ccsg, MergesRepeatInvocationsByIdentity) {
   ASSERT_EQ(ccsg.roots().size(), 1u);  // both F invocations merged
   const CcsgNode& f = *ccsg.roots()[0];
   EXPECT_EQ(f.invocation_times, 2u);
-  EXPECT_EQ(f.instance_ids.size(), 2u);
+  EXPECT_EQ(f.instance_ids().size(), 2u);
   ASSERT_EQ(f.children.size(), 1u);
-  EXPECT_EQ(f.children[0]->invocation_times, 2u);
+  const CcsgNode& g = *f.children.begin()->second;
+  EXPECT_EQ(g.invocation_times, 2u);
   EXPECT_EQ(ccsg.node_count(), 2u);
 
   // Per-invocation: SC_F = (1000-0) - (30-10) = 980; two invocations.
   EXPECT_EQ(f.self_cpu.total(), 2 * 980);
   // G: SC = 400-100 = 300 each.
-  EXPECT_EQ(f.children[0]->self_cpu.total(), 2 * 300);
+  EXPECT_EQ(g.self_cpu.total(), 2 * 300);
   EXPECT_EQ(f.descendant_cpu.total(), 2 * 300);
 }
 

@@ -1,0 +1,164 @@
+// Tailing a growing trace file: TraceTail must deliver each appended
+// segment exactly once, tolerate a partially-written tail (retry, not
+// fatal), reject a file that shrinks, and -- driven through the pipeline --
+// converge to the same bytes an offline run over the finished file renders.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.h"
+#include "analysis/trace_io.h"
+#include "analysis_test_util.h"
+
+namespace causeway::analysis {
+namespace {
+
+using monitor::CallKind;
+using monitor::EventKind;
+using monitor::TraceRecord;
+using testutil::Scribe;
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+monitor::CollectedLogs bundle_of(std::vector<TraceRecord> records,
+                                 std::uint64_t epoch) {
+  monitor::CollectedLogs logs;
+  logs.epoch = epoch;
+  logs.records = std::move(records);
+  return logs;
+}
+
+void append_raw(const std::string& path, const std::uint8_t* data,
+                std::size_t size) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  ASSERT_TRUE(out.good());
+}
+
+TEST(TraceTail, ProgressiveSegmentsConvergeToOfflineBytes) {
+  const std::string path = temp_path("tail_progressive.cwt");
+  std::remove(path.c_str());
+
+  // Three drain epochs over one growing chain plus one independent chain.
+  Scribe a;
+  a.leaf_sync("Tail::I", "first", {0, 1, 2, 3, 4, 5, 6, 7});
+  Scribe b;
+  b.leaf_sync("Tail::I", "other", {10, 11, 12, 13, 14, 15, 16, 17},
+              "procC", "procD");
+  Scribe c;
+  c.leaf_sync("Tail::J", "third", {20, 21, 22, 23, 24, 25, 26, 27});
+
+  TraceWriter writer(path);
+  AnalysisPipeline live;
+  TraceTail tail(path);
+
+  std::size_t total = 0;
+  for (Scribe* s : {&a, &b, &c}) {
+    writer.append(bundle_of(s->records(), writer.segments() + 1));
+    const std::size_t n = tail.poll(live.database());
+    EXPECT_EQ(n, s->records().size());
+    total += n;
+    live.refresh();
+    // Renders at every intermediate state must not corrupt later ones.
+    (void)live.report();
+  }
+  EXPECT_EQ(tail.segments(), 3u);
+  EXPECT_EQ(tail.pending_bytes(), 0u);
+  EXPECT_EQ(live.epochs_ingested(), 3u);
+  EXPECT_EQ(live.database().size(), total);
+
+  // Nothing new: a poll is a no-op.
+  EXPECT_EQ(tail.poll(live.database()), 0u);
+
+  // Offline over the finished file renders the same bytes.
+  AnalysisPipeline offline;
+  EXPECT_EQ(read_trace_file(path, offline.database()), total);
+  offline.refresh();
+  EXPECT_EQ(live.report(), offline.report());
+  EXPECT_EQ(live.summary(), offline.summary());
+  EXPECT_EQ(live.ccsg_xml(), offline.ccsg_xml());
+  EXPECT_EQ(live.timeline_text(), offline.timeline_text());
+}
+
+TEST(TraceTail, PartialTailIsRetriedNotFatal) {
+  const std::string path = temp_path("tail_partial.cwt");
+  std::remove(path.c_str());
+
+  Scribe s;
+  s.leaf_sync("Tail::I", "split", {0, 1, 2, 3, 4, 5, 6, 7});
+  const auto bytes = encode_trace(bundle_of(s.records(), 1));
+  ASSERT_GT(bytes.size(), 16u);
+
+  // First half lands: an incomplete segment is "nothing yet", not an error.
+  const std::size_t half = bytes.size() / 2;
+  append_raw(path, bytes.data(), half);
+  LogDatabase db;
+  TraceTail tail(path);
+  EXPECT_EQ(tail.poll(db), 0u);
+  EXPECT_EQ(tail.pending_bytes(), half);
+  EXPECT_EQ(tail.segments(), 0u);
+
+  // Polling again without growth stays quiet.
+  EXPECT_EQ(tail.poll(db), 0u);
+
+  // The rest lands: the pending bytes complete into one segment.
+  append_raw(path, bytes.data() + half, bytes.size() - half);
+  EXPECT_EQ(tail.poll(db), s.records().size());
+  EXPECT_EQ(tail.segments(), 1u);
+  EXPECT_EQ(tail.pending_bytes(), 0u);
+  EXPECT_EQ(tail.bytes_consumed(), bytes.size());
+}
+
+TEST(TraceTail, MissingFileIsQuietUntilItAppears) {
+  const std::string path = temp_path("tail_missing.cwt");
+  std::remove(path.c_str());
+
+  LogDatabase db;
+  TraceTail tail(path);
+  EXPECT_EQ(tail.poll(db), 0u);  // writer has not started yet
+
+  Scribe s;
+  s.leaf_sync("Tail::I", "late", {0, 1, 2, 3, 4, 5, 6, 7});
+  write_trace_file(path, bundle_of(s.records(), 1));
+  EXPECT_EQ(tail.poll(db), s.records().size());
+}
+
+TEST(TraceTail, ShrinkingFileThrows) {
+  const std::string path = temp_path("tail_shrink.cwt");
+  std::remove(path.c_str());
+
+  Scribe s;
+  s.leaf_sync("Tail::I", "gone", {0, 1, 2, 3, 4, 5, 6, 7});
+  write_trace_file(path, bundle_of(s.records(), 1));
+
+  LogDatabase db;
+  TraceTail tail(path);
+  EXPECT_GT(tail.poll(db), 0u);
+
+  // Truncate the file under the tail: that is a rewrite, not growth.
+  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  EXPECT_THROW(tail.poll(db), TraceIoError);
+}
+
+TEST(TraceTail, CorruptSegmentThrowsInsteadOfPending) {
+  const std::string path = temp_path("tail_corrupt.cwt");
+  std::remove(path.c_str());
+
+  // A full-size blob of garbage: enough bytes to read a "magic" word that
+  // does not match -- structural corruption, not an incomplete tail.
+  std::vector<std::uint8_t> garbage(64, 0xAB);
+  append_raw(path, garbage.data(), garbage.size());
+
+  LogDatabase db;
+  TraceTail tail(path);
+  EXPECT_THROW(tail.poll(db), TraceIoError);
+}
+
+}  // namespace
+}  // namespace causeway::analysis

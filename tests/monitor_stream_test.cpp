@@ -154,6 +154,60 @@ TEST(CollectorStream, DrainTagsEpochsAndReportsDropDeltas) {
   EXPECT_EQ(offline.dropped, 8u);
 }
 
+TEST(CollectorStream, DrainSamplesRingUtilizationBeforeConsuming) {
+  MonitorRuntime rt(DomainIdentity{"proc", "node", "x86"},
+                    MonitorConfig{true, ProbeMode::kCausalityOnly, 64},
+                    ClockDomain{});
+  Collector collector;
+  collector.attach(&rt);
+
+  EXPECT_DOUBLE_EQ(rt.store().max_ring_utilization(), 0.0);
+  for (std::uint64_t i = 0; i < 32; ++i) rt.store().append(tagged(0, i));
+  EXPECT_DOUBLE_EQ(rt.store().max_ring_utilization(), 0.5);
+
+  // The bundle carries the occupancy the rings had when the drain began --
+  // that is the pressure signal the adaptive cadence feeds on.
+  CollectedLogs busy = collector.drain();
+  EXPECT_DOUBLE_EQ(busy.ring_utilization, 0.5);
+  EXPECT_DOUBLE_EQ(rt.store().max_ring_utilization(), 0.0);  // consumed
+
+  CollectedLogs idle = collector.drain();
+  EXPECT_DOUBLE_EQ(idle.ring_utilization, 0.0);
+}
+
+// The cadence policy, point by point: overflow halves, hot rings shorten,
+// idle rings stretch, everything clamps to [base/4, base*4].
+TEST(AdaptiveCadence, PolicyShapesInterval) {
+  constexpr std::uint64_t kBase = 48;
+
+  // Steady state: moderate occupancy holds the interval.
+  EXPECT_EQ(adaptive_interval_ms(kBase, kBase, 0, 0.3), kBase);
+
+  // Drops dominate every other signal: halve.
+  EXPECT_EQ(adaptive_interval_ms(kBase, kBase, 5, 0.05), kBase / 2);
+
+  // Hot ring (no drops yet): shorten by a third.
+  EXPECT_EQ(adaptive_interval_ms(kBase, kBase, 0, 0.8), kBase * 2 / 3);
+
+  // Near-idle: stretch by half.
+  EXPECT_EQ(adaptive_interval_ms(kBase, kBase, 0, 0.01), kBase * 3 / 2);
+
+  // Repeated overflow converges onto the floor, never below it.
+  std::uint64_t ms = kBase;
+  for (int i = 0; i < 10; ++i) ms = adaptive_interval_ms(ms, kBase, 1, 1.0);
+  EXPECT_EQ(ms, kBase / 4);
+
+  // Repeated idling converges onto the ceiling, never above it.
+  ms = kBase;
+  for (int i = 0; i < 10; ++i) ms = adaptive_interval_ms(ms, kBase, 0, 0.0);
+  EXPECT_EQ(ms, kBase * 4);
+
+  // A 1 ms base still makes progress in both directions.
+  EXPECT_EQ(adaptive_interval_ms(1, 1, 0, 0.0), 2u);
+  EXPECT_EQ(adaptive_interval_ms(4, 1, 1, 1.0), 2u);
+  EXPECT_GE(adaptive_interval_ms(1, 1, 1, 1.0), 1u);
+}
+
 }  // namespace
 }  // namespace causeway::monitor
 

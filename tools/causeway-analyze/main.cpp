@@ -1,27 +1,34 @@
-// causeway-analyze -- the stand-alone off-line analyzer.
+// causeway-analyze -- the stand-alone analyzer.
 //
 // Reads one or more trace files (from causeway-record or any embedding of
-// analysis::write_trace_file), reconstructs the DSCG, annotates it per the
-// captured probe mode, and renders the requested artifact.
+// analysis::write_trace_file) through the epoch-driven AnalysisPipeline and
+// renders the requested artifact.  With --follow it tails a growing trace
+// segment-by-segment instead: each complete segment becomes one pipeline
+// epoch, a live summary line goes to stderr, anomaly events stream to the
+// chosen sink, and the final render (identical to an offline run over the
+// same bytes) is emitted when the tail goes quiet.
 //
 // Usage:
 //   causeway-analyze <trace.cwt> [more.cwt ...]
-//                    [--report | --text | --dot | --json | --ccsg]
+//                    [--report | --summary | --text | --dot | --json |
+//                     --ccsg | --html | --timeline | --timeline-csv | --diff]
+//                    [--follow] [--poll-ms=N] [--idle-exit-ms=N]
+//                    [--anomalies=stderr|jsonl:PATH|none]
 //                    [--max-nodes=N] [-o <file>]
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include "analysis/ccsg.h"
-#include "analysis/cpu.h"
+#include "analysis/anomaly.h"
 #include "analysis/diff.h"
 #include "analysis/dscg.h"
 #include "analysis/export.h"
-#include "analysis/latency.h"
-#include "analysis/report.h"
-#include "analysis/timeline.h"
+#include "analysis/pipeline.h"
 #include "analysis/trace_io.h"
 
 using namespace causeway;
@@ -34,8 +41,41 @@ int usage() {
                "           [--report|--summary|--text|--dot|--json|--ccsg|"
                "--html|\n"
                "            --timeline|--timeline-csv|--diff]\n"
+               "           [--follow] [--poll-ms=N] [--idle-exit-ms=N]\n"
+               "           [--anomalies=stderr|jsonl:PATH|none]\n"
                "           [--max-nodes=N] [-o <file>]\n");
   return 2;
+}
+
+std::string render(analysis::AnalysisPipeline& pipeline,
+                   const std::string& format,
+                   const analysis::ExportOptions& options) {
+  if (format == "text") return pipeline.export_text(options);
+  if (format == "dot") return pipeline.export_dot(options);
+  if (format == "json") return pipeline.export_json(options);
+  if (format == "ccsg") return pipeline.ccsg_xml();
+  if (format == "html") return pipeline.export_html(options);
+  if (format == "summary") return pipeline.summary() + "\n";
+  if (format == "timeline") return pipeline.timeline_text();
+  if (format == "timeline-csv") return pipeline.timeline_csv();
+  return pipeline.report();
+}
+
+int emit(const std::string& rendered, const std::string& output) {
+  if (output.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(output);
+  out << rendered;
+  if (!out) {
+    std::fprintf(stderr, "causeway-analyze: cannot write '%s'\n",
+                 output.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu bytes to %s\n", rendered.size(),
+               output.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -44,7 +84,11 @@ int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   std::string format = "report";
   std::string output;
+  std::string anomalies = "none";
   std::size_t max_nodes = 0;
+  bool follow = false;
+  std::uint64_t poll_ms = 200;
+  std::uint64_t idle_exit_ms = 0;  // 0 = follow forever
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -53,6 +97,14 @@ int main(int argc, char** argv) {
         arg == "--summary" || arg == "--diff" || arg == "--timeline" ||
         arg == "--timeline-csv") {
       format = arg.substr(2);
+    } else if (arg == "--follow") {
+      follow = true;
+    } else if (arg.rfind("--poll-ms=", 0) == 0) {
+      poll_ms = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 10));
+    } else if (arg.rfind("--idle-exit-ms=", 0) == 0) {
+      idle_exit_ms = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 15));
+    } else if (arg.rfind("--anomalies=", 0) == 0) {
+      anomalies = arg.substr(12);
     } else if (arg.rfind("--max-nodes=", 0) == 0) {
       max_nodes = static_cast<std::size_t>(std::atoll(arg.c_str() + 12));
     } else if (arg == "-o") {
@@ -80,62 +132,75 @@ int main(int argc, char** argv) {
       analysis::read_trace_file(inputs[1], cur_db);
       auto base = analysis::Dscg::build(base_db);
       auto cur = analysis::Dscg::build(cur_db);
-      const auto diff =
-          analysis::diff_runs(base, base_db, cur, cur_db);
+      const auto diff = analysis::diff_runs(base, base_db, cur, cur_db);
       std::fputs(diff.to_string().c_str(), stdout);
       return diff.clean() ? 0 : 3;  // CI-friendly: nonzero on regression
     }
 
-    analysis::LogDatabase db;
-    for (const auto& path : inputs) {
-      const std::size_t n = analysis::read_trace_file(path, db);
-      std::fprintf(stderr, "loaded %zu records from %s\n", n, path.c_str());
-    }
+    analysis::AnalysisPipeline pipeline;
 
-    auto dscg = analysis::Dscg::build(db);
-    const monitor::ProbeMode mode = db.primary_mode();
-    if (mode == monitor::ProbeMode::kLatency) {
-      analysis::annotate_latency(dscg);
-    } else if (mode == monitor::ProbeMode::kCpu) {
-      analysis::annotate_cpu(dscg);
-    }
-
-    std::string rendered;
-    analysis::ExportOptions options;
-    options.max_nodes = max_nodes;
-    if (format == "text") {
-      rendered = analysis::to_text(dscg, options);
-    } else if (format == "dot") {
-      rendered = analysis::to_dot(dscg, options);
-    } else if (format == "json") {
-      rendered = analysis::to_json(dscg, options);
-    } else if (format == "ccsg") {
-      rendered = analysis::Ccsg::build(dscg).to_xml();
-    } else if (format == "html") {
-      rendered = analysis::to_html(dscg, options);
-    } else if (format == "summary") {
-      rendered = analysis::summary_json(dscg, db) + "\n";
-    } else if (format == "timeline") {
-      rendered = analysis::timeline_to_text(analysis::build_timeline(dscg));
-    } else if (format == "timeline-csv") {
-      rendered = analysis::timeline_to_csv(analysis::build_timeline(dscg));
-    } else {
-      rendered = analysis::characterization_report(dscg, db);
-    }
-
-    if (output.empty()) {
-      std::fputs(rendered.c_str(), stdout);
-    } else {
-      std::ofstream out(output);
-      out << rendered;
-      if (!out) {
+    std::unique_ptr<analysis::AnomalySink> sink;
+    if (anomalies == "stderr") {
+      sink = std::make_unique<analysis::StderrAnomalySink>();
+    } else if (anomalies.rfind("jsonl:", 0) == 0) {
+      auto jsonl =
+          std::make_unique<analysis::JsonlAnomalySink>(anomalies.substr(6));
+      if (!jsonl->ok()) {
         std::fprintf(stderr, "causeway-analyze: cannot write '%s'\n",
-                     output.c_str());
+                     anomalies.c_str() + 6);
         return 1;
       }
-      std::fprintf(stderr, "wrote %zu bytes to %s\n", rendered.size(),
-                   output.c_str());
+      sink = std::move(jsonl);
+    } else if (anomalies != "none") {
+      return usage();
     }
+    if (sink) pipeline.add_sink(sink.get());
+
+    analysis::ExportOptions options;
+    options.max_nodes = max_nodes;
+
+    if (follow) {
+      if (inputs.size() != 1) {
+        std::fprintf(stderr,
+                     "causeway-analyze --follow tails exactly one trace\n");
+        return 2;
+      }
+      analysis::TraceTail tail(inputs[0]);
+      std::uint64_t idle_ms = 0;
+      // First poll immediately; afterwards sleep poll_ms between polls.
+      for (;;) {
+        const std::size_t n = tail.poll(pipeline.database());
+        if (n > 0) {
+          idle_ms = 0;
+          pipeline.refresh();
+          std::fprintf(stderr, "[follow] %s (segments=%zu, pending=%zu B)\n",
+                       pipeline.live_summary().c_str(), tail.segments(),
+                       tail.pending_bytes());
+        } else {
+          idle_ms += poll_ms;
+          if (idle_exit_ms > 0 && idle_ms >= idle_exit_ms) break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+      }
+      std::fprintf(stderr,
+                   "[follow] idle for %llu ms, rendering final %s "
+                   "(%zu segments, %llu bytes, %zu anomalies)\n",
+                   static_cast<unsigned long long>(idle_ms), format.c_str(),
+                   tail.segments(),
+                   static_cast<unsigned long long>(tail.bytes_consumed()),
+                   pipeline.anomaly_events());
+      return emit(render(pipeline, format, options), output);
+    }
+
+    for (const auto& path : inputs) {
+      const std::size_t n =
+          analysis::read_trace_file(path, pipeline.database());
+      std::fprintf(stderr, "loaded %zu records from %s\n", n, path.c_str());
+      // One epoch per input file: exercises the incremental passes exactly
+      // the way --follow does, and renders identically to a single batch.
+      pipeline.refresh();
+    }
+    return emit(render(pipeline, format, options), output);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "causeway-analyze: %s\n", e.what());
     return 1;

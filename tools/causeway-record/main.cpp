@@ -5,16 +5,23 @@
 // logs, and persist them for the off-line analyzer (causeway-analyze).
 //
 // With --stream, collection happens *while the workload runs*: a drainer
-// thread wakes every --interval-ms, drains the per-thread ring buffers into
-// one epoch bundle, and appends it to the trace file as a segment.  The
+// thread wakes periodically, drains the per-thread ring buffers into one
+// epoch bundle, and appends it to the trace file as a segment.  The
 // resulting multi-segment trace synthesizes into the same database (and the
 // same analyzer output) as a single offline collect of the identical run.
+//
+// The drain cadence adapts to the collection tier's observed pressure: an
+// epoch that dropped records (ring overflow) halves the interval, a hot ring
+// shortens it, a near-idle ring stretches it -- always clamped around the
+// --interval-ms base (see monitor::adaptive_interval_ms).  Each persisted
+// epoch reports its cadence decision on stderr; --fixed-interval restores
+// the constant cadence.
 //
 // Usage:
 //   causeway-record [--workload=pps|synthetic] [--mode=latency|cpu|causality]
 //                   [--topology=mono|four|percomp|hybrid]   (pps)
 //                   [--jobs=N] [--transactions=N] [--seed=N]
-//                   [--stream] [--interval-ms=N]
+//                   [--stream] [--interval-ms=N] [--fixed-interval]
 //                   [--out=trace.cwt]
 #include <atomic>
 #include <chrono>
@@ -43,6 +50,7 @@ struct Args {
   std::string out{"trace.cwt"};
   bool stream{false};
   int interval_ms{50};
+  bool adaptive{true};
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -70,6 +78,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.stream = true;
     } else if (const char* v = value("--interval-ms=")) {
       args.interval_ms = std::atoi(v);
+    } else if (arg == "--fixed-interval") {
+      args.adaptive = false;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return false;
@@ -87,12 +97,18 @@ monitor::ProbeMode parse_mode(const std::string& mode) {
 
 // Periodic drainer: one segment per epoch while the workload runs, plus a
 // final drain after quiescence so the last partial epoch (and every
-// domain's entry) always lands in the file.
+// domain's entry) always lands in the file.  With `adaptive`, the wait
+// between drains follows adaptive_interval_ms over each epoch's observed
+// drop count and ring occupancy.
 class StreamDrainer {
  public:
   StreamDrainer(monitor::Collector& collector, analysis::TraceWriter& writer,
-                int interval_ms)
-      : collector_(collector), writer_(writer), interval_ms_(interval_ms) {
+                int interval_ms, bool adaptive)
+      : collector_(collector),
+        writer_(writer),
+        base_ms_(static_cast<std::uint64_t>(interval_ms)),
+        current_ms_(base_ms_),
+        adaptive_(adaptive) {
     thread_ = std::thread([this] { run(); });
   }
 
@@ -113,14 +129,29 @@ class StreamDrainer {
   void run() {
     std::unique_lock lock(mu_);
     while (!stop_) {
-      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+      cv_.wait_for(lock, std::chrono::milliseconds(current_ms_),
                    [this] { return stop_; });
       if (stop_) break;
       lock.unlock();
       monitor::CollectedLogs batch = collector_.drain();
+      const std::uint64_t prev_ms = current_ms_;
+      if (adaptive_) {
+        current_ms_ = monitor::adaptive_interval_ms(
+            current_ms_, base_ms_, batch.dropped, batch.ring_utilization);
+      }
       // Skip empty mid-run epochs: no records, nothing to persist.
       if (!batch.records.empty() || batch.dropped != 0) {
         writer_.append(batch);
+        std::fprintf(
+            stderr,
+            "[stream] epoch %llu: +%zu records, dropped %llu, ring %.1f%%, "
+            "interval %llu -> %llu ms\n",
+            static_cast<unsigned long long>(batch.epoch),
+            batch.records.size(),
+            static_cast<unsigned long long>(batch.dropped),
+            batch.ring_utilization * 100.0,
+            static_cast<unsigned long long>(prev_ms),
+            static_cast<unsigned long long>(current_ms_));
       }
       lock.lock();
     }
@@ -128,7 +159,9 @@ class StreamDrainer {
 
   monitor::Collector& collector_;
   analysis::TraceWriter& writer_;
-  const int interval_ms_;
+  const std::uint64_t base_ms_;
+  std::uint64_t current_ms_;
+  const bool adaptive_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_{false};
@@ -183,7 +216,7 @@ void record(const Args& args, System& system, Drive&& drive) {
   monitor::Collector collector;
   system.attach_collector(collector);
   analysis::TraceWriter writer(args.out);
-  StreamDrainer drainer(collector, writer, args.interval_ms);
+  StreamDrainer drainer(collector, writer, args.interval_ms, args.adaptive);
   drive();
   system.wait_quiescent();
   drainer.finish();
