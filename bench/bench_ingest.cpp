@@ -1,0 +1,190 @@
+// Sharded-ingest bench: LogDatabase::ingest_records throughput vs shard
+// count, plus a batch-size sweep at the machine's native shard count.
+//
+// The workload is the E2 synthesizer's record stream (multi-chain,
+// multi-process, realistic string identities), ingested as one big batch so
+// the parallel scatter path engages.  Acceptance shape: with shards =
+// hardware_concurrency on a >= 1M-record batch, throughput must reach 3x
+// the single-shard run (only meaningful on >= 4 cores; the JSON carries the
+// core count so the artifact is interpretable on any runner).
+//
+// Emits BENCH_ingest.json next to the stdout summary; override with
+// --json=PATH, shrink the workload with --calls=N.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/database.h"
+#include "workload/logsynth.h"
+
+namespace {
+
+using namespace causeway;
+using Clock = std::chrono::steady_clock;
+
+struct RunResult {
+  std::string name;
+  std::size_t shards{0};
+  std::size_t batch_records{0};  // records per ingest call
+  std::size_t records{0};
+  double seconds{0};
+  double records_per_sec{0};
+};
+
+// Ingests `records` into a fresh LogDatabase(shards) in `batch`-sized
+// chunks (0 = one shot), best of `reps` timed runs.
+RunResult run(std::string name, std::size_t shards, std::size_t batch,
+              std::span<const monitor::TraceRecord> records, int reps) {
+  RunResult r;
+  r.name = std::move(name);
+  r.shards = shards;
+  r.batch_records = batch == 0 ? records.size() : batch;
+  r.records = records.size();
+  double best = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    analysis::LogDatabase db(shards);
+    const auto t0 = Clock::now();
+    if (batch == 0) {
+      db.ingest_records(records);
+    } else {
+      for (std::size_t off = 0; off < records.size(); off += batch) {
+        db.ingest_records(
+            records.subspan(off, std::min(batch, records.size() - off)));
+      }
+    }
+    const auto t1 = Clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    if (db.size() != records.size()) {
+      std::fprintf(stderr, "FATAL: ingested %zu of %zu records\n", db.size(),
+                   records.size());
+      std::exit(1);
+    }
+  }
+  r.seconds = best;
+  r.records_per_sec = static_cast<double>(records.size()) / best;
+  return r;
+}
+
+void print_result(const RunResult& r, double baseline_rps) {
+  std::printf(
+      "%-18s shards %2zu  batch %8zu | %7.3f s  %10.0f rec/s  %5.2fx\n",
+      r.name.c_str(), r.shards, r.batch_records, r.seconds, r.records_per_sec,
+      baseline_rps > 0 ? r.records_per_sec / baseline_rps : 1.0);
+}
+
+void write_json(const std::string& path, std::size_t cores,
+                std::size_t records, const std::vector<RunResult>& runs,
+                double speedup, bool target_applicable, bool meets_target) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n"
+      << "  \"bench\": \"bench_ingest\",\n"
+      << "  \"hardware_concurrency\": " << cores << ",\n"
+      << "  \"records\": " << records << ",\n"
+      << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"shards\": %zu, "
+                  "\"batch_records\": %zu, \"seconds\": %.4f, "
+                  "\"records_per_sec\": %.0f}",
+                  r.name.c_str(), r.shards, r.batch_records, r.seconds,
+                  r.records_per_sec);
+    out << buf << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  char tail[256];
+  std::snprintf(tail, sizeof tail,
+                "  ],\n  \"speedup_vs_serial\": %.2f,\n"
+                "  \"target_3x_applicable\": %s,\n"
+                "  \"meets_3x_target\": %s\n}\n",
+                speedup, target_applicable ? "true" : "false",
+                meets_target ? "true" : "false");
+  out << tail;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_ingest.json";
+  std::size_t calls = 250'000;  // ~4 records per call => ~1M records
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--calls=", 8) == 0) {
+      calls = static_cast<std::size_t>(std::atoll(argv[i] + 8));
+    }
+  }
+
+  const std::size_t cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  // Synthesize the stream once; the source database owns the interned
+  // strings, so its records() span stays valid for every timed run.
+  std::printf("synthesizing %zu calls...\n", calls);
+  analysis::LogDatabase source(1);
+  workload::LogSynthConfig config;
+  config.total_calls = calls;
+  workload::synthesize_logs(config, source);
+  const std::span<const monitor::TraceRecord> records(source.records());
+  std::printf(
+      "=== sharded ingest: %zu records, %zu chains, %zu cores ===\n\n",
+      records.size(), source.chains().size(), cores);
+
+  const int reps = 3;
+  std::vector<RunResult> runs;
+  runs.push_back(run("oneshot", 1, 0, records, reps));
+  const double baseline = runs[0].records_per_sec;
+  print_result(runs[0], baseline);
+
+  // Shard sweep, one-shot batches.
+  std::vector<std::size_t> shard_counts{2, 4, cores};
+  shard_counts.erase(
+      std::remove_if(shard_counts.begin(), shard_counts.end(),
+                     [&](std::size_t s) { return s <= 1 || s > 64; }),
+      shard_counts.end());
+  std::sort(shard_counts.begin(), shard_counts.end());
+  shard_counts.erase(std::unique(shard_counts.begin(), shard_counts.end()),
+                     shard_counts.end());
+  for (const std::size_t s : shard_counts) {
+    runs.push_back(run("oneshot", s, 0, records, reps));
+    print_result(runs.back(), baseline);
+  }
+
+  // Batch-size sweep at native shards: epoch-sized drains vs one shot.
+  for (const std::size_t batch : {std::size_t{8'192}, std::size_t{65'536}}) {
+    if (batch >= records.size()) continue;
+    runs.push_back(run("epochs", cores, batch, records, reps));
+    print_result(runs.back(), baseline);
+  }
+
+  // Acceptance: shards=hardware_concurrency one-shot vs shards=1, on a
+  // big-enough batch and enough cores for 3x to be physically possible.
+  double native_rps = baseline;
+  for (const auto& r : runs) {
+    if (r.name == "oneshot" && r.shards == cores) native_rps = r.records_per_sec;
+  }
+  const double speedup = native_rps / baseline;
+  const bool applicable = cores >= 4 && records.size() >= 1'000'000;
+  const bool meets = speedup >= 3.0;
+  std::printf("\nshards=%zu vs shards=1: %.2fx (3x target %s)\n", cores,
+              speedup,
+              !applicable ? "not applicable on this machine"
+              : meets     ? "MET"
+                          : "NOT met");
+
+  write_json(json_path, cores, records.size(), runs, speedup, applicable,
+             meets);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

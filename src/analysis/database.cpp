@@ -1,55 +1,106 @@
 #include "analysis/database.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+#include "common/worker_pool.h"
 
 namespace causeway::analysis {
+namespace {
 
-std::string_view LogDatabase::intern(std::string_view s) {
-  auto it = interned_.find(s);
-  if (it != interned_.end()) return it->second;
-  pool_.emplace_back(s);
-  std::string_view stable = pool_.back();
-  interned_.emplace(stable, stable);
+// Below this batch size the partition/merge bookkeeping costs more than the
+// parallelism recovers; ingest the shards on the calling thread instead
+// (same code path, same output -- only the scheduling differs).
+constexpr std::size_t kParallelIngestThreshold = 8192;
+
+std::size_t resolve_shard_count(std::size_t requested) {
+  if (requested == 0) {
+    if (const char* env = std::getenv("CAUSEWAY_INGEST_SHARDS")) {
+      requested = static_cast<std::size_t>(std::atoll(env));
+    }
+  }
+  if (requested == 0) {
+    requested = std::thread::hardware_concurrency();
+  }
+  return std::clamp<std::size_t>(requested, 1, 64);
+}
+
+}  // namespace
+
+LogDatabase::LogDatabase(std::size_t shard_count)
+    : shards_(resolve_shard_count(shard_count)) {}
+
+std::string_view LogDatabase::Shard::intern(std::string_view s) {
+  auto it = interned.find(s);
+  if (it != interned.end()) return it->second;
+  pool.emplace_back(s);
+  std::string_view stable = pool.back();
+  interned.emplace(stable, stable);
   return stable;
 }
 
-void LogDatabase::add_record(monitor::TraceRecord r) {
-  r.interface_name = intern(r.interface_name);
-  r.function_name = intern(r.function_name);
-  r.process_name = intern(r.process_name);
-  r.node_name = intern(r.node_name);
-  r.processor_type = intern(r.processor_type);
+// Ingests this shard's partition of one batch.  `source` is the whole batch
+// span; `batch` holds the indexes assigned to this shard, ascending, so the
+// shard sees its records in arrival order.  Writes land in the shared arena
+// at base + index -- slots no other shard touches.
+void LogDatabase::Shard::ingest_batch(
+    std::span<const monitor::TraceRecord> source,
+    std::vector<monitor::TraceRecord>& arena, std::size_t base,
+    std::uint64_t generation) {
+  dirty.clear();
+  new_types.clear();
+  for (const std::size_t i : batch) {
+    monitor::TraceRecord r = source[i];
+    r.interface_name = intern(r.interface_name);
+    r.function_name = intern(r.function_name);
+    r.process_name = intern(r.process_name);
+    r.node_name = intern(r.node_name);
+    r.processor_type = intern(r.processor_type);
 
-  const std::size_t index = records_.size();
-  auto [it, inserted] = by_chain_.try_emplace(r.chain);
-  if (inserted) chains_.push_back(r.chain);
-  it->second.events.push_back(index);
-  if (it->second.last_gen != generation_) {
-    // First record for this chain in the current batch: log it dirty once.
-    dirty_log_.emplace_back(generation_, r.chain);
+    auto [it, inserted] = by_chain.try_emplace(r.chain);
+    ChainIndex& index = it->second;
+    if (index.last_gen != generation) {
+      // First record for this chain in the current batch: log it dirty
+      // once, remembering the generation it last belonged to.
+      dirty.push_back({i, r.chain, index.last_gen});
+      index.last_gen = generation;
+    }
+    // Seq-order watermark: while events arrive ascending, the whole list
+    // stays a sorted prefix and chain_events never has to sort.
+    if (index.sorted_prefix == index.events.size() &&
+        (index.events.empty() || r.seq >= index.prefix_last_seq)) {
+      ++index.sorted_prefix;
+      index.prefix_last_seq = r.seq;
+    }
+    index.events.push_back(base + i);
+
+    mode_counts[static_cast<std::size_t>(r.mode)]++;
+    if (type_set.insert(r.processor_type).second) {
+      new_types.emplace_back(i, r.processor_type);
+    }
+    arena[base + i] = r;
   }
-  it->second.last_gen = generation_;
-  mode_counts_[static_cast<std::size_t>(r.mode)]++;
-  if (processor_type_set_.insert(r.processor_type).second) {
-    processor_types_.push_back(r.processor_type);
-  }
-  records_.push_back(r);
 }
 
 void LogDatabase::ingest(const monitor::CollectedLogs& logs) {
   for (const auto& d : logs.domains) {
     // Merge by identity: N streaming epochs each announce the same domains,
     // and must synthesize to the single entry an offline collect produces.
-    std::string key;
-    key.reserve(d.identity.process_name.size() +
-                d.identity.node_name.size() +
-                d.identity.processor_type.size() + 4);
-    key.append(d.identity.process_name).push_back('\0');
-    key.append(d.identity.node_name).push_back('\0');
-    key.append(d.identity.processor_type).push_back('\0');
-    key.push_back(static_cast<char>(d.mode));
-    auto [it, inserted] = domain_index_.try_emplace(key, domains_.size());
-    if (inserted) {
+    // The probe key is stack-built views into the bundle -- no allocation
+    // unless the domain is genuinely new.
+    const DomainKey probe{d.identity.process_name, d.identity.node_name,
+                          d.identity.processor_type, d.mode};
+    auto it = domain_index_.find(probe);
+    if (it == domain_index_.end()) {
+      domain_pool_.emplace_back(d.identity.process_name);
+      const std::string_view process = domain_pool_.back();
+      domain_pool_.emplace_back(d.identity.node_name);
+      const std::string_view node = domain_pool_.back();
+      domain_pool_.emplace_back(d.identity.processor_type);
+      const std::string_view type = domain_pool_.back();
+      domain_index_.emplace(DomainKey{process, node, type, d.mode},
+                            domains_.size());
       domains_.push_back({d.identity.process_name, d.identity.node_name,
                           d.identity.processor_type, d.mode, d.record_count});
     } else {
@@ -65,47 +116,132 @@ void LogDatabase::ingest_records(
     std::span<const monitor::TraceRecord> records) {
   if (records.empty()) return;
   ++generation_;
+
   // Grow geometrically: an exact-fit reserve would reallocate (and copy the
-  // whole store) on every epoch of a streaming ingest.
-  const std::size_t needed = records_.size() + records.size();
+  // whole store) on every epoch of a streaming ingest.  The arena is sized
+  // up front so the shards can scatter-write their disjoint slots.
+  const std::size_t base = records_.size();
+  const std::size_t needed = base + records.size();
   if (records_.capacity() < needed) {
     records_.reserve(std::max(needed, records_.capacity() * 2));
   }
-  for (const auto& r : records) add_record(r);
+  records_.resize(needed);
+
+  // Partition by chain UUID.  Every event of a chain maps to one shard, so
+  // the parallel phase below has no cross-shard writes at all.
+  for (auto& shard : shards_) shard.batch.clear();
+  if (shards_.size() == 1) {
+    auto& batch = shards_[0].batch;
+    batch.resize(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) batch[i] = i;
+  } else {
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      shards_[shard_of(records[i].chain)].batch.push_back(i);
+    }
+  }
+
+  auto ingest_shard = [&](std::size_t s) {
+    shards_[s].ingest_batch(records, records_, base, generation_);
+  };
+  if (shards_.size() > 1 && records.size() >= kParallelIngestThreshold) {
+    WorkerPool::shared().parallel_for(shards_.size(), ingest_shard);
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) ingest_shard(s);
+  }
+
+  // Merge the shard-local first-seen logs back into global arrival order.
+  // Arrival indexes are unique across shards (each record went to exactly
+  // one), so the sort is a deterministic total order -- the same one a
+  // single-threaded ingest of the batch produces.
+  std::size_t dirty_count = 0;
+  std::size_t type_count = 0;
+  for (const auto& shard : shards_) {
+    dirty_count += shard.dirty.size();
+    type_count += shard.new_types.size();
+  }
+
+  std::vector<Shard::DirtyScratch> dirty_merge;
+  dirty_merge.reserve(dirty_count);
+  for (const auto& shard : shards_) {
+    dirty_merge.insert(dirty_merge.end(), shard.dirty.begin(),
+                       shard.dirty.end());
+  }
+  std::sort(dirty_merge.begin(), dirty_merge.end(),
+            [](const Shard::DirtyScratch& a, const Shard::DirtyScratch& b) {
+              return a.arrival < b.arrival;
+            });
+  dirty_log_.reserve(dirty_log_.size() + dirty_merge.size());
+  for (const auto& d : dirty_merge) {
+    dirty_log_.push_back({generation_, d.chain, d.prev_gen});
+    // prev_gen 0 marks a chain born this batch (real generations start at
+    // 1), so the dirty merge doubles as the first-seen chain merge.
+    if (d.prev_gen == 0) chains_.push_back(d.chain);
+  }
+
+  if (type_count > 0) {
+    std::vector<std::pair<std::size_t, std::string_view>> type_merge;
+    type_merge.reserve(type_count);
+    for (const auto& shard : shards_) {
+      type_merge.insert(type_merge.end(), shard.new_types.begin(),
+                        shard.new_types.end());
+    }
+    std::sort(type_merge.begin(), type_merge.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& entry : type_merge) {
+      if (processor_type_set_.insert(entry.second).second) {
+        processor_types_.push_back(entry.second);
+      }
+    }
+  }
 }
 
 std::vector<const monitor::TraceRecord*> LogDatabase::chain_events(
     const Uuid& chain) const {
   std::vector<const monitor::TraceRecord*> out;
-  auto it = by_chain_.find(chain);
-  if (it == by_chain_.end()) return out;
-  out.reserve(it->second.events.size());
-  for (std::size_t index : it->second.events) out.push_back(&records_[index]);
-  std::stable_sort(out.begin(), out.end(),
-                   [](const monitor::TraceRecord* a,
-                      const monitor::TraceRecord* b) { return a->seq < b->seq; });
+  const Shard& shard = shards_[shard_of(chain)];
+  auto it = shard.by_chain.find(chain);
+  if (it == shard.by_chain.end()) return out;
+  const ChainIndex& index = it->second;
+  out.reserve(index.events.size());
+  for (std::size_t i : index.events) out.push_back(&records_[i]);
+  if (index.sorted_prefix >= out.size()) return out;  // already ascending
+  // Out-of-order tail (rare: cross-thread interleaving or corrupt logs):
+  // sort only the tail, then stable-merge with the sorted prefix.  Both
+  // steps keep insertion order among equal seqs, so the result is exactly
+  // what a stable_sort of the whole list yields.
+  const auto by_seq = [](const monitor::TraceRecord* a,
+                         const monitor::TraceRecord* b) {
+    return a->seq < b->seq;
+  };
+  const auto mid = out.begin() + static_cast<std::ptrdiff_t>(index.sorted_prefix);
+  std::stable_sort(mid, out.end(), by_seq);
+  std::inplace_merge(out.begin(), mid, out.end(), by_seq);
   return out;
 }
 
 std::vector<Uuid> LogDatabase::chains_since(std::uint64_t gen) const {
-  // Entries are appended with ascending generations; binary-search the first
-  // batch newer than `gen`, then dedup keeping first occurrence (which is
-  // first-seen order for chains born after `gen`).
-  auto it = std::upper_bound(
+  // Entries are appended with ascending generations; binary-search the
+  // first batch newer than `gen`.  A chain is emitted at the first of its
+  // entries past the cut -- recognizable without any per-call set because
+  // each entry remembers the chain's previous touching generation.
+  auto it = std::lower_bound(
       dirty_log_.begin(), dirty_log_.end(), gen,
-      [](std::uint64_t g, const auto& entry) { return g < entry.first; });
+      [](const DirtyEntry& entry, std::uint64_t g) { return entry.gen <= g; });
   std::vector<Uuid> out;
-  std::unordered_set<Uuid> seen;
   for (; it != dirty_log_.end(); ++it) {
-    if (seen.insert(it->second).second) out.push_back(it->second);
+    if (it->prev_gen <= gen) out.push_back(it->chain);
   }
   return out;
 }
 
 monitor::ProbeMode LogDatabase::primary_mode() const {
+  std::size_t counts[3] = {0, 0, 0};
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < 3; ++i) counts[i] += shard.mode_counts[i];
+  }
   std::size_t best = 0;
   for (std::size_t i = 1; i < 3; ++i) {
-    if (mode_counts_[i] > mode_counts_[best]) best = i;
+    if (counts[i] > counts[best]) best = i;
   }
   return static_cast<monitor::ProbeMode>(best);
 }

@@ -16,6 +16,18 @@
 // A generation counter advances per batch and each chain remembers the last
 // generation that touched it, so analyses (Dscg::update) can rebuild only
 // what changed.
+//
+// Synthesis is *sharded* (DESIGN.md Sec. 8): the chain index, the dirty log
+// and the string interner are partitioned by hash(chain UUID) % N, and
+// ingest_records partitions each batch by shard and runs the shards in
+// parallel on the shared WorkerPool.  The chain UUID is the natural
+// partition key -- every event of a chain lands in the same shard, so no
+// shard ever writes another shard's state.  The record store itself stays
+// one flat arena in arrival order (shards scatter-write disjoint slots), so
+// records() remains the ingest-order ground truth, and all cross-shard
+// first-seen orders (chains, dirty log, processor types) are restored by a
+// deterministic merge on batch-arrival index.  Every public query is
+// byte-for-byte independent of the shard count.
 #pragma once
 
 #include <deque>
@@ -34,11 +46,16 @@ namespace causeway::analysis {
 
 class LogDatabase {
  public:
-  LogDatabase() = default;
+  // Shard count 0 resolves to the CAUSEWAY_INGEST_SHARDS environment
+  // variable when set, else hardware_concurrency (clamped to [1, 64]).
+  LogDatabase() : LogDatabase(0) {}
+  explicit LogDatabase(std::size_t shard_count);
   LogDatabase(const LogDatabase&) = delete;
   LogDatabase& operator=(const LogDatabase&) = delete;
   LogDatabase(LogDatabase&&) = default;
   LogDatabase& operator=(LogDatabase&&) = default;
+
+  std::size_t shard_count() const { return shards_.size(); }
 
   // Ingests a collector bundle: domain metadata plus all records.
   void ingest(const monitor::CollectedLogs& logs);
@@ -66,10 +83,11 @@ class LogDatabase {
   // records.  Analyses snapshot this to know when they are stale.
   std::uint64_t generation() const { return generation_; }
 
-  // Chains that gained at least one event in a generation > `gen`,
-  // first-seen order (a subsequence of chains()).  chains_since(0) is every
-  // chain.  Served from a per-batch dirty log, so the cost scales with the
-  // number of touched chains, not the whole database.
+  // Chains that gained at least one event in a generation > `gen`, ordered
+  // by the first batch (then arrival) that touched them after `gen`.
+  // chains_since(0) is every chain in first-seen order.  Served from a
+  // per-batch dirty log, so the cost scales with the number of touched
+  // chains, not the whole database.
   std::vector<Uuid> chains_since(std::uint64_t gen) const;
 
   // Cumulative ring-overflow count reported by the ingested bundles: how
@@ -82,6 +100,7 @@ class LogDatabase {
 
   // Query 2: events of one chain sorted by ascending event number
   // (insertion order breaks ties, which only occur on corrupt logs).
+  // Thread-safe against concurrent chain_events calls (no ingest racing).
   std::vector<const monitor::TraceRecord*> chain_events(const Uuid& chain) const;
 
   // All distinct processor types seen (defines the <C1..CM> vector axes),
@@ -91,40 +110,97 @@ class LogDatabase {
   }
 
   // The probe mode of the bulk of the records (a run uses one mode).
-  // Counts are maintained at ingest, O(1) to read.
+  // Counts are maintained at ingest, O(shards) to read.
   monitor::ProbeMode primary_mode() const;
 
  private:
   struct ChainIndex {
     std::vector<std::size_t> events;  // indexes into records_, log order
     std::uint64_t last_gen{0};        // generation of the newest event
+    // Watermark: the first `sorted_prefix` entries of `events` are already
+    // in ascending seq order, and `prefix_last_seq` is the seq of the last
+    // of them.  Events arrive in order in the common case, so chain_events
+    // usually skips its sort entirely and otherwise sorts only the tail.
+    std::size_t sorted_prefix{0};
+    std::uint64_t prefix_last_seq{0};
   };
 
-  std::string_view intern(std::string_view s);
-  void add_record(monitor::TraceRecord r);
+  // One partition of the synthesis state.  A shard is only ever mutated by
+  // the single worker that owns it for the duration of a batch, so none of
+  // this needs locks; the batch-scratch vectors below are merged serially
+  // after the workers join.
+  struct Shard {
+    std::deque<std::string> pool;
+    std::unordered_map<std::string_view, std::string_view> interned;
+    std::unordered_map<Uuid, ChainIndex> by_chain;
+    std::unordered_set<std::string_view> type_set;  // views into `pool`
+    std::size_t mode_counts[3] = {0, 0, 0};
 
-  std::deque<std::string> pool_;
-  std::unordered_map<std::string_view, std::string_view> interned_;
+    // Per-batch scratch (cleared each ingest).
+    struct DirtyScratch {
+      std::size_t arrival;     // index of the chain's first record in batch
+      Uuid chain;
+      std::uint64_t prev_gen;  // last_gen before this batch (0 = new chain)
+    };
+    std::vector<std::size_t> batch;  // record indexes within the batch span
+    std::vector<DirtyScratch> dirty;
+    std::vector<std::pair<std::size_t, std::string_view>> new_types;
 
-  std::vector<monitor::TraceRecord> records_;
+    std::string_view intern(std::string_view s);
+    void ingest_batch(std::span<const monitor::TraceRecord> source,
+                      std::vector<monitor::TraceRecord>& arena,
+                      std::size_t base, std::uint64_t generation);
+  };
+
+  std::size_t shard_of(const Uuid& chain) const {
+    return static_cast<std::size_t>(std::hash<Uuid>{}(chain)) % shards_.size();
+  }
+
+  std::vector<monitor::TraceRecord> records_;  // flat arena, arrival order
+  std::vector<Shard> shards_;
   std::vector<DomainEntry> domains_;
+
   // (process, node, type, mode) -> index into domains_, for merged updates.
-  std::unordered_map<std::string, std::size_t> domain_index_;
+  // Key views point into domain_pool_ (stable); lookups probe with views
+  // into the caller's bundle, so the hot path allocates nothing.
+  struct DomainKey {
+    std::string_view process, node, type;
+    monitor::ProbeMode mode;
+    bool operator==(const DomainKey&) const = default;
+  };
+  struct DomainKeyHash {
+    std::size_t operator()(const DomainKey& k) const noexcept {
+      const std::hash<std::string_view> h;
+      std::size_t x = h(k.process);
+      x = x * 0x9e3779b97f4a7c15ull ^ h(k.node);
+      x = x * 0x9e3779b97f4a7c15ull ^ h(k.type);
+      return x * 0x9e3779b97f4a7c15ull ^ static_cast<std::size_t>(k.mode);
+    }
+  };
+  std::deque<std::string> domain_pool_;
+  std::unordered_map<DomainKey, std::size_t, DomainKeyHash> domain_index_;
+
   std::vector<Uuid> chains_;
-  std::unordered_map<Uuid, ChainIndex> by_chain_;
   std::uint64_t generation_{0};
   std::uint64_t overflow_dropped_{0};
   std::uint64_t last_epoch_{0};
 
-  // Dirty log: one (generation, chain) entry per batch that touched the
-  // chain, generations ascending.  chains_since binary-searches it instead
-  // of scanning every chain.
-  std::vector<std::pair<std::uint64_t, Uuid>> dirty_log_;
+  // Dirty log: one entry per (batch, touched chain), generations ascending,
+  // arrival order within a batch.  `prev_gen` is the generation that had
+  // touched the chain before this one (0 = the chain was born here), which
+  // is what lets chains_since dedup without building a set per call.
+  struct DirtyEntry {
+    std::uint64_t gen;
+    Uuid chain;
+    std::uint64_t prev_gen;
+  };
+  std::vector<DirtyEntry> dirty_log_;
 
-  // Maintained at ingest so the hot report/render queries are O(1).
+  // Maintained at ingest so the hot report/render queries are O(1).  The
+  // views point into shard pools; the set dedups types that different
+  // shards interned independently.
   std::vector<std::string_view> processor_types_;
   std::unordered_set<std::string_view> processor_type_set_;
-  std::size_t mode_counts_[3] = {0, 0, 0};
 };
 
 }  // namespace causeway::analysis

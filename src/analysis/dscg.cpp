@@ -1,9 +1,9 @@
 #include "analysis/dscg.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 #include <unordered_set>
+
+#include "common/worker_pool.h"
 
 namespace causeway::analysis {
 namespace {
@@ -18,10 +18,10 @@ void collect_spawn_sites(CallNode* node,
 
 // Chains with no dependency between their reconstructions: each tree is
 // built purely from its own (already interned, immutable) event list, so a
-// batch of dirty chains can rebuild on a worker pool with one atomic index
-// as the only shared state.
+// batch of dirty chains fans out on the shared persistent WorkerPool (the
+// same pool the sharded LogDatabase ingest uses) instead of spawning fresh
+// threads per update.
 constexpr std::size_t kParallelThreshold = 8;
-constexpr std::size_t kMaxWorkers = 8;
 
 void build_trees(const LogDatabase& db, const std::vector<Uuid>& dirty,
                  std::vector<std::unique_ptr<ChainTree>>& out) {
@@ -31,27 +31,12 @@ void build_trees(const LogDatabase& db, const std::vector<Uuid>& dirty,
         build_chain_tree(dirty[i], db.chain_events(dirty[i])));
   };
 
-  const std::size_t hw = std::thread::hardware_concurrency();
-  const std::size_t workers =
-      std::min({dirty.size(), kMaxWorkers, hw > 2 ? hw : std::size_t{2}});
-  if (dirty.size() < kParallelThreshold || workers < 2) {
+  if (dirty.size() < kParallelThreshold ||
+      WorkerPool::shared().concurrency() < 2) {
     for (std::size_t i = 0; i < dirty.size(); ++i) build_one(i);
     return;
   }
-
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-           i < dirty.size();
-           i = next.fetch_add(1, std::memory_order_relaxed)) {
-        build_one(i);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
+  WorkerPool::shared().parallel_for(dirty.size(), build_one);
 }
 
 }  // namespace

@@ -206,6 +206,9 @@ class ExportPass : public AnalysisPass {
 // ---- pipeline ---------------------------------------------------------
 
 struct AnalysisPipeline::Impl {
+  Impl() = default;
+  explicit Impl(std::size_t ingest_shards) : db(ingest_shards) {}
+
   LogDatabase db;
   Dscg dscg;
   std::vector<AnomalySink*> sinks;
@@ -451,6 +454,8 @@ EpochInfo AnalysisPipeline::Impl::run_epoch() {
 }
 
 AnalysisPipeline::AnalysisPipeline() : impl_(std::make_unique<Impl>()) {}
+AnalysisPipeline::AnalysisPipeline(std::size_t ingest_shards)
+    : impl_(std::make_unique<Impl>(ingest_shards)) {}
 AnalysisPipeline::~AnalysisPipeline() = default;
 
 LogDatabase& AnalysisPipeline::database() { return impl_->db; }

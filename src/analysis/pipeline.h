@@ -65,6 +65,11 @@ class AnalysisPass {
 class AnalysisPipeline {
  public:
   AnalysisPipeline();
+  // Overrides the shared database's ingest shard count (0 = auto: the
+  // CAUSEWAY_INGEST_SHARDS environment variable, else hardware
+  // concurrency).  Renders are byte-identical across shard counts; the knob
+  // exists for equivalence tests and for pinning resource use.
+  explicit AnalysisPipeline(std::size_t ingest_shards);
   ~AnalysisPipeline();
   AnalysisPipeline(const AnalysisPipeline&) = delete;
   AnalysisPipeline& operator=(const AnalysisPipeline&) = delete;

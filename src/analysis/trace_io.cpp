@@ -1,9 +1,12 @@
 #include "analysis/trace_io.h"
 
+#include <exception>
 #include <fstream>
 #include <map>
+#include <utility>
 
 #include "common/wire.h"
+#include "common/worker_pool.h"
 
 namespace causeway::analysis {
 namespace {
@@ -106,96 +109,181 @@ std::vector<std::uint8_t> encode_trace(const monitor::CollectedLogs& logs) {
 
 namespace {
 
-// Decodes one segment starting at the cursor and ingests it into `db`.
-// Returns the segment's record count.
-std::size_t decode_segment(WireCursor& in, LogDatabase& db) {
-    if (in.read_u32() != kMagic) throw TraceIoError("not a causeway trace");
-    const std::uint32_t version = in.read_u32();
-    if (version < kMinVersion || version > kVersion) {
-      throw TraceIoError("unsupported trace version " +
-                         std::to_string(version));
-    }
-    std::uint64_t epoch = 0;
-    std::uint64_t dropped = 0;
-    if (version >= 3) {
-      epoch = in.read_u64();
-      dropped = in.read_u64();
-    }
+// The fixed wire size of one record body (see encode_trace).
+constexpr std::size_t kRecordWireBytes = 96;
+// Per-domain wire size: three string ids, the mode byte, the record count.
+constexpr std::size_t kDomainWireBytes = 21;
 
-    struct RawDomain {
-      std::uint32_t process, node, type;
-      std::uint8_t mode;
-      std::uint64_t count;
-    };
-    std::vector<RawDomain> raw_domains(in.read_u32());
-    for (auto& d : raw_domains) {
-      d.process = in.read_u32();
-      d.node = in.read_u32();
-      d.type = in.read_u32();
-      d.mode = in.read_u8();
-      d.count = in.read_u64();
-    }
+// Walks one segment's structure without materializing it and returns its
+// byte length.  WireError (underflow) means the segment's tail has not been
+// written yet; TraceIoError means structural corruption.  This is what lets
+// the reader find every complete segment boundary cheaply up front, then
+// decode the segments in parallel.
+std::size_t skim_segment(WireCursor& in) {
+  const std::size_t start = in.position();
+  if (in.read_u32() != kMagic) throw TraceIoError("not a causeway trace");
+  const std::uint32_t version = in.read_u32();
+  if (version < kMinVersion || version > kVersion) {
+    throw TraceIoError("unsupported trace version " + std::to_string(version));
+  }
+  if (version >= 3) in.skip(16);  // epoch + dropped words
+  const std::uint32_t domain_count = in.read_u32();
+  if (domain_count > in.remaining() / kDomainWireBytes) {
+    throw WireError("wire underflow");
+  }
+  in.skip(domain_count * kDomainWireBytes);
+  const std::uint32_t string_count = in.read_u32();
+  for (std::uint32_t i = 0; i < string_count; ++i) in.skip(in.read_u32());
+  const std::uint64_t record_count = in.read_u64();
+  if (record_count > in.remaining() / kRecordWireBytes) {
+    throw WireError("wire underflow");
+  }
+  in.skip(static_cast<std::size_t>(record_count) * kRecordWireBytes);
+  return in.position() - start;
+}
 
-    std::vector<std::string> strings(in.read_u32());
-    for (auto& s : strings) s = in.read_string();
-    auto str = [&](std::uint32_t id) -> std::string_view {
-      if (id >= strings.size()) throw TraceIoError("string id out of range");
-      return strings[id];
-    };
+// Decodes one segment into a self-contained bundle: every string is copied
+// into the bundle-owned pool, so the result can outlive the input bytes,
+// cross threads, and be ingested later (in epoch order).
+monitor::CollectedLogs decode_segment_logs(WireCursor& in) {
+  if (in.read_u32() != kMagic) throw TraceIoError("not a causeway trace");
+  const std::uint32_t version = in.read_u32();
+  if (version < kMinVersion || version > kVersion) {
+    throw TraceIoError("unsupported trace version " + std::to_string(version));
+  }
+  monitor::CollectedLogs logs;
+  if (version >= 3) {
+    logs.epoch = in.read_u64();
+    logs.dropped = in.read_u64();
+  }
 
-    monitor::CollectedLogs logs;
-    logs.epoch = epoch;
-    logs.dropped = dropped;
-    for (const auto& d : raw_domains) {
-      logs.domains.push_back(
-          {monitor::DomainIdentity{std::string(str(d.process)),
-                                   std::string(str(d.node)),
-                                   std::string(str(d.type))},
-           static_cast<monitor::ProbeMode>(d.mode), d.count});
-    }
+  struct RawDomain {
+    std::uint32_t process, node, type;
+    std::uint8_t mode;
+    std::uint64_t count;
+  };
+  std::vector<RawDomain> raw_domains(in.read_u32());
+  for (auto& d : raw_domains) {
+    d.process = in.read_u32();
+    d.node = in.read_u32();
+    d.type = in.read_u32();
+    d.mode = in.read_u8();
+    d.count = in.read_u64();
+  }
 
-    const std::uint64_t count = in.read_u64();
-    logs.records.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      monitor::TraceRecord r;
-      r.chain.hi = in.read_u64();
-      r.chain.lo = in.read_u64();
-      r.seq = in.read_u64();
-      r.event = static_cast<monitor::EventKind>(in.read_u8());
-      r.kind = static_cast<monitor::CallKind>(in.read_u8());
-      r.outcome = static_cast<monitor::CallOutcome>(in.read_u8());
-      r.spawned_chain.hi = in.read_u64();
-      r.spawned_chain.lo = in.read_u64();
-      r.interface_name = str(in.read_u32());
-      r.function_name = str(in.read_u32());
-      r.object_key = in.read_u64();
-      r.process_name = str(in.read_u32());
-      r.node_name = str(in.read_u32());
-      r.processor_type = str(in.read_u32());
-      r.thread_ordinal = in.read_u64();
-      r.mode = static_cast<monitor::ProbeMode>(in.read_u8());
-      r.value_start = in.read_i64();
-      r.value_end = in.read_i64();
-      logs.records.push_back(r);
+  monitor::BundleInterner intern(logs);
+  std::vector<std::string_view> strings(in.read_u32());
+  for (auto& s : strings) s = intern(in.read_string());
+  auto str = [&](std::uint32_t id) -> std::string_view {
+    if (id >= strings.size()) throw TraceIoError("string id out of range");
+    return strings[id];
+  };
+
+  for (const auto& d : raw_domains) {
+    logs.domains.push_back(
+        {monitor::DomainIdentity{std::string(str(d.process)),
+                                 std::string(str(d.node)),
+                                 std::string(str(d.type))},
+         static_cast<monitor::ProbeMode>(d.mode), d.count});
+  }
+
+  const std::uint64_t count = in.read_u64();
+  logs.records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    monitor::TraceRecord r;
+    r.chain.hi = in.read_u64();
+    r.chain.lo = in.read_u64();
+    r.seq = in.read_u64();
+    r.event = static_cast<monitor::EventKind>(in.read_u8());
+    r.kind = static_cast<monitor::CallKind>(in.read_u8());
+    r.outcome = static_cast<monitor::CallOutcome>(in.read_u8());
+    r.spawned_chain.hi = in.read_u64();
+    r.spawned_chain.lo = in.read_u64();
+    r.interface_name = str(in.read_u32());
+    r.function_name = str(in.read_u32());
+    r.object_key = in.read_u64();
+    r.process_name = str(in.read_u32());
+    r.node_name = str(in.read_u32());
+    r.processor_type = str(in.read_u32());
+    r.thread_ordinal = in.read_u64();
+    r.mode = static_cast<monitor::ProbeMode>(in.read_u8());
+    r.value_start = in.read_i64();
+    r.value_end = in.read_i64();
+    logs.records.push_back(r);
+  }
+  return logs;
+}
+
+// (offset, length) of one complete segment within a byte buffer.
+using SegmentExtent = std::pair<std::size_t, std::size_t>;
+
+// Below this many total bytes the pool dispatch costs more than the decode;
+// single-segment inputs are always decoded inline.
+constexpr std::size_t kParallelDecodeMinBytes = 32 * 1024;
+
+// Decodes every skimmed segment into its own staging bundle -- concurrently
+// on the shared WorkerPool when there is enough work -- leaving per-segment
+// failures in `errors` so the caller can commit the clean prefix in epoch
+// order before rethrowing.
+void decode_staged(const std::uint8_t* base,
+                   const std::vector<SegmentExtent>& segments,
+                   std::vector<monitor::CollectedLogs>& staged,
+                   std::vector<std::exception_ptr>& errors) {
+  staged.resize(segments.size());
+  errors.assign(segments.size(), nullptr);
+  std::size_t total_bytes = 0;
+  for (const auto& seg : segments) total_bytes += seg.second;
+  auto decode_one = [&](std::size_t k) {
+    try {
+      WireCursor cursor(base + segments[k].first, segments[k].second);
+      staged[k] = decode_segment_logs(cursor);
+    } catch (...) {
+      errors[k] = std::current_exception();
     }
-    // Ingest while `strings` is still alive; the database interns copies.
-    db.ingest(logs);
-    return logs.records.size();
+  };
+  if (segments.size() >= 2 && total_bytes >= kParallelDecodeMinBytes &&
+      WorkerPool::shared().concurrency() >= 2) {
+    WorkerPool::shared().parallel_for(segments.size(), decode_one);
+  } else {
+    for (std::size_t k = 0; k < segments.size(); ++k) decode_one(k);
+  }
 }
 
 }  // namespace
 
 std::size_t decode_trace(const std::vector<std::uint8_t>& bytes,
                          LogDatabase& db) {
+  std::vector<SegmentExtent> segments;
   try {
     WireCursor in(bytes.data(), bytes.size());
-    std::size_t total = 0;
     // Segments are simply concatenated; an empty input is zero segments.
-    while (in.remaining() > 0) total += decode_segment(in, db);
-    return total;
+    while (in.remaining() > 0) {
+      const std::size_t offset = in.position();
+      segments.emplace_back(offset, skim_segment(in));
+    }
   } catch (const WireError& e) {
     throw TraceIoError(std::string("corrupt trace: ") + e.what());
   }
+
+  std::vector<monitor::CollectedLogs> staged;
+  std::vector<std::exception_ptr> errors;
+  decode_staged(bytes.data(), segments, staged, errors);
+
+  // Commit in segment order: each bundle is one database generation, the
+  // same sequence a serial segment-by-segment decode produces.
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < segments.size(); ++k) {
+    if (errors[k]) {
+      try {
+        std::rethrow_exception(errors[k]);
+      } catch (const WireError& e) {
+        throw TraceIoError(std::string("corrupt trace: ") + e.what());
+      }
+    }
+    db.ingest(staged[k]);
+    total += staged[k].records.size();
+  }
+  return total;
 }
 
 void write_trace_file(const std::string& path,
@@ -259,26 +347,54 @@ std::size_t TraceTail::poll(LogDatabase& db) {
   }
   if (pending_.empty()) return 0;
 
-  std::size_t records = 0;
-  std::size_t decoded_end = 0;
-  WireCursor cur(pending_.data(), pending_.size());
-  while (cur.remaining() > 0) {
-    try {
-      records += decode_segment(cur, db);
-      decoded_end = cur.position();
-      ++segments_;
-    } catch (const WireError&) {
-      // Wire underflow == the segment's tail has not been written (or
-      // flushed) yet.  Keep the bytes pending and retry next poll.
-      // Structural corruption surfaces as TraceIoError and propagates.
-      break;
+  // Skim every complete segment boundary first.  Wire underflow == the last
+  // segment's tail has not been written (or flushed) yet; keep those bytes
+  // pending and retry next poll.  Structural corruption surfaces as
+  // TraceIoError and propagates.
+  std::vector<SegmentExtent> segments;
+  {
+    WireCursor cur(pending_.data(), pending_.size());
+    while (cur.remaining() > 0) {
+      const std::size_t offset = cur.position();
+      try {
+        segments.emplace_back(offset, skim_segment(cur));
+      } catch (const WireError&) {
+        break;
+      }
     }
   }
-  if (decoded_end > 0) {
-    pending_.erase(pending_.begin(),
-                   pending_.begin() + static_cast<std::ptrdiff_t>(decoded_end));
-    consumed_ += decoded_end;
+  if (segments.empty()) return 0;
+
+  // Decode the complete segments concurrently (a cold catch-up tail of a
+  // long-running stream can hold hundreds), then commit in epoch order so
+  // the database sees the same generation sequence a live tail would.
+  std::vector<monitor::CollectedLogs> staged;
+  std::vector<std::exception_ptr> errors;
+  decode_staged(pending_.data(), segments, staged, errors);
+
+  std::size_t records = 0;
+  std::size_t committed_end = 0;
+  auto consume = [&](std::size_t end) {
+    if (end == 0) return;
+    pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(end));
+    consumed_ += end;
+  };
+  for (std::size_t k = 0; k < segments.size(); ++k) {
+    if (errors[k]) {
+      // Commit the clean prefix, then surface the corruption.
+      consume(committed_end);
+      try {
+        std::rethrow_exception(errors[k]);
+      } catch (const WireError& e) {
+        throw TraceIoError(std::string("corrupt trace: ") + e.what());
+      }
+    }
+    db.ingest(staged[k]);
+    ++segments_;
+    records += staged[k].records.size();
+    committed_end = segments[k].first + segments[k].second;
   }
+  consume(committed_end);
   return records;
 }
 

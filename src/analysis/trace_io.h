@@ -21,6 +21,15 @@
 //   u32 string count; length-prefixed strings
 //   u64 record count; fixed-layout records referencing the string table
 // Version 2 segments (no epoch/dropped words) are still readable.
+//
+// Reading is two-phase so multi-segment traces scale with cores: a cheap
+// serial *skim* walks the structure to find every complete segment
+// boundary, the segments decode concurrently into self-contained staging
+// bundles on the shared WorkerPool, and the bundles commit into the
+// database in epoch order -- so the generation sequence (and every
+// downstream render) is byte-identical to a serial segment-by-segment
+// decode.  Both the cold load (read_trace_file/decode_trace) and a tail
+// catch-up (TraceTail::poll with many pending segments) take this path.
 #pragma once
 
 #include <fstream>

@@ -123,6 +123,14 @@ class WireCursor {
   std::size_t remaining() const { return end_ - pos_; }
   std::size_t position() const { return pos_; }
 
+  // Advances past `n` bytes without materializing them (bounds-checked).
+  // Lets a reader skim a frame's extent -- e.g. locating trace-segment
+  // boundaries before decoding the segments in parallel.
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+  }
+
   // Shrinks the readable window to `new_end` absolute bytes; used to peel a
   // fixed-size trailer off the end of a payload.
   void truncate(std::size_t new_end) {

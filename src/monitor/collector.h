@@ -57,6 +57,27 @@ struct CollectedLogs {
       std::make_shared<std::deque<std::string>>();
 };
 
+// Copies strings into a bundle-owned pool (deduplicated) so the bundle
+// outlives whatever storage the originals lived in -- the runtimes during a
+// drain, or a decoded trace segment's string table.  Used by the Collector
+// below and by the trace reader's segment decoder.
+class BundleInterner {
+ public:
+  explicit BundleInterner(CollectedLogs& out) : out_(out) {}
+  std::string_view operator()(std::string_view s) {
+    auto it = interned_.find(s);
+    if (it != interned_.end()) return it->second;
+    out_.strings->emplace_back(s);
+    std::string_view stable = out_.strings->back();
+    interned_.emplace(stable, stable);
+    return stable;
+  }
+
+ private:
+  CollectedLogs& out_;
+  std::unordered_map<std::string_view, std::string_view> interned_;
+};
+
 class Collector {
  public:
   void attach(const MonitorRuntime* runtime) { runtimes_.push_back(runtime); }
@@ -65,7 +86,7 @@ class Collector {
   // repeatable.
   CollectedLogs collect() const {
     CollectedLogs out;
-    Interner intern(out);
+    BundleInterner intern(out);
     for (const MonitorRuntime* rt : runtimes_) {
       append_domain(out, intern, *rt, rt->store().snapshot());
       out.dropped += rt->store().dropped();
@@ -81,7 +102,7 @@ class Collector {
   CollectedLogs drain() {
     CollectedLogs out;
     out.epoch = ++epoch_;
-    Interner intern(out);
+    BundleInterner intern(out);
     if (last_dropped_.size() < runtimes_.size()) {
       last_dropped_.resize(runtimes_.size(), 0);
     }
@@ -102,23 +123,7 @@ class Collector {
   std::uint64_t epoch() const { return epoch_; }
 
  private:
-  // Copies record strings into the bundle-owned pool so the bundle outlives
-  // the runtimes.
-  struct Interner {
-    explicit Interner(CollectedLogs& out) : out(out) {}
-    std::string_view operator()(std::string_view s) {
-      auto it = interned.find(s);
-      if (it != interned.end()) return it->second;
-      out.strings->emplace_back(s);
-      std::string_view stable = out.strings->back();
-      interned.emplace(stable, stable);
-      return stable;
-    }
-    CollectedLogs& out;
-    std::unordered_map<std::string_view, std::string_view> interned;
-  };
-
-  static void append_domain(CollectedLogs& out, Interner& intern,
+  static void append_domain(CollectedLogs& out, BundleInterner& intern,
                             const MonitorRuntime& rt,
                             std::vector<TraceRecord>&& records) {
     out.domains.push_back({rt.identity(), rt.mode(), records.size()});

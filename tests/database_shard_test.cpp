@@ -1,0 +1,273 @@
+// Sharded-synthesis invariants (DESIGN.md Sec. 8): every public LogDatabase
+// query -- and therefore every downstream render -- must be byte-for-byte
+// independent of the shard count; chains_since must dedup exactly across
+// interleaved generations; the sorted-prefix watermark must keep
+// chain_events equal to a full stable sort; and the database must stay
+// movable (the parallel machinery lives outside it).
+#include <algorithm>
+#include <random>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/database.h"
+#include "analysis/dscg.h"
+#include "analysis/report.h"
+#include "analysis_test_util.h"
+#include "workload/logsynth.h"
+
+namespace causeway::analysis {
+namespace {
+
+using monitor::CallKind;
+using monitor::EventKind;
+using monitor::ProbeMode;
+using monitor::TraceRecord;
+using testutil::Scribe;
+
+// Field-wise record equality (TraceRecord has no operator==; string
+// identity must compare by content because shards intern independently).
+void expect_same_record(const TraceRecord& a, const TraceRecord& b) {
+  EXPECT_EQ(a.chain, b.chain);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.event, b.event);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.spawned_chain, b.spawned_chain);
+  EXPECT_EQ(a.interface_name, b.interface_name);
+  EXPECT_EQ(a.function_name, b.function_name);
+  EXPECT_EQ(a.object_key, b.object_key);
+  EXPECT_EQ(a.process_name, b.process_name);
+  EXPECT_EQ(a.node_name, b.node_name);
+  EXPECT_EQ(a.processor_type, b.processor_type);
+  EXPECT_EQ(a.thread_ordinal, b.thread_ordinal);
+  EXPECT_EQ(a.mode, b.mode);
+  EXPECT_EQ(a.value_start, b.value_start);
+  EXPECT_EQ(a.value_end, b.value_end);
+}
+
+// The full equivalence check: every public query of `a` and `b` agrees.
+void expect_same_database(const LogDatabase& a, const LogDatabase& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_same_record(a.records()[i], b.records()[i]);
+  }
+  ASSERT_EQ(a.chains(), b.chains());
+  EXPECT_EQ(a.generation(), b.generation());
+  EXPECT_EQ(a.primary_mode(), b.primary_mode());
+
+  std::vector<std::string_view> types_a(a.processor_types().begin(),
+                                        a.processor_types().end());
+  std::vector<std::string_view> types_b(b.processor_types().begin(),
+                                        b.processor_types().end());
+  EXPECT_EQ(types_a, types_b);
+
+  for (std::uint64_t gen = 0; gen <= a.generation(); ++gen) {
+    EXPECT_EQ(a.chains_since(gen), b.chains_since(gen)) << "gen " << gen;
+  }
+
+  for (const Uuid& chain : a.chains()) {
+    const auto ea = a.chain_events(chain);
+    const auto eb = b.chain_events(chain);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      expect_same_record(*ea[i], *eb[i]);
+    }
+  }
+}
+
+// Ingests `records` into `db` split into `batches` roughly equal batches.
+void ingest_in_batches(LogDatabase& db, std::span<const TraceRecord> records,
+                       std::size_t batches) {
+  const std::size_t step = std::max<std::size_t>(1, records.size() / batches);
+  for (std::size_t off = 0; off < records.size(); off += step) {
+    db.ingest_records(
+        records.subspan(off, std::min(step, records.size() - off)));
+  }
+}
+
+TEST(DatabaseShardTest, ShardCountsRenderIdentically) {
+  // A real multi-chain stream: the E2 synthesizer, scaled down.
+  LogDatabase source(1);
+  workload::LogSynthConfig config;
+  config.total_calls = 1'200;
+  config.methods = 40;
+  config.interfaces = 12;
+  config.components = 8;
+  config.threads = 8;
+  config.processes = 3;
+  workload::synthesize_logs(config, source);
+  ASSERT_GT(source.chains().size(), 30u);
+
+  // Reference: one shard, same batch schedule.
+  LogDatabase one(1);
+  ingest_in_batches(one, source.records(), 5);
+
+  for (const std::size_t shards : {std::size_t{3}, std::size_t{8}}) {
+    LogDatabase db(shards);
+    ASSERT_EQ(db.shard_count(), shards);
+    ingest_in_batches(db, source.records(), 5);
+    expect_same_database(one, db);
+
+    // The acceptance bar: the full characterization report is
+    // byte-identical, so every downstream pass is too.
+    Dscg ref = Dscg::build(one);
+    Dscg got = Dscg::build(db);
+    EXPECT_EQ(characterization_report(ref, one),
+              characterization_report(got, db))
+        << "shards=" << shards;
+  }
+}
+
+TEST(DatabaseShardTest, ChainsSinceDedupsAcrossInterleavedGenerations) {
+  // Chains touch interleaved subsets of generations; chains_since(g) must
+  // list each touched chain exactly once, ordered by its first touching
+  // batch after g (then arrival).  Brute-force reference: replay the
+  // schedule and record per-chain touch generations.
+  Scribe a, b, c, d;
+  const std::vector<std::vector<Scribe*>> schedule = {
+      {&a, &b}, {&b, &c}, {&a}, {&d, &a, &c}, {&b}};
+
+  LogDatabase db(4);
+  std::unordered_map<Uuid, std::vector<std::uint64_t>> touches;
+  std::vector<Uuid> arrival_order;  // chain first-arrival across the run
+  std::uint64_t gen = 0;
+  for (const auto& batch : schedule) {
+    std::vector<TraceRecord> records;
+    ++gen;
+    for (Scribe* scribe : batch) {
+      scribe->records().clear();
+      scribe->emit(EventKind::kStubStart, CallKind::kSync, "I", "f", 0, 1);
+      scribe->emit(EventKind::kStubEnd, CallKind::kSync, "I", "f", 2, 3);
+      records.insert(records.end(), scribe->records().begin(),
+                     scribe->records().end());
+      touches[scribe->chain()].push_back(gen);
+      if (std::find(arrival_order.begin(), arrival_order.end(),
+                    scribe->chain()) == arrival_order.end()) {
+        arrival_order.push_back(scribe->chain());
+      }
+    }
+    db.ingest_records(records);
+  }
+
+  for (std::uint64_t cut = 0; cut <= gen + 1; ++cut) {
+    // Reference: chains with any touch > cut, ordered by (first touch
+    // after cut, arrival within that batch).  The schedule lists chains
+    // in batch-arrival order already, so a stable scan per generation
+    // reproduces it.
+    std::vector<Uuid> expected;
+    for (std::uint64_t g = cut + 1; g <= gen; ++g) {
+      for (Scribe* scribe : schedule[g - 1]) {
+        const auto& t = touches[scribe->chain()];
+        const auto first_after =
+            std::find_if(t.begin(), t.end(),
+                         [&](std::uint64_t x) { return x > cut; });
+        if (first_after != t.end() && *first_after == g) {
+          expected.push_back(scribe->chain());
+        }
+      }
+    }
+    EXPECT_EQ(db.chains_since(cut), expected) << "cut " << cut;
+  }
+  EXPECT_EQ(db.chains_since(0), db.chains());
+  EXPECT_EQ(db.chains(), arrival_order);
+}
+
+TEST(DatabaseShardTest, ChainEventsMatchesStableSortUnderDisorder) {
+  // Three arrival shapes: already sorted (fast path), out-of-order tails
+  // across batches, and duplicate seq numbers (ties must keep insertion
+  // order -- stable_sort semantics).
+  std::mt19937_64 rng(11);
+  for (int scramble = 0; scramble < 3; ++scramble) {
+    Scribe scribe;
+    for (int i = 0; i < 40; ++i) {
+      scribe.emit(EventKind::kStubStart, CallKind::kSync, "I", "f", i, i + 1)
+          .object_key = static_cast<std::uint64_t>(i);
+    }
+    std::vector<TraceRecord> records = scribe.records();
+    if (scramble >= 1) {
+      std::shuffle(records.begin() + 10, records.end(), rng);
+    }
+    if (scramble == 2) {
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        records[i].seq = records[i].seq / 4;  // heavy ties
+      }
+    }
+
+    LogDatabase db(2);
+    ingest_in_batches(db, records, 4);
+
+    // Reference: stable sort of arrival order by seq.
+    std::vector<const TraceRecord*> expected;
+    for (const auto& r : db.records()) expected.push_back(&r);
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const TraceRecord* x, const TraceRecord* y) {
+                       return x->seq < y->seq;
+                     });
+
+    const auto got = db.chain_events(scribe.chain());
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i]->seq, expected[i]->seq) << "scramble " << scramble;
+      EXPECT_EQ(got[i]->object_key, expected[i]->object_key)
+          << "scramble " << scramble << " pos " << i;
+    }
+  }
+}
+
+TEST(DatabaseShardTest, MoveSemanticsSurviveQueriesAndFurtherIngest) {
+  Scribe scribe;
+  scribe.leaf_sync("IMove", "call", {0, 1, 2, 3, 4, 5, 6, 7});
+  LogDatabase db(4);
+  db.ingest_records(scribe.records());
+
+  LogDatabase moved(std::move(db));
+  EXPECT_EQ(moved.size(), 4u);
+  EXPECT_EQ(moved.chains().size(), 1u);
+  EXPECT_EQ(moved.chain_events(scribe.chain()).size(), 4u);
+
+  // The moved-to database keeps ingesting correctly.
+  Scribe more;
+  more.leaf_sync("IMove", "again", {8, 9, 10, 11, 12, 13, 14, 15});
+  moved.ingest_records(more.records());
+  EXPECT_EQ(moved.size(), 8u);
+  EXPECT_EQ(moved.chains().size(), 2u);
+  EXPECT_EQ(moved.generation(), 2u);
+
+  LogDatabase assigned(1);
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.shard_count(), 4u);
+  EXPECT_EQ(assigned.size(), 8u);
+  EXPECT_EQ(assigned.chains_since(1).size(), 1u);
+}
+
+TEST(DatabaseShardTest, ParallelIngestBigBatchMatchesSerial) {
+  // One batch well past the parallel threshold (8192 records), so the
+  // worker-pool scatter path actually runs -- under TSan this is the data
+  // -race gate for the whole sharded ingest.
+  LogDatabase source(1);
+  workload::LogSynthConfig config;
+  config.seed = 99;
+  config.total_calls = 4'000;  // ~4 records per call => >= 12k records
+  config.threads = 16;
+  config.processes = 4;
+  workload::synthesize_logs(config, source);
+  ASSERT_GT(source.size(), 8192u);
+
+  LogDatabase parallel(8);
+  parallel.ingest_records(source.records());  // single big batch
+  LogDatabase serial(1);
+  serial.ingest_records(source.records());
+
+  expect_same_database(serial, parallel);
+  Dscg ref = Dscg::build(serial);
+  Dscg got = Dscg::build(parallel);
+  EXPECT_EQ(characterization_report(ref, serial),
+            characterization_report(got, parallel));
+}
+
+}  // namespace
+}  // namespace causeway::analysis

@@ -14,7 +14,11 @@
 //                     --ccsg | --html | --timeline | --timeline-csv | --diff]
 //                    [--follow] [--poll-ms=N] [--idle-exit-ms=N]
 //                    [--anomalies=stderr|jsonl:PATH|none]
-//                    [--max-nodes=N] [-o <file>]
+//                    [--max-nodes=N] [--ingest-shards=N] [-o <file>]
+//
+// --ingest-shards pins the database's parallel-ingest shard count (default:
+// CAUSEWAY_INGEST_SHARDS or hardware concurrency).  Output is byte-identical
+// for every shard count -- the ctest suite enforces it.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -43,7 +47,7 @@ int usage() {
                "            --timeline|--timeline-csv|--diff]\n"
                "           [--follow] [--poll-ms=N] [--idle-exit-ms=N]\n"
                "           [--anomalies=stderr|jsonl:PATH|none]\n"
-               "           [--max-nodes=N] [-o <file>]\n");
+               "           [--max-nodes=N] [--ingest-shards=N] [-o <file>]\n");
   return 2;
 }
 
@@ -86,6 +90,7 @@ int main(int argc, char** argv) {
   std::string output;
   std::string anomalies = "none";
   std::size_t max_nodes = 0;
+  std::size_t ingest_shards = 0;  // 0 = auto
   bool follow = false;
   std::uint64_t poll_ms = 200;
   std::uint64_t idle_exit_ms = 0;  // 0 = follow forever
@@ -107,6 +112,8 @@ int main(int argc, char** argv) {
       anomalies = arg.substr(12);
     } else if (arg.rfind("--max-nodes=", 0) == 0) {
       max_nodes = static_cast<std::size_t>(std::atoll(arg.c_str() + 12));
+    } else if (arg.rfind("--ingest-shards=", 0) == 0) {
+      ingest_shards = static_cast<std::size_t>(std::atoll(arg.c_str() + 16));
     } else if (arg == "-o") {
       if (++i >= argc) return usage();
       output = argv[i];
@@ -127,7 +134,7 @@ int main(int argc, char** argv) {
                      "(baseline, current)\n");
         return 2;
       }
-      analysis::LogDatabase base_db, cur_db;
+      analysis::LogDatabase base_db(ingest_shards), cur_db(ingest_shards);
       analysis::read_trace_file(inputs[0], base_db);
       analysis::read_trace_file(inputs[1], cur_db);
       auto base = analysis::Dscg::build(base_db);
@@ -137,7 +144,7 @@ int main(int argc, char** argv) {
       return diff.clean() ? 0 : 3;  // CI-friendly: nonzero on regression
     }
 
-    analysis::AnalysisPipeline pipeline;
+    analysis::AnalysisPipeline pipeline(ingest_shards);
 
     std::unique_ptr<analysis::AnomalySink> sink;
     if (anomalies == "stderr") {

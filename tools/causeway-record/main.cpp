@@ -22,10 +22,15 @@
 //                   [--topology=mono|four|percomp|hybrid]   (pps)
 //                   [--jobs=N] [--transactions=N] [--seed=N]
 //                   [--stream] [--interval-ms=N] [--fixed-interval]
-//                   [--out=trace.cwt]
+//                   [--out=trace.cwt] [--verify]
+//
+// --verify reads the finished trace back through the analyzer's (parallel)
+// segment decoder and checks the synthesized database against the writer's
+// own record count -- a cheap end-to-end round-trip gate after every run.
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
@@ -51,6 +56,7 @@ struct Args {
   bool stream{false};
   int interval_ms{50};
   bool adaptive{true};
+  bool verify{false};
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -80,6 +86,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.interval_ms = std::atoi(v);
     } else if (arg == "--fixed-interval") {
       args.adaptive = false;
+    } else if (arg == "--verify") {
+      args.verify = true;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return false;
@@ -200,9 +208,10 @@ workload::SyntheticConfig make_synthetic_config(const Args& args) {
 }
 
 // Runs `system` to quiescence; in streaming mode drains into `writer`
-// concurrently, otherwise collects once at the end.
+// concurrently, otherwise collects once at the end.  Returns the number of
+// records persisted (for --verify).
 template <typename System, typename Drive>
-void record(const Args& args, System& system, Drive&& drive) {
+std::uint64_t record(const Args& args, System& system, Drive&& drive) {
   if (!args.stream) {
     drive();
     system.wait_quiescent();
@@ -210,7 +219,7 @@ void record(const Args& args, System& system, Drive&& drive) {
     analysis::write_trace_file(args.out, logs);
     std::printf("causeway-record: %zu records from %zu domains -> %s\n",
                 logs.records.size(), logs.domains.size(), args.out.c_str());
-    return;
+    return logs.records.size();
   }
 
   monitor::Collector collector;
@@ -225,22 +234,43 @@ void record(const Args& args, System& system, Drive&& drive) {
       static_cast<unsigned long long>(writer.records_written()),
       writer.segments(), static_cast<unsigned long long>(collector.epoch()),
       args.out.c_str());
+  return writer.records_written();
 }
 
-void record_pps(const Args& args) {
+// Round-trips the written trace through the analyzer's decoder.  The
+// database's record count must match what the writer persisted; a
+// mismatch (or a decode throw) is a hard failure.
+int verify_trace(const Args& args, std::uint64_t written) {
+  analysis::LogDatabase db;
+  const std::size_t n = analysis::read_trace_file(args.out, db);
+  if (n != written || db.records().size() != written) {
+    std::fprintf(stderr,
+                 "causeway-record: verify FAILED: wrote %llu records, "
+                 "read back %zu (database holds %zu)\n",
+                 static_cast<unsigned long long>(written), n,
+                 db.records().size());
+    return 1;
+  }
+  std::printf("causeway-record: verified %zu records, %zu chains, %s\n", n,
+              db.chains().size(), args.out.c_str());
+  return 0;
+}
+
+std::uint64_t record_pps(const Args& args) {
   orb::Fabric fabric;
   pps::PpsSystem system(fabric, make_pps_config(args));
-  record(args, system, [&] {
+  return record(args, system, [&] {
     for (int i = 0; i < args.jobs; ++i) {
       system.submit_job(2 + i % 3, 150 + 150 * (i % 2), i % 2 == 0);
     }
   });
 }
 
-void record_synthetic(const Args& args) {
+std::uint64_t record_synthetic(const Args& args) {
   orb::Fabric fabric;
   workload::SyntheticSystem system(fabric, make_synthetic_config(args));
-  record(args, system, [&] { system.run_transactions(args.transactions); });
+  return record(args, system,
+                [&] { system.run_transactions(args.transactions); });
 }
 
 }  // namespace
@@ -250,11 +280,10 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, args)) return 2;
 
   try {
-    if (args.workload == "synthetic") {
-      record_synthetic(args);
-    } else {
-      record_pps(args);
-    }
+    const std::uint64_t written = args.workload == "synthetic"
+                                      ? record_synthetic(args)
+                                      : record_pps(args);
+    if (args.verify) return verify_trace(args, written);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "causeway-record: %s\n", e.what());
     return 1;
