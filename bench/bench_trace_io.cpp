@@ -1,0 +1,259 @@
+// Trace-codec bench: encode/decode throughput and wire size, v3 (fixed
+// 96-byte records) vs v4 (columnar delta/varint), on the E2 synthesizer's
+// record stream chunked into epoch-sized segments like a streamed trace.
+//
+// Decode times the staging phase (decode_trace_segments: skim + parallel
+// segment decode into self-contained bundles) on bytes written through
+// TraceWriter -- so the v4 path exercises the directory trailer exactly as
+// a real file read does.  Database ingest is excluded: it is format-
+// independent and would dilute the codec comparison.
+//
+// Acceptance shape: v4 wire size >= 35% smaller than v3, and v4 decode
+// throughput >= 2x v3.  The decode target rides on the directory trailer
+// letting segment decode fan out across cores, so it is gated on
+// target_2x_applicable (>= 2 hardware threads) the same way bench_ingest
+// gates its 3x shard target: on a single-core host both codecs bottom out
+// at the same staged-record memory-write floor (the fixed 96-byte v3
+// record decodes in a handful of fixed-offset loads, so per-record parse
+// compute does not separate them) and the ratio honestly reads ~1x.
+// Emits BENCH_trace_io.json next to the stdout summary; override with
+// --json=PATH, shrink with --calls=N, change the segment count with
+// --segments=N.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/trace_io.h"
+#include "workload/logsynth.h"
+
+namespace {
+
+using namespace causeway;
+using Clock = std::chrono::steady_clock;
+
+struct CodecResult {
+  std::string name;
+  std::size_t wire_bytes{0};
+  double encode_seconds{0};
+  double decode_seconds{0};
+  std::size_t records{0};
+  double encode_records_per_sec() const {
+    return static_cast<double>(records) / encode_seconds;
+  }
+  double decode_records_per_sec() const {
+    return static_cast<double>(records) / decode_seconds;
+  }
+  double decode_mb_per_sec() const {
+    return static_cast<double>(wire_bytes) / 1e6 / decode_seconds;
+  }
+};
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+// Encodes the bundles segment-by-segment (timed, best of reps), writes the
+// same stream through a TraceWriter, and times decode_trace_segments over
+// the resulting file bytes (best of reps).  With legacy_layout the file is
+// plain concatenated segments with no directory trailer -- the shape every
+// pre-v4 writer produced -- so the v3 measurement exercises the sequential
+// skim fallback a real legacy artifact forces on the reader.
+CodecResult run(std::string name, std::uint32_t version,
+                const std::vector<monitor::CollectedLogs>& bundles,
+                std::size_t records, int reps, bool legacy_layout) {
+  CodecResult r;
+  r.name = std::move(name);
+  r.records = records;
+
+  double best_encode = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = Clock::now();
+    std::size_t produced = 0;
+    for (const auto& bundle : bundles) {
+      produced += analysis::encode_trace(bundle, version).size();
+    }
+    const auto t1 = Clock::now();
+    best_encode =
+        std::min(best_encode, std::chrono::duration<double>(t1 - t0).count());
+    if (produced == 0) std::exit(1);
+  }
+  r.encode_seconds = best_encode;
+
+  std::vector<std::uint8_t> bytes;
+  if (legacy_layout) {
+    for (const auto& bundle : bundles) {
+      const auto segment = analysis::encode_trace(bundle, version);
+      bytes.insert(bytes.end(), segment.begin(), segment.end());
+    }
+  } else {
+    const auto path = (std::filesystem::temp_directory_path() /
+                       ("bench_trace_io_" + r.name + ".cwt"))
+                          .string();
+    {
+      analysis::TraceWriter writer(path, version);
+      for (const auto& bundle : bundles) writer.append(bundle);
+      writer.close();
+    }
+    bytes = slurp(path);
+    std::filesystem::remove(path);
+  }
+  r.wire_bytes = bytes.size();
+
+  double best_decode = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = Clock::now();
+    const auto staged = analysis::decode_trace_segments(bytes);
+    const auto t1 = Clock::now();
+    best_decode =
+        std::min(best_decode, std::chrono::duration<double>(t1 - t0).count());
+    std::size_t decoded = 0;
+    for (const auto& bundle : staged) decoded += bundle.records.size();
+    if (decoded != records) {
+      std::fprintf(stderr, "FATAL: %s decoded %zu of %zu records\n",
+                   r.name.c_str(), decoded, records);
+      std::exit(1);
+    }
+  }
+  r.decode_seconds = best_decode;
+  return r;
+}
+
+void print_result(const CodecResult& r) {
+  std::printf(
+      "%-4s %10zu B (%5.1f B/rec) | encode %7.3f s %9.0f rec/s | "
+      "decode %7.3f s %9.0f rec/s %7.1f MB/s\n",
+      r.name.c_str(), r.wire_bytes,
+      static_cast<double>(r.wire_bytes) / static_cast<double>(r.records),
+      r.encode_seconds, r.encode_records_per_sec(), r.decode_seconds,
+      r.decode_records_per_sec(), r.decode_mb_per_sec());
+}
+
+void write_json(const std::string& path, std::size_t cores,
+                std::size_t records, std::size_t segments,
+                const CodecResult& v3, const CodecResult& v4,
+                double size_reduction_pct, double decode_speedup,
+                bool meets_size, bool meets_decode, bool decode_applicable) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  auto emit = [&](const CodecResult& r, const char* trailing) {
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"wire_bytes\": %zu, "
+                  "\"bytes_per_record\": %.2f, \"encode_seconds\": %.4f, "
+                  "\"encode_records_per_sec\": %.0f, "
+                  "\"decode_seconds\": %.4f, "
+                  "\"decode_records_per_sec\": %.0f, "
+                  "\"decode_mb_per_sec\": %.1f}%s\n",
+                  r.name.c_str(), r.wire_bytes,
+                  static_cast<double>(r.wire_bytes) /
+                      static_cast<double>(r.records),
+                  r.encode_seconds, r.encode_records_per_sec(),
+                  r.decode_seconds, r.decode_records_per_sec(),
+                  r.decode_mb_per_sec(), trailing);
+    out << buf;
+  };
+  out << "{\n"
+      << "  \"bench\": \"bench_trace_io\",\n"
+      << "  \"hardware_concurrency\": " << cores << ",\n"
+      << "  \"records\": " << records << ",\n"
+      << "  \"segments\": " << segments << ",\n"
+      << "  \"runs\": [\n";
+  emit(v3, ",");
+  emit(v4, "");
+  char tail[384];
+  std::snprintf(tail, sizeof tail,
+                "  ],\n  \"v4_size_reduction_pct\": %.1f,\n"
+                "  \"v4_decode_speedup\": %.2f,\n"
+                "  \"meets_35pct_size_target\": %s,\n"
+                "  \"target_2x_decode_applicable\": %s,\n"
+                "  \"meets_2x_decode_target\": %s\n}\n",
+                size_reduction_pct, decode_speedup,
+                meets_size ? "true" : "false",
+                decode_applicable ? "true" : "false",
+                meets_decode ? "true" : "false");
+  out << tail;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_trace_io.json";
+  std::size_t calls = 100'000;
+  std::size_t segments = 64;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--calls=", 8) == 0) {
+      calls = static_cast<std::size_t>(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--segments=", 11) == 0) {
+      segments = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::atoll(argv[i] + 11)));
+    }
+  }
+
+  const std::size_t cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  // Synthesize the stream once (the source database owns the interned
+  // strings), then chunk it into epoch-sized bundles like a streamed run.
+  std::printf("synthesizing %zu calls...\n", calls);
+  analysis::LogDatabase source(1);
+  workload::LogSynthConfig config;
+  config.total_calls = calls;
+  workload::synthesize_logs(config, source);
+  const auto& records = source.records();
+  const std::size_t per_segment =
+      std::max<std::size_t>(1, (records.size() + segments - 1) / segments);
+  std::vector<monitor::CollectedLogs> bundles;
+  for (std::size_t off = 0; off < records.size(); off += per_segment) {
+    monitor::CollectedLogs bundle;
+    bundle.epoch = bundles.size() + 1;
+    const std::size_t n = std::min(per_segment, records.size() - off);
+    bundle.records.assign(records.begin() + static_cast<long>(off),
+                          records.begin() + static_cast<long>(off + n));
+    bundles.push_back(std::move(bundle));
+  }
+  std::printf("=== trace codec: %zu records in %zu segments, %zu cores ===\n\n",
+              records.size(), bundles.size(), cores);
+
+  const int reps = 3;
+  const CodecResult v3 = run("v3", analysis::kTraceFormatV3, bundles,
+                             records.size(), reps, /*legacy_layout=*/true);
+  print_result(v3);
+  const CodecResult v4 = run("v4", analysis::kTraceFormatV4, bundles,
+                             records.size(), reps, /*legacy_layout=*/false);
+  print_result(v4);
+
+  const double reduction =
+      100.0 * (1.0 - static_cast<double>(v4.wire_bytes) /
+                         static_cast<double>(v3.wire_bytes));
+  const double speedup = v3.decode_seconds / v4.decode_seconds;
+  const bool meets_size = reduction >= 35.0;
+  const bool meets_decode = speedup >= 2.0;
+  // The 2x claim is about the directory trailer fanning segment decode out
+  // across cores; a single-threaded host cannot express it (see header).
+  const bool decode_applicable = cores >= 2;
+  std::printf("\nv4 vs v3: %.1f%% smaller (35%% target %s), decode %.2fx "
+              "(2x target %s%s)\n",
+              reduction, meets_size ? "MET" : "NOT met", speedup,
+              meets_decode ? "MET" : "NOT met",
+              decode_applicable ? "" : "; n/a on 1 hardware thread");
+
+  write_json(json_path, cores, records.size(), bundles.size(), v3, v4,
+             reduction, speedup, meets_size, meets_decode, decode_applicable);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

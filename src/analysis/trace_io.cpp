@@ -1,19 +1,35 @@
 #include "analysis/trace_io.h"
 
+#include <cerrno>
+#include <cstdlib>
+#include <deque>
 #include <exception>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <utility>
 
+#include "analysis/pipeline.h"
 #include "common/wire.h"
 #include "common/worker_pool.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CAUSEWAY_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace causeway::analysis {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x43575452;  // "CWTR"
-constexpr std::uint32_t kVersion = 3;  // v3 added epoch + dropped words
+constexpr std::uint32_t kMagic = 0x43575452;     // "CWTR": segment
+constexpr std::uint32_t kDirMagic = 0x43575444;  // "CWTD": directory trailer
+constexpr std::uint32_t kEndMagic = 0x43575445;  // "CWTE": end-of-file mark
+constexpr std::uint32_t kMaxVersion = kTraceFormatV4;
 constexpr std::uint32_t kMinVersion = 2;
+constexpr std::uint32_t kDirVersion = 1;
 
 class StringTable {
  public:
@@ -26,9 +42,20 @@ class StringTable {
     return id;
   }
 
+  // v2/v3 layout: u32 count, u32-length-prefixed strings.
   void encode(WireBuffer& out) const {
     out.write_u32(static_cast<std::uint32_t>(strings_.size()));
     for (const auto& s : strings_) out.write_string(s);
+  }
+
+  // v4 layout: varint count, varint-length-prefixed strings.
+  void encode_varint(WireBuffer& out) const {
+    out.write_varint(strings_.size());
+    for (const auto& s : strings_) {
+      out.write_varint(s.size());
+      out.append_raw({reinterpret_cast<const std::uint8_t*>(s.data()),
+                      s.size()});
+    }
   }
 
  private:
@@ -36,25 +63,24 @@ class StringTable {
   std::map<std::string_view, std::uint32_t> ids_;
 };
 
-}  // namespace
+struct DomainIds {
+  std::uint32_t process, node, type;
+};
+struct RecordIds {
+  std::uint32_t iface, func, process, node, type;
+};
 
-std::vector<std::uint8_t> encode_trace(const monitor::CollectedLogs& logs) {
-  StringTable table;
-  // Pre-intern so the table is complete before we emit record bodies.
-  struct DomainIds {
-    std::uint32_t process, node, type;
-  };
-  std::vector<DomainIds> domain_ids;
+// Interns every identity string up front so the table is complete before
+// any record body (or the domain section) references it.
+void intern_bundle(const monitor::CollectedLogs& logs, StringTable& table,
+                   std::vector<DomainIds>& domain_ids,
+                   std::vector<RecordIds>& record_ids) {
   domain_ids.reserve(logs.domains.size());
   for (const auto& d : logs.domains) {
     domain_ids.push_back({table.id_of(d.identity.process_name),
                           table.id_of(d.identity.node_name),
                           table.id_of(d.identity.processor_type)});
   }
-  struct RecordIds {
-    std::uint32_t iface, func, process, node, type;
-  };
-  std::vector<RecordIds> record_ids;
   record_ids.reserve(logs.records.size());
   for (const auto& r : logs.records) {
     record_ids.push_back({table.id_of(r.interface_name),
@@ -63,10 +89,19 @@ std::vector<std::uint8_t> encode_trace(const monitor::CollectedLogs& logs) {
                           table.id_of(r.node_name),
                           table.id_of(r.processor_type)});
   }
+}
+
+// v3 (and v2-compatible) body: fixed-width records.  Kept byte-exact so
+// `--trace-format=v3` can bisect regressions against the old encoding.
+std::vector<std::uint8_t> encode_trace_v3(const monitor::CollectedLogs& logs) {
+  StringTable table;
+  std::vector<DomainIds> domain_ids;
+  std::vector<RecordIds> record_ids;
+  intern_bundle(logs, table, domain_ids, record_ids);
 
   WireBuffer out;
   out.write_u32(kMagic);
-  out.write_u32(kVersion);
+  out.write_u32(kTraceFormatV3);
   out.write_u64(logs.epoch);
   out.write_u64(logs.dropped);
 
@@ -107,26 +142,141 @@ std::vector<std::uint8_t> encode_trace(const monitor::CollectedLogs& logs) {
   return std::move(out).take();
 }
 
-namespace {
+// Packed per-record flag bytes (v4).  event is 1..4 (3 bits), kind and
+// outcome 0..2 (2 bits each); mode 0..2 plus the spawned-chain presence bit.
+constexpr std::uint8_t pack_flags1(const monitor::TraceRecord& r) {
+  return static_cast<std::uint8_t>(
+      static_cast<std::uint8_t>(r.event) |
+      (static_cast<std::uint8_t>(r.kind) << 3) |
+      (static_cast<std::uint8_t>(r.outcome) << 5));
+}
 
-// The fixed wire size of one record body (see encode_trace).
+// v4 body: columnar, delta/varint coded, records grouped into maximal runs
+// of consecutive same-chain records.  Grouping follows arrival order and
+// never reorders -- decode reproduces the exact record sequence, which is
+// what keeps every downstream render byte-identical across v3/v4.
+std::vector<std::uint8_t> encode_trace_v4(const monitor::CollectedLogs& logs) {
+  StringTable table;
+  std::vector<DomainIds> domain_ids;
+  std::vector<RecordIds> record_ids;
+  intern_bundle(logs, table, domain_ids, record_ids);
+
+  WireBuffer out;
+  out.write_u32(kMagic);
+  out.write_u32(kTraceFormatV4);
+  const std::size_t body_length_at = out.size();
+  out.write_u64(0);  // body length, patched once the body is encoded
+  const std::size_t body_start = out.size();
+
+  out.write_u64(logs.epoch);
+  out.write_u64(logs.dropped);
+
+  out.write_varint(logs.domains.size());
+  for (std::size_t i = 0; i < logs.domains.size(); ++i) {
+    out.write_varint(domain_ids[i].process);
+    out.write_varint(domain_ids[i].node);
+    out.write_varint(domain_ids[i].type);
+    out.write_u8(static_cast<std::uint8_t>(logs.domains[i].mode));
+    out.write_varint(logs.domains[i].record_count);
+  }
+
+  table.encode_varint(out);
+
+  const auto& recs = logs.records;
+  out.write_varint(recs.size());
+
+  // Chain runs: one (chain, length) per maximal span of equal chains.
+  out.write_varint([&] {
+    std::size_t runs = 0;
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      if (i == 0 || !(recs[i].chain == recs[i - 1].chain)) ++runs;
+    }
+    return runs;
+  }());
+  for (std::size_t i = 0; i < recs.size();) {
+    std::size_t j = i + 1;
+    while (j < recs.size() && recs[j].chain == recs[i].chain) ++j;
+    out.write_u64(recs[i].chain.hi);
+    out.write_u64(recs[i].chain.lo);
+    out.write_varint(j - i);
+    i = j;
+  }
+
+  // seq: delta vs the previous record of the same run (runs restart at 0);
+  // event numbers increment along a chain, so deltas are tiny.
+  {
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      if (i == 0 || !(recs[i].chain == recs[i - 1].chain)) prev = 0;
+      out.write_svarint(static_cast<std::int64_t>(recs[i].seq - prev));
+      prev = recs[i].seq;
+    }
+  }
+  for (const auto& r : recs) out.write_u8(pack_flags1(r));
+  for (const auto& r : recs) {
+    out.write_u8(static_cast<std::uint8_t>(
+        static_cast<std::uint8_t>(r.mode) |
+        (r.spawned_chain.is_nil() ? 0 : 4)));
+  }
+  // Spawned chains are sparse (oneway stub-starts only): dense pairs for
+  // just the flagged records.
+  for (const auto& r : recs) {
+    if (!r.spawned_chain.is_nil()) {
+      out.write_u64(r.spawned_chain.hi);
+      out.write_u64(r.spawned_chain.lo);
+    }
+  }
+  for (const auto& ids : record_ids) out.write_varint(ids.iface);
+  for (const auto& ids : record_ids) out.write_varint(ids.func);
+  for (const auto& r : recs) out.write_varint(r.object_key);
+  for (const auto& ids : record_ids) out.write_varint(ids.process);
+  for (const auto& ids : record_ids) out.write_varint(ids.node);
+  for (const auto& ids : record_ids) out.write_varint(ids.type);
+  for (const auto& r : recs) out.write_varint(r.thread_ordinal);
+  // Timestamp columns: consecutive records sample nearly the same instant,
+  // so column-wise deltas (start) and the start->end gap (end) are small.
+  {
+    std::int64_t prev = 0;
+    for (const auto& r : recs) {
+      out.write_svarint(r.value_start - prev);
+      prev = r.value_start;
+    }
+  }
+  for (const auto& r : recs) out.write_svarint(r.value_end - r.value_start);
+
+  out.overwrite_u64(body_length_at, out.size() - body_start);
+  return std::move(out).take();
+}
+
+// The fixed wire size of one v2/v3 record body (see encode_trace_v3).
 constexpr std::size_t kRecordWireBytes = 96;
-// Per-domain wire size: three string ids, the mode byte, the record count.
+// Per-domain v2/v3 wire size: three string ids, the mode byte, the count.
 constexpr std::size_t kDomainWireBytes = 21;
+// Minimum v4 bytes per record: one byte in each of the twelve dense
+// columns.  Guards count fields against absurd allocations.
+constexpr std::size_t kMinV4RecordBytes = 12;
+// Minimum v4 bytes per chain run: chain (16) plus a length varint.
+constexpr std::size_t kRunWireBytes = 17;
+// Minimum v4 bytes per domain entry: three id varints, mode, count varint.
+constexpr std::size_t kMinV4DomainBytes = 6;
 
 // Walks one segment's structure without materializing it and returns its
 // byte length.  WireError (underflow) means the segment's tail has not been
-// written yet; TraceIoError means structural corruption.  This is what lets
-// the reader find every complete segment boundary cheaply up front, then
-// decode the segments in parallel.
+// written yet; TraceIoError means structural corruption.  v4 segments carry
+// their body length in the header, so skimming them is a single skip; v2/v3
+// still walk the structure.
 std::size_t skim_segment(WireCursor& in) {
   const std::size_t start = in.position();
   if (in.read_u32() != kMagic) throw TraceIoError("not a causeway trace");
   const std::uint32_t version = in.read_u32();
-  if (version < kMinVersion || version > kVersion) {
+  if (version < kMinVersion || version > kMaxVersion) {
     throw TraceIoError("unsupported trace version " + std::to_string(version));
   }
-  if (version >= 3) in.skip(16);  // epoch + dropped words
+  if (version >= 4) {
+    in.skip(in.read_u64());
+    return in.position() - start;
+  }
+  in.skip(16);  // epoch + dropped words (v2 files predate the repo history)
   const std::uint32_t domain_count = in.read_u32();
   if (domain_count > in.remaining() / kDomainWireBytes) {
     throw WireError("wire underflow");
@@ -142,15 +292,117 @@ std::size_t skim_segment(WireCursor& in) {
   return in.position() - start;
 }
 
-// Decodes one segment into a self-contained bundle: every string is copied
-// into the bundle-owned pool, so the result can outlive the input bytes,
-// cross threads, and be ingested later (in epoch order).
-monitor::CollectedLogs decode_segment_logs(WireCursor& in) {
-  if (in.read_u32() != kMagic) throw TraceIoError("not a causeway trace");
-  const std::uint32_t version = in.read_u32();
-  if (version < kMinVersion || version > kVersion) {
-    throw TraceIoError("unsupported trace version " + std::to_string(version));
+// Walks (and validates) one directory trailer block, returning its byte
+// length.  Underflow (writer mid-append of the trailer) stays a WireError;
+// a malformed block is structural corruption.
+std::size_t skim_trailer(WireCursor& in) {
+  const std::size_t start = in.position();
+  if (in.read_u32() != kDirMagic) throw TraceIoError("corrupt trace directory");
+  if (in.read_u32() != kDirVersion) {
+    throw TraceIoError("unsupported trace directory version");
   }
+  const std::uint64_t count = in.read_varint();
+  if (count > in.remaining()) throw WireError("wire underflow");
+  for (std::uint64_t i = 0; i < count; ++i) in.read_varint();
+  const std::uint64_t total = in.read_u64();
+  if (in.read_u32() != kEndMagic) throw TraceIoError("corrupt trace directory");
+  const std::size_t length = in.position() - start;
+  if (total != length) throw TraceIoError("corrupt trace directory");
+  return length;
+}
+
+// One complete block within a byte buffer: a record segment, or the
+// directory trailer (metadata -- skipped at decode, consumed by tails).
+struct Extent {
+  std::size_t offset{0};
+  std::size_t length{0};
+  bool is_segment{true};
+};
+
+// Sequential boundary scan: segments (and trailer blocks) from the front.
+// `stop_on_underflow` is the tail-following mode: an incomplete block ends
+// the scan instead of propagating, leaving the bytes pending.
+std::vector<Extent> skim_extents(std::span<const std::uint8_t> bytes,
+                                 bool stop_on_underflow) {
+  std::vector<Extent> extents;
+  WireCursor in(bytes.data(), bytes.size());
+  while (in.remaining() > 0) {
+    const std::size_t offset = in.position();
+    try {
+      WireCursor probe = in;
+      if (probe.read_u32() == kDirMagic) {
+        extents.push_back({offset, skim_trailer(in), false});
+      } else {
+        extents.push_back({offset, skim_segment(in), true});
+      }
+    } catch (const WireError&) {
+      if (stop_on_underflow) break;
+      throw;
+    }
+  }
+  return extents;
+}
+
+// Fast path: a closed file ends with the directory trailer, so every
+// boundary comes from the footer without touching segment bytes.  Returns
+// nullopt when no trailer is present (still-growing or pre-directory file);
+// throws TraceIoError when a trailer is present but inconsistent (lengths
+// that run past the file, a block that does not parse).
+std::optional<std::vector<Extent>> extents_from_directory(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 16) return std::nullopt;
+  WireCursor tail(bytes.data() + bytes.size() - 12, 12);
+  const std::uint64_t total = tail.read_u64();
+  if (tail.read_u32() != kEndMagic) return std::nullopt;
+  if (total > bytes.size() || total < 21) {
+    throw TraceIoError("corrupt trace directory");
+  }
+  const std::size_t trailer_start = bytes.size() - static_cast<std::size_t>(total);
+  WireCursor in(bytes.data() + trailer_start, static_cast<std::size_t>(total));
+  try {
+    if (in.read_u32() != kDirMagic) {
+      throw TraceIoError("corrupt trace directory");
+    }
+    if (in.read_u32() != kDirVersion) {
+      throw TraceIoError("unsupported trace directory version");
+    }
+    const std::uint64_t count = in.read_varint();
+    if (count > total) throw TraceIoError("corrupt trace directory");
+    std::vector<std::uint64_t> lengths(static_cast<std::size_t>(count));
+    std::uint64_t sum = 0;
+    for (auto& length : lengths) {
+      length = in.read_varint();
+      if (length < 16 || length > trailer_start - sum) {
+        throw TraceIoError("trace directory offset past end of file");
+      }
+      sum += length;
+    }
+    // A trailer only knows the segments its own writer appended, so a
+    // concatenated trace (`cat a.cwt b.cwt`) ends with a trailer covering
+    // just the final file's bytes.  Skim the prefix it does not describe
+    // (interior trailers come back as metadata extents) and splice the
+    // directory's extents in after it.
+    const std::size_t base = trailer_start - static_cast<std::size_t>(sum);
+    std::vector<Extent> extents;
+    if (base > 0) {
+      extents = skim_extents(bytes.first(base), /*stop_on_underflow=*/false);
+    }
+    extents.reserve(extents.size() + lengths.size() + 1);
+    std::size_t offset = base;
+    for (const std::uint64_t length : lengths) {
+      extents.push_back({offset, static_cast<std::size_t>(length), true});
+      offset += static_cast<std::size_t>(length);
+    }
+    extents.push_back({trailer_start, static_cast<std::size_t>(total), false});
+    return extents;
+  } catch (const WireError& e) {
+    throw TraceIoError(std::string("corrupt trace directory: ") + e.what());
+  }
+}
+
+// Decodes one v2/v3 segment body (cursor past magic + version).
+monitor::CollectedLogs decode_segment_v2v3(WireCursor& in,
+                                           std::uint32_t version) {
   monitor::CollectedLogs logs;
   if (version >= 3) {
     logs.epoch = in.read_u64();
@@ -171,9 +423,10 @@ monitor::CollectedLogs decode_segment_logs(WireCursor& in) {
     d.count = in.read_u64();
   }
 
-  monitor::BundleInterner intern(logs);
+  // The encoder's table is deduplicated, so the strings go straight into
+  // the bundle pool -- no per-string interner probe.
   std::vector<std::string_view> strings(in.read_u32());
-  for (auto& s : strings) s = intern(in.read_string());
+  for (auto& s : strings) s = logs.own_string(in.read_view(in.read_u32()));
   auto str = [&](std::uint32_t id) -> std::string_view {
     if (id >= strings.size()) throw TraceIoError("string id out of range");
     return strings[id];
@@ -188,6 +441,9 @@ monitor::CollectedLogs decode_segment_logs(WireCursor& in) {
   }
 
   const std::uint64_t count = in.read_u64();
+  if (count > in.remaining() / kRecordWireBytes) {
+    throw WireError("wire underflow");
+  }
   logs.records.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     monitor::TraceRecord r;
@@ -214,103 +470,405 @@ monitor::CollectedLogs decode_segment_logs(WireCursor& in) {
   return logs;
 }
 
-// (offset, length) of one complete segment within a byte buffer.
-using SegmentExtent = std::pair<std::size_t, std::size_t>;
+// Decodes one v4 columnar segment body (cursor past magic + version + body
+// length, spanning exactly the body).
+monitor::CollectedLogs decode_segment_v4(WireCursor& in) {
+  monitor::CollectedLogs logs;
+  logs.epoch = in.read_u64();
+  logs.dropped = in.read_u64();
+
+  const std::uint64_t domain_count = in.read_varint();
+  if (domain_count > in.remaining() / kMinV4DomainBytes) {
+    throw WireError("wire underflow");
+  }
+  struct RawDomain {
+    std::uint64_t process, node, type, count;
+    std::uint8_t mode;
+  };
+  std::vector<RawDomain> raw_domains(
+      static_cast<std::size_t>(domain_count));
+  for (auto& d : raw_domains) {
+    d.process = in.read_varint();
+    d.node = in.read_varint();
+    d.type = in.read_varint();
+    d.mode = in.read_u8();
+    d.count = in.read_varint();
+  }
+
+  const std::uint64_t string_count = in.read_varint();
+  if (string_count > in.remaining()) throw WireError("wire underflow");
+  std::vector<std::string_view> strings(
+      static_cast<std::size_t>(string_count));
+  for (auto& s : strings) {
+    s = logs.own_string(
+        in.read_view(static_cast<std::size_t>(in.read_varint())));
+  }
+  auto str = [&](std::uint64_t id) -> std::string_view {
+    if (id >= strings.size()) throw TraceIoError("string id out of range");
+    return strings[static_cast<std::size_t>(id)];
+  };
+
+  for (const auto& d : raw_domains) {
+    logs.domains.push_back(
+        {monitor::DomainIdentity{std::string(str(d.process)),
+                                 std::string(str(d.node)),
+                                 std::string(str(d.type))},
+         static_cast<monitor::ProbeMode>(d.mode),
+         static_cast<std::size_t>(d.count)});
+  }
+
+  const std::uint64_t count64 = in.read_varint();
+  if (count64 > in.remaining() / kMinV4RecordBytes) {
+    throw WireError("wire underflow");
+  }
+  const auto count = static_cast<std::size_t>(count64);
+  const std::uint64_t run_count = in.read_varint();
+  if (run_count > count64 || run_count > in.remaining() / kRunWireBytes) {
+    throw TraceIoError("chain runs do not cover records");
+  }
+
+  // Each column decodes into contiguous scratch; records are then assembled
+  // in one record-major pass.  (Writing columns straight into the 168-byte
+  // TraceRecords costs one sweep over the big array per column -- the
+  // scratch keeps every pass streaming, which is most of v4's decode-speed
+  // edge over v3.)
+  struct Run {
+    Uuid chain;
+    std::uint64_t length;
+  };
+  std::vector<Run> runs(static_cast<std::size_t>(run_count));
+  {
+    std::uint64_t covered = 0;
+    for (auto& run : runs) {
+      run.chain.hi = in.read_u64();
+      run.chain.lo = in.read_u64();
+      run.length = in.read_varint();
+      if (run.length > count64 - covered) {
+        throw TraceIoError("chain runs do not cover records");
+      }
+      covered += run.length;
+    }
+    if (covered != count64) {
+      throw TraceIoError("chain runs do not cover records");
+    }
+  }
+  std::vector<std::uint64_t> seq(count);
+  {
+    std::size_t i = 0;
+    for (const Run& run : runs) {
+      std::uint64_t prev = 0;
+      for (std::uint64_t j = 0; j < run.length; ++j, ++i) {
+        prev += static_cast<std::uint64_t>(in.read_svarint());
+        seq[i] = prev;
+      }
+    }
+  }
+  const std::string_view flags1 = in.read_view(count);
+  const std::string_view flags2 = in.read_view(count);
+  std::vector<Uuid> spawned;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (static_cast<std::uint8_t>(flags2[i]) & 4) {
+      Uuid u;
+      u.hi = in.read_u64();
+      u.lo = in.read_u64();
+      spawned.push_back(u);
+    }
+  }
+  auto read_id_column = [&](std::vector<std::uint32_t>& col) {
+    col.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t id = in.read_varint();
+      if (id >= strings.size()) throw TraceIoError("string id out of range");
+      col[i] = static_cast<std::uint32_t>(id);
+    }
+  };
+  std::vector<std::uint32_t> iface, func, process, node, type;
+  read_id_column(iface);
+  read_id_column(func);
+  std::vector<std::uint64_t> object_key(count);
+  for (std::size_t i = 0; i < count; ++i) object_key[i] = in.read_varint();
+  read_id_column(process);
+  read_id_column(node);
+  read_id_column(type);
+  std::vector<std::uint64_t> thread(count);
+  for (std::size_t i = 0; i < count; ++i) thread[i] = in.read_varint();
+  std::vector<std::int64_t> value_start(count), value_end(count);
+  {
+    std::int64_t prev = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      prev += in.read_svarint();
+      value_start[i] = prev;
+    }
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    value_end[i] = value_start[i] + in.read_svarint();
+  }
+  if (in.remaining() != 0) {
+    throw TraceIoError("trailing bytes in trace segment");
+  }
+
+  auto& recs = logs.records;
+  recs.reserve(count);
+  std::size_t run_index = 0;
+  std::uint64_t run_left = runs.empty() ? 0 : runs[0].length;
+  std::size_t next_spawn = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    while (run_left == 0) {
+      if (++run_index >= runs.size()) {
+        throw TraceIoError("chain runs do not cover records");
+      }
+      run_left = runs[run_index].length;
+    }
+    --run_left;
+    monitor::TraceRecord r;
+    r.chain = runs[run_index].chain;
+    r.seq = seq[i];
+    const auto f1 = static_cast<std::uint8_t>(flags1[i]);
+    r.event = static_cast<monitor::EventKind>(f1 & 7);
+    r.kind = static_cast<monitor::CallKind>((f1 >> 3) & 3);
+    r.outcome = static_cast<monitor::CallOutcome>((f1 >> 5) & 3);
+    const auto f2 = static_cast<std::uint8_t>(flags2[i]);
+    r.mode = static_cast<monitor::ProbeMode>(f2 & 3);
+    if (f2 & 4) r.spawned_chain = spawned[next_spawn++];
+    r.interface_name = strings[iface[i]];
+    r.function_name = strings[func[i]];
+    r.object_key = object_key[i];
+    r.process_name = strings[process[i]];
+    r.node_name = strings[node[i]];
+    r.processor_type = strings[type[i]];
+    r.thread_ordinal = thread[i];
+    r.value_start = value_start[i];
+    r.value_end = value_end[i];
+    recs.push_back(r);
+  }
+  return logs;
+}
+
+// Decodes one segment into a self-contained bundle: every string is copied
+// into the bundle-owned pool, so the result can outlive the input bytes
+// (an mmap unmapped after the poll), cross threads, and be ingested later
+// (in epoch order).
+monitor::CollectedLogs decode_segment_logs(WireCursor& in) {
+  if (in.read_u32() != kMagic) throw TraceIoError("not a causeway trace");
+  const std::uint32_t version = in.read_u32();
+  if (version < kMinVersion || version > kMaxVersion) {
+    throw TraceIoError("unsupported trace version " + std::to_string(version));
+  }
+  if (version >= 4) {
+    const std::uint64_t body = in.read_u64();
+    if (body != in.remaining()) {
+      throw TraceIoError("trace segment length mismatch");
+    }
+    return decode_segment_v4(in);
+  }
+  return decode_segment_v2v3(in, version);
+}
 
 // Below this many total bytes the pool dispatch costs more than the decode;
 // single-segment inputs are always decoded inline.
 constexpr std::size_t kParallelDecodeMinBytes = 32 * 1024;
 
-// Decodes every skimmed segment into its own staging bundle -- concurrently
+// Decodes every segment extent into its own staging bundle -- concurrently
 // on the shared WorkerPool when there is enough work -- leaving per-segment
 // failures in `errors` so the caller can commit the clean prefix in epoch
-// order before rethrowing.
-void decode_staged(const std::uint8_t* base,
-                   const std::vector<SegmentExtent>& segments,
+// order before rethrowing.  Trailer extents stage nothing.
+void decode_staged(const std::uint8_t* base, const std::vector<Extent>& extents,
                    std::vector<monitor::CollectedLogs>& staged,
                    std::vector<std::exception_ptr>& errors) {
-  staged.resize(segments.size());
-  errors.assign(segments.size(), nullptr);
+  staged.resize(extents.size());
+  errors.assign(extents.size(), nullptr);
   std::size_t total_bytes = 0;
-  for (const auto& seg : segments) total_bytes += seg.second;
+  std::size_t segment_count = 0;
+  for (const auto& e : extents) {
+    if (!e.is_segment) continue;
+    total_bytes += e.length;
+    ++segment_count;
+  }
   auto decode_one = [&](std::size_t k) {
+    if (!extents[k].is_segment) return;
     try {
-      WireCursor cursor(base + segments[k].first, segments[k].second);
+      WireCursor cursor(base + extents[k].offset, extents[k].length);
       staged[k] = decode_segment_logs(cursor);
     } catch (...) {
       errors[k] = std::current_exception();
     }
   };
-  if (segments.size() >= 2 && total_bytes >= kParallelDecodeMinBytes &&
+  if (segment_count >= 2 && total_bytes >= kParallelDecodeMinBytes &&
       WorkerPool::shared().concurrency() >= 2) {
-    WorkerPool::shared().parallel_for(segments.size(), decode_one);
+    WorkerPool::shared().parallel_for(extents.size(), decode_one);
   } else {
-    for (std::size_t k = 0; k < segments.size(); ++k) decode_one(k);
+    for (std::size_t k = 0; k < extents.size(); ++k) decode_one(k);
   }
 }
 
-}  // namespace
-
-std::size_t decode_trace(const std::vector<std::uint8_t>& bytes,
-                         LogDatabase& db) {
-  std::vector<SegmentExtent> segments;
+std::vector<Extent> scan_extents(std::span<const std::uint8_t> bytes) {
   try {
-    WireCursor in(bytes.data(), bytes.size());
-    // Segments are simply concatenated; an empty input is zero segments.
-    while (in.remaining() > 0) {
-      const std::size_t offset = in.position();
-      segments.emplace_back(offset, skim_segment(in));
-    }
+    if (auto dir = extents_from_directory(bytes)) return std::move(*dir);
+    return skim_extents(bytes, /*stop_on_underflow=*/false);
   } catch (const WireError& e) {
     throw TraceIoError(std::string("corrupt trace: ") + e.what());
   }
+}
+
+[[noreturn]] void rethrow_as_trace_error(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const WireError& e) {
+    throw TraceIoError(std::string("corrupt trace: ") + e.what());
+  }
+}
+
+// A read-only view of an entire file: mmap when the platform has it (the
+// zero-copy path -- segment decode reads straight out of the page cache),
+// a read() into owned memory otherwise.  CAUSEWAY_NO_MMAP=1 forces the
+// fallback (useful to A/B the two paths on one machine).
+class FileView {
+ public:
+  FileView() = default;
+  ~FileView() {
+#if defined(CAUSEWAY_HAS_MMAP)
+    if (map_ != nullptr) ::munmap(map_, map_length_);
+#endif
+  }
+  FileView(const FileView&) = delete;
+  FileView& operator=(const FileView&) = delete;
+
+  // Opens and maps (or reads) the whole file.  Returns false when the file
+  // cannot be opened (not created yet); throws TraceIoError on read errors
+  // after a successful open.
+  bool open(const std::string& path) {
+#if defined(CAUSEWAY_HAS_MMAP)
+    if (!mmap_disabled()) {
+      const int fd = ::open(path.c_str(), O_RDONLY);
+      if (fd < 0) return false;
+      struct ::stat st = {};
+      if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        throw TraceIoError("cannot stat '" + path + "'");
+      }
+      const auto size = static_cast<std::size_t>(st.st_size);
+      if (size == 0) {
+        ::close(fd);
+        view_ = {};
+        return true;
+      }
+      void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (map != MAP_FAILED) {
+        map_ = map;
+        map_length_ = size;
+        view_ = {static_cast<const std::uint8_t*>(map), size};
+        return true;
+      }
+      // mmap refused (exotic filesystem); fall through to read().
+    }
+#endif
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    owned_.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    if (in.bad()) throw TraceIoError("read error on '" + path + "'");
+    view_ = owned_;
+    return true;
+  }
+
+  std::span<const std::uint8_t> bytes() const { return view_; }
+
+ private:
+  static bool mmap_disabled() {
+    const char* env = std::getenv("CAUSEWAY_NO_MMAP");
+    return env != nullptr && *env != '\0' && *env != '0';
+  }
+
+  std::span<const std::uint8_t> view_;
+  std::vector<std::uint8_t> owned_;
+#if defined(CAUSEWAY_HAS_MMAP)
+  void* map_{nullptr};
+  std::size_t map_length_{0};
+#endif
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_trace(const monitor::CollectedLogs& logs,
+                                       std::uint32_t version) {
+  if (version == kTraceFormatV3) return encode_trace_v3(logs);
+  if (version == kTraceFormatV4) return encode_trace_v4(logs);
+  throw TraceIoError("unwritable trace version " + std::to_string(version));
+}
+
+std::size_t decode_trace(std::span<const std::uint8_t> bytes,
+                         LogDatabase& db) {
+  const std::vector<Extent> extents = scan_extents(bytes);
 
   std::vector<monitor::CollectedLogs> staged;
   std::vector<std::exception_ptr> errors;
-  decode_staged(bytes.data(), segments, staged, errors);
+  decode_staged(bytes.data(), extents, staged, errors);
 
   // Commit in segment order: each bundle is one database generation, the
   // same sequence a serial segment-by-segment decode produces.
   std::size_t total = 0;
-  for (std::size_t k = 0; k < segments.size(); ++k) {
-    if (errors[k]) {
-      try {
-        std::rethrow_exception(errors[k]);
-      } catch (const WireError& e) {
-        throw TraceIoError(std::string("corrupt trace: ") + e.what());
-      }
-    }
+  for (std::size_t k = 0; k < extents.size(); ++k) {
+    if (errors[k]) rethrow_as_trace_error(errors[k]);
+    if (!extents[k].is_segment) continue;
     db.ingest(staged[k]);
     total += staged[k].records.size();
   }
   return total;
 }
 
+std::vector<monitor::CollectedLogs> decode_trace_segments(
+    std::span<const std::uint8_t> bytes) {
+  const std::vector<Extent> extents = scan_extents(bytes);
+
+  std::vector<monitor::CollectedLogs> staged;
+  std::vector<std::exception_ptr> errors;
+  decode_staged(bytes.data(), extents, staged, errors);
+
+  std::vector<monitor::CollectedLogs> out;
+  out.reserve(extents.size());
+  for (std::size_t k = 0; k < extents.size(); ++k) {
+    if (errors[k]) rethrow_as_trace_error(errors[k]);
+    if (extents[k].is_segment) out.push_back(std::move(staged[k]));
+  }
+  return out;
+}
+
 void write_trace_file(const std::string& path,
-                      const monitor::CollectedLogs& logs) {
-  const auto bytes = encode_trace(logs);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw TraceIoError("cannot open '" + path + "' for writing");
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw TraceIoError("short write to '" + path + "'");
+                      const monitor::CollectedLogs& logs,
+                      std::uint32_t version) {
+  TraceWriter writer(path, version);
+  writer.append(logs);
+  writer.close();
 }
 
 std::size_t read_trace_file(const std::string& path, LogDatabase& db) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw TraceIoError("cannot open '" + path + "'");
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                                  std::istreambuf_iterator<char>());
-  return decode_trace(bytes, db);
+  FileView file;
+  if (!file.open(path)) throw TraceIoError("cannot open '" + path + "'");
+  return decode_trace(file.bytes(), db);
 }
 
-TraceWriter::TraceWriter(const std::string& path)
-    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+TraceWriter::TraceWriter(const std::string& path, std::uint32_t version)
+    : path_(path),
+      out_(path, std::ios::binary | std::ios::trunc),
+      version_(version) {
+  if (version != kTraceFormatV3 && version != kTraceFormatV4) {
+    throw TraceIoError("unwritable trace version " + std::to_string(version));
+  }
   if (!out_) throw TraceIoError("cannot open '" + path + "' for writing");
 }
 
+TraceWriter::~TraceWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; an explicit close() surfaces the error.
+  }
+}
+
 void TraceWriter::append(const monitor::CollectedLogs& logs) {
-  const auto bytes = encode_trace(logs);
+  if (closed_) throw TraceIoError("trace writer for '" + path_ + "' is closed");
+  const auto bytes = encode_trace(logs, version_);
   out_.write(reinterpret_cast<const char*>(bytes.data()),
              static_cast<std::streamsize>(bytes.size()));
   // Flush per segment: the file on disk is a valid multi-segment trace
@@ -318,83 +876,86 @@ void TraceWriter::append(const monitor::CollectedLogs& logs) {
   // prefix of the stream.
   out_.flush();
   if (!out_) throw TraceIoError("short write to '" + path_ + "'");
-  ++segments_;
+  segment_lengths_.push_back(bytes.size());
   records_ += logs.records.size();
 }
 
-std::size_t TraceTail::poll(LogDatabase& db) {
-  std::ifstream in(path_, std::ios::binary | std::ios::ate);
-  if (!in) {
+void TraceWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  WireBuffer trailer;
+  trailer.write_u32(kDirMagic);
+  trailer.write_u32(kDirVersion);
+  trailer.write_varint(segment_lengths_.size());
+  for (const std::uint64_t length : segment_lengths_) {
+    trailer.write_varint(length);
+  }
+  trailer.write_u64(trailer.size() + 12);  // whole block incl. this + magic
+  trailer.write_u32(kEndMagic);
+  out_.write(reinterpret_cast<const char*>(trailer.bytes().data()),
+             static_cast<std::streamsize>(trailer.size()));
+  out_.flush();
+  if (!out_) throw TraceIoError("short write to '" + path_ + "'");
+  out_.close();
+}
+
+std::size_t TraceTail::poll(LogDatabase& db) { return poll_impl(&db, nullptr); }
+
+std::size_t TraceTail::poll(AnalysisPipeline& pipeline) {
+  return poll_impl(nullptr, &pipeline);
+}
+
+std::size_t TraceTail::poll_impl(LogDatabase* db, AnalysisPipeline* pipeline) {
+  FileView file;
+  if (!file.open(path_)) {
     // Not created yet is fine (the writer may still be starting up), but a
     // file that vanishes after we read from it is not.
-    if (file_offset_ == 0) return 0;
+    if (seen_size_ == 0) return 0;
     throw TraceIoError("cannot open '" + path_ + "'");
   }
-  const auto size = static_cast<std::uint64_t>(in.tellg());
-  if (size < file_offset_) {
+  const std::span<const std::uint8_t> bytes = file.bytes();
+  if (bytes.size() < seen_size_) {
     throw TraceIoError("trace file '" + path_ + "' shrank while tailing");
   }
-  if (size > file_offset_) {
-    in.seekg(static_cast<std::streamoff>(file_offset_));
-    const auto grew = static_cast<std::size_t>(size - file_offset_);
-    const std::size_t base = pending_.size();
-    pending_.resize(base + grew);
-    in.read(reinterpret_cast<char*>(pending_.data() + base),
-            static_cast<std::streamsize>(grew));
-    const auto got = static_cast<std::size_t>(in.gcount());
-    pending_.resize(base + got);
-    file_offset_ += got;
-  }
-  if (pending_.empty()) return 0;
+  seen_size_ = bytes.size();
+  if (bytes.size() <= consumed_) return 0;
 
-  // Skim every complete segment boundary first.  Wire underflow == the last
-  // segment's tail has not been written (or flushed) yet; keep those bytes
-  // pending and retry next poll.  Structural corruption surfaces as
-  // TraceIoError and propagates.
-  std::vector<SegmentExtent> segments;
-  {
-    WireCursor cur(pending_.data(), pending_.size());
-    while (cur.remaining() > 0) {
-      const std::size_t offset = cur.position();
-      try {
-        segments.emplace_back(offset, skim_segment(cur));
-      } catch (const WireError&) {
-        break;
-      }
-    }
-  }
-  if (segments.empty()) return 0;
+  // The unconsumed window decodes in place -- no staging buffer.  Complete
+  // blocks commit; an incomplete tail (wire underflow) simply stays in the
+  // file for the next poll.  Structural corruption propagates.
+  const std::span<const std::uint8_t> fresh =
+      bytes.subspan(static_cast<std::size_t>(consumed_));
+  const std::vector<Extent> extents =
+      skim_extents(fresh, /*stop_on_underflow=*/true);
+  if (extents.empty()) return 0;
 
   // Decode the complete segments concurrently (a cold catch-up tail of a
   // long-running stream can hold hundreds), then commit in epoch order so
   // the database sees the same generation sequence a live tail would.
   std::vector<monitor::CollectedLogs> staged;
   std::vector<std::exception_ptr> errors;
-  decode_staged(pending_.data(), segments, staged, errors);
+  decode_staged(fresh.data(), extents, staged, errors);
 
   std::size_t records = 0;
   std::size_t committed_end = 0;
-  auto consume = [&](std::size_t end) {
-    if (end == 0) return;
-    pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(end));
-    consumed_ += end;
-  };
-  for (std::size_t k = 0; k < segments.size(); ++k) {
+  for (std::size_t k = 0; k < extents.size(); ++k) {
     if (errors[k]) {
       // Commit the clean prefix, then surface the corruption.
-      consume(committed_end);
-      try {
-        std::rethrow_exception(errors[k]);
-      } catch (const WireError& e) {
-        throw TraceIoError(std::string("corrupt trace: ") + e.what());
-      }
+      consumed_ += committed_end;
+      rethrow_as_trace_error(errors[k]);
     }
-    db.ingest(staged[k]);
-    ++segments_;
-    records += staged[k].records.size();
-    committed_end = segments[k].first + segments[k].second;
+    if (extents[k].is_segment) {
+      if (db != nullptr) {
+        db->ingest(staged[k]);
+      } else {
+        pipeline->ingest(staged[k]);
+      }
+      ++segments_;
+      records += staged[k].records.size();
+    }
+    committed_end = extents[k].offset + extents[k].length;
   }
-  consume(committed_end);
+  consumed_ += committed_end;
   return records;
 }
 

@@ -8,47 +8,74 @@
 // reads any number of them back.
 //
 // A trace file holds one or more *segments*, each a self-contained encoding
-// of one collector bundle.  Offline runs write a single segment; streaming
-// runs (`causeway-record --stream`) append one segment per drain epoch.
-// Readers loop segments until the file is exhausted, so a streamed trace
+// of one collector bundle, optionally followed by a segment-directory
+// trailer (see below).  Offline runs write a single segment; streaming runs
+// (`causeway-record --stream`) append one segment per drain epoch.  Readers
+// loop segments until the file is exhausted, so a streamed trace
 // synthesizes into the same database as an offline one.
 //
-// Segment format (all little-endian, strings via a per-segment table):
-//   "CWTR" magic, u32 version
-//   u64 drain epoch (0 = offline collect), u64 dropped count   [v3]
-//   u32 domain count; per domain: process/node/type string ids, u8 mode,
-//     u64 record count
-//   u32 string count; length-prefixed strings
-//   u64 record count; fixed-layout records referencing the string table
-// Version 2 segments (no epoch/dropped words) are still readable.
+// Segment format v4 (all little-endian; full layout in DESIGN.md Sec. 9):
+//   "CWTR" magic, u32 version, u64 body length
+//   u64 drain epoch (0 = offline collect), u64 dropped count
+//   varint domain count; per domain: varint process/node/type string ids,
+//     u8 mode, varint record count
+//   varint string count; varint-length-prefixed strings
+//   columnar record section: records grouped into maximal runs of
+//     consecutive same-chain records (arrival order preserved -- grouping
+//     never reorders), chain stored once per run, then one column per
+//     field: delta-varint seq, packed event/kind/outcome/mode flag bytes,
+//     sparse spawned chains, varint ids/ordinals, and zig-zag-delta
+//     varint start/end sample columns.
+// Version 3 (fixed-width records, epoch + dropped words) and version 2
+// (v3 without the epoch words) segments are still fully readable.
 //
-// Reading is two-phase so multi-segment traces scale with cores: a cheap
-// serial *skim* walks the structure to find every complete segment
-// boundary, the segments decode concurrently into self-contained staging
-// bundles on the shared WorkerPool, and the bundles commit into the
-// database in epoch order -- so the generation sequence (and every
+// After the last segment a *directory trailer* may follow ("CWTD" block +
+// "CWTE" end magic): the byte length of every segment, so a reader finds
+// all boundaries from the footer without walking the file.  The trailer is
+// written when a TraceWriter closes; a file without one (writer still
+// running, or crashed) falls back to the sequential skim.
+//
+// Reading is two-phase so multi-segment traces scale with cores: segment
+// boundaries come from the directory trailer (or a cheap skim -- v4
+// segments carry their body length in the header, so the skim is one seek
+// per segment), the segments decode concurrently into self-contained
+// staging bundles on the shared WorkerPool, and the bundles commit into
+// the database in epoch order -- so the generation sequence (and every
 // downstream render) is byte-identical to a serial segment-by-segment
-// decode.  Both the cold load (read_trace_file/decode_trace) and a tail
-// catch-up (TraceTail::poll with many pending segments) take this path.
+// decode, across format versions and shard counts.  Files are read through
+// an mmap (read() fallback; see DESIGN.md Sec. 9) and decoded zero-copy.
 #pragma once
 
 #include <fstream>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "analysis/database.h"
 #include "monitor/collector.h"
 
 namespace causeway::analysis {
 
+class AnalysisPipeline;
+
 class TraceIoError : public std::runtime_error {
  public:
   explicit TraceIoError(const std::string& what) : std::runtime_error(what) {}
 };
 
-// Serializes a collector bundle as a single-segment file.  Throws
-// TraceIoError on I/O failure.
+// Segment format versions this build writes.  kTraceFormatDefault is what
+// every writer emits unless told otherwise; v3 stays writable so a
+// regression in the columnar codec can be bisected against the old
+// encoding (`causeway-record --trace-format=v3`).
+inline constexpr std::uint32_t kTraceFormatV3 = 3;
+inline constexpr std::uint32_t kTraceFormatV4 = 4;
+inline constexpr std::uint32_t kTraceFormatDefault = kTraceFormatV4;
+
+// Serializes a collector bundle as a single-segment file (plus directory
+// trailer).  Throws TraceIoError on I/O failure or an unwritable version.
 void write_trace_file(const std::string& path,
-                      const monitor::CollectedLogs& logs);
+                      const monitor::CollectedLogs& logs,
+                      std::uint32_t version = kTraceFormatDefault);
 
 // Parses a trace file (one or more segments) and ingests everything into
 // `db` (which interns all strings, so nothing dangles).  Returns the number
@@ -56,36 +83,65 @@ void write_trace_file(const std::string& path,
 std::size_t read_trace_file(const std::string& path, LogDatabase& db);
 
 // In-memory variants (testing, transport over other channels).  encode_trace
-// produces one segment; decode_trace accepts any concatenation of segments.
-std::vector<std::uint8_t> encode_trace(const monitor::CollectedLogs& logs);
-std::size_t decode_trace(const std::vector<std::uint8_t>& bytes,
-                         LogDatabase& db);
+// produces one segment (no trailer); decode_trace accepts any concatenation
+// of segments, with or without a final directory trailer.
+std::vector<std::uint8_t> encode_trace(
+    const monitor::CollectedLogs& logs,
+    std::uint32_t version = kTraceFormatDefault);
+std::size_t decode_trace(std::span<const std::uint8_t> bytes, LogDatabase& db);
+inline std::size_t decode_trace(const std::vector<std::uint8_t>& bytes,
+                                LogDatabase& db) {
+  return decode_trace(std::span<const std::uint8_t>(bytes), db);
+}
+
+// The staging phase alone: every segment decoded into a self-contained
+// bundle (concurrently when there is enough work), in segment order,
+// without ingesting.  What the benches time, and the building block a
+// multi-trace merge would start from.
+std::vector<monitor::CollectedLogs> decode_trace_segments(
+    std::span<const std::uint8_t> bytes);
 
 // Streaming writer: appends one segment per collector bundle to a trace
 // file as the run progresses, flushing after each so the file is always a
-// valid (if partial) trace.  Used by `causeway-record --stream`.
+// valid (if partial) trace.  close() (or destruction) appends the segment
+// directory trailer.  Used by `causeway-record --stream`.
 class TraceWriter {
  public:
-  // Truncates/creates the file.  Throws TraceIoError if it cannot open.
-  explicit TraceWriter(const std::string& path);
+  // Truncates/creates the file.  Throws TraceIoError if it cannot open or
+  // `version` is not writable.
+  explicit TraceWriter(const std::string& path,
+                       std::uint32_t version = kTraceFormatDefault);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
 
   // Appends `logs` as one segment and flushes.  Throws on short writes.
   void append(const monitor::CollectedLogs& logs);
 
-  std::size_t segments() const { return segments_; }
+  // Appends the directory trailer and closes the file.  Idempotent; throws
+  // on short writes.  The destructor calls it, swallowing errors -- call
+  // explicitly when you need them surfaced.
+  void close();
+
+  std::size_t segments() const { return segment_lengths_.size(); }
   std::uint64_t records_written() const { return records_; }
 
  private:
   std::string path_;
   std::ofstream out_;
-  std::size_t segments_{0};
+  std::uint32_t version_;
+  std::vector<std::uint64_t> segment_lengths_;  // directory trailer source
   std::uint64_t records_{0};
+  bool closed_{false};
 };
 
 // Streaming reader: tails a growing trace file, ingesting each complete
-// segment as it lands.  A partially-written tail (the writer is mid-append,
-// or the reader raced a flush) is tolerated: poll() keeps the incomplete
-// bytes pending and retries on the next call.  Corrupt data (bad magic, bad
+// segment as it lands.  The file is read in place through an mmap remapped
+// per poll (read() fallback), so nothing is staged: complete segments
+// decode zero-copy straight out of the mapping, and an incomplete tail (the
+// writer mid-append, or the reader raced a flush) simply stays in the file
+// to be retried next poll.  A directory trailer appearing at the tail (the
+// writer closed) is consumed as metadata.  Corrupt data (bad magic, bad
 // version, string ids out of range) still throws TraceIoError -- only
 // *incomplete* tails are recoverable.  Used by `causeway-analyze --follow`.
 class TraceTail {
@@ -99,15 +155,26 @@ class TraceTail {
   // truncated or rewritten underneath us) throws TraceIoError.
   std::size_t poll(LogDatabase& db);
 
+  // Same, but hands each decoded bundle straight to the pipeline: one
+  // pipeline epoch per segment, no separate refresh() needed.  Renders are
+  // byte-identical to the poll(db)+refresh() form (the pipeline's N-epochs
+  // == one-epoch contract).
+  std::size_t poll(AnalysisPipeline& pipeline);
+
   std::size_t segments() const { return segments_; }
   std::uint64_t bytes_consumed() const { return consumed_; }
-  std::size_t pending_bytes() const { return pending_.size(); }
+
+  // Bytes known to exist but not yet decoded -- the incomplete tail.
+  std::size_t pending_bytes() const {
+    return static_cast<std::size_t>(seen_size_ - consumed_);
+  }
 
  private:
+  std::size_t poll_impl(LogDatabase* db, AnalysisPipeline* pipeline);
+
   std::string path_;
-  std::uint64_t file_offset_{0};       // bytes read off the file so far
-  std::uint64_t consumed_{0};          // bytes decoded into segments
-  std::vector<std::uint8_t> pending_;  // read but not yet decodable
+  std::uint64_t seen_size_{0};  // high-watermark file size (shrink guard)
+  std::uint64_t consumed_{0};   // bytes decoded (or skipped as trailer)
   std::size_t segments_{0};
 };
 

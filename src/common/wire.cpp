@@ -1,5 +1,5 @@
 #include "common/wire.h"
 
-// Header-only today; this TU anchors the library and keeps the door open for
-// out-of-line growth (e.g. varint encodings) without touching every client.
+// Header-only today (the varint coders sit in the header so the columnar
+// trace codec can inline them); this TU anchors the library.
 namespace causeway {}

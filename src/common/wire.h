@@ -2,9 +2,11 @@
 // COM-like runtime, the bridge and the instrumented stubs/skeletons.
 //
 // Encoding is a compact little-endian CDR-ish format: fixed-width integers,
-// IEEE doubles, length-prefixed strings/byte blobs.  WireBuffer writes,
+// IEEE doubles, length-prefixed strings/byte blobs, and LEB128 varints
+// (plain and zig-zag) for the columnar trace format.  WireBuffer writes,
 // WireCursor reads with strict bounds checking (malformed input raises
-// WireError; it never reads out of bounds).
+// WireError; it never reads out of bounds, and overlong varints -- more
+// than ten bytes, or value bits beyond 64 -- are rejected, not wrapped).
 //
 // The instrumented stubs append the FTL as a *trailer* ([payload][FTL][magic])
 // so the runtime below never needs to know monitoring exists -- see
@@ -27,6 +29,19 @@ class WireError : public std::runtime_error {
   explicit WireError(const std::string& what) : std::runtime_error(what) {}
 };
 
+// Zig-zag mapping: small-magnitude signed values (deltas between nearly
+// equal samples) become small unsigned values, which the varint coder then
+// stores in one or two bytes.
+constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t zigzag_decode(std::uint64_t z) {
+  return static_cast<std::int64_t>(z >> 1) ^
+         -static_cast<std::int64_t>(z & 1);
+}
+
 class WireBuffer {
  public:
   WireBuffer() = default;
@@ -47,6 +62,18 @@ class WireBuffer {
     write_le(bits);
   }
 
+  // LEB128: seven value bits per byte, high bit = continuation.  At most
+  // ten bytes for a full 64-bit value.
+  void write_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void write_svarint(std::int64_t v) { write_varint(zigzag_encode(v)); }
+
   void write_string(std::string_view s) {
     write_u32(static_cast<std::uint32_t>(s.size()));
     bytes_.insert(bytes_.end(), s.begin(), s.end());
@@ -61,6 +88,17 @@ class WireBuffer {
   // splicing one buffer into another).
   void append_raw(std::span<const std::uint8_t> b) {
     bytes_.insert(bytes_.end(), b.begin(), b.end());
+  }
+
+  // Patches a u64 written earlier (e.g. a frame-length word reserved before
+  // the frame body was encoded).  The eight bytes must already exist.
+  void overwrite_u64(std::size_t offset, std::uint64_t v) {
+    if (offset + sizeof(v) > bytes_.size()) {
+      throw WireError("overwrite past end of buffer");
+    }
+    for (std::size_t i = 0; i < sizeof(v); ++i) {
+      bytes_[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
   }
 
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
@@ -104,12 +142,40 @@ class WireCursor {
     return v;
   }
 
+  // Strict LEB128 decode: throws WireError on truncation (continuation bit
+  // set at the end of input) and on overlong encodings -- an eleventh byte,
+  // or a tenth byte carrying value bits beyond the 64th.
+  std::uint64_t read_varint() {
+    // Fast path: single-byte values dominate delta/id columns.
+    if (pos_ < end_ && data_[pos_] < 0x80) return data_[pos_++];
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      require(1);
+      const std::uint8_t byte = data_[pos_++];
+      if (shift == 63 && byte > 1) throw WireError("varint overlong");
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+    }
+    throw WireError("varint overlong");
+  }
+
+  std::int64_t read_svarint() { return zigzag_decode(read_varint()); }
+
   std::string read_string() {
     const std::uint32_t n = read_u32();
     require(n);
     std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return s;
+  }
+
+  // Zero-copy view of the next `n` bytes; valid only while the underlying
+  // storage (e.g. an mmap) lives.  Callers that outlive it must copy.
+  std::string_view read_view(std::size_t n) {
+    require(n);
+    const char* p = reinterpret_cast<const char*>(data_ + pos_);
+    pos_ += n;
+    return {p, n};
   }
 
   std::vector<std::uint8_t> read_bytes() {

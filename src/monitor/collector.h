@@ -55,6 +55,15 @@ struct CollectedLogs {
   // Backing storage for every string_view inside `records`.
   std::shared_ptr<std::deque<std::string>> strings =
       std::make_shared<std::deque<std::string>>();
+
+  // Copies `s` into the bundle's pool and returns the stable view -- *no*
+  // deduplication.  For producers whose input is already deduplicated (a
+  // trace segment's string table): they skip the BundleInterner hash map
+  // and its per-string probe entirely.
+  std::string_view own_string(std::string_view s) {
+    strings->emplace_back(s);
+    return strings->back();
+  }
 };
 
 // Copies strings into a bundle-owned pool (deduplicated) so the bundle

@@ -8,8 +8,11 @@
 // monitoring overhead (the O_F term) from end-to-end latency.
 //
 // Identity strings are std::string_view into stable storage (generated
-// method tables, domain names); a record is 128 bytes and sub-million-call
-// runs stay comfortably in memory, matching the paper's largest experiment.
+// method tables, domain names); a record is 168 bytes in memory (pinned by
+// the static_assert below) and sub-million-call runs stay comfortably
+// resident, matching the paper's largest experiment.  The on-disk form is
+// much smaller: the columnar trace codec (analysis/trace_io.h) delta- and
+// varint-encodes a record down to ~15 bytes.
 #pragma once
 
 #include <cstdint>
@@ -66,5 +69,14 @@ struct TraceRecord {
 
   Nanos probe_self_cost() const { return value_end - value_start; }
 };
+
+// Probes append these into per-thread rings by the million; layout drift
+// (a new field, a reordering that adds padding) should be a deliberate
+// decision, not an accident.  16B chain + 8B seq + 3 enum bytes (padded to
+// 8) + 16B spawned chain + 3x16B string_view + 8B key + 2x16B string_view
+// + 8B ordinal + mode byte (padded to 8) + 2x8B samples = 168 on LP64.
+static_assert(sizeof(void*) != 8 || sizeof(TraceRecord) == 168,
+              "TraceRecord layout drifted -- update this assert (and the "
+              "size note above) deliberately");
 
 }  // namespace causeway::monitor

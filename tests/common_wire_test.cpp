@@ -64,6 +64,115 @@ TEST(Wire, StringLengthBeyondBufferThrows) {
   EXPECT_THROW(c.read_string(), WireError);
 }
 
+TEST(Wire, VarintRoundTrip) {
+  const std::uint64_t values[] = {0,          1,
+                                  127,        128,
+                                  300,        16383,
+                                  16384,      0xdeadbeefull,
+                                  (1ull << 56) - 1, 1ull << 63,
+                                  ~0ull};
+  WireBuffer b;
+  for (std::uint64_t v : values) b.write_varint(v);
+  WireCursor c(b);
+  for (std::uint64_t v : values) EXPECT_EQ(c.read_varint(), v);
+  EXPECT_EQ(c.remaining(), 0u);
+}
+
+TEST(Wire, VarintEncodedSizes) {
+  auto size_of = [](std::uint64_t v) {
+    WireBuffer b;
+    b.write_varint(v);
+    return b.size();
+  };
+  EXPECT_EQ(size_of(0), 1u);
+  EXPECT_EQ(size_of(127), 1u);
+  EXPECT_EQ(size_of(128), 2u);
+  EXPECT_EQ(size_of(16383), 2u);
+  EXPECT_EQ(size_of(16384), 3u);
+  EXPECT_EQ(size_of(~0ull), 10u);
+}
+
+TEST(Wire, SvarintRoundTrip) {
+  const std::int64_t values[] = {0,       1,       -1,
+                                 63,      -64,     64,
+                                 -65,     1'000'000, -1'000'000,
+                                 INT64_MAX, INT64_MIN};
+  WireBuffer b;
+  for (std::int64_t v : values) b.write_svarint(v);
+  WireCursor c(b);
+  for (std::int64_t v : values) EXPECT_EQ(c.read_svarint(), v);
+  EXPECT_EQ(c.remaining(), 0u);
+}
+
+TEST(Wire, ZigzagMapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(2), 4u);
+  EXPECT_EQ(zigzag_decode(zigzag_encode(INT64_MIN)), INT64_MIN);
+  EXPECT_EQ(zigzag_decode(zigzag_encode(INT64_MAX)), INT64_MAX);
+}
+
+TEST(Wire, TruncatedVarintThrows) {
+  WireBuffer b;
+  b.write_u8(0x80);  // continuation bit set, then nothing follows
+  WireCursor c(b);
+  EXPECT_THROW(c.read_varint(), WireError);
+}
+
+TEST(Wire, OverlongVarintThrows) {
+  // Ten continuation bytes: an eleventh byte would carry bit 70.
+  {
+    WireBuffer b;
+    for (int i = 0; i < 10; ++i) b.write_u8(0x80);
+    b.write_u8(0x00);
+    WireCursor c(b);
+    EXPECT_THROW(c.read_varint(), WireError);
+  }
+  // Ten bytes whose last carries value bits beyond the 64th.
+  {
+    WireBuffer b;
+    for (int i = 0; i < 9; ++i) b.write_u8(0x80);
+    b.write_u8(0x02);
+    WireCursor c(b);
+    EXPECT_THROW(c.read_varint(), WireError);
+  }
+  // The canonical ten-byte maximum still decodes.
+  {
+    WireBuffer b;
+    b.write_varint(~0ull);
+    WireCursor c(b);
+    EXPECT_EQ(c.read_varint(), ~0ull);
+  }
+}
+
+TEST(Wire, ReadViewIsZeroCopyAndBounded) {
+  WireBuffer b;
+  b.write_u8('h');
+  b.write_u8('i');
+  WireCursor c(b);
+  const std::string_view v = c.read_view(2);
+  EXPECT_EQ(v, "hi");
+  EXPECT_EQ(static_cast<const void*>(v.data()),
+            static_cast<const void*>(b.bytes().data()));
+  EXPECT_THROW(c.read_view(1), WireError);
+}
+
+TEST(Wire, OverwriteU64PatchesInPlace) {
+  WireBuffer b;
+  b.write_u32(7);
+  const std::size_t at = b.size();
+  b.write_u64(0);  // reserved length word
+  b.write_u32(9);
+  b.overwrite_u64(at, 0x0102030405060708ull);
+  WireCursor c(b);
+  EXPECT_EQ(c.read_u32(), 7u);
+  EXPECT_EQ(c.read_u64(), 0x0102030405060708ull);
+  EXPECT_EQ(c.read_u32(), 9u);
+  EXPECT_THROW(b.overwrite_u64(b.size() - 4, 1), WireError);
+}
+
 TEST(Wire, TruncateLimitsWindow) {
   WireBuffer b;
   b.write_u32(1);

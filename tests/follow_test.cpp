@@ -86,6 +86,77 @@ TEST(TraceTail, ProgressiveSegmentsConvergeToOfflineBytes) {
   EXPECT_EQ(live.timeline_text(), offline.timeline_text());
 }
 
+TEST(TraceTail, PipelinePollMatchesOfflineRender) {
+  const std::string path = temp_path("tail_pipeline.cwt");
+  std::remove(path.c_str());
+
+  Scribe a;
+  a.leaf_sync("Tail::I", "first", {0, 1, 2, 3, 4, 5, 6, 7});
+  Scribe b;
+  b.leaf_sync("Tail::I", "other", {10, 11, 12, 13, 14, 15, 16, 17},
+              "procC", "procD");
+  Scribe c;
+  c.leaf_sync("Tail::J", "third", {20, 21, 22, 23, 24, 25, 26, 27});
+
+  AnalysisPipeline live;
+  TraceTail tail(path);
+  std::size_t total = 0;
+  {
+    TraceWriter writer(path);
+    for (Scribe* s : {&a, &b, &c}) {
+      writer.append(bundle_of(s->records(), writer.segments() + 1));
+      // poll(pipeline): each decoded segment becomes one pipeline epoch
+      // directly -- no staging buffer, no separate refresh().
+      total += tail.poll(live);
+    }
+    writer.close();
+    // The trailer the close wrote is consumed as metadata, not records.
+    EXPECT_EQ(tail.poll(live), 0u);
+    EXPECT_EQ(tail.pending_bytes(), 0u);
+  }
+  EXPECT_EQ(tail.segments(), 3u);
+  EXPECT_EQ(live.epochs_ingested(), 3u);
+  EXPECT_EQ(live.database().size(), total);
+
+  AnalysisPipeline offline;
+  EXPECT_EQ(read_trace_file(path, offline.database()), total);
+  offline.refresh();
+  EXPECT_EQ(live.report(), offline.report());
+  EXPECT_EQ(live.summary(), offline.summary());
+  EXPECT_EQ(live.ccsg_xml(), offline.ccsg_xml());
+  EXPECT_EQ(live.timeline_text(), offline.timeline_text());
+}
+
+TEST(TraceTail, CatchUpPollDecodesManySegmentsAtOnce) {
+  // A tail attaching to an already-long trace must catch up in one poll
+  // (the parallel-decode path) and count every segment.
+  const std::string path = temp_path("tail_catchup.cwt");
+  std::remove(path.c_str());
+
+  std::size_t written = 0;
+  {
+    TraceWriter writer(path);
+    for (int epoch = 1; epoch <= 20; ++epoch) {
+      Scribe s;
+      const Nanos base = epoch * 100;
+      s.leaf_sync("Tail::I", "burst",
+                  {base, base + 1, base + 2, base + 3, base + 4, base + 5,
+                   base + 6, base + 7});
+      writer.append(
+          bundle_of(s.records(), static_cast<std::uint64_t>(epoch)));
+      written += s.records().size();
+    }
+    writer.close();
+  }
+  AnalysisPipeline pipeline;
+  TraceTail tail(path);
+  EXPECT_EQ(tail.poll(pipeline), written);
+  EXPECT_EQ(tail.segments(), 20u);
+  EXPECT_EQ(tail.pending_bytes(), 0u);
+  EXPECT_EQ(pipeline.epochs_ingested(), 20u);
+  EXPECT_EQ(pipeline.database().size(), written);
+}
+
 TEST(TraceTail, PartialTailIsRetriedNotFatal) {
   const std::string path = temp_path("tail_partial.cwt");
   std::remove(path.c_str());

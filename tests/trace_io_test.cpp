@@ -4,10 +4,13 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 
 #include "analysis/cpu.h"
 #include "analysis/dscg.h"
 #include "analysis/report.h"
+#include "common/wire.h"
 #include "workload/logsynth.h"
 
 namespace causeway::analysis {
@@ -102,6 +105,294 @@ TEST(TraceIo, CorruptBytesThrow) {
                                       bytes.end() - static_cast<long>(cut));
     LogDatabase db2;
     EXPECT_THROW(decode_trace(shorter, db2), TraceIoError);
+  }
+}
+
+TEST(TraceIo, DefaultFormatIsV4WithBodyLength) {
+  const auto bytes = encode_trace(sample_logs());
+  WireCursor c(bytes.data(), bytes.size());
+  EXPECT_EQ(c.read_u32(), 0x43575452u);  // "CWTR"
+  EXPECT_EQ(c.read_u32(), kTraceFormatV4);
+  // The body-length word covers exactly the rest of the segment -- what
+  // makes the read-side skim O(1) per segment.
+  EXPECT_EQ(c.read_u64(), bytes.size() - 16);
+}
+
+TEST(TraceIo, V3EncodeDecodeRoundTrip) {
+  const auto logs = sample_logs();
+  const auto bytes = encode_trace(logs, kTraceFormatV3);
+
+  LogDatabase db;
+  EXPECT_EQ(decode_trace(bytes, db), 4u);
+  ASSERT_EQ(db.size(), 4u);
+  const auto& r = db.records()[2];
+  EXPECT_EQ(r.seq, 3u);
+  EXPECT_EQ(r.event, monitor::EventKind::kSkelEnd);
+  EXPECT_EQ(r.outcome, monitor::CallOutcome::kAppError);
+  EXPECT_EQ(r.process_name, "procB");
+  EXPECT_EQ(r.value_end, 307);
+}
+
+TEST(TraceIo, V3AndV4RenderIdentically) {
+  // The format version must be invisible downstream: the same stream
+  // encoded both ways synthesizes databases that render byte-identical
+  // characterization reports.
+  workload::LogSynthConfig config;
+  config.total_calls = 2'000;
+  LogDatabase source;
+  workload::synthesize_logs(config, source);
+  monitor::CollectedLogs logs;
+  logs.records = source.records();
+
+  LogDatabase db3, db4;
+  EXPECT_EQ(decode_trace(encode_trace(logs, kTraceFormatV3), db3),
+            source.size());
+  EXPECT_EQ(decode_trace(encode_trace(logs, kTraceFormatV4), db4),
+            source.size());
+  auto dscg3 = Dscg::build(db3);
+  auto dscg4 = Dscg::build(db4);
+  EXPECT_EQ(characterization_report(dscg3, db3),
+            characterization_report(dscg4, db4));
+}
+
+TEST(TraceIo, V4IsSubstantiallySmallerThanV3) {
+  workload::LogSynthConfig config;
+  config.total_calls = 5'000;
+  LogDatabase source;
+  workload::synthesize_logs(config, source);
+  monitor::CollectedLogs logs;
+  logs.records = source.records();
+
+  const auto v3 = encode_trace(logs, kTraceFormatV3);
+  const auto v4 = encode_trace(logs, kTraceFormatV4);
+  // The acceptance bar is >= 35% smaller; leave headroom in the unit test.
+  EXPECT_LT(v4.size(), v3.size() * 0.70)
+      << "v3=" << v3.size() << " v4=" << v4.size();
+}
+
+TEST(TraceIo, MixedVersionSegmentsDecode) {
+  auto first = sample_logs();
+  first.epoch = 1;
+  auto second = sample_logs();
+  second.epoch = 2;
+  auto bytes = encode_trace(first, kTraceFormatV3);
+  const auto more = encode_trace(second, kTraceFormatV4);
+  bytes.insert(bytes.end(), more.begin(), more.end());
+
+  LogDatabase db;
+  EXPECT_EQ(decode_trace(bytes, db), 8u);
+  EXPECT_EQ(db.generation(), 2u);
+  EXPECT_EQ(db.last_epoch(), 2u);
+}
+
+TEST(TraceIo, UnwritableVersionThrows) {
+  const auto logs = sample_logs();
+  EXPECT_THROW(encode_trace(logs, 2), TraceIoError);
+  EXPECT_THROW(encode_trace(logs, 5), TraceIoError);
+  const auto path = std::filesystem::temp_directory_path() / "causeway_v.cwt";
+  EXPECT_THROW(TraceWriter(path.string(), 7), TraceIoError);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, DecodeTraceSegmentsStagesPerSegment) {
+  auto first = sample_logs();
+  first.epoch = 1;
+  auto second = sample_logs();
+  second.epoch = 2;
+  auto bytes = encode_trace(first);
+  const auto more = encode_trace(second);
+  bytes.insert(bytes.end(), more.begin(), more.end());
+
+  const auto staged = decode_trace_segments(bytes);
+  ASSERT_EQ(staged.size(), 2u);
+  EXPECT_EQ(staged[0].epoch, 1u);
+  EXPECT_EQ(staged[1].epoch, 2u);
+  EXPECT_EQ(staged[0].records.size(), 4u);
+  EXPECT_EQ(staged[1].records.size(), 4u);
+  EXPECT_EQ(staged[1].records[2].process_name, "procB");
+}
+
+// --- corrupt-segment matrix: every malformation throws TraceIoError and
+// --- never reads out of bounds (the suite runs under ASan in CI).
+
+TEST(TraceIo, UnsupportedSegmentVersionThrows) {
+  WireBuffer seg;
+  seg.write_u32(0x43575452);
+  seg.write_u32(9);  // from the future
+  seg.write_u64(0);
+  LogDatabase db;
+  EXPECT_THROW(decode_trace(seg.bytes(), db), TraceIoError);
+}
+
+TEST(TraceIo, TruncatedVarintColumnThrows) {
+  auto bytes = encode_trace(sample_logs(), kTraceFormatV4);
+  // The final body byte ends the last value_end svarint; setting its
+  // continuation bit makes the varint run off the end of the segment.
+  bytes.back() |= 0x80;
+  LogDatabase db;
+  EXPECT_THROW(decode_trace(bytes, db), TraceIoError);
+}
+
+TEST(TraceIo, StringIdOutOfRangeThrows) {
+  // Hand-built minimal v4 segment: one record whose interface-name column
+  // references string id 9 in a one-entry table.
+  WireBuffer seg;
+  seg.write_u32(0x43575452);
+  seg.write_u32(4);
+  const std::size_t length_at = seg.size();
+  seg.write_u64(0);
+  const std::size_t body = seg.size();
+  seg.write_u64(1);     // epoch
+  seg.write_u64(0);     // dropped
+  seg.write_varint(0);  // no domains
+  seg.write_varint(1);  // one string: "a"
+  seg.write_varint(1);
+  seg.write_u8('a');
+  seg.write_varint(1);  // one record
+  seg.write_varint(1);  // one run
+  seg.write_u64(1);     // chain hi/lo
+  seg.write_u64(2);
+  seg.write_varint(1);   // run length
+  seg.write_svarint(1);  // seq delta
+  seg.write_u8(1);       // flags1: stub-start
+  seg.write_u8(0);       // flags2: causality-only, no spawn
+  seg.write_varint(9);   // interface id -- out of range
+  seg.write_varint(0);   // function id
+  seg.write_varint(0);   // object key
+  seg.write_varint(0);   // process id
+  seg.write_varint(0);   // node id
+  seg.write_varint(0);   // type id
+  seg.write_varint(0);   // thread ordinal
+  seg.write_svarint(0);  // value_start
+  seg.write_svarint(0);  // value_end
+  seg.overwrite_u64(length_at, seg.size() - body);
+
+  LogDatabase db;
+  EXPECT_THROW(decode_trace(seg.bytes(), db), TraceIoError);
+}
+
+TEST(TraceIo, ChainRunsNotCoveringRecordsThrow) {
+  auto bytes = encode_trace(sample_logs(), kTraceFormatV4);
+  LogDatabase ok;
+  ASSERT_EQ(decode_trace(bytes, ok), 4u);
+  // Locate the run-count varint?  Simpler: rebuild the sample with a lying
+  // run length via the documented layout -- a run claiming more records
+  // than the segment holds.
+  WireBuffer seg;
+  seg.write_u32(0x43575452);
+  seg.write_u32(4);
+  const std::size_t length_at = seg.size();
+  seg.write_u64(0);
+  const std::size_t body = seg.size();
+  seg.write_u64(1);
+  seg.write_u64(0);
+  seg.write_varint(0);
+  seg.write_varint(0);  // no strings
+  seg.write_varint(1);  // one record ...
+  seg.write_varint(1);  // ... one run ...
+  seg.write_u64(1);
+  seg.write_u64(2);
+  seg.write_varint(1000);  // ... claiming a thousand
+  seg.overwrite_u64(length_at, seg.size() - body);
+  LogDatabase db;
+  EXPECT_THROW(decode_trace(seg.bytes(), db), TraceIoError);
+}
+
+TEST(TraceIo, DirectoryTrailerRoundTripAndFallback) {
+  const auto path = std::filesystem::temp_directory_path() / "causeway_d.cwt";
+  {
+    TraceWriter writer(path.string());
+    auto epoch1 = sample_logs();
+    epoch1.epoch = 1;
+    writer.append(epoch1);
+    auto epoch2 = sample_logs();
+    epoch2.epoch = 2;
+    writer.append(epoch2);
+    writer.close();
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  ASSERT_GE(bytes.size(), 12u);
+
+  // The file ends with [u64 trailer length]["CWTE"].
+  WireCursor footer(bytes.data() + bytes.size() - 12, 12);
+  const std::uint64_t trailer = footer.read_u64();
+  EXPECT_EQ(footer.read_u32(), 0x43575445u);  // "CWTE"
+  ASSERT_LT(trailer, bytes.size());
+
+  // Decode via the directory ...
+  LogDatabase with_dir;
+  EXPECT_EQ(decode_trace(bytes, with_dir), 8u);
+  // ... and via the sequential-skim fallback with the trailer stripped
+  // (what a crashed writer leaves behind).
+  std::vector<std::uint8_t> stripped(
+      bytes.begin(), bytes.end() - static_cast<long>(trailer));
+  LogDatabase without_dir;
+  EXPECT_EQ(decode_trace(stripped, without_dir), 8u);
+  EXPECT_EQ(with_dir.generation(), without_dir.generation());
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, ConcatenatedClosedTracesDecode) {
+  // `cat a.cwt b.cwt` is a supported flow: the surviving trailer only
+  // describes the final file's segments, so the reader must skim the
+  // prefix (treating a.cwt's interior trailer as metadata) and splice the
+  // directory's extents in after it.
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path_a = dir / "causeway_cat_a.cwt";
+  const auto path_b = dir / "causeway_cat_b.cwt";
+  for (const auto& [path, version] :
+       {std::pair{path_a, kTraceFormatV3}, std::pair{path_b, kTraceFormatV4}}) {
+    TraceWriter writer(path.string(), version);
+    auto logs = sample_logs();
+    logs.epoch = 1;
+    writer.append(logs);
+    writer.close();
+  }
+  std::vector<std::uint8_t> bytes;
+  for (const auto& path : {path_a, path_b}) {
+    std::ifstream in(path, std::ios::binary);
+    bytes.insert(bytes.end(), std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    std::filesystem::remove(path);
+  }
+  LogDatabase db;
+  EXPECT_EQ(decode_trace(bytes, db), 8u);
+  EXPECT_EQ(db.generation(), 2u);
+}
+
+TEST(TraceIo, DirectoryOffsetPastEofThrows) {
+  auto bytes = encode_trace(sample_logs());
+  WireBuffer trailer;
+  trailer.write_u32(0x43575444);  // "CWTD"
+  trailer.write_u32(1);
+  trailer.write_varint(1);
+  trailer.write_varint(bytes.size() + 100);  // past the end of the file
+  trailer.write_u64(trailer.size() + 12);
+  trailer.write_u32(0x43575445);  // "CWTE"
+  bytes.insert(bytes.end(), trailer.bytes().begin(), trailer.bytes().end());
+  LogDatabase db;
+  EXPECT_THROW(decode_trace(bytes, db), TraceIoError);
+}
+
+TEST(TraceIo, CorruptDirectoryTotalThrows) {
+  auto bytes = encode_trace(sample_logs());
+  WireBuffer footer;
+  footer.write_u64(1u << 20);  // trailer claims to be bigger than the file
+  footer.write_u32(0x43575445);
+  bytes.insert(bytes.end(), footer.bytes().begin(), footer.bytes().end());
+  LogDatabase db;
+  EXPECT_THROW(decode_trace(bytes, db), TraceIoError);
+}
+
+TEST(TraceIo, V4CorruptTruncationsThrow) {
+  const auto bytes = encode_trace(sample_logs(), kTraceFormatV4);
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 7) {
+    std::vector<std::uint8_t> shorter(bytes.begin(),
+                                      bytes.end() - static_cast<long>(cut));
+    LogDatabase db;
+    EXPECT_THROW(decode_trace(shorter, db), TraceIoError);
   }
 }
 

@@ -176,10 +176,11 @@ int main(int argc, char** argv) {
       std::uint64_t idle_ms = 0;
       // First poll immediately; afterwards sleep poll_ms between polls.
       for (;;) {
-        const std::size_t n = tail.poll(pipeline.database());
+        // poll(pipeline) hands each decoded segment straight to the
+        // pipeline as one epoch -- no staging copy, no separate refresh.
+        const std::size_t n = tail.poll(pipeline);
         if (n > 0) {
           idle_ms = 0;
-          pipeline.refresh();
           std::fprintf(stderr, "[follow] %s (segments=%zu, pending=%zu B)\n",
                        pipeline.live_summary().c_str(), tail.segments(),
                        tail.pending_bytes());

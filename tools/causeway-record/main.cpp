@@ -22,7 +22,7 @@
 //                   [--topology=mono|four|percomp|hybrid]   (pps)
 //                   [--jobs=N] [--transactions=N] [--seed=N]
 //                   [--stream] [--interval-ms=N] [--fixed-interval]
-//                   [--out=trace.cwt] [--verify]
+//                   [--out=trace.cwt] [--trace-format=v3|v4] [--verify]
 //
 // --verify reads the finished trace back through the analyzer's (parallel)
 // segment decoder and checks the synthesized database against the writer's
@@ -53,6 +53,7 @@ struct Args {
   std::size_t transactions{10};
   std::uint64_t seed{42};
   std::string out{"trace.cwt"};
+  std::uint32_t trace_format{analysis::kTraceFormatDefault};
   bool stream{false};
   int interval_ms{50};
   bool adaptive{true};
@@ -80,6 +81,17 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.seed = static_cast<std::uint64_t>(std::atoll(v));
     } else if (const char* v = value("--out=")) {
       args.out = v;
+    } else if (const char* v = value("--trace-format=")) {
+      const std::string format = v;
+      if (format == "v3" || format == "3") {
+        args.trace_format = analysis::kTraceFormatV3;
+      } else if (format == "v4" || format == "4") {
+        args.trace_format = analysis::kTraceFormatV4;
+      } else {
+        std::fprintf(stderr, "unknown trace format '%s' (want v3 or v4)\n",
+                     v);
+        return false;
+      }
     } else if (arg == "--stream") {
       args.stream = true;
     } else if (const char* v = value("--interval-ms=")) {
@@ -216,7 +228,7 @@ std::uint64_t record(const Args& args, System& system, Drive&& drive) {
     drive();
     system.wait_quiescent();
     monitor::CollectedLogs logs = system.collect();
-    analysis::write_trace_file(args.out, logs);
+    analysis::write_trace_file(args.out, logs, args.trace_format);
     std::printf("causeway-record: %zu records from %zu domains -> %s\n",
                 logs.records.size(), logs.domains.size(), args.out.c_str());
     return logs.records.size();
@@ -224,7 +236,7 @@ std::uint64_t record(const Args& args, System& system, Drive&& drive) {
 
   monitor::Collector collector;
   system.attach_collector(collector);
-  analysis::TraceWriter writer(args.out);
+  analysis::TraceWriter writer(args.out, args.trace_format);
   StreamDrainer drainer(collector, writer, args.interval_ms, args.adaptive);
   drive();
   system.wait_quiescent();
