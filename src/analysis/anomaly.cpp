@@ -9,6 +9,7 @@ std::string_view to_string(AnomalyKind kind) {
     case AnomalyKind::kAbnormalTransition: return "abnormal-transition";
     case AnomalyKind::kCallFailure: return "call-failure";
     case AnomalyKind::kDropSpike: return "drop-spike";
+    case AnomalyKind::kPublishDrop: return "publish-drop";
   }
   return "?";
 }
@@ -110,12 +111,22 @@ void AnomalyDetector::scan(const Dscg& dscg, std::span<const Uuid> rebuilt,
   }
 }
 
-void AnomalyDetector::drops(std::uint64_t dropped_delta, std::uint64_t epoch,
+void AnomalyDetector::drops(std::uint64_t dropped_delta,
+                            std::uint64_t publish_dropped_delta,
+                            std::uint64_t epoch,
                             std::vector<AnomalyEvent>& out) {
-  if (dropped_delta == 0) return;
-  out.push_back({AnomalyKind::kDropSpike, epoch, Uuid{}, 0,
-                 strf("%llu records dropped by the collection tier",
-                      static_cast<unsigned long long>(dropped_delta))});
+  if (dropped_delta != 0) {
+    out.push_back({AnomalyKind::kDropSpike, epoch, Uuid{}, 0,
+                   strf("%llu records dropped by the collection tier",
+                        static_cast<unsigned long long>(dropped_delta))});
+  }
+  if (publish_dropped_delta != 0) {
+    out.push_back(
+        {AnomalyKind::kPublishDrop, epoch, Uuid{}, 0,
+         strf("%llu records dropped by the transport tier (publish "
+              "back-pressure)",
+              static_cast<unsigned long long>(publish_dropped_delta))});
+  }
 }
 
 }  // namespace causeway::analysis

@@ -11,7 +11,9 @@
 //   * call-failure        -- an invocation completed with a non-success
 //     outcome (semantics capture),
 //   * drop-spike          -- the collection tier discarded records this
-//     epoch (ring overflow), so reconstruction below is incomplete.
+//     epoch (ring overflow), so reconstruction below is incomplete,
+//   * publish-drop        -- the transport tier discarded records this
+//     epoch (a publisher hit its socket back-pressure bound).
 //
 // AnomalyDetector is stateful and deduplicating: scanning the same chain
 // across epochs re-reports only what appeared since the previous scan, so
@@ -36,6 +38,7 @@ enum class AnomalyKind {
   kAbnormalTransition,
   kCallFailure,
   kDropSpike,
+  kPublishDrop,
 };
 
 std::string_view to_string(AnomalyKind kind);
@@ -99,9 +102,12 @@ class AnomalyDetector {
   void scan(const Dscg& dscg, std::span<const Uuid> rebuilt,
             std::uint64_t epoch, std::vector<AnomalyEvent>& out);
 
-  // Collection-tier drop accounting for one epoch.
-  void drops(std::uint64_t dropped_delta, std::uint64_t epoch,
-             std::vector<AnomalyEvent>& out);
+  // Collection-tier drop accounting for one epoch: ring overflow and
+  // transport back-pressure report as distinct events, so an operator can
+  // tell "probes outran the drain cadence" from "the collector daemon fell
+  // behind the publishers".
+  void drops(std::uint64_t dropped_delta, std::uint64_t publish_dropped_delta,
+             std::uint64_t epoch, std::vector<AnomalyEvent>& out);
 
  private:
   struct ChainState {

@@ -108,6 +108,7 @@ void LogDatabase::ingest(const monitor::CollectedLogs& logs) {
     }
   }
   overflow_dropped_ += logs.dropped;
+  publish_dropped_ += logs.publish_dropped;
   last_epoch_ = std::max(last_epoch_, logs.epoch);
   ingest_records(logs.records);
 }

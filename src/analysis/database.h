@@ -95,6 +95,11 @@ class LogDatabase {
   // database is an honest but incomplete sample.
   std::uint64_t overflow_dropped() const { return overflow_dropped_; }
 
+  // Cumulative transport-tier drop count reported by the ingested bundles:
+  // records a publisher discarded under socket back-pressure.  Kept apart
+  // from overflow_dropped() so the two loss mechanisms stay attributable.
+  std::uint64_t publish_dropped() const { return publish_dropped_; }
+
   // Highest drain epoch seen across ingested bundles (0 = offline only).
   std::uint64_t last_epoch() const { return last_epoch_; }
 
@@ -183,6 +188,7 @@ class LogDatabase {
   std::vector<Uuid> chains_;
   std::uint64_t generation_{0};
   std::uint64_t overflow_dropped_{0};
+  std::uint64_t publish_dropped_{0};
   std::uint64_t last_epoch_{0};
 
   // Dirty log: one entry per (batch, touched chain), generations ascending,

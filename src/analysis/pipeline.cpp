@@ -77,7 +77,8 @@ class AnomalyPass : public AnalysisPass {
   void update(const LogDatabase&, const EpochInfo& info) override {
     scratch_.clear();
     detector_.scan(dscg_, info.scope.rebuilt_chains, info.epoch, scratch_);
-    detector_.drops(info.dropped_delta, info.epoch, scratch_);
+    detector_.drops(info.dropped_delta, info.publish_dropped_delta,
+                    info.epoch, scratch_);
     emitted_ += scratch_.size();
     for (AnomalySink* sink : sinks_) {
       for (const auto& event : scratch_) sink->on_event(event);
@@ -229,6 +230,7 @@ struct AnalysisPipeline::Impl {
   monitor::ProbeMode last_mode{monitor::ProbeMode::kCausalityOnly};
   std::uint64_t epochs{0};
   std::uint64_t last_dropped{0};
+  std::uint64_t last_publish_dropped{0};
   std::size_t last_size{0};
   EpochInfo last_info{};
 
@@ -417,6 +419,8 @@ EpochInfo AnalysisPipeline::Impl::run_epoch() {
   last_size = db.size();
   info.dropped_delta = db.overflow_dropped() - last_dropped;
   last_dropped = db.overflow_dropped();
+  info.publish_dropped_delta = db.publish_dropped() - last_publish_dropped;
+  last_publish_dropped = db.publish_dropped();
   info.mode = db.primary_mode();
   info.mode_changed = (epochs > 0 && info.mode != last_mode);
   last_mode = info.mode;
@@ -540,12 +544,13 @@ std::string AnalysisPipeline::live_summary() const {
   const EpochInfo& e = im.last_info;
   return strf(
       "epoch %llu gen %llu: +%zu records (%zu total), %zu chains, %zu calls, "
-      "%zu anomalies, +%llu dropped",
+      "%zu anomalies, +%llu dropped, +%llu pub-dropped",
       static_cast<unsigned long long>(e.epoch),
       static_cast<unsigned long long>(e.generation), e.new_records,
       im.db.size(), im.dscg.chains().size(), im.dscg.call_count(),
       im.dscg.anomaly_count(),
-      static_cast<unsigned long long>(e.dropped_delta));
+      static_cast<unsigned long long>(e.dropped_delta),
+      static_cast<unsigned long long>(e.publish_dropped_delta));
 }
 
 std::uint64_t AnalysisPipeline::epochs_ingested() const {

@@ -44,7 +44,8 @@ struct EpochInfo {
   std::uint64_t generation{0};     // database generation after the ingest
   std::uint64_t epoch{0};          // collection drain epoch (db.last_epoch())
   std::size_t new_records{0};      // records this batch added
-  std::uint64_t dropped_delta{0};  // collection-tier drops this batch
+  std::uint64_t dropped_delta{0};  // ring-overflow drops this batch
+  std::uint64_t publish_dropped_delta{0};  // transport-tier drops this batch
   monitor::ProbeMode mode{monitor::ProbeMode::kCausalityOnly};
   bool mode_changed{false};  // primary mode flipped: all annotations stale
 

@@ -1,5 +1,6 @@
 #include "analysis/trace_io.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <deque>
@@ -9,8 +10,11 @@
 #include <optional>
 #include <utility>
 
+#include <filesystem>
+
 #include "analysis/pipeline.h"
 #include "common/wire.h"
+#include "common/wire_io.h"
 #include "common/worker_pool.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -763,6 +767,29 @@ class FileView {
       // mmap refused (exotic filesystem); fall through to read().
     }
 #endif
+#if defined(CAUSEWAY_HAS_POSIX_IO)
+    // read() fallback through the shared EINTR-safe short-read loop: a
+    // signal mid-read (or a filesystem serving partial reads) can never
+    // truncate the view or surface as a spurious failure.
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return false;
+    struct ::stat st = {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      throw TraceIoError("cannot stat '" + path + "'");
+    }
+    owned_.resize(static_cast<std::size_t>(st.st_size));
+    const long got = owned_.empty()
+                         ? 0
+                         : io_read_full(fd, owned_.data(), owned_.size());
+    ::close(fd);
+    if (got < 0) throw TraceIoError("read error on '" + path + "'");
+    // A writer may still be appending; the bytes that existed at open are
+    // the view (like the mmap path, which maps the fstat'd size).
+    owned_.resize(static_cast<std::size_t>(got));
+    view_ = owned_;
+    return true;
+#else
     std::ifstream in(path, std::ios::binary);
     if (!in) return false;
     owned_.assign(std::istreambuf_iterator<char>(in),
@@ -770,6 +797,7 @@ class FileView {
     if (in.bad()) throw TraceIoError("read error on '" + path + "'");
     view_ = owned_;
     return true;
+#endif
   }
 
   std::span<const std::uint8_t> bytes() const { return view_; }
@@ -787,6 +815,22 @@ class FileView {
   std::size_t map_length_{0};
 #endif
 };
+
+// The directory trailer block TraceWriter::close appends (and reindex
+// retrofits): CWTD, version, segment lengths, total block size, CWTE.
+std::vector<std::uint8_t> encode_directory_trailer(
+    const std::vector<std::uint64_t>& segment_lengths) {
+  WireBuffer trailer;
+  trailer.write_u32(kDirMagic);
+  trailer.write_u32(kDirVersion);
+  trailer.write_varint(segment_lengths.size());
+  for (const std::uint64_t length : segment_lengths) {
+    trailer.write_varint(length);
+  }
+  trailer.write_u64(trailer.size() + 12);  // whole block incl. this + magic
+  trailer.write_u32(kEndMagic);
+  return std::move(trailer).take();
+}
 
 }  // namespace
 
@@ -832,6 +876,99 @@ std::vector<monitor::CollectedLogs> decode_trace_segments(
     if (extents[k].is_segment) out.push_back(std::move(staged[k]));
   }
   return out;
+}
+
+bool probe_trace_block(std::span<const std::uint8_t> bytes,
+                       std::size_t& length, bool& is_segment) {
+  WireCursor in(bytes.data(), bytes.size());
+  try {
+    WireCursor probe = in;
+    if (probe.read_u32() == kDirMagic) {
+      length = skim_trailer(in);
+      is_segment = false;
+    } else {
+      length = skim_segment(in);
+      is_segment = true;
+    }
+    return true;
+  } catch (const WireError&) {
+    return false;  // incomplete prefix: read more and retry
+  }
+}
+
+monitor::CollectedLogs decode_trace_segment(
+    std::span<const std::uint8_t> segment) {
+  try {
+    WireCursor in(segment.data(), segment.size());
+    return decode_segment_logs(in);
+  } catch (const WireError& e) {
+    throw TraceIoError(std::string("corrupt trace segment: ") + e.what());
+  }
+}
+
+ReindexResult reindex_trace_file(const std::string& path) {
+  ReindexResult result;
+  std::vector<Extent> extents;
+  std::uint64_t file_size = 0;
+  {
+    FileView file;
+    if (!file.open(path)) throw TraceIoError("cannot open '" + path + "'");
+    const std::span<const std::uint8_t> bytes = file.bytes();
+    file_size = bytes.size();
+    // A file already ending in a consistent directory trailer needs
+    // nothing; a *lying* trailer still throws here rather than being
+    // silently replaced.
+    try {
+      if (auto dir = extents_from_directory(bytes)) {
+        for (const Extent& e : *dir) {
+          if (e.is_segment) ++result.segments;
+        }
+        return result;
+      }
+    } catch (const WireError& e) {
+      throw TraceIoError(std::string("corrupt trace directory: ") + e.what());
+    }
+    // Crashed-writer skim: complete blocks are the clean prefix, an
+    // incomplete tail (the write the crash cut short) ends the scan.
+    try {
+      extents = skim_extents(bytes, /*stop_on_underflow=*/true);
+    } catch (const WireError& e) {
+      throw TraceIoError(std::string("corrupt trace: ") + e.what());
+    }
+  }  // unmap before mutating the file
+
+  // The trailer describes the contiguous run of segments that ends the
+  // clean prefix (everything after the last interior trailer block, if a
+  // concatenated trace holds any); the reader skims whatever precedes it,
+  // exactly as it does for a freshly closed file.
+  std::uint64_t clean_end = 0;
+  if (!extents.empty()) {
+    clean_end = extents.back().offset + extents.back().length;
+  }
+  std::vector<std::uint64_t> lengths;
+  for (auto it = extents.rbegin(); it != extents.rend() && it->is_segment;
+       ++it) {
+    lengths.push_back(it->length);
+  }
+  std::reverse(lengths.begin(), lengths.end());
+
+  result.segments = lengths.size();
+  result.truncated_bytes = file_size - clean_end;
+  result.rewritten = true;
+  if (result.truncated_bytes > 0) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, clean_end, ec);
+    if (ec) {
+      throw TraceIoError("cannot truncate '" + path + "': " + ec.message());
+    }
+  }
+  const auto trailer = encode_directory_trailer(lengths);
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(reinterpret_cast<const char*>(trailer.data()),
+            static_cast<std::streamsize>(trailer.size()));
+  out.flush();
+  if (!out) throw TraceIoError("short write to '" + path + "'");
+  return result;
 }
 
 void write_trace_file(const std::string& path,
@@ -880,19 +1017,32 @@ void TraceWriter::append(const monitor::CollectedLogs& logs) {
   records_ += logs.records.size();
 }
 
+void TraceWriter::append_encoded(std::span<const std::uint8_t> segment) {
+  if (closed_) throw TraceIoError("trace writer for '" + path_ + "' is closed");
+  std::size_t length = 0;
+  bool is_segment = false;
+  try {
+    if (!probe_trace_block(segment, length, is_segment)) {
+      throw TraceIoError("incomplete trace segment");
+    }
+  } catch (const WireError& e) {
+    throw TraceIoError(std::string("corrupt trace segment: ") + e.what());
+  }
+  if (!is_segment || length != segment.size()) {
+    throw TraceIoError("append_encoded wants exactly one trace segment");
+  }
+  out_.write(reinterpret_cast<const char*>(segment.data()),
+             static_cast<std::streamsize>(segment.size()));
+  out_.flush();
+  if (!out_) throw TraceIoError("short write to '" + path_ + "'");
+  segment_lengths_.push_back(segment.size());
+}
+
 void TraceWriter::close() {
   if (closed_) return;
   closed_ = true;
-  WireBuffer trailer;
-  trailer.write_u32(kDirMagic);
-  trailer.write_u32(kDirVersion);
-  trailer.write_varint(segment_lengths_.size());
-  for (const std::uint64_t length : segment_lengths_) {
-    trailer.write_varint(length);
-  }
-  trailer.write_u64(trailer.size() + 12);  // whole block incl. this + magic
-  trailer.write_u32(kEndMagic);
-  out_.write(reinterpret_cast<const char*>(trailer.bytes().data()),
+  const auto trailer = encode_directory_trailer(segment_lengths_);
+  out_.write(reinterpret_cast<const char*>(trailer.data()),
              static_cast<std::streamsize>(trailer.size()));
   out_.flush();
   if (!out_) throw TraceIoError("short write to '" + path_ + "'");

@@ -101,6 +101,35 @@ inline std::size_t decode_trace(const std::vector<std::uint8_t>& bytes,
 std::vector<monitor::CollectedLogs> decode_trace_segments(
     std::span<const std::uint8_t> bytes);
 
+// Incremental block framing for byte-stream transports (the cross-process
+// collection socket): measures the first complete block at the start of
+// `bytes` -- a record segment or a directory trailer -- without decoding
+// it.  Returns false when the bytes are only an incomplete prefix (read
+// more and retry: the same clean-prefix discipline TraceTail::poll applies
+// to a growing file).  Throws TraceIoError on structural corruption.
+bool probe_trace_block(std::span<const std::uint8_t> bytes,
+                       std::size_t& length, bool& is_segment);
+
+// Decodes exactly one complete segment (as measured by probe_trace_block)
+// into a self-contained bundle.  Throws TraceIoError if `segment` is not
+// exactly one well-formed segment.
+monitor::CollectedLogs decode_trace_segment(
+    std::span<const std::uint8_t> segment);
+
+// `causeway-analyze --reindex`: rewrites a trailer-less trace file (a
+// crashed or still-unclosed writer's artifact) in place so future opens get
+// every segment extent from the directory trailer in O(segments).  An
+// incomplete trailing segment (the crash cut a write short) is truncated
+// away -- the clean prefix is what the trailer then describes.  A file that
+// already ends in a valid trailer is left untouched.  Throws TraceIoError
+// on structural corruption or I/O failure.
+struct ReindexResult {
+  std::size_t segments{0};         // segments the appended trailer indexes
+  std::uint64_t truncated_bytes{0};  // incomplete tail removed, if any
+  bool rewritten{false};           // false: file already had a trailer
+};
+ReindexResult reindex_trace_file(const std::string& path);
+
 // Streaming writer: appends one segment per collector bundle to a trace
 // file as the run progresses, flushing after each so the file is always a
 // valid (if partial) trace.  close() (or destruction) appends the segment
@@ -117,6 +146,13 @@ class TraceWriter {
 
   // Appends `logs` as one segment and flushes.  Throws on short writes.
   void append(const monitor::CollectedLogs& logs);
+
+  // Appends one pre-encoded segment verbatim (validated to be exactly one
+  // well-formed segment) and flushes.  Lets a relay -- the collector
+  // daemon merging publisher streams into one file -- persist segments
+  // without a decode/re-encode round trip.  Throws TraceIoError on
+  // malformed input or short writes.
+  void append_encoded(std::span<const std::uint8_t> segment);
 
   // Appends the directory trailer and closes the file.  Idempotent; throws
   // on short writes.  The destructor calls it, swallowing errors -- call

@@ -1,15 +1,29 @@
-// Overload-based marshal/unmarshal adapters.
+// Overload-based marshal/unmarshal adapters, plus the POSIX I/O loops the
+// byte-moving layers share.
 //
 // Generated stubs/skeletons (idlc) marshal parameters through the uniform
 // wire_write / wire_read vocabulary; user-defined IDL structs get generated
 // overloads in their own namespace, which ADL picks up -- so
 // sequence<MyStruct> works with the same template below.
+//
+// The io_* helpers at the bottom are the one place EINTR and short
+// transfers are handled: every raw read()/write()/send() in the repo (the
+// trace reader's mmap fallback, the cross-process collection transport)
+// goes through them, so a signal landing mid-transfer can never truncate a
+// frame or surface as a spurious error.
 #pragma once
 
 #include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CAUSEWAY_HAS_POSIX_IO 1
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
 
 #include "common/wire.h"
 
@@ -66,5 +80,64 @@ void wire_read(WireCursor& c, std::vector<T>& v) {
     v.push_back(std::move(item));
   }
 }
+
+#if defined(CAUSEWAY_HAS_POSIX_IO)
+
+// One read(), EINTR-retried.  Returns bytes read (0 at EOF), or -1 with
+// errno set (EAGAIN/EWOULDBLOCK pass through for non-blocking callers).
+inline long io_read_some(int fd, void* buf, std::size_t n) {
+  for (;;) {
+    const auto r = ::read(fd, buf, n);
+    if (r >= 0 || errno != EINTR) return static_cast<long>(r);
+  }
+}
+
+// One send() (MSG_NOSIGNAL: a peer that vanished is an EPIPE errno, never a
+// process-killing signal), EINTR-retried.  Works on any fd via write() when
+// send() reports ENOTSOCK -- so callers can treat files and sockets alike.
+inline long io_write_some(int fd, const void* buf, std::size_t n) {
+#if defined(MSG_NOSIGNAL)
+  for (;;) {
+    const auto r = ::send(fd, buf, n, MSG_NOSIGNAL);
+    if (r >= 0) return static_cast<long>(r);
+    if (errno == ENOTSOCK) break;
+    if (errno != EINTR) return static_cast<long>(r);
+  }
+#endif
+  for (;;) {
+    const auto r = ::write(fd, buf, n);
+    if (r >= 0 || errno != EINTR) return static_cast<long>(r);
+  }
+}
+
+// Reads exactly `n` bytes, looping over short reads.  Returns the byte
+// count actually read: `n` on success, less when EOF arrived first, -1 on
+// error.  The fd must be blocking.
+inline long io_read_full(int fd, void* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const long r = io_read_some(fd, static_cast<std::uint8_t*>(buf) + done,
+                                n - done);
+    if (r < 0) return -1;
+    if (r == 0) break;
+    done += static_cast<std::size_t>(r);
+  }
+  return static_cast<long>(done);
+}
+
+// Writes exactly `n` bytes, looping over short writes.  Returns true on
+// success, false on error (errno set).  The fd must be blocking.
+inline bool io_write_full(int fd, const void* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const long r = io_write_some(
+        fd, static_cast<const std::uint8_t*>(buf) + done, n - done);
+    if (r < 0) return false;
+    done += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+#endif  // CAUSEWAY_HAS_POSIX_IO
 
 }  // namespace causeway

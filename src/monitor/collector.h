@@ -47,6 +47,14 @@ struct CollectedLogs {
   // it is the stores' cumulative count.
   std::uint64_t dropped{0};
 
+  // Transport-tier drop count: records a publisher discarded because its
+  // socket back-pressure bound was hit (drop-not-block, like the rings).
+  // Kept separate from `dropped` so the two loss mechanisms -- probes
+  // outrunning the drain cadence vs. the collector daemon falling behind
+  // the publishers -- stay distinguishable all the way into reports.
+  // Always 0 for in-process collection; transports fill it in.
+  std::uint64_t publish_dropped{0};
+
   // Occupancy of the fullest per-thread ring across all attached domains,
   // sampled just before this bundle consumed the rings (0.0 empty .. 1.0
   // overflowing).  Feeds the adaptive drain cadence.

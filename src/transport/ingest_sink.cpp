@@ -1,0 +1,75 @@
+#include "transport/ingest_sink.h"
+
+namespace causeway::transport {
+
+void IngestSink::on_connect(const PeerInfo& peer) {
+  if (!options_.merged_path.empty()) {
+    // Ensure the peer has a group even if it never ships a segment, so a
+    // silent publisher still appears (empty) in the deterministic order.
+    std::lock_guard lk(mutex_);
+    retained_[PeerKey{peer.process_name, peer.pid}];
+  }
+}
+
+void IngestSink::on_segment(const PeerInfo& peer,
+                            std::span<const std::uint8_t> segment) {
+  std::size_t records = 0;
+  analysis::EpochInfo info;
+  if (options_.pipeline) {
+    const monitor::CollectedLogs logs =
+        analysis::decode_trace_segment(segment);
+    records = logs.records.size();
+    info = options_.pipeline->ingest(logs);
+  } else {
+    records = analysis::decode_trace_segment(segment).records.size();
+  }
+  {
+    std::lock_guard lk(mutex_);
+    ++totals_.segments;
+    totals_.records += records;
+    if (!options_.merged_path.empty()) {
+      retained_[PeerKey{peer.process_name, peer.pid}].emplace_back(
+          segment.begin(), segment.end());
+    }
+  }
+  if (options_.pipeline && epoch_callback) epoch_callback(peer, info);
+}
+
+void IngestSink::on_drop_notice(const PeerInfo& peer,
+                                const DropNotice& notice) {
+  {
+    std::lock_guard lk(mutex_);
+    totals_.publish_dropped_records += notice.records;
+    totals_.publish_dropped_segments += notice.segments;
+  }
+  if (options_.pipeline) {
+    // Synthesize an empty bundle carrying only the transport-tier loss:
+    // the counter accumulates in the database and the anomaly pass emits a
+    // publish-drop event, without inventing records.
+    monitor::CollectedLogs loss;
+    loss.publish_dropped = notice.records;
+    const analysis::EpochInfo info = options_.pipeline->ingest(loss);
+    if (epoch_callback) epoch_callback(peer, info);
+  }
+}
+
+void IngestSink::on_disconnect(const PeerInfo&, bool) {}
+
+IngestSink::Totals IngestSink::finalize() {
+  std::lock_guard lk(mutex_);
+  if (!options_.merged_path.empty()) {
+    analysis::TraceWriter writer(options_.merged_path,
+                                 options_.merged_format);
+    for (const auto& [key, segments] : retained_) {
+      for (const std::vector<std::uint8_t>& segment : segments) {
+        writer.append_encoded(segment);
+        ++totals_.merged_segments;
+      }
+    }
+    writer.close();
+    retained_.clear();
+  }
+  return totals_;
+}
+
+}  // namespace causeway::transport

@@ -1,0 +1,91 @@
+// IngestSink: the standard DaemonSink -- live analysis plus merged trace.
+//
+// This is the daemon-side synthesis step of the paper's collection phase:
+// segments arriving from N publisher processes are (a) decoded and fed
+// epoch-by-epoch into one shared AnalysisPipeline, exactly as `--follow`
+// feeds a tailed file, and/or (b) retained verbatim for a merged `.cwt`
+// written at shutdown.
+//
+// The merged file is written *deterministically*: segments are grouped per
+// publisher -- keyed by (process name, pid), so a publisher that
+// reconnected keeps one group -- in arrival order within the group, and
+// the groups are emitted sorted by key.  Two runs of the same workload
+// thus produce merged files whose rendered reports are byte-identical to
+// an in-process collection of the same workload, regardless of how the OS
+// interleaved the publishers' sockets.  Segments pass through encoded
+// (TraceWriter::append_encoded); the daemon never re-encodes.
+//
+// Drop notices become synthesized empty bundles carrying publish_dropped,
+// so transport-tier loss lands in the database counters and the anomaly
+// pass (kPublishDrop) without inventing records.  The merged file cannot
+// carry them -- the frozen segment format has no such field -- so merge-only
+// runs surface the loss in the daemon's own counters instead.
+//
+// Callbacks run on the daemon thread (serialized); totals() may be polled
+// from any thread; finalize() must be called after CollectorDaemon::stop().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline.h"
+#include "analysis/trace_io.h"
+#include "transport/subscriber.h"
+
+namespace causeway::transport {
+
+class IngestSink : public DaemonSink {
+ public:
+  struct Options {
+    // Live analysis target (not owned; may be null for merge-only runs).
+    analysis::AnalysisPipeline* pipeline{nullptr};
+    // Merged trace path ("" = no merged file).
+    std::string merged_path;
+    std::uint32_t merged_format{analysis::kTraceFormatDefault};
+  };
+
+  struct Totals {
+    std::uint64_t segments{0};
+    std::uint64_t records{0};
+    std::uint64_t publish_dropped_records{0};
+    std::uint64_t publish_dropped_segments{0};
+    std::size_t merged_segments{0};  // filled by finalize()
+  };
+
+  explicit IngestSink(Options options) : options_(std::move(options)) {}
+
+  // Invoked (on the daemon thread) after each pipeline epoch; lets a tool
+  // print live summaries without subclassing.
+  std::function<void(const PeerInfo&, const analysis::EpochInfo&)>
+      epoch_callback;
+
+  void on_connect(const PeerInfo& peer) override;
+  void on_segment(const PeerInfo& peer,
+                  std::span<const std::uint8_t> segment) override;
+  void on_drop_notice(const PeerInfo& peer, const DropNotice& notice) override;
+  void on_disconnect(const PeerInfo& peer, bool clean) override;
+
+  // Writes the merged trace (when configured) and returns the totals.
+  // Call once, after the daemon stopped.  Throws TraceIoError on write
+  // failure.
+  Totals finalize();
+
+  Totals totals() const {
+    std::lock_guard lk(mutex_);
+    return totals_;
+  }
+
+ private:
+  using PeerKey = std::pair<std::string, std::uint64_t>;  // (name, pid)
+
+  Options options_;
+  mutable std::mutex mutex_;
+  Totals totals_;
+  std::map<PeerKey, std::vector<std::vector<std::uint8_t>>> retained_;
+};
+
+}  // namespace causeway::transport

@@ -1,0 +1,94 @@
+#include "transport/protocol.h"
+
+#include "common/strings.h"
+#include "common/wire.h"
+
+namespace causeway::transport {
+
+std::vector<std::uint8_t> encode_handshake(const Handshake& hs) {
+  if (hs.process_name.size() > kMaxProcessNameBytes) {
+    throw TransportError("handshake process name too long");
+  }
+  WireBuffer buf;
+  buf.write_u32(kHandshakeMagic);
+  buf.write_u32(hs.protocol);
+  buf.write_u32(hs.trace_format);
+  buf.write_u64(hs.pid);
+  buf.write_string(hs.process_name);
+  return std::move(buf).take();
+}
+
+std::vector<std::uint8_t> encode_drop_notice(const DropNotice& notice) {
+  WireBuffer buf;
+  buf.write_u32(kDropNoticeMagic);
+  buf.write_u64(notice.records);
+  buf.write_u64(notice.segments);
+  return std::move(buf).take();
+}
+
+std::optional<std::pair<Handshake, std::size_t>> try_decode_handshake(
+    std::span<const std::uint8_t> bytes) {
+  WireCursor cur(bytes);
+  try {
+    const std::uint32_t magic = cur.read_u32();
+    if (magic != kHandshakeMagic) {
+      throw TransportError(
+          strf("bad handshake magic 0x%08x (connection is not a causeway "
+               "publisher)",
+               magic));
+    }
+    Handshake hs;
+    hs.protocol = cur.read_u32();
+    if (hs.protocol != kProtocolVersion) {
+      throw TransportError(
+          strf("unsupported transport protocol version %u (this build "
+               "speaks %u)",
+               hs.protocol, kProtocolVersion));
+    }
+    hs.trace_format = cur.read_u32();
+    hs.pid = cur.read_u64();
+    // Bounds-check the name length before read_string pends on it, so a
+    // garbage length is a protocol error now rather than an unbounded
+    // buffering request.
+    const std::size_t header = cur.position();
+    if (cur.remaining() >= 4) {
+      std::uint32_t len = 0;
+      for (std::size_t i = 0; i < 4; ++i) {
+        len |= static_cast<std::uint32_t>(bytes[header + i]) << (8 * i);
+      }
+      if (len > kMaxProcessNameBytes) {
+        throw TransportError(
+            strf("handshake process name length %u exceeds limit", len));
+      }
+    }
+    hs.process_name = cur.read_string();
+    return std::make_pair(std::move(hs), cur.position());
+  } catch (const WireError&) {
+    return std::nullopt;  // incomplete frame: read more and retry
+  }
+}
+
+std::optional<std::pair<DropNotice, std::size_t>> try_decode_drop_notice(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kDropNoticeBytes) return std::nullopt;
+  WireCursor cur(bytes);
+  const std::uint32_t magic = cur.read_u32();
+  if (magic != kDropNoticeMagic) {
+    throw TransportError(strf("bad drop-notice magic 0x%08x", magic));
+  }
+  DropNotice notice;
+  notice.records = cur.read_u64();
+  notice.segments = cur.read_u64();
+  return std::make_pair(notice, cur.position());
+}
+
+std::uint32_t peek_frame_magic(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 4) return 0;
+  std::uint32_t magic = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    magic |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+  }
+  return magic;
+}
+
+}  // namespace causeway::transport

@@ -1,0 +1,87 @@
+// Cross-process collection transport: the wire protocol.
+//
+// The paper's collection phase assumes "the scattered logs are collected"
+// from genuinely separate processes (Sec. 3); this protocol is that seam
+// over a Unix-domain SOCK_STREAM socket.  A publisher's byte stream is:
+//
+//   [handshake frame] ([trace segment] | [drop notice])*
+//
+// There is exactly one record encoding in the codebase: the trace segments
+// on the socket are byte-for-byte the segments `TraceWriter` puts in a
+// `.cwt` file (v4 columnar by default, v3 writable for bisection), framed
+// by their own self-delimiting headers.  The transport adds only two tiny
+// envelope frames of its own:
+//
+//   * handshake -- "CWHS" magic, protocol version, the publisher's pid and
+//     trace format, and its process name.  Sent once per connection (and
+//     again after every reconnect), so the daemon can tag everything a
+//     connection delivers.
+//   * drop notice -- "CWDN" magic, records + segments discarded by the
+//     publisher's back-pressure bound since the last notice.  Segments are
+//     dropped, never blocked on, when the daemon falls behind; the notice
+//     is how that loss stays observable downstream (it surfaces as
+//     CollectedLogs::publish_dropped, distinct from ring overflow).
+//
+// Framing errors are TransportError; segment corruption keeps trace_io's
+// taxonomy (TraceIoError).  An abruptly closed connection leaves at most
+// one incomplete frame, which the daemon discards -- the same clean-prefix
+// discipline TraceTail applies to a crashed writer's file.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace causeway::transport {
+
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint32_t kHandshakeMagic = 0x43574853;   // "CWHS"
+inline constexpr std::uint32_t kDropNoticeMagic = 0x4357444E;  // "CWDN"
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+// Sanity bound on the handshake's name field; anything larger is a framing
+// error, not a buffering request.
+inline constexpr std::size_t kMaxProcessNameBytes = 4096;
+
+// Fixed drop-notice frame size: magic + two u64 counters.
+inline constexpr std::size_t kDropNoticeBytes = 4 + 8 + 8;
+
+struct Handshake {
+  std::uint32_t protocol{kProtocolVersion};
+  std::uint32_t trace_format{0};  // segment version the publisher emits
+  std::uint64_t pid{0};
+  std::string process_name;
+};
+
+struct DropNotice {
+  std::uint64_t records{0};
+  std::uint64_t segments{0};
+};
+
+std::vector<std::uint8_t> encode_handshake(const Handshake& hs);
+std::vector<std::uint8_t> encode_drop_notice(const DropNotice& notice);
+
+// Incremental decoders for the daemon's per-connection buffer: given bytes
+// that start at a frame boundary, either return the frame plus its byte
+// length, or nullopt when the frame is still incomplete (read more).
+// Throws TransportError on bad magic, an unsupported protocol version, or
+// an absurd name length.
+std::optional<std::pair<Handshake, std::size_t>> try_decode_handshake(
+    std::span<const std::uint8_t> bytes);
+std::optional<std::pair<DropNotice, std::size_t>> try_decode_drop_notice(
+    std::span<const std::uint8_t> bytes);
+
+// Peeks the frame magic at the head of `bytes` (0 when fewer than four
+// bytes are buffered).  Lets the daemon demultiplex envelope frames from
+// trace segments without consuming anything.
+std::uint32_t peek_frame_magic(std::span<const std::uint8_t> bytes);
+
+}  // namespace causeway::transport

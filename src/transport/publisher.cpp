@@ -1,0 +1,331 @@
+#include "transport/publisher.h"
+
+#include <chrono>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/un.h>
+#endif
+
+#include "analysis/trace_io.h"
+#include "common/strings.h"
+#include "common/wire_io.h"
+
+namespace causeway::transport {
+
+#if !defined(CAUSEWAY_HAS_POSIX_IO)
+#error "the collection transport requires POSIX sockets"
+#endif
+
+namespace {
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+EpochPublisher::EpochPublisher(monitor::Collector& collector,
+                               PublisherConfig config)
+    : collector_(collector),
+      config_(std::move(config)),
+      trace_format_(config_.trace_format != 0 ? config_.trace_format
+                                              : analysis::kTraceFormatDefault) {
+  sockaddr_un addr{};
+  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw TransportError(
+        strf("socket path too long (%zu bytes, limit %zu): %s",
+             config_.socket_path.size(), sizeof(addr.sun_path) - 1,
+             config_.socket_path.c_str()));
+  }
+  if (config_.interval_ms == 0) config_.interval_ms = 1;
+}
+
+EpochPublisher::~EpochPublisher() { finish(); }
+
+void EpochPublisher::start() {
+  std::lock_guard lk(mutex_);
+  if (started_) return;
+  started_ = true;
+  worker_ = std::thread([this] { run(); });
+}
+
+bool EpochPublisher::finish() {
+  {
+    std::lock_guard lk(mutex_);
+    if (finished_) return flushed_clean_;
+    finished_ = true;
+    if (!started_) {
+      // Never started: run the worker just for the final drain + flush.
+      started_ = true;
+      worker_ = std::thread([this] { run(); });
+    }
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+  return flushed_clean_;
+}
+
+EpochPublisher::Stats EpochPublisher::stats() const {
+  Stats s;
+  s.epochs_drained = epochs_drained_.load(std::memory_order_relaxed);
+  s.segments_sent = segments_sent_.load(std::memory_order_relaxed);
+  s.records_sent = records_sent_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.dropped_segments = dropped_segments_.load(std::memory_order_relaxed);
+  s.dropped_records = dropped_records_.load(std::memory_order_relaxed);
+  s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool EpochPublisher::queue_empty() const {
+  for (const Entry& e : queue_) {
+    if (e.is_segment) return false;
+  }
+  return true;
+}
+
+void EpochPublisher::run() {
+  std::uint64_t interval = config_.interval_ms;
+  std::uint64_t last_ring_dropped = 0;
+  double last_utilization = 0.0;
+  std::uint64_t next_drain = steady_ms() + interval;
+  for (;;) {
+    const std::uint64_t now = steady_ms();
+    bool stop = false;
+    {
+      std::lock_guard lk(mutex_);
+      stop = stop_requested_;
+    }
+    if (stop) break;
+
+    if (now >= next_drain) {
+      drain_once(false);
+      {
+        std::lock_guard lk(mutex_);
+        last_ring_dropped = last_drain_dropped_;
+        last_utilization = last_drain_utilization_;
+      }
+      if (config_.adaptive) {
+        interval = monitor::adaptive_interval_ms(
+            interval, config_.interval_ms, last_ring_dropped,
+            last_utilization);
+      }
+      next_drain = steady_ms() + interval;
+    }
+
+    ensure_connected(now);
+    if (connected_.load(std::memory_order_relaxed)) pump_socket();
+
+    // Sleep until the next drain, the next reconnect attempt, or a short
+    // retry tick when the socket pushed back (EAGAIN with data queued).
+    std::uint64_t wait = next_drain > now ? next_drain - now : 1;
+    if (!connected_.load(std::memory_order_relaxed)) {
+      if (next_connect_ms_ > now) {
+        wait = std::min(wait, next_connect_ms_ - now);
+      } else {
+        wait = std::min<std::uint64_t>(wait, 1);
+      }
+    } else {
+      std::lock_guard lk(mutex_);
+      if (!queue_.empty()) wait = std::min<std::uint64_t>(wait, 2);
+    }
+    std::unique_lock lk(mutex_);
+    if (!stop_requested_) {
+      cv_.wait_for(lk, std::chrono::milliseconds(std::max<std::uint64_t>(
+                           wait, 1)));
+    }
+  }
+
+  // Shutdown: ship the final epoch -- always, even when empty, so the
+  // daemon learns the full domain inventory -- then flush with a deadline.
+  drain_once(true);
+  const std::uint64_t deadline = steady_ms() + config_.flush_timeout_ms;
+  for (;;) {
+    const std::uint64_t now = steady_ms();
+    ensure_connected(now);
+    if (connected_.load(std::memory_order_relaxed)) pump_socket();
+    {
+      std::lock_guard lk(mutex_);
+      if (queue_empty()) break;
+    }
+    if (now >= deadline) break;
+    std::unique_lock lk(mutex_);
+    cv_.wait_for(lk, std::chrono::milliseconds(1));
+  }
+  {
+    std::lock_guard lk(mutex_);
+    flushed_clean_ = queue_empty();
+    if (!flushed_clean_) {
+      for (const Entry& e : queue_) {
+        if (!e.is_segment) continue;
+        dropped_segments_.fetch_add(1, std::memory_order_relaxed);
+        dropped_records_.fetch_add(e.records, std::memory_order_relaxed);
+      }
+      queue_.clear();
+      inflight_segment_bytes_ = 0;
+      front_offset_ = 0;
+    }
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    connected_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void EpochPublisher::drain_once(bool final_drain) {
+  monitor::CollectedLogs logs = collector_.drain();
+  epochs_drained_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lk(mutex_);
+    last_drain_dropped_ = logs.dropped;
+    last_drain_utilization_ = logs.ring_utilization;
+  }
+  // Empty intermediate epochs carry nothing a later epoch will not repeat
+  // (every drain re-lists every domain), so skip the wire traffic.  The
+  // final epoch always ships: it is the domain inventory of record for a
+  // process that logged nothing.
+  if (!final_drain && logs.records.empty() && logs.dropped == 0) return;
+  const std::uint64_t records = logs.records.size();
+  enqueue_segment(analysis::encode_trace(logs, trace_format_), records);
+}
+
+void EpochPublisher::enqueue_segment(std::vector<std::uint8_t> bytes,
+                                     std::uint64_t records) {
+  std::lock_guard lk(mutex_);
+  if (inflight_segment_bytes_ + bytes.size() > config_.max_inflight_bytes) {
+    // Back-pressure: the daemon (or the socket to it) is behind.  Drop the
+    // *new* segment whole -- the queued clean prefix is never cannibalized
+    // -- and remember the loss for the next drop notice.
+    dropped_segments_.fetch_add(1, std::memory_order_relaxed);
+    dropped_records_.fetch_add(records, std::memory_order_relaxed);
+    pending_drop_records_ += records;
+    pending_drop_segments_ += 1;
+    return;
+  }
+  inflight_segment_bytes_ += bytes.size();
+  queue_.push_back(Entry{std::move(bytes), records, /*is_segment=*/true});
+}
+
+bool EpochPublisher::ensure_connected(std::uint64_t now_ms) {
+  if (connected_.load(std::memory_order_relaxed)) return true;
+  if (now_ms < next_connect_ms_) return false;
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd >= 0) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+                config_.socket_path.size());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+      fd_ = fd;
+      backoff_ms_ = 0;
+      if (ever_connected_) {
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+      }
+      ever_connected_ = true;
+      Handshake hs;
+      hs.trace_format = trace_format_;
+      hs.pid = static_cast<std::uint64_t>(::getpid());
+      hs.process_name = config_.process_name;
+      {
+        std::lock_guard lk(mutex_);
+        // The handshake leads every connection; front_offset_ is 0 here
+        // (reset on disconnect), so prepending keeps frame boundaries.
+        queue_.push_front(
+            Entry{encode_handshake(hs), 0, /*is_segment=*/false});
+      }
+      connected_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    ::close(fd);
+  }
+  backoff_ms_ = backoff_ms_ == 0
+                    ? config_.reconnect_initial_ms
+                    : std::min(backoff_ms_ * 2, config_.reconnect_max_ms);
+  next_connect_ms_ = now_ms + std::max<std::uint64_t>(backoff_ms_, 1);
+  return false;
+}
+
+void EpochPublisher::pump_socket() {
+  {
+    std::lock_guard lk(mutex_);
+    if (pending_drop_records_ != 0 || pending_drop_segments_ != 0) {
+      DropNotice notice{pending_drop_records_, pending_drop_segments_};
+      Entry e{encode_drop_notice(notice), pending_drop_records_,
+              /*is_segment=*/false};
+      e.notice_segments = pending_drop_segments_;
+      queue_.push_back(std::move(e));
+      pending_drop_records_ = 0;
+      pending_drop_segments_ = 0;
+    }
+  }
+  for (;;) {
+    std::vector<std::uint8_t>* bytes = nullptr;
+    std::size_t offset = 0;
+    {
+      std::lock_guard lk(mutex_);
+      if (queue_.empty()) return;
+      bytes = &queue_.front().bytes;
+      offset = front_offset_;
+    }
+    const long sent =
+        io_write_some(fd_, bytes->data() + offset, bytes->size() - offset);
+    if (sent < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      handle_disconnect();
+      return;
+    }
+    bytes_sent_.fetch_add(static_cast<std::uint64_t>(sent),
+                          std::memory_order_relaxed);
+    std::lock_guard lk(mutex_);
+    front_offset_ += static_cast<std::size_t>(sent);
+    if (front_offset_ == queue_.front().bytes.size()) {
+      const Entry& e = queue_.front();
+      if (e.is_segment) {
+        segments_sent_.fetch_add(1, std::memory_order_relaxed);
+        records_sent_.fetch_add(e.records, std::memory_order_relaxed);
+        inflight_segment_bytes_ -= e.bytes.size();
+      }
+      queue_.pop_front();
+      front_offset_ = 0;
+    }
+  }
+}
+
+void EpochPublisher::handle_disconnect() {
+  ::close(fd_);
+  fd_ = -1;
+  connected_.store(false, std::memory_order_relaxed);
+  const std::uint64_t now = steady_ms();
+  backoff_ms_ = backoff_ms_ == 0
+                    ? config_.reconnect_initial_ms
+                    : std::min(backoff_ms_ * 2, config_.reconnect_max_ms);
+  next_connect_ms_ = now + std::max<std::uint64_t>(backoff_ms_, 1);
+  std::lock_guard lk(mutex_);
+  // The daemon discarded whatever partial frame was in flight; rewind the
+  // front entry so the whole segment is resent on the next connection, and
+  // shed stale envelope frames (a fresh handshake will be prepended; drop
+  // notices fold back into the pending counters).
+  front_offset_ = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->is_segment) {
+      ++it;
+      continue;
+    }
+    if (it->notice_segments != 0 || it->records != 0) {
+      pending_drop_records_ += it->records;
+      pending_drop_segments_ += it->notice_segments;
+    }
+    it = queue_.erase(it);
+  }
+}
+
+}  // namespace causeway::transport

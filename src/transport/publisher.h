@@ -1,0 +1,154 @@
+// EpochPublisher: the producer half of the cross-process collection
+// transport.
+//
+// A monitored process runs one of these next to its Collector.  A
+// background thread drains the process-local rings on the adaptive epoch
+// cadence (the same Collector::drain() the in-process streaming path
+// uses), encodes each non-empty bundle as a trace segment -- byte-for-byte
+// the encoding `causeway-record --stream` writes to disk -- and ships it
+// over a Unix-domain socket to a causeway-collectd daemon.
+//
+// Failure policy mirrors the probe rings, deliberately:
+//
+//   * Bounded, drop-not-block.  Outgoing segments queue up to
+//     max_inflight_bytes; past that, *new* segments are discarded whole
+//     (the already-queued clean prefix always wins) and the loss is
+//     counted and reported to the daemon in a drop notice, where it
+//     surfaces as CollectedLogs::publish_dropped -- distinguishable from
+//     ring overflow all the way into anomaly events.  The monitored
+//     process never blocks on a slow or dead collector.
+//
+//   * Reconnect with exponential backoff.  A daemon restart is an
+//     expected event: the publisher drops nothing extra on disconnect
+//     (queued segments are kept; a partially sent segment is resent from
+//     its first byte, because the daemon discarded the partial tail), and
+//     each new connection opens with a fresh handshake.
+//
+// finish() performs the final drain -- always shipped, even when empty, so
+// the daemon learns the full domain inventory -- then flushes the queue
+// with a deadline; whatever cannot be delivered in time is counted as
+// dropped, never waited on forever.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "monitor/collector.h"
+#include "transport/protocol.h"
+
+namespace causeway::transport {
+
+struct PublisherConfig {
+  std::string socket_path;
+  std::string process_name;
+  std::uint32_t trace_format{0};  // 0 = kTraceFormatDefault
+  // Base drain interval; the adaptive cadence policy stretches/shrinks it
+  // exactly as `causeway-record --stream` does.
+  std::uint64_t interval_ms{50};
+  bool adaptive{true};
+  // Back-pressure bound on queued-but-unsent segment bytes.
+  std::size_t max_inflight_bytes{4u << 20};
+  // Reconnect backoff: initial delay, doubled per failure up to the max.
+  std::uint64_t reconnect_initial_ms{10};
+  std::uint64_t reconnect_max_ms{1000};
+  // finish(): how long to keep flushing before counting the rest as lost.
+  std::uint64_t flush_timeout_ms{5000};
+};
+
+class EpochPublisher {
+ public:
+  struct Stats {
+    std::uint64_t epochs_drained{0};
+    std::uint64_t segments_sent{0};
+    std::uint64_t records_sent{0};
+    std::uint64_t bytes_sent{0};
+    std::uint64_t dropped_segments{0};  // back-pressure discards
+    std::uint64_t dropped_records{0};
+    std::uint64_t reconnects{0};  // successful connections after the first
+  };
+
+  // `collector` must outlive the publisher and must not be drained by
+  // anyone else while the publisher runs (epoch ownership moves here).
+  EpochPublisher(monitor::Collector& collector, PublisherConfig config);
+  ~EpochPublisher();
+  EpochPublisher(const EpochPublisher&) = delete;
+  EpochPublisher& operator=(const EpochPublisher&) = delete;
+
+  void start();
+
+  // Stops the drain cadence, performs the final drain, flushes the queue
+  // (bounded by flush_timeout_ms) and joins the thread.  Returns true when
+  // everything queued was delivered; false when the deadline expired or the
+  // daemon was unreachable and segments were counted as dropped.
+  // Idempotent.
+  bool finish();
+
+  bool connected() const { return connected_.load(std::memory_order_relaxed); }
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t records{0};
+    bool is_segment{false};  // handshakes/notices are not back-pressure-bound
+    // For drop-notice entries: segment count carried, so an unsent notice
+    // folds back into the pending counters on disconnect.
+    std::uint64_t notice_segments{0};
+  };
+
+  void run();
+  void drain_once(bool final_drain);
+  void enqueue_segment(std::vector<std::uint8_t> bytes, std::uint64_t records);
+  bool ensure_connected(std::uint64_t now_ms);
+  void pump_socket();
+  void handle_disconnect();
+  bool queue_empty() const;
+
+  monitor::Collector& collector_;
+  PublisherConfig config_;
+  std::uint32_t trace_format_;
+
+  std::thread worker_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_{false};
+  bool started_{false};
+  bool finished_{false};
+  bool flushed_clean_{false};
+
+  // Socket state (worker thread only).
+  int fd_{-1};
+  std::atomic<bool> connected_{false};
+  std::uint64_t backoff_ms_{0};
+  std::uint64_t next_connect_ms_{0};
+  bool ever_connected_{false};
+
+  // Outgoing queue (guarded by mutex_; drained by the worker).
+  std::deque<Entry> queue_;
+  std::size_t inflight_segment_bytes_{0};
+  std::size_t front_offset_{0};  // bytes of queue_.front() already sent
+
+  // Back-pressure losses not yet reported to the daemon.
+  std::uint64_t pending_drop_records_{0};
+  std::uint64_t pending_drop_segments_{0};
+
+  // Last drain's observations, feeding the adaptive cadence.
+  std::uint64_t last_drain_dropped_{0};
+  double last_drain_utilization_{0.0};
+
+  std::atomic<std::uint64_t> epochs_drained_{0};
+  std::atomic<std::uint64_t> segments_sent_{0};
+  std::atomic<std::uint64_t> records_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> dropped_segments_{0};
+  std::atomic<std::uint64_t> dropped_records_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+};
+
+}  // namespace causeway::transport

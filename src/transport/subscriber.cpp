@@ -1,0 +1,256 @@
+#include "transport/subscriber.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "analysis/trace_io.h"
+#include "common/strings.h"
+#include "common/wire_io.h"
+
+namespace causeway::transport {
+
+#if !defined(CAUSEWAY_HAS_POSIX_IO)
+#error "the collection transport requires POSIX sockets"
+#endif
+
+struct CollectorDaemon::Connection {
+  int fd{-1};
+  PeerInfo peer;
+  bool handshaken{false};
+  std::vector<std::uint8_t> buffer;  // unconsumed frame bytes
+  bool dead{false};
+  bool dead_clean{true};
+};
+
+CollectorDaemon::CollectorDaemon(Options options, DaemonSink& sink)
+    : options_(std::move(options)), sink_(sink) {
+  if (options_.read_chunk == 0) options_.read_chunk = 64 * 1024;
+}
+
+CollectorDaemon::~CollectorDaemon() { stop(); }
+
+void CollectorDaemon::start() {
+  if (started_) return;
+  sockaddr_un addr{};
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw TransportError(
+        strf("socket path too long (%zu bytes, limit %zu): %s",
+             options_.socket_path.size(), sizeof(addr.sun_path) - 1,
+             options_.socket_path.c_str()));
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw TransportError(strf("socket(): %s", std::strerror(errno)));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size());
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw TransportError(strf("bind(%s): %s", options_.socket_path.c_str(),
+                              std::strerror(err)));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+    throw TransportError(strf("listen(%s): %s", options_.socket_path.c_str(),
+                              std::strerror(err)));
+  }
+  ::fcntl(listen_fd_, F_SETFL, ::fcntl(listen_fd_, F_GETFL, 0) | O_NONBLOCK);
+  stop_requested_.store(false, std::memory_order_relaxed);
+  started_ = true;
+  worker_ = std::thread([this] { run(); });
+}
+
+void CollectorDaemon::stop() {
+  if (!started_) return;
+  stop_requested_.store(true, std::memory_order_relaxed);
+  worker_.join();
+  started_ = false;
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(options_.socket_path.c_str());
+}
+
+CollectorDaemon::Stats CollectorDaemon::stats() const {
+  std::lock_guard lk(stats_mutex_);
+  return stats_;
+}
+
+void CollectorDaemon::run() {
+  std::vector<pollfd> fds;
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    const std::size_t polled = connections_.size();
+    for (const auto& conn : connections_) {
+      fds.push_back({conn->fd, POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[0].revents & POLLIN) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        conn->peer.peer_id = next_peer_id_++;
+        connections_.push_back(std::move(conn));
+        std::lock_guard lk(stats_mutex_);
+        ++stats_.connections_total;
+        ++stats_.connections_active;
+      }
+    }
+    for (std::size_t i = 0; i < polled; ++i) {
+      const short revents = fds[i + 1].revents;
+      if (revents & (POLLIN | POLLHUP | POLLERR)) {
+        service(*connections_[i]);
+      }
+    }
+    // Reap: erase dead connections after the service pass so pollfd
+    // indices stay aligned within one iteration.
+    for (std::size_t i = 0; i < connections_.size();) {
+      if (connections_[i]->dead) {
+        connections_.erase(connections_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (auto& conn : connections_) {
+    close_connection(*conn, conn->buffer.empty());
+  }
+  connections_.clear();
+}
+
+void CollectorDaemon::service(Connection& conn) {
+  std::vector<std::uint8_t> chunk(options_.read_chunk);
+  for (;;) {
+    const long got = io_read_some(conn.fd, chunk.data(), chunk.size());
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_connection(conn, conn.buffer.empty());
+      return;
+    }
+    if (got == 0) {
+      // Peer closed.  Any buffered remainder is an incomplete frame cut
+      // off by the close; consume what is whole, discard the tail.
+      consume_frames(conn);
+      close_connection(conn, conn.buffer.empty());
+      return;
+    }
+    {
+      std::lock_guard lk(stats_mutex_);
+      stats_.bytes_received += static_cast<std::uint64_t>(got);
+    }
+    conn.buffer.insert(conn.buffer.end(), chunk.begin(), chunk.begin() + got);
+    if (!consume_frames(conn)) return;  // protocol error, closed
+    if (static_cast<std::size_t>(got) < chunk.size()) break;
+  }
+}
+
+bool CollectorDaemon::consume_frames(Connection& conn) {
+  std::size_t consumed = 0;
+  try {
+    for (;;) {
+      const std::span<const std::uint8_t> rest(conn.buffer.data() + consumed,
+                                               conn.buffer.size() - consumed);
+      if (rest.empty()) break;
+      if (!conn.handshaken) {
+        auto hs = try_decode_handshake(rest);
+        if (!hs) break;
+        conn.peer.process_name = std::move(hs->first.process_name);
+        conn.peer.pid = hs->first.pid;
+        conn.peer.protocol = hs->first.protocol;
+        conn.peer.trace_format = hs->first.trace_format;
+        conn.handshaken = true;
+        consumed += hs->second;
+        sink_.on_connect(conn.peer);
+        continue;
+      }
+      const std::uint32_t magic = peek_frame_magic(rest);
+      if (rest.size() >= 4 && magic == kDropNoticeMagic) {
+        auto notice = try_decode_drop_notice(rest);
+        if (!notice) break;
+        consumed += notice->second;
+        {
+          std::lock_guard lk(stats_mutex_);
+          ++stats_.drop_notices;
+        }
+        sink_.on_drop_notice(conn.peer, notice->first);
+        continue;
+      }
+      if (rest.size() >= 4 && magic == kHandshakeMagic) {
+        throw TransportError("handshake repeated mid-stream");
+      }
+      std::size_t length = 0;
+      bool is_segment = false;
+      if (!analysis::probe_trace_block(rest, length, is_segment)) break;
+      if (is_segment) {
+        {
+          std::lock_guard lk(stats_mutex_);
+          ++stats_.segments_received;
+        }
+        sink_.on_segment(conn.peer, rest.subspan(0, length));
+      }
+      // A directory trailer on a socket is harmless metadata: skip it.
+      consumed += length;
+    }
+  } catch (const std::exception&) {
+    // TransportError or TraceIoError: the stream is structurally broken.
+    // Contain the blast radius to this connection.
+    {
+      std::lock_guard lk(stats_mutex_);
+      ++stats_.protocol_errors;
+    }
+    conn.buffer.clear();
+    close_connection(conn, /*clean=*/false);
+    return false;
+  }
+  if (consumed > 0) {
+    conn.buffer.erase(conn.buffer.begin(),
+                      conn.buffer.begin() + static_cast<std::ptrdiff_t>(consumed));
+  }
+  return true;
+}
+
+void CollectorDaemon::close_connection(Connection& conn, bool clean) {
+  if (conn.dead) return;
+  conn.dead = true;
+  conn.dead_clean = clean;
+  {
+    std::lock_guard lk(stats_mutex_);
+    if (stats_.connections_active > 0) --stats_.connections_active;
+    stats_.partial_tail_bytes += conn.buffer.size();
+  }
+  if (conn.fd >= 0) {
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+  if (conn.handshaken) {
+    sink_.on_disconnect(conn.peer, clean && conn.buffer.empty());
+  }
+  conn.buffer.clear();
+}
+
+}  // namespace causeway::transport

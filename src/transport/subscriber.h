@@ -1,0 +1,115 @@
+// CollectorDaemon: the consumer half of the cross-process collection
+// transport.
+//
+// One daemon thread owns a listening Unix-domain socket and a poll() loop
+// over every accepted publisher connection.  Per connection it enforces
+// the protocol from protocol.h: a handshake frame first, then any
+// interleaving of trace segments and drop notices.  Complete frames are
+// demultiplexed by their leading magic (envelope frames decode here;
+// segment extents come from trace_io's probe_trace_block) and handed to a
+// DaemonSink still encoded -- the sink decides whether to decode into an
+// AnalysisPipeline, append verbatim to a merged trace file, or both.
+//
+// Failure containment, per connection:
+//   * A protocol error (bad magic, wrong version, corrupt segment) closes
+//     that connection only; the daemon and its other publishers carry on.
+//   * An abrupt close (publisher crashed, or is about to reconnect) can
+//     leave at most one incomplete frame buffered; it is discarded -- the
+//     clean-prefix discipline TraceTail applies to a crashed writer's
+//     file, applied to a dead peer's stream.
+//
+// Sink callbacks run on the daemon thread, serialized across all
+// connections, so a sink needs no locking of its own against the daemon.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/protocol.h"
+
+namespace causeway::transport {
+
+struct PeerInfo {
+  std::uint64_t peer_id{0};  // daemon-local, unique per connection
+  std::string process_name;
+  std::uint64_t pid{0};
+  std::uint32_t protocol{0};
+  std::uint32_t trace_format{0};
+};
+
+class DaemonSink {
+ public:
+  virtual ~DaemonSink() = default;
+  virtual void on_connect(const PeerInfo&) {}
+  // One complete trace segment, still encoded (decode_trace_segment on it
+  // as needed).  The span is valid only for the duration of the call.
+  virtual void on_segment(const PeerInfo& peer,
+                          std::span<const std::uint8_t> segment) = 0;
+  virtual void on_drop_notice(const PeerInfo&, const DropNotice&) {}
+  // The bool is false when buffered bytes (an incomplete frame) were
+  // discarded or the connection died on a protocol error.
+  virtual void on_disconnect(const PeerInfo&, bool /*clean*/) {}
+};
+
+class CollectorDaemon {
+ public:
+  struct Options {
+    std::string socket_path;
+    std::size_t read_chunk{64 * 1024};
+  };
+
+  struct Stats {
+    std::uint64_t connections_total{0};
+    std::uint64_t connections_active{0};
+    std::uint64_t segments_received{0};
+    std::uint64_t bytes_received{0};
+    std::uint64_t drop_notices{0};
+    std::uint64_t protocol_errors{0};
+    std::uint64_t partial_tail_bytes{0};  // discarded on abrupt closes
+  };
+
+  // `sink` must outlive the daemon.  The socket is bound and listening
+  // when start() returns (any pre-existing socket file is replaced), so
+  // publishers started afterwards cannot race the bind.  Throws
+  // TransportError when the bind fails.
+  CollectorDaemon(Options options, DaemonSink& sink);
+  ~CollectorDaemon();
+  CollectorDaemon(const CollectorDaemon&) = delete;
+  CollectorDaemon& operator=(const CollectorDaemon&) = delete;
+
+  void start();
+  // Drains nothing further: closes every connection (counting buffered
+  // partial frames as discarded), joins the thread, unlinks the socket.
+  // Idempotent.
+  void stop();
+
+  Stats stats() const;
+
+ private:
+  struct Connection;
+
+  void run();
+  void service(Connection& conn);
+  bool consume_frames(Connection& conn);
+  void close_connection(Connection& conn, bool clean);
+
+  Options options_;
+  DaemonSink& sink_;
+  int listen_fd_{-1};
+  std::thread worker_;
+  std::atomic<bool> stop_requested_{false};
+  bool started_{false};
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::uint64_t next_peer_id_{1};
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace causeway::transport

@@ -6,6 +6,9 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "analysis/cpu.h"
 #include "analysis/dscg.h"
@@ -446,6 +449,239 @@ TEST(TraceIo, TraceWriterStreamsSegmentsToOneFile) {
   ASSERT_EQ(db.domains().size(), 2u);
   std::filesystem::remove(path);
 }
+
+TEST(TraceIo, ProbeTraceBlockMeasuresSegmentsAndTrailer) {
+  const auto path = std::filesystem::temp_directory_path() / "causeway_p.cwt";
+  {
+    TraceWriter writer(path.string());
+    auto epoch1 = sample_logs();
+    epoch1.epoch = 1;
+    writer.append(epoch1);
+    auto epoch2 = sample_logs();
+    epoch2.epoch = 2;
+    writer.append(epoch2);
+    writer.close();
+  }
+  std::ifstream in(path, std::ios::binary);
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  std::filesystem::remove(path);
+
+  // Walk the stream block by block: segment, segment, trailer -- and the
+  // lengths must tile the file exactly.
+  std::size_t offset = 0;
+  std::vector<bool> kinds;
+  while (offset < bytes.size()) {
+    std::size_t length = 0;
+    bool is_segment = false;
+    ASSERT_TRUE(probe_trace_block(
+        std::span(bytes.data() + offset, bytes.size() - offset), length,
+        is_segment));
+    ASSERT_GT(length, 0u);
+    kinds.push_back(is_segment);
+    offset += length;
+  }
+  EXPECT_EQ(offset, bytes.size());
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_TRUE(kinds[0]);
+  EXPECT_TRUE(kinds[1]);
+  EXPECT_FALSE(kinds[2]);
+
+  // Every strict prefix of the first segment is "incomplete", not an error
+  // -- the socket-buffer/TraceTail retry contract.
+  std::size_t first_len = 0;
+  bool first_is_segment = false;
+  ASSERT_TRUE(probe_trace_block(bytes, first_len, first_is_segment));
+  for (std::size_t n = 0; n < first_len; n += 5) {
+    std::size_t length = 0;
+    bool is_segment = false;
+    EXPECT_FALSE(
+        probe_trace_block(std::span(bytes.data(), n), length, is_segment))
+        << "prefix " << n;
+  }
+  // Corruption is an error, never a retry.
+  std::vector<std::uint8_t> bad(bytes.begin(), bytes.end());
+  bad[0] ^= 0xff;
+  std::size_t length = 0;
+  bool is_segment = false;
+  EXPECT_THROW(probe_trace_block(bad, length, is_segment), TraceIoError);
+}
+
+TEST(TraceIo, DecodeTraceSegmentRequiresExactFraming) {
+  auto logs = sample_logs();
+  logs.epoch = 9;
+  logs.dropped = 2;
+  const auto bytes = encode_trace(logs);
+
+  const monitor::CollectedLogs decoded = decode_trace_segment(bytes);
+  EXPECT_EQ(decoded.epoch, 9u);
+  EXPECT_EQ(decoded.dropped, 2u);
+  ASSERT_EQ(decoded.records.size(), 4u);
+  EXPECT_EQ(decoded.records[2].process_name, "procB");
+
+  // Exactly one segment: trailing bytes and truncations both throw.
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW(decode_trace_segment(padded), TraceIoError);
+  EXPECT_THROW(
+      decode_trace_segment(std::span(bytes.data(), bytes.size() - 1)),
+      TraceIoError);
+}
+
+TEST(TraceIo, AppendEncodedMatchesAppendByteForByte) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto direct = dir / "causeway_ae_direct.cwt";
+  const auto relayed = dir / "causeway_ae_relay.cwt";
+  auto epoch1 = sample_logs();
+  epoch1.epoch = 1;
+  auto epoch2 = sample_logs();
+  epoch2.epoch = 2;
+  {
+    TraceWriter writer(direct.string());
+    writer.append(epoch1);
+    writer.append(epoch2);
+    writer.close();
+  }
+  {
+    // The relay path (the collector daemon): pre-encoded segments pass
+    // through verbatim, so the resulting file is byte-identical.
+    TraceWriter writer(relayed.string());
+    writer.append_encoded(encode_trace(epoch1));
+    writer.append_encoded(encode_trace(epoch2));
+    EXPECT_EQ(writer.segments(), 2u);
+    writer.close();
+  }
+  const auto slurp = [](const std::filesystem::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                     std::istreambuf_iterator<char>());
+  };
+  EXPECT_EQ(slurp(direct), slurp(relayed));
+  std::filesystem::remove(direct);
+  std::filesystem::remove(relayed);
+
+  // Not-exactly-one-segment inputs are rejected before touching the file.
+  TraceWriter writer(relayed.string());
+  auto bytes = encode_trace(epoch1);
+  bytes.push_back(0x42);
+  EXPECT_THROW(writer.append_encoded(bytes), TraceIoError);
+  EXPECT_THROW(
+      writer.append_encoded(std::span(bytes.data(), bytes.size() / 2)),
+      TraceIoError);
+  writer.close();
+  std::filesystem::remove(relayed);
+}
+
+TEST(TraceIo, ReindexIsNoopOnClosedFile) {
+  const auto path = std::filesystem::temp_directory_path() / "causeway_r0.cwt";
+  {
+    TraceWriter writer(path.string());
+    auto logs = sample_logs();
+    logs.epoch = 1;
+    writer.append(logs);
+    writer.close();
+  }
+  const auto before_size = std::filesystem::file_size(path);
+  const ReindexResult result = reindex_trace_file(path.string());
+  EXPECT_FALSE(result.rewritten);
+  EXPECT_EQ(result.segments, 1u);
+  EXPECT_EQ(result.truncated_bytes, 0u);
+  EXPECT_EQ(std::filesystem::file_size(path), before_size);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, ReindexRepairsCrashedWriterFile) {
+  const auto path = std::filesystem::temp_directory_path() / "causeway_r1.cwt";
+  std::vector<std::uint8_t> two_segments;
+  {
+    auto epoch1 = sample_logs();
+    epoch1.epoch = 1;
+    auto epoch2 = sample_logs();
+    epoch2.epoch = 2;
+    two_segments = encode_trace(epoch1);
+    const auto more = encode_trace(epoch2);
+    two_segments.insert(two_segments.end(), more.begin(), more.end());
+  }
+  // Crash artifact: no trailer, and the third segment's write was cut off
+  // halfway.
+  {
+    auto torn = encode_trace(sample_logs());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(two_segments.data()),
+              static_cast<std::streamsize>(two_segments.size()));
+    out.write(reinterpret_cast<const char*>(torn.data()),
+              static_cast<std::streamsize>(torn.size() / 2));
+  }
+
+  const ReindexResult result = reindex_trace_file(path.string());
+  EXPECT_TRUE(result.rewritten);
+  EXPECT_EQ(result.segments, 2u);
+  EXPECT_GT(result.truncated_bytes, 0u);
+
+  // The repaired file reads the clean prefix through the directory path,
+  // and a second reindex is a no-op.
+  LogDatabase db;
+  EXPECT_EQ(read_trace_file(path.string(), db), 8u);
+  EXPECT_EQ(db.last_epoch(), 2u);
+  const ReindexResult again = reindex_trace_file(path.string());
+  EXPECT_FALSE(again.rewritten);
+  EXPECT_EQ(again.segments, 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, ReindexTrailerlessCompleteFileAppendsTrailerOnly) {
+  const auto path = std::filesystem::temp_directory_path() / "causeway_r2.cwt";
+  const auto bytes = encode_trace(sample_logs());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  const ReindexResult result = reindex_trace_file(path.string());
+  EXPECT_TRUE(result.rewritten);
+  EXPECT_EQ(result.segments, 1u);
+  EXPECT_EQ(result.truncated_bytes, 0u);
+  EXPECT_GT(std::filesystem::file_size(path), bytes.size());
+  LogDatabase db;
+  EXPECT_EQ(read_trace_file(path.string(), db), 4u);
+  std::filesystem::remove(path);
+}
+
+#if defined(CAUSEWAY_TEST_DATA_DIR)
+TEST(TraceIo, GoldenV4ReencodesByteIdentically) {
+  // The committed v4 fixture pins the columnar encoding byte-for-byte:
+  // decoding its segments and re-encoding them through today's writer must
+  // reproduce the exact file.  Any codec change that alters the bytes --
+  // even one that still round-trips -- fails here and forces a version
+  // bump instead of a silent format fork.
+  const std::string golden =
+      std::string(CAUSEWAY_TEST_DATA_DIR) + "/golden_v4.cwt";
+  std::ifstream in(golden, std::ios::binary);
+  ASSERT_TRUE(in) << golden;
+  const std::vector<std::uint8_t> original(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ASSERT_FALSE(original.empty());
+
+  const std::vector<monitor::CollectedLogs> bundles =
+      decode_trace_segments(original);
+  ASSERT_FALSE(bundles.empty());
+
+  const auto path =
+      std::filesystem::temp_directory_path() / "causeway_golden_v4.cwt";
+  {
+    TraceWriter writer(path.string(), kTraceFormatV4);
+    for (const monitor::CollectedLogs& bundle : bundles) {
+      writer.append(bundle);
+    }
+    writer.close();
+  }
+  std::ifstream re(path, std::ios::binary);
+  const std::vector<std::uint8_t> reencoded(
+      (std::istreambuf_iterator<char>(re)), std::istreambuf_iterator<char>());
+  std::filesystem::remove(path);
+  EXPECT_EQ(reencoded, original) << "v4 encoder no longer byte-stable";
+}
+#endif
 
 TEST(TraceIo, LargeStreamRoundTrip) {
   // Full paper-shape stream through the codec.

@@ -1,0 +1,173 @@
+// Forked multi-process acceptance for the collection transport: N real
+// `causeway-record --publish` processes feed one real `causeway-collectd`,
+// and the merged trace must render the byte-identical characterization
+// report to the same workloads collected offline -- the paper's
+// "scattered logs are collected and synthesized" claim, across genuine
+// process boundaries.
+//
+// The tool binaries are injected at configure time (CAUSEWAY_RECORD_BIN /
+// CAUSEWAY_COLLECTD_BIN / CAUSEWAY_ANALYZE_BIN); every child is a plain
+// fork+exec, so nothing in this gtest process (threads, runtimes, TSS)
+// leaks into the monitored children.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string tmp(const std::string& name) {
+  return ::testing::TempDir() + "cw_e2e_" + std::to_string(::getpid()) + "_" +
+         name;
+}
+
+// fork+exec, return the child's exit status (-1 on spawn failure).
+int run(const std::vector<std::string>& argv) {
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+pid_t spawn(const std::vector<std::string>& argv) {
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+  return pid;
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+std::vector<std::string> record_args(const std::string& seed) {
+  return {CAUSEWAY_RECORD_BIN,  "--workload=synthetic", "--mode=causality",
+          "--transactions=5",   "--seed=" + seed};
+}
+
+TEST(TransportE2eTest, TwoPublishersMergeToOfflineIdenticalReport) {
+  const std::string sock = tmp("collect.sock");
+  const std::string merged = tmp("merged.cwt");
+  const std::string ref_a = tmp("ref_a.cwt");
+  const std::string ref_b = tmp("ref_b.cwt");
+  const std::string ref_txt = tmp("ref.txt");
+  const std::string got_txt = tmp("got.txt");
+
+  // Offline reference: each workload recorded to its own trace by its own
+  // process, both analyzed together.  Causality mode keeps the records
+  // value-free, so reports compare exactly across runs.
+  {
+    auto a = record_args("77");
+    a.push_back("--out=" + ref_a);
+    ASSERT_EQ(run(a), 0);
+    auto b = record_args("78");
+    b.push_back("--out=" + ref_b);
+    ASSERT_EQ(run(b), 0);
+    ASSERT_EQ(run({CAUSEWAY_ANALYZE_BIN, ref_a, ref_b, "--report", "-o",
+                   ref_txt}),
+              0);
+  }
+
+  // Transport run: daemon first (listening before start() returns), then
+  // two concurrent publisher processes of the same two workloads.
+  const pid_t daemon = spawn({CAUSEWAY_COLLECTD_BIN, "--listen=" + sock,
+                              "--out=" + merged, "--expect=2", "--quiet"});
+  ASSERT_GT(daemon, 0);
+  auto a = record_args("77");
+  a.push_back("--publish=" + sock);
+  a.push_back("--publish-name=proc-a");
+  auto b = record_args("78");
+  b.push_back("--publish=" + sock);
+  b.push_back("--publish-name=proc-b");
+  const pid_t pub_a = spawn(a);
+  const pid_t pub_b = spawn(b);
+  ASSERT_GT(pub_a, 0);
+  ASSERT_GT(pub_b, 0);
+  EXPECT_EQ(wait_exit(pub_a), 0);
+  EXPECT_EQ(wait_exit(pub_b), 0);
+  ASSERT_EQ(wait_exit(daemon), 0);  // --expect=2: exits after both finish
+
+  ASSERT_EQ(run({CAUSEWAY_ANALYZE_BIN, merged, "--report", "-o", got_txt}),
+            0);
+
+  const std::string reference = slurp(ref_txt);
+  const std::string transported = slurp(got_txt);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(transported, reference)
+      << "merged multi-process report diverged from offline collection";
+
+  for (const std::string& p :
+       {sock, merged, ref_a, ref_b, ref_txt, got_txt}) {
+    ::unlink(p.c_str());
+  }
+}
+
+// The merged trace is a first-class .cwt: --reindex leaves it untouched,
+// and chopping its tail (a "crashed daemon" artifact) reindexes back to a
+// readable clean prefix.
+TEST(TransportE2eTest, MergedTraceSurvivesCrashAndReindex) {
+  const std::string sock = tmp("crash.sock");
+  const std::string merged = tmp("crash_merged.cwt");
+
+  const pid_t daemon = spawn({CAUSEWAY_COLLECTD_BIN, "--listen=" + sock,
+                              "--out=" + merged, "--expect=1", "--quiet"});
+  ASSERT_GT(daemon, 0);
+  auto a = record_args("91");
+  a.push_back("--publish=" + sock);
+  a.push_back("--publish-name=solo");
+  ASSERT_EQ(run(a), 0);
+  ASSERT_EQ(wait_exit(daemon), 0);
+
+  // Intact file: reindex is a no-op.
+  ASSERT_EQ(run({CAUSEWAY_ANALYZE_BIN, merged, "--reindex"}), 0);
+
+  // Simulate a crash: drop the trailer plus a few segment bytes.
+  std::string bytes = slurp(merged);
+  ASSERT_GT(bytes.size(), 64u);
+  bytes.resize(bytes.size() - 48);
+  {
+    std::ofstream out(merged, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  ASSERT_EQ(run({CAUSEWAY_ANALYZE_BIN, merged, "--reindex"}), 0);
+  // The reindexed clean prefix analyzes cleanly.
+  ASSERT_EQ(run({CAUSEWAY_ANALYZE_BIN, merged, "--summary", "-o",
+                 tmp("crash_summary.txt")}),
+            0);
+  ::unlink(merged.c_str());
+  ::unlink(tmp("crash_summary.txt").c_str());
+  ::unlink(sock.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,490 @@
+// Cross-process collection transport, exercised in-process over real
+// Unix-domain sockets (no fork needed): protocol codecs, the
+// publisher-to-daemon loopback (byte-identical to offline collection),
+// drop-not-block back-pressure, drop-notice accounting, protocol-error
+// containment, partial-frame discard, and publisher reconnect across a
+// daemon restart.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <thread>
+
+#include "analysis/pipeline.h"
+#include "analysis/trace_io.h"
+#include "common/wire_io.h"
+#include "monitor/tss.h"
+#include "transport/ingest_sink.h"
+#include "transport/protocol.h"
+#include "transport/publisher.h"
+#include "transport/subscriber.h"
+#include "workload/synthetic.h"
+
+namespace causeway {
+namespace {
+
+using transport::CollectorDaemon;
+using transport::DropNotice;
+using transport::EpochPublisher;
+using transport::Handshake;
+using transport::IngestSink;
+using transport::PeerInfo;
+using transport::PublisherConfig;
+using transport::TransportError;
+
+class TransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override { monitor::tss_clear(); }
+  void TearDown() override { monitor::tss_clear(); }
+
+  std::string sock_path(const char* name) {
+    return ::testing::TempDir() + "cw_transport_" + name + "_" +
+           std::to_string(::getpid()) + ".sock";
+  }
+
+  static bool wait_for(const std::function<bool()>& pred,
+                       std::uint64_t timeout_ms = 10000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return pred();
+  }
+};
+
+workload::SyntheticConfig synthetic_config(std::uint64_t seed) {
+  workload::SyntheticConfig config;
+  config.seed = seed;
+  config.domains = 3;
+  config.components = 9;
+  config.interfaces = 5;
+  config.methods_per_interface = 3;
+  config.levels = 3;
+  config.max_children = 2;
+  config.monitor.mode = monitor::ProbeMode::kCausalityOnly;
+  return config;
+}
+
+// A raw publisher-side client for protocol-level tests: hand-crafted bytes
+// straight onto the socket.
+class RawClient {
+ public:
+  explicit RawClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size());
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~RawClient() { close(); }
+  bool connected() const { return connected_; }
+  bool send(std::span<const std::uint8_t> bytes) {
+    return io_write_full(fd_, bytes.data(), bytes.size());
+  }
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_{-1};
+  bool connected_{false};
+};
+
+// Records everything the daemon delivers; callbacks run on the daemon
+// thread, reads happen after stop() or behind wait_for (monotonic counters
+// read through the mutex).
+class RecordingSink : public transport::DaemonSink {
+ public:
+  void on_connect(const PeerInfo& peer) override {
+    std::lock_guard lk(mu);
+    connects.push_back(peer);
+  }
+  void on_segment(const PeerInfo&,
+                  std::span<const std::uint8_t> segment) override {
+    monitor::CollectedLogs logs = analysis::decode_trace_segment(segment);
+    std::lock_guard lk(mu);
+    records += logs.records.size();
+    ++segments;
+  }
+  void on_drop_notice(const PeerInfo&, const DropNotice& notice) override {
+    std::lock_guard lk(mu);
+    drop_records += notice.records;
+    drop_segments += notice.segments;
+  }
+  void on_disconnect(const PeerInfo&, bool clean) override {
+    std::lock_guard lk(mu);
+    ++disconnects;
+    if (!clean) ++unclean_disconnects;
+  }
+
+  std::uint64_t records_seen() {
+    std::lock_guard lk(mu);
+    return records;
+  }
+  std::uint64_t segments_seen() {
+    std::lock_guard lk(mu);
+    return segments;
+  }
+
+  std::mutex mu;
+  std::vector<PeerInfo> connects;
+  std::uint64_t records{0};
+  std::uint64_t segments{0};
+  std::uint64_t drop_records{0};
+  std::uint64_t drop_segments{0};
+  int disconnects{0};
+  int unclean_disconnects{0};
+};
+
+TEST_F(TransportTest, HandshakeCodecRoundtrip) {
+  Handshake hs;
+  hs.trace_format = analysis::kTraceFormatV4;
+  hs.pid = 4242;
+  hs.process_name = "planner";
+  const std::vector<std::uint8_t> bytes = transport::encode_handshake(hs);
+
+  auto decoded = transport::try_decode_handshake(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->second, bytes.size());
+  EXPECT_EQ(decoded->first.protocol, transport::kProtocolVersion);
+  EXPECT_EQ(decoded->first.trace_format, analysis::kTraceFormatV4);
+  EXPECT_EQ(decoded->first.pid, 4242u);
+  EXPECT_EQ(decoded->first.process_name, "planner");
+
+  // Every strict prefix is "incomplete", never an error.
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_FALSE(
+        transport::try_decode_handshake(std::span(bytes.data(), n)))
+        << "prefix length " << n;
+  }
+  // Trailing bytes beyond the frame are someone else's problem.
+  std::vector<std::uint8_t> more = bytes;
+  more.push_back(0xAB);
+  auto with_tail = transport::try_decode_handshake(more);
+  ASSERT_TRUE(with_tail.has_value());
+  EXPECT_EQ(with_tail->second, bytes.size());
+}
+
+TEST_F(TransportTest, HandshakeRejectsGarbage) {
+  std::vector<std::uint8_t> bad(32, 0x5A);
+  EXPECT_THROW(transport::try_decode_handshake(bad), TransportError);
+
+  // Right magic, hostile name length.
+  Handshake hs;
+  hs.process_name = "x";
+  std::vector<std::uint8_t> bytes = transport::encode_handshake(hs);
+  const std::size_t len_at = 4 + 4 + 4 + 8;  // magic+proto+format+pid
+  bytes[len_at] = 0xFF;
+  bytes[len_at + 1] = 0xFF;
+  bytes[len_at + 2] = 0xFF;
+  bytes[len_at + 3] = 0x7F;
+  EXPECT_THROW(transport::try_decode_handshake(bytes), TransportError);
+
+  Handshake long_name;
+  long_name.process_name.assign(transport::kMaxProcessNameBytes + 1, 'n');
+  EXPECT_THROW(transport::encode_handshake(long_name), TransportError);
+}
+
+TEST_F(TransportTest, DropNoticeCodecRoundtrip) {
+  const std::vector<std::uint8_t> bytes =
+      transport::encode_drop_notice({123456789ull, 17ull});
+  EXPECT_EQ(bytes.size(), transport::kDropNoticeBytes);
+  auto decoded = transport::try_decode_drop_notice(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->first.records, 123456789ull);
+  EXPECT_EQ(decoded->first.segments, 17ull);
+  EXPECT_FALSE(transport::try_decode_drop_notice(
+      std::span(bytes.data(), bytes.size() - 1)));
+}
+
+// The tentpole loopback: a workload published over the socket must yield
+// (a) a pipeline report and (b) a merged-trace report both byte-identical
+// to collecting the identical workload in-process.
+TEST_F(TransportTest, LoopbackPublishMatchesOfflineCollection) {
+  const std::string path = sock_path("loopback");
+  const std::string merged = ::testing::TempDir() + "cw_loopback_merged.cwt";
+
+  // Offline reference: same seed, same workload, collected in-process.
+  std::string reference;
+  std::size_t reference_records = 0;
+  {
+    orb::Fabric fabric;
+    workload::SyntheticSystem system(fabric, synthetic_config(77));
+    system.run_transactions(5);
+    system.wait_quiescent();
+    analysis::AnalysisPipeline pipeline;
+    const monitor::CollectedLogs logs = system.collect();
+    reference_records = logs.records.size();
+    pipeline.ingest(logs);
+    reference = pipeline.report();
+  }
+  ASSERT_GT(reference_records, 0u);
+  monitor::tss_clear();
+
+  // Transport run: daemon with live pipeline + merged file.
+  analysis::AnalysisPipeline live;
+  IngestSink::Options options;
+  options.pipeline = &live;
+  options.merged_path = merged;
+  IngestSink sink(std::move(options));
+  CollectorDaemon daemon({path, 0}, sink);
+  daemon.start();
+  {
+    orb::Fabric fabric;
+    workload::SyntheticSystem system(fabric, synthetic_config(77));
+    monitor::Collector collector;
+    system.attach_collector(collector);
+    PublisherConfig config;
+    config.socket_path = path;
+    config.process_name = "loopback";
+    config.interval_ms = 5;
+    EpochPublisher publisher(collector, config);
+    publisher.start();
+    system.run_transactions(5);
+    system.wait_quiescent();
+    EXPECT_TRUE(publisher.finish());
+    const EpochPublisher::Stats stats = publisher.stats();
+    EXPECT_EQ(stats.records_sent, reference_records);
+    EXPECT_EQ(stats.dropped_records, 0u);
+    // Everything sent must land before we stop the daemon.
+    ASSERT_TRUE(wait_for([&] {
+      return sink.totals().records >= stats.records_sent;
+    }));
+  }
+  daemon.stop();
+  const IngestSink::Totals totals = sink.finalize();
+  EXPECT_EQ(totals.records, reference_records);
+  EXPECT_EQ(totals.publish_dropped_records, 0u);
+  EXPECT_EQ(daemon.stats().protocol_errors, 0u);
+
+  // Live pipeline saw the same system the offline collect did.
+  EXPECT_EQ(live.report(), reference);
+
+  // And the merged file re-analyzes to the same bytes.
+  analysis::AnalysisPipeline from_file;
+  analysis::read_trace_file(merged, from_file.database());
+  from_file.refresh();
+  EXPECT_EQ(from_file.report(), reference);
+  ::unlink(merged.c_str());
+}
+
+// No daemon at all: the publisher must never block the workload, must keep
+// memory bounded, and must account every discarded record.
+TEST_F(TransportTest, BackpressureDropsNotBlocks) {
+  orb::Fabric fabric;
+  workload::SyntheticSystem system(fabric, synthetic_config(31));
+  monitor::Collector collector;
+  system.attach_collector(collector);
+
+  PublisherConfig config;
+  config.socket_path = sock_path("nowhere");  // nothing listens here
+  config.process_name = "lonely";
+  config.interval_ms = 1;
+  config.max_inflight_bytes = 512;  // absurdly small: force drops fast
+  config.reconnect_initial_ms = 1;
+  config.reconnect_max_ms = 8;
+  config.flush_timeout_ms = 50;
+  EpochPublisher publisher(collector, config);
+  publisher.start();
+  system.run_transactions(6);
+  system.wait_quiescent();
+  EXPECT_FALSE(publisher.finish());  // nothing could be delivered
+
+  const EpochPublisher::Stats stats = publisher.stats();
+  EXPECT_EQ(stats.segments_sent, 0u);
+  EXPECT_GT(stats.dropped_segments, 0u);
+  // Conservation: every drained record was either sent or counted dropped.
+  const monitor::CollectedLogs rest = collector.collect();
+  EXPECT_EQ(rest.records.size(), 0u);  // drains consumed everything
+  EXPECT_GT(stats.dropped_records, 0u);
+}
+
+// Drop notices synthesize publish_dropped bundles: the loss shows up in
+// the database counter and as a kPublishDrop anomaly event, distinct from
+// ring overflow.
+TEST_F(TransportTest, DropNoticeReachesPipelineAndAnomalies) {
+  const std::string path = sock_path("notice");
+  analysis::AnalysisPipeline live;
+  std::atomic<int> publish_drop_events{0};
+  analysis::CallbackAnomalySink anomaly_sink(
+      [&](const analysis::AnomalyEvent& event) {
+        if (event.kind == analysis::AnomalyKind::kPublishDrop) {
+          ++publish_drop_events;
+        }
+      });
+  live.add_sink(&anomaly_sink);
+
+  IngestSink::Options options;
+  options.pipeline = &live;
+  IngestSink sink(std::move(options));
+  CollectorDaemon daemon({path, 0}, sink);
+  daemon.start();
+
+  RawClient client(path);
+  ASSERT_TRUE(client.connected());
+  Handshake hs;
+  hs.trace_format = analysis::kTraceFormatV4;
+  hs.pid = 7;
+  hs.process_name = "dropper";
+  ASSERT_TRUE(client.send(transport::encode_handshake(hs)));
+  ASSERT_TRUE(client.send(transport::encode_drop_notice({41, 3})));
+  client.close();
+
+  ASSERT_TRUE(wait_for([&] { return sink.totals().publish_dropped_records == 41; }));
+  daemon.stop();
+  EXPECT_EQ(sink.totals().publish_dropped_segments, 3u);
+  EXPECT_EQ(live.database().publish_dropped(), 41u);
+  EXPECT_EQ(live.database().overflow_dropped(), 0u);  // distinct ledgers
+  EXPECT_EQ(publish_drop_events.load(), 1);
+  EXPECT_EQ(daemon.stats().drop_notices, 1u);
+}
+
+// A connection that violates the protocol is closed; the daemon and its
+// other publishers are unharmed.
+TEST_F(TransportTest, ProtocolErrorClosesOnlyThatConnection) {
+  const std::string path = sock_path("protoerr");
+  RecordingSink sink;
+  CollectorDaemon daemon({path, 0}, sink);
+  daemon.start();
+
+  RawClient bad(path);
+  ASSERT_TRUE(bad.connected());
+  const std::vector<std::uint8_t> garbage(64, 0x99);
+  ASSERT_TRUE(bad.send(garbage));
+  ASSERT_TRUE(wait_for([&] { return daemon.stats().protocol_errors == 1; }));
+
+  // The daemon still accepts and serves a well-behaved publisher.
+  RawClient good(path);
+  ASSERT_TRUE(good.connected());
+  Handshake hs;
+  hs.process_name = "wellbehaved";
+  ASSERT_TRUE(good.send(transport::encode_handshake(hs)));
+  monitor::CollectedLogs empty;
+  ASSERT_TRUE(good.send(analysis::encode_trace(empty)));
+  ASSERT_TRUE(wait_for([&] { return sink.segments_seen() == 1; }));
+  good.close();
+  bad.close();
+  daemon.stop();
+  EXPECT_EQ(daemon.stats().protocol_errors, 1u);
+  ASSERT_EQ(sink.connects.size(), 1u);  // garbage never completed handshake
+  EXPECT_EQ(sink.connects[0].process_name, "wellbehaved");
+}
+
+// A publisher that dies mid-frame leaves a partial tail; the daemon keeps
+// the complete prefix and discards the torn frame -- TraceTail's
+// clean-prefix discipline on a socket.
+TEST_F(TransportTest, PartialFrameDiscardedOnAbruptClose) {
+  const std::string path = sock_path("partial");
+  RecordingSink sink;
+  CollectorDaemon daemon({path, 0}, sink);
+  daemon.start();
+
+  monitor::CollectedLogs empty;
+  const std::vector<std::uint8_t> segment = analysis::encode_trace(empty);
+  ASSERT_GT(segment.size(), 8u);
+
+  RawClient client(path);
+  ASSERT_TRUE(client.connected());
+  Handshake hs;
+  hs.process_name = "crasher";
+  ASSERT_TRUE(client.send(transport::encode_handshake(hs)));
+  ASSERT_TRUE(client.send(segment));  // one whole segment: the clean prefix
+  ASSERT_TRUE(client.send(
+      std::span(segment.data(), segment.size() / 2)));  // torn frame
+  client.close();
+
+  ASSERT_TRUE(wait_for([&] {
+    std::lock_guard lk(sink.mu);
+    return sink.disconnects == 1;
+  }));
+  daemon.stop();
+  EXPECT_EQ(sink.segments_seen(), 1u);  // the whole one, not the torn one
+  EXPECT_EQ(sink.unclean_disconnects, 1);
+  EXPECT_EQ(daemon.stats().protocol_errors, 0u);  // torn != corrupt
+  EXPECT_GT(daemon.stats().partial_tail_bytes, 0u);
+}
+
+// Daemon restart: the publisher reconnects with backoff, re-handshakes,
+// resends from a frame boundary, and everything drained after the outage
+// still arrives.  The pre-restart clean prefix stays ingested.
+TEST_F(TransportTest, PublisherReconnectsAcrossDaemonRestart) {
+  const std::string path = sock_path("restart");
+  RecordingSink sink;
+
+  orb::Fabric fabric;
+  workload::SyntheticSystem system(fabric, synthetic_config(55));
+  monitor::Collector collector;
+  system.attach_collector(collector);
+
+  PublisherConfig config;
+  config.socket_path = path;
+  config.process_name = "phoenix-feeder";
+  config.interval_ms = 2;
+  config.reconnect_initial_ms = 1;
+  config.reconnect_max_ms = 16;
+  EpochPublisher publisher(collector, config);
+
+  auto daemon1 = std::make_unique<CollectorDaemon>(
+      CollectorDaemon::Options{path, 0}, sink);
+  daemon1->start();
+  publisher.start();
+
+  system.run_transactions(3);
+  system.wait_quiescent();
+  // Quiesce phase 1: everything sent has been read and decoded, so the
+  // restart cannot eat in-flight bytes.
+  ASSERT_TRUE(wait_for([&] {
+    return publisher.stats().records_sent > 0 &&
+           sink.records_seen() == publisher.stats().records_sent;
+  }));
+  const std::uint64_t phase1_records = sink.records_seen();
+
+  daemon1->stop();
+  daemon1.reset();
+
+  // Outage: the workload keeps running; drained segments queue up (or the
+  // first may hit the dead socket and be rewound -- either way nothing is
+  // lost, the queue is far under the back-pressure bound).
+  system.run_transactions(3);
+  system.wait_quiescent();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  CollectorDaemon daemon2({path, 0}, sink);
+  daemon2.start();
+  EXPECT_TRUE(publisher.finish());
+
+  const EpochPublisher::Stats stats = publisher.stats();
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_EQ(stats.dropped_records, 0u);
+  ASSERT_TRUE(
+      wait_for([&] { return sink.records_seen() >= stats.records_sent; }));
+  daemon2.stop();
+
+  // Clean prefix survived and the outage window was fully recovered.
+  EXPECT_GE(sink.records_seen(), phase1_records);
+  EXPECT_EQ(sink.records_seen(), stats.records_sent);
+  {
+    std::lock_guard lk(sink.mu);
+    ASSERT_GE(sink.connects.size(), 2u);  // original + post-restart handshake
+    for (const PeerInfo& peer : sink.connects) {
+      EXPECT_EQ(peer.process_name, "phoenix-feeder");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace causeway

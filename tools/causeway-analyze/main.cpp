@@ -15,10 +15,18 @@
 //                    [--follow] [--poll-ms=N] [--idle-exit-ms=N]
 //                    [--anomalies=stderr|jsonl:PATH|none]
 //                    [--max-nodes=N] [--ingest-shards=N] [-o <file>]
+//                    [--reindex]
 //
 // --ingest-shards pins the database's parallel-ingest shard count (default:
 // CAUSEWAY_INGEST_SHARDS or hardware concurrency).  Output is byte-identical
 // for every shard count -- the ctest suite enforces it.
+//
+// --reindex is a maintenance mode, not an analysis: each input trace that
+// lacks a directory trailer (its writer crashed or never closed) is
+// rewritten in place -- an incomplete trailing segment is truncated away and
+// a proper trailer is appended -- so every future open gets the O(segments)
+// footer path instead of the sequential skim.  Traces that already end in a
+// valid trailer are left untouched.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -47,7 +55,8 @@ int usage() {
                "            --timeline|--timeline-csv|--diff]\n"
                "           [--follow] [--poll-ms=N] [--idle-exit-ms=N]\n"
                "           [--anomalies=stderr|jsonl:PATH|none]\n"
-               "           [--max-nodes=N] [--ingest-shards=N] [-o <file>]\n");
+               "           [--max-nodes=N] [--ingest-shards=N] [-o <file>]\n"
+               "           [--reindex]\n");
   return 2;
 }
 
@@ -92,6 +101,7 @@ int main(int argc, char** argv) {
   std::size_t max_nodes = 0;
   std::size_t ingest_shards = 0;  // 0 = auto
   bool follow = false;
+  bool reindex = false;
   std::uint64_t poll_ms = 200;
   std::uint64_t idle_exit_ms = 0;  // 0 = follow forever
 
@@ -104,6 +114,8 @@ int main(int argc, char** argv) {
       format = arg.substr(2);
     } else if (arg == "--follow") {
       follow = true;
+    } else if (arg == "--reindex") {
+      reindex = true;
     } else if (arg.rfind("--poll-ms=", 0) == 0) {
       poll_ms = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 10));
     } else if (arg.rfind("--idle-exit-ms=", 0) == 0) {
@@ -126,6 +138,31 @@ int main(int argc, char** argv) {
   if (inputs.empty()) return usage();
 
   try {
+    if (reindex) {
+      int rc = 0;
+      for (const auto& path : inputs) {
+        try {
+          const analysis::ReindexResult r =
+              analysis::reindex_trace_file(path);
+          if (r.rewritten) {
+            std::printf(
+                "%s: reindexed %zu segments (%llu incomplete tail bytes "
+                "truncated)\n",
+                path.c_str(), r.segments,
+                static_cast<unsigned long long>(r.truncated_bytes));
+          } else {
+            std::printf("%s: already indexed (%zu segments), unchanged\n",
+                        path.c_str(), r.segments);
+          }
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "causeway-analyze: %s: %s\n", path.c_str(),
+                       e.what());
+          rc = 1;
+        }
+      }
+      return rc;
+    }
+
     if (format == "diff") {
       // --diff <baseline.cwt> <current.cwt>
       if (inputs.size() != 2) {

@@ -1,0 +1,222 @@
+// causeway-collectd -- the collection daemon for multi-process runs.
+//
+// The paper's collection step, promoted to a live service: any number of
+// monitored processes publish their drain epochs over a Unix-domain socket
+// (`causeway-record --publish=SOCK`, or any embedding of
+// transport::EpochPublisher), and this daemon synthesizes them -- feeding
+// every arriving segment into one epoch-driven AnalysisPipeline (live
+// summaries on stderr, anomaly events to the chosen sink, a final render
+// at shutdown) and/or appending them to one merged `.cwt` trace whose
+// analyzer output matches an in-process collection of the same workload.
+//
+// Usage:
+//   causeway-collectd --listen=SOCK
+//                     [--out=merged.cwt] [--trace-format=v3|v4]
+//                     [--report=PATH | --report=-]
+//                     [--anomalies=stderr|jsonl:PATH|none]
+//                     [--ingest-shards=N]
+//                     [--expect=N] [--idle-exit-ms=N] [--quiet]
+//
+// Lifecycle: runs until SIGINT/SIGTERM, or -- for scripted runs -- until
+// --expect=N publishers have connected and all of them disconnected, or
+// until --idle-exit-ms of no connected publishers after at least one was
+// seen.  Shutdown order: stop accepting, write the merged trace, render.
+//
+// Publisher failure never kills the daemon: a protocol error or crashed
+// peer closes that connection only, discarding at most one incomplete
+// frame (the clean-prefix discipline).  Daemon restarts are symmetric --
+// publishers reconnect with backoff and resend from a frame boundary.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "analysis/anomaly.h"
+#include "analysis/pipeline.h"
+#include "analysis/trace_io.h"
+#include "transport/ingest_sink.h"
+#include "transport/subscriber.h"
+
+using namespace causeway;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: causeway-collectd --listen=SOCK\n"
+      "           [--out=merged.cwt] [--trace-format=v3|v4]\n"
+      "           [--report=PATH|-] [--anomalies=stderr|jsonl:PATH|none]\n"
+      "           [--ingest-shards=N] [--expect=N] [--idle-exit-ms=N]\n"
+      "           [--quiet]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen;
+  std::string out;
+  std::string report;
+  std::string anomalies = "none";
+  std::uint32_t trace_format = analysis::kTraceFormatDefault;
+  std::size_t ingest_shards = 0;
+  std::uint64_t expect = 0;
+  std::uint64_t idle_exit_ms = 0;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--listen=", 0) == 0) {
+      listen = arg.substr(9);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out = arg.substr(6);
+    } else if (arg.rfind("--trace-format=", 0) == 0) {
+      const std::string format = arg.substr(15);
+      if (format == "v3" || format == "3") {
+        trace_format = analysis::kTraceFormatV3;
+      } else if (format == "v4" || format == "4") {
+        trace_format = analysis::kTraceFormatV4;
+      } else {
+        std::fprintf(stderr, "unknown trace format '%s' (want v3 or v4)\n",
+                     format.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report = arg.substr(9);
+    } else if (arg.rfind("--anomalies=", 0) == 0) {
+      anomalies = arg.substr(12);
+    } else if (arg.rfind("--ingest-shards=", 0) == 0) {
+      ingest_shards = static_cast<std::size_t>(std::atoll(arg.c_str() + 16));
+    } else if (arg.rfind("--expect=", 0) == 0) {
+      expect = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 9));
+    } else if (arg.rfind("--idle-exit-ms=", 0) == 0) {
+      idle_exit_ms = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 15));
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return usage();
+    }
+  }
+  if (listen.empty()) return usage();
+  if (out.empty() && report.empty() && anomalies == "none") {
+    std::fprintf(stderr,
+                 "causeway-collectd: nothing to do -- pass --out, --report "
+                 "and/or --anomalies\n");
+    return 2;
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  try {
+    // The pipeline only runs when something consumes its output; a pure
+    // merge relay skips the decode entirely.
+    std::unique_ptr<analysis::AnalysisPipeline> pipeline;
+    if (!report.empty() || anomalies != "none") {
+      pipeline = std::make_unique<analysis::AnalysisPipeline>(ingest_shards);
+    }
+
+    std::unique_ptr<analysis::AnomalySink> sink;
+    if (anomalies == "stderr") {
+      sink = std::make_unique<analysis::StderrAnomalySink>();
+    } else if (anomalies.rfind("jsonl:", 0) == 0) {
+      auto jsonl =
+          std::make_unique<analysis::JsonlAnomalySink>(anomalies.substr(6));
+      if (!jsonl->ok()) {
+        std::fprintf(stderr, "causeway-collectd: cannot write '%s'\n",
+                     anomalies.c_str() + 6);
+        return 1;
+      }
+      sink = std::move(jsonl);
+    } else if (anomalies != "none") {
+      return usage();
+    }
+    if (sink && pipeline) pipeline->add_sink(sink.get());
+
+    transport::IngestSink::Options sink_options;
+    sink_options.pipeline = pipeline.get();
+    sink_options.merged_path = out;
+    sink_options.merged_format = trace_format;
+    transport::IngestSink ingest(std::move(sink_options));
+    if (!quiet && pipeline) {
+      analysis::AnalysisPipeline* pp = pipeline.get();
+      ingest.epoch_callback = [pp](const transport::PeerInfo& peer,
+                                   const analysis::EpochInfo&) {
+        std::fprintf(stderr, "[collectd] %s/%llu: %s\n",
+                     peer.process_name.c_str(),
+                     static_cast<unsigned long long>(peer.pid),
+                     pp->live_summary().c_str());
+      };
+    }
+
+    transport::CollectorDaemon daemon({listen, 0}, ingest);
+    daemon.start();
+    if (!quiet) {
+      std::fprintf(stderr, "[collectd] listening on %s\n", listen.c_str());
+    }
+
+    // Wait for a stop condition: signal, --expect satisfied, or idle.
+    std::uint64_t idle_ms = 0;
+    while (!g_stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      const transport::CollectorDaemon::Stats stats = daemon.stats();
+      if (expect > 0 && stats.connections_total >= expect &&
+          stats.connections_active == 0) {
+        break;
+      }
+      if (idle_exit_ms > 0) {
+        if (stats.connections_active > 0 || stats.connections_total == 0) {
+          idle_ms = 0;
+        } else {
+          idle_ms += 20;
+          if (idle_ms >= idle_exit_ms) break;
+        }
+      }
+    }
+
+    daemon.stop();
+    const transport::IngestSink::Totals totals = ingest.finalize();
+    const transport::CollectorDaemon::Stats stats = daemon.stats();
+    if (!quiet) {
+      std::fprintf(
+          stderr,
+          "[collectd] %llu publishers, %llu segments (%llu records), "
+          "%llu publish-dropped records, %llu protocol errors%s%s\n",
+          static_cast<unsigned long long>(stats.connections_total),
+          static_cast<unsigned long long>(totals.segments),
+          static_cast<unsigned long long>(totals.records),
+          static_cast<unsigned long long>(totals.publish_dropped_records),
+          static_cast<unsigned long long>(stats.protocol_errors),
+          out.empty() ? "" : " -> ", out.c_str());
+    }
+
+    if (pipeline && !report.empty()) {
+      const std::string rendered = pipeline->report();
+      if (report == "-") {
+        std::fputs(rendered.c_str(), stdout);
+      } else {
+        std::ofstream rf(report);
+        rf << rendered;
+        if (!rf) {
+          std::fprintf(stderr, "causeway-collectd: cannot write '%s'\n",
+                       report.c_str());
+          return 1;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "causeway-collectd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

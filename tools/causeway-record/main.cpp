@@ -23,10 +23,18 @@
 //                   [--jobs=N] [--transactions=N] [--seed=N]
 //                   [--stream] [--interval-ms=N] [--fixed-interval]
 //                   [--out=trace.cwt] [--trace-format=v3|v4] [--verify]
+//                   [--publish=SOCK] [--publish-name=NAME]
 //
 // --verify reads the finished trace back through the analyzer's (parallel)
 // segment decoder and checks the synthesized database against the writer's
 // own record count -- a cheap end-to-end round-trip gate after every run.
+//
+// --publish replaces the local trace file with the cross-process transport:
+// epoch bundles ship over the Unix socket SOCK to a causeway-collectd
+// daemon (which merges any number of publishing processes).  The drain
+// cadence, adaptivity and --interval-ms knobs apply unchanged; --out and
+// --verify do not (there is no local file).  The publisher never blocks the
+// workload: segments the daemon cannot absorb are dropped and counted.
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -36,9 +44,11 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unistd.h>
 
 #include "analysis/trace_io.h"
 #include "pps/pps_system.h"
+#include "transport/publisher.h"
 #include "workload/synthetic.h"
 
 using namespace causeway;
@@ -58,6 +68,8 @@ struct Args {
   int interval_ms{50};
   bool adaptive{true};
   bool verify{false};
+  std::string publish;       // socket path; "" = write a local file
+  std::string publish_name;  // handshake name (default: workload-pid)
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -100,12 +112,27 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.adaptive = false;
     } else if (arg == "--verify") {
       args.verify = true;
+    } else if (const char* v = value("--publish=")) {
+      args.publish = v;
+    } else if (const char* v = value("--publish-name=")) {
+      args.publish_name = v;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return false;
     }
   }
   if (args.interval_ms < 1) args.interval_ms = 1;
+  if (!args.publish.empty() && args.verify) {
+    std::fprintf(stderr,
+                 "--verify needs a local trace file; it cannot be combined "
+                 "with --publish\n");
+    return false;
+  }
+  if (!args.publish.empty() && args.stream) {
+    std::fprintf(stderr,
+                 "--publish already streams epochs; drop --stream\n");
+    return false;
+  }
   return true;
 }
 
@@ -224,6 +251,36 @@ workload::SyntheticConfig make_synthetic_config(const Args& args) {
 // records persisted (for --verify).
 template <typename System, typename Drive>
 std::uint64_t record(const Args& args, System& system, Drive&& drive) {
+  if (!args.publish.empty()) {
+    monitor::Collector collector;
+    system.attach_collector(collector);
+    transport::PublisherConfig config;
+    config.socket_path = args.publish;
+    config.process_name =
+        args.publish_name.empty()
+            ? args.workload + "-" + std::to_string(::getpid())
+            : args.publish_name;
+    config.trace_format = args.trace_format;
+    config.interval_ms = static_cast<std::uint64_t>(args.interval_ms);
+    config.adaptive = args.adaptive;
+    transport::EpochPublisher publisher(collector, config);
+    publisher.start();
+    drive();
+    system.wait_quiescent();
+    const bool clean = publisher.finish();
+    const transport::EpochPublisher::Stats stats = publisher.stats();
+    std::printf(
+        "causeway-record: published %llu records in %llu segments "
+        "(%llu epochs, %llu dropped, %llu reconnects) -> %s%s\n",
+        static_cast<unsigned long long>(stats.records_sent),
+        static_cast<unsigned long long>(stats.segments_sent),
+        static_cast<unsigned long long>(stats.epochs_drained),
+        static_cast<unsigned long long>(stats.dropped_records),
+        static_cast<unsigned long long>(stats.reconnects),
+        args.publish.c_str(), clean ? "" : " [flush incomplete]");
+    return stats.records_sent;
+  }
+
   if (!args.stream) {
     drive();
     system.wait_quiescent();
