@@ -60,6 +60,10 @@ void LogDatabase::Shard::ingest_batch(
 
     auto [it, inserted] = by_chain.try_emplace(r.chain);
     ChainIndex& index = it->second;
+    const std::uint64_t weight = r.sample_weight();
+    weighted_records += weight;
+    if (inserted) weighted_chains += weight;
+    if (weight > 1) weight_seen = true;
     if (index.last_gen != generation) {
       // First record for this chain in the current batch: log it dirty
       // once, remembering the generation it last belonged to.
@@ -109,6 +113,7 @@ void LogDatabase::ingest(const monitor::CollectedLogs& logs) {
   }
   overflow_dropped_ += logs.dropped;
   publish_dropped_ += logs.publish_dropped;
+  sampled_out_ += logs.sampled_out;
   last_epoch_ = std::max(last_epoch_, logs.epoch);
   ingest_records(logs.records);
 }
@@ -233,6 +238,26 @@ std::vector<Uuid> LogDatabase::chains_since(std::uint64_t gen) const {
     if (it->prev_gen <= gen) out.push_back(it->chain);
   }
   return out;
+}
+
+std::uint64_t LogDatabase::weighted_records() const {
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) sum += shard.weighted_records;
+  return sum;
+}
+
+std::uint64_t LogDatabase::weighted_chains() const {
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) sum += shard.weighted_chains;
+  return sum;
+}
+
+bool LogDatabase::sampling_active() const {
+  if (sampled_out_ > 0) return true;
+  for (const auto& shard : shards_) {
+    if (shard.weight_seen) return true;
+  }
+  return false;
 }
 
 monitor::ProbeMode LogDatabase::primary_mode() const {

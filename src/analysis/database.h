@@ -100,6 +100,25 @@ class LogDatabase {
   // from overflow_dropped() so the two loss mechanisms stay attributable.
   std::uint64_t publish_dropped() const { return publish_dropped_; }
 
+  // Cumulative count of records deliberately suppressed at the probe by
+  // chain sampling (or interface muting).  Unlike the two loss counters
+  // above this is not loss: the suppressed volume is renormalizable from
+  // the sample weights carried by the records that did arrive.
+  std::uint64_t sampled_out() const { return sampled_out_; }
+
+  // Renormalized estimates: each record counts sample_weight() times (a
+  // record kept at 1-in-N sampling stands for N), each chain counts the
+  // weight of its first record.  Equal to size()/chains().size() exactly
+  // when nothing was sampled.
+  std::uint64_t weighted_records() const;
+  std::uint64_t weighted_chains() const;
+
+  // True when the database holds evidence of sampling: a record with
+  // weight > 1, or a reported sampled-out count.  Reports gate their
+  // renormalization section on this, keeping un-sampled output
+  // byte-identical to pre-sampling builds.
+  bool sampling_active() const;
+
   // Highest drain epoch seen across ingested bundles (0 = offline only).
   std::uint64_t last_epoch() const { return last_epoch_; }
 
@@ -140,6 +159,10 @@ class LogDatabase {
     std::unordered_map<Uuid, ChainIndex> by_chain;
     std::unordered_set<std::string_view> type_set;  // views into `pool`
     std::size_t mode_counts[3] = {0, 0, 0};
+    // Sampling renormalization sums (weight = kSampleRates[index]).
+    std::uint64_t weighted_records{0};
+    std::uint64_t weighted_chains{0};  // first record's weight, per chain
+    bool weight_seen{false};           // any record with weight > 1
 
     // Per-batch scratch (cleared each ingest).
     struct DirtyScratch {
@@ -189,6 +212,7 @@ class LogDatabase {
   std::uint64_t generation_{0};
   std::uint64_t overflow_dropped_{0};
   std::uint64_t publish_dropped_{0};
+  std::uint64_t sampled_out_{0};
   std::uint64_t last_epoch_{0};
 
   // Dirty log: one entry per (batch, touched chain), generations ascending,

@@ -231,6 +231,7 @@ struct AnalysisPipeline::Impl {
   std::uint64_t epochs{0};
   std::uint64_t last_dropped{0};
   std::uint64_t last_publish_dropped{0};
+  std::uint64_t last_sampled_out{0};
   std::size_t last_size{0};
   EpochInfo last_info{};
 
@@ -421,6 +422,8 @@ EpochInfo AnalysisPipeline::Impl::run_epoch() {
   last_dropped = db.overflow_dropped();
   info.publish_dropped_delta = db.publish_dropped() - last_publish_dropped;
   last_publish_dropped = db.publish_dropped();
+  info.sampled_out_delta = db.sampled_out() - last_sampled_out;
+  last_sampled_out = db.sampled_out();
   info.mode = db.primary_mode();
   info.mode_changed = (epochs > 0 && info.mode != last_mode);
   last_mode = info.mode;

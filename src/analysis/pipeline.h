@@ -46,6 +46,7 @@ struct EpochInfo {
   std::size_t new_records{0};      // records this batch added
   std::uint64_t dropped_delta{0};  // ring-overflow drops this batch
   std::uint64_t publish_dropped_delta{0};  // transport-tier drops this batch
+  std::uint64_t sampled_out_delta{0};      // probe-tier suppressions this batch
   monitor::ProbeMode mode{monitor::ProbeMode::kCausalityOnly};
   bool mode_changed{false};  // primary mode flipped: all annotations stale
 

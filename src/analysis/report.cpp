@@ -655,6 +655,24 @@ std::string Report::render(const Dscg& dscg, const LogDatabase& db,
   }
   out += anomalies_cache_.text;
 
+  if (db.sampling_active()) {
+    // Rendered fresh each time (the inputs are O(shards) counters).  The
+    // section exists only when sampling left a trace -- a weight > 1 or a
+    // reported suppression -- so a run at 1-in-1 with no directives renders
+    // byte-identical to a build that predates sampling entirely.
+    out += "\n--- sampling renormalization ---\n";
+    out += strf("observed: %zu records, %zu chains; suppressed at probe: "
+                "%llu records\n",
+                db.size(), db.chains().size(),
+                static_cast<unsigned long long>(db.sampled_out()));
+    out += strf("weighted estimate: %llu records, %llu chains\n",
+                static_cast<unsigned long long>(db.weighted_records()),
+                static_cast<unsigned long long>(db.weighted_chains()));
+    out += strf("accounting: observed + suppressed = %llu probe-kept-or-"
+                "sampled activations\n",
+                static_cast<unsigned long long>(db.size() + db.sampled_out()));
+  }
+
   return out;
 }
 

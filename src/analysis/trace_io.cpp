@@ -139,7 +139,12 @@ std::vector<std::uint8_t> encode_trace_v3(const monitor::CollectedLogs& logs) {
     out.write_u32(ids.node);
     out.write_u32(ids.type);
     out.write_u64(r.thread_ordinal);
-    out.write_u8(static_cast<std::uint8_t>(r.mode));
+    // Mode in the low 2 bits; the chain-sampling rate index (5 bits used,
+    // zero when sampling 1:1 -- byte-identical to the pre-sampling format)
+    // rides the formerly-unused high bits.
+    out.write_u8(static_cast<std::uint8_t>(
+        static_cast<std::uint8_t>(r.mode) |
+        static_cast<std::uint8_t>(r.sample_rate_index << 2)));
     out.write_i64(r.value_start);
     out.write_i64(r.value_end);
   }
@@ -147,7 +152,8 @@ std::vector<std::uint8_t> encode_trace_v3(const monitor::CollectedLogs& logs) {
 }
 
 // Packed per-record flag bytes (v4).  event is 1..4 (3 bits), kind and
-// outcome 0..2 (2 bits each); mode 0..2 plus the spawned-chain presence bit.
+// outcome 0..2 (2 bits each); mode 0..2 plus the spawned-chain presence
+// bit, with the chain sampling rate index in the remaining 5 bits.
 constexpr std::uint8_t pack_flags1(const monitor::TraceRecord& r) {
   return static_cast<std::uint8_t>(
       static_cast<std::uint8_t>(r.event) |
@@ -217,10 +223,15 @@ std::vector<std::uint8_t> encode_trace_v4(const monitor::CollectedLogs& logs) {
     }
   }
   for (const auto& r : recs) out.write_u8(pack_flags1(r));
+  // flags2: mode (2 bits), spawned-chain presence (bit 2), and the chain
+  // sampling rate index in bits 3..7 -- the sample-weight column.  Index 0
+  // (sampling 1:1) leaves the byte exactly as the pre-sampling encoder
+  // wrote it, which is what keeps un-sampled traces byte-identical.
   for (const auto& r : recs) {
     out.write_u8(static_cast<std::uint8_t>(
         static_cast<std::uint8_t>(r.mode) |
-        (r.spawned_chain.is_nil() ? 0 : 4)));
+        (r.spawned_chain.is_nil() ? 0 : 4) |
+        static_cast<std::uint8_t>(r.sample_rate_index << 3)));
   }
   // Spawned chains are sparse (oneway stub-starts only): dense pairs for
   // just the flagged records.
@@ -466,7 +477,9 @@ monitor::CollectedLogs decode_segment_v2v3(WireCursor& in,
     r.node_name = str(in.read_u32());
     r.processor_type = str(in.read_u32());
     r.thread_ordinal = in.read_u64();
-    r.mode = static_cast<monitor::ProbeMode>(in.read_u8());
+    const auto mode_byte = in.read_u8();
+    r.mode = static_cast<monitor::ProbeMode>(mode_byte & 3);
+    r.sample_rate_index = static_cast<std::uint8_t>(mode_byte >> 2);
     r.value_start = in.read_i64();
     r.value_end = in.read_i64();
     logs.records.push_back(r);
@@ -634,6 +647,7 @@ monitor::CollectedLogs decode_segment_v4(WireCursor& in) {
     const auto f2 = static_cast<std::uint8_t>(flags2[i]);
     r.mode = static_cast<monitor::ProbeMode>(f2 & 3);
     if (f2 & 4) r.spawned_chain = spawned[next_spawn++];
+    r.sample_rate_index = static_cast<std::uint8_t>(f2 >> 3);
     r.interface_name = strings[iface[i]];
     r.function_name = strings[func[i]];
     r.object_key = object_key[i];

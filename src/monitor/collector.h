@@ -55,6 +55,14 @@ struct CollectedLogs {
   // Always 0 for in-process collection; transports fill it in.
   std::uint64_t publish_dropped{0};
 
+  // Probe activations the control plane suppressed (chain sampling or a
+  // muted interface) -- the third loss mechanism, except it is not loss at
+  // all: it is deliberate, policy-driven, and renormalizable.  drain()
+  // fills in the delta since the previous epoch; collect() the cumulative
+  // count.  Reconciliation invariant across the whole data plane:
+  //   records + dropped + publish_dropped + sampled_out == activations.
+  std::uint64_t sampled_out{0};
+
   // Occupancy of the fullest per-thread ring across all attached domains,
   // sampled just before this bundle consumed the rings (0.0 empty .. 1.0
   // overflowing).  Feeds the adaptive drain cadence.
@@ -107,8 +115,17 @@ class Collector {
     for (const MonitorRuntime* rt : runtimes_) {
       append_domain(out, intern, *rt, rt->store().snapshot());
       out.dropped += rt->store().dropped();
+      out.sampled_out += rt->store().sampled_out();
     }
     return out;
+  }
+
+  // Stages a control change on every attached runtime.  Thread-safe (the
+  // runtimes' pending slots are mutex-guarded); the change becomes visible
+  // to probes at the next drain boundary.  This is the fan-out point the
+  // transport layer calls when a collectd directive arrives.
+  void stage_control(const ControlUpdate& update) const {
+    for (const MonitorRuntime* rt : runtimes_) rt->stage(update);
   }
 
   // Streaming epoch read: consumes everything published since the previous
@@ -122,6 +139,7 @@ class Collector {
     BundleInterner intern(out);
     if (last_dropped_.size() < runtimes_.size()) {
       last_dropped_.resize(runtimes_.size(), 0);
+      last_sampled_out_.resize(runtimes_.size(), 0);
     }
     for (std::size_t i = 0; i < runtimes_.size(); ++i) {
       const MonitorRuntime* rt = runtimes_[i];
@@ -133,6 +151,13 @@ class Collector {
       const std::uint64_t total = rt->store().dropped();
       out.dropped += total - last_dropped_[i];
       last_dropped_[i] = total;
+      const std::uint64_t sampled = rt->store().sampled_out();
+      out.sampled_out += sampled - last_sampled_out_[i];
+      last_sampled_out_[i] = sampled;
+      // The drain boundary is the epoch-apply point: whatever the control
+      // plane staged since the last drain takes effect now, so the *next*
+      // epoch runs whole under the new configuration.
+      rt->apply_pending();
     }
     return out;
   }
@@ -157,7 +182,8 @@ class Collector {
 
   std::vector<const MonitorRuntime*> runtimes_;
   std::uint64_t epoch_{0};
-  std::vector<std::uint64_t> last_dropped_;  // per-runtime, for drain deltas
+  std::vector<std::uint64_t> last_dropped_;      // per-runtime drain deltas
+  std::vector<std::uint64_t> last_sampled_out_;  // ditto, for sampled_out
 };
 
 // Adaptive drain cadence policy (`causeway-record --stream`): shortens the

@@ -105,6 +105,20 @@ class ProcessLogStore {
     return total;
   }
 
+  // A probe activation the sampling policy suppressed.  Counted at the
+  // store (not per ring) because the suppressed record never picks a ring;
+  // the count is what lets downstream accounting reconcile exactly:
+  //   appended() + dropped() + sampled_out() == probe activations.
+  void note_sampled_out() {
+    sampled_out_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Monotonic count of probe activations suppressed by chain sampling
+  // since construction (or the last clear()).
+  std::uint64_t sampled_out() const {
+    return sampled_out_.load(std::memory_order_relaxed);
+  }
+
   // Records dropped on ring overflow since construction (or the last
   // clear()).  Overflow is counted, never silent.
   std::uint64_t dropped() const {
@@ -125,6 +139,7 @@ class ProcessLogStore {
                        std::memory_order_release);
       ring->dropped.store(0, std::memory_order_relaxed);
     }
+    sampled_out_.store(0, std::memory_order_relaxed);
   }
 
   std::size_t ring_capacity() const { return capacity_; }
@@ -238,6 +253,7 @@ class ProcessLogStore {
 
   const std::uint64_t id_;
   const std::size_t capacity_;
+  std::atomic<std::uint64_t> sampled_out_{0};
   mutable std::mutex registry_mu_;
   std::vector<std::unique_ptr<Ring>> rings_;
 };

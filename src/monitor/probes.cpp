@@ -12,6 +12,18 @@ void log_event(MonitorRuntime& rt, const CallIdentity& id, CallKind kind,
                EventKind event, const Ftl& ftl, Nanos value_start,
                const Uuid& spawned_chain = Uuid{},
                CallOutcome outcome = CallOutcome::kOk) {
+  // Control-plane suppression happens here, after all FTL/TSS bookkeeping:
+  // causality propagation is never perturbed by the monitoring policy, only
+  // the record is withheld.  The sampling verdict is a pure function of the
+  // chain UUID and the current rate (chain-origin sampling), so every probe
+  // of a kept chain logs and every probe of a dropped chain is suppressed
+  // -- and each suppression is counted, so downstream accounting reconciles
+  // exactly: appended + dropped + sampled_out == probe activations.
+  if (!rt.chain_sampled_in(ftl.chain) ||
+      rt.interface_muted(id.interface_name)) {
+    rt.store().note_sampled_out();
+    return;
+  }
   TraceRecord r;
   r.chain = ftl.chain;
   r.seq = ftl.seq;
@@ -28,6 +40,7 @@ void log_event(MonitorRuntime& rt, const CallIdentity& id, CallKind kind,
   r.processor_type = di.processor_type;
   r.thread_ordinal = this_thread_ordinal();
   r.mode = rt.mode();
+  r.sample_rate_index = rt.sample_rate_index();
   r.value_start = value_start;
   r.value_end = rt.sample();
   rt.store().append(r);

@@ -42,6 +42,52 @@ constexpr std::string_view to_string(ProbeMode m) {
   return "?";
 }
 
+// Chain sampling rates the control plane can dial in, indexed by a 5-bit
+// sample-rate index that travels with every record (and fits the three
+// spare bits of the v4 flag byte plus two more -- see analysis/trace_io).
+// Index 0 is the 1-in-1 identity rate: records encode exactly as before
+// the control loop existed, which is what keeps idle-control output
+// byte-identical.  The table is mostly 1-2-5 decades so the common
+// directives ("10% sampling", "1% sampling") are exact integers, not
+// approximations -- renormalization multiplies by the rate and recovers
+// unbiased totals.
+inline constexpr std::uint32_t kSampleRates[] = {
+    1,     2,     5,      10,     20,     50,      100,     200,
+    500,   1000,  2000,   5000,   10000,  20000,   50000,   100000,
+    3,     4,     8,      16,     25,     32,      64,      128,
+    250,   256,   512,    1024,   2048,   4096,    8192,    65536,
+};
+inline constexpr std::size_t kSampleRateCount =
+    sizeof(kSampleRates) / sizeof(kSampleRates[0]);
+static_assert(kSampleRateCount == 32, "index must fit in 5 bits");
+
+inline constexpr std::uint32_t sample_rate(std::uint8_t index) {
+  return index < kSampleRateCount ? kSampleRates[index] : 1;
+}
+
+// Smallest-table-slot whose rate is >= 1-in-n (searching only the sorted
+// first row keeps the answer predictable); exact matches anywhere win.
+inline constexpr std::uint8_t sample_rate_index_for(std::uint32_t n) {
+  for (std::size_t i = 0; i < kSampleRateCount; ++i) {
+    if (kSampleRates[i] == n) return static_cast<std::uint8_t>(i);
+  }
+  std::uint8_t best = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (kSampleRates[i] >= n) { best = static_cast<std::uint8_t>(i); break; }
+    best = static_cast<std::uint8_t>(i);
+  }
+  return best;
+}
+
+// The chain-origin sampling decision: a pure function of the chain UUID
+// and the current rate, so every probe of a chain -- in every domain of
+// the process -- agrees without coordination.  UUIDs are uniform random,
+// so the low word modulo N keeps an unbiased 1-in-N of chains.
+inline bool chain_sampled(const Uuid& chain, std::uint8_t rate_index) {
+  const std::uint32_t n = sample_rate(rate_index);
+  return n <= 1 || (chain.lo % n) == 0;
+}
+
 struct TraceRecord {
   // --- causality ---
   Uuid chain;                 // Function UUID of the causal chain
@@ -64,8 +110,13 @@ struct TraceRecord {
 
   // --- sampled behaviour (meaning depends on mode) ---
   ProbeMode mode{ProbeMode::kCausalityOnly};
+  // kSampleRates index in force when this record was logged; downstream
+  // renormalization weights the record by sample_rate(index).  0 = 1:1.
+  std::uint8_t sample_rate_index{0};
   Nanos value_start{0};  // local timestamp or per-thread CPU at probe start
   Nanos value_end{0};    // ... at probe end
+
+  std::uint32_t sample_weight() const { return sample_rate(sample_rate_index); }
 
   Nanos probe_self_cost() const { return value_end - value_start; }
 };
@@ -74,7 +125,9 @@ struct TraceRecord {
 // (a new field, a reordering that adds padding) should be a deliberate
 // decision, not an accident.  16B chain + 8B seq + 3 enum bytes (padded to
 // 8) + 16B spawned chain + 3x16B string_view + 8B key + 2x16B string_view
-// + 8B ordinal + mode byte (padded to 8) + 2x8B samples = 168 on LP64.
+// + 8B ordinal + mode byte + sample-rate index byte (together padded to 8)
+// + 2x8B samples = 168 on LP64 -- the sample-rate index lives in padding
+// that the mode byte already paid for, so the record did not grow.
 static_assert(sizeof(void*) != 8 || sizeof(TraceRecord) == 168,
               "TraceRecord layout drifted -- update this assert (and the "
               "size note above) deliberately");

@@ -5,18 +5,28 @@
 // every record carries), the active probe mode, the domain's clock, and the
 // local log store.  It is the only thing probes need.
 //
-// Probes read the configuration (enabled / mode) on every call from many
-// threads at once, so those fields are relaxed atomics: reads are free, and
-// a concurrent set_config() is a benign word-sized race instead of UB.
-// Reconfiguration itself is still only meaningful at a quiescent point --
-// set_config() asserts no probe is in flight (probes keep an in-flight
-// count for exactly this check).
+// Probes read the configuration (enabled / mode / sample rate / mute set) on
+// every call from many threads at once, so those fields are relaxed atomics:
+// reads are free.  Reconfiguration is *epoch-applied*: control changes are
+// staged into a pending slot (stage(), thread-safe at any time, from any
+// thread -- including a transport thread reacting to a collectd directive)
+// and take effect atomically at the next drain boundary (apply_pending(),
+// called by Collector::drain()).  Probes therefore always see either the old
+// configuration or the new one, never a torn mix, and live reconfiguration
+// needs no stop-the-world -- the quiescence-asserting set_config() of the
+// feed-forward era is gone, reimplemented as stage + immediate apply for the
+// between-passes callers that still want a synchronous flip.
 #pragma once
 
 #include <atomic>
-#include <cassert>
+#include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/cpu.h"
@@ -37,8 +47,31 @@ struct MonitorConfig {
 
   // Per-thread ring capacity of the domain's log store, in records; 0
   // selects ProcessLogStore::kDefaultRingCapacity.  Fixed at construction
-  // (set_config cannot resize live rings).
+  // (reconfiguration cannot resize live rings).  Third member by contract:
+  // existing callers aggregate-initialize {enabled, mode, ring_capacity}.
   std::size_t ring_capacity{0};
+
+  // Initial chain sampling rate (kSampleRates index; 0 = keep every chain).
+  std::uint8_t sample_rate_index{0};
+
+  // Interfaces whose probes are muted from the start (rarely useful; the
+  // control plane usually mutes live via ControlUpdate instead).
+  std::vector<std::string> muted_interfaces;
+};
+
+// A staged control change.  Every field is optional: an absent field leaves
+// the current value untouched, so directives compose (mode flip now, a
+// sampling change next epoch) without each sender re-stating full state.
+struct ControlUpdate {
+  std::optional<bool> enabled;
+  std::optional<ProbeMode> mode;
+  std::optional<std::uint8_t> sample_rate_index;
+  // Full replacement for the mute set (empty vector = unmute everything).
+  std::optional<std::vector<std::string>> muted_interfaces;
+
+  bool empty() const {
+    return !enabled && !mode && !sample_rate_index && !muted_interfaces;
+  }
 };
 
 class MonitorRuntime {
@@ -48,30 +81,119 @@ class MonitorRuntime {
       : identity_(std::move(identity)),
         enabled_(config.enabled),
         mode_(config.mode),
+        sample_rate_index_(
+            config.sample_rate_index < kSampleRateCount
+                ? config.sample_rate_index
+                : std::uint8_t{0}),
         clock_(clock),
-        store_(config.ring_capacity) {}
+        store_(config.ring_capacity) {
+    if (!config.muted_interfaces.empty()) {
+      auto set = make_mute_set(config.muted_interfaces);
+      mute_set_.store(set.get(), std::memory_order_release);
+      retired_mute_sets_.push_back(std::move(set));
+    }
+  }
 
   MonitorRuntime(const MonitorRuntime&) = delete;
   MonitorRuntime& operator=(const MonitorRuntime&) = delete;
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   ProbeMode mode() const { return mode_.load(std::memory_order_relaxed); }
-
-  // Reconfiguring between measurement passes (e.g. a latency run then a CPU
-  // run) is expected; reconfiguring while calls are in flight is not
-  // supported -- callers must reach a quiescent point first.  The assert
-  // enforces that in debug / sanitizer builds; the atomic fields keep a
-  // misplaced call a benign race rather than UB in release builds.
-  void set_config(const MonitorConfig& config) {
-    assert(probes_in_flight_.load(std::memory_order_acquire) == 0 &&
-           "set_config() requires a quiescent point: no probe in flight");
-    enabled_.store(config.enabled, std::memory_order_relaxed);
-    mode_.store(config.mode, std::memory_order_relaxed);
+  std::uint8_t sample_rate_index() const {
+    return sample_rate_index_.load(std::memory_order_relaxed);
   }
 
-  // In-flight accounting for the quiescence assertion above.  Probes bracket
-  // each monitored call with begin/end (exception-safe via RAII in the probe
-  // objects).
+  // Chain-origin sampling decision: pure function of the chain UUID and the
+  // current rate, so every probe of a chain in this process agrees without
+  // coordination (all domains of a process receive the same staged rate).
+  bool chain_sampled_in(const Uuid& chain) const {
+    return chain_sampled(chain, sample_rate_index());
+  }
+
+  // Whether probes for this interface are muted by the control plane.
+  bool interface_muted(std::string_view interface_name) const {
+    const MuteSet* set = mute_set_.load(std::memory_order_acquire);
+    if (set == nullptr || set->empty()) return false;
+    return std::binary_search(set->begin(), set->end(), interface_name,
+                              [](std::string_view a, std::string_view b) {
+                                return a < b;
+                              });
+  }
+
+  // Stages a control change; thread-safe at any time, from any thread.
+  // Successive stages before an apply merge field-wise (last writer wins per
+  // field).  Nothing becomes visible to probes until apply_pending() runs at
+  // a drain boundary.  Const-qualified because the transport layer reaches
+  // runtimes through the collector's const pointers; staging control does
+  // not alter the domain's logical trace state.
+  void stage(const ControlUpdate& update) const {
+    if (update.empty()) return;
+    std::lock_guard lock(pending_mu_);
+    if (update.enabled) pending_.enabled = update.enabled;
+    if (update.mode) pending_.mode = update.mode;
+    if (update.sample_rate_index &&
+        *update.sample_rate_index < kSampleRateCount) {
+      pending_.sample_rate_index = update.sample_rate_index;
+    }
+    if (update.muted_interfaces) {
+      pending_.muted_interfaces = update.muted_interfaces;
+    }
+  }
+
+  // Applies whatever is staged; called by the collector at each drain
+  // boundary so a whole epoch runs under one configuration.  Returns true
+  // if anything changed.  Probes in flight may still read the previous mute
+  // set pointer, which is why retired sets go to a graveyard instead of
+  // being freed (they are reclaimed when the runtime is destroyed; mute
+  // sets are tiny and reconfigurations are rare, so the graveyard stays
+  // negligible).
+  bool apply_pending() const {
+    std::lock_guard lock(pending_mu_);
+    if (pending_.empty()) return false;
+    if (pending_.enabled) {
+      enabled_.store(*pending_.enabled, std::memory_order_relaxed);
+    }
+    if (pending_.mode) {
+      mode_.store(*pending_.mode, std::memory_order_relaxed);
+    }
+    if (pending_.sample_rate_index) {
+      sample_rate_index_.store(*pending_.sample_rate_index,
+                               std::memory_order_relaxed);
+    }
+    if (pending_.muted_interfaces) {
+      auto set = make_mute_set(*pending_.muted_interfaces);
+      mute_set_.store(set->empty() ? nullptr : set.get(),
+                      std::memory_order_release);
+      retired_mute_sets_.push_back(std::move(set));
+    }
+    pending_ = ControlUpdate{};
+    config_version_.fetch_add(1, std::memory_order_release);
+    return true;
+  }
+
+  // Bumped on every applied change; lets tests and status reporting observe
+  // "the epoch boundary picked up my directive" without peeking at fields.
+  std::uint64_t config_version() const {
+    return config_version_.load(std::memory_order_acquire);
+  }
+
+  // Synchronous reconfiguration for between-passes callers (e.g. flipping
+  // a workload from a latency pass to a CPU pass).  Equivalent to staging
+  // the delta and applying it immediately; concurrent probes see a benign
+  // old-or-new word-sized race, never a torn config.
+  void set_config(const MonitorConfig& config) {
+    ControlUpdate update;
+    update.enabled = config.enabled;
+    update.mode = config.mode;
+    update.sample_rate_index = config.sample_rate_index;
+    update.muted_interfaces = config.muted_interfaces;
+    stage(update);
+    apply_pending();
+  }
+
+  // In-flight accounting.  Probes bracket each monitored call with
+  // begin/end (exception-safe via RAII in the probe objects); quiescence
+  // checks and tests observe the count.
   void probe_begin() const {
     probes_in_flight_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -99,10 +221,30 @@ class MonitorRuntime {
   const ProcessLogStore& store() const { return store_; }
 
  private:
+  // Sorted vector: lookups are a binary search on string_view with no
+  // hashing and no allocation on the probe path.
+  using MuteSet = std::vector<std::string>;
+
+  static std::unique_ptr<MuteSet> make_mute_set(
+      const std::vector<std::string>& names) {
+    auto set = std::make_unique<MuteSet>(names);
+    std::sort(set->begin(), set->end());
+    set->erase(std::unique(set->begin(), set->end()), set->end());
+    return set;
+  }
+
   DomainIdentity identity_;
-  std::atomic<bool> enabled_;
-  std::atomic<ProbeMode> mode_;
+  mutable std::atomic<bool> enabled_;
+  mutable std::atomic<ProbeMode> mode_;
+  mutable std::atomic<std::uint8_t> sample_rate_index_;
+  mutable std::atomic<const MuteSet*> mute_set_{nullptr};
   mutable std::atomic<std::int64_t> probes_in_flight_{0};
+  mutable std::atomic<std::uint64_t> config_version_{0};
+
+  mutable std::mutex pending_mu_;
+  mutable ControlUpdate pending_;              // guarded by pending_mu_
+  mutable std::vector<std::unique_ptr<MuteSet>> retired_mute_sets_;  // ditto
+
   ClockDomain clock_;
   ProcessLogStore store_;
 };

@@ -1,8 +1,41 @@
 #include "transport/ingest_sink.h"
 
+#include <chrono>
+
 namespace causeway::transport {
 
+namespace {
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// RAII attribution bracket: anomaly events emitted by the pipeline while
+// this is alive are charged to `peer_id` in the policy.
+class Attribution {
+ public:
+  Attribution(ControlPolicy* policy, std::uint64_t peer_id,
+              std::uint64_t now_ms)
+      : policy_(policy) {
+    if (policy_) policy_->begin_attribution(peer_id, now_ms);
+  }
+  ~Attribution() {
+    if (policy_) policy_->end_attribution();
+  }
+  Attribution(const Attribution&) = delete;
+  Attribution& operator=(const Attribution&) = delete;
+
+ private:
+  ControlPolicy* policy_;
+};
+
+}  // namespace
+
 void IngestSink::on_connect(const PeerInfo& peer) {
+  if (options_.policy) options_.policy->on_peer_connect(peer, steady_ms());
   if (!options_.merged_path.empty()) {
     // Ensure the peer has a group even if it never ships a segment, so a
     // silent publisher still appears (empty) in the deterministic order.
@@ -13,16 +46,21 @@ void IngestSink::on_connect(const PeerInfo& peer) {
 
 void IngestSink::on_segment(const PeerInfo& peer,
                             std::span<const std::uint8_t> segment) {
+  const std::uint64_t now = steady_ms();
   std::size_t records = 0;
   analysis::EpochInfo info;
   if (options_.pipeline) {
     const monitor::CollectedLogs logs =
         analysis::decode_trace_segment(segment);
     records = logs.records.size();
-    info = options_.pipeline->ingest(logs);
+    {
+      Attribution scope(options_.policy, peer.peer_id, now);
+      info = options_.pipeline->ingest(logs);
+    }
   } else {
     records = analysis::decode_trace_segment(segment).records.size();
   }
+  if (options_.policy) options_.policy->on_segment(peer, records, now);
   {
     std::lock_guard lk(mutex_);
     ++totals_.segments;
@@ -37,6 +75,8 @@ void IngestSink::on_segment(const PeerInfo& peer,
 
 void IngestSink::on_drop_notice(const PeerInfo& peer,
                                 const DropNotice& notice) {
+  const std::uint64_t now = steady_ms();
+  if (options_.policy) options_.policy->on_drop_notice(peer, notice, now);
   {
     std::lock_guard lk(mutex_);
     totals_.publish_dropped_records += notice.records;
@@ -48,12 +88,35 @@ void IngestSink::on_drop_notice(const PeerInfo& peer,
     // publish-drop event, without inventing records.
     monitor::CollectedLogs loss;
     loss.publish_dropped = notice.records;
-    const analysis::EpochInfo info = options_.pipeline->ingest(loss);
+    analysis::EpochInfo info;
+    {
+      Attribution scope(options_.policy, peer.peer_id, now);
+      info = options_.pipeline->ingest(loss);
+    }
     if (epoch_callback) epoch_callback(peer, info);
   }
 }
 
-void IngestSink::on_disconnect(const PeerInfo&, bool) {}
+void IngestSink::on_status(const PeerInfo& peer, const ControlStatus& status) {
+  const std::uint64_t now = steady_ms();
+  if (options_.policy) options_.policy->on_status(peer, status, now);
+  {
+    std::lock_guard lk(mutex_);
+    totals_.sampled_out_records += status.sampled_out;
+  }
+  if (options_.pipeline && status.sampled_out > 0) {
+    // Same trick as drop notices: an empty bundle carries the suppressed
+    // count into the database, so its accounting reconciles sampling
+    // exactly -- records + sampled_out adds up across the whole plane.
+    monitor::CollectedLogs suppressed;
+    suppressed.sampled_out = status.sampled_out;
+    options_.pipeline->ingest(suppressed);
+  }
+}
+
+void IngestSink::on_disconnect(const PeerInfo& peer, bool) {
+  if (options_.policy) options_.policy->on_peer_disconnect(peer);
+}
 
 IngestSink::Totals IngestSink::finalize() {
   std::lock_guard lk(mutex_);

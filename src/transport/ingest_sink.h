@@ -17,9 +17,19 @@
 //
 // Drop notices become synthesized empty bundles carrying publish_dropped,
 // so transport-tier loss lands in the database counters and the anomaly
-// pass (kPublishDrop) without inventing records.  The merged file cannot
-// carry them -- the frozen segment format has no such field -- so merge-only
-// runs surface the loss in the daemon's own counters instead.
+// pass (kPublishDrop) without inventing records.  Control statuses (CWST)
+// work the same way: the publisher's sampled-out delta becomes an empty
+// bundle carrying sampled_out, so suppressed-record accounting reconciles
+// inside the LogDatabase.  The merged file can carry neither -- the frozen
+// segment format has no such fields -- so merge-only runs surface both in
+// the daemon's own counters instead.
+//
+// When a ControlPolicy is attached, every callback also feeds it: peer
+// lifecycle, per-segment record counts, drop notices, statuses -- and
+// anomaly events, which reach the policy through the pipeline's sink list
+// attributed to whichever peer's segment was being ingested (the ingest
+// call is bracketed with begin/end_attribution; callbacks are serialized
+// on the daemon thread, so the bracket is race-free).
 //
 // Callbacks run on the daemon thread (serialized); totals() may be polled
 // from any thread; finalize() must be called after CollectorDaemon::stop().
@@ -34,6 +44,7 @@
 
 #include "analysis/pipeline.h"
 #include "analysis/trace_io.h"
+#include "transport/policy.h"
 #include "transport/subscriber.h"
 
 namespace causeway::transport {
@@ -46,6 +57,10 @@ class IngestSink : public DaemonSink {
     // Merged trace path ("" = no merged file).
     std::string merged_path;
     std::uint32_t merged_format{analysis::kTraceFormatDefault};
+    // Adaptive-monitoring policy to feed (not owned; may be null).  The
+    // caller must also register it as a pipeline anomaly sink -- the
+    // IngestSink only provides the attribution bracket.
+    ControlPolicy* policy{nullptr};
   };
 
   struct Totals {
@@ -53,6 +68,7 @@ class IngestSink : public DaemonSink {
     std::uint64_t records{0};
     std::uint64_t publish_dropped_records{0};
     std::uint64_t publish_dropped_segments{0};
+    std::uint64_t sampled_out_records{0};  // reported via CWST statuses
     std::size_t merged_segments{0};  // filled by finalize()
   };
 
@@ -67,6 +83,7 @@ class IngestSink : public DaemonSink {
   void on_segment(const PeerInfo& peer,
                   std::span<const std::uint8_t> segment) override;
   void on_drop_notice(const PeerInfo& peer, const DropNotice& notice) override;
+  void on_status(const PeerInfo& peer, const ControlStatus& status) override;
   void on_disconnect(const PeerInfo& peer, bool clean) override;
 
   // Writes the merged trace (when configured) and returns the totals.

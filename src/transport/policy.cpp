@@ -1,0 +1,188 @@
+#include "transport/policy.h"
+
+namespace causeway::transport {
+
+ControlPolicy::ControlPolicy(PolicyConfig config, SendFn send)
+    : config_(std::move(config)), send_(std::move(send)) {
+  if (config_.window_ms == 0) config_.window_ms = 1;
+  if (config_.anomaly_burst == 0) config_.anomaly_burst = 1;
+  if (config_.throttled_rate_index >= monitor::kSampleRateCount) {
+    config_.throttled_rate_index = monitor::sample_rate_index_for(10);
+  }
+}
+
+void ControlPolicy::on_peer_connect(const PeerInfo& peer,
+                                    std::uint64_t now_ms) {
+  std::lock_guard lk(mutex_);
+  Peer fresh;
+  fresh.window_start_ms = now_ms;
+  // A reconnecting publisher keeps whatever configuration it applied --
+  // control state lives in the publisher -- but the policy restarts it
+  // Armed: the directives that led to a throttle may predate a daemon
+  // restart, and a stale Throttled entry would wait forever for quiet
+  // windows nobody is counting.
+  peers_[peer.peer_id] = fresh;
+}
+
+void ControlPolicy::on_peer_disconnect(const PeerInfo& peer) {
+  std::lock_guard lk(mutex_);
+  auto it = peers_.find(peer.peer_id);
+  if (it != peers_.end()) {
+    if (it->second.state == State::kThrottled && stats_.peers_throttled > 0) {
+      --stats_.peers_throttled;
+    }
+    peers_.erase(it);
+  }
+}
+
+void ControlPolicy::on_segment(const PeerInfo& peer, std::uint64_t records,
+                               std::uint64_t now_ms) {
+  std::lock_guard lk(mutex_);
+  Peer& slot = peer_slot(peer.peer_id, now_ms);
+  roll_windows(peer.peer_id, slot, now_ms);
+  slot.window_records += records;
+}
+
+void ControlPolicy::on_drop_notice(const PeerInfo& peer,
+                                   const DropNotice& notice,
+                                   std::uint64_t now_ms) {
+  std::lock_guard lk(mutex_);
+  Peer& slot = peer_slot(peer.peer_id, now_ms);
+  roll_windows(peer.peer_id, slot, now_ms);
+  slot.window_drop_records += notice.records;
+}
+
+void ControlPolicy::on_status(const PeerInfo& peer,
+                              const ControlStatus& status,
+                              std::uint64_t now_ms) {
+  std::lock_guard lk(mutex_);
+  Peer& slot = peer_slot(peer.peer_id, now_ms);
+  roll_windows(peer.peer_id, slot, now_ms);
+  slot.last_applied_seq = status.applied_seq;
+}
+
+void ControlPolicy::begin_attribution(std::uint64_t peer_id,
+                                      std::uint64_t now_ms) {
+  std::lock_guard lk(mutex_);
+  attributed_peer_ = peer_id;
+  attribution_now_ms_ = now_ms;
+}
+
+void ControlPolicy::end_attribution() {
+  std::lock_guard lk(mutex_);
+  attributed_peer_ = 0;
+}
+
+void ControlPolicy::on_event(const analysis::AnomalyEvent&) {
+  std::lock_guard lk(mutex_);
+  if (attributed_peer_ == 0) return;  // not inside a bracketed ingest
+  ++stats_.anomalies_attributed;
+  Peer& slot = peer_slot(attributed_peer_, attribution_now_ms_);
+  roll_windows(attributed_peer_, slot, attribution_now_ms_);
+  slot.window_anomalies += 1;
+}
+
+void ControlPolicy::tick(std::uint64_t now_ms) {
+  std::lock_guard lk(mutex_);
+  for (auto& [peer_id, slot] : peers_) {
+    roll_windows(peer_id, slot, now_ms);
+  }
+}
+
+ControlPolicy::Stats ControlPolicy::stats() const {
+  std::lock_guard lk(mutex_);
+  return stats_;
+}
+
+bool ControlPolicy::is_throttled(std::uint64_t peer_id) const {
+  std::lock_guard lk(mutex_);
+  auto it = peers_.find(peer_id);
+  return it != peers_.end() && it->second.state == State::kThrottled;
+}
+
+ControlPolicy::Peer& ControlPolicy::peer_slot(std::uint64_t peer_id,
+                                              std::uint64_t now_ms) {
+  auto [it, inserted] = peers_.try_emplace(peer_id);
+  if (inserted) it->second.window_start_ms = now_ms;
+  return it->second;
+}
+
+// Closes every full window between window_start and now, evaluating each.
+// Windows with no signals still count -- they are what quiet streaks are
+// made of.  The iteration is naturally bounded: the daemon's wait loop
+// ticks every poll interval, so the gap is a handful of windows at most,
+// and an Armed peer with a huge gap (an idle test clock) just re-arms a
+// no-op streak.
+void ControlPolicy::roll_windows(std::uint64_t peer_id, Peer& peer,
+                                 std::uint64_t now_ms) {
+  if (now_ms < peer.window_start_ms) return;  // clock went sideways; hold
+  while (now_ms - peer.window_start_ms >= config_.window_ms) {
+    evaluate_window(peer_id, peer, peer.window_start_ms + config_.window_ms);
+    peer.window_start_ms += config_.window_ms;
+    peer.window_anomalies = 0;
+    peer.window_drop_records = 0;
+    peer.window_records = 0;
+    // An Armed peer accrues nothing from silence: collapse the remaining
+    // gap in one step instead of iterating a long-idle stretch window by
+    // window.  (A Throttled peer keeps iterating -- each window feeds the
+    // quiet streak.)
+    if (peer.state == State::kArmed &&
+        now_ms - peer.window_start_ms >= 4 * config_.window_ms) {
+      peer.window_start_ms =
+          now_ms - (now_ms - peer.window_start_ms) % config_.window_ms;
+    }
+  }
+}
+
+void ControlPolicy::evaluate_window(std::uint64_t peer_id, Peer& peer,
+                                    std::uint64_t window_end_ms) {
+  const bool drops_hot =
+      config_.throttle_on_publish_drops && peer.window_drop_records > 0;
+  const bool rate_hot =
+      config_.max_records_per_sec > 0 &&
+      peer.window_records * 1000 >
+          config_.max_records_per_sec * config_.window_ms;
+  const bool hot = peer.window_anomalies >= config_.anomaly_burst ||
+                   drops_hot || rate_hot;
+
+  if (peer.state == State::kArmed) {
+    if (!hot) return;
+    ControlDirective directive;
+    directive.sample_rate_index = config_.throttled_rate_index;
+    directive.mode = config_.throttled_mode;
+    send(peer_id, directive);
+    peer.state = State::kThrottled;
+    peer.throttled_at_ms = window_end_ms;
+    peer.quiet_windows = 0;
+    ++stats_.throttles;
+    ++stats_.peers_throttled;
+    return;
+  }
+
+  // Throttled: count the quiet streak; any heat resets it.  Re-arm needs
+  // the streak AND the minimum hold -- hysteresis against flapping when a
+  // burst happens to straddle a window boundary.
+  if (hot) {
+    peer.quiet_windows = 0;
+    return;
+  }
+  peer.quiet_windows += 1;
+  if (peer.quiet_windows < config_.rearm_quiet_windows) return;
+  if (window_end_ms - peer.throttled_at_ms < config_.min_hold_ms) return;
+  ControlDirective directive;
+  directive.sample_rate_index = 0;  // full fidelity
+  directive.mode = config_.rearm_mode;
+  send(peer_id, directive);
+  peer.state = State::kArmed;
+  peer.quiet_windows = 0;
+  ++stats_.rearms;
+  if (stats_.peers_throttled > 0) --stats_.peers_throttled;
+}
+
+void ControlPolicy::send(std::uint64_t peer_id,
+                         const ControlDirective& directive) {
+  ++stats_.directives_sent;
+  if (send_) send_(peer_id, directive);
+}
+
+}  // namespace causeway::transport

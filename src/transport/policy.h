@@ -1,0 +1,140 @@
+// ControlPolicy: the brain that closes the monitoring control loop.
+//
+// causeway-collectd owns one of these (--policy=auto).  It consumes the
+// live signals the daemon already produces -- anomaly events from the
+// analysis pipeline, per-publisher load (records/s), publish-drop notices
+// -- and emits CWCT control directives back down the same sockets the data
+// came up: throttle a publisher whose chains are bursting with anomalies
+// or whose volume the daemon cannot keep up with, then re-arm it to full
+// fidelity once the storm passes.  The paper's monitor becomes affordable
+// at scale precisely because of this loop: full probe cost is paid only
+// where the system is currently interesting.
+//
+// Per publisher, the policy is a two-state machine with hysteresis:
+//
+//     Armed --[hot window]--> Throttled --[quiet streak + hold]--> Armed
+//
+// Signals are accumulated into fixed windows (window_ms).  A window is
+// *hot* when its anomaly count reaches anomaly_burst, when any records
+// were publish-dropped, or when the record rate exceeds
+// max_records_per_sec (0 disables the rate trigger).  Hot in Armed =>
+// send a throttle directive (sampling down to throttled_rate_index,
+// optionally a mode flip).  Re-arming requires BOTH rearm_quiet_windows
+// consecutive quiet windows AND min_hold_ms in the throttled state --
+// two independent dampers, so one lucky quiet window right after a
+// throttle cannot flap the policy back and forth.
+//
+// Every method takes an explicit now_ms so tests drive the clock; the
+// daemon path passes a steady clock.  All entry points are mutex-guarded:
+// they normally run on the daemon thread (sink callbacks are serialized),
+// but stats() and tick() may be called from a tool's main thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "analysis/anomaly.h"
+#include "monitor/record.h"
+#include "transport/protocol.h"
+#include "transport/subscriber.h"
+
+namespace causeway::transport {
+
+struct PolicyConfig {
+  // Fixed signal-accumulation window per publisher.
+  std::uint64_t window_ms{250};
+  // Hot-window triggers (throttle when Armed).
+  std::uint64_t anomaly_burst{8};        // >= this many anomalies in a window
+  bool throttle_on_publish_drops{true};  // any publish-dropped records
+  std::uint64_t max_records_per_sec{0};  // record-rate ceiling (0 = off)
+  // What a throttle dials in: the chain sampling rate (default 1-in-10),
+  // optionally a probe-mode flip (e.g. causality-only to shed cost).
+  std::uint8_t throttled_rate_index{monitor::sample_rate_index_for(10)};
+  std::optional<std::uint8_t> throttled_mode;
+  // What a re-arm restores alongside full sampling (1-in-1); only
+  // meaningful when throttled_mode is set.
+  std::optional<std::uint8_t> rearm_mode;
+  // Hysteresis: quiet streak AND minimum hold before re-arming.
+  std::uint64_t rearm_quiet_windows{3};
+  std::uint64_t min_hold_ms{500};
+};
+
+class ControlPolicy : public analysis::AnomalySink {
+ public:
+  struct Stats {
+    std::uint64_t throttles{0};
+    std::uint64_t rearms{0};
+    std::uint64_t directives_sent{0};
+    std::uint64_t anomalies_attributed{0};
+    std::uint64_t peers_throttled{0};  // currently in Throttled
+  };
+
+  // `send` delivers a directive to a peer (normally
+  // CollectorDaemon::send_control) and returns the assigned seq.
+  using SendFn =
+      std::function<std::uint64_t(std::uint64_t, const ControlDirective&)>;
+
+  ControlPolicy(PolicyConfig config, SendFn send);
+
+  // Feed hooks; IngestSink calls these on the daemon thread.
+  void on_peer_connect(const PeerInfo& peer, std::uint64_t now_ms);
+  void on_peer_disconnect(const PeerInfo& peer);
+  void on_segment(const PeerInfo& peer, std::uint64_t records,
+                  std::uint64_t now_ms);
+  void on_drop_notice(const PeerInfo& peer, const DropNotice& notice,
+                      std::uint64_t now_ms);
+  void on_status(const PeerInfo& peer, const ControlStatus& status,
+                 std::uint64_t now_ms);
+
+  // Anomaly attribution: pipeline sinks see events with no peer identity,
+  // so IngestSink brackets each ingest with the peer whose segment is
+  // being decoded; on_event charges that peer's current window.
+  void begin_attribution(std::uint64_t peer_id, std::uint64_t now_ms);
+  void end_attribution();
+  void on_event(const analysis::AnomalyEvent& event) override;
+
+  // Rolls any window that has aged past window_ms even without new
+  // signals -- quiet streaks are made of windows nothing happened in, so
+  // somebody has to observe the silence.  The collectd wait loop calls
+  // this on its poll cadence; tests call it with a synthetic clock.
+  void tick(std::uint64_t now_ms);
+
+  Stats stats() const;
+
+  // True while `peer_id` is in the Throttled state (test/tool visibility).
+  bool is_throttled(std::uint64_t peer_id) const;
+
+ private:
+  enum class State { kArmed, kThrottled };
+
+  struct Peer {
+    State state{State::kArmed};
+    std::uint64_t window_start_ms{0};
+    std::uint64_t window_anomalies{0};
+    std::uint64_t window_drop_records{0};
+    std::uint64_t window_records{0};
+    std::uint64_t quiet_windows{0};
+    std::uint64_t throttled_at_ms{0};
+    std::uint64_t last_applied_seq{0};  // from CWST, observability only
+  };
+
+  Peer& peer_slot(std::uint64_t peer_id, std::uint64_t now_ms);
+  void roll_windows(std::uint64_t peer_id, Peer& peer, std::uint64_t now_ms);
+  void evaluate_window(std::uint64_t peer_id, Peer& peer,
+                       std::uint64_t now_ms);
+  void send(std::uint64_t peer_id, const ControlDirective& directive);
+
+  PolicyConfig config_;
+  SendFn send_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Peer> peers_;
+  std::uint64_t attributed_peer_{0};  // 0 = no ingest in progress
+  std::uint64_t attribution_now_ms_{0};
+  Stats stats_;
+};
+
+}  // namespace causeway::transport

@@ -39,11 +39,13 @@ std::optional<std::pair<Handshake, std::size_t>> try_decode_handshake(
     }
     Handshake hs;
     hs.protocol = cur.read_u32();
-    if (hs.protocol != kProtocolVersion) {
+    if (hs.protocol < kMinProtocolVersion || hs.protocol > kProtocolVersion) {
+      // A peer from the future knows frames we do not; guessing would
+      // corrupt the stream, so the connection is closed cleanly instead.
       throw TransportError(
           strf("unsupported transport protocol version %u (this build "
-               "speaks %u)",
-               hs.protocol, kProtocolVersion));
+               "speaks %u..%u)",
+               hs.protocol, kMinProtocolVersion, kProtocolVersion));
     }
     hs.trace_format = cur.read_u32();
     hs.pid = cur.read_u64();
@@ -80,6 +82,133 @@ std::optional<std::pair<DropNotice, std::size_t>> try_decode_drop_notice(
   notice.records = cur.read_u64();
   notice.segments = cur.read_u64();
   return std::make_pair(notice, cur.position());
+}
+
+namespace {
+
+// Control and status frames share one envelope: magic, u32 body length,
+// body.  The explicit length keeps the frames skippable: a protocol-2
+// reader facing a body with fields appended by protocol 3 parses what it
+// knows and steps over the rest.
+std::vector<std::uint8_t> encode_enveloped(std::uint32_t magic,
+                                           WireBuffer&& body) {
+  std::vector<std::uint8_t> body_bytes = std::move(body).take();
+  WireBuffer buf;
+  buf.write_u32(magic);
+  buf.write_u32(static_cast<std::uint32_t>(body_bytes.size()));
+  buf.append_raw(body_bytes);
+  return std::move(buf).take();
+}
+
+// Returns the body span (and total frame size) once fully buffered;
+// nullopt while incomplete.  Throws on wrong magic or an absurd length.
+std::optional<std::pair<std::span<const std::uint8_t>, std::size_t>>
+try_frame_body(std::span<const std::uint8_t> bytes, std::uint32_t want_magic,
+               const char* what) {
+  if (bytes.size() < 8) return std::nullopt;
+  WireCursor cur(bytes);
+  const std::uint32_t magic = cur.read_u32();
+  if (magic != want_magic) {
+    throw TransportError(strf("bad %s magic 0x%08x", what, magic));
+  }
+  const std::uint32_t body_len = cur.read_u32();
+  if (body_len > kMaxControlBodyBytes) {
+    throw TransportError(strf("%s body length %u exceeds limit", what,
+                              body_len));
+  }
+  if (bytes.size() < 8 + static_cast<std::size_t>(body_len)) {
+    return std::nullopt;  // incomplete: read more and retry
+  }
+  return std::make_pair(bytes.subspan(8, body_len),
+                        8 + static_cast<std::size_t>(body_len));
+}
+
+// ControlDirective body flag bits (presence of each optional field).
+constexpr std::uint8_t kHasMode = 1;
+constexpr std::uint8_t kHasSampleRate = 2;
+constexpr std::uint8_t kHasEnabled = 4;
+constexpr std::uint8_t kHasMutes = 8;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_control(const ControlDirective& directive) {
+  WireBuffer body;
+  body.write_u64(directive.seq);
+  std::uint8_t flags = 0;
+  if (directive.mode) flags |= kHasMode;
+  if (directive.sample_rate_index) flags |= kHasSampleRate;
+  if (directive.enabled) flags |= kHasEnabled;
+  if (directive.muted_interfaces) flags |= kHasMutes;
+  body.write_u8(flags);
+  if (directive.mode) body.write_u8(*directive.mode);
+  if (directive.sample_rate_index) body.write_u8(*directive.sample_rate_index);
+  if (directive.enabled) body.write_u8(*directive.enabled ? 1 : 0);
+  if (directive.muted_interfaces) {
+    body.write_varint(directive.muted_interfaces->size());
+    for (const std::string& name : *directive.muted_interfaces) {
+      body.write_string(name);
+    }
+  }
+  return encode_enveloped(kControlMagic, std::move(body));
+}
+
+std::vector<std::uint8_t> encode_status(const ControlStatus& status) {
+  WireBuffer body;
+  body.write_u64(status.applied_seq);
+  body.write_u64(status.sampled_out);
+  body.write_u8(status.sample_rate_index);
+  body.write_u8(status.mode);
+  return encode_enveloped(kStatusMagic, std::move(body));
+}
+
+std::optional<std::pair<ControlDirective, std::size_t>> try_decode_control(
+    std::span<const std::uint8_t> bytes) {
+  const auto frame = try_frame_body(bytes, kControlMagic, "control");
+  if (!frame) return std::nullopt;
+  try {
+    WireCursor cur(frame->first);
+    ControlDirective directive;
+    directive.seq = cur.read_u64();
+    const std::uint8_t flags = cur.read_u8();
+    if (flags & kHasMode) directive.mode = cur.read_u8();
+    if (flags & kHasSampleRate) directive.sample_rate_index = cur.read_u8();
+    if (flags & kHasEnabled) directive.enabled = cur.read_u8() != 0;
+    if (flags & kHasMutes) {
+      const std::uint64_t count = cur.read_varint();
+      if (count > 4096) {
+        throw TransportError("control directive mute list absurdly long");
+      }
+      std::vector<std::string> mutes;
+      mutes.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        mutes.emplace_back(cur.read_string());
+      }
+      directive.muted_interfaces = std::move(mutes);
+    }
+    // Any remaining body bytes belong to a newer protocol: skip them.
+    return std::make_pair(std::move(directive), frame->second);
+  } catch (const WireError&) {
+    // The body length said the frame is complete; a truncated body inside
+    // it is corruption, not a short read.
+    throw TransportError("corrupt control directive body");
+  }
+}
+
+std::optional<std::pair<ControlStatus, std::size_t>> try_decode_status(
+    std::span<const std::uint8_t> bytes) {
+  const auto frame = try_frame_body(bytes, kStatusMagic, "status");
+  if (!frame) return std::nullopt;
+  try {
+    WireCursor cur(frame->first);
+    ControlStatus status;
+    status.applied_seq = cur.read_u64();
+    status.sampled_out = cur.read_u64();
+    status.sample_rate_index = cur.read_u8();
+    status.mode = cur.read_u8();
+    return std::make_pair(status, frame->second);
+  } catch (const WireError&) {
+    throw TransportError("corrupt control status body");
+  }
 }
 
 std::uint32_t peek_frame_magic(std::span<const std::uint8_t> bytes) {

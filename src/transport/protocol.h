@@ -4,12 +4,14 @@
 // from genuinely separate processes (Sec. 3); this protocol is that seam
 // over a Unix-domain SOCK_STREAM socket.  A publisher's byte stream is:
 //
-//   [handshake frame] ([trace segment] | [drop notice])*
+//   publisher -> daemon: [handshake] ([trace segment] | [drop notice] |
+//                                     [control status])*
+//   daemon -> publisher: ([control directive])*
 //
 // There is exactly one record encoding in the codebase: the trace segments
 // on the socket are byte-for-byte the segments `TraceWriter` puts in a
 // `.cwt` file (v4 columnar by default, v3 writable for bisection), framed
-// by their own self-delimiting headers.  The transport adds only two tiny
+// by their own self-delimiting headers.  The transport adds only four tiny
 // envelope frames of its own:
 //
 //   * handshake -- "CWHS" magic, protocol version, the publisher's pid and
@@ -21,6 +23,23 @@
 //     dropped, never blocked on, when the daemon falls behind; the notice
 //     is how that loss stays observable downstream (it surfaces as
 //     CollectedLogs::publish_dropped, distinct from ring overflow).
+//   * control directive -- "CWCT" magic, the protocol-2 control plane: the
+//     daemon's policy steers a live publisher (probe mode, chain sampling
+//     rate, interface mutes) over the same socket, against the data flow.
+//     Length-prefixed body so protocol-2 readers skip fields added later.
+//   * control status -- "CWST" magic, the publisher's acknowledgement: the
+//     last directive applied at a drain boundary, the records sampled out
+//     since the previous status, and the configuration now in force.  This
+//     is how suppressed-record accounting crosses the process boundary and
+//     how the policy observes that its directive landed.
+//
+// Version negotiation keeps old binaries safe: CWHS carries the speaker's
+// protocol version; the daemon accepts [kMinProtocolVersion,
+// kProtocolVersion] and closes anything newer (clean per-connection
+// close).  The daemon only sends CWCT to protocol >= 2 publishers, and a
+// publisher only sends CWST after the first CWCT proves the daemon has a
+// control plane -- so a v1 peer on either end never sees a frame it
+// cannot parse.
 //
 // Framing errors are TransportError; segment corruption keeps trace_io's
 // taxonomy (TraceIoError).  An abruptly closed connection leaves at most
@@ -45,7 +64,15 @@ class TransportError : public std::runtime_error {
 
 inline constexpr std::uint32_t kHandshakeMagic = 0x43574853;   // "CWHS"
 inline constexpr std::uint32_t kDropNoticeMagic = 0x4357444E;  // "CWDN"
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kControlMagic = 0x43574354;     // "CWCT"
+inline constexpr std::uint32_t kStatusMagic = 0x43575354;      // "CWST"
+
+// Protocol 2 added the control plane (CWCT/CWST).  Protocol 1 peers are
+// still accepted -- they simply never see control frames.  Anything newer
+// than kProtocolVersion is rejected at handshake: a future peer knows more
+// than we do, and guessing at its frames would corrupt the stream.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kMinProtocolVersion = 1;
 
 // Sanity bound on the handshake's name field; anything larger is a framing
 // error, not a buffering request.
@@ -53,6 +80,10 @@ inline constexpr std::size_t kMaxProcessNameBytes = 4096;
 
 // Fixed drop-notice frame size: magic + two u64 counters.
 inline constexpr std::size_t kDropNoticeBytes = 4 + 8 + 8;
+
+// Sanity bound on a control/status frame body; directives are tens of
+// bytes plus mute names, so anything near this is a framing error.
+inline constexpr std::size_t kMaxControlBodyBytes = 1 << 16;
 
 struct Handshake {
   std::uint32_t protocol{kProtocolVersion};
@@ -66,8 +97,41 @@ struct DropNotice {
   std::uint64_t segments{0};
 };
 
+// A daemon -> publisher control directive.  Fields are optional exactly
+// like monitor::ControlUpdate (absent = leave unchanged); `seq` is the
+// daemon's monotonically increasing directive number, echoed back in
+// ControlStatus::applied_seq so the policy can observe the epoch boundary
+// that picked its directive up.  A directive with every field absent is
+// the control-channel hello the daemon sends right after a protocol >= 2
+// handshake: it changes nothing, but its acknowledgement proves the
+// channel is live in both directions.
+struct ControlDirective {
+  std::uint64_t seq{0};
+  std::optional<std::uint8_t> mode;  // monitor::ProbeMode numeric value
+  std::optional<std::uint8_t> sample_rate_index;  // monitor::kSampleRates
+  std::optional<bool> enabled;
+  std::optional<std::vector<std::string>> muted_interfaces;
+
+  bool empty() const {
+    return !mode && !sample_rate_index && !enabled && !muted_interfaces;
+  }
+};
+
+// A publisher -> daemon status report, sent after a drain boundary applied
+// staged control (and whenever sampling suppressed records).  sampled_out
+// is a *delta* since the previous status on this connection -- the daemon
+// accumulates, so suppressed-record accounting stays exact end to end.
+struct ControlStatus {
+  std::uint64_t applied_seq{0};
+  std::uint64_t sampled_out{0};
+  std::uint8_t sample_rate_index{0};
+  std::uint8_t mode{0};
+};
+
 std::vector<std::uint8_t> encode_handshake(const Handshake& hs);
 std::vector<std::uint8_t> encode_drop_notice(const DropNotice& notice);
+std::vector<std::uint8_t> encode_control(const ControlDirective& directive);
+std::vector<std::uint8_t> encode_status(const ControlStatus& status);
 
 // Incremental decoders for the daemon's per-connection buffer: given bytes
 // that start at a frame boundary, either return the frame plus its byte
@@ -77,6 +141,10 @@ std::vector<std::uint8_t> encode_drop_notice(const DropNotice& notice);
 std::optional<std::pair<Handshake, std::size_t>> try_decode_handshake(
     std::span<const std::uint8_t> bytes);
 std::optional<std::pair<DropNotice, std::size_t>> try_decode_drop_notice(
+    std::span<const std::uint8_t> bytes);
+std::optional<std::pair<ControlDirective, std::size_t>> try_decode_control(
+    std::span<const std::uint8_t> bytes);
+std::optional<std::pair<ControlStatus, std::size_t>> try_decode_status(
     std::span<const std::uint8_t> bytes);
 
 // Peeks the frame magic at the head of `bytes` (0 when fewer than four

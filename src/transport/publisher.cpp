@@ -80,6 +80,9 @@ EpochPublisher::Stats EpochPublisher::stats() const {
   s.dropped_segments = dropped_segments_.load(std::memory_order_relaxed);
   s.dropped_records = dropped_records_.load(std::memory_order_relaxed);
   s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  s.directives_received = directives_received_.load(std::memory_order_relaxed);
+  s.sampled_out_records = sampled_out_records_.load(std::memory_order_relaxed);
+  s.last_applied_seq = last_applied_seq_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -120,6 +123,7 @@ void EpochPublisher::run() {
     }
 
     ensure_connected(now);
+    if (connected_.load(std::memory_order_relaxed)) read_socket();
     if (connected_.load(std::memory_order_relaxed)) pump_socket();
 
     // Sleep until the next drain, the next reconnect attempt, or a short
@@ -149,6 +153,7 @@ void EpochPublisher::run() {
   for (;;) {
     const std::uint64_t now = steady_ms();
     ensure_connected(now);
+    if (connected_.load(std::memory_order_relaxed)) read_socket();
     if (connected_.load(std::memory_order_relaxed)) pump_socket();
     {
       std::lock_guard lk(mutex_);
@@ -180,13 +185,48 @@ void EpochPublisher::run() {
 }
 
 void EpochPublisher::drain_once(bool final_drain) {
+  // Everything staged up to here -- directive seq staged_seq_ -- is what
+  // this drain boundary applies (read_socket and drain_once share the
+  // worker thread, so no directive can slip in mid-drain).
+  const std::uint64_t applied_seq = staged_seq_;
   monitor::CollectedLogs logs = collector_.drain();
   epochs_drained_.fetch_add(1, std::memory_order_relaxed);
+  last_applied_seq_.store(applied_seq, std::memory_order_relaxed);
+  sampled_out_records_.fetch_add(logs.sampled_out, std::memory_order_relaxed);
   {
     std::lock_guard lk(mutex_);
     last_drain_dropped_ = logs.dropped;
     last_drain_utilization_ = logs.ring_utilization;
   }
+
+  // Control acknowledgement / sampled-out accounting.  A status ships when
+  // there is something to say (a directive newly applied, or records
+  // suppressed) and the channel is live; otherwise the delta is held so a
+  // later status -- possibly on the next connection -- carries it.
+  const std::uint64_t sampled_delta =
+      logs.sampled_out + pending_status_sampled_out_;
+  pending_status_sampled_out_ = 0;
+  if (control_live_ &&
+      (applied_seq != last_status_seq_ || sampled_delta > 0)) {
+    ControlStatus status;
+    status.applied_seq = applied_seq;
+    status.sampled_out = sampled_delta;
+    status.sample_rate_index = current_rate_index_;
+    status.mode = logs.domains.empty()
+                      ? 0
+                      : static_cast<std::uint8_t>(logs.domains[0].mode);
+    Entry e{encode_status(status), 0, /*is_segment=*/false};
+    e.is_status = true;
+    e.status_sampled_out = sampled_delta;
+    {
+      std::lock_guard lk(mutex_);
+      queue_.push_back(std::move(e));
+    }
+    last_status_seq_ = applied_seq;
+  } else {
+    pending_status_sampled_out_ = sampled_delta;
+  }
+
   // Empty intermediate epochs carry nothing a later epoch will not repeat
   // (every drain re-lists every domain), so skip the wire traffic.  The
   // final epoch always ships: it is the domain inventory of record for a
@@ -194,6 +234,67 @@ void EpochPublisher::drain_once(bool final_drain) {
   if (!final_drain && logs.records.empty() && logs.dropped == 0) return;
   const std::uint64_t records = logs.records.size();
   enqueue_segment(analysis::encode_trace(logs, trace_format_), records);
+}
+
+void EpochPublisher::handle_directive(const ControlDirective& directive) {
+  directives_received_.fetch_add(1, std::memory_order_relaxed);
+  if (!config_.accept_control) return;  // decoded for framing, then ignored
+  control_live_ = true;
+  staged_seq_ = directive.seq;
+  monitor::ControlUpdate update;
+  if (directive.mode && *directive.mode <= 2) {
+    update.mode = static_cast<monitor::ProbeMode>(*directive.mode);
+  }
+  if (directive.sample_rate_index &&
+      *directive.sample_rate_index < monitor::kSampleRateCount) {
+    update.sample_rate_index = *directive.sample_rate_index;
+    current_rate_index_ = *directive.sample_rate_index;
+  }
+  if (directive.enabled) update.enabled = *directive.enabled;
+  if (directive.muted_interfaces) {
+    update.muted_interfaces = *directive.muted_interfaces;
+  }
+  if (!update.empty()) collector_.stage_control(update);
+}
+
+void EpochPublisher::read_socket() {
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const long got = io_read_some(fd_, chunk, sizeof(chunk));
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      handle_disconnect();
+      return;
+    }
+    if (got == 0) {  // daemon closed its end
+      handle_disconnect();
+      return;
+    }
+    in_buffer_.insert(in_buffer_.end(), chunk, chunk + got);
+    try {
+      std::size_t consumed = 0;
+      for (;;) {
+        const std::span<const std::uint8_t> rest(in_buffer_.data() + consumed,
+                                                 in_buffer_.size() - consumed);
+        if (rest.empty()) break;
+        auto directive = try_decode_control(rest);
+        if (!directive) break;
+        consumed += directive->second;
+        handle_directive(directive->first);
+      }
+      if (consumed > 0) {
+        in_buffer_.erase(
+            in_buffer_.begin(),
+            in_buffer_.begin() + static_cast<std::ptrdiff_t>(consumed));
+      }
+    } catch (const std::exception&) {
+      // Garbage on the control channel: same containment as the daemon's --
+      // drop the connection, reconnect fresh.
+      handle_disconnect();
+      return;
+    }
+    if (static_cast<std::size_t>(got) < sizeof(chunk)) return;
+  }
 }
 
 void EpochPublisher::enqueue_segment(std::vector<std::uint8_t> bytes,
@@ -304,6 +405,12 @@ void EpochPublisher::handle_disconnect() {
   ::close(fd_);
   fd_ = -1;
   connected_.store(false, std::memory_order_relaxed);
+  // The control channel died with the socket: the next daemon may be an
+  // older build, so CWST stays quiet until a fresh CWCT proves otherwise.
+  // Any directive already staged/applied keeps its effect -- control state
+  // is the publisher's, the connection only transports it.
+  in_buffer_.clear();
+  control_live_ = false;
   const std::uint64_t now = steady_ms();
   backoff_ms_ = backoff_ms_ == 0
                     ? config_.reconnect_initial_ms
@@ -313,14 +420,17 @@ void EpochPublisher::handle_disconnect() {
   // The daemon discarded whatever partial frame was in flight; rewind the
   // front entry so the whole segment is resent on the next connection, and
   // shed stale envelope frames (a fresh handshake will be prepended; drop
-  // notices fold back into the pending counters).
+  // notices and statuses fold back into the pending counters so no loss --
+  // and no suppressed-record count -- goes unreported).
   front_offset_ = 0;
   for (auto it = queue_.begin(); it != queue_.end();) {
     if (it->is_segment) {
       ++it;
       continue;
     }
-    if (it->notice_segments != 0 || it->records != 0) {
+    if (it->is_status) {
+      pending_status_sampled_out_ += it->status_sampled_out;
+    } else if (it->notice_segments != 0 || it->records != 0) {
       pending_drop_records_ += it->records;
       pending_drop_segments_ += it->notice_segments;
     }

@@ -28,6 +28,13 @@
 // the daemon learns the full domain inventory -- then flushes the queue
 // with a deadline; whatever cannot be delivered in time is counted as
 // dropped, never waited on forever.
+//
+// Protocol 2 adds a read path: the daemon may send CWCT control directives
+// (probe mode, chain sampling rate, interface mutes) down the same socket.
+// Directives are staged on the collector's runtimes immediately and take
+// effect at the next drain boundary -- the epoch-apply discipline -- after
+// which the publisher reports back with a CWST status frame carrying the
+// applied directive seq and the records sampling suppressed that epoch.
 #pragma once
 
 #include <atomic>
@@ -59,6 +66,11 @@ struct PublisherConfig {
   std::uint64_t reconnect_max_ms{1000};
   // finish(): how long to keep flushing before counting the rest as lost.
   std::uint64_t flush_timeout_ms{5000};
+  // Whether to honour CWCT control directives from the daemon.  When
+  // false, directives are decoded (the stream must stay framed) and
+  // dropped: the publisher never reconfigures and never speaks CWST --
+  // indistinguishable from a protocol-1 publisher to the policy.
+  bool accept_control{true};
 };
 
 class EpochPublisher {
@@ -71,6 +83,9 @@ class EpochPublisher {
     std::uint64_t dropped_segments{0};  // back-pressure discards
     std::uint64_t dropped_records{0};
     std::uint64_t reconnects{0};  // successful connections after the first
+    std::uint64_t directives_received{0};  // CWCT frames from the daemon
+    std::uint64_t sampled_out_records{0};  // suppressed by chain sampling
+    std::uint64_t last_applied_seq{0};     // directive seq as of last drain
   };
 
   // `collector` must outlive the publisher and must not be drained by
@@ -100,6 +115,11 @@ class EpochPublisher {
     // For drop-notice entries: segment count carried, so an unsent notice
     // folds back into the pending counters on disconnect.
     std::uint64_t notice_segments{0};
+    // For control-status entries: the sampled-out delta carried, so an
+    // unsent status folds its count back for the next one (accounting
+    // must never lose suppressed records to a disconnect).
+    bool is_status{false};
+    std::uint64_t status_sampled_out{0};
   };
 
   void run();
@@ -107,6 +127,8 @@ class EpochPublisher {
   void enqueue_segment(std::vector<std::uint8_t> bytes, std::uint64_t records);
   bool ensure_connected(std::uint64_t now_ms);
   void pump_socket();
+  void read_socket();
+  void handle_directive(const ControlDirective& directive);
   void handle_disconnect();
   bool queue_empty() const;
 
@@ -138,6 +160,19 @@ class EpochPublisher {
   std::uint64_t pending_drop_records_{0};
   std::uint64_t pending_drop_segments_{0};
 
+  // Control plane (worker thread only).  `control_live_` flips when the
+  // first CWCT arrives -- the daemon's proof that it speaks protocol 2 --
+  // and resets on disconnect (the next daemon may be older).  A CWST is
+  // only ever sent on a live channel; sampled-out deltas that cannot ship
+  // yet are held in pending_status_sampled_out_ so no suppressed record is
+  // ever lost to a reconnect.
+  std::vector<std::uint8_t> in_buffer_;
+  bool control_live_{false};
+  std::uint64_t staged_seq_{0};       // last directive staged on the collector
+  std::uint64_t last_status_seq_{0};  // last applied_seq acknowledged via CWST
+  std::uint8_t current_rate_index_{0};
+  std::uint64_t pending_status_sampled_out_{0};
+
   // Last drain's observations, feeding the adaptive cadence.
   std::uint64_t last_drain_dropped_{0};
   double last_drain_utilization_{0.0};
@@ -149,6 +184,9 @@ class EpochPublisher {
   std::atomic<std::uint64_t> dropped_segments_{0};
   std::atomic<std::uint64_t> dropped_records_{0};
   std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> directives_received_{0};
+  std::atomic<std::uint64_t> sampled_out_records_{0};
+  std::atomic<std::uint64_t> last_applied_seq_{0};
 };
 
 }  // namespace causeway::transport

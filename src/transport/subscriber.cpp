@@ -25,6 +25,8 @@ struct CollectorDaemon::Connection {
   PeerInfo peer;
   bool handshaken{false};
   std::vector<std::uint8_t> buffer;  // unconsumed frame bytes
+  std::vector<std::uint8_t> out;     // control bytes awaiting the socket
+  std::size_t out_offset{0};         // written prefix of `out`
   bool dead{false};
   bool dead_clean{true};
 };
@@ -92,14 +94,66 @@ CollectorDaemon::Stats CollectorDaemon::stats() const {
   return stats_;
 }
 
+std::uint64_t CollectorDaemon::send_control(std::uint64_t peer_id,
+                                            ControlDirective directive) {
+  std::lock_guard lk(control_mutex_);
+  directive.seq = ++next_control_seq_;
+  pending_control_.emplace_back(peer_id, encode_control(directive));
+  return directive.seq;
+}
+
+// Moves queued directives into their connection's out buffer; runs on the
+// daemon thread each loop iteration.  Directives for peers that are gone
+// or that speak protocol 1 (no control plane) are dropped here -- sending
+// CWCT to a v1 publisher would be a frame it cannot parse.
+void CollectorDaemon::drain_control_queue() {
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> pending;
+  {
+    std::lock_guard lk(control_mutex_);
+    pending.swap(pending_control_);
+  }
+  for (auto& [peer_id, bytes] : pending) {
+    for (auto& conn : connections_) {
+      if (conn->dead || !conn->handshaken) continue;
+      if (conn->peer.peer_id != peer_id) continue;
+      if (conn->peer.protocol < 2) break;
+      conn->out.insert(conn->out.end(), bytes.begin(), bytes.end());
+      std::lock_guard lk(stats_mutex_);
+      ++stats_.control_sent;
+      break;
+    }
+  }
+}
+
+// Nonblocking write of the connection's pending control bytes; partial
+// writes keep their offset, a hard error closes the connection with the
+// usual containment.
+void CollectorDaemon::flush_out(Connection& conn) {
+  while (conn.out_offset < conn.out.size()) {
+    const long wrote = io_write_some(conn.fd, conn.out.data() + conn.out_offset,
+                                     conn.out.size() - conn.out_offset);
+    if (wrote < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_connection(conn, conn.buffer.empty());
+      return;
+    }
+    conn.out_offset += static_cast<std::size_t>(wrote);
+  }
+  conn.out.clear();
+  conn.out_offset = 0;
+}
+
 void CollectorDaemon::run() {
   std::vector<pollfd> fds;
   while (!stop_requested_.load(std::memory_order_relaxed)) {
+    drain_control_queue();
     fds.clear();
     fds.push_back({listen_fd_, POLLIN, 0});
     const std::size_t polled = connections_.size();
     for (const auto& conn : connections_) {
-      fds.push_back({conn->fd, POLLIN, 0});
+      const short events = static_cast<short>(
+          POLLIN | (conn->out_offset < conn->out.size() ? POLLOUT : 0));
+      fds.push_back({conn->fd, events, 0});
     }
     const int ready = ::poll(fds.data(), fds.size(), 100);
     if (ready < 0) {
@@ -122,6 +176,10 @@ void CollectorDaemon::run() {
     }
     for (std::size_t i = 0; i < polled; ++i) {
       const short revents = fds[i + 1].revents;
+      if (revents & POLLOUT) {
+        flush_out(*connections_[i]);
+      }
+      if (connections_[i]->dead) continue;
       if (revents & (POLLIN | POLLHUP | POLLERR)) {
         service(*connections_[i]);
       }
@@ -186,6 +244,20 @@ bool CollectorDaemon::consume_frames(Connection& conn) {
         conn.handshaken = true;
         consumed += hs->second;
         sink_.on_connect(conn.peer);
+        if (conn.peer.protocol >= 2) {
+          // Control-channel hello: an empty directive whose acknowledgement
+          // tells the publisher (and, via CWST, the policy) that control is
+          // live.  A v1 peer gets nothing -- it cannot parse CWCT.
+          ControlDirective hello;
+          {
+            std::lock_guard lk(control_mutex_);
+            hello.seq = ++next_control_seq_;
+          }
+          const std::vector<std::uint8_t> bytes = encode_control(hello);
+          conn.out.insert(conn.out.end(), bytes.begin(), bytes.end());
+          std::lock_guard lk(stats_mutex_);
+          ++stats_.control_sent;
+        }
         continue;
       }
       const std::uint32_t magic = peek_frame_magic(rest);
@@ -198,6 +270,17 @@ bool CollectorDaemon::consume_frames(Connection& conn) {
           ++stats_.drop_notices;
         }
         sink_.on_drop_notice(conn.peer, notice->first);
+        continue;
+      }
+      if (rest.size() >= 4 && magic == kStatusMagic) {
+        auto status = try_decode_status(rest);
+        if (!status) break;
+        consumed += status->second;
+        {
+          std::lock_guard lk(stats_mutex_);
+          ++stats_.statuses_received;
+        }
+        sink_.on_status(conn.peer, status->first);
         continue;
       }
       if (rest.size() >= 4 && magic == kHandshakeMagic) {

@@ -52,6 +52,9 @@ class DaemonSink {
   virtual void on_segment(const PeerInfo& peer,
                           std::span<const std::uint8_t> segment) = 0;
   virtual void on_drop_notice(const PeerInfo&, const DropNotice&) {}
+  // A protocol >= 2 publisher acknowledged control and/or reported records
+  // suppressed by sampling since its previous status (a delta).
+  virtual void on_status(const PeerInfo&, const ControlStatus&) {}
   // The bool is false when buffered bytes (an incomplete frame) were
   // discarded or the connection died on a protocol error.
   virtual void on_disconnect(const PeerInfo&, bool /*clean*/) {}
@@ -72,6 +75,8 @@ class CollectorDaemon {
     std::uint64_t drop_notices{0};
     std::uint64_t protocol_errors{0};
     std::uint64_t partial_tail_bytes{0};  // discarded on abrupt closes
+    std::uint64_t control_sent{0};        // directives queued to publishers
+    std::uint64_t statuses_received{0};   // CWST frames from publishers
   };
 
   // `sink` must outlive the daemon.  The socket is bound and listening
@@ -89,6 +94,16 @@ class CollectorDaemon {
   // Idempotent.
   void stop();
 
+  // Queues a control directive for one publisher; the daemon thread's next
+  // loop iteration writes it out (nonblocking, interleaved with reads on
+  // the same poll set).  Thread-safe -- call it from a policy reacting to
+  // sink callbacks, or from any other thread.  The directive's `seq` is
+  // assigned here (daemon-wide monotonic) and returned; directives for a
+  // peer that is gone or speaks protocol 1 are discarded on the daemon
+  // thread (a v1 publisher cannot parse CWCT).
+  std::uint64_t send_control(std::uint64_t peer_id,
+                             ControlDirective directive);
+
   Stats stats() const;
 
  private:
@@ -97,7 +112,9 @@ class CollectorDaemon {
   void run();
   void service(Connection& conn);
   bool consume_frames(Connection& conn);
+  void flush_out(Connection& conn);
   void close_connection(Connection& conn, bool clean);
+  void drain_control_queue();
 
   Options options_;
   DaemonSink& sink_;
@@ -107,6 +124,11 @@ class CollectorDaemon {
   bool started_{false};
   std::vector<std::unique_ptr<Connection>> connections_;
   std::uint64_t next_peer_id_{1};
+
+  std::mutex control_mutex_;
+  std::uint64_t next_control_seq_{0};  // guarded by control_mutex_
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+      pending_control_;  // peer_id -> encoded CWCT, guarded by control_mutex_
 
   mutable std::mutex stats_mutex_;
   Stats stats_;

@@ -1,0 +1,489 @@
+// The closed control loop, bottom to top:
+//
+//   * epoch-apply discipline -- control staged on a runtime is invisible to
+//     probes until the collector's next drain boundary;
+//   * probe-tier suppression -- chain sampling and interface mutes drop
+//     records at the probe with exact sampled-out accounting;
+//   * ControlPolicy hysteresis -- throttle on a hot window, re-arm only
+//     after the quiet streak AND the minimum hold (driven by a synthetic
+//     clock, so every transition is deterministic);
+//   * the full loopback -- a real publisher over a real socket is throttled
+//     by the daemon's policy after an anomaly burst, observably samples
+//     down at its next epoch, re-arms when the storm passes, and the
+//     suppressed-record accounting reconciles to zero drift end to end;
+//   * the idle control plane -- with the policy attached but never
+//     triggered, the rendered report is byte-identical to a run with no
+//     control plane at all.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analysis/pipeline.h"
+#include "common/ids.h"
+#include "monitor/collector.h"
+#include "monitor/probes.h"
+#include "monitor/tss.h"
+#include "transport/ingest_sink.h"
+#include "transport/policy.h"
+#include "transport/protocol.h"
+#include "transport/publisher.h"
+#include "transport/subscriber.h"
+#include "workload/synthetic.h"
+
+namespace causeway {
+namespace {
+
+using transport::CollectorDaemon;
+using transport::ControlDirective;
+using transport::ControlPolicy;
+using transport::EpochPublisher;
+using transport::IngestSink;
+using transport::PeerInfo;
+using transport::PolicyConfig;
+using transport::PublisherConfig;
+
+class ControlLoopTest : public ::testing::Test {
+ protected:
+  void SetUp() override { monitor::tss_clear(); }
+  void TearDown() override { monitor::tss_clear(); }
+
+  std::string sock_path(const char* name) {
+    return ::testing::TempDir() + "cw_control_" + name + "_" +
+           std::to_string(::getpid()) + ".sock";
+  }
+
+  static std::uint64_t steady_ms() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  static bool wait_for(const std::function<bool()>& pred,
+                       std::uint64_t timeout_ms = 15000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return pred();
+  }
+};
+
+monitor::MonitorRuntime make_runtime(
+    const char* process,
+    monitor::ProbeMode mode = monitor::ProbeMode::kCausalityOnly) {
+  monitor::MonitorConfig config;
+  config.enabled = true;
+  config.mode = mode;
+  return monitor::MonitorRuntime(
+      monitor::DomainIdentity{process, "node0", "x86"}, config,
+      ClockDomain{});
+}
+
+constexpr monitor::CallIdentity kCall{"Test::Iface", "f", 9};
+
+// One complete sync call (4 probe activations) between two runtimes on a
+// fresh chain.  Returns the number of records the probes *attempted* --
+// suppression happens downstream of this count.
+std::uint64_t sync_call(monitor::MonitorRuntime& client,
+                        monitor::MonitorRuntime& server,
+                        monitor::CallOutcome outcome) {
+  monitor::tss_clear();  // a fresh root chain per call
+  monitor::StubProbes stub(&client, kCall, monitor::CallKind::kSync);
+  const monitor::Ftl wire = stub.on_stub_start();
+  monitor::SkelProbes skel(&server, kCall, monitor::CallKind::kSync);
+  skel.on_skel_start(wire);
+  const monitor::Ftl reply = skel.on_skel_end(outcome);
+  stub.on_stub_end(reply, outcome);
+  return 4;
+}
+
+// --- epoch-apply discipline -------------------------------------------------
+
+TEST_F(ControlLoopTest, StagedControlInvisibleUntilDrainBoundary) {
+  auto rt = make_runtime("procA", monitor::ProbeMode::kLatency);
+  monitor::Collector collector;
+  collector.attach(&rt);
+
+  monitor::ControlUpdate update;
+  update.mode = monitor::ProbeMode::kCausalityOnly;
+  update.sample_rate_index = monitor::sample_rate_index_for(10);
+  collector.stage_control(update);
+
+  // Staged, not applied: probes still see the construction-time config.
+  EXPECT_EQ(rt.mode(), monitor::ProbeMode::kLatency);
+  EXPECT_EQ(rt.sample_rate_index(), 0);
+  EXPECT_EQ(rt.config_version(), 0u);
+
+  (void)collector.drain();  // the boundary
+
+  EXPECT_EQ(rt.mode(), monitor::ProbeMode::kCausalityOnly);
+  EXPECT_EQ(rt.sample_rate_index(), monitor::sample_rate_index_for(10));
+  EXPECT_EQ(rt.config_version(), 1u);
+
+  // An empty pending slot is a no-op, not a version bump.
+  (void)collector.drain();
+  EXPECT_EQ(rt.config_version(), 1u);
+}
+
+// --- probe-tier suppression + accounting ------------------------------------
+
+TEST_F(ControlLoopTest, SamplingAndMutesSuppressWithExactAccounting) {
+  set_uuid_seed(1234);
+  auto client = make_runtime("procA");
+  auto server = make_runtime("procB");
+  monitor::Collector collector;
+  collector.attach(&client);
+  collector.attach(&server);
+
+  std::uint64_t emitted = 0;
+
+  // 1:1 -- everything kept, nothing suppressed.
+  for (int i = 0; i < 10; ++i) {
+    emitted += sync_call(client, server, monitor::CallOutcome::kOk);
+  }
+  monitor::CollectedLogs logs = collector.drain();
+  EXPECT_EQ(logs.records.size(), emitted);
+  EXPECT_EQ(logs.sampled_out, 0u);
+  for (const auto& r : logs.records) {
+    EXPECT_EQ(r.sample_rate_index, 0);
+    EXPECT_EQ(r.sample_weight(), 1u);
+  }
+
+  // 1-in-2: the chain-origin decision suppresses whole chains on both
+  // runtimes, and every kept record carries the weight.
+  monitor::ControlUpdate sample_half;
+  sample_half.sample_rate_index = monitor::sample_rate_index_for(2);
+  collector.stage_control(sample_half);
+  (void)collector.drain();  // apply
+
+  std::uint64_t phase_emitted = 0;
+  for (int i = 0; i < 30; ++i) {
+    phase_emitted += sync_call(client, server, monitor::CallOutcome::kOk);
+  }
+  logs = collector.drain();
+  EXPECT_EQ(logs.records.size() + logs.sampled_out, phase_emitted);
+  EXPECT_GT(logs.sampled_out, 0u);   // some chains fell out...
+  EXPECT_GT(logs.records.size(), 0u);  // ...and some stayed (w.h.p.)
+  EXPECT_EQ(logs.records.size() % 4, 0u);  // whole chains, never torn
+  for (const auto& r : logs.records) {
+    EXPECT_EQ(r.sample_rate_index, monitor::sample_rate_index_for(2));
+    EXPECT_EQ(r.sample_weight(), 2u);
+  }
+
+  // Muting the interface suppresses everything (and counts it).
+  monitor::ControlUpdate mute;
+  mute.sample_rate_index = 0;
+  mute.muted_interfaces = std::vector<std::string>{"Test::Iface"};
+  collector.stage_control(mute);
+  (void)collector.drain();
+  phase_emitted = 0;
+  for (int i = 0; i < 5; ++i) {
+    phase_emitted += sync_call(client, server, monitor::CallOutcome::kOk);
+  }
+  logs = collector.drain();
+  EXPECT_EQ(logs.records.size(), 0u);
+  EXPECT_EQ(logs.sampled_out, phase_emitted);
+
+  // Unmute: back to full fidelity, no residue.
+  monitor::ControlUpdate unmute;
+  unmute.muted_interfaces = std::vector<std::string>{};
+  collector.stage_control(unmute);
+  (void)collector.drain();
+  phase_emitted = 0;
+  for (int i = 0; i < 5; ++i) {
+    phase_emitted += sync_call(client, server, monitor::CallOutcome::kOk);
+  }
+  logs = collector.drain();
+  EXPECT_EQ(logs.records.size(), phase_emitted);
+  EXPECT_EQ(logs.sampled_out, 0u);
+}
+
+// --- policy hysteresis (synthetic clock) ------------------------------------
+
+TEST_F(ControlLoopTest, PolicyThrottlesOnBurstAndRearmsWithHysteresis) {
+  std::vector<std::pair<std::uint64_t, ControlDirective>> sent;
+  PolicyConfig config;
+  config.window_ms = 100;
+  config.anomaly_burst = 3;
+  config.rearm_quiet_windows = 2;
+  config.min_hold_ms = 250;
+  config.throttled_rate_index = monitor::sample_rate_index_for(10);
+  ControlPolicy policy(config,
+                       [&](std::uint64_t peer, const ControlDirective& d) {
+                         sent.emplace_back(peer, d);
+                         return static_cast<std::uint64_t>(sent.size());
+                       });
+
+  PeerInfo peer;
+  peer.peer_id = 7;
+  policy.on_peer_connect(peer, 1000);
+
+  // Two anomalies in the window: under the burst threshold, still armed.
+  policy.begin_attribution(7, 1010);
+  policy.on_event({});
+  policy.on_event({});
+  policy.end_attribution();
+  policy.tick(1100);
+  EXPECT_FALSE(policy.is_throttled(7));
+  EXPECT_TRUE(sent.empty());
+
+  // Three in one window: hot -> throttle directive.
+  policy.begin_attribution(7, 1110);
+  policy.on_event({});
+  policy.on_event({});
+  policy.on_event({});
+  policy.end_attribution();
+  policy.tick(1200);
+  EXPECT_TRUE(policy.is_throttled(7));
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].first, 7u);
+  ASSERT_TRUE(sent[0].second.sample_rate_index.has_value());
+  EXPECT_EQ(*sent[0].second.sample_rate_index,
+            monitor::sample_rate_index_for(10));
+  EXPECT_EQ(policy.stats().throttles, 1u);
+  EXPECT_EQ(policy.stats().peers_throttled, 1u);
+
+  // Quiet streak satisfied at 1400 (2 windows) but the minimum hold
+  // (250ms from the 1200 throttle) is not: no flap.
+  policy.tick(1400);
+  EXPECT_TRUE(policy.is_throttled(7));
+  EXPECT_EQ(sent.size(), 1u);
+
+  // One more quiet window clears both dampers: re-arm to full fidelity.
+  policy.tick(1500);
+  EXPECT_FALSE(policy.is_throttled(7));
+  ASSERT_EQ(sent.size(), 2u);
+  ASSERT_TRUE(sent[1].second.sample_rate_index.has_value());
+  EXPECT_EQ(*sent[1].second.sample_rate_index, 0);
+  EXPECT_EQ(policy.stats().rearms, 1u);
+  EXPECT_EQ(policy.stats().peers_throttled, 0u);
+
+  // Publish drops are their own trigger.
+  policy.on_drop_notice(peer, {5, 1}, 1510);
+  policy.tick(1600);
+  EXPECT_TRUE(policy.is_throttled(7));
+  EXPECT_EQ(sent.size(), 3u);
+
+  // Heat during the throttled state resets the quiet streak.  A tick
+  // evaluates every elapsed window, so the streak restarts after the hot
+  // [1600,1700) window: one quiet window by 1800, two by 1900.
+  policy.begin_attribution(7, 1610);
+  policy.on_event({});
+  policy.on_event({});
+  policy.on_event({});
+  policy.end_attribution();
+  policy.tick(1800);  // hot window + one quiet: streak 1 of 2
+  EXPECT_TRUE(policy.is_throttled(7));
+  policy.tick(1900);  // second quiet window; hold long satisfied
+  EXPECT_FALSE(policy.is_throttled(7));
+}
+
+// --- the full loopback -------------------------------------------------------
+
+// An anomaly burst throttles a live publisher; its next epoch observably
+// samples down; the storm passes and the policy re-arms it; and at the end
+// every probe activation is either in the database or in the sampled-out
+// ledger -- zero record-accounting drift across the whole plane.
+TEST_F(ControlLoopTest, LoopbackThrottleRearmsAndReconciles) {
+  set_uuid_seed(2024);
+  const std::string path = sock_path("adaptive");
+
+  analysis::AnalysisPipeline pipeline;
+  CollectorDaemon* daemon_ptr = nullptr;
+  PolicyConfig pcfg;
+  pcfg.window_ms = 25;
+  pcfg.anomaly_burst = 2;
+  pcfg.min_hold_ms = 50;
+  pcfg.rearm_quiet_windows = 2;
+  pcfg.throttled_rate_index = monitor::sample_rate_index_for(2);
+  ControlPolicy policy(pcfg,
+                       [&](std::uint64_t peer, const ControlDirective& d) {
+                         return daemon_ptr->send_control(peer, d);
+                       });
+  pipeline.add_sink(&policy);
+
+  IngestSink::Options options;
+  options.pipeline = &pipeline;
+  options.policy = &policy;
+  IngestSink sink(std::move(options));
+  CollectorDaemon daemon({path}, sink);
+  daemon_ptr = &daemon;
+  daemon.start();
+
+  auto client = make_runtime("procA");
+  auto server = make_runtime("procB");
+  monitor::Collector collector;
+  collector.attach(&client);
+  collector.attach(&server);
+  PublisherConfig config;
+  config.socket_path = path;
+  config.process_name = "adaptive";
+  config.interval_ms = 5;
+  EpochPublisher publisher(collector, config);
+  publisher.start();
+
+  std::uint64_t emitted = 0;
+
+  // Phase 1: the anomaly burst.  Failing sync calls become kCallFailure
+  // events in the pipeline, attributed to this peer; a hot window later
+  // the policy throttles it.
+  for (int i = 0; i < 8; ++i) {
+    emitted += sync_call(client, server, monitor::CallOutcome::kAppError);
+  }
+  ASSERT_TRUE(wait_for([&] {
+    policy.tick(steady_ms());
+    return policy.stats().throttles >= 1;
+  }));
+  // The directive rode the data socket down and a drain boundary applied
+  // it (seq 1 is the connection hello, so the throttle is >= 2).
+  ASSERT_TRUE(
+      wait_for([&] { return publisher.stats().last_applied_seq >= 2; }));
+  EXPECT_EQ(client.sample_rate_index(), monitor::sample_rate_index_for(2));
+
+  // Phase 2: traffic under throttle.  Roughly half the chains are
+  // suppressed at the probe; the suppressed count rides CWST statuses
+  // back up to the daemon.
+  for (int i = 0; i < 40; ++i) {
+    emitted += sync_call(client, server, monitor::CallOutcome::kOk);
+  }
+  ASSERT_TRUE(
+      wait_for([&] { return publisher.stats().sampled_out_records > 0; }));
+  ASSERT_TRUE(
+      wait_for([&] { return sink.totals().sampled_out_records > 0; }));
+
+  // Phase 3: the storm has passed; quiet windows plus the hold re-arm the
+  // publisher back to full fidelity.
+  ASSERT_TRUE(wait_for([&] {
+    policy.tick(steady_ms());
+    return policy.stats().rearms >= 1;
+  }));
+  EXPECT_EQ(policy.stats().peers_throttled, 0u);
+  ASSERT_TRUE(
+      wait_for([&] { return publisher.stats().last_applied_seq >= 3; }));
+  EXPECT_EQ(client.sample_rate_index(), 0);
+
+  // Phase 4: full fidelity again -- nothing new is suppressed.
+  const EpochPublisher::Stats mid = publisher.stats();
+  for (int i = 0; i < 5; ++i) {
+    emitted += sync_call(client, server, monitor::CallOutcome::kOk);
+  }
+  ASSERT_TRUE(wait_for([&] {
+    return publisher.stats().records_sent >= mid.records_sent + 20;
+  }));
+  EXPECT_EQ(publisher.stats().sampled_out_records, mid.sampled_out_records);
+
+  // Reconciliation: every probe activation is accounted for exactly once.
+  EXPECT_TRUE(publisher.finish());
+  const EpochPublisher::Stats stats = publisher.stats();
+  EXPECT_EQ(stats.dropped_records, 0u);
+  EXPECT_EQ(stats.records_sent + stats.sampled_out_records, emitted);
+  ASSERT_TRUE(wait_for([&] {
+    return sink.totals().records >= stats.records_sent &&
+           sink.totals().sampled_out_records >= stats.sampled_out_records;
+  }));
+  daemon.stop();
+
+  const analysis::LogDatabase& db = pipeline.database();
+  EXPECT_EQ(db.size(), stats.records_sent);
+  EXPECT_EQ(db.sampled_out(), stats.sampled_out_records);
+  EXPECT_EQ(db.size() + db.sampled_out(), emitted);  // zero drift
+  EXPECT_TRUE(db.sampling_active());
+  EXPECT_GT(db.weighted_records(), db.size());  // weights renormalize up
+
+  const std::string report = pipeline.report();
+  EXPECT_NE(report.find("--- sampling renormalization ---"),
+            std::string::npos);
+  EXPECT_GE(daemon.stats().control_sent, 3u);  // hello + throttle + re-arm
+  EXPECT_GE(daemon.stats().statuses_received, 1u);
+}
+
+// With the policy attached but never triggered (an absurd burst threshold)
+// the control plane stays idle -- hello and acks flow, nothing is sampled
+// -- and the rendered report is byte-identical to a run with no control
+// plane at all.  This is the "1:1 sampling costs nothing" pin.
+TEST_F(ControlLoopTest, IdleControlPlaneKeepsReportByteIdentical) {
+  const std::string path = sock_path("idle");
+
+  workload::SyntheticConfig wl;
+  wl.seed = 77;
+  wl.domains = 3;
+  wl.components = 9;
+  wl.interfaces = 5;
+  wl.methods_per_interface = 3;
+  wl.levels = 3;
+  wl.max_children = 2;
+  wl.monitor.mode = monitor::ProbeMode::kCausalityOnly;
+
+  // Reference: the same workload collected with no control plane.
+  std::string reference;
+  {
+    orb::Fabric fabric;
+    workload::SyntheticSystem system(fabric, wl);
+    system.run_transactions(5);
+    system.wait_quiescent();
+    analysis::AnalysisPipeline ref_pipeline;
+    ref_pipeline.ingest(system.collect());
+    reference = ref_pipeline.report();
+  }
+  ASSERT_FALSE(reference.empty());
+  monitor::tss_clear();
+
+  analysis::AnalysisPipeline pipeline;
+  CollectorDaemon* daemon_ptr = nullptr;
+  PolicyConfig pcfg;
+  pcfg.anomaly_burst = 1000000;  // unreachable: the loop never closes
+  pcfg.throttle_on_publish_drops = false;
+  ControlPolicy policy(pcfg,
+                       [&](std::uint64_t peer, const ControlDirective& d) {
+                         return daemon_ptr->send_control(peer, d);
+                       });
+  pipeline.add_sink(&policy);
+  IngestSink::Options options;
+  options.pipeline = &pipeline;
+  options.policy = &policy;
+  IngestSink sink(std::move(options));
+  CollectorDaemon daemon({path}, sink);
+  daemon_ptr = &daemon;
+  daemon.start();
+  {
+    orb::Fabric fabric;
+    workload::SyntheticSystem system(fabric, wl);
+    monitor::Collector collector;
+    system.attach_collector(collector);
+    PublisherConfig config;
+    config.socket_path = path;
+    config.process_name = "idle-loop";
+    config.interval_ms = 5;
+    EpochPublisher publisher(collector, config);
+    publisher.start();
+    system.run_transactions(5);
+    system.wait_quiescent();
+    EXPECT_TRUE(publisher.finish());
+    const EpochPublisher::Stats stats = publisher.stats();
+    EXPECT_GE(stats.directives_received, 1u);  // the hello arrived
+    EXPECT_EQ(stats.sampled_out_records, 0u);  // and changed nothing
+    ASSERT_TRUE(wait_for(
+        [&] { return sink.totals().records >= stats.records_sent; }));
+    // The hello's acknowledgement proves the channel was live both ways.
+    ASSERT_TRUE(
+        wait_for([&] { return daemon.stats().statuses_received >= 1; }));
+  }
+  daemon.stop();
+  EXPECT_GE(daemon.stats().control_sent, 1u);
+  EXPECT_EQ(policy.stats().throttles, 0u);
+  EXPECT_FALSE(pipeline.database().sampling_active());
+  EXPECT_EQ(pipeline.report(), reference);  // byte-identical, enforced
+}
+
+}  // namespace
+}  // namespace causeway

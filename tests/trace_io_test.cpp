@@ -136,6 +136,39 @@ TEST(TraceIo, V3EncodeDecodeRoundTrip) {
   EXPECT_EQ(r.value_end, 307);
 }
 
+TEST(TraceIo, SampleRateIndexRoundTripsBothFormats) {
+  // The sampling weight rides the v3 mode byte (bits 2+) and the v4 flags2
+  // byte (bits 3-7); both codecs must carry it losslessly, and index 0 must
+  // keep the legacy encodings byte-identical.
+  auto logs = sample_logs();
+  logs.records[1].sample_rate_index = monitor::sample_rate_index_for(10);
+  logs.records[2].sample_rate_index = monitor::sample_rate_index_for(65536);
+  logs.records[3].sample_rate_index = 31;  // the top of the 5-bit field
+
+  for (const std::uint32_t version : {kTraceFormatV3, kTraceFormatV4}) {
+    LogDatabase db;
+    ASSERT_EQ(decode_trace(encode_trace(logs, version), db), 4u)
+        << "format v" << version;
+    ASSERT_EQ(db.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(db.records()[i].sample_rate_index,
+                logs.records[i].sample_rate_index)
+          << "format v" << version << " record " << i;
+      EXPECT_EQ(db.records()[i].sample_weight(),
+                logs.records[i].sample_weight());
+      EXPECT_EQ(db.records()[i].mode, logs.records[i].mode);
+      EXPECT_EQ(db.records()[i].outcome, logs.records[i].outcome);
+    }
+  }
+
+  // Index 0 (1:1 sampling) means weight 1 -- the neutral element the idle
+  // control plane rests on.  (Its byte-identity with pre-sampling traces is
+  // pinned by GoldenV4ReencodesByteIdentically and the tool_compat ctests.)
+  EXPECT_EQ(monitor::TraceRecord{}.sample_rate_index, 0);
+  EXPECT_EQ(monitor::TraceRecord{}.sample_weight(), 1u);
+  EXPECT_EQ(monitor::sample_rate(0), 1u);
+}
+
 TEST(TraceIo, V3AndV4RenderIdentically) {
   // The format version must be invisible downstream: the same stream
   // encoded both ways synthesizes databases that render byte-identical

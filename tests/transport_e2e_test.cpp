@@ -133,6 +133,49 @@ TEST(TransportE2eTest, TwoPublishersMergeToOfflineIdenticalReport) {
   }
 }
 
+// The adaptive control plane at rest costs nothing: a daemon running
+// --policy=auto with an unreachable burst threshold still completes the
+// version-2 handshake, sends its hello directive, and receives CWST acks
+// -- yet the live report it renders is byte-identical to the same workload
+// collected offline with no control plane at all.  This is the ctest pin
+// on "sampling 1:1 + no directives => unchanged output".
+TEST(TransportE2eTest, ControlPlaneIdleKeepsReportByteIdentical) {
+  const std::string sock = tmp("idlectl.sock");
+  const std::string ref_trace = tmp("idlectl_ref.cwt");
+  const std::string ref_txt = tmp("idlectl_ref.txt");
+  const std::string got_txt = tmp("idlectl_got.txt");
+
+  {
+    auto a = record_args("84");
+    a.push_back("--out=" + ref_trace);
+    ASSERT_EQ(run(a), 0);
+    ASSERT_EQ(
+        run({CAUSEWAY_ANALYZE_BIN, ref_trace, "--report", "-o", ref_txt}),
+        0);
+  }
+
+  const pid_t daemon = spawn({CAUSEWAY_COLLECTD_BIN, "--listen=" + sock,
+                              "--report=" + got_txt, "--policy=auto",
+                              "--policy-burst=1000000", "--expect=1",
+                              "--quiet"});
+  ASSERT_GT(daemon, 0);
+  auto a = record_args("84");
+  a.push_back("--publish=" + sock);
+  a.push_back("--publish-name=idle-ctl");
+  ASSERT_EQ(run(a), 0);
+  ASSERT_EQ(wait_exit(daemon), 0);
+
+  const std::string reference = slurp(ref_txt);
+  const std::string live = slurp(got_txt);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(live, reference)
+      << "idle control plane perturbed the live report";
+
+  for (const std::string& p : {sock, ref_trace, ref_txt, got_txt}) {
+    ::unlink(p.c_str());
+  }
+}
+
 // The merged trace is a first-class .cwt: --reindex leaves it untouched,
 // and chopping its tail (a "crashed daemon" artifact) reindexes back to a
 // readable clean prefix.

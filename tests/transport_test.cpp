@@ -199,6 +199,157 @@ TEST_F(TransportTest, HandshakeRejectsGarbage) {
   EXPECT_THROW(transport::encode_handshake(long_name), TransportError);
 }
 
+TEST_F(TransportTest, ControlCodecRoundtrip) {
+  transport::ControlDirective d;
+  d.seq = 42;
+  d.mode = 2;
+  d.sample_rate_index = monitor::sample_rate_index_for(10);
+  d.enabled = true;
+  d.muted_interfaces = std::vector<std::string>{"Stock::Pricing", "Job::Run"};
+  const std::vector<std::uint8_t> bytes = transport::encode_control(d);
+
+  auto decoded = transport::try_decode_control(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->second, bytes.size());
+  EXPECT_EQ(decoded->first.seq, 42u);
+  ASSERT_TRUE(decoded->first.mode.has_value());
+  EXPECT_EQ(*decoded->first.mode, 2);
+  ASSERT_TRUE(decoded->first.sample_rate_index.has_value());
+  EXPECT_EQ(*decoded->first.sample_rate_index,
+            monitor::sample_rate_index_for(10));
+  ASSERT_TRUE(decoded->first.enabled.has_value());
+  EXPECT_TRUE(*decoded->first.enabled);
+  ASSERT_TRUE(decoded->first.muted_interfaces.has_value());
+  EXPECT_EQ(*decoded->first.muted_interfaces,
+            (std::vector<std::string>{"Stock::Pricing", "Job::Run"}));
+
+  // Every strict prefix is "incomplete", never an error.
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_FALSE(transport::try_decode_control(std::span(bytes.data(), n)))
+        << "prefix length " << n;
+  }
+  // Trailing bytes beyond the frame are the next frame's problem.
+  std::vector<std::uint8_t> more = bytes;
+  more.push_back(0xAB);
+  auto with_tail = transport::try_decode_control(more);
+  ASSERT_TRUE(with_tail.has_value());
+  EXPECT_EQ(with_tail->second, bytes.size());
+
+  // The hello (all fields absent) must survive the wire as exactly that.
+  transport::ControlDirective hello;
+  hello.seq = 1;
+  auto hello_rt = transport::try_decode_control(transport::encode_control(hello));
+  ASSERT_TRUE(hello_rt.has_value());
+  EXPECT_EQ(hello_rt->first.seq, 1u);
+  EXPECT_TRUE(hello_rt->first.empty());
+}
+
+TEST_F(TransportTest, StatusCodecRoundtrip) {
+  transport::ControlStatus st;
+  st.applied_seq = 9;
+  st.sampled_out = 123456789ull;
+  st.sample_rate_index = 5;
+  st.mode = 1;
+  const std::vector<std::uint8_t> bytes = transport::encode_status(st);
+  auto decoded = transport::try_decode_status(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->second, bytes.size());
+  EXPECT_EQ(decoded->first.applied_seq, 9u);
+  EXPECT_EQ(decoded->first.sampled_out, 123456789ull);
+  EXPECT_EQ(decoded->first.sample_rate_index, 5);
+  EXPECT_EQ(decoded->first.mode, 1);
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_FALSE(transport::try_decode_status(std::span(bytes.data(), n)))
+        << "prefix length " << n;
+  }
+}
+
+// A handshake claiming a protocol newer than this build must be rejected:
+// the unit decoder throws, and the daemon closes exactly that connection
+// while a concurrent well-behaved publisher is untouched.
+TEST_F(TransportTest, FutureProtocolVersionRejectedCleanly) {
+  Handshake hs;
+  hs.process_name = "from-the-future";
+  std::vector<std::uint8_t> bytes = transport::encode_handshake(hs);
+  bytes[4] = 0xFF;  // protocol u32 follows the magic; LSB first
+  EXPECT_THROW(transport::try_decode_handshake(bytes), TransportError);
+
+  const std::string path = sock_path("future");
+  RecordingSink sink;
+  CollectorDaemon daemon({path, 0}, sink);
+  daemon.start();
+
+  RawClient future(path);
+  ASSERT_TRUE(future.connected());
+  ASSERT_TRUE(future.send(bytes));
+  ASSERT_TRUE(wait_for([&] { return daemon.stats().protocol_errors == 1; }));
+
+  // Per-connection containment: the daemon still serves a current peer.
+  RawClient good(path);
+  ASSERT_TRUE(good.connected());
+  Handshake current;
+  current.process_name = "current";
+  ASSERT_TRUE(good.send(transport::encode_handshake(current)));
+  monitor::CollectedLogs empty;
+  ASSERT_TRUE(good.send(analysis::encode_trace(empty)));
+  ASSERT_TRUE(wait_for([&] { return sink.segments_seen() == 1; }));
+  good.close();
+  future.close();
+  daemon.stop();
+  EXPECT_EQ(daemon.stats().protocol_errors, 1u);
+  ASSERT_EQ(sink.connects.size(), 1u);  // the future peer never handshook
+  EXPECT_EQ(sink.connects[0].process_name, "current");
+}
+
+// A daemon that accepts the connection but never reads -- wedged, not dead
+// -- must not stall finish() past its flush deadline.  The publisher fills
+// the socket buffers, hits the deadline, counts the rest as dropped and
+// returns.
+TEST_F(TransportTest, WedgedDaemonCannotStallFinish) {
+  const std::string path = sock_path("wedged");
+  ::unlink(path.c_str());
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+  // Never accept(2), never read(2): bytes pile up in the kernel until the
+  // publisher's writes stall on EAGAIN.
+
+  orb::Fabric fabric;
+  workload::SyntheticSystem system(fabric, synthetic_config(13));
+  monitor::Collector collector;
+  system.attach_collector(collector);
+
+  PublisherConfig config;
+  config.socket_path = path;
+  config.process_name = "wedged-feeder";
+  config.interval_ms = 1;
+  config.flush_timeout_ms = 250;
+  EpochPublisher publisher(collector, config);
+  publisher.start();
+  // Enough volume to overflow the kernel socket buffers (a few hundred KB)
+  // so the flush genuinely cannot complete.
+  system.run_transactions(1500);
+  system.wait_quiescent();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(publisher.finish());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(elapsed, 5000) << "finish() must respect flush_timeout_ms";
+
+  const EpochPublisher::Stats stats = publisher.stats();
+  EXPECT_GT(stats.dropped_records, 0u);  // the undeliverable tail
+  ::close(listener);
+  ::unlink(path.c_str());
+}
+
 TEST_F(TransportTest, DropNoticeCodecRoundtrip) {
   const std::vector<std::uint8_t> bytes =
       transport::encode_drop_notice({123456789ull, 17ull});

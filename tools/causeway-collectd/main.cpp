@@ -15,7 +15,19 @@
 //                     [--report=PATH | --report=-]
 //                     [--anomalies=stderr|jsonl:PATH|none]
 //                     [--ingest-shards=N]
+//                     [--policy=off|auto] [--policy-burst=N]
+//                     [--policy-window-ms=N] [--policy-throttle=N]
+//                     [--policy-rearm-windows=N] [--policy-hold-ms=N]
+//                     [--policy-max-rps=N]
 //                     [--expect=N] [--idle-exit-ms=N] [--quiet]
+//
+// --policy=auto closes the control loop: a ControlPolicy watches the live
+// anomaly stream and per-publisher load, and sends CWCT directives back
+// down the data sockets -- sampling a hot publisher down to 1-in-N
+// (--policy-throttle, default 10) and re-arming it to full fidelity after
+// the hysteresis clears.  Old (protocol 1) publishers are silently left
+// alone.  The suppressed-record counts publishers report back (CWST) are
+// folded into the pipeline so the final report reconciles exactly.
 //
 // Lifecycle: runs until SIGINT/SIGTERM, or -- for scripted runs -- until
 // --expect=N publishers have connected and all of them disconnected, or
@@ -40,6 +52,7 @@
 #include "analysis/pipeline.h"
 #include "analysis/trace_io.h"
 #include "transport/ingest_sink.h"
+#include "transport/policy.h"
 #include "transport/subscriber.h"
 
 using namespace causeway;
@@ -57,8 +70,18 @@ int usage() {
       "           [--out=merged.cwt] [--trace-format=v3|v4]\n"
       "           [--report=PATH|-] [--anomalies=stderr|jsonl:PATH|none]\n"
       "           [--ingest-shards=N] [--expect=N] [--idle-exit-ms=N]\n"
-      "           [--quiet]\n");
+      "           [--policy=off|auto] [--policy-burst=N]\n"
+      "           [--policy-window-ms=N] [--policy-throttle=N]\n"
+      "           [--policy-rearm-windows=N] [--policy-hold-ms=N]\n"
+      "           [--policy-max-rps=N] [--quiet]\n");
   return 2;
+}
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -73,6 +96,8 @@ int main(int argc, char** argv) {
   std::uint64_t expect = 0;
   std::uint64_t idle_exit_ms = 0;
   bool quiet = false;
+  bool policy_on = false;
+  transport::PolicyConfig policy_config;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,6 +126,35 @@ int main(int argc, char** argv) {
       expect = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 9));
     } else if (arg.rfind("--idle-exit-ms=", 0) == 0) {
       idle_exit_ms = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 15));
+    } else if (arg.rfind("--policy=", 0) == 0) {
+      const std::string mode = arg.substr(9);
+      if (mode == "auto") {
+        policy_on = true;
+      } else if (mode == "off") {
+        policy_on = false;
+      } else {
+        std::fprintf(stderr, "unknown policy '%s' (want off or auto)\n",
+                     mode.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--policy-burst=", 0) == 0) {
+      policy_config.anomaly_burst =
+          static_cast<std::uint64_t>(std::atoll(arg.c_str() + 15));
+    } else if (arg.rfind("--policy-window-ms=", 0) == 0) {
+      policy_config.window_ms =
+          static_cast<std::uint64_t>(std::atoll(arg.c_str() + 19));
+    } else if (arg.rfind("--policy-throttle=", 0) == 0) {
+      policy_config.throttled_rate_index = monitor::sample_rate_index_for(
+          static_cast<std::uint64_t>(std::atoll(arg.c_str() + 18)));
+    } else if (arg.rfind("--policy-rearm-windows=", 0) == 0) {
+      policy_config.rearm_quiet_windows =
+          static_cast<std::uint64_t>(std::atoll(arg.c_str() + 23));
+    } else if (arg.rfind("--policy-hold-ms=", 0) == 0) {
+      policy_config.min_hold_ms =
+          static_cast<std::uint64_t>(std::atoll(arg.c_str() + 17));
+    } else if (arg.rfind("--policy-max-rps=", 0) == 0) {
+      policy_config.max_records_per_sec =
+          static_cast<std::uint64_t>(std::atoll(arg.c_str() + 17));
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -143,10 +197,29 @@ int main(int argc, char** argv) {
     }
     if (sink && pipeline) pipeline->add_sink(sink.get());
 
+    // The policy sends through the daemon, which is constructed below (it
+    // needs the sink, which needs the policy); one level of pointer
+    // indirection breaks the cycle.  No directive can fire before the
+    // daemon exists -- they only originate from daemon callbacks and the
+    // wait-loop tick.
+    transport::CollectorDaemon* daemon_ptr = nullptr;
+    std::unique_ptr<transport::ControlPolicy> policy;
+    if (policy_on) {
+      policy = std::make_unique<transport::ControlPolicy>(
+          policy_config,
+          [&daemon_ptr](std::uint64_t peer_id,
+                        const transport::ControlDirective& directive) {
+            return daemon_ptr ? daemon_ptr->send_control(peer_id, directive)
+                              : 0;
+          });
+      if (pipeline) pipeline->add_sink(policy.get());
+    }
+
     transport::IngestSink::Options sink_options;
     sink_options.pipeline = pipeline.get();
     sink_options.merged_path = out;
     sink_options.merged_format = trace_format;
+    sink_options.policy = policy.get();
     transport::IngestSink ingest(std::move(sink_options));
     if (!quiet && pipeline) {
       analysis::AnalysisPipeline* pp = pipeline.get();
@@ -160,6 +233,7 @@ int main(int argc, char** argv) {
     }
 
     transport::CollectorDaemon daemon({listen, 0}, ingest);
+    daemon_ptr = &daemon;
     daemon.start();
     if (!quiet) {
       std::fprintf(stderr, "[collectd] listening on %s\n", listen.c_str());
@@ -169,6 +243,10 @@ int main(int argc, char** argv) {
     std::uint64_t idle_ms = 0;
     while (!g_stop.load(std::memory_order_relaxed)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      // Quiet windows only exist if somebody watches the clock while no
+      // segments arrive; the tick is what lets a throttled publisher
+      // re-arm during silence.
+      if (policy) policy->tick(steady_ms());
       const transport::CollectorDaemon::Stats stats = daemon.stats();
       if (expect > 0 && stats.connections_total >= expect &&
           stats.connections_active == 0) {
@@ -198,6 +276,19 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(totals.publish_dropped_records),
           static_cast<unsigned long long>(stats.protocol_errors),
           out.empty() ? "" : " -> ", out.c_str());
+      if (policy) {
+        const transport::ControlPolicy::Stats ps = policy->stats();
+        std::fprintf(
+            stderr,
+            "[collectd] policy: %llu throttles, %llu re-arms, %llu "
+            "directives sent, %llu anomalies attributed, %llu sampled-out "
+            "records reported\n",
+            static_cast<unsigned long long>(ps.throttles),
+            static_cast<unsigned long long>(ps.rearms),
+            static_cast<unsigned long long>(ps.directives_sent),
+            static_cast<unsigned long long>(ps.anomalies_attributed),
+            static_cast<unsigned long long>(totals.sampled_out_records));
+      }
     }
 
     if (pipeline && !report.empty()) {

@@ -23,7 +23,7 @@
 //                   [--jobs=N] [--transactions=N] [--seed=N]
 //                   [--stream] [--interval-ms=N] [--fixed-interval]
 //                   [--out=trace.cwt] [--trace-format=v3|v4] [--verify]
-//                   [--publish=SOCK] [--publish-name=NAME]
+//                   [--publish=SOCK] [--publish-name=NAME] [--no-control]
 //
 // --verify reads the finished trace back through the analyzer's (parallel)
 // segment decoder and checks the synthesized database against the writer's
@@ -35,6 +35,12 @@
 // cadence, adaptivity and --interval-ms knobs apply unchanged; --out and
 // --verify do not (there is no local file).  The publisher never blocks the
 // workload: segments the daemon cannot absorb are dropped and counted.
+//
+// While publishing, the daemon may steer this process (causeway-collectd
+// --policy=auto): CWCT directives arriving on the same socket retune the
+// probes -- chain sampling, probe mode, muting -- applied at the next epoch
+// boundary.  --no-control opts out; directives are then decoded and
+// discarded, exactly as if this were an old publisher.
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -70,6 +76,7 @@ struct Args {
   bool verify{false};
   std::string publish;       // socket path; "" = write a local file
   std::string publish_name;  // handshake name (default: workload-pid)
+  bool accept_control{true};  // --no-control: decode-and-drop directives
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -116,6 +123,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.publish = v;
     } else if (const char* v = value("--publish-name=")) {
       args.publish_name = v;
+    } else if (arg == "--no-control") {
+      args.accept_control = false;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return false;
@@ -263,6 +272,7 @@ std::uint64_t record(const Args& args, System& system, Drive&& drive) {
     config.trace_format = args.trace_format;
     config.interval_ms = static_cast<std::uint64_t>(args.interval_ms);
     config.adaptive = args.adaptive;
+    config.accept_control = args.accept_control;
     transport::EpochPublisher publisher(collector, config);
     publisher.start();
     drive();
@@ -278,6 +288,14 @@ std::uint64_t record(const Args& args, System& system, Drive&& drive) {
         static_cast<unsigned long long>(stats.dropped_records),
         static_cast<unsigned long long>(stats.reconnects),
         args.publish.c_str(), clean ? "" : " [flush incomplete]");
+    if (stats.directives_received > 0 || stats.sampled_out_records > 0) {
+      std::printf(
+          "causeway-record: control: %llu directives (last applied seq "
+          "%llu), %llu records sampled out\n",
+          static_cast<unsigned long long>(stats.directives_received),
+          static_cast<unsigned long long>(stats.last_applied_seq),
+          static_cast<unsigned long long>(stats.sampled_out_records));
+    }
     return stats.records_sent;
   }
 
