@@ -1,7 +1,10 @@
 // Transport bench: loopback throughput of the cross-process collection
-// socket -- a publisher-side client streams handshake + pre-encoded v4
-// segments over a Unix socket into a real CollectorDaemon, and we measure
-// how fast the daemon's poll loop frames them back out of the byte stream.
+// stream -- a publisher-side client streams handshake + pre-encoded v4
+// segments into a real CollectorDaemon, and we measure how fast the
+// daemon's poll loop frames them back out of the byte stream.  Each sink
+// variant runs over both endpoint kinds: a Unix-domain socket and TCP
+// loopback, so the cost of the cross-host fabric is visible next to the
+// same-host baseline.
 //
 // Two sink variants separate the costs: "frame" counts segments as the
 // demux hands them over (pure framing: poll, reads, probe_trace_block),
@@ -25,12 +28,11 @@
 #include <thread>
 #include <vector>
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "analysis/trace_io.h"
 #include "common/wire_io.h"
+#include "transport/endpoint.h"
 #include "transport/protocol.h"
 #include "transport/subscriber.h"
 #include "workload/logsynth.h"
@@ -74,23 +76,9 @@ struct RunResult {
   }
 };
 
-int connect_blocking(const std::string& path) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
-}
-
 // One timed pass: fresh connection, handshake, stream every segment, wait
 // for the daemon to finish framing them.  Best of `reps`.
-RunResult run(std::string name, const std::string& sock_path, bool decode,
+RunResult run(std::string name, const std::string& listen_spec, bool decode,
               const std::vector<std::vector<std::uint8_t>>& segments,
               std::size_t total_records, std::size_t wire_bytes, int reps) {
   RunResult r;
@@ -99,8 +87,10 @@ RunResult run(std::string name, const std::string& sock_path, bool decode,
   r.records = total_records;
 
   CountingSink sink(decode);
-  transport::CollectorDaemon daemon({.socket_path = sock_path}, sink);
+  transport::CollectorDaemon daemon({{listen_spec}}, sink);
   daemon.start();
+  // Resolve the bound address once (TCP listens on an ephemeral port).
+  const transport::EndpointAddress address = daemon.listen_addresses().front();
 
   transport::Handshake hello;
   hello.pid = static_cast<std::uint64_t>(::getpid());
@@ -112,17 +102,20 @@ RunResult run(std::string name, const std::string& sock_path, bool decode,
   std::size_t done = 0;
   for (int rep = 0; rep < reps; ++rep) {
     const auto t0 = Clock::now();
-    const int fd = connect_blocking(sock_path);
-    if (fd < 0) {
-      std::fprintf(stderr, "FATAL: connect %s failed\n", sock_path.c_str());
+    transport::StreamEndpoint endpoint =
+        transport::connect_endpoint(address, 1000);
+    if (!endpoint.valid()) {
+      std::fprintf(stderr, "FATAL: connect %s failed\n",
+                   address.to_string().c_str());
       std::exit(1);
     }
-    bool ok = io_write_full(fd, handshake.data(), handshake.size());
+    endpoint.set_blocking(true);
+    bool ok = io_write_full(endpoint.fd(), handshake.data(), handshake.size());
     for (const auto& segment : segments) {
       if (!ok) break;
-      ok = io_write_full(fd, segment.data(), segment.size());
+      ok = io_write_full(endpoint.fd(), segment.data(), segment.size());
     }
-    ::close(fd);
+    endpoint.close();
     if (!ok) {
       std::fprintf(stderr, "FATAL: socket write failed\n");
       std::exit(1);
@@ -147,29 +140,19 @@ RunResult run(std::string name, const std::string& sock_path, bool decode,
 }
 
 void print_result(const RunResult& r) {
-  std::printf("%-12s %10zu B | %7.3f s | %8.1f MB/s | %9.0f rec/s\n",
+  std::printf("%-18s %10zu B | %7.3f s | %8.1f MB/s | %9.0f rec/s\n",
               r.name.c_str(), r.wire_bytes, r.seconds, r.mb_per_sec(),
               r.records_per_sec());
 }
 
 void write_json(const std::string& path, std::size_t cores,
                 std::size_t records, std::size_t segments,
-                std::size_t wire_bytes, const RunResult& frame,
-                const RunResult& decode) {
+                std::size_t wire_bytes, const std::vector<RunResult>& runs) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return;
   }
-  auto emit = [&](const RunResult& r, const char* trailing) {
-    char buf[384];
-    std::snprintf(buf, sizeof buf,
-                  "    {\"name\": \"%s\", \"seconds\": %.4f, "
-                  "\"mb_per_sec\": %.1f, \"records_per_sec\": %.0f}%s\n",
-                  r.name.c_str(), r.seconds, r.mb_per_sec(),
-                  r.records_per_sec(), trailing);
-    out << buf;
-  };
   out << "{\n"
       << "  \"bench\": \"bench_transport\",\n"
       << "  \"hardware_concurrency\": " << cores << ",\n"
@@ -177,8 +160,16 @@ void write_json(const std::string& path, std::size_t cores,
       << "  \"segments\": " << segments << ",\n"
       << "  \"wire_bytes\": " << wire_bytes << ",\n"
       << "  \"runs\": [\n";
-  emit(frame, ",");
-  emit(decode, "");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    char buf[384];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"seconds\": %.4f, "
+                  "\"mb_per_sec\": %.1f, \"records_per_sec\": %.0f}%s\n",
+                  runs[i].name.c_str(), runs[i].seconds, runs[i].mb_per_sec(),
+                  runs[i].records_per_sec(),
+                  i + 1 < runs.size() ? "," : "");
+    out << buf;
+  }
   out << "  ]\n}\n";
 }
 
@@ -223,26 +214,37 @@ int main(int argc, char** argv) {
     encoded.push_back(analysis::encode_trace(bundle));
     wire_bytes += encoded.back().size();
   }
-  const std::string sock_path =
-      (std::filesystem::temp_directory_path() /
-       ("bench_transport_" + std::to_string(::getpid()) + ".sock"))
-          .string();
+  const std::string unix_spec =
+      "unix:" + (std::filesystem::temp_directory_path() /
+                 ("bench_transport_" + std::to_string(::getpid()) + ".sock"))
+                    .string();
   std::printf(
-      "=== collection socket: %zu records in %zu segments (%zu B), "
+      "=== collection stream: %zu records in %zu segments (%zu B), "
       "%zu cores ===\n\n",
       records.size(), encoded.size(), wire_bytes, cores);
 
   const int reps = 3;
-  const RunResult frame = run("frame", sock_path, /*decode=*/false, encoded,
-                              records.size(), wire_bytes, reps);
-  print_result(frame);
-  const RunResult decode = run("frame+decode", sock_path, /*decode=*/true,
-                               encoded, records.size(), wire_bytes, reps);
-  print_result(decode);
-  ::unlink(sock_path.c_str());
+  std::vector<RunResult> results;
+  const struct {
+    const char* label;
+    std::string spec;
+  } transports[] = {
+      {"unix", unix_spec},
+      {"tcp", "tcp:127.0.0.1:0"},
+  };
+  for (const auto& transport : transports) {
+    results.push_back(run(std::string("frame/") + transport.label,
+                          transport.spec, /*decode=*/false, encoded,
+                          records.size(), wire_bytes, reps));
+    print_result(results.back());
+    results.push_back(run(std::string("frame+decode/") + transport.label,
+                          transport.spec, /*decode=*/true, encoded,
+                          records.size(), wire_bytes, reps));
+    print_result(results.back());
+  }
 
   write_json(json_path, cores, records.size(), encoded.size(), wire_bytes,
-             frame, decode);
+             results);
   std::printf("\nwrote %s\n", json_path.c_str());
   return 0;
 }

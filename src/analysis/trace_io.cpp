@@ -920,6 +920,51 @@ monitor::CollectedLogs decode_trace_segment(
   }
 }
 
+std::uint64_t trace_segment_record_count(
+    std::span<const std::uint8_t> segment) {
+  try {
+    WireCursor in(segment.data(), segment.size());
+    if (in.read_u32() != kMagic) throw TraceIoError("not a causeway trace");
+    const std::uint32_t version = in.read_u32();
+    if (version < kMinVersion || version > kMaxVersion) {
+      throw TraceIoError("unsupported trace version " +
+                         std::to_string(version));
+    }
+    if (version >= 4) {
+      in.skip(8);   // body length
+      in.skip(16);  // epoch + dropped
+      const std::uint64_t domain_count = in.read_varint();
+      if (domain_count > in.remaining() / kMinV4DomainBytes) {
+        throw WireError("wire underflow");
+      }
+      for (std::uint64_t i = 0; i < domain_count; ++i) {
+        in.read_varint();  // process id
+        in.read_varint();  // node id
+        in.read_varint();  // type id
+        in.read_u8();      // mode
+        in.read_varint();  // per-domain record count
+      }
+      const std::uint64_t string_count = in.read_varint();
+      if (string_count > in.remaining()) throw WireError("wire underflow");
+      for (std::uint64_t i = 0; i < string_count; ++i) {
+        in.skip(static_cast<std::size_t>(in.read_varint()));
+      }
+      return in.read_varint();
+    }
+    in.skip(16);  // epoch + dropped
+    const std::uint32_t domain_count = in.read_u32();
+    if (domain_count > in.remaining() / kDomainWireBytes) {
+      throw WireError("wire underflow");
+    }
+    in.skip(domain_count * kDomainWireBytes);
+    const std::uint32_t string_count = in.read_u32();
+    for (std::uint32_t i = 0; i < string_count; ++i) in.skip(in.read_u32());
+    return in.read_u64();
+  } catch (const WireError& e) {
+    throw TraceIoError(std::string("corrupt trace segment: ") + e.what());
+  }
+}
+
 ReindexResult reindex_trace_file(const std::string& path) {
   ReindexResult result;
   std::vector<Extent> extents;

@@ -116,6 +116,13 @@ bool probe_trace_block(std::span<const std::uint8_t> bytes,
 monitor::CollectedLogs decode_trace_segment(
     std::span<const std::uint8_t> segment);
 
+// Reads one complete segment's total record count from its header without
+// decoding the record payload -- what a relay tier needs to account for
+// the segments it forwards (or sheds) without paying for a full decode.
+// Throws TraceIoError if `segment` is not a well-formed segment prefix.
+std::uint64_t trace_segment_record_count(
+    std::span<const std::uint8_t> segment);
+
 // `causeway-analyze --reindex`: rewrites a trailer-less trace file (a
 // crashed or still-unclosed writer's artifact) in place so future opens get
 // every segment extent from the directory trailer in O(segments).  An

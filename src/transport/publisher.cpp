@@ -1,22 +1,11 @@
 #include "transport/publisher.h"
 
+#include <algorithm>
 #include <chrono>
-#include <cstring>
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
-#include <sys/un.h>
-#endif
 
 #include "analysis/trace_io.h"
-#include "common/strings.h"
-#include "common/wire_io.h"
 
 namespace causeway::transport {
-
-#if !defined(CAUSEWAY_HAS_POSIX_IO)
-#error "the collection transport requires POSIX sockets"
-#endif
 
 namespace {
 
@@ -29,19 +18,28 @@ std::uint64_t steady_ms() {
 
 }  // namespace
 
+UplinkConfig EpochPublisher::uplink_config(const PublisherConfig& config,
+                                           std::uint32_t trace_format) {
+  UplinkConfig uc;
+  uc.address = config.address;
+  uc.process_name = config.process_name;
+  uc.trace_format = trace_format;
+  uc.max_inflight_bytes = config.max_inflight_bytes;
+  uc.reconnect_initial_ms = config.reconnect_initial_ms;
+  uc.reconnect_max_ms = config.reconnect_max_ms;
+  uc.backoff_jitter = config.backoff_jitter;
+  uc.sndbuf_bytes = config.sndbuf_bytes;
+  return uc;
+}
+
 EpochPublisher::EpochPublisher(monitor::Collector& collector,
                                PublisherConfig config)
     : collector_(collector),
       config_(std::move(config)),
       trace_format_(config_.trace_format != 0 ? config_.trace_format
-                                              : analysis::kTraceFormatDefault) {
-  sockaddr_un addr{};
-  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
-    throw TransportError(
-        strf("socket path too long (%zu bytes, limit %zu): %s",
-             config_.socket_path.size(), sizeof(addr.sun_path) - 1,
-             config_.socket_path.c_str()));
-  }
+                                              : analysis::kTraceFormatDefault),
+      uplink_(uplink_config(config_, trace_format_),
+              [this](const ControlDirective& d) { handle_directive(d); }) {
   if (config_.interval_ms == 0) config_.interval_ms = 1;
 }
 
@@ -51,6 +49,7 @@ void EpochPublisher::start() {
   std::lock_guard lk(mutex_);
   if (started_) return;
   started_ = true;
+  uplink_.start();
   worker_ = std::thread([this] { run(); });
 }
 
@@ -60,7 +59,7 @@ bool EpochPublisher::finish() {
     if (finished_) return flushed_clean_;
     finished_ = true;
     if (!started_) {
-      // Never started: run the worker just for the final drain + flush.
+      // Never started: run the worker just for the final drain.
       started_ = true;
       worker_ = std::thread([this] { run(); });
     }
@@ -68,163 +67,83 @@ bool EpochPublisher::finish() {
   }
   cv_.notify_all();
   worker_.join();
-  return flushed_clean_;
+  // The final epoch is queued by now; the uplink owns the bounded flush
+  // (and, when the daemon never answered, the drop accounting).
+  const bool clean = uplink_.finish(config_.flush_timeout_ms);
+  std::lock_guard lk(mutex_);
+  flushed_clean_ = clean;
+  return clean;
 }
 
 EpochPublisher::Stats EpochPublisher::stats() const {
+  const Uplink::Stats u = uplink_.stats();
   Stats s;
   s.epochs_drained = epochs_drained_.load(std::memory_order_relaxed);
-  s.segments_sent = segments_sent_.load(std::memory_order_relaxed);
-  s.records_sent = records_sent_.load(std::memory_order_relaxed);
-  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
-  s.dropped_segments = dropped_segments_.load(std::memory_order_relaxed);
-  s.dropped_records = dropped_records_.load(std::memory_order_relaxed);
-  s.reconnects = reconnects_.load(std::memory_order_relaxed);
-  s.directives_received = directives_received_.load(std::memory_order_relaxed);
+  s.segments_sent = u.segments_sent;
+  s.records_sent = u.records_sent;
+  s.bytes_sent = u.bytes_sent;
+  s.dropped_segments = u.dropped_segments;
+  s.dropped_records = u.dropped_records;
+  s.reconnects = u.reconnects;
+  s.directives_received = u.directives_received;
   s.sampled_out_records = sampled_out_records_.load(std::memory_order_relaxed);
   s.last_applied_seq = last_applied_seq_.load(std::memory_order_relaxed);
   return s;
 }
 
-bool EpochPublisher::queue_empty() const {
-  for (const Entry& e : queue_) {
-    if (e.is_segment) return false;
-  }
-  return true;
-}
-
 void EpochPublisher::run() {
   std::uint64_t interval = config_.interval_ms;
-  std::uint64_t last_ring_dropped = 0;
-  double last_utilization = 0.0;
   std::uint64_t next_drain = steady_ms() + interval;
   for (;;) {
-    const std::uint64_t now = steady_ms();
-    bool stop = false;
     {
       std::lock_guard lk(mutex_);
-      stop = stop_requested_;
+      if (stop_requested_) break;
     }
-    if (stop) break;
-
-    if (now >= next_drain) {
+    if (steady_ms() >= next_drain) {
       drain_once(false);
-      {
-        std::lock_guard lk(mutex_);
-        last_ring_dropped = last_drain_dropped_;
-        last_utilization = last_drain_utilization_;
-      }
       if (config_.adaptive) {
         interval = monitor::adaptive_interval_ms(
-            interval, config_.interval_ms, last_ring_dropped,
-            last_utilization);
+            interval, config_.interval_ms, last_drain_dropped_,
+            last_drain_utilization_);
       }
       next_drain = steady_ms() + interval;
     }
-
-    ensure_connected(now);
-    if (connected_.load(std::memory_order_relaxed)) read_socket();
-    if (connected_.load(std::memory_order_relaxed)) pump_socket();
-
-    // Sleep until the next drain, the next reconnect attempt, or a short
-    // retry tick when the socket pushed back (EAGAIN with data queued).
-    std::uint64_t wait = next_drain > now ? next_drain - now : 1;
-    if (!connected_.load(std::memory_order_relaxed)) {
-      if (next_connect_ms_ > now) {
-        wait = std::min(wait, next_connect_ms_ - now);
-      } else {
-        wait = std::min<std::uint64_t>(wait, 1);
-      }
-    } else {
-      std::lock_guard lk(mutex_);
-      if (!queue_.empty()) wait = std::min<std::uint64_t>(wait, 2);
-    }
     std::unique_lock lk(mutex_);
-    if (!stop_requested_) {
-      cv_.wait_for(lk, std::chrono::milliseconds(std::max<std::uint64_t>(
-                           wait, 1)));
-    }
-  }
-
-  // Shutdown: ship the final epoch -- always, even when empty, so the
-  // daemon learns the full domain inventory -- then flush with a deadline.
-  drain_once(true);
-  const std::uint64_t deadline = steady_ms() + config_.flush_timeout_ms;
-  for (;;) {
+    if (stop_requested_) break;
     const std::uint64_t now = steady_ms();
-    ensure_connected(now);
-    if (connected_.load(std::memory_order_relaxed)) read_socket();
-    if (connected_.load(std::memory_order_relaxed)) pump_socket();
-    {
-      std::lock_guard lk(mutex_);
-      if (queue_empty()) break;
-    }
-    if (now >= deadline) break;
-    std::unique_lock lk(mutex_);
-    cv_.wait_for(lk, std::chrono::milliseconds(1));
+    const std::uint64_t wait = next_drain > now ? next_drain - now : 1;
+    cv_.wait_for(lk, std::chrono::milliseconds(std::max<std::uint64_t>(
+                         wait, 1)));
   }
-  {
-    std::lock_guard lk(mutex_);
-    flushed_clean_ = queue_empty();
-    if (!flushed_clean_) {
-      for (const Entry& e : queue_) {
-        if (!e.is_segment) continue;
-        dropped_segments_.fetch_add(1, std::memory_order_relaxed);
-        dropped_records_.fetch_add(e.records, std::memory_order_relaxed);
-      }
-      queue_.clear();
-      inflight_segment_bytes_ = 0;
-      front_offset_ = 0;
-    }
-  }
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-    connected_.store(false, std::memory_order_relaxed);
-  }
+  // Shutdown: ship the final epoch -- always, even when empty, so the
+  // daemon learns the full domain inventory.
+  drain_once(true);
 }
 
 void EpochPublisher::drain_once(bool final_drain) {
   // Everything staged up to here -- directive seq staged_seq_ -- is what
-  // this drain boundary applies (read_socket and drain_once share the
-  // worker thread, so no directive can slip in mid-drain).
-  const std::uint64_t applied_seq = staged_seq_;
+  // this drain boundary applies.  (Directives landing mid-drain are applied
+  // and acknowledged by the next epoch.)
+  const std::uint64_t applied_seq =
+      staged_seq_.load(std::memory_order_acquire);
   monitor::CollectedLogs logs = collector_.drain();
   epochs_drained_.fetch_add(1, std::memory_order_relaxed);
   last_applied_seq_.store(applied_seq, std::memory_order_relaxed);
   sampled_out_records_.fetch_add(logs.sampled_out, std::memory_order_relaxed);
-  {
-    std::lock_guard lk(mutex_);
-    last_drain_dropped_ = logs.dropped;
-    last_drain_utilization_ = logs.ring_utilization;
-  }
+  last_drain_dropped_ = logs.dropped;
+  last_drain_utilization_ = logs.ring_utilization;
 
-  // Control acknowledgement / sampled-out accounting.  A status ships when
-  // there is something to say (a directive newly applied, or records
-  // suppressed) and the channel is live; otherwise the delta is held so a
-  // later status -- possibly on the next connection -- carries it.
-  const std::uint64_t sampled_delta =
-      logs.sampled_out + pending_status_sampled_out_;
-  pending_status_sampled_out_ = 0;
-  if (control_live_ &&
-      (applied_seq != last_status_seq_ || sampled_delta > 0)) {
-    ControlStatus status;
-    status.applied_seq = applied_seq;
-    status.sampled_out = sampled_delta;
-    status.sample_rate_index = current_rate_index_;
-    status.mode = logs.domains.empty()
-                      ? 0
-                      : static_cast<std::uint8_t>(logs.domains[0].mode);
-    Entry e{encode_status(status), 0, /*is_segment=*/false};
-    e.is_status = true;
-    e.status_sampled_out = sampled_delta;
-    {
-      std::lock_guard lk(mutex_);
-      queue_.push_back(std::move(e));
-    }
-    last_status_seq_ = applied_seq;
-  } else {
-    pending_status_sampled_out_ = sampled_delta;
+  // Control acknowledgement / sampled-out accounting.  The uplink ships a
+  // CWST when its control channel is live and there is something to say;
+  // otherwise it holds the delta (across reconnects) for a later status.
+  // A publisher that refuses control never speaks CWST at all.
+  if (config_.accept_control) {
+    const std::uint8_t mode =
+        logs.domains.empty() ? 0
+                             : static_cast<std::uint8_t>(logs.domains[0].mode);
+    uplink_.offer_status(applied_seq, logs.sampled_out,
+                         current_rate_index_.load(std::memory_order_relaxed),
+                         mode);
   }
 
   // Empty intermediate epochs carry nothing a later epoch will not repeat
@@ -233,14 +152,12 @@ void EpochPublisher::drain_once(bool final_drain) {
   // process that logged nothing.
   if (!final_drain && logs.records.empty() && logs.dropped == 0) return;
   const std::uint64_t records = logs.records.size();
-  enqueue_segment(analysis::encode_trace(logs, trace_format_), records);
+  uplink_.offer_segment(analysis::encode_trace(logs, trace_format_), records);
 }
 
 void EpochPublisher::handle_directive(const ControlDirective& directive) {
-  directives_received_.fetch_add(1, std::memory_order_relaxed);
   if (!config_.accept_control) return;  // decoded for framing, then ignored
-  control_live_ = true;
-  staged_seq_ = directive.seq;
+  staged_seq_.store(directive.seq, std::memory_order_release);
   monitor::ControlUpdate update;
   if (directive.mode && *directive.mode <= 2) {
     update.mode = static_cast<monitor::ProbeMode>(*directive.mode);
@@ -248,194 +165,14 @@ void EpochPublisher::handle_directive(const ControlDirective& directive) {
   if (directive.sample_rate_index &&
       *directive.sample_rate_index < monitor::kSampleRateCount) {
     update.sample_rate_index = *directive.sample_rate_index;
-    current_rate_index_ = *directive.sample_rate_index;
+    current_rate_index_.store(*directive.sample_rate_index,
+                              std::memory_order_relaxed);
   }
   if (directive.enabled) update.enabled = *directive.enabled;
   if (directive.muted_interfaces) {
     update.muted_interfaces = *directive.muted_interfaces;
   }
   if (!update.empty()) collector_.stage_control(update);
-}
-
-void EpochPublisher::read_socket() {
-  std::uint8_t chunk[4096];
-  for (;;) {
-    const long got = io_read_some(fd_, chunk, sizeof(chunk));
-    if (got < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      handle_disconnect();
-      return;
-    }
-    if (got == 0) {  // daemon closed its end
-      handle_disconnect();
-      return;
-    }
-    in_buffer_.insert(in_buffer_.end(), chunk, chunk + got);
-    try {
-      std::size_t consumed = 0;
-      for (;;) {
-        const std::span<const std::uint8_t> rest(in_buffer_.data() + consumed,
-                                                 in_buffer_.size() - consumed);
-        if (rest.empty()) break;
-        auto directive = try_decode_control(rest);
-        if (!directive) break;
-        consumed += directive->second;
-        handle_directive(directive->first);
-      }
-      if (consumed > 0) {
-        in_buffer_.erase(
-            in_buffer_.begin(),
-            in_buffer_.begin() + static_cast<std::ptrdiff_t>(consumed));
-      }
-    } catch (const std::exception&) {
-      // Garbage on the control channel: same containment as the daemon's --
-      // drop the connection, reconnect fresh.
-      handle_disconnect();
-      return;
-    }
-    if (static_cast<std::size_t>(got) < sizeof(chunk)) return;
-  }
-}
-
-void EpochPublisher::enqueue_segment(std::vector<std::uint8_t> bytes,
-                                     std::uint64_t records) {
-  std::lock_guard lk(mutex_);
-  if (inflight_segment_bytes_ + bytes.size() > config_.max_inflight_bytes) {
-    // Back-pressure: the daemon (or the socket to it) is behind.  Drop the
-    // *new* segment whole -- the queued clean prefix is never cannibalized
-    // -- and remember the loss for the next drop notice.
-    dropped_segments_.fetch_add(1, std::memory_order_relaxed);
-    dropped_records_.fetch_add(records, std::memory_order_relaxed);
-    pending_drop_records_ += records;
-    pending_drop_segments_ += 1;
-    return;
-  }
-  inflight_segment_bytes_ += bytes.size();
-  queue_.push_back(Entry{std::move(bytes), records, /*is_segment=*/true});
-}
-
-bool EpochPublisher::ensure_connected(std::uint64_t now_ms) {
-  if (connected_.load(std::memory_order_relaxed)) return true;
-  if (now_ms < next_connect_ms_) return false;
-  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd >= 0) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    std::memcpy(addr.sun_path, config_.socket_path.c_str(),
-                config_.socket_path.size());
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) == 0) {
-      ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
-      fd_ = fd;
-      backoff_ms_ = 0;
-      if (ever_connected_) {
-        reconnects_.fetch_add(1, std::memory_order_relaxed);
-      }
-      ever_connected_ = true;
-      Handshake hs;
-      hs.trace_format = trace_format_;
-      hs.pid = static_cast<std::uint64_t>(::getpid());
-      hs.process_name = config_.process_name;
-      {
-        std::lock_guard lk(mutex_);
-        // The handshake leads every connection; front_offset_ is 0 here
-        // (reset on disconnect), so prepending keeps frame boundaries.
-        queue_.push_front(
-            Entry{encode_handshake(hs), 0, /*is_segment=*/false});
-      }
-      connected_.store(true, std::memory_order_relaxed);
-      return true;
-    }
-    ::close(fd);
-  }
-  backoff_ms_ = backoff_ms_ == 0
-                    ? config_.reconnect_initial_ms
-                    : std::min(backoff_ms_ * 2, config_.reconnect_max_ms);
-  next_connect_ms_ = now_ms + std::max<std::uint64_t>(backoff_ms_, 1);
-  return false;
-}
-
-void EpochPublisher::pump_socket() {
-  {
-    std::lock_guard lk(mutex_);
-    if (pending_drop_records_ != 0 || pending_drop_segments_ != 0) {
-      DropNotice notice{pending_drop_records_, pending_drop_segments_};
-      Entry e{encode_drop_notice(notice), pending_drop_records_,
-              /*is_segment=*/false};
-      e.notice_segments = pending_drop_segments_;
-      queue_.push_back(std::move(e));
-      pending_drop_records_ = 0;
-      pending_drop_segments_ = 0;
-    }
-  }
-  for (;;) {
-    std::vector<std::uint8_t>* bytes = nullptr;
-    std::size_t offset = 0;
-    {
-      std::lock_guard lk(mutex_);
-      if (queue_.empty()) return;
-      bytes = &queue_.front().bytes;
-      offset = front_offset_;
-    }
-    const long sent =
-        io_write_some(fd_, bytes->data() + offset, bytes->size() - offset);
-    if (sent < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      handle_disconnect();
-      return;
-    }
-    bytes_sent_.fetch_add(static_cast<std::uint64_t>(sent),
-                          std::memory_order_relaxed);
-    std::lock_guard lk(mutex_);
-    front_offset_ += static_cast<std::size_t>(sent);
-    if (front_offset_ == queue_.front().bytes.size()) {
-      const Entry& e = queue_.front();
-      if (e.is_segment) {
-        segments_sent_.fetch_add(1, std::memory_order_relaxed);
-        records_sent_.fetch_add(e.records, std::memory_order_relaxed);
-        inflight_segment_bytes_ -= e.bytes.size();
-      }
-      queue_.pop_front();
-      front_offset_ = 0;
-    }
-  }
-}
-
-void EpochPublisher::handle_disconnect() {
-  ::close(fd_);
-  fd_ = -1;
-  connected_.store(false, std::memory_order_relaxed);
-  // The control channel died with the socket: the next daemon may be an
-  // older build, so CWST stays quiet until a fresh CWCT proves otherwise.
-  // Any directive already staged/applied keeps its effect -- control state
-  // is the publisher's, the connection only transports it.
-  in_buffer_.clear();
-  control_live_ = false;
-  const std::uint64_t now = steady_ms();
-  backoff_ms_ = backoff_ms_ == 0
-                    ? config_.reconnect_initial_ms
-                    : std::min(backoff_ms_ * 2, config_.reconnect_max_ms);
-  next_connect_ms_ = now + std::max<std::uint64_t>(backoff_ms_, 1);
-  std::lock_guard lk(mutex_);
-  // The daemon discarded whatever partial frame was in flight; rewind the
-  // front entry so the whole segment is resent on the next connection, and
-  // shed stale envelope frames (a fresh handshake will be prepended; drop
-  // notices and statuses fold back into the pending counters so no loss --
-  // and no suppressed-record count -- goes unreported).
-  front_offset_ = 0;
-  for (auto it = queue_.begin(); it != queue_.end();) {
-    if (it->is_segment) {
-      ++it;
-      continue;
-    }
-    if (it->is_status) {
-      pending_status_sampled_out_ += it->status_sampled_out;
-    } else if (it->notice_segments != 0 || it->records != 0) {
-      pending_drop_records_ += it->records;
-      pending_drop_segments_ += it->notice_segments;
-    }
-    it = queue_.erase(it);
-  }
 }
 
 }  // namespace causeway::transport

@@ -5,54 +5,44 @@
 // background thread drains the process-local rings on the adaptive epoch
 // cadence (the same Collector::drain() the in-process streaming path
 // uses), encodes each non-empty bundle as a trace segment -- byte-for-byte
-// the encoding `causeway-record --stream` writes to disk -- and ships it
-// over a Unix-domain socket to a causeway-collectd daemon.
+// the encoding `causeway-record --stream` writes to disk -- and hands it
+// to an Uplink, which ships it over a stream endpoint (Unix-domain or
+// TCP; the address string decides) to a causeway-collectd daemon.
 //
-// Failure policy mirrors the probe rings, deliberately:
+// The byte-moving policy lives in the Uplink and is shared with every
+// other producer tier (e.g. a relay daemon): bounded drop-not-block
+// queueing with CWDN accounting, reconnect with jittered exponential
+// backoff and a fresh handshake, partial-segment rewind, the CWCT/CWST
+// control channel.  What remains here is the *epoch* half:
 //
-//   * Bounded, drop-not-block.  Outgoing segments queue up to
-//     max_inflight_bytes; past that, *new* segments are discarded whole
-//     (the already-queued clean prefix always wins) and the loss is
-//     counted and reported to the daemon in a drop notice, where it
-//     surfaces as CollectedLogs::publish_dropped -- distinguishable from
-//     ring overflow all the way into anomaly events.  The monitored
-//     process never blocks on a slow or dead collector.
-//
-//   * Reconnect with exponential backoff.  A daemon restart is an
-//     expected event: the publisher drops nothing extra on disconnect
-//     (queued segments are kept; a partially sent segment is resent from
-//     its first byte, because the daemon discarded the partial tail), and
-//     each new connection opens with a fresh handshake.
-//
-// finish() performs the final drain -- always shipped, even when empty, so
-// the daemon learns the full domain inventory -- then flushes the queue
-// with a deadline; whatever cannot be delivered in time is counted as
-// dropped, never waited on forever.
-//
-// Protocol 2 adds a read path: the daemon may send CWCT control directives
-// (probe mode, chain sampling rate, interface mutes) down the same socket.
-// Directives are staged on the collector's runtimes immediately and take
-// effect at the next drain boundary -- the epoch-apply discipline -- after
-// which the publisher reports back with a CWST status frame carrying the
-// applied directive seq and the records sampling suppressed that epoch.
+//   * the drain cadence (adaptive exactly as `causeway-record --stream`);
+//   * the epoch-apply discipline for control: CWCT directives are staged
+//     on the collector's runtimes immediately and take effect at the next
+//     drain boundary, after which the publisher reports back with a CWST
+//     status carrying the applied directive seq and the records sampling
+//     suppressed that epoch;
+//   * the final drain on finish() -- always shipped, even when empty, so
+//     the daemon learns the full domain inventory -- followed by the
+//     uplink's bounded flush.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <vector>
 
 #include "monitor/collector.h"
 #include "transport/protocol.h"
+#include "transport/uplink.h"
 
 namespace causeway::transport {
 
 struct PublisherConfig {
-  std::string socket_path;
+  // Daemon address: "unix:/path", "tcp:host:port", or a bare socket path.
+  std::string address;
   std::string process_name;
   std::uint32_t trace_format{0};  // 0 = kTraceFormatDefault
   // Base drain interval; the adaptive cadence policy stretches/shrinks it
@@ -61,9 +51,14 @@ struct PublisherConfig {
   bool adaptive{true};
   // Back-pressure bound on queued-but-unsent segment bytes.
   std::size_t max_inflight_bytes{4u << 20};
-  // Reconnect backoff: initial delay, doubled per failure up to the max.
+  // Reconnect backoff: initial delay, doubled per failure up to the max,
+  // jittered ±25% unless disabled.
   std::uint64_t reconnect_initial_ms{10};
   std::uint64_t reconnect_max_ms{1000};
+  bool backoff_jitter{true};
+  // Kernel send-buffer cap (SO_SNDBUF; 0 = kernel default) -- see
+  // UplinkConfig::sndbuf_bytes.
+  std::size_t sndbuf_bytes{0};
   // finish(): how long to keep flushing before counting the rest as lost.
   std::uint64_t flush_timeout_ms{5000};
   // Whether to honour CWCT control directives from the daemon.  When
@@ -90,6 +85,9 @@ class EpochPublisher {
 
   // `collector` must outlive the publisher and must not be drained by
   // anyone else while the publisher runs (epoch ownership moves here).
+  // Throws TransportError when the address does not parse (oversized unix
+  // path, malformed tcp host:port) -- misconfiguration fails at
+  // construction, before any thread starts.
   EpochPublisher(monitor::Collector& collector, PublisherConfig config);
   ~EpochPublisher();
   EpochPublisher(const EpochPublisher&) = delete;
@@ -97,44 +95,27 @@ class EpochPublisher {
 
   void start();
 
-  // Stops the drain cadence, performs the final drain, flushes the queue
-  // (bounded by flush_timeout_ms) and joins the thread.  Returns true when
-  // everything queued was delivered; false when the deadline expired or the
-  // daemon was unreachable and segments were counted as dropped.
+  // Stops the drain cadence, performs the final drain, flushes the uplink
+  // (bounded by flush_timeout_ms) and joins both threads.  Returns true
+  // when everything queued was delivered; false when the deadline expired
+  // or the daemon was unreachable and segments were counted as dropped.
   // Idempotent.
   bool finish();
 
-  bool connected() const { return connected_.load(std::memory_order_relaxed); }
+  bool connected() const { return uplink_.connected(); }
   Stats stats() const;
 
  private:
-  struct Entry {
-    std::vector<std::uint8_t> bytes;
-    std::uint64_t records{0};
-    bool is_segment{false};  // handshakes/notices are not back-pressure-bound
-    // For drop-notice entries: segment count carried, so an unsent notice
-    // folds back into the pending counters on disconnect.
-    std::uint64_t notice_segments{0};
-    // For control-status entries: the sampled-out delta carried, so an
-    // unsent status folds its count back for the next one (accounting
-    // must never lose suppressed records to a disconnect).
-    bool is_status{false};
-    std::uint64_t status_sampled_out{0};
-  };
-
   void run();
   void drain_once(bool final_drain);
-  void enqueue_segment(std::vector<std::uint8_t> bytes, std::uint64_t records);
-  bool ensure_connected(std::uint64_t now_ms);
-  void pump_socket();
-  void read_socket();
   void handle_directive(const ControlDirective& directive);
-  void handle_disconnect();
-  bool queue_empty() const;
+  static UplinkConfig uplink_config(const PublisherConfig& config,
+                                    std::uint32_t trace_format);
 
   monitor::Collector& collector_;
   PublisherConfig config_;
   std::uint32_t trace_format_;
+  Uplink uplink_;
 
   std::thread worker_;
   mutable std::mutex mutex_;
@@ -144,47 +125,17 @@ class EpochPublisher {
   bool finished_{false};
   bool flushed_clean_{false};
 
-  // Socket state (worker thread only).
-  int fd_{-1};
-  std::atomic<bool> connected_{false};
-  std::uint64_t backoff_ms_{0};
-  std::uint64_t next_connect_ms_{0};
-  bool ever_connected_{false};
+  // Control plane.  Directives arrive on the uplink's worker thread and
+  // are staged on the collector immediately; the drain thread reads the
+  // staged seq at each boundary and acknowledges via CWST.
+  std::atomic<std::uint64_t> staged_seq_{0};
+  std::atomic<std::uint8_t> current_rate_index_{0};
 
-  // Outgoing queue (guarded by mutex_; drained by the worker).
-  std::deque<Entry> queue_;
-  std::size_t inflight_segment_bytes_{0};
-  std::size_t front_offset_{0};  // bytes of queue_.front() already sent
-
-  // Back-pressure losses not yet reported to the daemon.
-  std::uint64_t pending_drop_records_{0};
-  std::uint64_t pending_drop_segments_{0};
-
-  // Control plane (worker thread only).  `control_live_` flips when the
-  // first CWCT arrives -- the daemon's proof that it speaks protocol 2 --
-  // and resets on disconnect (the next daemon may be older).  A CWST is
-  // only ever sent on a live channel; sampled-out deltas that cannot ship
-  // yet are held in pending_status_sampled_out_ so no suppressed record is
-  // ever lost to a reconnect.
-  std::vector<std::uint8_t> in_buffer_;
-  bool control_live_{false};
-  std::uint64_t staged_seq_{0};       // last directive staged on the collector
-  std::uint64_t last_status_seq_{0};  // last applied_seq acknowledged via CWST
-  std::uint8_t current_rate_index_{0};
-  std::uint64_t pending_status_sampled_out_{0};
-
-  // Last drain's observations, feeding the adaptive cadence.
+  // Adaptive-cadence feedback from the last drain (drain thread only).
   std::uint64_t last_drain_dropped_{0};
   double last_drain_utilization_{0.0};
 
   std::atomic<std::uint64_t> epochs_drained_{0};
-  std::atomic<std::uint64_t> segments_sent_{0};
-  std::atomic<std::uint64_t> records_sent_{0};
-  std::atomic<std::uint64_t> bytes_sent_{0};
-  std::atomic<std::uint64_t> dropped_segments_{0};
-  std::atomic<std::uint64_t> dropped_records_{0};
-  std::atomic<std::uint64_t> reconnects_{0};
-  std::atomic<std::uint64_t> directives_received_{0};
   std::atomic<std::uint64_t> sampled_out_records_{0};
   std::atomic<std::uint64_t> last_applied_seq_{0};
 };

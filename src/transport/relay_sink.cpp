@@ -1,0 +1,169 @@
+#include "transport/relay_sink.h"
+
+#include <chrono>
+
+#include "analysis/trace_io.h"
+#include "common/strings.h"
+
+namespace causeway::transport {
+
+namespace {
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// One route per origin identity: a reconnecting publisher maps back onto
+// its existing upstream connection instead of opening a second one.
+std::string identity_key(const PeerInfo& peer) {
+  return strf("%s/%llu/%u", peer.process_name.c_str(),
+              static_cast<unsigned long long>(peer.pid), peer.trace_format);
+}
+
+}  // namespace
+
+RelaySink::RelaySink(Options options) : options_(std::move(options)) {
+  parse_endpoint(options_.upstream);  // configure-time validation
+}
+
+RelaySink::~RelaySink() { finish(); }
+
+RelaySink::Route* RelaySink::route_for_peer(std::uint64_t peer_id) {
+  const auto it = by_peer_.find(peer_id);
+  return it == by_peer_.end() ? nullptr : it->second;
+}
+
+void RelaySink::on_connect(const PeerInfo& peer) {
+  std::lock_guard lk(mutex_);
+  const std::string key = identity_key(peer);
+  auto it = routes_.find(key);
+  if (it == routes_.end()) {
+    auto route = std::make_unique<Route>();
+    Route* raw = route.get();
+    UplinkConfig uc;
+    uc.address = options_.upstream;
+    uc.process_name = peer.process_name;  // the origin's identity, not ours
+    uc.pid = peer.pid;
+    uc.trace_format = peer.trace_format;
+    uc.max_inflight_bytes = options_.max_inflight_bytes;
+    uc.reconnect_initial_ms = options_.reconnect_initial_ms;
+    uc.reconnect_max_ms = options_.reconnect_max_ms;
+    uc.backoff_jitter = options_.backoff_jitter;
+    route->uplink = std::make_unique<Uplink>(
+        uc, [this, raw](const ControlDirective& directive) {
+          std::lock_guard lk(mutex_);
+          relay_directive(*raw, directive);
+        });
+    route->uplink->start();
+    it = routes_.emplace(key, std::move(route)).first;
+    ++totals_.routes;
+  }
+  it->second->live_peer = peer.peer_id;
+  by_peer_[peer.peer_id] = it->second.get();
+}
+
+void RelaySink::on_segment(const PeerInfo& peer,
+                           std::span<const std::uint8_t> segment) {
+  // The segment is forwarded verbatim -- the whole point of the shared
+  // framing -- so only its header is read, for the record count the
+  // forward/drop ledgers run on.
+  const std::uint64_t records = analysis::trace_segment_record_count(segment);
+  std::lock_guard lk(mutex_);
+  Route* route = route_for_peer(peer.peer_id);
+  if (route == nullptr) return;
+  if (route->uplink->offer_segment(
+          std::vector<std::uint8_t>(segment.begin(), segment.end()),
+          records)) {
+    ++totals_.segments_forwarded;
+    totals_.records_forwarded += records;
+  }
+}
+
+void RelaySink::on_drop_notice(const PeerInfo& peer, const DropNotice& notice) {
+  std::lock_guard lk(mutex_);
+  Route* route = route_for_peer(peer.peer_id);
+  if (route == nullptr) return;
+  route->uplink->note_drops(notice.records, notice.segments);
+  totals_.drop_records_forwarded += notice.records;
+  totals_.drop_segments_forwarded += notice.segments;
+}
+
+void RelaySink::on_status(const PeerInfo& peer, const ControlStatus& status) {
+  std::lock_guard lk(mutex_);
+  Route* route = route_for_peer(peer.peer_id);
+  if (route == nullptr) return;
+  // Translate the leaf-local applied seq back to the root's: the latest
+  // relayed directive this acknowledgement covers.  Acks for leaf-only
+  // seqs (the leaf daemon's own hello) keep the last translated value.
+  std::uint64_t upstream_seq = route->last_upstream_acked;
+  while (!route->seq_map.empty() &&
+         route->seq_map.front().first <= status.applied_seq) {
+    upstream_seq = route->seq_map.front().second;
+    route->seq_map.pop_front();
+  }
+  route->last_upstream_acked = upstream_seq;
+  route->uplink->offer_status(upstream_seq, status.sampled_out,
+                              status.sample_rate_index, status.mode);
+  ++totals_.statuses_forwarded;
+}
+
+void RelaySink::on_disconnect(const PeerInfo& peer, bool /*clean*/) {
+  std::lock_guard lk(mutex_);
+  Route* route = route_for_peer(peer.peer_id);
+  if (route == nullptr) return;
+  by_peer_.erase(peer.peer_id);
+  if (route->live_peer == peer.peer_id) route->live_peer = 0;
+  // The route (and its uplink, with whatever is still queued) stays: the
+  // origin will likely reconnect, and the root's view of it should not
+  // flap with the leaf connection.
+}
+
+void RelaySink::relay_directive(Route& route,
+                                const ControlDirective& directive) {
+  if (downstream_ == nullptr || route.live_peer == 0) return;
+  const std::uint64_t local_seq =
+      downstream_->send_control(route.live_peer, directive);
+  route.seq_map.emplace_back(local_seq, directive.seq);
+  ++totals_.directives_relayed;
+}
+
+bool RelaySink::finish() {
+  std::vector<Uplink*> uplinks;
+  {
+    std::lock_guard lk(mutex_);
+    if (finished_) return flushed_clean_;
+    finished_ = true;
+    uplinks.reserve(routes_.size());
+    for (auto& [key, route] : routes_) uplinks.push_back(route->uplink.get());
+  }
+  // One deadline across every route: a wedged upstream costs
+  // flush_timeout_ms once, not once per publisher.
+  const std::uint64_t deadline = steady_ms() + options_.flush_timeout_ms;
+  bool clean = true;
+  for (Uplink* uplink : uplinks) {
+    const std::uint64_t now = steady_ms();
+    const std::uint64_t budget = deadline > now ? deadline - now : 0;
+    clean = uplink->finish(budget) && clean;
+  }
+  std::lock_guard lk(mutex_);
+  flushed_clean_ = clean;
+  return clean;
+}
+
+RelaySink::Totals RelaySink::totals() const {
+  std::lock_guard lk(mutex_);
+  Totals t = totals_;
+  for (const auto& [key, route] : routes_) {
+    const Uplink::Stats s = route->uplink->stats();
+    t.relay_dropped_segments += s.dropped_segments;
+    t.relay_dropped_records += s.dropped_records;
+    t.upstream_bytes += s.bytes_sent;
+    t.upstream_reconnects += s.reconnects;
+  }
+  return t;
+}
+
+}  // namespace causeway::transport

@@ -1,0 +1,128 @@
+// RelaySink: the collectd-to-collectd tier.  Plugged into a leaf
+// CollectorDaemon as its DaemonSink, it forwards everything the leaf
+// receives -- trace segments, drop notices, control statuses -- upstream
+// to a parent collectd through embedded Uplinks, turning flat collection
+// into a fan-in tree (publishers -> leaf collectd -> root collectd).
+//
+// The invariant that makes tiering transparent: the root must see the same
+// publishers it would see with flat collection, or its merged report (one
+// retained-segment group per (process_name, pid), sorted) changes shape.
+// So the relay keeps one upstream uplink per *origin identity* -- the
+// (process_name, pid, trace_format) from the downstream handshake,
+// forwarded verbatim in the uplink's own CWHS -- never muxing two origins
+// onto one connection.  A publisher that reconnects to the leaf re-uses
+// its route: queued bytes keep flowing in order on the same upstream
+// connection, exactly as the publisher's own reconnect to a root would.
+//
+// Accounting composes by construction:
+//   * downstream CWDN notices fold into the route's next upstream CWDN
+//     (note_drops), and the relay's own shed segments join them -- the
+//     root's loss ledger is the sum over the path;
+//   * downstream CWST deltas fold into the route's pending delta
+//     (offer_status), surviving upstream reconnects;
+//   * upstream CWCT directives are relayed downstream to the live peer of
+//     that route, with the root's seq recorded against the locally
+//     assigned one so the eventual acknowledgement translates back -- the
+//     root observes its own seq applied, never a leaf-local number.
+//     Directives arriving while the origin is between reconnects are
+//     dropped (the root's policy re-issues; staged control is publisher
+//     state, not relay state).
+//
+// Sink callbacks run on the leaf daemon's thread; directive relays run on
+// uplink worker threads; one mutex serializes the route table between
+// them.  Stop the leaf daemon before finish() -- the flush deadline is
+// shared across every route's uplink.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "transport/subscriber.h"
+#include "transport/uplink.h"
+
+namespace causeway::transport {
+
+class RelaySink : public DaemonSink {
+ public:
+  struct Options {
+    std::string upstream;  // parent collectd: unix:/path or tcp:host:port
+    std::size_t max_inflight_bytes{4u << 20};  // per route
+    std::uint64_t reconnect_initial_ms{10};
+    std::uint64_t reconnect_max_ms{1000};
+    bool backoff_jitter{true};
+    std::uint64_t flush_timeout_ms{5000};  // finish(): shared deadline
+  };
+
+  struct Totals {
+    std::uint64_t routes{0};              // distinct origin identities seen
+    std::uint64_t segments_forwarded{0};  // accepted into an uplink queue
+    std::uint64_t records_forwarded{0};
+    std::uint64_t drop_records_forwarded{0};  // downstream CWDN, folded up
+    std::uint64_t drop_segments_forwarded{0};
+    std::uint64_t statuses_forwarded{0};
+    std::uint64_t directives_relayed{0};  // upstream CWCT sent downstream
+    // Losses this relay itself introduced: per-route back-pressure sheds
+    // plus whatever the finish() deadline abandoned.  Reported upstream
+    // via CWDN like any other loss.
+    std::uint64_t relay_dropped_segments{0};
+    std::uint64_t relay_dropped_records{0};
+    std::uint64_t upstream_bytes{0};
+    std::uint64_t upstream_reconnects{0};
+  };
+
+  // Throws TransportError when the upstream spec does not parse (the same
+  // configure-time validation every endpoint user gets).
+  explicit RelaySink(Options options);
+  ~RelaySink() override;
+  RelaySink(const RelaySink&) = delete;
+  RelaySink& operator=(const RelaySink&) = delete;
+
+  // The daemon this sink is attached to, for relaying directives back down
+  // to publishers.  Optional (without it, directives stop here); set it
+  // before the daemon starts.
+  void set_downstream(CollectorDaemon* daemon) { downstream_ = daemon; }
+
+  // Flushes every route's uplink, all bounded by one flush_timeout_ms
+  // deadline.  Returns true when every queued byte was delivered upstream.
+  // Idempotent; call after the downstream daemon has stopped.
+  bool finish();
+
+  Totals totals() const;
+
+  // DaemonSink (leaf daemon thread).
+  void on_connect(const PeerInfo& peer) override;
+  void on_segment(const PeerInfo& peer,
+                  std::span<const std::uint8_t> segment) override;
+  void on_drop_notice(const PeerInfo& peer, const DropNotice& notice) override;
+  void on_status(const PeerInfo& peer, const ControlStatus& status) override;
+  void on_disconnect(const PeerInfo& peer, bool clean) override;
+
+ private:
+  struct Route {
+    std::unique_ptr<Uplink> uplink;
+    std::uint64_t live_peer{0};  // current downstream peer_id, 0 = none
+    // Directive seq translation, leaf-local -> upstream, in issue order.
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> seq_map;
+    std::uint64_t last_upstream_acked{0};
+  };
+
+  Route* route_for_peer(std::uint64_t peer_id);  // mutex_ held by caller
+  void relay_directive(Route& route, const ControlDirective& directive);
+
+  const Options options_;
+  CollectorDaemon* downstream_{nullptr};
+
+  mutable std::mutex mutex_;
+  bool finished_{false};
+  bool flushed_clean_{false};
+  std::map<std::string, std::unique_ptr<Route>> routes_;  // by identity key
+  std::unordered_map<std::uint64_t, Route*> by_peer_;
+  Totals totals_;  // counter fields only; uplink-derived fields fill at read
+};
+
+}  // namespace causeway::transport

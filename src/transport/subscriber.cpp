@@ -1,13 +1,9 @@
 #include "transport/subscriber.h"
 
-#include <cstring>
+#include <cerrno>
 
 #if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
 #include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
 #endif
 
 #include "analysis/trace_io.h"
@@ -21,7 +17,7 @@ namespace causeway::transport {
 #endif
 
 struct CollectorDaemon::Connection {
-  int fd{-1};
+  StreamEndpoint endpoint;
   PeerInfo peer;
   bool handshaken{false};
   std::vector<std::uint8_t> buffer;  // unconsumed frame bytes
@@ -34,44 +30,37 @@ struct CollectorDaemon::Connection {
 CollectorDaemon::CollectorDaemon(Options options, DaemonSink& sink)
     : options_(std::move(options)), sink_(sink) {
   if (options_.read_chunk == 0) options_.read_chunk = 64 * 1024;
+  if (options_.listen.empty()) {
+    throw TransportError("collector daemon needs at least one listen address");
+  }
+  addresses_.reserve(options_.listen.size());
+  for (const std::string& spec : options_.listen) {
+    addresses_.push_back(parse_endpoint(spec));
+  }
 }
 
 CollectorDaemon::~CollectorDaemon() { stop(); }
 
 void CollectorDaemon::start() {
   if (started_) return;
-  sockaddr_un addr{};
-  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    throw TransportError(
-        strf("socket path too long (%zu bytes, limit %zu): %s",
-             options_.socket_path.size(), sizeof(addr.sun_path) - 1,
-             options_.socket_path.c_str()));
+  // Bind everything before the thread starts; a failure mid-way unwinds
+  // the locals, releasing (and unlinking) whatever already bound.
+  std::vector<Listener> listeners;
+  listeners.reserve(addresses_.size());
+  for (const EndpointAddress& address : addresses_) {
+    listeners.emplace_back(address);
   }
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    throw TransportError(strf("socket(): %s", std::strerror(errno)));
+  listeners_ = std::move(listeners);
+  {
+    std::lock_guard lk(stats_mutex_);
+    for (const Listener& l : listeners_) {
+      if (l.kind() == EndpointKind::kTcp) {
+        ++stats_.listeners_tcp;
+      } else {
+        ++stats_.listeners_unix;
+      }
+    }
   }
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
-              options_.socket_path.size());
-  ::unlink(options_.socket_path.c_str());
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw TransportError(strf("bind(%s): %s", options_.socket_path.c_str(),
-                              std::strerror(err)));
-  }
-  if (::listen(listen_fd_, 64) != 0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    ::unlink(options_.socket_path.c_str());
-    throw TransportError(strf("listen(%s): %s", options_.socket_path.c_str(),
-                              std::strerror(err)));
-  }
-  ::fcntl(listen_fd_, F_SETFL, ::fcntl(listen_fd_, F_GETFL, 0) | O_NONBLOCK);
   stop_requested_.store(false, std::memory_order_relaxed);
   started_ = true;
   worker_ = std::thread([this] { run(); });
@@ -82,11 +71,17 @@ void CollectorDaemon::stop() {
   stop_requested_.store(true, std::memory_order_relaxed);
   worker_.join();
   started_ = false;
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  ::unlink(options_.socket_path.c_str());
+  listeners_.clear();  // closes fds, unlinks unix socket files
+  std::lock_guard lk(stats_mutex_);
+  stats_.listeners_unix = 0;
+  stats_.listeners_tcp = 0;
+}
+
+std::vector<EndpointAddress> CollectorDaemon::listen_addresses() const {
+  std::vector<EndpointAddress> out;
+  out.reserve(listeners_.size());
+  for (const Listener& l : listeners_) out.push_back(l.address());
+  return out;
 }
 
 CollectorDaemon::Stats CollectorDaemon::stats() const {
@@ -130,8 +125,9 @@ void CollectorDaemon::drain_control_queue() {
 // usual containment.
 void CollectorDaemon::flush_out(Connection& conn) {
   while (conn.out_offset < conn.out.size()) {
-    const long wrote = io_write_some(conn.fd, conn.out.data() + conn.out_offset,
-                                     conn.out.size() - conn.out_offset);
+    const long wrote =
+        io_write_some(conn.endpoint.fd(), conn.out.data() + conn.out_offset,
+                      conn.out.size() - conn.out_offset);
     if (wrote < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       close_connection(conn, conn.buffer.empty());
@@ -145,37 +141,47 @@ void CollectorDaemon::flush_out(Connection& conn) {
 
 void CollectorDaemon::run() {
   std::vector<pollfd> fds;
+  const std::size_t nlisten = listeners_.size();
   while (!stop_requested_.load(std::memory_order_relaxed)) {
     drain_control_queue();
     fds.clear();
-    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const Listener& l : listeners_) {
+      fds.push_back({l.fd(), POLLIN, 0});
+    }
     const std::size_t polled = connections_.size();
     for (const auto& conn : connections_) {
       const short events = static_cast<short>(
           POLLIN | (conn->out_offset < conn->out.size() ? POLLOUT : 0));
-      fds.push_back({conn->fd, events, 0});
+      fds.push_back({conn->endpoint.fd(), events, 0});
     }
     const int ready = ::poll(fds.data(), fds.size(), 100);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    if (fds[0].revents & POLLIN) {
+    for (std::size_t li = 0; li < nlisten; ++li) {
+      if (!(fds[li].revents & POLLIN)) continue;
       for (;;) {
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0) break;
-        ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+        StreamEndpoint accepted = listeners_[li].accept();
+        if (!accepted.valid()) break;
         auto conn = std::make_unique<Connection>();
-        conn->fd = fd;
+        conn->endpoint = std::move(accepted);
         conn->peer.peer_id = next_peer_id_++;
+        conn->peer.transport = listeners_[li].kind();
+        const EndpointKind kind = conn->peer.transport;
         connections_.push_back(std::move(conn));
         std::lock_guard lk(stats_mutex_);
         ++stats_.connections_total;
         ++stats_.connections_active;
+        if (kind == EndpointKind::kTcp) {
+          ++stats_.connections_tcp;
+        } else {
+          ++stats_.connections_unix;
+        }
       }
     }
     for (std::size_t i = 0; i < polled; ++i) {
-      const short revents = fds[i + 1].revents;
+      const short revents = fds[i + nlisten].revents;
       if (revents & POLLOUT) {
         flush_out(*connections_[i]);
       }
@@ -204,7 +210,8 @@ void CollectorDaemon::run() {
 void CollectorDaemon::service(Connection& conn) {
   std::vector<std::uint8_t> chunk(options_.read_chunk);
   for (;;) {
-    const long got = io_read_some(conn.fd, chunk.data(), chunk.size());
+    const long got = io_read_some(conn.endpoint.fd(), chunk.data(),
+                                  chunk.size());
     if (got < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       close_connection(conn, conn.buffer.empty());
@@ -326,10 +333,7 @@ void CollectorDaemon::close_connection(Connection& conn, bool clean) {
     if (stats_.connections_active > 0) --stats_.connections_active;
     stats_.partial_tail_bytes += conn.buffer.size();
   }
-  if (conn.fd >= 0) {
-    ::close(conn.fd);
-    conn.fd = -1;
-  }
+  conn.endpoint.close();
   if (conn.handshaken) {
     sink_.on_disconnect(conn.peer, clean && conn.buffer.empty());
   }

@@ -1,14 +1,20 @@
 // CollectorDaemon: the consumer half of the cross-process collection
 // transport.
 //
-// One daemon thread owns a listening Unix-domain socket and a poll() loop
-// over every accepted publisher connection.  Per connection it enforces
-// the protocol from protocol.h: a handshake frame first, then any
+// One daemon thread owns a set of listening endpoints -- any mix of
+// Unix-domain and TCP, one per address spec in Options::listen -- and a
+// poll() loop over every accepted publisher connection.  Per connection it
+// enforces the protocol from protocol.h: a handshake frame first, then any
 // interleaving of trace segments and drop notices.  Complete frames are
 // demultiplexed by their leading magic (envelope frames decode here;
 // segment extents come from trace_io's probe_trace_block) and handed to a
 // DaemonSink still encoded -- the sink decides whether to decode into an
-// AnalysisPipeline, append verbatim to a merged trace file, or both.
+// AnalysisPipeline, append verbatim to a merged trace file, relay upstream
+// to another collectd tier, or any combination.
+//
+// Nothing here names a socket family: the transport seam is
+// endpoint.h's Listener/StreamEndpoint, and a connection is the same
+// byte stream whichever kind of socket carries it.
 //
 // Failure containment, per connection:
 //   * A protocol error (bad magic, wrong version, corrupt segment) closes
@@ -19,7 +25,8 @@
 //     file, applied to a dead peer's stream.
 //
 // Sink callbacks run on the daemon thread, serialized across all
-// connections, so a sink needs no locking of its own against the daemon.
+// connections and listeners, so a sink needs no locking of its own
+// against the daemon.
 #pragma once
 
 #include <atomic>
@@ -31,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "transport/endpoint.h"
 #include "transport/protocol.h"
 
 namespace causeway::transport {
@@ -41,6 +49,8 @@ struct PeerInfo {
   std::uint64_t pid{0};
   std::uint32_t protocol{0};
   std::uint32_t trace_format{0};
+  // Which kind of listener accepted this connection.
+  EndpointKind transport{EndpointKind::kUnix};
 };
 
 class DaemonSink {
@@ -63,7 +73,10 @@ class DaemonSink {
 class CollectorDaemon {
  public:
   struct Options {
-    std::string socket_path;
+    // Endpoint specs to listen on: "unix:/path", "tcp:host:port" (port 0
+    // binds ephemeral; see listen_addresses()), or a bare socket path.
+    // At least one is required.
+    std::vector<std::string> listen;
     std::size_t read_chunk{64 * 1024};
   };
 
@@ -77,22 +90,35 @@ class CollectorDaemon {
     std::uint64_t partial_tail_bytes{0};  // discarded on abrupt closes
     std::uint64_t control_sent{0};        // directives queued to publishers
     std::uint64_t statuses_received{0};   // CWST frames from publishers
+    // Per-transport breakdown of the fabric: how many listeners of each
+    // kind are bound, and how many connections each kind has accepted.
+    std::uint64_t listeners_unix{0};
+    std::uint64_t listeners_tcp{0};
+    std::uint64_t connections_unix{0};
+    std::uint64_t connections_tcp{0};
   };
 
-  // `sink` must outlive the daemon.  The socket is bound and listening
-  // when start() returns (any pre-existing socket file is replaced), so
-  // publishers started afterwards cannot race the bind.  Throws
-  // TransportError when the bind fails.
+  // `sink` must outlive the daemon.  Every listen address is parsed here,
+  // so a bad spec (oversized unix path, malformed host:port) throws before
+  // anything binds.
   CollectorDaemon(Options options, DaemonSink& sink);
   ~CollectorDaemon();
   CollectorDaemon(const CollectorDaemon&) = delete;
   CollectorDaemon& operator=(const CollectorDaemon&) = delete;
 
+  // Binds every listener -- all listening when start() returns, so
+  // publishers started afterwards cannot race a bind -- and starts the
+  // daemon thread.  Throws TransportError when any bind fails (listeners
+  // already bound are released).
   void start();
   // Drains nothing further: closes every connection (counting buffered
-  // partial frames as discarded), joins the thread, unlinks the socket.
-  // Idempotent.
+  // partial frames as discarded), joins the thread, closes the listeners
+  // (unlinking unix socket files).  Idempotent.
   void stop();
+
+  // The bound listen addresses, with ephemeral TCP ports resolved to their
+  // kernel-assigned values.  Valid after start().
+  std::vector<EndpointAddress> listen_addresses() const;
 
   // Queues a control directive for one publisher; the daemon thread's next
   // loop iteration writes it out (nonblocking, interleaved with reads on
@@ -117,8 +143,9 @@ class CollectorDaemon {
   void drain_control_queue();
 
   Options options_;
+  std::vector<EndpointAddress> addresses_;  // parsed at construction
   DaemonSink& sink_;
-  int listen_fd_{-1};
+  std::vector<Listener> listeners_;
   std::thread worker_;
   std::atomic<bool> stop_requested_{false};
   bool started_{false};

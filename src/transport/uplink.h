@@ -1,0 +1,182 @@
+// Uplink: the publisher-side stream core, factored out of EpochPublisher
+// so every producer of collection bytes -- a monitored process's epoch
+// drainer, a relay daemon forwarding another tier's segments -- shares one
+// implementation of the hard parts:
+//
+//   * connect/backoff/reconnect over any StreamEndpoint (unix or tcp),
+//     with ±25% jitter on the backoff delay so N publishers do not
+//     reconnect in lockstep after a daemon restart (thundering herd on
+//     the accept queue);
+//   * the bounded outgoing queue with drop-not-block semantics: whole new
+//     segments are discarded past max_inflight_bytes, the queued clean
+//     prefix always wins, and every loss is folded into the next CWDN
+//     drop notice;
+//   * CWHS framing: a fresh handshake leads every connection, and a
+//     partially sent segment is rewound to byte 0 on disconnect (the
+//     daemon discarded the partial tail);
+//   * the CWCT read path (directives handed to a callback; garbage on the
+//     control channel drops the connection) and CWST accounting (pending
+//     sampled-out deltas survive disconnects -- no suppressed record is
+//     ever lost to a reconnect).
+//
+// The uplink owns one worker thread that pumps the queue; producers call
+// offer_segment / note_drops / offer_status from any thread.  Nothing in
+// this file knows what kind of socket carries the bytes -- the address
+// string is parsed once (at construction, so misconfiguration throws
+// before any thread starts) and handed to connect_endpoint.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/endpoint.h"
+#include "transport/protocol.h"
+
+namespace causeway::transport {
+
+struct UplinkConfig {
+  std::string address;       // unix:/path, tcp:host:port, or a bare path
+  std::string process_name;  // CWHS identity (relays forward the origin's)
+  std::uint64_t pid{0};      // 0 = this process's pid
+  std::uint32_t trace_format{0};
+  // Back-pressure bound on queued-but-unsent segment bytes.
+  std::size_t max_inflight_bytes{4u << 20};
+  // Reconnect backoff: initial delay, doubled per failure up to the max,
+  // then jittered ±25% (disable for deterministic tests).
+  std::uint64_t reconnect_initial_ms{10};
+  std::uint64_t reconnect_max_ms{1000};
+  bool backoff_jitter{true};
+  // Bound on one TCP connect attempt (SYN handshake), not on retries.
+  std::uint64_t connect_timeout_ms{1000};
+  // Kernel send-buffer cap (SO_SNDBUF; 0 = kernel default).  A wedged or
+  // slow daemon then back-pressures into this uplink's own bounded queue
+  // -- where it is counted -- instead of into megabytes of autotuned
+  // kernel buffer.
+  std::size_t sndbuf_bytes{0};
+};
+
+class Uplink {
+ public:
+  struct Stats {
+    std::uint64_t segments_sent{0};
+    std::uint64_t records_sent{0};
+    std::uint64_t bytes_sent{0};
+    std::uint64_t dropped_segments{0};  // back-pressure + flush-deadline
+    std::uint64_t dropped_records{0};
+    std::uint64_t reconnects{0};  // successful connections after the first
+    std::uint64_t directives_received{0};
+  };
+
+  // `on_directive` runs on the uplink's worker thread for every CWCT frame
+  // (may be empty: directives are then decoded -- the stream must stay
+  // framed -- and dropped, indistinguishable from a v1 publisher).
+  // Throws TransportError when the address does not parse.
+  Uplink(UplinkConfig config,
+         std::function<void(const ControlDirective&)> on_directive);
+  ~Uplink();
+  Uplink(const Uplink&) = delete;
+  Uplink& operator=(const Uplink&) = delete;
+
+  void start();
+
+  // Stops the worker after flushing the queue, bounded by `flush_timeout_ms`;
+  // whatever cannot be delivered in time is counted as dropped, never
+  // waited on forever.  Returns true when everything queued was delivered.
+  // Idempotent.
+  bool finish(std::uint64_t flush_timeout_ms);
+
+  bool connected() const { return connected_.load(std::memory_order_relaxed); }
+  const EndpointAddress& address() const { return address_; }
+  Stats stats() const;
+
+  // Drop-not-block enqueue of one encoded trace segment.  Returns false
+  // when the in-flight bound rejected it; the loss is already folded into
+  // the pending drop notice (and the stats).
+  bool offer_segment(std::vector<std::uint8_t> bytes, std::uint64_t records);
+
+  // Folds externally observed loss (e.g. a downstream tier's drop notice)
+  // into this uplink's next CWDN.
+  void note_drops(std::uint64_t records, std::uint64_t segments);
+
+  // CWST accounting: fold `sampled_out` into the pending delta and ship a
+  // status frame when the control channel is live and there is something
+  // to say (a newly applied directive seq, or a non-zero delta).  Deltas
+  // that cannot ship yet are held -- across reconnects -- until they can.
+  void offer_status(std::uint64_t applied_seq, std::uint64_t sampled_out,
+                    std::uint8_t sample_rate_index, std::uint8_t mode);
+
+ private:
+  struct Entry {
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t records{0};
+    bool is_segment{false};  // handshakes/notices are not back-pressure-bound
+    // For drop-notice entries: segment count carried, so an unsent notice
+    // folds back into the pending counters on disconnect.
+    std::uint64_t notice_segments{0};
+    // For control-status entries: the sampled-out delta carried, so an
+    // unsent status folds its count back for the next one.
+    bool is_status{false};
+    std::uint64_t status_sampled_out{0};
+  };
+
+  void run();
+  bool ensure_connected(std::uint64_t now_ms);
+  void schedule_reconnect(std::uint64_t now_ms);
+  void pump_endpoint();
+  void read_endpoint();
+  void handle_disconnect();
+  void enqueue_status_locked(std::uint64_t applied_seq);  // mutex_ held
+  bool queue_empty() const;  // mutex_ held
+
+  const UplinkConfig config_;
+  EndpointAddress address_;
+  std::function<void(const ControlDirective&)> on_directive_;
+
+  std::thread worker_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_{false};
+  bool started_{false};
+  bool finished_{false};
+  bool flushed_clean_{false};
+  std::uint64_t flush_timeout_ms_{5000};
+
+  // Endpoint state (worker thread only).
+  StreamEndpoint endpoint_;
+  std::atomic<bool> connected_{false};
+  std::uint64_t backoff_ms_{0};
+  std::uint64_t next_connect_ms_{0};
+  bool ever_connected_{false};
+  std::uint64_t jitter_state_;
+  std::vector<std::uint8_t> in_buffer_;
+
+  // Outgoing queue and CWDN/CWST ledgers (guarded by mutex_).
+  std::deque<Entry> queue_;
+  std::size_t inflight_segment_bytes_{0};
+  std::size_t front_offset_{0};  // bytes of queue_.front() already sent
+  std::uint64_t pending_drop_records_{0};
+  std::uint64_t pending_drop_segments_{0};
+  bool control_live_{false};
+  std::uint64_t pending_status_sampled_out_{0};
+  std::uint64_t last_status_seq_{0};
+  std::uint64_t last_offered_seq_{0};
+  std::uint8_t last_rate_index_{0};
+  std::uint8_t last_mode_{0};
+
+  std::atomic<std::uint64_t> segments_sent_{0};
+  std::atomic<std::uint64_t> records_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> dropped_segments_{0};
+  std::atomic<std::uint64_t> dropped_records_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> directives_received_{0};
+};
+
+}  // namespace causeway::transport

@@ -316,7 +316,7 @@ TEST_F(ControlLoopTest, LoopbackThrottleRearmsAndReconciles) {
   options.pipeline = &pipeline;
   options.policy = &policy;
   IngestSink sink(std::move(options));
-  CollectorDaemon daemon({path}, sink);
+  CollectorDaemon daemon({{path}}, sink);
   daemon_ptr = &daemon;
   daemon.start();
 
@@ -326,7 +326,7 @@ TEST_F(ControlLoopTest, LoopbackThrottleRearmsAndReconciles) {
   collector.attach(&client);
   collector.attach(&server);
   PublisherConfig config;
-  config.socket_path = path;
+  config.address = path;
   config.process_name = "adaptive";
   config.interval_ms = 5;
   EpochPublisher publisher(collector, config);
@@ -452,7 +452,7 @@ TEST_F(ControlLoopTest, IdleControlPlaneKeepsReportByteIdentical) {
   options.pipeline = &pipeline;
   options.policy = &policy;
   IngestSink sink(std::move(options));
-  CollectorDaemon daemon({path}, sink);
+  CollectorDaemon daemon({{path}}, sink);
   daemon_ptr = &daemon;
   daemon.start();
   {
@@ -461,7 +461,7 @@ TEST_F(ControlLoopTest, IdleControlPlaneKeepsReportByteIdentical) {
     monitor::Collector collector;
     system.attach_collector(collector);
     PublisherConfig config;
-    config.socket_path = path;
+    config.address = path;
     config.process_name = "idle-loop";
     config.interval_ms = 5;
     EpochPublisher publisher(collector, config);

@@ -1,0 +1,276 @@
+// Tiered collection: publishers -> leaf collectd (RelaySink) -> root
+// collectd (IngestSink).  The relay's contract is transparency -- the root
+// must produce the same merged trace it would have produced with flat
+// collection -- plus conservation: a relay-tier restart loses nothing the
+// publishers managed to send.  Both suites run over Unix-domain sockets
+// and TCP loopback, tier addresses alike.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "analysis/pipeline.h"
+#include "analysis/trace_io.h"
+#include "monitor/tss.h"
+#include "transport/endpoint.h"
+#include "transport/ingest_sink.h"
+#include "transport/publisher.h"
+#include "transport/relay_sink.h"
+#include "transport/subscriber.h"
+#include "workload/synthetic.h"
+
+namespace causeway {
+namespace {
+
+using transport::CollectorDaemon;
+using transport::EndpointKind;
+using transport::EpochPublisher;
+using transport::IngestSink;
+using transport::PublisherConfig;
+using transport::RelaySink;
+
+bool wait_for(const std::function<bool()>& pred,
+              std::uint64_t timeout_ms = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+workload::SyntheticConfig synthetic_config(std::uint64_t seed) {
+  workload::SyntheticConfig config;
+  config.seed = seed;
+  config.domains = 3;
+  config.components = 9;
+  config.interfaces = 5;
+  config.methods_per_interface = 3;
+  config.levels = 3;
+  config.max_children = 2;
+  config.monitor.mode = monitor::ProbeMode::kCausalityOnly;
+  return config;
+}
+
+class RelayTest : public ::testing::TestWithParam<EndpointKind> {
+ protected:
+  void SetUp() override { monitor::tss_clear(); }
+  void TearDown() override { monitor::tss_clear(); }
+
+  std::string listen_spec(const char* name) {
+    if (GetParam() == EndpointKind::kTcp) return "tcp:127.0.0.1:0";
+    return "unix:" + ::testing::TempDir() + "cw_relay_" + name + "_" +
+           std::to_string(::getpid()) + ".sock";
+  }
+
+  static std::string bound_address(const CollectorDaemon& daemon) {
+    return daemon.listen_addresses().front().to_string();
+  }
+};
+
+// Run one synthetic workload and publish it through `address`; returns the
+// publisher's stats after a clean finish.  Sequential per publisher -- the
+// monitor's thread-local state is per-workload -- but both identities
+// traverse the same leaf, so the relay still multiplexes two routes.
+EpochPublisher::Stats publish_workload(const std::string& address,
+                                       const char* process_name,
+                                       std::uint64_t seed) {
+  orb::Fabric fabric;
+  workload::SyntheticSystem system(fabric, synthetic_config(seed));
+  monitor::Collector collector;
+  system.attach_collector(collector);
+  PublisherConfig config;
+  config.address = address;
+  config.process_name = process_name;
+  config.interval_ms = 2;
+  EpochPublisher publisher(collector, config);
+  publisher.start();
+  system.run_transactions(4);
+  system.wait_quiescent();
+  // Both hellos -- the leaf daemon's own and the root's, relayed down --
+  // must land before this publisher leaves, so the cross-tier control
+  // counters asserted below are deterministic, not a race against a
+  // short-lived workload.
+  EXPECT_TRUE(wait_for(
+      [&] { return publisher.stats().directives_received >= 2; }))
+      << process_name;
+  EXPECT_TRUE(publisher.finish()) << process_name;
+  const EpochPublisher::Stats stats = publisher.stats();
+  EXPECT_EQ(stats.dropped_records, 0u) << process_name;
+  monitor::tss_clear();
+  return stats;
+}
+
+// Two publishers fan into a leaf relay; the root's merged trace must
+// re-analyze to the same bytes as collecting both workloads in-process --
+// the tier is invisible in the data.
+TEST_P(RelayTest, RelayedMergeMatchesOfflineReference) {
+  const std::string merged = ::testing::TempDir() + "cw_relay_merged_" +
+                             transport::endpoint_kind_name(GetParam()) +
+                             ".cwt";
+
+  // Offline reference: both workloads collected in-process, ingested in
+  // identity order -- the order the merged file's sorted groups replay in.
+  std::string reference;
+  std::size_t reference_records = 0;
+  {
+    analysis::AnalysisPipeline pipeline;
+    for (const std::uint64_t seed : {101ull, 202ull}) {
+      orb::Fabric fabric;
+      workload::SyntheticSystem system(fabric, synthetic_config(seed));
+      system.run_transactions(4);
+      system.wait_quiescent();
+      const monitor::CollectedLogs logs = system.collect();
+      reference_records += logs.records.size();
+      pipeline.ingest(logs);
+      monitor::tss_clear();
+    }
+    reference = pipeline.report();
+  }
+  ASSERT_GT(reference_records, 0u);
+
+  // Root tier: plain ingest, merged file.
+  IngestSink::Options root_options;
+  root_options.merged_path = merged;
+  IngestSink root_sink(std::move(root_options));
+  CollectorDaemon root({{listen_spec("root")}}, root_sink);
+  root.start();
+
+  // Leaf tier: relay everything upstream to the root.
+  RelaySink::Options relay_options;
+  relay_options.upstream = bound_address(root);
+  RelaySink relay(relay_options);
+  CollectorDaemon leaf({{listen_spec("leaf")}}, relay);
+  relay.set_downstream(&leaf);
+  leaf.start();
+  const std::string leaf_address = bound_address(leaf);
+
+  // "alpha" < "beta": identity order matches the reference's seed order.
+  const EpochPublisher::Stats alpha =
+      publish_workload(leaf_address, "alpha", 101);
+  const EpochPublisher::Stats beta =
+      publish_workload(leaf_address, "beta", 202);
+  const std::uint64_t sent = alpha.records_sent + beta.records_sent;
+  EXPECT_EQ(sent, reference_records);
+
+  // Everything must traverse both tiers before the tiers come down --
+  // the records, and each route's acknowledgement of the root's hello.
+  ASSERT_TRUE(wait_for([&] { return root_sink.totals().records >= sent; }));
+  ASSERT_TRUE(wait_for([&] { return root.stats().statuses_received >= 2; }));
+  leaf.stop();
+  EXPECT_TRUE(relay.finish());
+  root.stop();
+
+  const RelaySink::Totals relayed = relay.totals();
+  EXPECT_EQ(relayed.routes, 2u);
+  EXPECT_EQ(relayed.records_forwarded, sent);
+  EXPECT_EQ(relayed.relay_dropped_records, 0u);
+  // The root's hello crossed the relay once per route, and the resulting
+  // acknowledgements flowed back up (waited on above).
+  EXPECT_GE(relayed.directives_relayed, 2u);
+  EXPECT_GE(relayed.statuses_forwarded, 2u);
+
+  const IngestSink::Totals totals = root_sink.finalize();
+  EXPECT_EQ(totals.records, sent);
+  EXPECT_EQ(totals.publish_dropped_records, 0u);
+
+  // The merged file is the acceptance artifact: byte-identical report.
+  analysis::AnalysisPipeline from_file;
+  analysis::read_trace_file(merged, from_file.database());
+  from_file.refresh();
+  EXPECT_EQ(from_file.report(), reference);
+  ::unlink(merged.c_str());
+}
+
+// Kill and restart the relay tier mid-run: the publisher rides its own
+// reconnect logic, the replacement relay re-routes to the root, and every
+// record the publisher counted as sent arrives -- zero loss, no double
+// counting.
+TEST_P(RelayTest, ZeroLossAcrossRelayRestart) {
+  IngestSink::Options root_options;
+  IngestSink root_sink(std::move(root_options));
+  CollectorDaemon root({{listen_spec("rr_root")}}, root_sink);
+  root.start();
+  const std::string upstream = bound_address(root);
+
+  RelaySink::Options relay_options;
+  relay_options.upstream = upstream;
+
+  auto relay1 = std::make_unique<RelaySink>(relay_options);
+  auto leaf1 = std::make_unique<CollectorDaemon>(
+      CollectorDaemon::Options{{listen_spec("rr_leaf")}}, *relay1);
+  relay1->set_downstream(leaf1.get());
+  leaf1->start();
+  // The replacement leaf must come back on the same concrete address.
+  const std::string leaf_address = bound_address(*leaf1);
+
+  orb::Fabric fabric;
+  workload::SyntheticSystem system(fabric, synthetic_config(55));
+  monitor::Collector collector;
+  system.attach_collector(collector);
+  PublisherConfig config;
+  config.address = leaf_address;
+  config.process_name = "phoenix";
+  config.interval_ms = 2;
+  config.reconnect_initial_ms = 1;
+  config.reconnect_max_ms = 16;
+  EpochPublisher publisher(collector, config);
+  publisher.start();
+
+  system.run_transactions(3);
+  system.wait_quiescent();
+  // Quiesce phase 1 end-to-end: nothing in flight when the tier dies.
+  ASSERT_TRUE(wait_for([&] {
+    const std::uint64_t sent = publisher.stats().records_sent;
+    return sent > 0 && root_sink.totals().records >= sent;
+  }));
+  const std::uint64_t phase1 = root_sink.totals().records;
+
+  leaf1->stop();
+  EXPECT_TRUE(relay1->finish());
+  leaf1.reset();
+  relay1.reset();
+
+  // Outage: the workload keeps producing; the publisher queues and retries.
+  system.run_transactions(3);
+  system.wait_quiescent();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  RelaySink relay2(relay_options);
+  CollectorDaemon leaf2({{leaf_address}}, relay2);
+  relay2.set_downstream(&leaf2);
+  leaf2.start();
+
+  EXPECT_TRUE(publisher.finish());
+  const EpochPublisher::Stats stats = publisher.stats();
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_EQ(stats.dropped_records, 0u);
+  ASSERT_TRUE(
+      wait_for([&] { return root_sink.totals().records >= stats.records_sent; }));
+  leaf2.stop();
+  EXPECT_TRUE(relay2.finish());
+  root.stop();
+
+  EXPECT_GE(root_sink.totals().records, phase1);
+  EXPECT_EQ(root_sink.totals().records, stats.records_sent);
+  EXPECT_EQ(root_sink.totals().publish_dropped_records, 0u);
+  EXPECT_EQ(relay2.totals().relay_dropped_records, 0u);
+  const IngestSink::Totals totals = root_sink.finalize();
+  EXPECT_EQ(totals.records, stats.records_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, RelayTest,
+    ::testing::Values(EndpointKind::kUnix, EndpointKind::kTcp),
+    [](const ::testing::TestParamInfo<EndpointKind>& info) {
+      return std::string(transport::endpoint_kind_name(info.param));
+    });
+
+}  // namespace
+}  // namespace causeway

@@ -14,8 +14,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -69,6 +71,20 @@ std::string slurp(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   return {std::istreambuf_iterator<char>(in),
           std::istreambuf_iterator<char>()};
+}
+
+// Wait for a daemon's --addr-file and return its first bound address.
+// The file is written complete-then-flushed, so a fully written file ends
+// in a newline; anything else is a partial write still in progress.
+std::string wait_addr(const std::string& path) {
+  for (int i = 0; i < 1000; ++i) {
+    const std::string contents = slurp(path);
+    if (!contents.empty() && contents.back() == '\n') {
+      return contents.substr(0, contents.find('\n'));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return {};
 }
 
 std::vector<std::string> record_args(const std::string& seed) {
@@ -129,6 +145,82 @@ TEST(TransportE2eTest, TwoPublishersMergeToOfflineIdenticalReport) {
 
   for (const std::string& p :
        {sock, merged, ref_a, ref_b, ref_txt, got_txt}) {
+    ::unlink(p.c_str());
+  }
+}
+
+// The tiered fabric, across real process boundaries and real TCP: two
+// publishers feed a leaf causeway-collectd over TCP loopback, the leaf
+// relays everything to a root causeway-collectd over a second TCP hop, and
+// the root's merged trace must render the byte-identical report to the
+// same workloads collected offline.  Ephemeral ports throughout; each
+// daemon's bound address is discovered through --addr-file, so the chain
+// never races a bind and never hardcodes a port.
+TEST(TransportE2eTest, TieredRelayOverTcpMatchesOfflineReport) {
+  const std::string root_addrs = tmp("tier_root.addr");
+  const std::string leaf_addrs = tmp("tier_leaf.addr");
+  const std::string merged = tmp("tier_merged.cwt");
+  const std::string ref_a = tmp("tier_ref_a.cwt");
+  const std::string ref_b = tmp("tier_ref_b.cwt");
+  const std::string ref_txt = tmp("tier_ref.txt");
+  const std::string got_txt = tmp("tier_got.txt");
+
+  {
+    auto a = record_args("57");
+    a.push_back("--out=" + ref_a);
+    ASSERT_EQ(run(a), 0);
+    auto b = record_args("58");
+    b.push_back("--out=" + ref_b);
+    ASSERT_EQ(run(b), 0);
+    ASSERT_EQ(run({CAUSEWAY_ANALYZE_BIN, ref_a, ref_b, "--report", "-o",
+                   ref_txt}),
+              0);
+  }
+
+  // Root tier: merges what the relay forwards; exits when both origin
+  // uplinks have come and gone.
+  const pid_t root =
+      spawn({CAUSEWAY_COLLECTD_BIN, "--listen=tcp:127.0.0.1:0",
+             "--addr-file=" + root_addrs, "--out=" + merged, "--expect=2",
+             "--quiet"});
+  ASSERT_GT(root, 0);
+  const std::string root_addr = wait_addr(root_addrs);
+  ASSERT_FALSE(root_addr.empty()) << "root daemon never published its address";
+
+  // Leaf tier: pure relay, exits when both publishers have finished.
+  const pid_t leaf =
+      spawn({CAUSEWAY_COLLECTD_BIN, "--listen=tcp:127.0.0.1:0",
+             "--addr-file=" + leaf_addrs, "--relay=" + root_addr,
+             "--expect=2", "--quiet"});
+  ASSERT_GT(leaf, 0);
+  const std::string leaf_addr = wait_addr(leaf_addrs);
+  ASSERT_FALSE(leaf_addr.empty()) << "leaf daemon never published its address";
+
+  auto a = record_args("57");
+  a.push_back("--publish=" + leaf_addr);
+  a.push_back("--publish-name=proc-a");
+  auto b = record_args("58");
+  b.push_back("--publish=" + leaf_addr);
+  b.push_back("--publish-name=proc-b");
+  const pid_t pub_a = spawn(a);
+  const pid_t pub_b = spawn(b);
+  ASSERT_GT(pub_a, 0);
+  ASSERT_GT(pub_b, 0);
+  EXPECT_EQ(wait_exit(pub_a), 0);
+  EXPECT_EQ(wait_exit(pub_b), 0);
+  ASSERT_EQ(wait_exit(leaf), 0);  // flushes its relay uplinks on the way out
+  ASSERT_EQ(wait_exit(root), 0);
+
+  ASSERT_EQ(run({CAUSEWAY_ANALYZE_BIN, merged, "--report", "-o", got_txt}),
+            0);
+  const std::string reference = slurp(ref_txt);
+  const std::string transported = slurp(got_txt);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(transported, reference)
+      << "tiered TCP relay report diverged from offline collection";
+
+  for (const std::string& p : {root_addrs, leaf_addrs, merged, ref_a, ref_b,
+                               ref_txt, got_txt}) {
     ::unlink(p.c_str());
   }
 }

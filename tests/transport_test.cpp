@@ -1,13 +1,17 @@
 // Cross-process collection transport, exercised in-process over real
-// Unix-domain sockets (no fork needed): protocol codecs, the
-// publisher-to-daemon loopback (byte-identical to offline collection),
-// drop-not-block back-pressure, drop-notice accounting, protocol-error
-// containment, partial-frame discard, and publisher reconnect across a
-// daemon restart.
+// sockets (no fork needed): protocol codecs, endpoint address parsing,
+// the publisher-to-daemon loopback (byte-identical to offline
+// collection), drop-not-block back-pressure, drop-notice accounting,
+// protocol-error containment, partial-frame discard, and publisher
+// reconnect across a daemon restart.
+//
+// Every socket-level suite runs twice -- once over a Unix-domain
+// endpoint, once over TCP loopback -- through the same TEST_P body: the
+// transport seam (endpoint.h) promises the byte stream above it is
+// kind-agnostic, and these tests are that promise's enforcement.
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -22,6 +26,7 @@
 #include "analysis/trace_io.h"
 #include "common/wire_io.h"
 #include "monitor/tss.h"
+#include "transport/endpoint.h"
 #include "transport/ingest_sink.h"
 #include "transport/protocol.h"
 #include "transport/publisher.h"
@@ -33,6 +38,7 @@ namespace {
 
 using transport::CollectorDaemon;
 using transport::DropNotice;
+using transport::EndpointKind;
 using transport::EpochPublisher;
 using transport::Handshake;
 using transport::IngestSink;
@@ -40,25 +46,53 @@ using transport::PeerInfo;
 using transport::PublisherConfig;
 using transport::TransportError;
 
+std::string unix_spec(const char* name) {
+  return "unix:" + ::testing::TempDir() + "cw_transport_" + name + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+bool wait_for(const std::function<bool()>& pred,
+              std::uint64_t timeout_ms = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
 class TransportTest : public ::testing::Test {
  protected:
   void SetUp() override { monitor::tss_clear(); }
   void TearDown() override { monitor::tss_clear(); }
+};
 
-  std::string sock_path(const char* name) {
-    return ::testing::TempDir() + "cw_transport_" + name + "_" +
-           std::to_string(::getpid()) + ".sock";
+// The socket-level suites, parameterized over the endpoint kind.  Daemons
+// bind `listen_spec` (TCP uses an ephemeral port); everything that needs
+// to *reach* the daemon asks it for the resolved address afterwards.
+class TransportSocketTest : public ::testing::TestWithParam<EndpointKind> {
+ protected:
+  void SetUp() override { monitor::tss_clear(); }
+  void TearDown() override { monitor::tss_clear(); }
+
+  std::string listen_spec(const char* name) {
+    return GetParam() == EndpointKind::kTcp ? "tcp:127.0.0.1:0"
+                                            : unix_spec(name);
   }
 
-  static bool wait_for(const std::function<bool()>& pred,
-                       std::uint64_t timeout_ms = 10000) {
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::milliseconds(timeout_ms);
-    while (std::chrono::steady_clock::now() < deadline) {
-      if (pred()) return true;
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    }
-    return pred();
+  // An address nothing listens on (and nothing will): connect must fail.
+  std::string dead_spec(const char* name) {
+    // Port 1 on loopback is as close to "guaranteed refused" as TCP gets.
+    return GetParam() == EndpointKind::kTcp ? "tcp:127.0.0.1:1"
+                                            : unix_spec(name);
+  }
+
+  static std::string bound_address(const CollectorDaemon& daemon) {
+    const std::vector<transport::EndpointAddress> bound =
+        daemon.listen_addresses();
+    EXPECT_EQ(bound.size(), 1u);
+    return bound.front().to_string();
   }
 };
 
@@ -76,32 +110,22 @@ workload::SyntheticConfig synthetic_config(std::uint64_t seed) {
 }
 
 // A raw publisher-side client for protocol-level tests: hand-crafted bytes
-// straight onto the socket.
+// straight onto the socket, whichever kind the address names.
 class RawClient {
  public:
-  explicit RawClient(const std::string& path) {
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    std::memcpy(addr.sun_path, path.c_str(), path.size());
-    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                           sizeof(addr)) == 0;
+  explicit RawClient(const std::string& address) {
+    endpoint_ =
+        transport::connect_endpoint(transport::parse_endpoint(address), 1000);
+    endpoint_.set_blocking(true);
   }
-  ~RawClient() { close(); }
-  bool connected() const { return connected_; }
+  bool connected() const { return endpoint_.valid(); }
   bool send(std::span<const std::uint8_t> bytes) {
-    return io_write_full(fd_, bytes.data(), bytes.size());
+    return io_write_full(endpoint_.fd(), bytes.data(), bytes.size());
   }
-  void close() {
-    if (fd_ >= 0) {
-      ::close(fd_);
-      fd_ = -1;
-    }
-  }
+  void close() { endpoint_.close(); }
 
  private:
-  int fd_{-1};
-  bool connected_{false};
+  transport::StreamEndpoint endpoint_;
 };
 
 // Records everything the daemon delivers; callbacks run on the daemon
@@ -264,28 +288,136 @@ TEST_F(TransportTest, StatusCodecRoundtrip) {
   }
 }
 
+TEST_F(TransportTest, DropNoticeCodecRoundtrip) {
+  const std::vector<std::uint8_t> bytes =
+      transport::encode_drop_notice({123456789ull, 17ull});
+  EXPECT_EQ(bytes.size(), transport::kDropNoticeBytes);
+  auto decoded = transport::try_decode_drop_notice(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->first.records, 123456789ull);
+  EXPECT_EQ(decoded->first.segments, 17ull);
+  EXPECT_FALSE(transport::try_decode_drop_notice(
+      std::span(bytes.data(), bytes.size() - 1)));
+}
+
+// Address parsing is the transport's configure-time gate: every accepted
+// spelling round-trips, every malformed spec is a clear error before a
+// socket exists.
+TEST_F(TransportTest, EndpointParsing) {
+  const transport::EndpointAddress unix_addr =
+      transport::parse_endpoint("unix:/tmp/cw.sock");
+  EXPECT_EQ(unix_addr.kind, EndpointKind::kUnix);
+  EXPECT_EQ(unix_addr.path, "/tmp/cw.sock");
+  EXPECT_EQ(unix_addr.to_string(), "unix:/tmp/cw.sock");
+
+  // Bare paths stay valid: the pre-TCP spelling keeps working.
+  EXPECT_EQ(transport::parse_endpoint("/tmp/bare.sock").kind,
+            EndpointKind::kUnix);
+
+  const transport::EndpointAddress tcp_addr =
+      transport::parse_endpoint("tcp:collect.example:9917");
+  EXPECT_EQ(tcp_addr.kind, EndpointKind::kTcp);
+  EXPECT_EQ(tcp_addr.host, "collect.example");
+  EXPECT_EQ(tcp_addr.port, 9917);
+  EXPECT_EQ(tcp_addr.to_string(), "tcp:collect.example:9917");
+  // IPv6 hosts split on the *last* colon.
+  EXPECT_EQ(transport::parse_endpoint("tcp:::1:80").host, "::1");
+
+  EXPECT_THROW(transport::parse_endpoint(""), TransportError);
+  EXPECT_THROW(transport::parse_endpoint("unix:"), TransportError);
+  EXPECT_THROW(transport::parse_endpoint("tcp:nohost"), TransportError);
+  EXPECT_THROW(transport::parse_endpoint("tcp:host:"), TransportError);
+  EXPECT_THROW(transport::parse_endpoint("tcp:host:notaport"),
+               TransportError);
+  EXPECT_THROW(transport::parse_endpoint("tcp:host:70000"), TransportError);
+  EXPECT_THROW(transport::parse_endpoint("udp:host:1"), TransportError);
+}
+
+// A Unix socket path that cannot fit sockaddr_un::sun_path must fail at
+// configuration time -- publisher construction and daemon construction
+// alike -- with the length in the message, never a silent truncation.
+TEST_F(TransportTest, OversizedUnixPathRejectedAtConfigTime) {
+  const std::string oversized = "unix:/tmp/" + std::string(200, 'x') + ".sock";
+  try {
+    transport::parse_endpoint(oversized);
+    FAIL() << "oversized unix path must not parse";
+  } catch (const TransportError& e) {
+    EXPECT_NE(std::string(e.what()).find("too long"), std::string::npos);
+  }
+
+  orb::Fabric fabric;
+  workload::SyntheticSystem system(fabric, synthetic_config(3));
+  monitor::Collector collector;
+  system.attach_collector(collector);
+  PublisherConfig config;
+  config.address = oversized;
+  config.process_name = "toolong";
+  EXPECT_THROW(EpochPublisher(collector, config), TransportError);
+
+  RecordingSink sink;
+  EXPECT_THROW(CollectorDaemon({{oversized}, 0}, sink), TransportError);
+}
+
+// One daemon, two transports at once: a Unix listener for local
+// publishers and a TCP listener for remote ones, each accounted per kind.
+TEST_F(TransportTest, MultiListenerServesBothTransports) {
+  const std::string unix_address = unix_spec("multi");
+  RecordingSink sink;
+  CollectorDaemon daemon({{unix_address, "tcp:127.0.0.1:0"}, 0}, sink);
+  daemon.start();
+  const std::vector<transport::EndpointAddress> bound =
+      daemon.listen_addresses();
+  ASSERT_EQ(bound.size(), 2u);
+  EXPECT_EQ(bound[0].kind, EndpointKind::kUnix);
+  EXPECT_EQ(bound[1].kind, EndpointKind::kTcp);
+  EXPECT_NE(bound[1].port, 0) << "ephemeral port must resolve";
+
+  for (const transport::EndpointAddress& address : bound) {
+    RawClient client(address.to_string());
+    ASSERT_TRUE(client.connected()) << address.to_string();
+    Handshake hs;
+    hs.process_name = std::string("via-") +
+                      transport::endpoint_kind_name(address.kind);
+    ASSERT_TRUE(client.send(transport::encode_handshake(hs)));
+    monitor::CollectedLogs empty;
+    ASSERT_TRUE(client.send(analysis::encode_trace(empty)));
+    client.close();
+  }
+  ASSERT_TRUE(wait_for([&] { return sink.segments_seen() == 2; }));
+  daemon.stop();
+
+  const CollectorDaemon::Stats stats = daemon.stats();
+  EXPECT_EQ(stats.connections_unix, 1u);
+  EXPECT_EQ(stats.connections_tcp, 1u);
+  EXPECT_EQ(stats.connections_total, 2u);
+  std::lock_guard lk(sink.mu);
+  ASSERT_EQ(sink.connects.size(), 2u);
+  EXPECT_EQ(sink.connects[0].transport == EndpointKind::kUnix ? 1 : 0,
+            sink.connects[0].process_name == "via-unix" ? 1 : 0);
+}
+
 // A handshake claiming a protocol newer than this build must be rejected:
 // the unit decoder throws, and the daemon closes exactly that connection
 // while a concurrent well-behaved publisher is untouched.
-TEST_F(TransportTest, FutureProtocolVersionRejectedCleanly) {
+TEST_P(TransportSocketTest, FutureProtocolVersionRejectedCleanly) {
   Handshake hs;
   hs.process_name = "from-the-future";
   std::vector<std::uint8_t> bytes = transport::encode_handshake(hs);
   bytes[4] = 0xFF;  // protocol u32 follows the magic; LSB first
   EXPECT_THROW(transport::try_decode_handshake(bytes), TransportError);
 
-  const std::string path = sock_path("future");
   RecordingSink sink;
-  CollectorDaemon daemon({path, 0}, sink);
+  CollectorDaemon daemon({{listen_spec("future")}, 0}, sink);
   daemon.start();
+  const std::string address = bound_address(daemon);
 
-  RawClient future(path);
+  RawClient future(address);
   ASSERT_TRUE(future.connected());
   ASSERT_TRUE(future.send(bytes));
   ASSERT_TRUE(wait_for([&] { return daemon.stats().protocol_errors == 1; }));
 
   // Per-connection containment: the daemon still serves a current peer.
-  RawClient good(path);
+  RawClient good(address);
   ASSERT_TRUE(good.connected());
   Handshake current;
   current.process_name = "current";
@@ -305,20 +437,19 @@ TEST_F(TransportTest, FutureProtocolVersionRejectedCleanly) {
 // -- must not stall finish() past its flush deadline.  The publisher fills
 // the socket buffers, hits the deadline, counts the rest as dropped and
 // returns.
-TEST_F(TransportTest, WedgedDaemonCannotStallFinish) {
-  const std::string path = sock_path("wedged");
-  ::unlink(path.c_str());
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  ASSERT_GE(listener, 0);
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path.c_str(), path.size());
-  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-                   sizeof(addr)),
-            0);
-  ASSERT_EQ(::listen(listener, 4), 0);
-  // Never accept(2), never read(2): bytes pile up in the kernel until the
-  // publisher's writes stall on EAGAIN.
+TEST_P(TransportSocketTest, WedgedDaemonCannotStallFinish) {
+  // A bound, listening endpoint nobody ever accepts or reads from: bytes
+  // pile up in the kernel until the publisher's writes stall on EAGAIN.
+  // Shrink both kernel buffers -- the listener's receive side (inherited
+  // by the never-accepted connection) and, below, the publisher's send
+  // side -- so the wedge bites at kilobytes; TCP would otherwise autotune
+  // several megabytes of invisible capacity and absorb the whole workload.
+  transport::Listener wedged(
+      transport::parse_endpoint(listen_spec("wedged")));
+  const int tiny_rcvbuf = 4096;
+  ::setsockopt(wedged.fd(), SOL_SOCKET, SO_RCVBUF, &tiny_rcvbuf,
+               sizeof tiny_rcvbuf);
+  const std::string address = wedged.address().to_string();
 
   orb::Fabric fabric;
   workload::SyntheticSystem system(fabric, synthetic_config(13));
@@ -326,10 +457,11 @@ TEST_F(TransportTest, WedgedDaemonCannotStallFinish) {
   system.attach_collector(collector);
 
   PublisherConfig config;
-  config.socket_path = path;
+  config.address = address;
   config.process_name = "wedged-feeder";
   config.interval_ms = 1;
   config.flush_timeout_ms = 250;
+  config.sndbuf_bytes = 32 * 1024;
   EpochPublisher publisher(collector, config);
   publisher.start();
   // Enough volume to overflow the kernel socket buffers (a few hundred KB)
@@ -346,28 +478,15 @@ TEST_F(TransportTest, WedgedDaemonCannotStallFinish) {
 
   const EpochPublisher::Stats stats = publisher.stats();
   EXPECT_GT(stats.dropped_records, 0u);  // the undeliverable tail
-  ::close(listener);
-  ::unlink(path.c_str());
-}
-
-TEST_F(TransportTest, DropNoticeCodecRoundtrip) {
-  const std::vector<std::uint8_t> bytes =
-      transport::encode_drop_notice({123456789ull, 17ull});
-  EXPECT_EQ(bytes.size(), transport::kDropNoticeBytes);
-  auto decoded = transport::try_decode_drop_notice(bytes);
-  ASSERT_TRUE(decoded.has_value());
-  EXPECT_EQ(decoded->first.records, 123456789ull);
-  EXPECT_EQ(decoded->first.segments, 17ull);
-  EXPECT_FALSE(transport::try_decode_drop_notice(
-      std::span(bytes.data(), bytes.size() - 1)));
 }
 
 // The tentpole loopback: a workload published over the socket must yield
 // (a) a pipeline report and (b) a merged-trace report both byte-identical
 // to collecting the identical workload in-process.
-TEST_F(TransportTest, LoopbackPublishMatchesOfflineCollection) {
-  const std::string path = sock_path("loopback");
-  const std::string merged = ::testing::TempDir() + "cw_loopback_merged.cwt";
+TEST_P(TransportSocketTest, LoopbackPublishMatchesOfflineCollection) {
+  const std::string merged = ::testing::TempDir() + "cw_loopback_merged_" +
+                             transport::endpoint_kind_name(GetParam()) +
+                             ".cwt";
 
   // Offline reference: same seed, same workload, collected in-process.
   std::string reference;
@@ -392,7 +511,7 @@ TEST_F(TransportTest, LoopbackPublishMatchesOfflineCollection) {
   options.pipeline = &live;
   options.merged_path = merged;
   IngestSink sink(std::move(options));
-  CollectorDaemon daemon({path, 0}, sink);
+  CollectorDaemon daemon({{listen_spec("loopback")}, 0}, sink);
   daemon.start();
   {
     orb::Fabric fabric;
@@ -400,7 +519,7 @@ TEST_F(TransportTest, LoopbackPublishMatchesOfflineCollection) {
     monitor::Collector collector;
     system.attach_collector(collector);
     PublisherConfig config;
-    config.socket_path = path;
+    config.address = bound_address(daemon);
     config.process_name = "loopback";
     config.interval_ms = 5;
     EpochPublisher publisher(collector, config);
@@ -435,14 +554,14 @@ TEST_F(TransportTest, LoopbackPublishMatchesOfflineCollection) {
 
 // No daemon at all: the publisher must never block the workload, must keep
 // memory bounded, and must account every discarded record.
-TEST_F(TransportTest, BackpressureDropsNotBlocks) {
+TEST_P(TransportSocketTest, BackpressureDropsNotBlocks) {
   orb::Fabric fabric;
   workload::SyntheticSystem system(fabric, synthetic_config(31));
   monitor::Collector collector;
   system.attach_collector(collector);
 
   PublisherConfig config;
-  config.socket_path = sock_path("nowhere");  // nothing listens here
+  config.address = dead_spec("nowhere");  // nothing listens here
   config.process_name = "lonely";
   config.interval_ms = 1;
   config.max_inflight_bytes = 512;  // absurdly small: force drops fast
@@ -467,8 +586,7 @@ TEST_F(TransportTest, BackpressureDropsNotBlocks) {
 // Drop notices synthesize publish_dropped bundles: the loss shows up in
 // the database counter and as a kPublishDrop anomaly event, distinct from
 // ring overflow.
-TEST_F(TransportTest, DropNoticeReachesPipelineAndAnomalies) {
-  const std::string path = sock_path("notice");
+TEST_P(TransportSocketTest, DropNoticeReachesPipelineAndAnomalies) {
   analysis::AnalysisPipeline live;
   std::atomic<int> publish_drop_events{0};
   analysis::CallbackAnomalySink anomaly_sink(
@@ -482,10 +600,10 @@ TEST_F(TransportTest, DropNoticeReachesPipelineAndAnomalies) {
   IngestSink::Options options;
   options.pipeline = &live;
   IngestSink sink(std::move(options));
-  CollectorDaemon daemon({path, 0}, sink);
+  CollectorDaemon daemon({{listen_spec("notice")}, 0}, sink);
   daemon.start();
 
-  RawClient client(path);
+  RawClient client(bound_address(daemon));
   ASSERT_TRUE(client.connected());
   Handshake hs;
   hs.trace_format = analysis::kTraceFormatV4;
@@ -506,20 +624,20 @@ TEST_F(TransportTest, DropNoticeReachesPipelineAndAnomalies) {
 
 // A connection that violates the protocol is closed; the daemon and its
 // other publishers are unharmed.
-TEST_F(TransportTest, ProtocolErrorClosesOnlyThatConnection) {
-  const std::string path = sock_path("protoerr");
+TEST_P(TransportSocketTest, ProtocolErrorClosesOnlyThatConnection) {
   RecordingSink sink;
-  CollectorDaemon daemon({path, 0}, sink);
+  CollectorDaemon daemon({{listen_spec("protoerr")}, 0}, sink);
   daemon.start();
+  const std::string address = bound_address(daemon);
 
-  RawClient bad(path);
+  RawClient bad(address);
   ASSERT_TRUE(bad.connected());
   const std::vector<std::uint8_t> garbage(64, 0x99);
   ASSERT_TRUE(bad.send(garbage));
   ASSERT_TRUE(wait_for([&] { return daemon.stats().protocol_errors == 1; }));
 
   // The daemon still accepts and serves a well-behaved publisher.
-  RawClient good(path);
+  RawClient good(address);
   ASSERT_TRUE(good.connected());
   Handshake hs;
   hs.process_name = "wellbehaved";
@@ -538,17 +656,16 @@ TEST_F(TransportTest, ProtocolErrorClosesOnlyThatConnection) {
 // A publisher that dies mid-frame leaves a partial tail; the daemon keeps
 // the complete prefix and discards the torn frame -- TraceTail's
 // clean-prefix discipline on a socket.
-TEST_F(TransportTest, PartialFrameDiscardedOnAbruptClose) {
-  const std::string path = sock_path("partial");
+TEST_P(TransportSocketTest, PartialFrameDiscardedOnAbruptClose) {
   RecordingSink sink;
-  CollectorDaemon daemon({path, 0}, sink);
+  CollectorDaemon daemon({{listen_spec("partial")}, 0}, sink);
   daemon.start();
 
   monitor::CollectedLogs empty;
   const std::vector<std::uint8_t> segment = analysis::encode_trace(empty);
   ASSERT_GT(segment.size(), 8u);
 
-  RawClient client(path);
+  RawClient client(bound_address(daemon));
   ASSERT_TRUE(client.connected());
   Handshake hs;
   hs.process_name = "crasher";
@@ -572,8 +689,7 @@ TEST_F(TransportTest, PartialFrameDiscardedOnAbruptClose) {
 // Daemon restart: the publisher reconnects with backoff, re-handshakes,
 // resends from a frame boundary, and everything drained after the outage
 // still arrives.  The pre-restart clean prefix stays ingested.
-TEST_F(TransportTest, PublisherReconnectsAcrossDaemonRestart) {
-  const std::string path = sock_path("restart");
+TEST_P(TransportSocketTest, PublisherReconnectsAcrossDaemonRestart) {
   RecordingSink sink;
 
   orb::Fabric fabric;
@@ -581,17 +697,20 @@ TEST_F(TransportTest, PublisherReconnectsAcrossDaemonRestart) {
   monitor::Collector collector;
   system.attach_collector(collector);
 
+  auto daemon1 = std::make_unique<CollectorDaemon>(
+      CollectorDaemon::Options{{listen_spec("restart")}, 0}, sink);
+  daemon1->start();
+  // The restarted daemon must come back on the same concrete address, so
+  // resolve the ephemeral port once and reuse it.
+  const std::string address = bound_address(*daemon1);
+
   PublisherConfig config;
-  config.socket_path = path;
+  config.address = address;
   config.process_name = "phoenix-feeder";
   config.interval_ms = 2;
   config.reconnect_initial_ms = 1;
   config.reconnect_max_ms = 16;
   EpochPublisher publisher(collector, config);
-
-  auto daemon1 = std::make_unique<CollectorDaemon>(
-      CollectorDaemon::Options{path, 0}, sink);
-  daemon1->start();
   publisher.start();
 
   system.run_transactions(3);
@@ -614,7 +733,7 @@ TEST_F(TransportTest, PublisherReconnectsAcrossDaemonRestart) {
   system.wait_quiescent();
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
 
-  CollectorDaemon daemon2({path, 0}, sink);
+  CollectorDaemon daemon2({{address}, 0}, sink);
   daemon2.start();
   EXPECT_TRUE(publisher.finish());
 
@@ -636,6 +755,13 @@ TEST_F(TransportTest, PublisherReconnectsAcrossDaemonRestart) {
     }
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, TransportSocketTest,
+    ::testing::Values(EndpointKind::kUnix, EndpointKind::kTcp),
+    [](const ::testing::TestParamInfo<EndpointKind>& info) {
+      return std::string(transport::endpoint_kind_name(info.param));
+    });
 
 }  // namespace
 }  // namespace causeway

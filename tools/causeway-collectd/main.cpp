@@ -1,16 +1,24 @@
 // causeway-collectd -- the collection daemon for multi-process runs.
 //
 // The paper's collection step, promoted to a live service: any number of
-// monitored processes publish their drain epochs over a Unix-domain socket
-// (`causeway-record --publish=SOCK`, or any embedding of
-// transport::EpochPublisher), and this daemon synthesizes them -- feeding
-// every arriving segment into one epoch-driven AnalysisPipeline (live
-// summaries on stderr, anomaly events to the chosen sink, a final render
-// at shutdown) and/or appending them to one merged `.cwt` trace whose
-// analyzer output matches an in-process collection of the same workload.
+// monitored processes publish their drain epochs over a stream socket --
+// Unix-domain on one host, TCP across hosts; `causeway-record
+// --publish=ADDR`, or any embedding of transport::EpochPublisher -- and
+// this daemon synthesizes them: feeding every arriving segment into one
+// epoch-driven AnalysisPipeline (live summaries on stderr, anomaly events
+// to the chosen sink, a final render at shutdown) and/or appending them to
+// one merged `.cwt` trace whose analyzer output matches an in-process
+// collection of the same workload.
+//
+// With --relay=ADDR the daemon is a *tier* instead of a root: everything
+// it receives is forwarded upstream to a parent causeway-collectd through
+// per-origin uplinks (transport::RelaySink), so publishers -> leaf
+// collectd -> root collectd produces the same merged report as every
+// publisher connecting to the root directly.
 //
 // Usage:
-//   causeway-collectd --listen=SOCK
+//   causeway-collectd --listen=ADDR [--listen=ADDR ...]
+//                     [--relay=ADDR]
 //                     [--out=merged.cwt] [--trace-format=v3|v4]
 //                     [--report=PATH | --report=-]
 //                     [--anomalies=stderr|jsonl:PATH|none]
@@ -19,7 +27,15 @@
 //                     [--policy-window-ms=N] [--policy-throttle=N]
 //                     [--policy-rearm-windows=N] [--policy-hold-ms=N]
 //                     [--policy-max-rps=N]
+//                     [--addr-file=PATH]
 //                     [--expect=N] [--idle-exit-ms=N] [--quiet]
+//
+// ADDR is "unix:/path", "tcp:host:port" (port 0 binds ephemeral), or a
+// bare socket path.  --listen repeats: one daemon can serve local
+// publishers on a Unix socket and remote ones on TCP at once.
+// --addr-file writes the bound addresses (ephemeral ports resolved), one
+// per line, once listening -- scripts wait on the file instead of racing
+// the bind.
 //
 // --policy=auto closes the control loop: a ControlPolicy watches the live
 // anomaly stream and per-publisher load, and sends CWCT directives back
@@ -27,17 +43,22 @@
 // (--policy-throttle, default 10) and re-arming it to full fidelity after
 // the hysteresis clears.  Old (protocol 1) publishers are silently left
 // alone.  The suppressed-record counts publishers report back (CWST) are
-// folded into the pipeline so the final report reconciles exactly.
+// folded into the pipeline so the final report reconciles exactly.  In
+// relay mode the loop spans tiers instead: root directives are relayed
+// down to the origin publisher, and its acknowledgement travels back up
+// with the root's own directive seq.
 //
 // Lifecycle: runs until SIGINT/SIGTERM, or -- for scripted runs -- until
 // --expect=N publishers have connected and all of them disconnected, or
 // until --idle-exit-ms of no connected publishers after at least one was
-// seen.  Shutdown order: stop accepting, write the merged trace, render.
+// seen.  Shutdown order: stop accepting, flush the relay (when tiered),
+// write the merged trace, render.
 //
 // Publisher failure never kills the daemon: a protocol error or crashed
 // peer closes that connection only, discarding at most one incomplete
 // frame (the clean-prefix discipline).  Daemon restarts are symmetric --
-// publishers reconnect with backoff and resend from a frame boundary.
+// publishers reconnect with backoff and resend from a frame boundary, and
+// a relay rides out a root restart the same way.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -47,12 +68,14 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "analysis/anomaly.h"
 #include "analysis/pipeline.h"
 #include "analysis/trace_io.h"
 #include "transport/ingest_sink.h"
 #include "transport/policy.h"
+#include "transport/relay_sink.h"
 #include "transport/subscriber.h"
 
 using namespace causeway;
@@ -66,14 +89,17 @@ void handle_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
 int usage() {
   std::fprintf(
       stderr,
-      "usage: causeway-collectd --listen=SOCK\n"
+      "usage: causeway-collectd --listen=ADDR [--listen=ADDR ...]\n"
+      "           [--relay=ADDR]\n"
       "           [--out=merged.cwt] [--trace-format=v3|v4]\n"
       "           [--report=PATH|-] [--anomalies=stderr|jsonl:PATH|none]\n"
       "           [--ingest-shards=N] [--expect=N] [--idle-exit-ms=N]\n"
       "           [--policy=off|auto] [--policy-burst=N]\n"
       "           [--policy-window-ms=N] [--policy-throttle=N]\n"
       "           [--policy-rearm-windows=N] [--policy-hold-ms=N]\n"
-      "           [--policy-max-rps=N] [--quiet]\n");
+      "           [--policy-max-rps=N] [--addr-file=PATH] [--quiet]\n"
+      "ADDR: unix:/path, tcp:host:port (port 0 = ephemeral), or a bare "
+      "socket path\n");
   return 2;
 }
 
@@ -87,7 +113,9 @@ std::uint64_t steady_ms() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string listen;
+  std::vector<std::string> listens;
+  std::string relay_upstream;
+  std::string addr_file;
   std::string out;
   std::string report;
   std::string anomalies = "none";
@@ -102,7 +130,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--listen=", 0) == 0) {
-      listen = arg.substr(9);
+      listens.push_back(arg.substr(9));
+    } else if (arg.rfind("--relay=", 0) == 0) {
+      relay_upstream = arg.substr(8);
+    } else if (arg.rfind("--addr-file=", 0) == 0) {
+      addr_file = arg.substr(12);
     } else if (arg.rfind("--out=", 0) == 0) {
       out = arg.substr(6);
     } else if (arg.rfind("--trace-format=", 0) == 0) {
@@ -161,11 +193,20 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
-  if (listen.empty()) return usage();
-  if (out.empty() && report.empty() && anomalies == "none") {
+  if (listens.empty()) return usage();
+  const bool relaying = !relay_upstream.empty();
+  if (relaying &&
+      (!out.empty() || !report.empty() || anomalies != "none" || policy_on)) {
     std::fprintf(stderr,
-                 "causeway-collectd: nothing to do -- pass --out, --report "
-                 "and/or --anomalies\n");
+                 "causeway-collectd: --relay forwards everything upstream; "
+                 "--out/--report/--anomalies/--policy belong on the root "
+                 "daemon\n");
+    return 2;
+  }
+  if (!relaying && out.empty() && report.empty() && anomalies == "none") {
+    std::fprintf(stderr,
+                 "causeway-collectd: nothing to do -- pass --relay, --out, "
+                 "--report and/or --anomalies\n");
     return 2;
   }
 
@@ -215,28 +256,63 @@ int main(int argc, char** argv) {
       if (pipeline) pipeline->add_sink(policy.get());
     }
 
-    transport::IngestSink::Options sink_options;
-    sink_options.pipeline = pipeline.get();
-    sink_options.merged_path = out;
-    sink_options.merged_format = trace_format;
-    sink_options.policy = policy.get();
-    transport::IngestSink ingest(std::move(sink_options));
-    if (!quiet && pipeline) {
-      analysis::AnalysisPipeline* pp = pipeline.get();
-      ingest.epoch_callback = [pp](const transport::PeerInfo& peer,
-                                   const analysis::EpochInfo&) {
-        std::fprintf(stderr, "[collectd] %s/%llu: %s\n",
-                     peer.process_name.c_str(),
-                     static_cast<unsigned long long>(peer.pid),
-                     pp->live_summary().c_str());
-      };
+    // The daemon's sink: a relay tier forwards upstream, a root ingests.
+    std::unique_ptr<transport::RelaySink> relay;
+    std::unique_ptr<transport::IngestSink> ingest;
+    transport::DaemonSink* daemon_sink = nullptr;
+    if (relaying) {
+      transport::RelaySink::Options relay_options;
+      relay_options.upstream = relay_upstream;
+      relay = std::make_unique<transport::RelaySink>(std::move(relay_options));
+      daemon_sink = relay.get();
+    } else {
+      transport::IngestSink::Options sink_options;
+      sink_options.pipeline = pipeline.get();
+      sink_options.merged_path = out;
+      sink_options.merged_format = trace_format;
+      sink_options.policy = policy.get();
+      ingest = std::make_unique<transport::IngestSink>(std::move(sink_options));
+      if (!quiet && pipeline) {
+        analysis::AnalysisPipeline* pp = pipeline.get();
+        ingest->epoch_callback = [pp](const transport::PeerInfo& peer,
+                                      const analysis::EpochInfo&) {
+          std::fprintf(stderr, "[collectd] %s/%llu: %s\n",
+                       peer.process_name.c_str(),
+                       static_cast<unsigned long long>(peer.pid),
+                       pp->live_summary().c_str());
+        };
+      }
+      daemon_sink = ingest.get();
     }
 
-    transport::CollectorDaemon daemon({listen, 0}, ingest);
+    transport::CollectorDaemon daemon({listens, 0}, *daemon_sink);
     daemon_ptr = &daemon;
+    if (relay) relay->set_downstream(&daemon);
     daemon.start();
+    const std::vector<transport::EndpointAddress> bound =
+        daemon.listen_addresses();
     if (!quiet) {
-      std::fprintf(stderr, "[collectd] listening on %s\n", listen.c_str());
+      for (const transport::EndpointAddress& address : bound) {
+        std::fprintf(stderr, "[collectd] listening on %s\n",
+                     address.to_string().c_str());
+      }
+      if (relaying) {
+        std::fprintf(stderr, "[collectd] relaying to %s\n",
+                     relay_upstream.c_str());
+      }
+    }
+    if (!addr_file.empty()) {
+      // Written after every bind succeeded, so a script that waits for the
+      // file gets resolved addresses (ephemeral TCP ports included).
+      std::ofstream af(addr_file);
+      for (const transport::EndpointAddress& address : bound) {
+        af << address.to_string() << "\n";
+      }
+      if (!af.flush()) {
+        std::fprintf(stderr, "causeway-collectd: cannot write '%s'\n",
+                     addr_file.c_str());
+        return 1;
+      }
     }
 
     // Wait for a stop condition: signal, --expect satisfied, or idle.
@@ -262,9 +338,46 @@ int main(int argc, char** argv) {
       }
     }
 
-    daemon.stop();
-    const transport::IngestSink::Totals totals = ingest.finalize();
     const transport::CollectorDaemon::Stats stats = daemon.stats();
+    daemon.stop();
+    if (!quiet) {
+      std::fprintf(
+          stderr,
+          "[collectd] listeners: %llu unix, %llu tcp; connections: %llu "
+          "unix, %llu tcp\n",
+          static_cast<unsigned long long>(stats.listeners_unix),
+          static_cast<unsigned long long>(stats.listeners_tcp),
+          static_cast<unsigned long long>(stats.connections_unix),
+          static_cast<unsigned long long>(stats.connections_tcp));
+    }
+    if (relay) {
+      const bool flushed = relay->finish();
+      const transport::RelaySink::Totals totals = relay->totals();
+      if (!quiet) {
+        std::fprintf(
+            stderr,
+            "[collectd] relay: %llu origins, %llu segments (%llu records) "
+            "forwarded, %llu downstream-dropped records folded, %llu "
+            "statuses, %llu directives relayed down\n",
+            static_cast<unsigned long long>(totals.routes),
+            static_cast<unsigned long long>(totals.segments_forwarded),
+            static_cast<unsigned long long>(totals.records_forwarded),
+            static_cast<unsigned long long>(totals.drop_records_forwarded),
+            static_cast<unsigned long long>(totals.statuses_forwarded),
+            static_cast<unsigned long long>(totals.directives_relayed));
+        std::fprintf(
+            stderr,
+            "[collectd] relay upstream: %llu bytes, %llu reconnects, %llu "
+            "relay-dropped records (%llu segments)%s\n",
+            static_cast<unsigned long long>(totals.upstream_bytes),
+            static_cast<unsigned long long>(totals.upstream_reconnects),
+            static_cast<unsigned long long>(totals.relay_dropped_records),
+            static_cast<unsigned long long>(totals.relay_dropped_segments),
+            flushed ? "" : " (flush deadline expired)");
+      }
+      return 0;
+    }
+    const transport::IngestSink::Totals totals = ingest->finalize();
     if (!quiet) {
       std::fprintf(
           stderr,

@@ -23,15 +23,17 @@
 //                   [--jobs=N] [--transactions=N] [--seed=N]
 //                   [--stream] [--interval-ms=N] [--fixed-interval]
 //                   [--out=trace.cwt] [--trace-format=v3|v4] [--verify]
-//                   [--publish=SOCK] [--publish-name=NAME] [--no-control]
+//                   [--publish=ADDR] [--publish-name=NAME] [--no-control]
 //
 // --verify reads the finished trace back through the analyzer's (parallel)
 // segment decoder and checks the synthesized database against the writer's
 // own record count -- a cheap end-to-end round-trip gate after every run.
 //
 // --publish replaces the local trace file with the cross-process transport:
-// epoch bundles ship over the Unix socket SOCK to a causeway-collectd
-// daemon (which merges any number of publishing processes).  The drain
+// epoch bundles ship over a stream socket -- ADDR is "unix:/path", a bare
+// socket path, or "tcp:host:port" for cross-host collection -- to a
+// causeway-collectd daemon (which merges any number of publishing
+// processes, local or remote).  The drain
 // cadence, adaptivity and --interval-ms knobs apply unchanged; --out and
 // --verify do not (there is no local file).  The publisher never blocks the
 // workload: segments the daemon cannot absorb are dropped and counted.
@@ -74,7 +76,7 @@ struct Args {
   int interval_ms{50};
   bool adaptive{true};
   bool verify{false};
-  std::string publish;       // socket path; "" = write a local file
+  std::string publish;       // endpoint address; "" = write a local file
   std::string publish_name;  // handshake name (default: workload-pid)
   bool accept_control{true};  // --no-control: decode-and-drop directives
 };
@@ -264,7 +266,7 @@ std::uint64_t record(const Args& args, System& system, Drive&& drive) {
     monitor::Collector collector;
     system.attach_collector(collector);
     transport::PublisherConfig config;
-    config.socket_path = args.publish;
+    config.address = args.publish;
     config.process_name =
         args.publish_name.empty()
             ? args.workload + "-" + std::to_string(::getpid())
