@@ -2,23 +2,33 @@
 // 96-byte records) vs v4 (columnar delta/varint), on the E2 synthesizer's
 // record stream chunked into epoch-sized segments like a streamed trace.
 //
-// Decode times the staging phase (decode_trace_segments: skim + parallel
-// segment decode into self-contained bundles) on bytes written through
-// TraceWriter -- so the v4 path exercises the directory trailer exactly as
-// a real file read does.  Database ingest is excluded: it is format-
-// independent and would dilute the codec comparison.
+// Decode is timed on bytes written through TraceWriter -- so the v4 path
+// exercises the directory trailer exactly as a real file read does -- and
+// in three configurations:
 //
-// Acceptance shape: v4 wire size >= 35% smaller than v3, and v4 decode
-// throughput >= 2x v3.  The decode target rides on the directory trailer
-// letting segment decode fan out across cores, so it is gated on
-// target_2x_applicable (>= 2 hardware threads) the same way bench_ingest
-// gates its 3x shard target: on a single-core host both codecs bottom out
-// at the same staged-record memory-write floor (the fixed 96-byte v3
-// record decodes in a handful of fixed-offset loads, so per-record parse
-// compute does not separate them) and the ratio honestly reads ~1x.
-// Emits BENCH_trace_io.json next to the stdout summary; override with
-// --json=PATH, shrink with --calls=N, change the segment count with
-// --segments=N.
+//   v3        decode_trace_segments, the fixed-width record path
+//   v4scalar  decode_trace_segments with the varint kernel pinned to the
+//             strict scalar reference -- the byte-at-a-time record-major
+//             decode this codebase shipped before the batch kernels, and
+//             the baseline the 3x column-decode target is measured against
+//   v4col     decode_trace_columns with the widest available kernel
+//             (AVX2/SSE/NEON/SWAR): batched column decode, run expansion,
+//             no record-major assembly -- what the ingest path runs
+//
+// (plus "v4": decode_trace_segments under the active kernel, kept so the
+// long-running v4-vs-v3 trajectory stays comparable across bench history.)
+// Database ingest is excluded: it would dilute the codec comparison.
+//
+// Acceptance shape: v4 wire size >= 35% smaller than v3, v4 decode >= 2x
+// v3 (multi-core only -- the 2x rides on the trailer fanning segments out
+// across the WorkerPool), and v4col decode >= 3x v4scalar on the same
+// stream (single-threaded: kernel + zero-assembly gains, no parallelism
+// involved).  Each timing reports best-of-reps and the median, so the
+// JSON trajectory shows spread, not just the lucky run.
+// Emits BENCH_trace_io.json in the working directory (CI invokes every
+// bench from the repo root, so artifacts land at a stable repo-root path);
+// override with --json=PATH, shrink with --calls=N, change the segment
+// count with --segments=N.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -32,6 +42,7 @@
 #include <vector>
 
 #include "analysis/trace_io.h"
+#include "common/wire.h"
 #include "workload/logsynth.h"
 
 namespace {
@@ -41,9 +52,11 @@ using Clock = std::chrono::steady_clock;
 
 struct CodecResult {
   std::string name;
+  std::string kernel;  // varint kernel the decode ran under
   std::size_t wire_bytes{0};
   double encode_seconds{0};
-  double decode_seconds{0};
+  double decode_seconds{0};         // best of reps
+  double decode_seconds_median{0};  // median of reps
   std::size_t records{0};
   double encode_records_per_sec() const {
     return static_cast<double>(records) / encode_seconds;
@@ -54,6 +67,7 @@ struct CodecResult {
   double decode_mb_per_sec() const {
     return static_cast<double>(wire_bytes) / 1e6 / decode_seconds;
   }
+  double decode_gb_per_sec() const { return decode_mb_per_sec() / 1e3; }
 };
 
 std::vector<std::uint8_t> slurp(const std::string& path) {
@@ -62,19 +76,51 @@ std::vector<std::uint8_t> slurp(const std::string& path) {
           std::istreambuf_iterator<char>()};
 }
 
-// Encodes the bundles segment-by-segment (timed, best of reps), writes the
-// same stream through a TraceWriter, and times decode_trace_segments over
-// the resulting file bytes (best of reps).  With legacy_layout the file is
-// plain concatenated segments with no directory trailer -- the shape every
-// pre-v4 writer produced -- so the v3 measurement exercises the sequential
-// skim fallback a real legacy artifact forces on the reader.
-CodecResult run(std::string name, std::uint32_t version,
-                const std::vector<monitor::CollectedLogs>& bundles,
-                std::size_t records, int reps, bool legacy_layout) {
-  CodecResult r;
-  r.name = std::move(name);
-  r.records = records;
+enum class DecodePath { kRecords, kColumns };
 
+// Times the decode of `bytes` (best + median of reps) under `kernel`,
+// filling r.decode_*.  Restores the previously active kernel afterwards.
+void time_decode(CodecResult& r, const std::vector<std::uint8_t>& bytes,
+                 std::size_t records, int reps, DecodePath path,
+                 VarintKernel kernel) {
+  const VarintKernel previous = active_varint_kernel();
+  force_varint_kernel(kernel);
+  r.kernel = to_string(kernel);
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    std::size_t decoded = 0;
+    const auto t0 = Clock::now();
+    if (path == DecodePath::kColumns) {
+      const auto staged = analysis::decode_trace_columns(bytes);
+      for (const auto& cols : staged) decoded += cols.count;
+    } else {
+      const auto staged = analysis::decode_trace_segments(bytes);
+      for (const auto& bundle : staged) decoded += bundle.records.size();
+    }
+    const auto t1 = Clock::now();
+    times.push_back(std::chrono::duration<double>(t1 - t0).count());
+    if (decoded != records) {
+      std::fprintf(stderr, "FATAL: %s decoded %zu of %zu records\n",
+                   r.name.c_str(), decoded, records);
+      std::exit(1);
+    }
+  }
+  force_varint_kernel(previous);
+  std::sort(times.begin(), times.end());
+  r.decode_seconds = times.front();
+  r.decode_seconds_median = times[times.size() / 2];
+}
+
+// Encodes the bundles segment-by-segment (timed, best of reps) and returns
+// the on-disk byte stream: TraceWriter output (directory trailer included),
+// or -- with legacy_layout -- plain concatenated segments with no trailer,
+// the shape every pre-v4 writer produced, so the v3 measurement exercises
+// the sequential skim fallback a real legacy artifact forces on the reader.
+std::vector<std::uint8_t> encode_stream(
+    CodecResult& r, std::uint32_t version,
+    const std::vector<monitor::CollectedLogs>& bundles, int reps,
+    bool legacy_layout) {
   double best_encode = 1e100;
   for (int rep = 0; rep < reps; ++rep) {
     const auto t0 = Clock::now();
@@ -108,82 +154,78 @@ CodecResult run(std::string name, std::uint32_t version,
     std::filesystem::remove(path);
   }
   r.wire_bytes = bytes.size();
-
-  double best_decode = 1e100;
-  for (int rep = 0; rep < reps; ++rep) {
-    const auto t0 = Clock::now();
-    const auto staged = analysis::decode_trace_segments(bytes);
-    const auto t1 = Clock::now();
-    best_decode =
-        std::min(best_decode, std::chrono::duration<double>(t1 - t0).count());
-    std::size_t decoded = 0;
-    for (const auto& bundle : staged) decoded += bundle.records.size();
-    if (decoded != records) {
-      std::fprintf(stderr, "FATAL: %s decoded %zu of %zu records\n",
-                   r.name.c_str(), decoded, records);
-      std::exit(1);
-    }
-  }
-  r.decode_seconds = best_decode;
-  return r;
+  return bytes;
 }
 
 void print_result(const CodecResult& r) {
   std::printf(
-      "%-4s %10zu B (%5.1f B/rec) | encode %7.3f s %9.0f rec/s | "
-      "decode %7.3f s %9.0f rec/s %7.1f MB/s\n",
+      "%-8s %10zu B (%5.1f B/rec) | encode %7.3f s %9.0f rec/s | "
+      "decode %7.3f s (med %7.3f) %9.0f rec/s %7.1f MB/s %6.2f GB/s "
+      "[%s]\n",
       r.name.c_str(), r.wire_bytes,
       static_cast<double>(r.wire_bytes) / static_cast<double>(r.records),
       r.encode_seconds, r.encode_records_per_sec(), r.decode_seconds,
-      r.decode_records_per_sec(), r.decode_mb_per_sec());
+      r.decode_seconds_median, r.decode_records_per_sec(),
+      r.decode_mb_per_sec(), r.decode_gb_per_sec(), r.kernel.c_str());
 }
 
 void write_json(const std::string& path, std::size_t cores,
                 std::size_t records, std::size_t segments,
-                const CodecResult& v3, const CodecResult& v4,
+                const std::vector<CodecResult>& runs,
                 double size_reduction_pct, double decode_speedup,
-                bool meets_size, bool meets_decode, bool decode_applicable) {
+                double column_speedup, bool meets_size, bool meets_decode,
+                bool decode_applicable, bool meets_column) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return;
   }
   auto emit = [&](const CodecResult& r, const char* trailing) {
-    char buf[512];
+    char buf[640];
     std::snprintf(buf, sizeof buf,
-                  "    {\"name\": \"%s\", \"wire_bytes\": %zu, "
+                  "    {\"name\": \"%s\", \"kernel\": \"%s\", "
+                  "\"wire_bytes\": %zu, "
                   "\"bytes_per_record\": %.2f, \"encode_seconds\": %.4f, "
                   "\"encode_records_per_sec\": %.0f, "
                   "\"decode_seconds\": %.4f, "
+                  "\"decode_seconds_median\": %.4f, "
                   "\"decode_records_per_sec\": %.0f, "
-                  "\"decode_mb_per_sec\": %.1f}%s\n",
-                  r.name.c_str(), r.wire_bytes,
+                  "\"decode_mb_per_sec\": %.1f, "
+                  "\"decode_gb_per_sec\": %.3f}%s\n",
+                  r.name.c_str(), r.kernel.c_str(), r.wire_bytes,
                   static_cast<double>(r.wire_bytes) /
                       static_cast<double>(r.records),
                   r.encode_seconds, r.encode_records_per_sec(),
-                  r.decode_seconds, r.decode_records_per_sec(),
-                  r.decode_mb_per_sec(), trailing);
+                  r.decode_seconds, r.decode_seconds_median,
+                  r.decode_records_per_sec(), r.decode_mb_per_sec(),
+                  r.decode_gb_per_sec(), trailing);
     out << buf;
   };
   out << "{\n"
       << "  \"bench\": \"bench_trace_io\",\n"
       << "  \"hardware_concurrency\": " << cores << ",\n"
+      << "  \"varint_kernel\": \""
+      << to_string(active_varint_kernel()) << "\",\n"
       << "  \"records\": " << records << ",\n"
       << "  \"segments\": " << segments << ",\n"
       << "  \"runs\": [\n";
-  emit(v3, ",");
-  emit(v4, "");
-  char tail[384];
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    emit(runs[i], i + 1 < runs.size() ? "," : "");
+  }
+  char tail[512];
   std::snprintf(tail, sizeof tail,
                 "  ],\n  \"v4_size_reduction_pct\": %.1f,\n"
                 "  \"v4_decode_speedup\": %.2f,\n"
+                "  \"v4_column_decode_speedup_vs_scalar\": %.2f,\n"
                 "  \"meets_35pct_size_target\": %s,\n"
                 "  \"target_2x_decode_applicable\": %s,\n"
-                "  \"meets_2x_decode_target\": %s\n}\n",
-                size_reduction_pct, decode_speedup,
+                "  \"meets_2x_decode_target\": %s,\n"
+                "  \"meets_3x_column_decode_target\": %s\n}\n",
+                size_reduction_pct, decode_speedup, column_speedup,
                 meets_size ? "true" : "false",
                 decode_applicable ? "true" : "false",
-                meets_decode ? "true" : "false");
+                meets_decode ? "true" : "false",
+                meets_column ? "true" : "false");
   out << tail;
 }
 
@@ -226,34 +268,78 @@ int main(int argc, char** argv) {
                           records.begin() + static_cast<long>(off + n));
     bundles.push_back(std::move(bundle));
   }
-  std::printf("=== trace codec: %zu records in %zu segments, %zu cores ===\n\n",
-              records.size(), bundles.size(), cores);
+  const VarintKernel best_kernel = active_varint_kernel();
+  std::printf(
+      "=== trace codec: %zu records in %zu segments, %zu cores, "
+      "kernel %s ===\n\n",
+      records.size(), bundles.size(), cores,
+      std::string(to_string(best_kernel)).c_str());
 
-  const int reps = 3;
-  const CodecResult v3 = run("v3", analysis::kTraceFormatV3, bundles,
-                             records.size(), reps, /*legacy_layout=*/true);
+  const int reps = 5;
+  std::vector<CodecResult> runs(4);
+
+  CodecResult& v3 = runs[0];
+  v3.name = "v3";
+  v3.records = records.size();
+  const auto v3_bytes = encode_stream(v3, analysis::kTraceFormatV3, bundles,
+                                      reps, /*legacy_layout=*/true);
+  time_decode(v3, v3_bytes, records.size(), reps, DecodePath::kRecords,
+              best_kernel);
   print_result(v3);
-  const CodecResult v4 = run("v4", analysis::kTraceFormatV4, bundles,
-                             records.size(), reps, /*legacy_layout=*/false);
+
+  CodecResult& v4 = runs[1];
+  v4.name = "v4";
+  v4.records = records.size();
+  const auto v4_bytes = encode_stream(v4, analysis::kTraceFormatV4, bundles,
+                                      reps, /*legacy_layout=*/false);
+  time_decode(v4, v4_bytes, records.size(), reps, DecodePath::kRecords,
+              best_kernel);
   print_result(v4);
+
+  // The pre-kernel baseline and the new column path share v4's encoder and
+  // byte stream; only the decode differs.
+  CodecResult& v4scalar = runs[2];
+  v4scalar.name = "v4scalar";
+  v4scalar.records = records.size();
+  v4scalar.encode_seconds = v4.encode_seconds;
+  v4scalar.wire_bytes = v4.wire_bytes;
+  time_decode(v4scalar, v4_bytes, records.size(), reps, DecodePath::kRecords,
+              VarintKernel::kScalar);
+  print_result(v4scalar);
+
+  CodecResult& v4col = runs[3];
+  v4col.name = "v4col";
+  v4col.records = records.size();
+  v4col.encode_seconds = v4.encode_seconds;
+  v4col.wire_bytes = v4.wire_bytes;
+  time_decode(v4col, v4_bytes, records.size(), reps, DecodePath::kColumns,
+              best_kernel);
+  print_result(v4col);
 
   const double reduction =
       100.0 * (1.0 - static_cast<double>(v4.wire_bytes) /
                          static_cast<double>(v3.wire_bytes));
   const double speedup = v3.decode_seconds / v4.decode_seconds;
+  const double column_speedup = v4scalar.decode_seconds / v4col.decode_seconds;
   const bool meets_size = reduction >= 35.0;
   const bool meets_decode = speedup >= 2.0;
+  const bool meets_column = column_speedup >= 3.0;
   // The 2x claim is about the directory trailer fanning segment decode out
   // across cores; a single-threaded host cannot express it (see header).
+  // The 3x column claim is single-threaded by construction.
   const bool decode_applicable = cores >= 2;
   std::printf("\nv4 vs v3: %.1f%% smaller (35%% target %s), decode %.2fx "
               "(2x target %s%s)\n",
               reduction, meets_size ? "MET" : "NOT met", speedup,
               meets_decode ? "MET" : "NOT met",
               decode_applicable ? "" : "; n/a on 1 hardware thread");
+  std::printf("v4col vs v4scalar: decode %.2fx (3x target %s), %.2f GB/s\n",
+              column_speedup, meets_column ? "MET" : "NOT met",
+              v4col.decode_gb_per_sec());
 
-  write_json(json_path, cores, records.size(), bundles.size(), v3, v4,
-             reduction, speedup, meets_size, meets_decode, decode_applicable);
+  write_json(json_path, cores, records.size(), bundles.size(), runs,
+             reduction, speedup, column_speedup, meets_size, meets_decode,
+             decode_applicable, meets_column);
   std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "analysis/columns.h"
 #include "common/worker_pool.h"
 
 namespace causeway::analysis {
@@ -87,8 +88,89 @@ void LogDatabase::Shard::ingest_batch(
   }
 }
 
-void LogDatabase::ingest(const monitor::CollectedLogs& logs) {
-  for (const auto& d : logs.domains) {
+// Expands this shard's runs of one column batch straight into the arena --
+// the column-at-a-time twin of ingest_batch.  Per-run work (chain lookup,
+// dirty logging) happens once per run; per-record work is a scatter of
+// column values into the record slot.  String ids resolve lazily through a
+// per-batch cache of the segment table, so each distinct id hits the
+// interner hash at most once per batch.
+void LogDatabase::Shard::ingest_column_batch(
+    const ColumnBundle& cols, std::vector<monitor::TraceRecord>& arena,
+    std::size_t base, std::uint64_t generation) {
+  dirty.clear();
+  new_types.clear();
+  resolved.assign(cols.table.size(), std::string_view{});
+  type_checked.assign(cols.table.size(), 0);
+  auto resolve = [&](std::uint32_t id) -> std::string_view {
+    std::string_view& v = resolved[id];
+    if (v.data() == nullptr) v = intern(cols.table[id]);
+    return v;
+  };
+  for (const RunRef& ref : column_batch) {
+    const ColumnBundle::Run& run = cols.runs[ref.run];
+    auto [it, inserted] = by_chain.try_emplace(run.chain);
+    ChainIndex& index = it->second;
+    if (inserted) {
+      // A chain counts the weight of its first record -- which is the
+      // first record of its first run.
+      weighted_chains += monitor::sample_rate(
+          static_cast<std::uint8_t>(cols.flags2[ref.first] >> 3));
+    }
+    if (index.last_gen != generation) {
+      dirty.push_back({ref.first, run.chain, index.last_gen});
+      index.last_gen = generation;
+    }
+    std::size_t next_spawn = run.spawn_base;
+    for (std::uint64_t j = 0; j < run.length; ++j) {
+      const std::size_t i = ref.first + static_cast<std::size_t>(j);
+      monitor::TraceRecord& r = arena[base + i];
+      r.chain = run.chain;
+      r.seq = cols.seq[i];
+      const std::uint8_t f1 = cols.flags1[i];
+      r.event = static_cast<monitor::EventKind>(f1 & 7);
+      r.kind = static_cast<monitor::CallKind>((f1 >> 3) & 3);
+      r.outcome = static_cast<monitor::CallOutcome>((f1 >> 5) & 3);
+      const std::uint8_t f2 = cols.flags2[i];
+      r.mode = static_cast<monitor::ProbeMode>(f2 & 3);
+      if (f2 & 4) r.spawned_chain = cols.spawned[next_spawn++];
+      r.sample_rate_index = static_cast<std::uint8_t>(f2 >> 3);
+      r.interface_name = resolve(cols.iface[i]);
+      r.function_name = resolve(cols.func[i]);
+      r.object_key = cols.object_key[i];
+      r.process_name = resolve(cols.process[i]);
+      r.node_name = resolve(cols.node[i]);
+      const std::uint32_t type_id = cols.type[i];
+      r.processor_type = resolve(type_id);
+      if (!type_checked[type_id]) {
+        // First record of this batch carrying this type id: the table is
+        // deduplicated, so this is also the string's first appearance --
+        // the one probe record-major ingest would log it at.
+        type_checked[type_id] = 1;
+        if (type_set.insert(r.processor_type).second) {
+          new_types.emplace_back(i, r.processor_type);
+        }
+      }
+      r.thread_ordinal = cols.thread_ordinal[i];
+      r.value_start = cols.value_start[i];
+      r.value_end = cols.value_end[i];
+
+      const std::uint64_t weight = r.sample_weight();
+      weighted_records += weight;
+      if (weight > 1) weight_seen = true;
+      if (index.sorted_prefix == index.events.size() &&
+          (index.events.empty() || r.seq >= index.prefix_last_seq)) {
+        ++index.sorted_prefix;
+        index.prefix_last_seq = r.seq;
+      }
+      index.events.push_back(base + i);
+      mode_counts[static_cast<std::size_t>(r.mode)]++;
+    }
+  }
+}
+
+void LogDatabase::merge_domains(
+    const std::vector<monitor::CollectedLogs::DomainEntry>& domains) {
+  for (const auto& d : domains) {
     // Merge by identity: N streaming epochs each announce the same domains,
     // and must synthesize to the single entry an offline collect produces.
     // The probe key is stack-built views into the bundle -- no allocation
@@ -111,6 +193,23 @@ void LogDatabase::ingest(const monitor::CollectedLogs& logs) {
       domains_[it->second].record_count += d.record_count;
     }
   }
+}
+
+std::size_t LogDatabase::grow_arena(std::size_t n) {
+  // Grow geometrically: an exact-fit reserve would reallocate (and copy the
+  // whole store) on every epoch of a streaming ingest.  The arena is sized
+  // up front so the shards can scatter-write their disjoint slots.
+  const std::size_t base = records_.size();
+  const std::size_t needed = base + n;
+  if (records_.capacity() < needed) {
+    records_.reserve(std::max(needed, records_.capacity() * 2));
+  }
+  records_.resize(needed);
+  return base;
+}
+
+void LogDatabase::ingest(const monitor::CollectedLogs& logs) {
+  merge_domains(logs.domains);
   overflow_dropped_ += logs.dropped;
   publish_dropped_ += logs.publish_dropped;
   sampled_out_ += logs.sampled_out;
@@ -118,20 +217,41 @@ void LogDatabase::ingest(const monitor::CollectedLogs& logs) {
   ingest_records(logs.records);
 }
 
+void LogDatabase::ingest(const ColumnBundle& cols) {
+  merge_domains(cols.domains);
+  overflow_dropped_ += cols.dropped;
+  last_epoch_ = std::max(last_epoch_, cols.epoch);
+  if (cols.count == 0) return;  // no generation for an empty batch
+  ++generation_;
+  const std::size_t base = grow_arena(cols.count);
+
+  // Partition by chain at *run* granularity: one hash + one queue push per
+  // run instead of per record.  Every record of a run shares its chain, so
+  // the per-record scatter stays entirely shard-local.
+  for (auto& shard : shards_) shard.column_batch.clear();
+  std::size_t first = 0;
+  for (std::size_t k = 0; k < cols.runs.size(); ++k) {
+    shards_[shard_of(cols.runs[k].chain)].column_batch.push_back(
+        {first, static_cast<std::uint32_t>(k)});
+    first += static_cast<std::size_t>(cols.runs[k].length);
+  }
+
+  auto ingest_shard = [&](std::size_t s) {
+    shards_[s].ingest_column_batch(cols, records_, base, generation_);
+  };
+  if (shards_.size() > 1 && cols.count >= kParallelIngestThreshold) {
+    WorkerPool::shared().parallel_for(shards_.size(), ingest_shard);
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) ingest_shard(s);
+  }
+  merge_batch_scratch();
+}
+
 void LogDatabase::ingest_records(
     std::span<const monitor::TraceRecord> records) {
   if (records.empty()) return;
   ++generation_;
-
-  // Grow geometrically: an exact-fit reserve would reallocate (and copy the
-  // whole store) on every epoch of a streaming ingest.  The arena is sized
-  // up front so the shards can scatter-write their disjoint slots.
-  const std::size_t base = records_.size();
-  const std::size_t needed = base + records.size();
-  if (records_.capacity() < needed) {
-    records_.reserve(std::max(needed, records_.capacity() * 2));
-  }
-  records_.resize(needed);
+  const std::size_t base = grow_arena(records.size());
 
   // Partition by chain UUID.  Every event of a chain maps to one shard, so
   // the parallel phase below has no cross-shard writes at all.
@@ -154,7 +274,10 @@ void LogDatabase::ingest_records(
   } else {
     for (std::size_t s = 0; s < shards_.size(); ++s) ingest_shard(s);
   }
+  merge_batch_scratch();
+}
 
+void LogDatabase::merge_batch_scratch() {
   // Merge the shard-local first-seen logs back into global arrival order.
   // Arrival indexes are unique across shards (each record went to exactly
   // one), so the sort is a deterministic total order -- the same one a

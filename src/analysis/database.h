@@ -44,6 +44,8 @@
 
 namespace causeway::analysis {
 
+struct ColumnBundle;  // analysis/columns.h -- decoded v4 trace columns
+
 class LogDatabase {
  public:
   // Shard count 0 resolves to the CAUSEWAY_INGEST_SHARDS environment
@@ -59,6 +61,16 @@ class LogDatabase {
 
   // Ingests a collector bundle: domain metadata plus all records.
   void ingest(const monitor::CollectedLogs& logs);
+
+  // Ingests a decoded v4 column bundle directly: runs are partitioned by
+  // chain (one shard lookup per run, not per record) and each shard
+  // expands its runs straight into the record arena -- string ids resolve
+  // lazily against a per-batch table cache, so a string interns at most
+  // once per batch no matter how many records carry it.  Byte-identical to
+  // assembling the bundle record-major and calling ingest(logs), at a
+  // fraction of the staging cost; every public query stays independent of
+  // the shard count and the path taken.
+  void ingest(const ColumnBundle& cols);
 
   // Ingests raw records (tests and synthetic workloads build these
   // directly). String views are interned; the source may die afterwards.
@@ -174,15 +186,39 @@ class LogDatabase {
     std::vector<DirtyScratch> dirty;
     std::vector<std::pair<std::size_t, std::string_view>> new_types;
 
+    // Column-ingest scratch: the runs assigned to this shard (`first` is
+    // the run's first record index within the batch), plus the per-batch
+    // lazy resolution of the segment string table against this shard's
+    // interner (`type_checked` folds the processor-type-set probe into the
+    // first resolution of each id used as a type).
+    struct RunRef {
+      std::size_t first;
+      std::uint32_t run;  // index into ColumnBundle::runs
+    };
+    std::vector<RunRef> column_batch;
+    std::vector<std::string_view> resolved;
+    std::vector<std::uint8_t> type_checked;
+
     std::string_view intern(std::string_view s);
     void ingest_batch(std::span<const monitor::TraceRecord> source,
                       std::vector<monitor::TraceRecord>& arena,
                       std::size_t base, std::uint64_t generation);
+    void ingest_column_batch(const ColumnBundle& cols,
+                             std::vector<monitor::TraceRecord>& arena,
+                             std::size_t base, std::uint64_t generation);
   };
 
   std::size_t shard_of(const Uuid& chain) const {
     return static_cast<std::size_t>(std::hash<Uuid>{}(chain)) % shards_.size();
   }
+
+  // Shared ingest plumbing: domain merge by identity, geometric arena
+  // growth (returns the batch's base slot), and the serial post-join merge
+  // of the shard-local dirty/type scratch back into global arrival order.
+  void merge_domains(
+      const std::vector<monitor::CollectedLogs::DomainEntry>& domains);
+  std::size_t grow_arena(std::size_t n);
+  void merge_batch_scratch();
 
   std::vector<monitor::TraceRecord> records_;  // flat arena, arrival order
   std::vector<Shard> shards_;

@@ -473,6 +473,11 @@ EpochInfo AnalysisPipeline::ingest(const monitor::CollectedLogs& logs) {
   return impl_->run_epoch();
 }
 
+EpochInfo AnalysisPipeline::ingest(const ColumnBundle& cols) {
+  impl_->db.ingest(cols);
+  return impl_->run_epoch();
+}
+
 EpochInfo AnalysisPipeline::ingest_records(
     std::span<const monitor::TraceRecord> records) {
   impl_->db.ingest_records(records);

@@ -84,6 +84,10 @@ class AnalysisPipeline {
 
   // Ingest one batch and run every pass.  Returns what the epoch changed.
   EpochInfo ingest(const monitor::CollectedLogs& logs);
+  // Column form: a decoded v4 segment ingests without record-major
+  // assembly (see analysis/columns.h).  Renders are byte-identical to the
+  // CollectedLogs form.
+  EpochInfo ingest(const ColumnBundle& cols);
   EpochInfo ingest_records(std::span<const monitor::TraceRecord> records);
 
   // Run the passes over whatever was appended to database() since the last

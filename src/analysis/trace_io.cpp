@@ -488,11 +488,18 @@ monitor::CollectedLogs decode_segment_v2v3(WireCursor& in,
 }
 
 // Decodes one v4 columnar segment body (cursor past magic + version + body
-// length, spanning exactly the body).
-monitor::CollectedLogs decode_segment_v4(WireCursor& in) {
-  monitor::CollectedLogs logs;
-  logs.epoch = in.read_u64();
-  logs.dropped = in.read_u64();
+// length, spanning exactly the body) into column form: the record section
+// stays columnar end to end -- every dense column decodes in one batched
+// kernel pass (common/wire.h), runs keep the chain UUID once, string ids
+// stay unresolved table indexes.  No record-major assembly happens here;
+// ingest scatters the columns straight into the shards, and callers that
+// want records assemble via assemble_logs below.  Validation order and
+// error text are independent of the active kernel: every non-well-formed
+// byte sequence routes through the shared strict scalar decoder.
+ColumnBundle decode_segment_v4_columns(WireCursor& in) {
+  ColumnBundle cols;
+  cols.epoch = in.read_u64();
+  cols.dropped = in.read_u64();
 
   const std::uint64_t domain_count = in.read_varint();
   if (domain_count > in.remaining() / kMinV4DomainBytes) {
@@ -514,10 +521,10 @@ monitor::CollectedLogs decode_segment_v4(WireCursor& in) {
 
   const std::uint64_t string_count = in.read_varint();
   if (string_count > in.remaining()) throw WireError("wire underflow");
-  std::vector<std::string_view> strings(
-      static_cast<std::size_t>(string_count));
+  auto& strings = cols.table;
+  strings.resize(static_cast<std::size_t>(string_count));
   for (auto& s : strings) {
-    s = logs.own_string(
+    s = cols.own_string(
         in.read_view(static_cast<std::size_t>(in.read_varint())));
   }
   auto str = [&](std::uint64_t id) -> std::string_view {
@@ -526,7 +533,7 @@ monitor::CollectedLogs decode_segment_v4(WireCursor& in) {
   };
 
   for (const auto& d : raw_domains) {
-    logs.domains.push_back(
+    cols.domains.push_back(
         {monitor::DomainIdentity{std::string(str(d.process)),
                                  std::string(str(d.node)),
                                  std::string(str(d.type))},
@@ -539,21 +546,14 @@ monitor::CollectedLogs decode_segment_v4(WireCursor& in) {
     throw WireError("wire underflow");
   }
   const auto count = static_cast<std::size_t>(count64);
+  cols.count = count;
   const std::uint64_t run_count = in.read_varint();
   if (run_count > count64 || run_count > in.remaining() / kRunWireBytes) {
     throw TraceIoError("chain runs do not cover records");
   }
 
-  // Each column decodes into contiguous scratch; records are then assembled
-  // in one record-major pass.  (Writing columns straight into the 168-byte
-  // TraceRecords costs one sweep over the big array per column -- the
-  // scratch keeps every pass streaming, which is most of v4's decode-speed
-  // edge over v3.)
-  struct Run {
-    Uuid chain;
-    std::uint64_t length;
-  };
-  std::vector<Run> runs(static_cast<std::size_t>(run_count));
+  auto& runs = cols.runs;
+  runs.resize(static_cast<std::size_t>(run_count));
   {
     std::uint64_t covered = 0;
     for (auto& run : runs) {
@@ -569,104 +569,155 @@ monitor::CollectedLogs decode_segment_v4(WireCursor& in) {
       throw TraceIoError("chain runs do not cover records");
     }
   }
-  std::vector<std::uint64_t> seq(count);
+
+  // seq: one batched zig-zag decode of the whole column, then a run-aware
+  // prefix sum in place (deltas restart at every run boundary -- which is
+  // why the kernels leave accumulation to the caller).
+  cols.seq.resize(count);
+  in.read_svarint_column(
+      reinterpret_cast<std::int64_t*>(cols.seq.data()), count);
   {
+    std::uint64_t* seq = cols.seq.data();
     std::size_t i = 0;
-    for (const Run& run : runs) {
+    for (const auto& run : runs) {
       std::uint64_t prev = 0;
       for (std::uint64_t j = 0; j < run.length; ++j, ++i) {
-        prev += static_cast<std::uint64_t>(in.read_svarint());
+        prev += seq[i];
         seq[i] = prev;
       }
     }
   }
+
+  // Flag columns are raw bytes on the wire; copy them out so the bundle
+  // outlives the input mapping.
   const std::string_view flags1 = in.read_view(count);
+  cols.flags1.assign(flags1.begin(), flags1.end());
   const std::string_view flags2 = in.read_view(count);
-  std::vector<Uuid> spawned;
-  for (std::size_t i = 0; i < count; ++i) {
-    if (static_cast<std::uint8_t>(flags2[i]) & 4) {
-      Uuid u;
-      u.hi = in.read_u64();
-      u.lo = in.read_u64();
-      spawned.push_back(u);
+  cols.flags2.assign(flags2.begin(), flags2.end());
+
+  // Sparse spawned chains, walked run-major so each run records where its
+  // spawn entries start (what lets a shard expand its runs independently).
+  {
+    std::size_t i = 0;
+    for (auto& run : runs) {
+      run.spawn_base = static_cast<std::uint32_t>(cols.spawned.size());
+      for (std::uint64_t j = 0; j < run.length; ++j, ++i) {
+        if (cols.flags2[i] & 4) {
+          Uuid u;
+          u.hi = in.read_u64();
+          u.lo = in.read_u64();
+          cols.spawned.push_back(u);
+        }
+      }
     }
   }
+
+  // String-id columns: batched raw decode, then validate + narrow in index
+  // order (the first out-of-range id throws, exactly as a per-record
+  // decode-then-check loop would).
+  std::vector<std::uint64_t> scratch(count);
   auto read_id_column = [&](std::vector<std::uint32_t>& col) {
     col.resize(count);
+    in.read_varint_column(scratch.data(), count);
     for (std::size_t i = 0; i < count; ++i) {
-      const std::uint64_t id = in.read_varint();
-      if (id >= strings.size()) throw TraceIoError("string id out of range");
-      col[i] = static_cast<std::uint32_t>(id);
+      if (scratch[i] >= strings.size()) {
+        throw TraceIoError("string id out of range");
+      }
+      col[i] = static_cast<std::uint32_t>(scratch[i]);
     }
   };
-  std::vector<std::uint32_t> iface, func, process, node, type;
-  read_id_column(iface);
-  read_id_column(func);
-  std::vector<std::uint64_t> object_key(count);
-  for (std::size_t i = 0; i < count; ++i) object_key[i] = in.read_varint();
-  read_id_column(process);
-  read_id_column(node);
-  read_id_column(type);
-  std::vector<std::uint64_t> thread(count);
-  for (std::size_t i = 0; i < count; ++i) thread[i] = in.read_varint();
-  std::vector<std::int64_t> value_start(count), value_end(count);
+  read_id_column(cols.iface);
+  read_id_column(cols.func);
+  cols.object_key.resize(count);
+  in.read_varint_column(cols.object_key.data(), count);
+  read_id_column(cols.process);
+  read_id_column(cols.node);
+  read_id_column(cols.type);
+  cols.thread_ordinal.resize(count);
+  in.read_varint_column(cols.thread_ordinal.data(), count);
+
+  // Timestamp columns: batched zig-zag decode, then the prefix sum (start)
+  // and the start-relative reconstruction (end) as plain streaming passes.
+  cols.value_start.resize(count);
+  in.read_svarint_column(cols.value_start.data(), count);
   {
     std::int64_t prev = 0;
     for (std::size_t i = 0; i < count; ++i) {
-      prev += in.read_svarint();
-      value_start[i] = prev;
+      prev += cols.value_start[i];
+      cols.value_start[i] = prev;
     }
   }
+  cols.value_end.resize(count);
+  in.read_svarint_column(cols.value_end.data(), count);
   for (std::size_t i = 0; i < count; ++i) {
-    value_end[i] = value_start[i] + in.read_svarint();
+    cols.value_end[i] += cols.value_start[i];
   }
+
   if (in.remaining() != 0) {
     throw TraceIoError("trailing bytes in trace segment");
   }
+  return cols;
+}
 
+// Expands a column bundle into the record-major CollectedLogs form: runs
+// expanded, string ids resolved against the table, spawned chains slotted
+// back in.  The string pool is shared with the bundle, not copied.  Only
+// callers that need assembled records pay for this (decode_trace_segments,
+// decode_trace_segment); the ingest path never does.
+monitor::CollectedLogs assemble_logs(ColumnBundle&& cols) {
+  monitor::CollectedLogs logs;
+  logs.epoch = cols.epoch;
+  logs.dropped = cols.dropped;
+  logs.domains = std::move(cols.domains);
+  logs.strings = cols.strings;  // table views stay valid -- shared pool
   auto& recs = logs.records;
-  recs.reserve(count);
-  std::size_t run_index = 0;
-  std::uint64_t run_left = runs.empty() ? 0 : runs[0].length;
+  recs.reserve(cols.count);
+  std::size_t i = 0;
   std::size_t next_spawn = 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    while (run_left == 0) {
-      if (++run_index >= runs.size()) {
-        throw TraceIoError("chain runs do not cover records");
-      }
-      run_left = runs[run_index].length;
+  for (const auto& run : cols.runs) {
+    for (std::uint64_t j = 0; j < run.length; ++j, ++i) {
+      monitor::TraceRecord r;
+      r.chain = run.chain;
+      r.seq = cols.seq[i];
+      const std::uint8_t f1 = cols.flags1[i];
+      r.event = static_cast<monitor::EventKind>(f1 & 7);
+      r.kind = static_cast<monitor::CallKind>((f1 >> 3) & 3);
+      r.outcome = static_cast<monitor::CallOutcome>((f1 >> 5) & 3);
+      const std::uint8_t f2 = cols.flags2[i];
+      r.mode = static_cast<monitor::ProbeMode>(f2 & 3);
+      if (f2 & 4) r.spawned_chain = cols.spawned[next_spawn++];
+      r.sample_rate_index = static_cast<std::uint8_t>(f2 >> 3);
+      r.interface_name = cols.table[cols.iface[i]];
+      r.function_name = cols.table[cols.func[i]];
+      r.object_key = cols.object_key[i];
+      r.process_name = cols.table[cols.process[i]];
+      r.node_name = cols.table[cols.node[i]];
+      r.processor_type = cols.table[cols.type[i]];
+      r.thread_ordinal = cols.thread_ordinal[i];
+      r.value_start = cols.value_start[i];
+      r.value_end = cols.value_end[i];
+      recs.push_back(r);
     }
-    --run_left;
-    monitor::TraceRecord r;
-    r.chain = runs[run_index].chain;
-    r.seq = seq[i];
-    const auto f1 = static_cast<std::uint8_t>(flags1[i]);
-    r.event = static_cast<monitor::EventKind>(f1 & 7);
-    r.kind = static_cast<monitor::CallKind>((f1 >> 3) & 3);
-    r.outcome = static_cast<monitor::CallOutcome>((f1 >> 5) & 3);
-    const auto f2 = static_cast<std::uint8_t>(flags2[i]);
-    r.mode = static_cast<monitor::ProbeMode>(f2 & 3);
-    if (f2 & 4) r.spawned_chain = spawned[next_spawn++];
-    r.sample_rate_index = static_cast<std::uint8_t>(f2 >> 3);
-    r.interface_name = strings[iface[i]];
-    r.function_name = strings[func[i]];
-    r.object_key = object_key[i];
-    r.process_name = strings[process[i]];
-    r.node_name = strings[node[i]];
-    r.processor_type = strings[type[i]];
-    r.thread_ordinal = thread[i];
-    r.value_start = value_start[i];
-    r.value_end = value_end[i];
-    recs.push_back(r);
   }
   return logs;
 }
 
-// Decodes one segment into a self-contained bundle: every string is copied
-// into the bundle-owned pool, so the result can outlive the input bytes
-// (an mmap unmapped after the poll), cross threads, and be ingested later
-// (in epoch order).
-monitor::CollectedLogs decode_segment_logs(WireCursor& in) {
+// One decoded segment in whichever form its version produced: v4 stays
+// columnar (the ingest path never assembles records), v2/v3 decode
+// record-major as always.  Either form is self-contained -- strings copied
+// into bundle-owned pools -- so it can outlive the input bytes (an mmap
+// unmapped after the poll), cross threads, and be ingested later (in epoch
+// order).
+struct Staged {
+  std::optional<ColumnBundle> columns;
+  monitor::CollectedLogs logs;
+  std::size_t records() const {
+    return columns ? columns->count : logs.records.size();
+  }
+};
+
+Staged decode_segment_staged(WireCursor& in) {
+  Staged s;
   if (in.read_u32() != kMagic) throw TraceIoError("not a causeway trace");
   const std::uint32_t version = in.read_u32();
   if (version < kMinVersion || version > kMaxVersion) {
@@ -677,9 +728,18 @@ monitor::CollectedLogs decode_segment_logs(WireCursor& in) {
     if (body != in.remaining()) {
       throw TraceIoError("trace segment length mismatch");
     }
-    return decode_segment_v4(in);
+    s.columns = decode_segment_v4_columns(in);
+  } else {
+    s.logs = decode_segment_v2v3(in, version);
   }
-  return decode_segment_v2v3(in, version);
+  return s;
+}
+
+// Record-major decode of one segment, whatever its version.
+monitor::CollectedLogs decode_segment_logs(WireCursor& in) {
+  Staged s = decode_segment_staged(in);
+  if (s.columns) return assemble_logs(std::move(*s.columns));
+  return std::move(s.logs);
 }
 
 // Below this many total bytes the pool dispatch costs more than the decode;
@@ -691,7 +751,7 @@ constexpr std::size_t kParallelDecodeMinBytes = 32 * 1024;
 // failures in `errors` so the caller can commit the clean prefix in epoch
 // order before rethrowing.  Trailer extents stage nothing.
 void decode_staged(const std::uint8_t* base, const std::vector<Extent>& extents,
-                   std::vector<monitor::CollectedLogs>& staged,
+                   std::vector<Staged>& staged,
                    std::vector<std::exception_ptr>& errors) {
   staged.resize(extents.size());
   errors.assign(extents.size(), nullptr);
@@ -706,7 +766,7 @@ void decode_staged(const std::uint8_t* base, const std::vector<Extent>& extents,
     if (!extents[k].is_segment) return;
     try {
       WireCursor cursor(base + extents[k].offset, extents[k].length);
-      staged[k] = decode_segment_logs(cursor);
+      staged[k] = decode_segment_staged(cursor);
     } catch (...) {
       errors[k] = std::current_exception();
     }
@@ -859,18 +919,23 @@ std::size_t decode_trace(std::span<const std::uint8_t> bytes,
                          LogDatabase& db) {
   const std::vector<Extent> extents = scan_extents(bytes);
 
-  std::vector<monitor::CollectedLogs> staged;
+  std::vector<Staged> staged;
   std::vector<std::exception_ptr> errors;
   decode_staged(bytes.data(), extents, staged, errors);
 
   // Commit in segment order: each bundle is one database generation, the
-  // same sequence a serial segment-by-segment decode produces.
+  // same sequence a serial segment-by-segment decode produces.  v4 bundles
+  // ingest in column form -- no record-major staging array on this path.
   std::size_t total = 0;
   for (std::size_t k = 0; k < extents.size(); ++k) {
     if (errors[k]) rethrow_as_trace_error(errors[k]);
     if (!extents[k].is_segment) continue;
-    db.ingest(staged[k]);
-    total += staged[k].records.size();
+    if (staged[k].columns) {
+      db.ingest(*staged[k].columns);
+    } else {
+      db.ingest(staged[k].logs);
+    }
+    total += staged[k].records();
   }
   return total;
 }
@@ -879,7 +944,7 @@ std::vector<monitor::CollectedLogs> decode_trace_segments(
     std::span<const std::uint8_t> bytes) {
   const std::vector<Extent> extents = scan_extents(bytes);
 
-  std::vector<monitor::CollectedLogs> staged;
+  std::vector<Staged> staged;
   std::vector<std::exception_ptr> errors;
   decode_staged(bytes.data(), extents, staged, errors);
 
@@ -887,7 +952,33 @@ std::vector<monitor::CollectedLogs> decode_trace_segments(
   out.reserve(extents.size());
   for (std::size_t k = 0; k < extents.size(); ++k) {
     if (errors[k]) rethrow_as_trace_error(errors[k]);
-    if (extents[k].is_segment) out.push_back(std::move(staged[k]));
+    if (!extents[k].is_segment) continue;
+    if (staged[k].columns) {
+      out.push_back(assemble_logs(std::move(*staged[k].columns)));
+    } else {
+      out.push_back(std::move(staged[k].logs));
+    }
+  }
+  return out;
+}
+
+std::vector<ColumnBundle> decode_trace_columns(
+    std::span<const std::uint8_t> bytes) {
+  const std::vector<Extent> extents = scan_extents(bytes);
+
+  std::vector<Staged> staged;
+  std::vector<std::exception_ptr> errors;
+  decode_staged(bytes.data(), extents, staged, errors);
+
+  std::vector<ColumnBundle> out;
+  out.reserve(extents.size());
+  for (std::size_t k = 0; k < extents.size(); ++k) {
+    if (errors[k]) rethrow_as_trace_error(errors[k]);
+    if (!extents[k].is_segment) continue;
+    if (!staged[k].columns) {
+      throw TraceIoError("not a columnar (v4) trace segment");
+    }
+    out.push_back(std::move(*staged[k].columns));
   }
   return out;
 }
@@ -915,6 +1006,20 @@ monitor::CollectedLogs decode_trace_segment(
   try {
     WireCursor in(segment.data(), segment.size());
     return decode_segment_logs(in);
+  } catch (const WireError& e) {
+    throw TraceIoError(std::string("corrupt trace segment: ") + e.what());
+  }
+}
+
+ColumnBundle decode_trace_segment_columns(
+    std::span<const std::uint8_t> segment) {
+  try {
+    WireCursor in(segment.data(), segment.size());
+    Staged s = decode_segment_staged(in);
+    if (!s.columns) {
+      throw TraceIoError("not a columnar (v4) trace segment");
+    }
+    return std::move(*s.columns);
   } catch (const WireError& e) {
     throw TraceIoError(std::string("corrupt trace segment: ") + e.what());
   }
@@ -1141,7 +1246,7 @@ std::size_t TraceTail::poll_impl(LogDatabase* db, AnalysisPipeline* pipeline) {
   // Decode the complete segments concurrently (a cold catch-up tail of a
   // long-running stream can hold hundreds), then commit in epoch order so
   // the database sees the same generation sequence a live tail would.
-  std::vector<monitor::CollectedLogs> staged;
+  std::vector<Staged> staged;
   std::vector<std::exception_ptr> errors;
   decode_staged(fresh.data(), extents, staged, errors);
 
@@ -1154,13 +1259,19 @@ std::size_t TraceTail::poll_impl(LogDatabase* db, AnalysisPipeline* pipeline) {
       rethrow_as_trace_error(errors[k]);
     }
     if (extents[k].is_segment) {
-      if (db != nullptr) {
-        db->ingest(staged[k]);
+      if (staged[k].columns) {
+        if (db != nullptr) {
+          db->ingest(*staged[k].columns);
+        } else {
+          pipeline->ingest(*staged[k].columns);
+        }
+      } else if (db != nullptr) {
+        db->ingest(staged[k].logs);
       } else {
-        pipeline->ingest(staged[k]);
+        pipeline->ingest(staged[k].logs);
       }
       ++segments_;
-      records += staged[k].records.size();
+      records += staged[k].records();
     }
     committed_end = extents[k].offset + extents[k].length;
   }

@@ -51,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/columns.h"
 #include "analysis/database.h"
 #include "monitor/collector.h"
 
@@ -96,9 +97,20 @@ inline std::size_t decode_trace(const std::vector<std::uint8_t>& bytes,
 
 // The staging phase alone: every segment decoded into a self-contained
 // bundle (concurrently when there is enough work), in segment order,
-// without ingesting.  What the benches time, and the building block a
-// multi-trace merge would start from.
+// without ingesting.  The building block a multi-trace merge would start
+// from.  v4 segments decode columnar and are assembled record-major here;
+// callers that go on to ingest should prefer the column forms below, which
+// skip the assembly entirely.
 std::vector<monitor::CollectedLogs> decode_trace_segments(
+    std::span<const std::uint8_t> bytes);
+
+// Column-form staging for v4 traces: every segment decoded into a
+// ColumnBundle (batch varint kernels, no record-major assembly), in
+// segment order.  LogDatabase/AnalysisPipeline ingest bundles directly --
+// skim -> column decode -> per-shard scatter, no staging record array.
+// Throws TraceIoError if any segment is not v4 (v2/v3 have no column
+// form).  What bench_trace_io times for the v4 decode curve.
+std::vector<ColumnBundle> decode_trace_columns(
     std::span<const std::uint8_t> bytes);
 
 // Incremental block framing for byte-stream transports (the cross-process
@@ -114,6 +126,12 @@ bool probe_trace_block(std::span<const std::uint8_t> bytes,
 // into a self-contained bundle.  Throws TraceIoError if `segment` is not
 // exactly one well-formed segment.
 monitor::CollectedLogs decode_trace_segment(
+    std::span<const std::uint8_t> segment);
+
+// Same, but keeps a v4 segment in column form (the live collection path:
+// IngestSink hands the bundle straight to the pipeline).  Throws
+// TraceIoError on malformed input or a pre-columnar (v2/v3) segment.
+ColumnBundle decode_trace_segment_columns(
     std::span<const std::uint8_t> segment);
 
 // Reads one complete segment's total record count from its header without

@@ -1,5 +1,371 @@
+// Batch varint column kernels (see wire.h for the dispatch contract).
+//
+// The v4 trace codec stores whole columns of LEB128 varints: seq deltas,
+// string ids, ordinals, zig-zag timestamps.  Decoding them one strict
+// read_varint() at a time is a chain of data-dependent branches per byte;
+// these kernels instead classify a whole word (SWAR) or vector register
+// (SSE/AVX2/NEON) of input at once.  The dominant shape in real columns --
+// runs of single-byte values -- decodes at a load/widen/store per block.
+// Mixed regions fall back a level at a time (vector -> SWAR -> strict
+// scalar), and *every* non-fast-path byte sequence ends in
+// wire_detail::decode_varint_strict, so truncation and overlong rejection
+// are decided by exactly one piece of code no matter which kernel ran.
+//
+// Variant selection: the widest compiled-in (CAUSEWAY_SIMD) kernel the CPU
+// reports at runtime, overridable via CAUSEWAY_KERNEL or
+// force_varint_kernel().  All variants are bit-exact by construction; the
+// differential test (wire_kernel_test) enforces it over adversarial input.
 #include "common/wire.h"
 
-// Header-only today (the varint coders sit in the header so the columnar
-// trace codec can inline them); this TU anchors the library.
-namespace causeway {}
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+
+#if !defined(CAUSEWAY_SIMD)
+#define CAUSEWAY_SIMD 0
+#endif
+
+#if CAUSEWAY_SIMD && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CAUSEWAY_KERNEL_X86 1
+#include <immintrin.h>
+#else
+#define CAUSEWAY_KERNEL_X86 0
+#endif
+
+#if CAUSEWAY_SIMD && defined(__aarch64__)
+#define CAUSEWAY_KERNEL_NEON 1
+#include <arm_neon.h>
+#else
+#define CAUSEWAY_KERNEL_NEON 0
+#endif
+
+namespace causeway {
+namespace {
+
+constexpr std::uint64_t kContMask = 0x8080808080808080ULL;
+
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, sizeof(w));
+  return w;  // SWAR math below assumes little-endian byte order
+}
+
+// Compacts the low 7 bits of each of the 8 bytes of `x` (continuation bits
+// already cleared) into one 56-bit value: byte k's payload moves from bit
+// 8k to bit 7k.  Three shift-mask rounds, no per-byte loop.
+constexpr std::uint64_t compact7x8(std::uint64_t x) {
+  x = (x & 0x007f007f007f007fULL) | ((x & 0x7f007f007f007f00ULL) >> 1);
+  x = (x & 0x00003fff00003fffULL) | ((x & 0x3fff00003fff0000ULL) >> 2);
+  x = (x & 0x000000000fffffffULL) | ((x & 0x0fffffff00000000ULL) >> 4);
+  return x;
+}
+
+// Portable word-at-a-time kernel; also the mixed-region and tail handler
+// for every vector kernel.  Decodes exactly `n` values.  Fast paths only
+// consume byte runs that are provably complete and in bounds; anything
+// else -- the last <9 bytes of the window, varints longer than 8 bytes --
+// goes through the strict decoder, which owns all error behavior.
+void column_swar(const std::uint8_t* data, std::size_t end, std::size_t& pos,
+                 std::uint64_t* out, std::size_t n) {
+  std::size_t i = 0;
+  while (i < n) {
+    if (end - pos < 9) {
+      for (; i < n; ++i) {
+        out[i] = wire_detail::decode_varint_strict(data, end, pos);
+      }
+      return;
+    }
+    const std::uint64_t w = load_le64(data + pos);
+    const std::uint64_t cont = w & kContMask;
+    if (cont == 0) {
+      // Eight single-byte values (or however many the column still needs).
+      const std::size_t take = std::min<std::size_t>(8, n - i);
+      for (std::size_t k = 0; k < take; ++k) out[i + k] = (w >> (8 * k)) & 0xff;
+      pos += take;
+      i += take;
+      continue;
+    }
+    const unsigned first_cont =
+        static_cast<unsigned>(std::countr_zero(cont)) / 8;
+    if (first_cont > 0) {
+      // Single-byte values up to the first multi-byte varint.
+      const std::size_t take = std::min<std::size_t>(first_cont, n - i);
+      for (std::size_t k = 0; k < take; ++k) out[i + k] = (w >> (8 * k)) & 0xff;
+      pos += take;
+      i += take;
+      continue;
+    }
+    // A multi-byte varint starts at the window head.
+    const std::uint64_t stops = ~w & kContMask;
+    if (stops == 0) {
+      // Longer than the window (9-10 byte values, or overlong garbage):
+      // strict decode decides.
+      out[i++] = wire_detail::decode_varint_strict(data, end, pos);
+      continue;
+    }
+    const unsigned len =
+        static_cast<unsigned>(std::countr_zero(stops)) / 8 + 1;  // 2..8
+    std::uint64_t x = w;
+    if (len < 8) x &= ~0ULL >> (8 * (8 - len));
+    out[i++] = compact7x8(x & ~kContMask);
+    pos += len;
+  }
+}
+
+void column_scalar(const std::uint8_t* data, std::size_t end,
+                   std::size_t& pos, std::uint64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = wire_detail::decode_varint_strict(data, end, pos);
+  }
+}
+
+#if CAUSEWAY_KERNEL_X86
+
+__attribute__((target("sse4.1"))) void column_sse(const std::uint8_t* data,
+                                                  std::size_t end,
+                                                  std::size_t& pos,
+                                                  std::uint64_t* out,
+                                                  std::size_t n) {
+  std::size_t i = 0;
+  while (n - i >= 16 && end - pos >= 17) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + pos));
+    if (_mm_movemask_epi8(v) == 0) {
+      // 16 single-byte values: widen u8 -> u64 entirely in registers (no
+      // extra memory loads, so the 17-byte bound is the only one needed).
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 0),
+                       _mm_cvtepu8_epi64(v));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 2),
+                       _mm_cvtepu8_epi64(_mm_srli_si128(v, 2)));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 4),
+                       _mm_cvtepu8_epi64(_mm_srli_si128(v, 4)));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 6),
+                       _mm_cvtepu8_epi64(_mm_srli_si128(v, 6)));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 8),
+                       _mm_cvtepu8_epi64(_mm_srli_si128(v, 8)));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 10),
+                       _mm_cvtepu8_epi64(_mm_srli_si128(v, 10)));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 12),
+                       _mm_cvtepu8_epi64(_mm_srli_si128(v, 12)));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 14),
+                       _mm_cvtepu8_epi64(_mm_srli_si128(v, 14)));
+      pos += 16;
+      i += 16;
+      continue;
+    }
+    // Mixed block: let the SWAR path chew a handful, then retry vectorized.
+    const std::size_t chunk = std::min<std::size_t>(8, n - i);
+    column_swar(data, end, pos, out + i, chunk);
+    i += chunk;
+  }
+  column_swar(data, end, pos, out + i, n - i);
+}
+
+__attribute__((target("avx2"))) void column_avx2(const std::uint8_t* data,
+                                                 std::size_t end,
+                                                 std::size_t& pos,
+                                                 std::uint64_t* out,
+                                                 std::size_t n) {
+  std::size_t i = 0;
+  while (n - i >= 32 && end - pos >= 33) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + pos));
+    if (_mm256_movemask_epi8(v) == 0) {
+      const __m128i lo = _mm256_castsi256_si128(v);
+      const __m128i hi = _mm256_extracti128_si256(v, 1);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 0),
+                          _mm256_cvtepu8_epi64(lo));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 4),
+                          _mm256_cvtepu8_epi64(_mm_srli_si128(lo, 4)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 8),
+                          _mm256_cvtepu8_epi64(_mm_srli_si128(lo, 8)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 12),
+                          _mm256_cvtepu8_epi64(_mm_srli_si128(lo, 12)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 16),
+                          _mm256_cvtepu8_epi64(hi));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 20),
+                          _mm256_cvtepu8_epi64(_mm_srli_si128(hi, 4)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 24),
+                          _mm256_cvtepu8_epi64(_mm_srli_si128(hi, 8)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 28),
+                          _mm256_cvtepu8_epi64(_mm_srli_si128(hi, 12)));
+      pos += 32;
+      i += 32;
+      continue;
+    }
+    const std::size_t chunk = std::min<std::size_t>(8, n - i);
+    column_swar(data, end, pos, out + i, chunk);
+    i += chunk;
+  }
+  column_swar(data, end, pos, out + i, n - i);
+}
+
+#endif  // CAUSEWAY_KERNEL_X86
+
+#if CAUSEWAY_KERNEL_NEON
+
+void column_neon(const std::uint8_t* data, std::size_t end, std::size_t& pos,
+                 std::uint64_t* out, std::size_t n) {
+  std::size_t i = 0;
+  while (n - i >= 16 && end - pos >= 17) {
+    const uint8x16_t v = vld1q_u8(data + pos);
+    if (vmaxvq_u8(v) < 0x80) {
+      const uint16x8_t lo16 = vmovl_u8(vget_low_u8(v));
+      const uint16x8_t hi16 = vmovl_u8(vget_high_u8(v));
+      const uint32x4_t a = vmovl_u16(vget_low_u16(lo16));
+      const uint32x4_t b = vmovl_u16(vget_high_u16(lo16));
+      const uint32x4_t c = vmovl_u16(vget_low_u16(hi16));
+      const uint32x4_t d = vmovl_u16(vget_high_u16(hi16));
+      vst1q_u64(out + i + 0, vmovl_u32(vget_low_u32(a)));
+      vst1q_u64(out + i + 2, vmovl_u32(vget_high_u32(a)));
+      vst1q_u64(out + i + 4, vmovl_u32(vget_low_u32(b)));
+      vst1q_u64(out + i + 6, vmovl_u32(vget_high_u32(b)));
+      vst1q_u64(out + i + 8, vmovl_u32(vget_low_u32(c)));
+      vst1q_u64(out + i + 10, vmovl_u32(vget_high_u32(c)));
+      vst1q_u64(out + i + 12, vmovl_u32(vget_low_u32(d)));
+      vst1q_u64(out + i + 14, vmovl_u32(vget_high_u32(d)));
+      pos += 16;
+      i += 16;
+      continue;
+    }
+    const std::size_t chunk = std::min<std::size_t>(8, n - i);
+    column_swar(data, end, pos, out + i, chunk);
+    i += chunk;
+  }
+  column_swar(data, end, pos, out + i, n - i);
+}
+
+#endif  // CAUSEWAY_KERNEL_NEON
+
+bool kernel_compiled(VarintKernel kernel) {
+  switch (kernel) {
+    case VarintKernel::kScalar:
+      return true;
+    case VarintKernel::kSwar:
+      // The word-at-a-time math assumes little-endian byte order.
+      return std::endian::native == std::endian::little;
+    case VarintKernel::kSse:
+    case VarintKernel::kAvx2:
+      return CAUSEWAY_KERNEL_X86 != 0;
+    case VarintKernel::kNeon:
+      return CAUSEWAY_KERNEL_NEON != 0;
+  }
+  return false;
+}
+
+// 255 = unresolved; resolution is idempotent, so the benign first-use race
+// just resolves twice to the same answer.
+std::atomic<std::uint8_t> g_kernel{255};
+
+bool parse_kernel_name(std::string_view name, VarintKernel& out) {
+  if (name == "scalar") {
+    out = VarintKernel::kScalar;
+  } else if (name == "swar") {
+    out = VarintKernel::kSwar;
+  } else if (name == "sse") {
+    out = VarintKernel::kSse;
+  } else if (name == "avx2") {
+    out = VarintKernel::kAvx2;
+  } else if (name == "neon") {
+    out = VarintKernel::kNeon;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+VarintKernel resolve_kernel() {
+  if (const char* env = std::getenv("CAUSEWAY_KERNEL")) {
+    VarintKernel forced;
+    if (parse_kernel_name(env, forced) && varint_kernel_available(forced)) {
+      return forced;
+    }
+    // Unknown or unavailable names fall through to auto-selection: a config
+    // written for one host must not break decode on another.
+  }
+  constexpr VarintKernel preference[] = {
+      VarintKernel::kAvx2, VarintKernel::kSse, VarintKernel::kNeon,
+      VarintKernel::kSwar};
+  for (const VarintKernel k : preference) {
+    if (varint_kernel_available(k)) return k;
+  }
+  return VarintKernel::kScalar;
+}
+
+}  // namespace
+
+std::string_view to_string(VarintKernel kernel) {
+  switch (kernel) {
+    case VarintKernel::kScalar: return "scalar";
+    case VarintKernel::kSwar: return "swar";
+    case VarintKernel::kSse: return "sse";
+    case VarintKernel::kAvx2: return "avx2";
+    case VarintKernel::kNeon: return "neon";
+  }
+  return "?";
+}
+
+bool varint_kernel_available(VarintKernel kernel) {
+  if (!kernel_compiled(kernel)) return false;
+#if CAUSEWAY_KERNEL_X86
+  if (kernel == VarintKernel::kAvx2) return __builtin_cpu_supports("avx2");
+  if (kernel == VarintKernel::kSse) return __builtin_cpu_supports("sse4.1");
+#endif
+  return true;
+}
+
+VarintKernel active_varint_kernel() {
+  const std::uint8_t k = g_kernel.load(std::memory_order_relaxed);
+  if (k == 255) {
+    const VarintKernel resolved = resolve_kernel();
+    g_kernel.store(static_cast<std::uint8_t>(resolved),
+                   std::memory_order_relaxed);
+    return resolved;
+  }
+  return static_cast<VarintKernel>(k);
+}
+
+void force_varint_kernel(VarintKernel kernel) {
+  if (!varint_kernel_available(kernel)) {
+    throw WireError("varint kernel unavailable: " +
+                    std::string(to_string(kernel)));
+  }
+  g_kernel.store(static_cast<std::uint8_t>(kernel),
+                 std::memory_order_relaxed);
+}
+
+void WireCursor::read_varint_column(std::uint64_t* out, std::size_t n) {
+  if (n == 0) return;
+  switch (active_varint_kernel()) {
+#if CAUSEWAY_KERNEL_X86
+    case VarintKernel::kAvx2:
+      column_avx2(data_, end_, pos_, out, n);
+      return;
+    case VarintKernel::kSse:
+      column_sse(data_, end_, pos_, out, n);
+      return;
+#endif
+#if CAUSEWAY_KERNEL_NEON
+    case VarintKernel::kNeon:
+      column_neon(data_, end_, pos_, out, n);
+      return;
+#endif
+    case VarintKernel::kSwar:
+      column_swar(data_, end_, pos_, out, n);
+      return;
+    default:
+      column_scalar(data_, end_, pos_, out, n);
+      return;
+  }
+}
+
+void WireCursor::read_svarint_column(std::int64_t* out, std::size_t n) {
+  // Decode raw varints in place (int64/uint64 alias legally), then zig-zag
+  // in a second pass the compiler vectorizes.
+  auto* raw = reinterpret_cast<std::uint64_t*>(out);
+  read_varint_column(raw, n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = zigzag_decode(raw[i]);
+}
+
+}  // namespace causeway

@@ -29,6 +29,60 @@ class WireError : public std::runtime_error {
   explicit WireError(const std::string& what) : std::runtime_error(what) {}
 };
 
+// The batch column decoders (WireCursor::read_varint_column and friends)
+// dispatch to one of these kernels, resolved once per process: the widest
+// variant the build compiled in (CAUSEWAY_SIMD) *and* the CPU supports,
+// overridable with CAUSEWAY_KERNEL=scalar|swar|sse|avx2|neon or
+// force_varint_kernel() (tests and benches pin variants to compare them).
+// Every kernel decodes the same bytes to the same values and raises the
+// same WireError text at the same byte -- the strict scalar decoder is the
+// single source of truth that every fast path falls back to for anything
+// but well-formed in-bounds runs.
+enum class VarintKernel : std::uint8_t {
+  kScalar = 0,  // one strict LEB128 decode per value (the reference)
+  kSwar = 1,    // 8-byte word-at-a-time, portable C++
+  kSse = 2,     // 16-byte blocks (SSE4.1), x86-64 only
+  kAvx2 = 3,    // 32-byte blocks (AVX2), x86-64 only
+  kNeon = 4,    // 16-byte blocks, AArch64 only
+};
+
+std::string_view to_string(VarintKernel kernel);
+
+// True when the kernel is compiled in and the running CPU supports it
+// (kScalar and kSwar always are).
+bool varint_kernel_available(VarintKernel kernel);
+
+// The kernel batch decodes currently dispatch to.
+VarintKernel active_varint_kernel();
+
+// Pins the dispatch (kernel must be available; throws WireError otherwise).
+// Tests use this to run the same decode under every variant.
+void force_varint_kernel(VarintKernel kernel);
+
+namespace wire_detail {
+
+// Strict LEB128 decode -- THE definition of what this codebase accepts.
+// WireCursor::read_varint and every batch kernel's non-fast-path route
+// through here, so truncation ("wire underflow") and overlong rejection
+// ("varint overlong") behave and read identically no matter which kernel
+// decoded the surrounding column.
+inline std::uint64_t decode_varint_strict(const std::uint8_t* data,
+                                          std::size_t end, std::size_t& pos) {
+  // Fast path: single-byte values dominate delta/id columns.
+  if (pos < end && data[pos] < 0x80) return data[pos++];
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (end - pos < 1) throw WireError("wire underflow");
+    const std::uint8_t byte = data[pos++];
+    if (shift == 63 && byte > 1) throw WireError("varint overlong");
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  throw WireError("varint overlong");
+}
+
+}  // namespace wire_detail
+
 // Zig-zag mapping: small-magnitude signed values (deltas between nearly
 // equal samples) become small unsigned values, which the varint coder then
 // stores in one or two bytes.
@@ -146,20 +200,24 @@ class WireCursor {
   // set at the end of input) and on overlong encodings -- an eleventh byte,
   // or a tenth byte carrying value bits beyond the 64th.
   std::uint64_t read_varint() {
-    // Fast path: single-byte values dominate delta/id columns.
-    if (pos_ < end_ && data_[pos_] < 0x80) return data_[pos_++];
-    std::uint64_t v = 0;
-    for (unsigned shift = 0; shift < 64; shift += 7) {
-      require(1);
-      const std::uint8_t byte = data_[pos_++];
-      if (shift == 63 && byte > 1) throw WireError("varint overlong");
-      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-      if ((byte & 0x80) == 0) return v;
-    }
-    throw WireError("varint overlong");
+    return wire_detail::decode_varint_strict(data_, end_, pos_);
   }
 
   std::int64_t read_svarint() { return zigzag_decode(read_varint()); }
+
+  // Bulk LEB128 decode: exactly `n` varints into out[0..n), equivalent to n
+  // read_varint() calls but dispatched to the active batch kernel (SWAR /
+  // SSE / AVX2 / NEON), which decodes runs of short varints a word or a
+  // vector register at a time.  Bounds handling and error text are
+  // byte-identical to the scalar loop by construction: fast paths only
+  // consume well-formed in-bounds runs, everything else (truncation,
+  // overlong encodings, 9-10 byte values) routes through the shared strict
+  // decoder.  Defined in wire.cpp.
+  void read_varint_column(std::uint64_t* out, std::size_t n);
+
+  // Bulk zig-zag decode: n svarints into out[0..n) (no delta accumulation;
+  // callers own the prefix-sum because run boundaries reset it).
+  void read_svarint_column(std::int64_t* out, std::size_t n);
 
   std::string read_string() {
     const std::uint32_t n = read_u32();

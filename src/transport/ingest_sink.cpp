@@ -49,11 +49,26 @@ void IngestSink::on_segment(const PeerInfo& peer,
   const std::uint64_t now = steady_ms();
   std::size_t records = 0;
   analysis::EpochInfo info;
+  // The version word sits at bytes [4,8) of every segment; v4 segments
+  // stay in column form all the way into the pipeline -- no record-major
+  // assembly on the live collection path.
+  std::uint32_t version = 0;
+  if (segment.size() >= 8) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      version |= static_cast<std::uint32_t>(segment[4 + i]) << (8 * i);
+    }
+  }
   if (options_.pipeline) {
-    const monitor::CollectedLogs logs =
-        analysis::decode_trace_segment(segment);
-    records = logs.records.size();
-    {
+    if (version >= 4) {
+      const analysis::ColumnBundle cols =
+          analysis::decode_trace_segment_columns(segment);
+      records = cols.count;
+      Attribution scope(options_.policy, peer.peer_id, now);
+      info = options_.pipeline->ingest(cols);
+    } else {
+      const monitor::CollectedLogs logs =
+          analysis::decode_trace_segment(segment);
+      records = logs.records.size();
       Attribution scope(options_.policy, peer.peer_id, now);
       info = options_.pipeline->ingest(logs);
     }

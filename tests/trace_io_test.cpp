@@ -714,7 +714,156 @@ TEST(TraceIo, GoldenV4ReencodesByteIdentically) {
   std::filesystem::remove(path);
   EXPECT_EQ(reencoded, original) << "v4 encoder no longer byte-stable";
 }
+
+TEST(TraceIo, GoldenV4DecodesIdenticallyAcrossAllKernels) {
+  // Cross-kernel pin on the committed fixture: every available varint
+  // kernel (scalar reference, SWAR, and whatever SIMD the build machine
+  // has) must decode the golden trace to the same records and render the
+  // same characterization report.
+  const std::string golden =
+      std::string(CAUSEWAY_TEST_DATA_DIR) + "/golden_v4.cwt";
+  std::ifstream in(golden, std::ios::binary);
+  ASSERT_TRUE(in) << golden;
+  const std::vector<std::uint8_t> original(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ASSERT_FALSE(original.empty());
+
+  const VarintKernel previous = active_varint_kernel();
+  std::string reference;
+  for (VarintKernel kernel :
+       {VarintKernel::kScalar, VarintKernel::kSwar, VarintKernel::kSse,
+        VarintKernel::kAvx2, VarintKernel::kNeon}) {
+    if (!varint_kernel_available(kernel)) continue;
+    force_varint_kernel(kernel);
+    LogDatabase db;
+    for (const ColumnBundle& cols : decode_trace_columns(original)) {
+      db.ingest(cols);
+    }
+    auto dscg = Dscg::build(db);
+    std::string report = characterization_report(dscg, db);
+    if (reference.empty()) {
+      reference = std::move(report);
+    } else {
+      EXPECT_EQ(report, reference)
+          << "kernel " << std::string(to_string(kernel));
+    }
+  }
+  force_varint_kernel(previous);
+  EXPECT_FALSE(reference.empty());
+}
 #endif
+
+TEST(TraceIo, ColumnIngestMatchesRecordIngestAcrossShardCounts) {
+  // The column fast path (decode_trace_columns + ingest(ColumnBundle)) and
+  // the record-major path (decode_trace_segments + ingest(CollectedLogs))
+  // must populate a database that renders byte-identically, at 1 and 8
+  // ingest shards.
+  workload::LogSynthConfig config;
+  config.total_calls = 2'000;
+  LogDatabase source;
+  workload::synthesize_logs(config, source);
+  monitor::CollectedLogs logs;
+  logs.records = source.records();
+  const auto bytes = encode_trace(logs, kTraceFormatV4);
+
+  for (std::size_t shards : {std::size_t{1}, std::size_t{8}}) {
+    LogDatabase record_db(shards);
+    for (const monitor::CollectedLogs& seg : decode_trace_segments(bytes)) {
+      record_db.ingest(seg);
+    }
+    LogDatabase column_db(shards);
+    for (const ColumnBundle& cols : decode_trace_columns(bytes)) {
+      column_db.ingest(cols);
+    }
+    ASSERT_EQ(column_db.size(), record_db.size()) << shards << " shards";
+    auto dscg_r = Dscg::build(record_db);
+    auto dscg_c = Dscg::build(column_db);
+    EXPECT_EQ(characterization_report(dscg_c, column_db),
+              characterization_report(dscg_r, record_db))
+        << shards << " shards";
+  }
+}
+
+TEST(TraceIo, DecodeTraceColumnsRejectsRecordMajorFormats) {
+  const auto bytes = encode_trace(sample_logs(), kTraceFormatV3);
+  EXPECT_THROW(decode_trace_columns(bytes), TraceIoError);
+}
+
+TEST(TraceIo, CorruptSegmentErrorTextIsKernelIndependent) {
+  // The overlong-varint and underflow rejections live in one strict
+  // decoder shared by every kernel, so the error a corrupt segment raises
+  // must not depend on which kernel decoded it.  Two corpses: a truncated
+  // trailing column varint (underflow) and a hand-built segment whose
+  // object-key column holds an overlong ten-byte encoding.
+  auto truncated = encode_trace(sample_logs(), kTraceFormatV4);
+  truncated.back() |= 0x80;
+
+  WireBuffer seg;
+  seg.write_u32(0x43575452);
+  seg.write_u32(4);
+  const std::size_t length_at = seg.size();
+  seg.write_u64(0);
+  const std::size_t body = seg.size();
+  seg.write_u64(1);     // epoch
+  seg.write_u64(0);     // dropped
+  seg.write_varint(0);  // no domains
+  seg.write_varint(1);  // one string: "a"
+  seg.write_varint(1);
+  seg.write_u8('a');
+  seg.write_varint(1);  // one record
+  seg.write_varint(1);  // one run
+  seg.write_u64(1);     // chain hi/lo
+  seg.write_u64(2);
+  seg.write_varint(1);   // run length
+  seg.write_svarint(1);  // seq delta
+  seg.write_u8(1);       // flags1
+  seg.write_u8(0);       // flags2
+  seg.write_varint(0);   // interface id
+  seg.write_varint(0);   // function id
+  for (int i = 0; i < 9; ++i) seg.write_u8(0x80);  // object key: overlong --
+  seg.write_u8(0x02);                              // bits past the 64th
+  seg.write_varint(0);   // process id
+  seg.write_varint(0);   // node id
+  seg.write_varint(0);   // type id
+  seg.write_varint(0);   // thread ordinal
+  seg.write_svarint(0);  // value_start
+  seg.write_svarint(0);  // value_end
+  seg.overwrite_u64(length_at, seg.size() - body);
+  const std::vector<std::uint8_t> overlong = seg.bytes();
+
+  const VarintKernel previous = active_varint_kernel();
+  auto error_text = [](const std::vector<std::uint8_t>& bytes) {
+    LogDatabase db;
+    try {
+      decode_trace(bytes, db);
+    } catch (const TraceIoError& e) {
+      return std::string(e.what());
+    }
+    return std::string("(no error)");
+  };
+  std::string truncated_text, overlong_text;
+  for (VarintKernel kernel :
+       {VarintKernel::kScalar, VarintKernel::kSwar, VarintKernel::kSse,
+        VarintKernel::kAvx2, VarintKernel::kNeon}) {
+    if (!varint_kernel_available(kernel)) continue;
+    force_varint_kernel(kernel);
+    const std::string t = error_text(truncated);
+    const std::string o = error_text(overlong);
+    EXPECT_NE(t, "(no error)");
+    EXPECT_TRUE(o.find("varint overlong") != std::string::npos)
+        << o << " under kernel " << std::string(to_string(kernel));
+    if (truncated_text.empty()) {
+      truncated_text = t;
+      overlong_text = o;
+    } else {
+      EXPECT_EQ(t, truncated_text)
+          << "kernel " << std::string(to_string(kernel));
+      EXPECT_EQ(o, overlong_text)
+          << "kernel " << std::string(to_string(kernel));
+    }
+  }
+  force_varint_kernel(previous);
+}
 
 TEST(TraceIo, LargeStreamRoundTrip) {
   // Full paper-shape stream through the codec.

@@ -1,0 +1,299 @@
+// Differential tests for the batch varint kernels (common/wire.h): every
+// available kernel -- scalar reference, SWAR, SSE, AVX2, NEON -- must
+// decode identical bytes to identical values, leave the cursor at the same
+// position, and raise the same WireError text at the same input, over
+// randomized columns and adversarial encodings (overlong varints,
+// max-length values, truncated tails).  The scalar loop is the oracle; the
+// strict single-value decoder (WireCursor::read_varint) is a second oracle
+// the column paths must agree with byte for byte.
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/wire.h"
+
+namespace causeway {
+namespace {
+
+// Restores the dispatch a test pinned, so test order never leaks kernels.
+class KernelGuard {
+ public:
+  KernelGuard() : previous_(active_varint_kernel()) {}
+  ~KernelGuard() { force_varint_kernel(previous_); }
+
+ private:
+  VarintKernel previous_;
+};
+
+std::vector<VarintKernel> available_kernels() {
+  std::vector<VarintKernel> out;
+  for (VarintKernel k :
+       {VarintKernel::kScalar, VarintKernel::kSwar, VarintKernel::kSse,
+        VarintKernel::kAvx2, VarintKernel::kNeon}) {
+    if (varint_kernel_available(k)) out.push_back(k);
+  }
+  return out;
+}
+
+// Decodes `n` varints from `bytes` under `kernel`, returning either the
+// values + final cursor position or the thrown error text.
+struct ColumnOutcome {
+  std::vector<std::uint64_t> values;
+  std::size_t position{0};
+  bool threw{false};
+  std::string error;
+
+  bool operator==(const ColumnOutcome&) const = default;
+};
+
+ColumnOutcome decode_column(const std::vector<std::uint8_t>& bytes,
+                            std::size_t n, VarintKernel kernel) {
+  KernelGuard guard;
+  force_varint_kernel(kernel);
+  ColumnOutcome out;
+  out.values.resize(n);
+  WireCursor cursor(bytes.data(), bytes.size());
+  try {
+    cursor.read_varint_column(out.values.data(), n);
+    out.position = cursor.position();
+  } catch (const WireError& e) {
+    out.threw = true;
+    out.error = e.what();
+    out.values.clear();
+    out.position = 0;
+  }
+  return out;
+}
+
+// The oracle: n strict single-value decodes, the path that predates the
+// batch kernels.
+ColumnOutcome decode_scalar_loop(const std::vector<std::uint8_t>& bytes,
+                                 std::size_t n) {
+  ColumnOutcome out;
+  out.values.resize(n);
+  WireCursor cursor(bytes.data(), bytes.size());
+  try {
+    for (std::size_t i = 0; i < n; ++i) out.values[i] = cursor.read_varint();
+    out.position = cursor.position();
+  } catch (const WireError& e) {
+    out.threw = true;
+    out.error = e.what();
+    out.values.clear();
+    out.position = 0;
+  }
+  return out;
+}
+
+void expect_all_kernels_match(const std::vector<std::uint8_t>& bytes,
+                              std::size_t n, const char* label) {
+  const ColumnOutcome oracle = decode_scalar_loop(bytes, n);
+  for (VarintKernel kernel : available_kernels()) {
+    const ColumnOutcome got = decode_column(bytes, n, kernel);
+    EXPECT_EQ(got, oracle) << label << " under kernel "
+                           << std::string(to_string(kernel));
+  }
+}
+
+TEST(WireKernel, ScalarAndSwarAlwaysAvailable) {
+  EXPECT_TRUE(varint_kernel_available(VarintKernel::kScalar));
+  EXPECT_TRUE(varint_kernel_available(VarintKernel::kSwar));
+}
+
+TEST(WireKernel, ForceUnavailableKernelThrows) {
+  for (VarintKernel k : {VarintKernel::kSse, VarintKernel::kAvx2,
+                         VarintKernel::kNeon}) {
+    if (!varint_kernel_available(k)) {
+      EXPECT_THROW(force_varint_kernel(k), WireError);
+    }
+  }
+}
+
+TEST(WireKernel, ForcePinsActiveKernel) {
+  KernelGuard guard;
+  for (VarintKernel k : available_kernels()) {
+    force_varint_kernel(k);
+    EXPECT_EQ(active_varint_kernel(), k);
+  }
+}
+
+TEST(WireKernel, RandomizedColumnsMatchScalarOracle) {
+  std::mt19937_64 rng(20260807);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = 1 + rng() % 600;
+    std::vector<std::uint64_t> values(n);
+    for (auto& v : values) {
+      // Mix magnitudes so runs of 1-byte varints (the fast path), long
+      // encodings, and 10-byte maxima all appear within one column.
+      switch (rng() % 8) {
+        case 0: v = rng() % 2; break;
+        case 1: v = rng() % 128; break;
+        case 2: v = rng() % 16384; break;
+        case 3: v = rng() % (1ull << 21); break;
+        case 4: v = rng() % (1ull << 35); break;
+        case 5: v = rng() % (1ull << 56); break;
+        case 6: v = rng(); break;
+        default: v = ~0ull; break;
+      }
+    }
+    WireBuffer buffer;
+    for (std::uint64_t v : values) buffer.write_varint(v);
+    const std::vector<std::uint8_t>& bytes = buffer.bytes();
+
+    for (VarintKernel kernel : available_kernels()) {
+      const ColumnOutcome got = decode_column(bytes, n, kernel);
+      ASSERT_FALSE(got.threw)
+          << "trial " << trial << " kernel " << std::string(to_string(kernel))
+          << ": " << got.error;
+      EXPECT_EQ(got.values, values) << "trial " << trial << " kernel "
+                                    << std::string(to_string(kernel));
+      EXPECT_EQ(got.position, bytes.size());
+    }
+  }
+}
+
+TEST(WireKernel, SingleByteRunsDecodeExactly) {
+  // Long all-short columns exercise the vector fast paths start to finish.
+  std::vector<std::uint64_t> values(1024);
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = i % 128;
+  WireBuffer buffer;
+  for (std::uint64_t v : values) buffer.write_varint(v);
+  for (VarintKernel kernel : available_kernels()) {
+    const ColumnOutcome got = decode_column(buffer.bytes(), values.size(),
+                                            kernel);
+    ASSERT_FALSE(got.threw);
+    EXPECT_EQ(got.values, values);
+  }
+}
+
+TEST(WireKernel, MaxLengthValuesRoundTrip) {
+  // Every 10-byte encoding boundary: 2^63, 2^63+1, UINT64_MAX, and the
+  // 9-byte maxima around 2^56.
+  const std::vector<std::uint64_t> values = {
+      (1ull << 63), (1ull << 63) + 1, ~0ull, (1ull << 56) - 1, (1ull << 56),
+      (1ull << 62), 0, 1, 127, 128};
+  WireBuffer buffer;
+  for (std::uint64_t v : values) buffer.write_varint(v);
+  expect_all_kernels_match(buffer.bytes(), values.size(), "max-length");
+}
+
+TEST(WireKernel, OverlongElevenByteVarintRejectedIdentically) {
+  // Eleven continuation bytes: more than any 64-bit value can need.
+  std::vector<std::uint8_t> bytes(11, 0xff);
+  bytes.push_back(0x00);
+  expect_all_kernels_match(bytes, 1, "11-byte overlong");
+  const ColumnOutcome out =
+      decode_column(bytes, 1, VarintKernel::kScalar);
+  ASSERT_TRUE(out.threw);
+  EXPECT_EQ(out.error, "varint overlong");
+}
+
+TEST(WireKernel, TenthByteValueBitsRejectedIdentically) {
+  // Ten bytes whose last carries bits beyond the 64th: overlong, even
+  // though the length is legal.
+  std::vector<std::uint8_t> bytes(9, 0x80);
+  bytes.push_back(0x02);  // shift 63, byte > 1
+  expect_all_kernels_match(bytes, 1, "10th-byte overflow");
+  const ColumnOutcome out = decode_column(bytes, 1, VarintKernel::kScalar);
+  ASSERT_TRUE(out.threw);
+  EXPECT_EQ(out.error, "varint overlong");
+}
+
+TEST(WireKernel, TruncatedTailRejectedIdentically) {
+  // A well-formed prefix, then a varint whose continuation bit runs off
+  // the end of the input.
+  WireBuffer buffer;
+  for (std::uint64_t v : {5ull, 300ull, 1ull << 40}) buffer.write_varint(v);
+  std::vector<std::uint8_t> bytes = buffer.bytes();
+  bytes.push_back(0x80);
+  bytes.push_back(0x80);
+  expect_all_kernels_match(bytes, 4, "truncated tail");
+  const ColumnOutcome out = decode_column(bytes, 4, VarintKernel::kScalar);
+  ASSERT_TRUE(out.threw);
+  EXPECT_EQ(out.error, "wire underflow");
+}
+
+TEST(WireKernel, EmptyInputUnderflowsIdentically) {
+  const std::vector<std::uint8_t> empty;
+  expect_all_kernels_match(empty, 1, "empty input");
+}
+
+TEST(WireKernel, AdversarialTruncationsAtEveryLength) {
+  // For every encoded length 1..10, truncate one byte short and require
+  // identical underflow behavior from every kernel; also embed the
+  // truncation after a page of short values so vector paths are mid-block
+  // when they hit it.
+  for (unsigned len = 1; len <= 10; ++len) {
+    std::vector<std::uint8_t> bytes;
+    for (int i = 0; i < 40; ++i) bytes.push_back(0x01);
+    for (unsigned b = 0; b + 1 < len; ++b) bytes.push_back(0x80);
+    // (len-1 continuation bytes, final byte missing)
+    expect_all_kernels_match(bytes, 41,
+                             "truncation mid-column");
+  }
+}
+
+TEST(WireKernel, ZigZagColumnMatchesScalar) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 1 + rng() % 400;
+    std::vector<std::int64_t> values(n);
+    for (auto& v : values) {
+      const std::uint64_t raw = rng();
+      switch (rng() % 5) {
+        case 0: v = static_cast<std::int64_t>(raw % 7) - 3; break;
+        case 1: v = static_cast<std::int64_t>(raw % 100000) - 50000; break;
+        case 2: v = static_cast<std::int64_t>(raw); break;
+        case 3: v = INT64_MIN; break;
+        default: v = INT64_MAX; break;
+      }
+    }
+    WireBuffer buffer;
+    for (std::int64_t v : values) buffer.write_svarint(v);
+
+    for (VarintKernel kernel : available_kernels()) {
+      KernelGuard guard;
+      force_varint_kernel(kernel);
+      WireCursor cursor(buffer.bytes().data(), buffer.bytes().size());
+      std::vector<std::int64_t> got(n);
+      cursor.read_svarint_column(got.data(), n);
+      EXPECT_EQ(got, values) << "trial " << trial << " kernel "
+                             << std::string(to_string(kernel));
+      EXPECT_EQ(cursor.remaining(), 0u);
+    }
+  }
+}
+
+TEST(WireKernel, ColumnMatchesSingleValueReadsMidStream) {
+  // A column decode must leave the cursor exactly where n single reads
+  // would, so mixed column/scalar parsing (the v4 segment decoder) stays
+  // aligned.
+  WireBuffer buffer;
+  const std::vector<std::uint64_t> values = {1, 200, 1ull << 30, 7, ~0ull,
+                                             0, 65, 1ull << 20};
+  for (std::uint64_t v : values) buffer.write_varint(v);
+  buffer.write_u32(0xdeadbeef);
+  for (VarintKernel kernel : available_kernels()) {
+    KernelGuard guard;
+    force_varint_kernel(kernel);
+    WireCursor cursor(buffer);
+    std::vector<std::uint64_t> got(values.size());
+    cursor.read_varint_column(got.data(), got.size());
+    EXPECT_EQ(got, values);
+    EXPECT_EQ(cursor.read_u32(), 0xdeadbeefu)
+        << "kernel " << std::string(to_string(kernel));
+  }
+}
+
+TEST(WireKernel, KernelNamesRoundTrip) {
+  EXPECT_EQ(to_string(VarintKernel::kScalar), "scalar");
+  EXPECT_EQ(to_string(VarintKernel::kSwar), "swar");
+  EXPECT_EQ(to_string(VarintKernel::kSse), "sse");
+  EXPECT_EQ(to_string(VarintKernel::kAvx2), "avx2");
+  EXPECT_EQ(to_string(VarintKernel::kNeon), "neon");
+}
+
+}  // namespace
+}  // namespace causeway
