@@ -3,28 +3,35 @@
 // record stream chunked into epoch-sized segments like a streamed trace.
 //
 // Decode is timed on bytes written through TraceWriter -- so the v4 path
-// exercises the directory trailer exactly as a real file read does -- and
-// in three configurations:
+// exercises the directory trailer exactly as a real file read does.  Encode
+// is timed per row under its own kernel pin (no row shares another row's
+// measurement), best + median of reps, with throughput in records/s and
+// wire GB/s.  The rows:
 //
-//   v3        decode_trace_segments, the fixed-width record path
-//   v4scalar  decode_trace_segments with the varint kernel pinned to the
-//             strict scalar reference -- the byte-at-a-time record-major
-//             decode this codebase shipped before the batch kernels, and
-//             the baseline the 3x column-decode target is measured against
-//   v4col     decode_trace_columns with the widest available kernel
-//             (AVX2/SSE/NEON/SWAR): batched column decode, run expansion,
-//             no record-major assembly -- what the ingest path runs
+//   v3        encode_trace + decode_trace_segments, fixed-width records
+//   v4rec     encode_trace_recmajor -- the frozen record-major writer
+//             (byte-at-a-time varint loops), the baseline the 3x columnar
+//             encode target is measured against; decode_trace_segments
+//             under the widest kernel
+//   v4        the columnar writer + decode_trace_segments, both under the
+//             widest available kernel (AVX2/SSE/NEON/SWAR) -- kept so the
+//             long-running v4-vs-v3 trajectory stays comparable
+//   v4scalar  both sides pinned to the strict scalar reference kernel --
+//             the decode baseline for the 3x column-decode target
+//   v4col     the column-native pair: encode_trace_columns from decoded
+//             ColumnBundles and decode_trace_columns, widest kernel --
+//             what the publisher/collectd pipeline path runs
 //
-// (plus "v4": decode_trace_segments under the active kernel, kept so the
-// long-running v4-vs-v3 trajectory stays comparable across bench history.)
+// Every v4 encode row is byte-compared against the record-major reference
+// before timing: a kernel or writer change that altered the wire bytes
+// aborts the bench rather than reporting a meaningless speedup.
 // Database ingest is excluded: it would dilute the codec comparison.
 //
 // Acceptance shape: v4 wire size >= 35% smaller than v3, v4 decode >= 2x
 // v3 (multi-core only -- the 2x rides on the trailer fanning segments out
-// across the WorkerPool), and v4col decode >= 3x v4scalar on the same
-// stream (single-threaded: kernel + zero-assembly gains, no parallelism
-// involved).  Each timing reports best-of-reps and the median, so the
-// JSON trajectory shows spread, not just the lucky run.
+// across the WorkerPool), v4col decode >= 3x v4scalar decode, and v4
+// columnar encode >= 3x v4rec encode (both single-threaded: kernel +
+// column-gather gains, no parallelism involved).
 // Emits BENCH_trace_io.json in the working directory (CI invokes every
 // bench from the repo root, so artifacts land at a stable repo-root path);
 // override with --json=PATH, shrink with --calls=N, change the segment
@@ -52,15 +59,20 @@ using Clock = std::chrono::steady_clock;
 
 struct CodecResult {
   std::string name;
-  std::string kernel;  // varint kernel the decode ran under
+  std::string kernel;  // varint kernel the row's codec ran under
   std::size_t wire_bytes{0};
-  double encode_seconds{0};
+  double encode_seconds{0};         // best of reps
+  double encode_seconds_median{0};  // median of reps
   double decode_seconds{0};         // best of reps
   double decode_seconds_median{0};  // median of reps
   std::size_t records{0};
   double encode_records_per_sec() const {
     return static_cast<double>(records) / encode_seconds;
   }
+  double encode_mb_per_sec() const {
+    return static_cast<double>(wire_bytes) / 1e6 / encode_seconds;
+  }
+  double encode_gb_per_sec() const { return encode_mb_per_sec() / 1e3; }
   double decode_records_per_sec() const {
     return static_cast<double>(records) / decode_seconds;
   }
@@ -85,7 +97,6 @@ void time_decode(CodecResult& r, const std::vector<std::uint8_t>& bytes,
                  VarintKernel kernel) {
   const VarintKernel previous = active_varint_kernel();
   force_varint_kernel(kernel);
-  r.kernel = to_string(kernel);
   std::vector<double> times;
   times.reserve(static_cast<std::size_t>(reps));
   for (int rep = 0; rep < reps; ++rep) {
@@ -112,81 +123,92 @@ void time_decode(CodecResult& r, const std::vector<std::uint8_t>& bytes,
   r.decode_seconds_median = times[times.size() / 2];
 }
 
-// Encodes the bundles segment-by-segment (timed, best of reps) and returns
-// the on-disk byte stream: TraceWriter output (directory trailer included),
-// or -- with legacy_layout -- plain concatenated segments with no trailer,
-// the shape every pre-v4 writer produced, so the v3 measurement exercises
-// the sequential skim fallback a real legacy artifact forces on the reader.
-std::vector<std::uint8_t> encode_stream(
-    CodecResult& r, std::uint32_t version,
-    const std::vector<monitor::CollectedLogs>& bundles, int reps,
-    bool legacy_layout) {
-  double best_encode = 1e100;
+// Times `encode_all` (which returns total bytes produced) under `kernel`,
+// best + median of reps, filling r.encode_* and r.kernel.
+template <typename EncodeAll>
+void time_encode(CodecResult& r, int reps, VarintKernel kernel,
+                 EncodeAll&& encode_all) {
+  const VarintKernel previous = active_varint_kernel();
+  force_varint_kernel(kernel);
+  r.kernel = to_string(kernel);
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
   for (int rep = 0; rep < reps; ++rep) {
     const auto t0 = Clock::now();
-    std::size_t produced = 0;
-    for (const auto& bundle : bundles) {
-      produced += analysis::encode_trace(bundle, version).size();
-    }
+    const std::size_t produced = encode_all();
     const auto t1 = Clock::now();
-    best_encode =
-        std::min(best_encode, std::chrono::duration<double>(t1 - t0).count());
+    times.push_back(std::chrono::duration<double>(t1 - t0).count());
     if (produced == 0) std::exit(1);
   }
-  r.encode_seconds = best_encode;
+  force_varint_kernel(previous);
+  std::sort(times.begin(), times.end());
+  r.encode_seconds = times.front();
+  r.encode_seconds_median = times[times.size() / 2];
+}
 
-  std::vector<std::uint8_t> bytes;
+// Materializes the on-disk byte stream once (untimed): TraceWriter output
+// (directory trailer included), or -- with legacy_layout -- plain
+// concatenated segments with no trailer, the shape every pre-v4 writer
+// produced, so the v3 measurement exercises the sequential skim fallback a
+// real legacy artifact forces on the reader.
+std::vector<std::uint8_t> materialize_stream(
+    const std::string& name, std::uint32_t version,
+    const std::vector<monitor::CollectedLogs>& bundles, bool legacy_layout) {
   if (legacy_layout) {
+    std::vector<std::uint8_t> bytes;
     for (const auto& bundle : bundles) {
       const auto segment = analysis::encode_trace(bundle, version);
       bytes.insert(bytes.end(), segment.begin(), segment.end());
     }
-  } else {
-    const auto path = (std::filesystem::temp_directory_path() /
-                       ("bench_trace_io_" + r.name + ".cwt"))
-                          .string();
-    {
-      analysis::TraceWriter writer(path, version);
-      for (const auto& bundle : bundles) writer.append(bundle);
-      writer.close();
-    }
-    bytes = slurp(path);
-    std::filesystem::remove(path);
+    return bytes;
   }
-  r.wire_bytes = bytes.size();
+  const auto path = (std::filesystem::temp_directory_path() /
+                     ("bench_trace_io_" + name + ".cwt"))
+                        .string();
+  {
+    analysis::TraceWriter writer(path, version);
+    for (const auto& bundle : bundles) writer.append(bundle);
+    writer.close();
+  }
+  auto bytes = slurp(path);
+  std::filesystem::remove(path);
   return bytes;
 }
 
 void print_result(const CodecResult& r) {
   std::printf(
-      "%-8s %10zu B (%5.1f B/rec) | encode %7.3f s %9.0f rec/s | "
-      "decode %7.3f s (med %7.3f) %9.0f rec/s %7.1f MB/s %6.2f GB/s "
+      "%-8s %10zu B (%5.1f B/rec) | encode %7.3f s (med %7.3f) %9.0f rec/s "
+      "%6.2f GB/s | decode %7.3f s (med %7.3f) %9.0f rec/s %6.2f GB/s "
       "[%s]\n",
       r.name.c_str(), r.wire_bytes,
       static_cast<double>(r.wire_bytes) / static_cast<double>(r.records),
-      r.encode_seconds, r.encode_records_per_sec(), r.decode_seconds,
-      r.decode_seconds_median, r.decode_records_per_sec(),
-      r.decode_mb_per_sec(), r.decode_gb_per_sec(), r.kernel.c_str());
+      r.encode_seconds, r.encode_seconds_median, r.encode_records_per_sec(),
+      r.encode_gb_per_sec(), r.decode_seconds, r.decode_seconds_median,
+      r.decode_records_per_sec(), r.decode_gb_per_sec(), r.kernel.c_str());
 }
 
 void write_json(const std::string& path, std::size_t cores,
                 std::size_t records, std::size_t segments,
                 const std::vector<CodecResult>& runs,
                 double size_reduction_pct, double decode_speedup,
-                double column_speedup, bool meets_size, bool meets_decode,
-                bool decode_applicable, bool meets_column) {
+                double column_speedup, double encode_speedup, bool meets_size,
+                bool meets_decode, bool decode_applicable, bool meets_column,
+                bool meets_encode) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return;
   }
   auto emit = [&](const CodecResult& r, const char* trailing) {
-    char buf[640];
+    char buf[768];
     std::snprintf(buf, sizeof buf,
                   "    {\"name\": \"%s\", \"kernel\": \"%s\", "
                   "\"wire_bytes\": %zu, "
                   "\"bytes_per_record\": %.2f, \"encode_seconds\": %.4f, "
+                  "\"encode_seconds_median\": %.4f, "
                   "\"encode_records_per_sec\": %.0f, "
+                  "\"encode_mb_per_sec\": %.1f, "
+                  "\"encode_gb_per_sec\": %.3f, "
                   "\"decode_seconds\": %.4f, "
                   "\"decode_seconds_median\": %.4f, "
                   "\"decode_records_per_sec\": %.0f, "
@@ -195,10 +217,11 @@ void write_json(const std::string& path, std::size_t cores,
                   r.name.c_str(), r.kernel.c_str(), r.wire_bytes,
                   static_cast<double>(r.wire_bytes) /
                       static_cast<double>(r.records),
-                  r.encode_seconds, r.encode_records_per_sec(),
-                  r.decode_seconds, r.decode_seconds_median,
-                  r.decode_records_per_sec(), r.decode_mb_per_sec(),
-                  r.decode_gb_per_sec(), trailing);
+                  r.encode_seconds, r.encode_seconds_median,
+                  r.encode_records_per_sec(), r.encode_mb_per_sec(),
+                  r.encode_gb_per_sec(), r.decode_seconds,
+                  r.decode_seconds_median, r.decode_records_per_sec(),
+                  r.decode_mb_per_sec(), r.decode_gb_per_sec(), trailing);
     out << buf;
   };
   out << "{\n"
@@ -212,20 +235,23 @@ void write_json(const std::string& path, std::size_t cores,
   for (std::size_t i = 0; i < runs.size(); ++i) {
     emit(runs[i], i + 1 < runs.size() ? "," : "");
   }
-  char tail[512];
+  char tail[640];
   std::snprintf(tail, sizeof tail,
                 "  ],\n  \"v4_size_reduction_pct\": %.1f,\n"
                 "  \"v4_decode_speedup\": %.2f,\n"
                 "  \"v4_column_decode_speedup_vs_scalar\": %.2f,\n"
+                "  \"v4_column_encode_speedup_vs_recmajor\": %.2f,\n"
                 "  \"meets_35pct_size_target\": %s,\n"
                 "  \"target_2x_decode_applicable\": %s,\n"
                 "  \"meets_2x_decode_target\": %s,\n"
-                "  \"meets_3x_column_decode_target\": %s\n}\n",
+                "  \"meets_3x_column_decode_target\": %s,\n"
+                "  \"meets_3x_column_encode_target\": %s\n}\n",
                 size_reduction_pct, decode_speedup, column_speedup,
-                meets_size ? "true" : "false",
+                encode_speedup, meets_size ? "true" : "false",
                 decode_applicable ? "true" : "false",
                 meets_decode ? "true" : "false",
-                meets_column ? "true" : "false");
+                meets_column ? "true" : "false",
+                meets_encode ? "true" : "false");
   out << tail;
 }
 
@@ -276,42 +302,101 @@ int main(int argc, char** argv) {
       std::string(to_string(best_kernel)).c_str());
 
   const int reps = 5;
-  std::vector<CodecResult> runs(4);
+  std::vector<CodecResult> runs(5);
+
+  // Per-segment encoders as timing closures (each re-encodes the full
+  // stream serially, so encode rows compare codec work, not parallelism).
+  auto encode_v3_all = [&] {
+    std::size_t produced = 0;
+    for (const auto& b : bundles) {
+      produced += analysis::encode_trace(b, analysis::kTraceFormatV3).size();
+    }
+    return produced;
+  };
+  auto encode_recmajor_all = [&] {
+    std::size_t produced = 0;
+    for (const auto& b : bundles) {
+      produced +=
+          analysis::encode_trace_recmajor(b, analysis::kTraceFormatV4).size();
+    }
+    return produced;
+  };
+  auto encode_columnar_all = [&] {
+    std::size_t produced = 0;
+    for (const auto& b : bundles) {
+      produced += analysis::encode_trace(b, analysis::kTraceFormatV4).size();
+    }
+    return produced;
+  };
 
   CodecResult& v3 = runs[0];
   v3.name = "v3";
   v3.records = records.size();
-  const auto v3_bytes = encode_stream(v3, analysis::kTraceFormatV3, bundles,
-                                      reps, /*legacy_layout=*/true);
+  const auto v3_bytes = materialize_stream("v3", analysis::kTraceFormatV3,
+                                           bundles, /*legacy_layout=*/true);
+  v3.wire_bytes = v3_bytes.size();
+  time_encode(v3, reps, best_kernel, encode_v3_all);
   time_decode(v3, v3_bytes, records.size(), reps, DecodePath::kRecords,
               best_kernel);
   print_result(v3);
 
-  CodecResult& v4 = runs[1];
+  const auto v4_bytes = materialize_stream("v4", analysis::kTraceFormatV4,
+                                           bundles, /*legacy_layout=*/false);
+
+  // Byte-identity gate: the columnar writer and the frozen record-major
+  // reference must agree on every segment before any speedup is reported.
+  for (const auto& bundle : bundles) {
+    if (analysis::encode_trace(bundle, analysis::kTraceFormatV4) !=
+        analysis::encode_trace_recmajor(bundle, analysis::kTraceFormatV4)) {
+      std::fprintf(stderr,
+                   "FATAL: columnar v4 encode diverged from the record-major "
+                   "reference\n");
+      return 1;
+    }
+  }
+
+  CodecResult& v4rec = runs[1];
+  v4rec.name = "v4rec";
+  v4rec.records = records.size();
+  v4rec.wire_bytes = v4_bytes.size();
+  time_encode(v4rec, reps, best_kernel, encode_recmajor_all);
+  time_decode(v4rec, v4_bytes, records.size(), reps, DecodePath::kRecords,
+              best_kernel);
+  print_result(v4rec);
+
+  CodecResult& v4 = runs[2];
   v4.name = "v4";
   v4.records = records.size();
-  const auto v4_bytes = encode_stream(v4, analysis::kTraceFormatV4, bundles,
-                                      reps, /*legacy_layout=*/false);
+  v4.wire_bytes = v4_bytes.size();
+  time_encode(v4, reps, best_kernel, encode_columnar_all);
   time_decode(v4, v4_bytes, records.size(), reps, DecodePath::kRecords,
               best_kernel);
   print_result(v4);
 
-  // The pre-kernel baseline and the new column path share v4's encoder and
-  // byte stream; only the decode differs.
-  CodecResult& v4scalar = runs[2];
+  CodecResult& v4scalar = runs[3];
   v4scalar.name = "v4scalar";
   v4scalar.records = records.size();
-  v4scalar.encode_seconds = v4.encode_seconds;
-  v4scalar.wire_bytes = v4.wire_bytes;
+  v4scalar.wire_bytes = v4_bytes.size();
+  time_encode(v4scalar, reps, VarintKernel::kScalar, encode_columnar_all);
   time_decode(v4scalar, v4_bytes, records.size(), reps, DecodePath::kRecords,
               VarintKernel::kScalar);
   print_result(v4scalar);
 
-  CodecResult& v4col = runs[3];
+  // The column-native pair: encode straight from decoded ColumnBundles
+  // (the publisher/collectd path -- no record-major gather at all).
+  CodecResult& v4col = runs[4];
   v4col.name = "v4col";
   v4col.records = records.size();
-  v4col.encode_seconds = v4.encode_seconds;
-  v4col.wire_bytes = v4.wire_bytes;
+  v4col.wire_bytes = v4_bytes.size();
+  const std::vector<analysis::ColumnBundle> column_bundles =
+      analysis::decode_trace_columns(v4_bytes);
+  time_encode(v4col, reps, best_kernel, [&] {
+    std::size_t produced = 0;
+    for (const auto& cols : column_bundles) {
+      produced += analysis::encode_trace_columns(cols).size();
+    }
+    return produced;
+  });
   time_decode(v4col, v4_bytes, records.size(), reps, DecodePath::kColumns,
               best_kernel);
   print_result(v4col);
@@ -321,12 +406,15 @@ int main(int argc, char** argv) {
                          static_cast<double>(v3.wire_bytes));
   const double speedup = v3.decode_seconds / v4.decode_seconds;
   const double column_speedup = v4scalar.decode_seconds / v4col.decode_seconds;
+  const double encode_speedup = v4rec.encode_seconds / v4.encode_seconds;
   const bool meets_size = reduction >= 35.0;
   const bool meets_decode = speedup >= 2.0;
   const bool meets_column = column_speedup >= 3.0;
+  const bool meets_encode = encode_speedup >= 3.0;
   // The 2x claim is about the directory trailer fanning segment decode out
   // across cores; a single-threaded host cannot express it (see header).
-  // The 3x column claim is single-threaded by construction.
+  // The 3x column claims (decode and encode) are single-threaded by
+  // construction.
   const bool decode_applicable = cores >= 2;
   std::printf("\nv4 vs v3: %.1f%% smaller (35%% target %s), decode %.2fx "
               "(2x target %s%s)\n",
@@ -336,10 +424,14 @@ int main(int argc, char** argv) {
   std::printf("v4col vs v4scalar: decode %.2fx (3x target %s), %.2f GB/s\n",
               column_speedup, meets_column ? "MET" : "NOT met",
               v4col.decode_gb_per_sec());
+  std::printf("v4 columnar encode vs v4rec record-major: %.2fx "
+              "(3x target %s), %.2f GB/s\n",
+              encode_speedup, meets_encode ? "MET" : "NOT met",
+              v4.encode_gb_per_sec());
 
   write_json(json_path, cores, records.size(), bundles.size(), runs,
-             reduction, speedup, column_speedup, meets_size, meets_decode,
-             decode_applicable, meets_column);
+             reduction, speedup, column_speedup, encode_speedup, meets_size,
+             meets_decode, decode_applicable, meets_column, meets_encode);
   std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include <filesystem>
+#include <unordered_map>
 
 #include "analysis/pipeline.h"
 #include "common/wire.h"
@@ -161,11 +162,13 @@ constexpr std::uint8_t pack_flags1(const monitor::TraceRecord& r) {
       (static_cast<std::uint8_t>(r.outcome) << 5));
 }
 
-// v4 body: columnar, delta/varint coded, records grouped into maximal runs
-// of consecutive same-chain records.  Grouping follows arrival order and
-// never reorders -- decode reproduces the exact record sequence, which is
-// what keeps every downstream render byte-identical across v3/v4.
-std::vector<std::uint8_t> encode_trace_v4(const monitor::CollectedLogs& logs) {
+// The frozen record-major v4 writer: per-record interleaved write_varint
+// loops, exactly as the encoder stood before the columnar rewrite
+// (DESIGN.md Sec. 15).  LEB128 is canonical, so the columnar writer below
+// must reproduce this function's output byte for byte -- ctest enforces it
+// under every kernel; bench_trace_io measures the speedup against it.
+std::vector<std::uint8_t> encode_trace_v4_recmajor(
+    const monitor::CollectedLogs& logs) {
   StringTable table;
   std::vector<DomainIds> domain_ids;
   std::vector<RecordIds> record_ids;
@@ -261,6 +264,332 @@ std::vector<std::uint8_t> encode_trace_v4(const monitor::CollectedLogs& logs) {
 
   out.overwrite_u64(body_length_at, out.size() - body_start);
   return std::move(out).take();
+}
+
+// ---------------------------------------------------------------------------
+// Columnar v4 writer (DESIGN.md Sec. 15).  The segment is built column
+// first: one gather pass turns records into contiguous u64/u8 columns, the
+// SIMD transform passes (common/wire.h) delta/zig-zag them in place, and
+// emit_segment_v4 streams every dense column through the batched varint
+// encode kernels.  Byte-identical to encode_trace_v4_recmajor by
+// construction: same intern order, same per-run delta bases, and canonical
+// LEB128 from every kernel.
+
+// Hash interner for the gather pass.  The reference StringTable (std::map)
+// stays with the frozen writers; first-encounter id assignment is what
+// matters for byte identity, and both tables assign ids the same way.
+class FastStringTable {
+ public:
+  std::uint32_t id_of(std::string_view s) {
+    const auto [it, inserted] =
+        ids_.try_emplace(s, static_cast<std::uint32_t>(strings_.size()));
+    if (inserted) strings_.push_back(s);
+    return it->second;
+  }
+  std::vector<std::string_view>& strings() { return strings_; }
+
+ private:
+  std::vector<std::string_view> strings_;
+  std::unordered_map<std::string_view, std::uint32_t> ids_;
+};
+
+// Collector records hold interned string_views, so consecutive records
+// usually repeat the exact same view object.  A per-column memo turns that
+// into a pointer compare, skipping the hash for the common case.
+struct InternMemo {
+  const char* data{nullptr};
+  std::size_t size{std::size_t(-1)};
+  std::uint32_t id{0};
+
+  std::uint32_t get(std::string_view s, FastStringTable& table) {
+    if (s.data() == data && s.size() == size) return id;
+    data = s.data();
+    size = s.size();
+    return id = table.id_of(s);
+  }
+};
+
+// The gathered, transform-ready shape of one v4 segment: every varint
+// column widened to u64, seq/value columns already delta'd and zig-zagged
+// (so emission is a raw write_varint_column per column).  Both encode
+// entry points (CollectedLogs and ColumnBundle) fill one of these and
+// share emit_segment_v4.
+struct SegmentColumns {
+  struct Domain {
+    std::uint64_t process, node, type, count;
+    std::uint8_t mode;
+  };
+  std::uint64_t epoch{0}, dropped{0};
+  std::vector<Domain> domains;
+  std::span<const std::string_view> table;
+  struct Run {
+    Uuid chain;
+    std::uint64_t length;
+  };
+  std::vector<Run> runs;
+  std::size_t count{0};
+  std::vector<std::uint64_t> seq;  // zigzag(per-run delta)
+  // Flag/spawned columns either borrow the caller's storage (ColumnBundle
+  // path: the bundle already holds them contiguously) or own a gathered
+  // copy (CollectedLogs path) kept alive in *_storage.
+  std::span<const std::uint8_t> flags1, flags2;
+  std::vector<std::uint8_t> flags1_storage, flags2_storage;
+  std::span<const Uuid> spawned;
+  std::vector<Uuid> spawned_storage;
+  std::vector<std::uint64_t> iface, func, object_key, process, node, type,
+      thread_ordinal;
+  std::vector<std::uint64_t> vstart;  // zigzag(whole-column delta)
+  std::vector<std::uint64_t> vend;    // zigzag(end - start)
+};
+
+std::vector<std::uint8_t> emit_segment_v4(const SegmentColumns& c) {
+  WireBuffer out;
+  // Worst-case column bytes are bounded; a coarse reserve keeps the buffer
+  // from reallocating mid-segment (~21 wire B/record in practice, so 32
+  // leaves slack without overcommitting).
+  std::size_t table_bytes = 0;
+  for (const auto& s : c.table) table_bytes += s.size() + 2;
+  out.reserve(64 + c.domains.size() * 16 + table_bytes +
+              c.runs.size() * 20 + c.count * 32);
+
+  out.write_u32(kMagic);
+  out.write_u32(kTraceFormatV4);
+  const std::size_t body_length_at = out.size();
+  out.write_u64(0);  // body length, patched once the body is encoded
+  const std::size_t body_start = out.size();
+
+  out.write_u64(c.epoch);
+  out.write_u64(c.dropped);
+
+  out.write_varint(c.domains.size());
+  for (const auto& d : c.domains) {
+    out.write_varint(d.process);
+    out.write_varint(d.node);
+    out.write_varint(d.type);
+    out.write_u8(d.mode);
+    out.write_varint(d.count);
+  }
+
+  out.write_varint(c.table.size());
+  for (const auto& s : c.table) {
+    out.write_varint(s.size());
+    out.append_raw({reinterpret_cast<const std::uint8_t*>(s.data()),
+                    s.size()});
+  }
+
+  out.write_varint(c.count);
+  out.write_varint(c.runs.size());
+  for (const auto& run : c.runs) {
+    out.write_u64(run.chain.hi);
+    out.write_u64(run.chain.lo);
+    out.write_varint(run.length);
+  }
+
+  // The dense columns: seq/value columns were pre-zig-zagged by the
+  // transform passes, so every one is a single batched varint emission.
+  out.write_varint_column(c.seq.data(), c.count);
+  out.append_raw(c.flags1);
+  out.append_raw(c.flags2);
+  for (const Uuid& u : c.spawned) {
+    out.write_u64(u.hi);
+    out.write_u64(u.lo);
+  }
+  out.write_varint_column(c.iface.data(), c.count);
+  out.write_varint_column(c.func.data(), c.count);
+  out.write_varint_column(c.object_key.data(), c.count);
+  out.write_varint_column(c.process.data(), c.count);
+  out.write_varint_column(c.node.data(), c.count);
+  out.write_varint_column(c.type.data(), c.count);
+  out.write_varint_column(c.thread_ordinal.data(), c.count);
+  out.write_varint_column(c.vstart.data(), c.count);
+  out.write_varint_column(c.vend.data(), c.count);
+
+  out.overwrite_u64(body_length_at, out.size() - body_start);
+  return std::move(out).take();
+}
+
+// Applies the wire transforms to gathered absolute columns, in place:
+// seq becomes zigzag(per-run delta) -- delta_encode_column leaves the
+// first element of each run absolute, which is exactly the reference
+// writer's "prev resets to 0 at a run boundary"; value_start becomes
+// zigzag(whole-segment delta).  All arithmetic is wrapping u64, the same
+// bit patterns the record-major writer produces through int64 math.
+void transform_columns(SegmentColumns& c) {
+  std::size_t i = 0;
+  for (const auto& run : c.runs) {
+    delta_encode_column(c.seq.data() + i,
+                        static_cast<std::size_t>(run.length));
+    i += static_cast<std::size_t>(run.length);
+  }
+  zigzag_encode_column(c.seq.data(), c.count);
+  delta_encode_column(c.vstart.data(), c.count);
+  zigzag_encode_column(c.vstart.data(), c.count);
+  zigzag_encode_column(c.vend.data(), c.count);
+}
+
+// Column-first v4 body: one gather pass (intern + widen + pack flags +
+// run detection), the SIMD transform passes, then batched emission.
+std::vector<std::uint8_t> encode_trace_v4(const monitor::CollectedLogs& logs) {
+  SegmentColumns c;
+  c.epoch = logs.epoch;
+  c.dropped = logs.dropped;
+
+  FastStringTable table;
+  c.domains.reserve(logs.domains.size());
+  for (const auto& d : logs.domains) {
+    c.domains.push_back({table.id_of(d.identity.process_name),
+                         table.id_of(d.identity.node_name),
+                         table.id_of(d.identity.processor_type),
+                         d.record_count,
+                         static_cast<std::uint8_t>(d.mode)});
+  }
+
+  const auto& recs = logs.records;
+  const std::size_t n = recs.size();
+  c.count = n;
+  c.seq.resize(n);
+  auto& flags1 = c.flags1_storage;
+  auto& flags2 = c.flags2_storage;
+  flags1.resize(n);
+  flags2.resize(n);
+  c.iface.resize(n);
+  c.func.resize(n);
+  c.object_key.resize(n);
+  c.process.resize(n);
+  c.node.resize(n);
+  c.type.resize(n);
+  c.thread_ordinal.resize(n);
+  c.vstart.resize(n);
+  c.vend.resize(n);
+
+  // Intern order must match the reference writer exactly (iface, func,
+  // process, node, type per record, after all domains) -- id assignment is
+  // part of the byte-identity contract.
+  InternMemo m_iface, m_func, m_process, m_node, m_type;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& r = recs[i];
+    c.iface[i] = m_iface.get(r.interface_name, table);
+    c.func[i] = m_func.get(r.function_name, table);
+    c.process[i] = m_process.get(r.process_name, table);
+    c.node[i] = m_node.get(r.node_name, table);
+    c.type[i] = m_type.get(r.processor_type, table);
+    c.seq[i] = r.seq;
+    flags1[i] = pack_flags1(r);
+    flags2[i] = static_cast<std::uint8_t>(
+        static_cast<std::uint8_t>(r.mode) |
+        (r.spawned_chain.is_nil() ? 0 : 4) |
+        static_cast<std::uint8_t>(r.sample_rate_index << 3));
+    if (!r.spawned_chain.is_nil()) {
+      c.spawned_storage.push_back(r.spawned_chain);
+    }
+    c.object_key[i] = r.object_key;
+    c.thread_ordinal[i] = r.thread_ordinal;
+    c.vstart[i] = static_cast<std::uint64_t>(r.value_start);
+    c.vend[i] = static_cast<std::uint64_t>(r.value_end) -
+                static_cast<std::uint64_t>(r.value_start);
+    if (i == 0 || !(r.chain == recs[i - 1].chain)) {
+      c.runs.push_back({r.chain, 1});
+    } else {
+      ++c.runs.back().length;
+    }
+  }
+  c.table = table.strings();
+  c.flags1 = flags1;
+  c.flags2 = flags2;
+  c.spawned = c.spawned_storage;
+
+  transform_columns(c);
+  return emit_segment_v4(c);
+}
+
+// Fills SegmentColumns from an already-columnar bundle: ids widen to u64,
+// seq/value columns copy out for the in-place transforms, flag and spawned
+// columns are borrowed as-is.  Validates everything emit indexes so a
+// malformed bundle throws TraceIoError instead of reading out of bounds.
+SegmentColumns gather_from_bundle(const ColumnBundle& cols) {
+  const std::size_t n = cols.count;
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw TraceIoError(what);
+  };
+  require(cols.seq.size() == n && cols.flags1.size() == n &&
+              cols.flags2.size() == n && cols.iface.size() == n &&
+              cols.func.size() == n && cols.process.size() == n &&
+              cols.node.size() == n && cols.type.size() == n &&
+              cols.object_key.size() == n &&
+              cols.thread_ordinal.size() == n &&
+              cols.value_start.size() == n && cols.value_end.size() == n,
+          "column bundle: column sizes do not match count");
+  std::uint64_t covered = 0;
+  for (const auto& run : cols.runs) covered += run.length;
+  require(covered == n, "column bundle: chain runs do not cover records");
+  std::size_t spawn_flags = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cols.flags2[i] & 4) ++spawn_flags;
+  }
+  require(spawn_flags == cols.spawned.size(),
+          "column bundle: spawned column does not match flags");
+
+  SegmentColumns c;
+  c.epoch = cols.epoch;
+  c.dropped = cols.dropped;
+  c.table = cols.table;
+  c.count = n;
+  c.flags1 = cols.flags1;
+  c.flags2 = cols.flags2;
+  c.spawned = cols.spawned;
+
+  // Domain identities are resolved strings in a bundle; recover their table
+  // ids (first occurrence wins, matching the encoder's dedup).
+  std::unordered_map<std::string_view, std::uint64_t> table_ids;
+  for (std::size_t i = 0; i < cols.table.size(); ++i) {
+    table_ids.try_emplace(cols.table[i], i);
+  }
+  auto id_of = [&](std::string_view s) {
+    const auto it = table_ids.find(s);
+    if (it == table_ids.end()) {
+      throw TraceIoError(
+          "column bundle: domain identity string missing from table");
+    }
+    return it->second;
+  };
+  c.domains.reserve(cols.domains.size());
+  for (const auto& d : cols.domains) {
+    c.domains.push_back({id_of(d.identity.process_name),
+                         id_of(d.identity.node_name),
+                         id_of(d.identity.processor_type),
+                         d.record_count,
+                         static_cast<std::uint8_t>(d.mode)});
+  }
+
+  c.runs.reserve(cols.runs.size());
+  for (const auto& run : cols.runs) c.runs.push_back({run.chain, run.length});
+
+  c.seq = cols.seq;  // absolute; transform_columns deltas in place
+  auto widen = [&](const std::vector<std::uint32_t>& in,
+                   std::vector<std::uint64_t>& out, bool is_id) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_id && in[i] >= cols.table.size()) {
+        throw TraceIoError("column bundle: string id out of range");
+      }
+      out[i] = in[i];
+    }
+  };
+  widen(cols.iface, c.iface, true);
+  widen(cols.func, c.func, true);
+  widen(cols.process, c.process, true);
+  widen(cols.node, c.node, true);
+  widen(cols.type, c.type, true);
+  c.object_key = cols.object_key;
+  c.thread_ordinal = cols.thread_ordinal;
+  c.vstart.resize(n);
+  c.vend.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.vstart[i] = static_cast<std::uint64_t>(cols.value_start[i]);
+    c.vend[i] = static_cast<std::uint64_t>(cols.value_end[i]) -
+                static_cast<std::uint64_t>(cols.value_start[i]);
+  }
+  return c;
 }
 
 // The fixed wire size of one v2/v3 record body (see encode_trace_v3).
@@ -636,17 +965,11 @@ ColumnBundle decode_segment_v4_columns(WireCursor& in) {
   cols.thread_ordinal.resize(count);
   in.read_varint_column(cols.thread_ordinal.data(), count);
 
-  // Timestamp columns: batched zig-zag decode, then the prefix sum (start)
-  // and the start-relative reconstruction (end) as plain streaming passes.
+  // Timestamp columns: batched zig-zag decode, then the SIMD prefix-sum
+  // pass (start) and the start-relative reconstruction (end).
   cols.value_start.resize(count);
   in.read_svarint_column(cols.value_start.data(), count);
-  {
-    std::int64_t prev = 0;
-    for (std::size_t i = 0; i < count; ++i) {
-      prev += cols.value_start[i];
-      cols.value_start[i] = prev;
-    }
-  }
+  prefix_sum_column(cols.value_start.data(), count);
   cols.value_end.resize(count);
   in.read_svarint_column(cols.value_end.data(), count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -915,6 +1238,63 @@ std::vector<std::uint8_t> encode_trace(const monitor::CollectedLogs& logs,
   throw TraceIoError("unwritable trace version " + std::to_string(version));
 }
 
+std::vector<std::uint8_t> encode_trace_recmajor(
+    const monitor::CollectedLogs& logs, std::uint32_t version) {
+  if (version == kTraceFormatV3) return encode_trace_v3(logs);
+  if (version == kTraceFormatV4) return encode_trace_v4_recmajor(logs);
+  throw TraceIoError("unwritable trace version " + std::to_string(version));
+}
+
+std::vector<std::uint8_t> encode_trace_columns(const ColumnBundle& cols) {
+  SegmentColumns c = gather_from_bundle(cols);
+  transform_columns(c);
+  return emit_segment_v4(c);
+}
+
+namespace {
+
+// Below this many records the pool dispatch costs more than the packing;
+// single-segment encodes always pack inline.
+constexpr std::size_t kParallelEncodeMinRecords = 2048;
+
+// Packs one segment per input index -- on the shared WorkerPool when there
+// is enough work -- committing results in input order.  Each segment's
+// bytes depend only on its own input (kernel choice never changes output),
+// so the result is byte-identical to a serial loop across worker counts.
+template <typename EncodeOne>
+std::vector<std::vector<std::uint8_t>> encode_stream_impl(
+    std::size_t bundles, std::size_t total_records, EncodeOne&& encode_one) {
+  std::vector<std::vector<std::uint8_t>> out(bundles);
+  auto pack_one = [&](std::size_t k) { out[k] = encode_one(k); };
+  if (bundles >= 2 && total_records >= kParallelEncodeMinRecords &&
+      WorkerPool::shared().concurrency() >= 2) {
+    WorkerPool::shared().parallel_for(bundles, pack_one);
+  } else {
+    for (std::size_t k = 0; k < bundles; ++k) pack_one(k);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> encode_trace_stream(
+    std::span<const monitor::CollectedLogs> bundles, std::uint32_t version) {
+  std::size_t total = 0;
+  for (const auto& b : bundles) total += b.records.size();
+  return encode_stream_impl(bundles.size(), total, [&](std::size_t k) {
+    return encode_trace(bundles[k], version);
+  });
+}
+
+std::vector<std::vector<std::uint8_t>> encode_trace_columns_stream(
+    std::span<const ColumnBundle> bundles) {
+  std::size_t total = 0;
+  for (const auto& b : bundles) total += b.count;
+  return encode_stream_impl(bundles.size(), total, [&](std::size_t k) {
+    return encode_trace_columns(bundles[k]);
+  });
+}
+
 std::size_t decode_trace(std::span<const std::uint8_t> bytes,
                          LogDatabase& db) {
   const std::vector<Extent> extents = scan_extents(bytes);
@@ -1179,6 +1559,20 @@ void TraceWriter::append(const monitor::CollectedLogs& logs) {
   if (!out_) throw TraceIoError("short write to '" + path_ + "'");
   segment_lengths_.push_back(bytes.size());
   records_ += logs.records.size();
+}
+
+void TraceWriter::append(const ColumnBundle& cols) {
+  if (closed_) throw TraceIoError("trace writer for '" + path_ + "' is closed");
+  if (version_ != kTraceFormatV4) {
+    throw TraceIoError("column append requires a v4 trace writer");
+  }
+  const auto bytes = encode_trace_columns(cols);
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  out_.flush();
+  if (!out_) throw TraceIoError("short write to '" + path_ + "'");
+  segment_lengths_.push_back(bytes.size());
+  records_ += cols.count;
 }
 
 void TraceWriter::append_encoded(std::span<const std::uint8_t> segment) {

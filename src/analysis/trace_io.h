@@ -89,6 +89,34 @@ std::size_t read_trace_file(const std::string& path, LogDatabase& db);
 std::vector<std::uint8_t> encode_trace(
     const monitor::CollectedLogs& logs,
     std::uint32_t version = kTraceFormatDefault);
+
+// The frozen record-major v4 writer (per-record interleaved varint loops,
+// the encoder before DESIGN.md Sec. 15).  Kept as the byte-identity
+// reference the columnar writer is tested against, and as the baseline
+// bench_trace_io measures the column-encode speedup from.  v3 has no
+// columnar form, so both entry points share one v3 encoder.
+std::vector<std::uint8_t> encode_trace_recmajor(
+    const monitor::CollectedLogs& logs,
+    std::uint32_t version = kTraceFormatDefault);
+
+// ColumnBundle-native v4 encode: collector/decoder columns go straight to
+// wire bytes -- batched varint emission, SIMD delta/zig-zag transform
+// passes, no record-major round trip.  The bundle's string table is
+// emitted verbatim (ids already assigned), so a decode -> encode round
+// trip reproduces the original segment byte for byte.  Throws TraceIoError
+// when the bundle is inconsistent (column sizes vs count, run coverage,
+// ids out of table range, domain identity strings missing from the table).
+std::vector<std::uint8_t> encode_trace_columns(const ColumnBundle& cols);
+
+// Multi-segment encode: one segment per bundle, packed concurrently on the
+// shared WorkerPool when there is enough work, results committed in input
+// order -- so the concatenation (and every segment) is byte-identical to a
+// serial encode loop, across kernels and worker counts.
+std::vector<std::vector<std::uint8_t>> encode_trace_stream(
+    std::span<const monitor::CollectedLogs> bundles,
+    std::uint32_t version = kTraceFormatDefault);
+std::vector<std::vector<std::uint8_t>> encode_trace_columns_stream(
+    std::span<const ColumnBundle> bundles);
 std::size_t decode_trace(std::span<const std::uint8_t> bytes, LogDatabase& db);
 inline std::size_t decode_trace(const std::vector<std::uint8_t>& bytes,
                                 LogDatabase& db) {
@@ -171,6 +199,11 @@ class TraceWriter {
 
   // Appends `logs` as one segment and flushes.  Throws on short writes.
   void append(const monitor::CollectedLogs& logs);
+
+  // Column-native append: encodes the bundle with encode_trace_columns
+  // (no record-major round trip) and appends it as one segment.  Only
+  // valid on a v4 writer -- v3 has no columnar form.
+  void append(const ColumnBundle& cols);
 
   // Appends one pre-encoded segment verbatim (validated to be exactly one
   // well-formed segment) and flushes.  Lets a relay -- the collector

@@ -30,14 +30,16 @@ class WireError : public std::runtime_error {
 };
 
 // The batch column decoders (WireCursor::read_varint_column and friends)
-// dispatch to one of these kernels, resolved once per process: the widest
-// variant the build compiled in (CAUSEWAY_SIMD) *and* the CPU supports,
-// overridable with CAUSEWAY_KERNEL=scalar|swar|sse|avx2|neon or
-// force_varint_kernel() (tests and benches pin variants to compare them).
-// Every kernel decodes the same bytes to the same values and raises the
-// same WireError text at the same byte -- the strict scalar decoder is the
-// single source of truth that every fast path falls back to for anything
-// but well-formed in-bounds runs.
+// and encoders (WireBuffer::write_varint_column and friends) dispatch to
+// one of these kernels, resolved once per process: the widest variant the
+// build compiled in (CAUSEWAY_SIMD) *and* the CPU supports, overridable
+// with CAUSEWAY_KERNEL=scalar|swar|sse|avx2|neon or force_varint_kernel()
+// (tests and benches pin variants to compare them).  Every kernel decodes
+// the same bytes to the same values and raises the same WireError text at
+// the same byte -- the strict scalar decoder is the single source of truth
+// that every fast path falls back to for anything but well-formed
+// in-bounds runs.  On the write side the contract is even simpler: LEB128
+// is canonical, so every kernel emits byte-identical output.
 enum class VarintKernel : std::uint8_t {
   kScalar = 0,  // one strict LEB128 decode per value (the reference)
   kSwar = 1,    // 8-byte word-at-a-time, portable C++
@@ -96,6 +98,26 @@ constexpr std::int64_t zigzag_decode(std::uint64_t z) {
          -static_cast<std::int64_t>(z & 1);
 }
 
+// In-place batched transforms over whole columns -- the delta/zig-zag
+// passes the v4 codec runs before varint emission (encode) and after
+// varint decode.  Dispatched like the varint kernels (AVX2 when active,
+// scalar otherwise), but every variant is exact integer math, so results
+// are bit-identical under every kernel -- the differential test enforces
+// it.  All arithmetic is two's-complement wrapping (done in uint64), never
+// signed overflow.
+//
+//   zigzag_encode_column  each int64 (carried as its uint64 bit pattern)
+//                         becomes its zig-zag mapping
+//   zigzag_decode_column  the inverse, over freshly decoded raw varints
+//   delta_encode_column   values[i] -= values[i-1] (values[0] kept): the
+//                         difference column the v4 writer stores
+//   prefix_sum_column     the inverse: wrapping inclusive prefix sum over
+//                         a decoded delta column
+void zigzag_encode_column(std::uint64_t* values, std::size_t n);
+void zigzag_decode_column(std::int64_t* values, std::size_t n);
+void delta_encode_column(std::uint64_t* values, std::size_t n);
+void prefix_sum_column(std::int64_t* values, std::size_t n);
+
 class WireBuffer {
  public:
   WireBuffer() = default;
@@ -128,6 +150,19 @@ class WireBuffer {
 
   void write_svarint(std::int64_t v) { write_varint(zigzag_encode(v)); }
 
+  // Bulk LEB128 encode: appends exactly the bytes n write_varint() calls
+  // would, but batched through the active varint kernel -- runs of short
+  // values pack a word (SWAR) or a vector register (SSE/AVX2/NEON) at a
+  // time into a size-bounded scratch block before landing in the buffer.
+  // LEB128 is canonical (each value has exactly one encoding), so kernel
+  // choice can never change the bytes; the differential test and the
+  // forced-kernel ctest legs enforce it.  Defined in wire.cpp.
+  void write_varint_column(const std::uint64_t* values, std::size_t n);
+
+  // Bulk zig-zag encode: n svarints (no delta folding; callers own the
+  // delta transform because run boundaries reset it).
+  void write_svarint_column(const std::int64_t* values, std::size_t n);
+
   void write_string(std::string_view s) {
     write_u32(static_cast<std::uint32_t>(s.size()));
     bytes_.insert(bytes_.end(), s.begin(), s.end());
@@ -154,6 +189,8 @@ class WireBuffer {
       bytes_[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
     }
   }
+
+  void reserve(std::size_t n) { bytes_.reserve(n); }
 
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
   std::vector<std::uint8_t> take() && { return std::move(bytes_); }

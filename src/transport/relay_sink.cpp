@@ -69,7 +69,10 @@ void RelaySink::on_segment(const PeerInfo& peer,
                            std::span<const std::uint8_t> segment) {
   // The segment is forwarded verbatim -- the whole point of the shared
   // framing -- so only its header is read, for the record count the
-  // forward/drop ledgers run on.
+  // forward/drop ledgers run on.  A relay that ever needs to re-pack
+  // (filter, re-chunk) can decode_trace_columns + encode_trace_columns and
+  // stay byte-identical without assembling records; verbatim forwarding
+  // stays the default because it is free.
   const std::uint64_t records = analysis::trace_segment_record_count(segment);
   std::lock_guard lk(mutex_);
   Route* route = route_for_peer(peer.peer_id);

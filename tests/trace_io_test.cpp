@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -751,7 +752,194 @@ TEST(TraceIo, GoldenV4DecodesIdenticallyAcrossAllKernels) {
   force_varint_kernel(previous);
   EXPECT_FALSE(reference.empty());
 }
+
+TEST(TraceIo, GoldenV4ColumnReencodeByteIdenticalAcrossKernels) {
+  // The write-side cross-kernel pin: decode the committed fixture to
+  // column bundles, re-encode them through encode_trace_columns under
+  // every available kernel, and require the exact original file back.
+  const std::string golden =
+      std::string(CAUSEWAY_TEST_DATA_DIR) + "/golden_v4.cwt";
+  std::ifstream in(golden, std::ios::binary);
+  ASSERT_TRUE(in) << golden;
+  const std::vector<std::uint8_t> original(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ASSERT_FALSE(original.empty());
+
+  const std::vector<ColumnBundle> bundles = decode_trace_columns(original);
+  ASSERT_FALSE(bundles.empty());
+
+  const VarintKernel previous = active_varint_kernel();
+  for (VarintKernel kernel :
+       {VarintKernel::kScalar, VarintKernel::kSwar, VarintKernel::kSse,
+        VarintKernel::kAvx2, VarintKernel::kNeon}) {
+    if (!varint_kernel_available(kernel)) continue;
+    force_varint_kernel(kernel);
+    const auto path = std::filesystem::temp_directory_path() /
+                      "causeway_golden_v4_col.cwt";
+    {
+      TraceWriter writer(path.string(), kTraceFormatV4);
+      for (const ColumnBundle& cols : bundles) writer.append(cols);
+      writer.close();
+    }
+    std::ifstream re(path, std::ios::binary);
+    const std::vector<std::uint8_t> reencoded(
+        (std::istreambuf_iterator<char>(re)),
+        std::istreambuf_iterator<char>());
+    std::filesystem::remove(path);
+    EXPECT_EQ(reencoded, original)
+        << "column re-encode not byte-stable under kernel "
+        << std::string(to_string(kernel));
+  }
+  force_varint_kernel(previous);
+}
 #endif
+
+TEST(TraceIo, ColumnarEncodeMatchesRecmajorReference) {
+  // The tentpole byte-identity contract: the columnar v4 writer must
+  // reproduce the frozen record-major writer's bytes exactly, under every
+  // available kernel, on a workload big enough to exercise every vector
+  // block width and the mixed-magnitude fallbacks.
+  workload::LogSynthConfig config;
+  config.total_calls = 3'000;
+  LogDatabase source;
+  workload::synthesize_logs(config, source);
+  monitor::CollectedLogs logs;
+  logs.records = source.records();
+  logs.epoch = 12;
+  logs.dropped = 3;
+
+  const auto reference = encode_trace_recmajor(logs, kTraceFormatV4);
+  const VarintKernel previous = active_varint_kernel();
+  for (VarintKernel kernel :
+       {VarintKernel::kScalar, VarintKernel::kSwar, VarintKernel::kSse,
+        VarintKernel::kAvx2, VarintKernel::kNeon}) {
+    if (!varint_kernel_available(kernel)) continue;
+    force_varint_kernel(kernel);
+    EXPECT_EQ(encode_trace(logs, kTraceFormatV4), reference)
+        << "kernel " << std::string(to_string(kernel));
+  }
+  force_varint_kernel(previous);
+
+  // v3 is untouched by the columnar writer: both entry points emit the
+  // same record-major bytes.
+  EXPECT_EQ(encode_trace(logs, kTraceFormatV3),
+            encode_trace_recmajor(logs, kTraceFormatV3));
+}
+
+TEST(TraceIo, EncodeTraceColumnsRoundTripsThroughDecode) {
+  // encode -> column decode -> column encode reproduces the segment.
+  const auto logs = sample_logs();
+  const auto bytes = encode_trace(logs, kTraceFormatV4);
+  const std::vector<ColumnBundle> bundles = decode_trace_columns(bytes);
+  ASSERT_EQ(bundles.size(), 1u);
+  EXPECT_EQ(encode_trace_columns(bundles[0]), bytes);
+}
+
+TEST(TraceIo, EncodeStreamMatchesSerialLoop) {
+  // Multi-segment packing (parallel when the pool allows) must commit in
+  // input order and byte-match a serial encode of each bundle, for both
+  // the record-major and column-native entry points.
+  workload::LogSynthConfig config;
+  config.total_calls = 1'500;
+  // The sources stay alive for the whole test: the records hold
+  // string_views into each database's intern pool.
+  std::deque<LogDatabase> sources;
+  std::vector<monitor::CollectedLogs> bundles;
+  for (std::uint64_t epoch = 1; epoch <= 6; ++epoch) {
+    LogDatabase& source = sources.emplace_back();
+    config.seed = 40 + epoch;
+    workload::synthesize_logs(config, source);
+    monitor::CollectedLogs logs;
+    logs.records = source.records();
+    logs.epoch = epoch;
+    bundles.push_back(std::move(logs));
+  }
+
+  const auto encoded = encode_trace_stream(bundles);
+  ASSERT_EQ(encoded.size(), bundles.size());
+  std::vector<std::uint8_t> concat;
+  for (std::size_t i = 0; i < bundles.size(); ++i) {
+    EXPECT_EQ(encoded[i], encode_trace(bundles[i])) << "segment " << i;
+    concat.insert(concat.end(), encoded[i].begin(), encoded[i].end());
+  }
+
+  const std::vector<ColumnBundle> columns = decode_trace_columns(concat);
+  ASSERT_EQ(columns.size(), bundles.size());
+  const auto col_encoded = encode_trace_columns_stream(columns);
+  ASSERT_EQ(col_encoded.size(), columns.size());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    EXPECT_EQ(col_encoded[i], encoded[i]) << "segment " << i;
+  }
+}
+
+TEST(TraceIo, TraceWriterColumnAppendMatchesRecordAppend) {
+  const auto logs = sample_logs();
+  const auto bytes = encode_trace(logs, kTraceFormatV4);
+  const std::vector<ColumnBundle> bundles = decode_trace_columns(bytes);
+  ASSERT_EQ(bundles.size(), 1u);
+
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto rec_path = dir / "causeway_colappend_rec.cwt";
+  const auto col_path = dir / "causeway_colappend_col.cwt";
+  {
+    TraceWriter writer(rec_path.string(), kTraceFormatV4);
+    writer.append(logs);
+    writer.close();
+  }
+  {
+    TraceWriter writer(col_path.string(), kTraceFormatV4);
+    writer.append(bundles[0]);
+    EXPECT_EQ(writer.records_written(), logs.records.size());
+    writer.close();
+  }
+  auto slurp = [](const std::filesystem::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                     std::istreambuf_iterator<char>());
+  };
+  EXPECT_EQ(slurp(col_path), slurp(rec_path));
+  std::filesystem::remove(rec_path);
+  std::filesystem::remove(col_path);
+
+  // v3 writers have no columnar form.
+  const auto v3_path = dir / "causeway_colappend_v3.cwt";
+  TraceWriter v3_writer(v3_path.string(), kTraceFormatV3);
+  EXPECT_THROW(v3_writer.append(bundles[0]), TraceIoError);
+  v3_writer.close();
+  std::filesystem::remove(v3_path);
+}
+
+TEST(TraceIo, EncodeTraceColumnsValidatesBundle) {
+  const auto bytes = encode_trace(sample_logs(), kTraceFormatV4);
+  const std::vector<ColumnBundle> bundles = decode_trace_columns(bytes);
+  ASSERT_EQ(bundles.size(), 1u);
+
+  {  // column length disagrees with count
+    ColumnBundle bad = bundles[0];
+    bad.seq.pop_back();
+    EXPECT_THROW(encode_trace_columns(bad), TraceIoError);
+  }
+  {  // runs no longer cover the records
+    ColumnBundle bad = bundles[0];
+    bad.runs.back().length -= 1;
+    EXPECT_THROW(encode_trace_columns(bad), TraceIoError);
+  }
+  {  // string id out of table range
+    ColumnBundle bad = bundles[0];
+    bad.iface[0] = static_cast<std::uint32_t>(bad.table.size());
+    EXPECT_THROW(encode_trace_columns(bad), TraceIoError);
+  }
+  {  // spawned entries must match the flags2 presence bits
+    ColumnBundle bad = bundles[0];
+    bad.spawned.push_back(Uuid::generate());
+    EXPECT_THROW(encode_trace_columns(bad), TraceIoError);
+  }
+  {  // domain identity string absent from the table
+    ColumnBundle bad = bundles[0];
+    bad.domains[0].identity.process_name = "no-such-process";
+    EXPECT_THROW(encode_trace_columns(bad), TraceIoError);
+  }
+}
 
 TEST(TraceIo, ColumnIngestMatchesRecordIngestAcrossShardCounts) {
   // The column fast path (decode_trace_columns + ingest(ColumnBundle)) and

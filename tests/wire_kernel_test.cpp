@@ -287,6 +287,239 @@ TEST(WireKernel, ColumnMatchesSingleValueReadsMidStream) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Encode side.  LEB128 is canonical, so the contract is stronger than
+// decode's: every kernel must emit *byte-identical* output, which the
+// single-value write_varint loop (the path that predates the batch
+// kernels) defines.
+
+std::vector<std::uint8_t> encode_column(const std::vector<std::uint64_t>& v,
+                                        VarintKernel kernel) {
+  KernelGuard guard;
+  force_varint_kernel(kernel);
+  WireBuffer buffer;
+  buffer.write_varint_column(v.data(), v.size());
+  return buffer.bytes();
+}
+
+std::vector<std::uint64_t> random_column(std::mt19937_64& rng,
+                                         std::size_t n) {
+  std::vector<std::uint64_t> values(n);
+  for (auto& v : values) {
+    switch (rng() % 8) {
+      case 0: v = rng() % 2; break;
+      case 1: v = rng() % 128; break;
+      case 2: v = rng() % 16384; break;
+      case 3: v = rng() % (1ull << 21); break;
+      case 4: v = rng() % (1ull << 35); break;
+      case 5: v = rng() % (1ull << 56); break;
+      case 6: v = rng(); break;
+      default: v = ~0ull; break;
+    }
+  }
+  return values;
+}
+
+TEST(WireKernel, EncodeColumnBytesIdenticalAcrossKernels) {
+  std::mt19937_64 rng(20260808);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = rng() % 700;  // includes n == 0
+    const std::vector<std::uint64_t> values = random_column(rng, n);
+
+    // Reference: the scalar single-value writer.
+    WireBuffer reference;
+    for (std::uint64_t v : values) reference.write_varint(v);
+
+    for (VarintKernel kernel : available_kernels()) {
+      EXPECT_EQ(encode_column(values, kernel), reference.bytes())
+          << "trial " << trial << " kernel "
+          << std::string(to_string(kernel));
+    }
+  }
+}
+
+TEST(WireKernel, EncodeDecodeRoundTripEveryKernelPair) {
+  // Encode with kernel A, decode with kernel B, for every available pair.
+  std::mt19937_64 rng(31337);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + rng() % 500;
+    const std::vector<std::uint64_t> values = random_column(rng, n);
+    for (VarintKernel enc : available_kernels()) {
+      const std::vector<std::uint8_t> bytes = encode_column(values, enc);
+      for (VarintKernel dec : available_kernels()) {
+        const ColumnOutcome got = decode_column(bytes, n, dec);
+        ASSERT_FALSE(got.threw)
+            << "enc " << std::string(to_string(enc)) << " dec "
+            << std::string(to_string(dec)) << ": " << got.error;
+        EXPECT_EQ(got.values, values)
+            << "trial " << trial << " enc " << std::string(to_string(enc))
+            << " dec " << std::string(to_string(dec));
+        EXPECT_EQ(got.position, bytes.size());
+      }
+    }
+  }
+}
+
+TEST(WireKernel, SvarintColumnExtremesRoundTripEveryKernelPair) {
+  std::vector<std::int64_t> values = {INT64_MIN, INT64_MAX, 0, -1, 1,
+                                      INT64_MIN + 1, INT64_MAX - 1, -128,
+                                      127, -(1ll << 40), (1ll << 40)};
+  // Pad to cross the vector block width with extremes on both edges.
+  for (int i = 0; i < 40; ++i) values.push_back(i % 2 ? INT64_MIN : i);
+  for (VarintKernel enc : available_kernels()) {
+    KernelGuard guard;
+    force_varint_kernel(enc);
+    WireBuffer buffer;
+    buffer.write_svarint_column(values.data(), values.size());
+
+    // Reference bytes from the single-value writer.
+    WireBuffer reference;
+    for (std::int64_t v : values) reference.write_svarint(v);
+    EXPECT_EQ(buffer.bytes(), reference.bytes())
+        << "enc " << std::string(to_string(enc));
+
+    for (VarintKernel dec : available_kernels()) {
+      force_varint_kernel(dec);
+      WireCursor cursor(buffer);
+      std::vector<std::int64_t> got(values.size());
+      cursor.read_svarint_column(got.data(), got.size());
+      EXPECT_EQ(got, values) << "enc " << std::string(to_string(enc))
+                             << " dec " << std::string(to_string(dec));
+      EXPECT_EQ(cursor.remaining(), 0u);
+    }
+  }
+}
+
+TEST(WireKernel, WriteColumnAppendsMidStream) {
+  // Column writes must compose with scalar writes exactly like a loop of
+  // write_varint calls would (the v4 segment encoder interleaves both).
+  const std::vector<std::uint64_t> values = {1, 200, 1ull << 30, 7, ~0ull,
+                                             0, 65, 1ull << 20, 3};
+  for (VarintKernel kernel : available_kernels()) {
+    KernelGuard guard;
+    force_varint_kernel(kernel);
+    WireBuffer buffer;
+    buffer.write_u32(0xdeadbeef);
+    buffer.write_varint_column(values.data(), values.size());
+    buffer.write_u32(0xfeedface);
+
+    WireBuffer reference;
+    reference.write_u32(0xdeadbeef);
+    for (std::uint64_t v : values) reference.write_varint(v);
+    reference.write_u32(0xfeedface);
+    EXPECT_EQ(buffer.bytes(), reference.bytes())
+        << "kernel " << std::string(to_string(kernel));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transform passes (zig-zag, delta, prefix-sum) over whole columns: the
+// dispatched implementation must match a freshly-written scalar reference
+// under every kernel pin, including the INT64 edge values.
+
+TEST(WireKernel, ZigZagEncodeColumnMatchesScalarReference) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = rng() % 300;
+    std::vector<std::uint64_t> raw(n);
+    for (auto& v : raw) v = rng();
+    if (n > 2) {
+      raw[0] = static_cast<std::uint64_t>(INT64_MIN);
+      raw[1] = static_cast<std::uint64_t>(INT64_MAX);
+    }
+    std::vector<std::uint64_t> expected(raw);
+    for (auto& v : expected) {
+      v = zigzag_encode(static_cast<std::int64_t>(v));
+    }
+    for (VarintKernel kernel : available_kernels()) {
+      KernelGuard guard;
+      force_varint_kernel(kernel);
+      std::vector<std::uint64_t> got(raw);
+      zigzag_encode_column(got.data(), got.size());
+      EXPECT_EQ(got, expected) << "trial " << trial << " kernel "
+                               << std::string(to_string(kernel));
+    }
+  }
+}
+
+TEST(WireKernel, ZigZagDecodeColumnInvertsEncode) {
+  std::mt19937_64 rng(100);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = rng() % 300;
+    std::vector<std::int64_t> original(n);
+    for (auto& v : original) v = static_cast<std::int64_t>(rng());
+    if (n > 2) {
+      original[0] = INT64_MIN;
+      original[1] = INT64_MAX;
+    }
+    for (VarintKernel kernel : available_kernels()) {
+      KernelGuard guard;
+      force_varint_kernel(kernel);
+      std::vector<std::uint64_t> encoded(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        encoded[i] = zigzag_encode(original[i]);
+      }
+      auto* as_signed = reinterpret_cast<std::int64_t*>(encoded.data());
+      zigzag_decode_column(as_signed, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(as_signed[i], original[i])
+            << "trial " << trial << " index " << i << " kernel "
+            << std::string(to_string(kernel));
+      }
+    }
+  }
+}
+
+TEST(WireKernel, DeltaEncodePrefixSumRoundTrip) {
+  std::mt19937_64 rng(101);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = rng() % 300;
+    std::vector<std::uint64_t> original(n);
+    for (auto& v : original) v = rng();
+    for (VarintKernel kernel : available_kernels()) {
+      KernelGuard guard;
+      force_varint_kernel(kernel);
+
+      // delta_encode_column must match the obvious backward scalar loop.
+      std::vector<std::uint64_t> deltas(original);
+      delta_encode_column(deltas.data(), deltas.size());
+      std::vector<std::uint64_t> expected(original);
+      for (std::size_t i = expected.size(); i-- > 1;) {
+        expected[i] -= expected[i - 1];
+      }
+      EXPECT_EQ(deltas, expected) << "trial " << trial << " kernel "
+                                  << std::string(to_string(kernel));
+
+      // prefix_sum_column over the deltas restores the original column
+      // (all arithmetic is wrapping uint64, so this holds for any input).
+      prefix_sum_column(reinterpret_cast<std::int64_t*>(deltas.data()),
+                        deltas.size());
+      EXPECT_EQ(deltas, original) << "trial " << trial << " kernel "
+                                  << std::string(to_string(kernel));
+    }
+  }
+}
+
+TEST(WireKernel, TransformPassesHandleEmptyAndSingle) {
+  for (VarintKernel kernel : available_kernels()) {
+    KernelGuard guard;
+    force_varint_kernel(kernel);
+    zigzag_encode_column(nullptr, 0);
+    zigzag_decode_column(nullptr, 0);
+    delta_encode_column(nullptr, 0);
+    prefix_sum_column(nullptr, 0);
+    std::uint64_t one = static_cast<std::uint64_t>(-17);
+    zigzag_encode_column(&one, 1);
+    EXPECT_EQ(one, zigzag_encode(std::int64_t{-17}));
+    std::int64_t sone = 42;
+    prefix_sum_column(&sone, 1);
+    EXPECT_EQ(sone, 42);
+    std::uint64_t done = 9;
+    delta_encode_column(&done, 1);
+    EXPECT_EQ(done, 9u);
+  }
+}
+
 TEST(WireKernel, KernelNamesRoundTrip) {
   EXPECT_EQ(to_string(VarintKernel::kScalar), "scalar");
   EXPECT_EQ(to_string(VarintKernel::kSwar), "swar");

@@ -27,6 +27,14 @@
 // a proper trailer is appended -- so every future open gets the O(segments)
 // footer path instead of the sequential skim.  Traces that already end in a
 // valid trailer are left untouched.
+//
+// --reencode=PATH is a second maintenance mode: the (single, v4) input
+// trace is decoded to column bundles and re-encoded segment-by-segment
+// through the columnar writer into PATH.  The output is byte-identical to
+// the input for any well-formed closed v4 trace -- the CI forced-kernel
+// legs compare the files to pin the write-side kernel contract.
+// --reencode-serial forces the serial per-segment loop (no WorkerPool), so
+// the same comparison also pins worker-count invariance.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -56,7 +64,8 @@ int usage() {
                "           [--follow] [--poll-ms=N] [--idle-exit-ms=N]\n"
                "           [--anomalies=stderr|jsonl:PATH|none]\n"
                "           [--max-nodes=N] [--ingest-shards=N] [-o <file>]\n"
-               "           [--reindex]\n");
+               "           [--reindex] [--reencode=PATH [--reencode-serial]]"
+               "\n");
   return 2;
 }
 
@@ -102,6 +111,8 @@ int main(int argc, char** argv) {
   std::size_t ingest_shards = 0;  // 0 = auto
   bool follow = false;
   bool reindex = false;
+  std::string reencode;
+  bool reencode_serial = false;
   std::uint64_t poll_ms = 200;
   std::uint64_t idle_exit_ms = 0;  // 0 = follow forever
 
@@ -116,6 +127,10 @@ int main(int argc, char** argv) {
       follow = true;
     } else if (arg == "--reindex") {
       reindex = true;
+    } else if (arg.rfind("--reencode=", 0) == 0) {
+      reencode = arg.substr(11);
+    } else if (arg == "--reencode-serial") {
+      reencode_serial = true;
     } else if (arg.rfind("--poll-ms=", 0) == 0) {
       poll_ms = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 10));
     } else if (arg.rfind("--idle-exit-ms=", 0) == 0) {
@@ -161,6 +176,45 @@ int main(int argc, char** argv) {
         }
       }
       return rc;
+    }
+
+    if (!reencode.empty()) {
+      if (inputs.size() != 1) {
+        std::fprintf(stderr,
+                     "causeway-analyze --reencode wants exactly one trace\n");
+        return 2;
+      }
+      std::ifstream in(inputs[0], std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "causeway-analyze: cannot open '%s'\n",
+                     inputs[0].c_str());
+        return 1;
+      }
+      const std::vector<std::uint8_t> bytes(
+          (std::istreambuf_iterator<char>(in)),
+          std::istreambuf_iterator<char>());
+      const std::vector<analysis::ColumnBundle> bundles =
+          analysis::decode_trace_columns(bytes);
+      analysis::TraceWriter writer(reencode, analysis::kTraceFormatV4);
+      if (reencode_serial) {
+        // One column-native append per segment: the serial path the
+        // parallel stream encode must byte-match.
+        for (const analysis::ColumnBundle& cols : bundles) {
+          writer.append(cols);
+        }
+      } else {
+        const auto segments = analysis::encode_trace_columns_stream(bundles);
+        for (const auto& segment : segments) {
+          writer.append_encoded(segment);
+        }
+      }
+      writer.close();
+      std::size_t records = 0;
+      for (const auto& cols : bundles) records += cols.count;
+      std::fprintf(stderr, "%s: re-encoded %zu segments (%zu records) to %s\n",
+                   inputs[0].c_str(), writer.segments(), records,
+                   reencode.c_str());
+      return 0;
     }
 
     if (format == "diff") {
