@@ -1,0 +1,242 @@
+// Query-engine bench: what the catalog buys and what compression costs.
+//
+// One synthesized logsynth stream is chunked into epoch-sized segments and
+// written through StoreWriter twice -- an uncompressed v4 store and a
+// --compress v5 store -- each rotated into ~16 sealed files.  Four rows:
+//
+//   full-scan v4     count + avg(latency) group by iface, no window: every
+//                    file opens, every segment decodes.  The baseline.
+//   pruned window    the same aggregation windowed to one middle file's
+//                    catalog range: the planner must open only the files
+//                    whose range intersects, so the row reports both the
+//                    speedup and the opened/pruned counts.
+//   pruned chain     count for a chain UUID no file contains: the bloom
+//                    digest should prune (nearly) everything -- the
+//                    metadata-only floor of query latency.
+//   full-scan v5     the baseline query against the compressed store --
+//                    the per-column inflate cost on the decode path.
+//
+// Before timing, the v4 and v5 full-scan CSV renderings are compared:
+// compression changing a byte of query output aborts the bench rather
+// than timing a wrong answer.
+//
+// Emits BENCH_query.json in the working directory (CI invokes every bench
+// from the repo root); override with --json=PATH, shrink with --calls=N,
+// reshape with --segments=N / --files=N / --reps=N.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/trace_io.h"
+#include "common/compress.h"
+#include "query/engine.h"
+#include "query/parser.h"
+#include "store/store.h"
+#include "workload/logsynth.h"
+
+namespace {
+
+using namespace causeway;
+using Clock = std::chrono::steady_clock;
+
+struct QueryRow {
+  std::string name;
+  double seconds{0};       // best-of-reps for one run of the query
+  std::size_t files_total{0};
+  std::size_t files_opened{0};
+  std::size_t files_pruned{0};
+  std::uint64_t spans_matched{0};
+  double ms_per_query() const { return seconds * 1e3; }
+};
+
+QueryRow time_query(const std::string& name, const std::string& text,
+                    const std::string& store_dir, int reps) {
+  const query::Query q = query::parse_query(text);
+  QueryRow row;
+  row.name = name;
+  row.seconds = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = Clock::now();
+    const query::QueryResult result = query::run_query(q, {store_dir});
+    const auto t1 = Clock::now();
+    row.seconds =
+        std::min(row.seconds, std::chrono::duration<double>(t1 - t0).count());
+    row.files_total = result.stats.files_total;
+    row.files_opened = result.stats.files_opened;
+    row.files_pruned = result.stats.files_pruned;
+    row.spans_matched = result.stats.spans_matched;
+  }
+  return row;
+}
+
+void print_row(const QueryRow& r) {
+  std::printf("%-16s %9.2f ms/query | files %2zu/%-2zu opened "
+              "(%zu pruned) | %llu spans\n",
+              r.name.c_str(), r.ms_per_query(), r.files_opened,
+              r.files_total, r.files_pruned,
+              static_cast<unsigned long long>(r.spans_matched));
+}
+
+void write_json(const std::string& path, std::size_t cores,
+                std::size_t records, const std::vector<QueryRow>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n"
+      << "  \"bench\": \"bench_query\",\n"
+      << "  \"hardware_concurrency\": " << cores << ",\n"
+      << "  \"records\": " << records << ",\n"
+      << "  \"compression_available\": "
+      << (compression_available() ? "true" : "false") << ",\n"
+      << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const QueryRow& r = rows[i];
+    char buf[384];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"ms_per_query\": %.3f, "
+                  "\"files_total\": %zu, \"files_opened\": %zu, "
+                  "\"files_pruned\": %zu, \"spans_matched\": %llu}%s\n",
+                  r.name.c_str(), r.ms_per_query(), r.files_total,
+                  r.files_opened, r.files_pruned,
+                  static_cast<unsigned long long>(r.spans_matched),
+                  i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_query.json";
+  std::size_t calls = 120'000;
+  std::size_t segments = 64;
+  std::size_t files = 16;
+  int reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--calls=", 8) == 0) {
+      calls = static_cast<std::size_t>(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--segments=", 11) == 0) {
+      segments = static_cast<std::size_t>(std::atoll(argv[i] + 11));
+    } else if (std::strncmp(argv[i], "--files=", 8) == 0) {
+      files = static_cast<std::size_t>(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::atoi(argv[i] + 7);
+    }
+  }
+  const std::size_t cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  // Synthesize once, chunk into epoch-sized segments like a streamed run.
+  std::printf("synthesizing %zu calls...\n", calls);
+  analysis::LogDatabase source(1);
+  workload::LogSynthConfig config;
+  config.total_calls = calls;
+  workload::synthesize_logs(config, source);
+  const auto& records = source.records();
+  const std::size_t per_segment =
+      std::max<std::size_t>(1, (records.size() + segments - 1) / segments);
+  std::vector<monitor::CollectedLogs> bundles;
+  for (std::size_t off = 0; off < records.size(); off += per_segment) {
+    monitor::CollectedLogs bundle;
+    bundle.epoch = bundles.size() + 1;
+    const std::size_t n = std::min(per_segment, records.size() - off);
+    bundle.records.assign(records.begin() + static_cast<long>(off),
+                          records.begin() + static_cast<long>(off + n));
+    // Shift each epoch onto its own timestamp plateau, like a long-running
+    // system rotating over hours: sealed files then cover disjoint catalog
+    // ranges, which is what gives a time window something to prune.
+    const std::int64_t plateau =
+        static_cast<std::int64_t>(bundle.epoch) * (1ll << 40);
+    for (auto& record : bundle.records) {
+      record.value_start += plateau;
+      record.value_end += plateau;
+    }
+    bundles.push_back(std::move(bundle));
+  }
+
+  namespace fs = std::filesystem;
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("bench_query_" + std::to_string(::getpid()));
+  fs::remove_all(scratch);
+  auto build_store = [&](const char* name, std::uint32_t format) {
+    const std::string dir = (scratch / name).string();
+    store::StoreOptions options;
+    options.rotate_segments =
+        std::max<std::size_t>(1, bundles.size() / std::max<std::size_t>(1, files));
+    options.trace_format = format;
+    store::StoreWriter writer(dir, options);
+    for (const auto& b : bundles) writer.append(b);
+    writer.close();
+    return dir;
+  };
+  const std::string dir_v4 = build_store("v4", analysis::kTraceFormatV4);
+  const std::string dir_v5 = build_store("v5", analysis::kTraceFormatV5);
+
+  std::printf("=== query engine: %zu records, %zu segments -> %zu files, "
+              "%zu cores, zlib %s ===\n\n",
+              records.size(), bundles.size(),
+              store::open_store(dir_v4).files.size(), cores,
+              compression_available() ? "on" : "off");
+
+  // Compression must never change a byte of query output.
+  const char* kBaseline = "count, avg(latency) group by iface";
+  {
+    const query::Query q = query::parse_query(kBaseline);
+    const std::string a = query::render_csv(query::run_query(q, {dir_v4}));
+    const std::string b = query::render_csv(query::run_query(q, {dir_v5}));
+    if (a != b) {
+      std::fprintf(stderr,
+                   "FATAL: v4 and v5 stores render different results\n");
+      return 1;
+    }
+  }
+
+  // A window covering one middle file's catalog range, for the pruned row.
+  const store::StoreView view = store::open_store(dir_v4);
+  const auto& mid = view.files[view.files.size() / 2].entry;
+  const std::string windowed =
+      std::string(kBaseline) + " since " + std::to_string(mid.min_ts) +
+      " until " + std::to_string(mid.max_ts);
+  const char* kAbsentChain =
+      "count where chain == ffffffff-ffff-ffff-ffff-ffffffffffff";
+
+  std::vector<QueryRow> rows;
+  rows.push_back(time_query("full-scan v4", kBaseline, dir_v4, reps));
+  print_row(rows.back());
+  rows.push_back(time_query("pruned window", windowed, dir_v4, reps));
+  print_row(rows.back());
+  rows.push_back(time_query("pruned chain", kAbsentChain, dir_v4, reps));
+  print_row(rows.back());
+  rows.push_back(time_query("full-scan v5", kBaseline, dir_v5, reps));
+  print_row(rows.back());
+
+  const QueryRow& full = rows[0];
+  const QueryRow& pruned = rows[1];
+  if (pruned.files_opened >= pruned.files_total) {
+    std::fprintf(stderr, "FATAL: windowed query pruned nothing "
+                         "(%zu of %zu files opened)\n",
+                 pruned.files_opened, pruned.files_total);
+    return 1;
+  }
+  std::printf("\ncatalog speedup: %.2fx (window opens %zu of %zu files)\n",
+              full.seconds / pruned.seconds, pruned.files_opened,
+              pruned.files_total);
+
+  write_json(json_path, cores, records.size(), rows);
+  std::printf("wrote %s\n", json_path.c_str());
+  fs::remove_all(scratch);
+  return 0;
+}

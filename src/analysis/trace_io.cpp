@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <exception>
 #include <fstream>
@@ -32,8 +33,8 @@ namespace {
 constexpr std::uint32_t kMagic = 0x43575452;     // "CWTR": segment
 constexpr std::uint32_t kDirMagic = 0x43575444;  // "CWTD": directory trailer
 constexpr std::uint32_t kEndMagic = 0x43575445;  // "CWTE": end-of-file mark
-constexpr std::uint32_t kMaxVersion = kTraceFormatV4;
-constexpr std::uint32_t kMinVersion = 2;
+constexpr std::uint32_t kMaxVersion = kTraceFormatMaxReadable;
+constexpr std::uint32_t kMinVersion = kTraceFormatMinReadable;
 constexpr std::uint32_t kDirVersion = 1;
 
 class StringTable {
@@ -342,7 +343,8 @@ struct SegmentColumns {
   std::vector<std::uint64_t> vend;    // zigzag(end - start)
 };
 
-std::vector<std::uint8_t> emit_segment_v4(const SegmentColumns& c) {
+std::vector<std::uint8_t> emit_segment_columnar(const SegmentColumns& c,
+                                                std::uint32_t version) {
   WireBuffer out;
   // Worst-case column bytes are bounded; a coarse reserve keeps the buffer
   // from reallocating mid-segment (~21 wire B/record in practice, so 32
@@ -353,7 +355,7 @@ std::vector<std::uint8_t> emit_segment_v4(const SegmentColumns& c) {
               c.runs.size() * 20 + c.count * 32);
 
   out.write_u32(kMagic);
-  out.write_u32(kTraceFormatV4);
+  out.write_u32(version);
   const std::size_t body_length_at = out.size();
   out.write_u64(0);  // body length, patched once the body is encoded
   const std::size_t body_start = out.size();
@@ -385,24 +387,56 @@ std::vector<std::uint8_t> emit_segment_v4(const SegmentColumns& c) {
     out.write_varint(run.length);
   }
 
-  // The dense columns: seq/value columns were pre-zig-zagged by the
-  // transform passes, so every one is a single batched varint emission.
-  out.write_varint_column(c.seq.data(), c.count);
-  out.append_raw(c.flags1);
-  out.append_raw(c.flags2);
-  for (const Uuid& u : c.spawned) {
-    out.write_u64(u.hi);
-    out.write_u64(u.lo);
+  if (version == kTraceFormatV4) {
+    // The dense columns: seq/value columns were pre-zig-zagged by the
+    // transform passes, so every one is a single batched varint emission.
+    out.write_varint_column(c.seq.data(), c.count);
+    out.append_raw(c.flags1);
+    out.append_raw(c.flags2);
+    for (const Uuid& u : c.spawned) {
+      out.write_u64(u.hi);
+      out.write_u64(u.lo);
+    }
+    out.write_varint_column(c.iface.data(), c.count);
+    out.write_varint_column(c.func.data(), c.count);
+    out.write_varint_column(c.object_key.data(), c.count);
+    out.write_varint_column(c.process.data(), c.count);
+    out.write_varint_column(c.node.data(), c.count);
+    out.write_varint_column(c.type.data(), c.count);
+    out.write_varint_column(c.thread_ordinal.data(), c.count);
+    out.write_varint_column(c.vstart.data(), c.count);
+    out.write_varint_column(c.vend.data(), c.count);
+  } else {
+    // v5: the same thirteen dense columns in the same order, each wrapped
+    // in a column block (optionally deflated when the block wins).  The
+    // column *payloads* are byte-identical to v4 -- same kernels, same
+    // canonical LEB128 -- so a v5 reader recovers exactly the v4 column
+    // bytes before handing them to the shared decoders.
+    WireBuffer col;
+    auto emit_varints = [&](const std::uint64_t* values, std::size_t n) {
+      col.clear();
+      col.write_varint_column(values, n);
+      write_column_block(out, col.bytes(), /*try_deflate=*/true);
+    };
+    emit_varints(c.seq.data(), c.count);
+    write_column_block(out, c.flags1, /*try_deflate=*/true);
+    write_column_block(out, c.flags2, /*try_deflate=*/true);
+    col.clear();
+    for (const Uuid& u : c.spawned) {
+      col.write_u64(u.hi);
+      col.write_u64(u.lo);
+    }
+    write_column_block(out, col.bytes(), /*try_deflate=*/true);
+    emit_varints(c.iface.data(), c.count);
+    emit_varints(c.func.data(), c.count);
+    emit_varints(c.object_key.data(), c.count);
+    emit_varints(c.process.data(), c.count);
+    emit_varints(c.node.data(), c.count);
+    emit_varints(c.type.data(), c.count);
+    emit_varints(c.thread_ordinal.data(), c.count);
+    emit_varints(c.vstart.data(), c.count);
+    emit_varints(c.vend.data(), c.count);
   }
-  out.write_varint_column(c.iface.data(), c.count);
-  out.write_varint_column(c.func.data(), c.count);
-  out.write_varint_column(c.object_key.data(), c.count);
-  out.write_varint_column(c.process.data(), c.count);
-  out.write_varint_column(c.node.data(), c.count);
-  out.write_varint_column(c.type.data(), c.count);
-  out.write_varint_column(c.thread_ordinal.data(), c.count);
-  out.write_varint_column(c.vstart.data(), c.count);
-  out.write_varint_column(c.vend.data(), c.count);
 
   out.overwrite_u64(body_length_at, out.size() - body_start);
   return std::move(out).take();
@@ -427,9 +461,10 @@ void transform_columns(SegmentColumns& c) {
   zigzag_encode_column(c.vend.data(), c.count);
 }
 
-// Column-first v4 body: one gather pass (intern + widen + pack flags +
+// Column-first v4/v5 body: one gather pass (intern + widen + pack flags +
 // run detection), the SIMD transform passes, then batched emission.
-std::vector<std::uint8_t> encode_trace_v4(const monitor::CollectedLogs& logs) {
+std::vector<std::uint8_t> encode_trace_columnar(
+    const monitor::CollectedLogs& logs, std::uint32_t version) {
   SegmentColumns c;
   c.epoch = logs.epoch;
   c.dropped = logs.dropped;
@@ -499,7 +534,7 @@ std::vector<std::uint8_t> encode_trace_v4(const monitor::CollectedLogs& logs) {
   c.spawned = c.spawned_storage;
 
   transform_columns(c);
-  return emit_segment_v4(c);
+  return emit_segment_columnar(c, version);
 }
 
 // Fills SegmentColumns from an already-columnar bundle: ids widen to u64,
@@ -825,7 +860,29 @@ monitor::CollectedLogs decode_segment_v2v3(WireCursor& in,
 // want records assemble via assemble_logs below.  Validation order and
 // error text are independent of the active kernel: every non-well-formed
 // byte sequence routes through the shared strict scalar decoder.
-ColumnBundle decode_segment_v4_columns(WireCursor& in) {
+ColumnBundle decode_segment_v4_columns(WireCursor& in,
+                                       std::uint32_t version) {
+  // v5 wraps each dense column in a column block (common/wire.h): the
+  // payload -- identical bytes to v4, possibly deflated -- is read through
+  // a per-column sub-cursor that must land exactly on its end.  For v4 the
+  // helpers hand back the main cursor and the shared decode body below is
+  // untouched.  `max_decoded` bounds are structural (10 varint bytes per
+  // record, one flag byte per record, 16 bytes per possible spawn), so a
+  // block advertising more is rejected before any allocation.
+  const bool column_blocks = version >= kTraceFormatV5;
+  std::vector<std::uint8_t> block_scratch;
+  std::optional<WireCursor> block_cursor;
+  auto col_begin = [&](std::size_t max_decoded) -> WireCursor& {
+    if (!column_blocks) return in;
+    block_cursor.emplace(read_column_block(in, max_decoded, block_scratch));
+    return *block_cursor;
+  };
+  auto col_end = [&]() {
+    if (column_blocks && block_cursor->remaining() != 0) {
+      throw TraceIoError("trailing bytes in trace column block");
+    }
+  };
+
   ColumnBundle cols;
   cols.epoch = in.read_u64();
   cols.dropped = in.read_u64();
@@ -871,7 +928,17 @@ ColumnBundle decode_segment_v4_columns(WireCursor& in) {
   }
 
   const std::uint64_t count64 = in.read_varint();
-  if (count64 > in.remaining() / kMinV4RecordBytes) {
+  // Pre-allocation bound on the record count.  v4 lower-bounds each
+  // record's wire footprint directly (kMinV4RecordBytes).  v5's deflated
+  // columns can legitimately shrink far below that, so the bound backs
+  // off by deflate's maximum expansion (~1032:1): the thirteen column
+  // blocks still carry at least ~13 compressed bytes per 1032 records,
+  // so remaining*80 safely over-approximates the representable count
+  // while still rejecting a lying header before any resize().
+  const std::uint64_t max_count =
+      column_blocks ? static_cast<std::uint64_t>(in.remaining()) * 80
+                    : in.remaining() / kMinV4RecordBytes;
+  if (count64 > max_count) {
     throw WireError("wire underflow");
   }
   const auto count = static_cast<std::size_t>(count64);
@@ -903,8 +970,12 @@ ColumnBundle decode_segment_v4_columns(WireCursor& in) {
   // prefix sum in place (deltas restart at every run boundary -- which is
   // why the kernels leave accumulation to the caller).
   cols.seq.resize(count);
-  in.read_svarint_column(
-      reinterpret_cast<std::int64_t*>(cols.seq.data()), count);
+  {
+    WireCursor& cin = col_begin(count * 10);
+    cin.read_svarint_column(
+        reinterpret_cast<std::int64_t*>(cols.seq.data()), count);
+    col_end();
+  }
   {
     std::uint64_t* seq = cols.seq.data();
     std::size_t i = 0;
@@ -919,26 +990,36 @@ ColumnBundle decode_segment_v4_columns(WireCursor& in) {
 
   // Flag columns are raw bytes on the wire; copy them out so the bundle
   // outlives the input mapping.
-  const std::string_view flags1 = in.read_view(count);
-  cols.flags1.assign(flags1.begin(), flags1.end());
-  const std::string_view flags2 = in.read_view(count);
-  cols.flags2.assign(flags2.begin(), flags2.end());
+  {
+    WireCursor& cin = col_begin(count);
+    const std::string_view flags1 = cin.read_view(count);
+    cols.flags1.assign(flags1.begin(), flags1.end());
+    col_end();
+  }
+  {
+    WireCursor& cin = col_begin(count);
+    const std::string_view flags2 = cin.read_view(count);
+    cols.flags2.assign(flags2.begin(), flags2.end());
+    col_end();
+  }
 
   // Sparse spawned chains, walked run-major so each run records where its
   // spawn entries start (what lets a shard expand its runs independently).
   {
+    WireCursor& cin = col_begin(count * 16);
     std::size_t i = 0;
     for (auto& run : runs) {
       run.spawn_base = static_cast<std::uint32_t>(cols.spawned.size());
       for (std::uint64_t j = 0; j < run.length; ++j, ++i) {
         if (cols.flags2[i] & 4) {
           Uuid u;
-          u.hi = in.read_u64();
-          u.lo = in.read_u64();
+          u.hi = cin.read_u64();
+          u.lo = cin.read_u64();
           cols.spawned.push_back(u);
         }
       }
     }
+    col_end();
   }
 
   // String-id columns: batched raw decode, then validate + narrow in index
@@ -947,7 +1028,9 @@ ColumnBundle decode_segment_v4_columns(WireCursor& in) {
   std::vector<std::uint64_t> scratch(count);
   auto read_id_column = [&](std::vector<std::uint32_t>& col) {
     col.resize(count);
-    in.read_varint_column(scratch.data(), count);
+    WireCursor& cin = col_begin(count * 10);
+    cin.read_varint_column(scratch.data(), count);
+    col_end();
     for (std::size_t i = 0; i < count; ++i) {
       if (scratch[i] >= strings.size()) {
         throw TraceIoError("string id out of range");
@@ -955,23 +1038,31 @@ ColumnBundle decode_segment_v4_columns(WireCursor& in) {
       col[i] = static_cast<std::uint32_t>(scratch[i]);
     }
   };
+  auto read_u64_column = [&](std::vector<std::uint64_t>& col) {
+    col.resize(count);
+    WireCursor& cin = col_begin(count * 10);
+    cin.read_varint_column(col.data(), count);
+    col_end();
+  };
+  auto read_s64_column = [&](std::vector<std::int64_t>& col) {
+    col.resize(count);
+    WireCursor& cin = col_begin(count * 10);
+    cin.read_svarint_column(col.data(), count);
+    col_end();
+  };
   read_id_column(cols.iface);
   read_id_column(cols.func);
-  cols.object_key.resize(count);
-  in.read_varint_column(cols.object_key.data(), count);
+  read_u64_column(cols.object_key);
   read_id_column(cols.process);
   read_id_column(cols.node);
   read_id_column(cols.type);
-  cols.thread_ordinal.resize(count);
-  in.read_varint_column(cols.thread_ordinal.data(), count);
+  read_u64_column(cols.thread_ordinal);
 
   // Timestamp columns: batched zig-zag decode, then the SIMD prefix-sum
   // pass (start) and the start-relative reconstruction (end).
-  cols.value_start.resize(count);
-  in.read_svarint_column(cols.value_start.data(), count);
+  read_s64_column(cols.value_start);
   prefix_sum_column(cols.value_start.data(), count);
-  cols.value_end.resize(count);
-  in.read_svarint_column(cols.value_end.data(), count);
+  read_s64_column(cols.value_end);
   for (std::size_t i = 0; i < count; ++i) {
     cols.value_end[i] += cols.value_start[i];
   }
@@ -1051,7 +1142,7 @@ Staged decode_segment_staged(WireCursor& in) {
     if (body != in.remaining()) {
       throw TraceIoError("trace segment length mismatch");
     }
-    s.columns = decode_segment_v4_columns(in);
+    s.columns = decode_segment_v4_columns(in, version);
   } else {
     s.logs = decode_segment_v2v3(in, version);
   }
@@ -1234,7 +1325,9 @@ std::vector<std::uint8_t> encode_directory_trailer(
 std::vector<std::uint8_t> encode_trace(const monitor::CollectedLogs& logs,
                                        std::uint32_t version) {
   if (version == kTraceFormatV3) return encode_trace_v3(logs);
-  if (version == kTraceFormatV4) return encode_trace_v4(logs);
+  if (version == kTraceFormatV4 || version == kTraceFormatV5) {
+    return encode_trace_columnar(logs, version);
+  }
   throw TraceIoError("unwritable trace version " + std::to_string(version));
 }
 
@@ -1245,10 +1338,15 @@ std::vector<std::uint8_t> encode_trace_recmajor(
   throw TraceIoError("unwritable trace version " + std::to_string(version));
 }
 
-std::vector<std::uint8_t> encode_trace_columns(const ColumnBundle& cols) {
+std::vector<std::uint8_t> encode_trace_columns(const ColumnBundle& cols,
+                                               std::uint32_t version) {
+  if (version != kTraceFormatV4 && version != kTraceFormatV5) {
+    throw TraceIoError("no columnar form for trace version " +
+                       std::to_string(version));
+  }
   SegmentColumns c = gather_from_bundle(cols);
   transform_columns(c);
-  return emit_segment_v4(c);
+  return emit_segment_columnar(c, version);
 }
 
 namespace {
@@ -1450,9 +1548,97 @@ std::uint64_t trace_segment_record_count(
   }
 }
 
+namespace {
+
+// One directory block parsed from its trailing [u64 total]["CWTE"] probe:
+// where it starts and what it covers.  nullopt when the bytes ending at
+// `end` are not a well-formed directory block.
+struct TrailerAt {
+  std::size_t start{0};
+  std::uint64_t segments{0};
+  std::uint64_t segment_bytes{0};  // sum of the covered segment lengths
+};
+
+std::optional<TrailerAt> trailer_ending_at(std::span<const std::uint8_t> bytes,
+                                           std::size_t end) {
+  if (end < 21 || end > bytes.size()) return std::nullopt;
+  WireCursor tail(bytes.data() + end - 12, 12);
+  const std::uint64_t total = tail.read_u64();
+  if (tail.read_u32() != kEndMagic) return std::nullopt;
+  if (total < 21 || total > end) return std::nullopt;
+  const std::size_t start = end - static_cast<std::size_t>(total);
+  try {
+    WireCursor in(bytes.data() + start, static_cast<std::size_t>(total));
+    if (skim_trailer(in) != total || in.remaining() != 0) return std::nullopt;
+    TrailerAt t;
+    t.start = start;
+    WireCursor again(bytes.data() + start, static_cast<std::size_t>(total));
+    again.skip(8);  // magic + directory version (skim validated them)
+    t.segments = again.read_varint();
+    for (std::uint64_t i = 0; i < t.segments; ++i) {
+      const std::uint64_t length = again.read_varint();
+      // The covered run must fit between the file start and this block.
+      if (length > t.start - t.segment_bytes) return std::nullopt;
+      t.segment_bytes += length;
+    }
+    return t;
+  } catch (const WireError&) {
+    return std::nullopt;
+  } catch (const TraceIoError&) {
+    return std::nullopt;
+  }
+}
+
+// True checkpoint test: the block ending at `end` must be a directory
+// block, its covered segment run must start exactly where an earlier
+// directory block ends, and so on back to byte 0.  O(checkpoints), never
+// touches a segment header.  Returns the total segments the chain covers.
+std::optional<std::size_t> validate_checkpoint_chain(
+    std::span<const std::uint8_t> bytes, std::size_t end) {
+  std::size_t segments = 0;
+  std::size_t e = end;
+  while (e > 0) {
+    const auto t = trailer_ending_at(bytes, e);
+    if (!t) return std::nullopt;
+    segments += static_cast<std::size_t>(t->segments);
+    e = t->start - static_cast<std::size_t>(t->segment_bytes);
+  }
+  return segments;
+}
+
+struct CheckpointScan {
+  std::size_t clean_end{0};  // offset just past the last validated block
+  std::size_t segments{0};   // segments the validated chain covers
+};
+
+// Backward scan for the last checkpoint whose chain validates.  Candidate
+// positions are end-magic byte matches; a stray "CWTE" inside segment
+// payload is rejected by the chain validation (it would have to parse as a
+// block whose covered run lands exactly on another valid block, repeatedly,
+// all the way to byte 0).
+std::optional<CheckpointScan> find_last_checkpoint(
+    std::span<const std::uint8_t> bytes) {
+  // kEndMagic ("CWTE", 0x43575445) as it sits in the file, little-endian.
+  static constexpr std::uint8_t kEndBytes[4] = {0x45, 0x54, 0x57, 0x43};
+  if (bytes.size() < 21) return std::nullopt;
+  for (std::size_t i = bytes.size() - 4; i >= 17; --i) {
+    if (std::memcmp(bytes.data() + i, kEndBytes, sizeof(kEndBytes)) != 0) {
+      continue;
+    }
+    const std::size_t end = i + 4;
+    if (auto segments = validate_checkpoint_chain(bytes, end)) {
+      return CheckpointScan{end, *segments};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
 ReindexResult reindex_trace_file(const std::string& path) {
   ReindexResult result;
   std::vector<Extent> extents;
+  std::size_t tail_base = 0;  // where the re-skimmed window starts
   std::uint64_t file_size = 0;
   {
     FileView file;
@@ -1472,12 +1658,32 @@ ReindexResult reindex_trace_file(const std::string& path) {
     } catch (const WireError& e) {
       throw TraceIoError(std::string("corrupt trace directory: ") + e.what());
     }
-    // Crashed-writer skim: complete blocks are the clean prefix, an
-    // incomplete tail (the write the crash cut short) ends the scan.
-    try {
-      extents = skim_extents(bytes, /*stop_on_underflow=*/true);
-    } catch (const WireError& e) {
-      throw TraceIoError(std::string("corrupt trace: ") + e.what());
+    // Checkpointed writer: resume from the last validated interior block
+    // and skim only the tail written after it.  Any inconsistency in the
+    // tail (not just an incomplete write) falls back to the full skim --
+    // slower, never wrong.
+    if (const auto cp = find_last_checkpoint(bytes)) {
+      try {
+        extents = skim_extents(bytes.subspan(cp->clean_end),
+                               /*stop_on_underflow=*/true);
+        tail_base = cp->clean_end;
+        result.used_checkpoint = true;
+        result.checkpoint_segments = cp->segments;
+      } catch (const TraceIoError&) {
+        extents.clear();
+        tail_base = 0;
+        result.used_checkpoint = false;
+        result.checkpoint_segments = 0;
+      }
+    }
+    if (!result.used_checkpoint) {
+      // Crashed-writer skim: complete blocks are the clean prefix, an
+      // incomplete tail (the write the crash cut short) ends the scan.
+      try {
+        extents = skim_extents(bytes, /*stop_on_underflow=*/true);
+      } catch (const WireError& e) {
+        throw TraceIoError(std::string("corrupt trace: ") + e.what());
+      }
     }
   }  // unmap before mutating the file
 
@@ -1485,9 +1691,9 @@ ReindexResult reindex_trace_file(const std::string& path) {
   // clean prefix (everything after the last interior trailer block, if a
   // concatenated trace holds any); the reader skims whatever precedes it,
   // exactly as it does for a freshly closed file.
-  std::uint64_t clean_end = 0;
+  std::uint64_t clean_end = tail_base;
   if (!extents.empty()) {
-    clean_end = extents.back().offset + extents.back().length;
+    clean_end = tail_base + extents.back().offset + extents.back().length;
   }
   std::vector<std::uint64_t> lengths;
   for (auto it = extents.rbegin(); it != extents.rend() && it->is_segment;
@@ -1529,11 +1735,14 @@ std::size_t read_trace_file(const std::string& path, LogDatabase& db) {
   return decode_trace(file.bytes(), db);
 }
 
-TraceWriter::TraceWriter(const std::string& path, std::uint32_t version)
+TraceWriter::TraceWriter(const std::string& path, std::uint32_t version,
+                         std::size_t checkpoint_every)
     : path_(path),
       out_(path, std::ios::binary | std::ios::trunc),
-      version_(version) {
-  if (version != kTraceFormatV3 && version != kTraceFormatV4) {
+      version_(version),
+      checkpoint_every_(checkpoint_every) {
+  if (version != kTraceFormatV3 && version != kTraceFormatV4 &&
+      version != kTraceFormatV5) {
     throw TraceIoError("unwritable trace version " + std::to_string(version));
   }
   if (!out_) throw TraceIoError("cannot open '" + path + "' for writing");
@@ -1557,22 +1766,22 @@ void TraceWriter::append(const monitor::CollectedLogs& logs) {
   // prefix of the stream.
   out_.flush();
   if (!out_) throw TraceIoError("short write to '" + path_ + "'");
-  segment_lengths_.push_back(bytes.size());
   records_ += logs.records.size();
+  note_segment(bytes.size());
 }
 
 void TraceWriter::append(const ColumnBundle& cols) {
   if (closed_) throw TraceIoError("trace writer for '" + path_ + "' is closed");
-  if (version_ != kTraceFormatV4) {
-    throw TraceIoError("column append requires a v4 trace writer");
+  if (version_ != kTraceFormatV4 && version_ != kTraceFormatV5) {
+    throw TraceIoError("column append requires a columnar (v4/v5) writer");
   }
-  const auto bytes = encode_trace_columns(cols);
+  const auto bytes = encode_trace_columns(cols, version_);
   out_.write(reinterpret_cast<const char*>(bytes.data()),
              static_cast<std::streamsize>(bytes.size()));
   out_.flush();
   if (!out_) throw TraceIoError("short write to '" + path_ + "'");
-  segment_lengths_.push_back(bytes.size());
   records_ += cols.count;
+  note_segment(bytes.size());
 }
 
 void TraceWriter::append_encoded(std::span<const std::uint8_t> segment) {
@@ -1593,13 +1802,38 @@ void TraceWriter::append_encoded(std::span<const std::uint8_t> segment) {
              static_cast<std::streamsize>(segment.size()));
   out_.flush();
   if (!out_) throw TraceIoError("short write to '" + path_ + "'");
-  segment_lengths_.push_back(segment.size());
+  note_segment(segment.size());
+}
+
+void TraceWriter::note_segment(std::size_t bytes) {
+  segment_lengths_.push_back(bytes);
+  ++segments_total_;
+  bytes_written_ += bytes;
+  if (checkpoint_every_ > 0 && segment_lengths_.size() >= checkpoint_every_) {
+    checkpoint();
+  }
+}
+
+void TraceWriter::checkpoint() {
+  if (closed_) throw TraceIoError("trace writer for '" + path_ + "' is closed");
+  if (segment_lengths_.empty()) return;
+  const auto block = encode_directory_trailer(segment_lengths_);
+  out_.write(reinterpret_cast<const char*>(block.data()),
+             static_cast<std::streamsize>(block.size()));
+  out_.flush();
+  if (!out_) throw TraceIoError("short write to '" + path_ + "'");
+  bytes_written_ += block.size();
+  segment_lengths_.clear();
 }
 
 void TraceWriter::close() {
   if (closed_) return;
-  closed_ = true;
+  // The final trailer covers only the segments since the last checkpoint --
+  // the same contiguous-run contract a concatenated trace's last trailer
+  // keeps, so extents_from_directory's base arithmetic holds and the
+  // checkpoint blocks before it are skimmed as metadata.
   const auto trailer = encode_directory_trailer(segment_lengths_);
+  closed_ = true;
   out_.write(reinterpret_cast<const char*>(trailer.data()),
              static_cast<std::streamsize>(trailer.size()));
   out_.flush();

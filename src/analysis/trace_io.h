@@ -67,10 +67,22 @@ class TraceIoError : public std::runtime_error {
 // Segment format versions this build writes.  kTraceFormatDefault is what
 // every writer emits unless told otherwise; v3 stays writable so a
 // regression in the columnar codec can be bisected against the old
-// encoding (`causeway-record --trace-format=v3`).
+// encoding (`causeway-record --trace-format=v3`).  v5 is v4 with every
+// dense record column wrapped in a column block (u8 codec + exact decoded
+// length; see common/wire.h) so cold store files can carry deflated
+// columns -- the header, domain table, string table, and chain runs are
+// byte-identical to v4, and v2-v4 files remain byte-identical and fully
+// readable.  Writing v5 never *requires* zlib (blocks fall back to raw),
+// but only zlib builds produce deflated columns.
 inline constexpr std::uint32_t kTraceFormatV3 = 3;
 inline constexpr std::uint32_t kTraceFormatV4 = 4;
+inline constexpr std::uint32_t kTraceFormatV5 = 5;
 inline constexpr std::uint32_t kTraceFormatDefault = kTraceFormatV4;
+
+// The readable range (what decode/skim accept), for `--version` banners and
+// handshake diagnostics.
+inline constexpr std::uint32_t kTraceFormatMinReadable = 2;
+inline constexpr std::uint32_t kTraceFormatMaxReadable = kTraceFormatV5;
 
 // Serializes a collector bundle as a single-segment file (plus directory
 // trailer).  Throws TraceIoError on I/O failure or an unwritable version.
@@ -99,14 +111,17 @@ std::vector<std::uint8_t> encode_trace_recmajor(
     const monitor::CollectedLogs& logs,
     std::uint32_t version = kTraceFormatDefault);
 
-// ColumnBundle-native v4 encode: collector/decoder columns go straight to
-// wire bytes -- batched varint emission, SIMD delta/zig-zag transform
-// passes, no record-major round trip.  The bundle's string table is
-// emitted verbatim (ids already assigned), so a decode -> encode round
-// trip reproduces the original segment byte for byte.  Throws TraceIoError
-// when the bundle is inconsistent (column sizes vs count, run coverage,
-// ids out of table range, domain identity strings missing from the table).
-std::vector<std::uint8_t> encode_trace_columns(const ColumnBundle& cols);
+// ColumnBundle-native columnar encode (v4 or v5): collector/decoder columns
+// go straight to wire bytes -- batched varint emission, SIMD delta/zig-zag
+// transform passes, no record-major round trip.  The bundle's string table
+// is emitted verbatim (ids already assigned), so a v4 decode -> v4 encode
+// round trip reproduces the original segment byte for byte (and a
+// v4 <-> v5 transcode round trip reproduces the v4 bytes).  Throws
+// TraceIoError when the bundle is inconsistent (column sizes vs count, run
+// coverage, ids out of table range, domain identity strings missing from
+// the table).
+std::vector<std::uint8_t> encode_trace_columns(
+    const ColumnBundle& cols, std::uint32_t version = kTraceFormatV4);
 
 // Multi-segment encode: one segment per bundle, packed concurrently on the
 // shared WorkerPool when there is enough work, results committed in input
@@ -176,10 +191,22 @@ std::uint64_t trace_segment_record_count(
 // away -- the clean prefix is what the trailer then describes.  A file that
 // already ends in a valid trailer is left untouched.  Throws TraceIoError
 // on structural corruption or I/O failure.
+//
+// Checkpoint-aware: a writer opened with a checkpoint interval leaves
+// periodic interior directory blocks behind (see TraceWriter).  Repair
+// locates the last checkpoint whose block chain validates back to byte 0
+// and only re-skims the segments written after it, so recovering a crashed
+// multi-gigabyte store file costs O(checkpoints + tail), not a walk of
+// every segment header.  A checkpoint that was itself cut short by the
+// crash simply isn't valid, and repair falls back to the previous one (or
+// the full skim) -- never to a wrong answer.
 struct ReindexResult {
   std::size_t segments{0};         // segments the appended trailer indexes
   std::uint64_t truncated_bytes{0};  // incomplete tail removed, if any
   bool rewritten{false};           // false: file already had a trailer
+  bool used_checkpoint{false};     // repair resumed from an interior block
+  std::size_t checkpoint_segments{0};  // segments vouched for by the chain,
+                                       // not re-skimmed
 };
 ReindexResult reindex_trace_file(const std::string& path);
 
@@ -187,12 +214,22 @@ ReindexResult reindex_trace_file(const std::string& path);
 // file as the run progresses, flushing after each so the file is always a
 // valid (if partial) trace.  close() (or destruction) appends the segment
 // directory trailer.  Used by `causeway-record --stream`.
+//
+// With a nonzero `checkpoint_every`, the writer also emits the directory
+// block *mid-file* every that-many segments (each checkpoint describes only
+// the segments since the previous one, so the blocks chain back to the
+// start of the file).  Readers already tolerate interior directory blocks
+// as metadata; what checkpoints buy is crash repair that never re-walks the
+// checkpointed prefix (see reindex_trace_file).  The store writer
+// (store/store.h) checkpoints its live file; plain `causeway-record`
+// streams don't need to.
 class TraceWriter {
  public:
   // Truncates/creates the file.  Throws TraceIoError if it cannot open or
   // `version` is not writable.
   explicit TraceWriter(const std::string& path,
-                       std::uint32_t version = kTraceFormatDefault);
+                       std::uint32_t version = kTraceFormatDefault,
+                       std::size_t checkpoint_every = 0);
   ~TraceWriter();
   TraceWriter(const TraceWriter&) = delete;
   TraceWriter& operator=(const TraceWriter&) = delete;
@@ -202,7 +239,7 @@ class TraceWriter {
 
   // Column-native append: encodes the bundle with encode_trace_columns
   // (no record-major round trip) and appends it as one segment.  Only
-  // valid on a v4 writer -- v3 has no columnar form.
+  // valid on a columnar (v4/v5) writer -- v3 has no columnar form.
   void append(const ColumnBundle& cols);
 
   // Appends one pre-encoded segment verbatim (validated to be exactly one
@@ -212,19 +249,34 @@ class TraceWriter {
   // malformed input or short writes.
   void append_encoded(std::span<const std::uint8_t> segment);
 
+  // Writes a directory checkpoint covering the segments since the last one
+  // now (no-op when there are none).  Called automatically every
+  // `checkpoint_every` segments; exposed so a store can force one before a
+  // risky boundary.  Throws on short writes.
+  void checkpoint();
+
   // Appends the directory trailer and closes the file.  Idempotent; throws
   // on short writes.  The destructor calls it, swallowing errors -- call
   // explicitly when you need them surfaced.
   void close();
 
-  std::size_t segments() const { return segment_lengths_.size(); }
+  std::size_t segments() const { return segments_total_; }
   std::uint64_t records_written() const { return records_; }
 
+  // Bytes on disk so far (segments + any checkpoints) -- what a
+  // size-rotation policy compares against its threshold.
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
  private:
+  void note_segment(std::size_t bytes);
+
   std::string path_;
   std::ofstream out_;
   std::uint32_t version_;
-  std::vector<std::uint64_t> segment_lengths_;  // directory trailer source
+  std::size_t checkpoint_every_;
+  std::vector<std::uint64_t> segment_lengths_;  // since the last checkpoint
+  std::size_t segments_total_{0};
+  std::uint64_t bytes_written_{0};
   std::uint64_t records_{0};
   bool closed_{false};
 };

@@ -1,0 +1,83 @@
+#include "common/compress.h"
+
+#if CAUSEWAY_HAS_ZLIB
+#include <zlib.h>
+#endif
+
+namespace causeway {
+
+#if CAUSEWAY_HAS_ZLIB
+
+bool compression_available() { return true; }
+
+std::optional<std::vector<std::uint8_t>> deflate_bytes(
+    std::span<const std::uint8_t> input) {
+  z_stream zs{};
+  // windowBits -15: raw deflate, no zlib header/checksum -- the column
+  // block header already carries the exact decoded length.
+  if (deflateInit2(&zs, Z_DEFAULT_COMPRESSION, Z_DEFLATED, -15, 8,
+                   Z_DEFAULT_STRATEGY) != Z_OK) {
+    return std::nullopt;
+  }
+
+  std::vector<std::uint8_t> out;
+  out.resize(deflateBound(&zs, static_cast<uLong>(input.size())));
+  zs.next_in = const_cast<Bytef*>(input.data());
+  zs.avail_in = static_cast<uInt>(input.size());
+  zs.next_out = out.data();
+  zs.avail_out = static_cast<uInt>(out.size());
+
+  const int rc = deflate(&zs, Z_FINISH);
+  const std::size_t produced = zs.total_out;
+  deflateEnd(&zs);
+  if (rc != Z_STREAM_END) return std::nullopt;
+  if (produced >= input.size()) return std::nullopt;  // not worth storing
+  out.resize(produced);
+  return out;
+}
+
+void inflate_bytes(std::span<const std::uint8_t> input,
+                   std::size_t decoded_size, std::vector<std::uint8_t>& out) {
+  out.resize(decoded_size);
+
+  z_stream zs{};
+  if (inflateInit2(&zs, -15) != Z_OK) {
+    throw CompressError("inflate init failed");
+  }
+  zs.next_in = const_cast<Bytef*>(input.data());
+  zs.avail_in = static_cast<uInt>(input.size());
+  zs.next_out = out.data();
+  zs.avail_out = static_cast<uInt>(out.size());
+
+  const int rc = inflate(&zs, Z_FINISH);
+  const std::size_t produced = zs.total_out;
+  const std::size_t consumed = zs.total_in;
+  inflateEnd(&zs);
+
+  // Z_FINISH with an exact-size output buffer must land precisely on
+  // Z_STREAM_END having eaten the whole input; anything else -- truncated
+  // stream, stream that wants more output, garbage bytes -- is corruption.
+  if (rc != Z_STREAM_END || produced != decoded_size ||
+      consumed != input.size()) {
+    throw CompressError("corrupt deflate stream in compressed column");
+  }
+}
+
+#else  // !CAUSEWAY_HAS_ZLIB
+
+bool compression_available() { return false; }
+
+std::optional<std::vector<std::uint8_t>> deflate_bytes(
+    std::span<const std::uint8_t>) {
+  return std::nullopt;
+}
+
+void inflate_bytes(std::span<const std::uint8_t>, std::size_t,
+                   std::vector<std::uint8_t>&) {
+  throw CompressError(
+      "this build lacks zlib: cannot inflate a compressed trace column");
+}
+
+#endif
+
+}  // namespace causeway

@@ -1,0 +1,50 @@
+// Thin deflate/inflate wrappers for the trace store's per-column
+// compression (trace format v5, DESIGN.md Sec. 16).
+//
+// The codec is raw deflate (no zlib/gzip header) because every compressed
+// block in a .cwt already carries its own exact decoded length in the
+// column-block header -- framing twice would waste bytes on every column.
+// Inflation is bounds-checked both ways: the output buffer is sized to the
+// advertised decoded length up front (never grown from attacker-controlled
+// input), and a stream that decodes short, decodes long, or leaves input
+// unconsumed is rejected.
+//
+// zlib is an optional dependency.  Builds without it keep these symbols:
+// compression_available() reports false, deflate_bytes() returns nullopt
+// (callers fall back to raw storage or refuse to write v5), and
+// inflate_bytes() throws CompressError only when a deflated block is
+// actually encountered.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace causeway {
+
+class CompressError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// True when the build has zlib and deflated columns can be both written and
+// read.
+bool compression_available();
+
+// Compresses `input` with raw deflate.  Returns nullopt when compression is
+// unavailable in this build or the deflated form would not be smaller than
+// the input (callers store raw in that case, so an incompressible column
+// never pays the codec tax twice).
+std::optional<std::vector<std::uint8_t>> deflate_bytes(
+    std::span<const std::uint8_t> input);
+
+// Inflates a raw-deflate stream that must decode to exactly `decoded_size`
+// bytes into `out` (resized by this call).  Throws CompressError on a
+// malformed stream, a size mismatch in either direction, trailing
+// unconsumed input, or when this build lacks zlib.
+void inflate_bytes(std::span<const std::uint8_t> input,
+                   std::size_t decoded_size, std::vector<std::uint8_t>& out);
+
+}  // namespace causeway

@@ -1,0 +1,52 @@
+// One `--version` banner for every causeway tool.
+//
+// Mixed-version fleets are real: a v4-era causeway-record publishing into a
+// v5-era collectd, a store written on one host queried on another.  The
+// first diagnostic question is always "which trace formats and which
+// transport protocol does this binary speak", so every tool answers it the
+// same way, from the same constants the codecs themselves use -- nothing
+// here is a second copy that can drift.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analysis/trace_io.h"
+#include "common/compress.h"
+#include "transport/protocol.h"
+
+namespace causeway {
+
+// The suite version, bumped with the trace/protocol surface (minor tracks
+// the trace format generation).
+inline constexpr std::string_view kCausewayVersion = "0.5.0";
+
+// Multi-line banner for `--version`: tool + suite version, readable and
+// writable trace-format ranges, transport protocol range, and whether this
+// build can deflate v5 columns.
+inline std::string version_banner(std::string_view tool) {
+  std::string out;
+  out += tool;
+  out += " (causeway) ";
+  out += kCausewayVersion;
+  out += "\ntrace formats: read v";
+  out += std::to_string(analysis::kTraceFormatMinReadable);
+  out += "-v";
+  out += std::to_string(analysis::kTraceFormatMaxReadable);
+  out += ", write v";
+  out += std::to_string(analysis::kTraceFormatV3);
+  out += "-v";
+  out += std::to_string(analysis::kTraceFormatV5);
+  out += " (default v";
+  out += std::to_string(analysis::kTraceFormatDefault);
+  out += ")\ntransport protocol: v";
+  out += std::to_string(transport::kProtocolVersion);
+  out += " (accepts v";
+  out += std::to_string(transport::kMinProtocolVersion);
+  out += "+)\ncolumn compression (v5): ";
+  out += compression_available() ? "zlib" : "unavailable in this build";
+  out += "\n";
+  return out;
+}
+
+}  // namespace causeway

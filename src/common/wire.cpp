@@ -21,6 +21,8 @@
 #include <bit>
 #include <cstdlib>
 
+#include "common/compress.h"
+
 #if !defined(CAUSEWAY_SIMD)
 #define CAUSEWAY_SIMD 0
 #endif
@@ -771,6 +773,57 @@ void prefix_sum_column(std::int64_t* values, std::size_t n) {
     acc += v[i];
     v[i] = acc;
   }
+}
+
+// --- Column blocks (trace format v5) ---------------------------------------
+
+void write_column_block(WireBuffer& out, std::span<const std::uint8_t> payload,
+                        bool try_deflate) {
+  // Tiny payloads can't win: deflate's own framing eats the savings, and
+  // the attempt itself costs a codec setup per column.
+  constexpr std::size_t kDeflateFloor = 64;
+  if (try_deflate && payload.size() >= kDeflateFloor) {
+    if (auto deflated = deflate_bytes(payload)) {
+      out.write_u8(kColumnCodecDeflate);
+      out.write_varint(payload.size());
+      out.write_varint(deflated->size());
+      out.append_raw(*deflated);
+      return;
+    }
+  }
+  out.write_u8(kColumnCodecRaw);
+  out.write_varint(payload.size());
+  out.append_raw(payload);
+}
+
+std::span<const std::uint8_t> read_column_block(
+    WireCursor& in, std::size_t max_decoded,
+    std::vector<std::uint8_t>& scratch) {
+  const std::uint8_t codec = in.read_u8();
+  if (codec == kColumnCodecRaw) {
+    const std::uint64_t len = in.read_varint();
+    if (len > max_decoded) throw WireError("column block too large");
+    const std::string_view v = in.read_view(static_cast<std::size_t>(len));
+    return {reinterpret_cast<const std::uint8_t*>(v.data()), v.size()};
+  }
+  if (codec != kColumnCodecDeflate) {
+    throw WireError("unknown column block codec");
+  }
+  const std::uint64_t raw_len = in.read_varint();
+  const std::uint64_t comp_len = in.read_varint();
+  // Reject before allocating: a block cannot legitimately decode to more
+  // than the column's structural maximum, and raw deflate tops out around
+  // 1032:1, so a huge raw_len over a tiny stream is always hostile.
+  if (raw_len > max_decoded) throw WireError("column block too large");
+  const std::string_view comp = in.read_view(static_cast<std::size_t>(comp_len));
+  try {
+    inflate_bytes(
+        {reinterpret_cast<const std::uint8_t*>(comp.data()), comp.size()},
+        static_cast<std::size_t>(raw_len), scratch);
+  } catch (const CompressError& e) {
+    throw WireError(e.what());
+  }
+  return {scratch.data(), scratch.size()};
 }
 
 }  // namespace causeway

@@ -332,4 +332,41 @@ class WireCursor {
   std::size_t end_;
 };
 
+// --- Column blocks (trace format v5) ---------------------------------------
+//
+// A column block wraps one column's encoded payload so it can optionally
+// travel deflated:
+//
+//   u8 codec                  0 = raw, 1 = deflate
+//   codec 0: varint len,      then len payload bytes verbatim
+//   codec 1: varint raw_len   (exact decoded payload size),
+//            varint comp_len, then comp_len raw-deflate bytes
+//
+// The decoded length always rides in the header, so inflation is
+// bounds-checked: the reader allocates exactly raw_len bytes, and a stream
+// that decodes to anything else is rejected.  `max_decoded` is the caller's
+// structural bound (e.g. 10 bytes per varint times the record count) -- a
+// block advertising more than the column could possibly hold is rejected
+// before any allocation, killing decompression-bomb inputs cheaply.
+
+inline constexpr std::uint8_t kColumnCodecRaw = 0;
+inline constexpr std::uint8_t kColumnCodecDeflate = 1;
+
+// Appends `payload` as one column block.  When `try_deflate` is set and the
+// build has zlib, stores the deflated form if it is smaller (payloads under
+// ~tens of bytes never are; deflate_bytes already refuses non-wins), raw
+// otherwise -- so the output is always the smaller of the two forms and
+// decodes identically either way.
+void write_column_block(WireBuffer& out, std::span<const std::uint8_t> payload,
+                        bool try_deflate);
+
+// Reads one column block, returning a view of the decoded payload: directly
+// into the input for raw blocks (zero-copy), into `scratch` (resized) for
+// deflated ones.  The view is invalidated by the next call that reuses
+// `scratch`.  Throws WireError on truncation, an unknown codec, a decoded
+// size above `max_decoded`, or a deflate stream that is corrupt or does not
+// decode to exactly the advertised size.
+std::span<const std::uint8_t> read_column_block(
+    WireCursor& in, std::size_t max_decoded, std::vector<std::uint8_t>& scratch);
+
 }  // namespace causeway

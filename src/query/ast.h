@@ -1,0 +1,89 @@
+// Typed AST for the causeway query DSL (grammar in docs/QUERY.md).
+//
+// A query is a list of aggregations over *spans* -- completed calls
+// reconstructed by stack-pairing each chain's call events, the same pairing
+// the DSCG builder performs (analysis/call_tree.cpp) minus the tree: a
+// span's latency is `close.value_start - open.value_end`, exactly the raw
+// latency of analysis/latency.cpp -- optionally filtered by a boolean
+// predicate expression, grouped by a field, and bounded by a time window.
+// The window clauses (`since`/`until`) are separate from `where` because
+// they are what the planner may prune whole files with via the catalog's
+// min/max timestamp ranges; a `chain ==` predicate that is required (not
+// under `or`/`not`) prunes via the catalog's chain digest the same way.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace causeway::query {
+
+enum class Field {
+  kIface,    // interface name
+  kFunc,     // function name
+  kProcess,  // client-side process name (the span's opening record)
+  kNode,     // node name
+  kType,     // processor type
+  kObject,   // object key (numeric)
+  kChain,    // chain UUID
+  kLatency,  // raw span latency, ns (numeric; absent outside latency mode)
+  kTs,       // span open timestamp, ns (numeric)
+  kOutcome,  // ok | app_error | system_error
+  kKind,     // sync | oneway | collocated
+};
+
+enum class Op {
+  kEq,     // ==
+  kNe,     // !=
+  kLt,     // <
+  kLe,     // <=
+  kGt,     // >
+  kGe,     // >=
+  kMatch,  // =~  (substring, string fields only)
+};
+
+// One comparison.  Which value member is live depends on the field's type;
+// the parser guarantees the combination is valid (string fields only take
+// ==/!=/=~, numeric fields only take ordering ops, chain only ==/!=).
+struct Predicate {
+  Field field{};
+  Op op{};
+  std::string text;         // string fields, outcome/kind names
+  std::int64_t number{0};   // numeric fields (latency/ts in ns, object key)
+  Uuid chain;               // chain field
+};
+
+struct Expr {
+  enum class Kind { kPred, kAnd, kOr, kNot };
+  Kind kind{Kind::kPred};
+  Predicate pred;                            // kPred
+  std::vector<std::unique_ptr<Expr>> args;   // kAnd/kOr: 2+, kNot: 1
+};
+
+enum class AggFunc {
+  kCount,  // spans matched (no argument)
+  kSum,    // of latency, ns
+  kAvg,
+  kMin,
+  kMax,
+  kP50,    // nearest-rank percentiles
+  kP95,
+  kP99,
+};
+
+struct Query {
+  std::vector<AggFunc> aggs;            // at least one
+  std::unique_ptr<Expr> where;          // null = match everything
+  std::optional<Field> group_by;        // string-valued fields, kind, outcome
+  std::optional<std::int64_t> since;    // spans opening at ts >= since
+  std::optional<std::int64_t> until;    // and closing at ts <= until
+};
+
+std::string_view to_string(Field f);
+std::string_view to_string(AggFunc f);
+
+}  // namespace causeway::query

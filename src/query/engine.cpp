@@ -1,0 +1,566 @@
+#include "query/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "analysis/trace_io.h"
+#include "monitor/record.h"
+#include "store/store.h"
+
+namespace causeway::query {
+
+namespace {
+
+using analysis::ColumnBundle;
+using analysis::TraceIoError;
+using monitor::CallKind;
+using monitor::CallOutcome;
+using monitor::EventKind;
+using monitor::ProbeMode;
+
+// One call event, detached from its segment: strings are views into pools
+// the executor keeps alive for the whole run.
+struct Ev {
+  std::uint64_t seq{0};
+  std::int64_t vstart{0}, vend{0};
+  std::string_view iface, func, process, node, type;
+  std::uint64_t object_key{0};
+  EventKind event{};
+  CallKind kind{};
+  CallOutcome outcome{};
+  ProbeMode mode{};
+};
+
+// A completed call -- the query row.
+struct Span {
+  Uuid chain;
+  std::string_view iface, func, process, node, type;
+  std::uint64_t object_key{0};
+  CallKind kind{};
+  CallOutcome outcome{};
+  std::int64_t open_ts{0};   // opening record's value_start
+  std::int64_t close_ts{0};  // closing record's value_start
+  // close.value_start - open.value_end (latency.cpp's raw latency), only
+  // when both paired records sampled in latency mode.
+  std::optional<std::int64_t> latency;
+};
+
+// The chain == UUID a matching span *must* carry, if the expression forces
+// one: a predicate under `or` or `not` forces nothing, under `and` any
+// branch's requirement holds for the whole conjunction.
+std::optional<Uuid> required_chain(const Expr* e) {
+  if (e == nullptr) return std::nullopt;
+  switch (e->kind) {
+    case Expr::Kind::kPred:
+      if (e->pred.field == Field::kChain && e->pred.op == Op::kEq) {
+        return e->pred.chain;
+      }
+      return std::nullopt;
+    case Expr::Kind::kAnd:
+      for (const auto& arg : e->args) {
+        if (const auto chain = required_chain(arg.get())) return chain;
+      }
+      return std::nullopt;
+    case Expr::Kind::kOr:
+    case Expr::Kind::kNot:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool compare_i64(std::int64_t lhs, Op op, std::int64_t rhs) {
+  switch (op) {
+    case Op::kEq: return lhs == rhs;
+    case Op::kNe: return lhs != rhs;
+    case Op::kLt: return lhs < rhs;
+    case Op::kLe: return lhs <= rhs;
+    case Op::kGt: return lhs > rhs;
+    case Op::kGe: return lhs >= rhs;
+    case Op::kMatch: return false;  // parser rejects
+  }
+  return false;
+}
+
+bool compare_text(std::string_view lhs, Op op, std::string_view rhs) {
+  switch (op) {
+    case Op::kEq: return lhs == rhs;
+    case Op::kNe: return lhs != rhs;
+    case Op::kMatch: return lhs.find(rhs) != std::string_view::npos;
+    default: return false;  // parser rejects
+  }
+}
+
+bool eval_pred(const Predicate& p, const Span& s) {
+  switch (p.field) {
+    case Field::kIface: return compare_text(s.iface, p.op, p.text);
+    case Field::kFunc: return compare_text(s.func, p.op, p.text);
+    case Field::kProcess: return compare_text(s.process, p.op, p.text);
+    case Field::kNode: return compare_text(s.node, p.op, p.text);
+    case Field::kType: return compare_text(s.type, p.op, p.text);
+    case Field::kOutcome:
+      return compare_text(monitor::to_string(s.outcome), p.op, p.text);
+    case Field::kKind:
+      return compare_text(monitor::to_string(s.kind), p.op, p.text);
+    case Field::kObject:
+      return compare_i64(static_cast<std::int64_t>(s.object_key), p.op,
+                         p.number);
+    case Field::kChain:
+      return p.op == Op::kEq ? s.chain == p.chain : !(s.chain == p.chain);
+    case Field::kTs: return compare_i64(s.open_ts, p.op, p.number);
+    case Field::kLatency:
+      // A span without a latency sample (causality-only mode, or an
+      // unpaired probe) matches no latency predicate.
+      return s.latency && compare_i64(*s.latency, p.op, p.number);
+  }
+  return false;
+}
+
+bool eval_expr(const Expr* e, const Span& s) {
+  if (e == nullptr) return true;
+  switch (e->kind) {
+    case Expr::Kind::kPred: return eval_pred(e->pred, s);
+    case Expr::Kind::kAnd:
+      for (const auto& arg : e->args) {
+        if (!eval_expr(arg.get(), s)) return false;
+      }
+      return true;
+    case Expr::Kind::kOr:
+      for (const auto& arg : e->args) {
+        if (eval_expr(arg.get(), s)) return true;
+      }
+      return false;
+    case Expr::Kind::kNot: return !eval_expr(e->args[0].get(), s);
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Event gathering
+
+struct Gather {
+  // Insertion-ordered per-chain event lists: iterate chains in first-seen
+  // order so runs are deterministic regardless of hash seeding.
+  std::unordered_map<Uuid, std::size_t> chain_index;
+  std::vector<std::pair<Uuid, std::vector<Ev>>> chains;
+  // Keeps every decoded segment's string pool alive for the Ev views.
+  std::vector<std::shared_ptr<std::deque<std::string>>> pools;
+
+  std::vector<Ev>& events_for(const Uuid& chain) {
+    auto [it, inserted] = chain_index.emplace(chain, chains.size());
+    if (inserted) chains.emplace_back(chain, std::vector<Ev>{});
+    return chains[it->second].second;
+  }
+};
+
+void gather_bundle(Gather& g, const ColumnBundle& cols) {
+  g.pools.push_back(cols.strings);
+  std::size_t row = 0;
+  for (const auto& run : cols.runs) {
+    auto& events = g.events_for(run.chain);
+    for (std::uint64_t k = 0; k < run.length; ++k, ++row) {
+      Ev ev;
+      ev.seq = cols.seq[row];
+      ev.vstart = cols.value_start[row];
+      ev.vend = cols.value_end[row];
+      ev.iface = cols.table[cols.iface[row]];
+      ev.func = cols.table[cols.func[row]];
+      ev.process = cols.table[cols.process[row]];
+      ev.node = cols.table[cols.node[row]];
+      ev.type = cols.table[cols.type[row]];
+      ev.object_key = cols.object_key[row];
+      const std::uint8_t f1 = cols.flags1[row];
+      ev.event = static_cast<EventKind>(f1 & 7);
+      ev.kind = static_cast<CallKind>((f1 >> 3) & 3);
+      ev.outcome = static_cast<CallOutcome>((f1 >> 5) & 3);
+      ev.mode = static_cast<ProbeMode>(cols.flags2[row] & 3);
+      events.push_back(ev);
+    }
+  }
+}
+
+void gather_logs(Gather& g, const monitor::CollectedLogs& logs) {
+  g.pools.push_back(logs.strings);
+  for (const auto& r : logs.records) {
+    Ev ev;
+    ev.seq = r.seq;
+    ev.vstart = r.value_start;
+    ev.vend = r.value_end;
+    ev.iface = r.interface_name;
+    ev.func = r.function_name;
+    ev.process = r.process_name;
+    ev.node = r.node_name;
+    ev.type = r.processor_type;
+    ev.object_key = r.object_key;
+    ev.event = r.event;
+    ev.kind = r.kind;
+    ev.outcome = r.outcome;
+    ev.mode = r.mode;
+    g.events_for(r.chain).push_back(ev);
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceIoError("cannot open trace file '" + path + "'");
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (in.bad()) throw TraceIoError("read error on '" + path + "'");
+  return bytes;
+}
+
+// Decodes every segment of one trace file into the gather, counting into
+// `stats`.  Handles any readable format version per segment.
+void scan_file(const std::string& path, Gather& g, QueryStats& stats) {
+  const auto bytes = read_file(path);
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    std::size_t length = 0;
+    bool is_segment = false;
+    if (!analysis::probe_trace_block(
+            std::span<const std::uint8_t>(bytes).subspan(offset), length,
+            is_segment)) {
+      throw TraceIoError("incomplete segment in '" + path +
+                         "' (run causeway-analyze --reindex)");
+    }
+    if (is_segment) {
+      const auto segment =
+          std::span<const std::uint8_t>(bytes).subspan(offset, length);
+      const std::uint32_t version =
+          static_cast<std::uint32_t>(segment[4]) |
+          static_cast<std::uint32_t>(segment[5]) << 8 |
+          static_cast<std::uint32_t>(segment[6]) << 16 |
+          static_cast<std::uint32_t>(segment[7]) << 24;
+      if (version >= analysis::kTraceFormatV4) {
+        const ColumnBundle cols =
+            analysis::decode_trace_segment_columns(segment);
+        stats.records_scanned += cols.count;
+        gather_bundle(g, cols);
+      } else {
+        const monitor::CollectedLogs logs =
+            analysis::decode_trace_segment(segment);
+        stats.records_scanned += logs.records.size();
+        gather_logs(g, logs);
+      }
+      stats.segments_decoded += 1;
+    }
+    offset += length;
+  }
+  stats.files_opened += 1;
+}
+
+// ---------------------------------------------------------------------------
+// Span pairing (call_tree.cpp's ChainParser, minus the tree)
+
+void emit_span(std::vector<Span>& out, const Uuid& chain, const Ev& open,
+               const std::optional<Ev>& skel_open,
+               const std::optional<Ev>& skel_close,
+               const std::optional<Ev>& close) {
+  Span s;
+  s.chain = chain;
+  s.iface = open.iface;
+  s.func = open.func;
+  s.process = open.process;
+  s.node = open.node;
+  s.type = open.type;
+  s.object_key = open.object_key;
+  s.kind = open.kind;
+  const Ev& last = close ? *close : *skel_close;
+  s.outcome = last.outcome;
+  s.open_ts = open.vstart;
+  s.close_ts = last.vstart;
+  // Which record pair bounds the latency window mirrors latency.cpp: the
+  // stub pair for sync and stub-side oneway, the skeleton pair for
+  // collocated calls and skeleton-rooted (spawned-side) frames.
+  const Ev* first = &open;
+  const Ev* second = &last;
+  if (open.kind == CallKind::kCollocated && close) {
+    if (skel_open && skel_close) {
+      first = &*skel_open;
+      second = &*skel_close;
+    } else {
+      first = nullptr;  // collocated call with no skeleton pair: no latency
+    }
+  }
+  if (first != nullptr && first->mode == ProbeMode::kLatency &&
+      second->mode == ProbeMode::kLatency) {
+    s.latency = second->vstart - first->vend;
+  }
+  out.push_back(s);
+}
+
+void pair_chain(const Uuid& chain, std::vector<Ev>& events,
+                std::vector<Span>& out) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Ev& a, const Ev& b) { return a.seq < b.seq; });
+  struct Frame {
+    Ev open;  // stub_start, or skel_start for a skeleton-rooted frame
+    bool has_stub{false};
+    std::optional<Ev> skel_open, skel_close;
+  };
+  std::vector<Frame> stack;
+  auto matches = [&](const Ev& ev) {
+    return !stack.empty() && stack.back().open.iface == ev.iface &&
+           stack.back().open.func == ev.func;
+  };
+  for (const Ev& ev : events) {
+    switch (ev.event) {
+      case EventKind::kStubStart:
+        stack.push_back(Frame{ev, true, std::nullopt, std::nullopt});
+        break;
+      case EventKind::kSkelStart:
+        if (stack.empty()) {
+          // Skeleton-rooted: spawned side of a oneway, or an
+          // uninstrumented caller.
+          stack.push_back(Frame{ev, false, ev, std::nullopt});
+        } else if (!stack.back().skel_open && matches(ev)) {
+          stack.back().skel_open = ev;
+        }
+        // else: anomalous record; the DSCG reports those, a query skips.
+        break;
+      case EventKind::kSkelEnd:
+        if (!stack.empty() && stack.back().skel_open &&
+            !stack.back().skel_close && matches(ev)) {
+          stack.back().skel_close = ev;
+          if (!stack.back().has_stub) {
+            Frame f = std::move(stack.back());
+            stack.pop_back();
+            emit_span(out, chain, f.open, f.skel_open, f.skel_close,
+                      std::nullopt);
+          }
+        }
+        break;
+      case EventKind::kStubEnd:
+        if (!stack.empty() && stack.back().has_stub && matches(ev)) {
+          Frame f = std::move(stack.back());
+          stack.pop_back();
+          emit_span(out, chain, f.open, f.skel_open, f.skel_close, ev);
+        }
+        break;
+    }
+  }
+  // Frames still open (chain cut at a file tail) produce no spans.
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+
+struct GroupAcc {
+  std::uint64_t count{0};
+  std::vector<std::int64_t> latencies;
+};
+
+std::string group_key(const Query& q, const Span& s) {
+  if (!q.group_by) return {};
+  switch (*q.group_by) {
+    case Field::kIface: return std::string(s.iface);
+    case Field::kFunc: return std::string(s.func);
+    case Field::kProcess: return std::string(s.process);
+    case Field::kNode: return std::string(s.node);
+    case Field::kType: return std::string(s.type);
+    case Field::kOutcome: return std::string(monitor::to_string(s.outcome));
+    case Field::kKind: return std::string(monitor::to_string(s.kind));
+    default: return {};  // parser only admits the above
+  }
+}
+
+// Nearest-rank percentile over a sorted vector.
+std::int64_t percentile(const std::vector<std::int64_t>& sorted, int pct) {
+  const std::size_t n = sorted.size();
+  std::size_t rank = (n * static_cast<std::size_t>(pct) + 99) / 100;
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+std::optional<double> aggregate(AggFunc f, const GroupAcc& acc,
+                                const std::vector<std::int64_t>& sorted) {
+  if (f == AggFunc::kCount) return static_cast<double>(acc.count);
+  if (sorted.empty()) return std::nullopt;
+  switch (f) {
+    case AggFunc::kSum: {
+      double sum = 0;
+      for (const std::int64_t v : sorted) sum += static_cast<double>(v);
+      return sum;
+    }
+    case AggFunc::kAvg: {
+      double sum = 0;
+      for (const std::int64_t v : sorted) sum += static_cast<double>(v);
+      return sum / static_cast<double>(sorted.size());
+    }
+    case AggFunc::kMin: return static_cast<double>(sorted.front());
+    case AggFunc::kMax: return static_cast<double>(sorted.back());
+    case AggFunc::kP50: return static_cast<double>(percentile(sorted, 50));
+    case AggFunc::kP95: return static_cast<double>(percentile(sorted, 95));
+    case AggFunc::kP99: return static_cast<double>(percentile(sorted, 99));
+    case AggFunc::kCount: break;  // handled above
+  }
+  return std::nullopt;
+}
+
+std::string format_value(const std::optional<double>& v) {
+  if (!v) return "-";
+  const double d = *v;
+  if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", d);
+  return buf;
+}
+
+}  // namespace
+
+QueryResult run_query(const Query& q,
+                      const std::vector<std::string>& inputs) {
+  QueryResult result;
+  const std::optional<Uuid> need_chain = required_chain(q.where.get());
+  const std::int64_t since =
+      q.since.value_or(std::numeric_limits<std::int64_t>::min());
+  const std::int64_t until =
+      q.until.value_or(std::numeric_limits<std::int64_t>::max());
+  const bool windowed = q.since.has_value() || q.until.has_value();
+
+  Gather gather;
+  for (const std::string& input : inputs) {
+    if (store::is_store_directory(input)) {
+      const store::StoreView view = store::open_store(input);
+      for (const auto& file : view.files) {
+        result.stats.files_total += 1;
+        if (file.indexed) {
+          bool pruned = !file.entry.has_records();
+          if (windowed && !file.entry.overlaps_time(since, until)) {
+            pruned = true;
+          }
+          if (need_chain && !file.entry.may_contain_chain(*need_chain)) {
+            pruned = true;
+          }
+          if (pruned) {
+            result.stats.files_pruned += 1;
+            continue;
+          }
+        }
+        scan_file(file.path, gather, result.stats);
+      }
+    } else {
+      result.stats.files_total += 1;
+      scan_file(input, gather, result.stats);
+    }
+  }
+
+  std::vector<Span> spans;
+  for (auto& [chain, events] : gather.chains) {
+    pair_chain(chain, events, spans);
+  }
+  result.stats.spans_total = spans.size();
+
+  std::map<std::string, GroupAcc> groups;
+  for (const Span& s : spans) {
+    // The window clauses bound the whole span: it opens at or after
+    // `since` and closes at or before `until` -- the invariant that makes
+    // both catalog prune directions exact, not approximate.
+    if (s.open_ts < since || s.close_ts > until) continue;
+    if (!eval_expr(q.where.get(), s)) continue;
+    result.stats.spans_matched += 1;
+    GroupAcc& acc = groups[group_key(q, s)];
+    acc.count += 1;
+    if (s.latency) acc.latencies.push_back(*s.latency);
+  }
+
+  if (q.group_by) {
+    result.columns.push_back(std::string(to_string(*q.group_by)));
+  }
+  for (const AggFunc f : q.aggs) {
+    result.columns.push_back(std::string(to_string(f)));
+  }
+  // A global (ungrouped) query always yields one row, even over nothing.
+  if (!q.group_by && groups.empty()) groups.emplace("", GroupAcc{});
+  for (auto& [key, acc] : groups) {
+    std::sort(acc.latencies.begin(), acc.latencies.end());
+    QueryResult::Row row;
+    row.group = key;
+    for (const AggFunc f : q.aggs) {
+      row.values.push_back(aggregate(f, acc, acc.latencies));
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+std::string render_text(const QueryResult& r) {
+  // Column widths sized to content so the table reads aligned.
+  std::vector<std::size_t> widths(r.columns.size());
+  for (std::size_t c = 0; c < r.columns.size(); ++c) {
+    widths[c] = r.columns[c].size();
+  }
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& row : r.rows) {
+    std::vector<std::string> line;
+    if (r.columns.size() == row.values.size() + 1) {
+      line.push_back(row.group);
+    }
+    for (const auto& v : row.values) line.push_back(format_value(v));
+    for (std::size_t c = 0; c < line.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], line[c].size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::string out;
+  for (std::size_t c = 0; c < r.columns.size(); ++c) {
+    if (c) out += "  ";
+    out += r.columns[c];
+    out.append(widths[c] - r.columns[c].size(), ' ');
+  }
+  out += '\n';
+  for (const auto& line : cells) {
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      if (c) out += "  ";
+      out += line[c];
+      if (c + 1 < line.size()) out.append(widths[c] - line[c].size(), ' ');
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_csv(const QueryResult& r) {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (const char c : s) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::string out;
+  for (std::size_t c = 0; c < r.columns.size(); ++c) {
+    if (c) out += ',';
+    out += escape(r.columns[c]);
+  }
+  out += '\n';
+  for (const auto& row : r.rows) {
+    std::vector<std::string> line;
+    if (r.columns.size() == row.values.size() + 1) {
+      line.push_back(row.group);
+    }
+    for (const auto& v : row.values) line.push_back(format_value(v));
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      if (c) out += ',';
+      out += escape(line[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace causeway::query

@@ -1,0 +1,394 @@
+#include "query/parser.h"
+
+#include <cctype>
+
+namespace causeway::query {
+
+namespace {
+
+bool word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '.' || c == ':' || c == '/' || c == '-';
+}
+
+bool string_field(Field f) {
+  switch (f) {
+    case Field::kIface:
+    case Field::kFunc:
+    case Field::kProcess:
+    case Field::kNode:
+    case Field::kType:
+    case Field::kOutcome:
+    case Field::kKind:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool numeric_field(Field f) {
+  return f == Field::kObject || f == Field::kLatency || f == Field::kTs;
+}
+
+// 'where'-clause field names.  interface/iface and function/func are
+// accepted as synonyms to match report column headings.
+std::optional<Field> field_from(std::string_view word) {
+  if (word == "iface" || word == "interface") return Field::kIface;
+  if (word == "func" || word == "function") return Field::kFunc;
+  if (word == "process") return Field::kProcess;
+  if (word == "node") return Field::kNode;
+  if (word == "type") return Field::kType;
+  if (word == "object") return Field::kObject;
+  if (word == "chain") return Field::kChain;
+  if (word == "latency") return Field::kLatency;
+  if (word == "ts") return Field::kTs;
+  if (word == "outcome") return Field::kOutcome;
+  if (word == "kind") return Field::kKind;
+  return std::nullopt;
+}
+
+std::optional<AggFunc> agg_from(std::string_view word) {
+  if (word == "count") return AggFunc::kCount;
+  if (word == "sum") return AggFunc::kSum;
+  if (word == "avg") return AggFunc::kAvg;
+  if (word == "min") return AggFunc::kMin;
+  if (word == "max") return AggFunc::kMax;
+  if (word == "p50") return AggFunc::kP50;
+  if (word == "p95") return AggFunc::kP95;
+  if (word == "p99") return AggFunc::kP99;
+  return std::nullopt;
+}
+
+// ['-'] digits + optional ns/us/ms/s suffix, normalized to nanoseconds.
+std::optional<std::int64_t> parse_number(std::string_view word) {
+  std::size_t i = 0;
+  const bool negative = !word.empty() && word[0] == '-';
+  if (negative) i = 1;
+  std::int64_t value = 0;
+  std::size_t digits = 0;
+  for (; i < word.size(); ++i) {
+    const char c = word[i];
+    if (c < '0' || c > '9') break;
+    value = value * 10 + (c - '0');
+    ++digits;
+  }
+  if (digits == 0) return std::nullopt;
+  const std::string_view unit = word.substr(i);
+  std::int64_t scale = 1;
+  if (unit.empty() || unit == "ns") {
+    scale = 1;
+  } else if (unit == "us") {
+    scale = 1000;
+  } else if (unit == "ms") {
+    scale = 1000000;
+  } else if (unit == "s") {
+    scale = 1000000000;
+  } else {
+    return std::nullopt;
+  }
+  value *= scale;
+  return negative ? -value : value;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(tokenize(source)) {}
+
+  Query parse() {
+    Query q;
+    q.aggs.push_back(parse_agg());
+    while (accept(Token::Kind::kComma)) q.aggs.push_back(parse_agg());
+    while (peek().kind != Token::Kind::kEnd) {
+      const Token& t = peek();
+      if (t.kind != Token::Kind::kWord) {
+        throw QueryError("expected a clause keyword", t.pos);
+      }
+      if (t.text == "where") {
+        if (q.where) throw QueryError("duplicate 'where' clause", t.pos);
+        next();
+        q.where = parse_or();
+      } else if (t.text == "group") {
+        if (q.group_by) throw QueryError("duplicate 'group by' clause", t.pos);
+        next();
+        expect_word("by");
+        q.group_by = parse_group_field();
+      } else if (t.text == "since") {
+        if (q.since) throw QueryError("duplicate 'since' clause", t.pos);
+        next();
+        q.since = parse_time_bound();
+      } else if (t.text == "until") {
+        if (q.until) throw QueryError("duplicate 'until' clause", t.pos);
+        next();
+        q.until = parse_time_bound();
+      } else {
+        throw QueryError("unknown clause '" + t.text + "'", t.pos);
+      }
+    }
+    if (q.since && q.until && *q.since > *q.until) {
+      throw QueryError("empty time window: since > until", 0);
+    }
+    return q;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[index_]; }
+  const Token& next() { return tokens_[index_++]; }
+
+  bool accept(Token::Kind kind) {
+    if (peek().kind != kind) return false;
+    next();
+    return true;
+  }
+
+  void expect_word(std::string_view word) {
+    const Token& t = next();
+    if (t.kind != Token::Kind::kWord || t.text != word) {
+      throw QueryError("expected '" + std::string(word) + "'", t.pos);
+    }
+  }
+
+  AggFunc parse_agg() {
+    const Token& t = next();
+    if (t.kind != Token::Kind::kWord) {
+      throw QueryError("expected an aggregation", t.pos);
+    }
+    const auto agg = agg_from(t.text);
+    if (!agg) throw QueryError("unknown aggregation '" + t.text + "'", t.pos);
+    if (*agg == AggFunc::kCount) return *agg;
+    // The latency functions take their argument explicitly so future fields
+    // slot in without grammar surgery.
+    const Token& open = next();
+    if (open.kind != Token::Kind::kLParen) {
+      throw QueryError("expected '(' after '" + t.text + "'", open.pos);
+    }
+    expect_word("latency");
+    const Token& close = next();
+    if (close.kind != Token::Kind::kRParen) {
+      throw QueryError("expected ')'", close.pos);
+    }
+    return *agg;
+  }
+
+  Field parse_group_field() {
+    const Token& t = next();
+    if (t.kind != Token::Kind::kWord) {
+      throw QueryError("expected a field to group by", t.pos);
+    }
+    const auto field = field_from(t.text);
+    if (!field || !string_field(*field)) {
+      throw QueryError("cannot group by '" + t.text + "'", t.pos);
+    }
+    return *field;
+  }
+
+  std::int64_t parse_time_bound() {
+    const Token& t = next();
+    if (t.kind != Token::Kind::kWord) {
+      throw QueryError("expected a timestamp", t.pos);
+    }
+    const auto value = parse_number(t.text);
+    if (!value) throw QueryError("malformed timestamp '" + t.text + "'", t.pos);
+    return *value;
+  }
+
+  std::unique_ptr<Expr> parse_or() {
+    auto left = parse_and();
+    while (peek().kind == Token::Kind::kWord && peek().text == "or") {
+      next();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kOr;
+      node->args.push_back(std::move(left));
+      node->args.push_back(parse_and());
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  std::unique_ptr<Expr> parse_and() {
+    auto left = parse_unary();
+    while (peek().kind == Token::Kind::kWord && peek().text == "and") {
+      next();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kAnd;
+      node->args.push_back(std::move(left));
+      node->args.push_back(parse_unary());
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  std::unique_ptr<Expr> parse_unary() {
+    if (peek().kind == Token::Kind::kWord && peek().text == "not") {
+      next();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNot;
+      node->args.push_back(parse_unary());
+      return node;
+    }
+    if (accept(Token::Kind::kLParen)) {
+      auto inner = parse_or();
+      const Token& close = next();
+      if (close.kind != Token::Kind::kRParen) {
+        throw QueryError("expected ')'", close.pos);
+      }
+      return inner;
+    }
+    return parse_predicate();
+  }
+
+  std::unique_ptr<Expr> parse_predicate() {
+    const Token& ft = next();
+    if (ft.kind != Token::Kind::kWord) {
+      throw QueryError("expected a field name", ft.pos);
+    }
+    const auto field = field_from(ft.text);
+    if (!field) throw QueryError("unknown field '" + ft.text + "'", ft.pos);
+    const Token& ot = next();
+    if (ot.kind != Token::Kind::kOp) {
+      throw QueryError("expected a comparison operator", ot.pos);
+    }
+    Op op;
+    if (ot.text == "==") {
+      op = Op::kEq;
+    } else if (ot.text == "!=") {
+      op = Op::kNe;
+    } else if (ot.text == "<") {
+      op = Op::kLt;
+    } else if (ot.text == "<=") {
+      op = Op::kLe;
+    } else if (ot.text == ">") {
+      op = Op::kGt;
+    } else if (ot.text == ">=") {
+      op = Op::kGe;
+    } else {
+      op = Op::kMatch;
+    }
+    const Token& vt = next();
+    if (vt.kind != Token::Kind::kWord && vt.kind != Token::Kind::kString) {
+      throw QueryError("expected a value", vt.pos);
+    }
+
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kPred;
+    node->pred.field = *field;
+    node->pred.op = op;
+    if (*field == Field::kChain) {
+      if (op != Op::kEq && op != Op::kNe) {
+        throw QueryError("chain supports only == and !=", ot.pos);
+      }
+      const auto uuid = Uuid::parse(vt.text);
+      if (!uuid) throw QueryError("malformed chain UUID", vt.pos);
+      node->pred.chain = *uuid;
+    } else if (numeric_field(*field)) {
+      if (op == Op::kMatch) {
+        throw QueryError("'=~' applies to string fields only", ot.pos);
+      }
+      const auto value = parse_number(vt.text);
+      if (!value) {
+        throw QueryError("malformed number '" + vt.text + "'", vt.pos);
+      }
+      node->pred.number = *value;
+    } else {
+      if (op != Op::kEq && op != Op::kNe && op != Op::kMatch) {
+        throw QueryError("ordering operators apply to numeric fields only",
+                         ot.pos);
+      }
+      node->pred.text = vt.text;
+    }
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_{0};
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < source.size()) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (c == '(') {
+      tokens.push_back({Token::Kind::kLParen, "(", start});
+      ++i;
+    } else if (c == ')') {
+      tokens.push_back({Token::Kind::kRParen, ")", start});
+      ++i;
+    } else if (c == ',') {
+      tokens.push_back({Token::Kind::kComma, ",", start});
+      ++i;
+    } else if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++i;
+      std::string text;
+      while (i < source.size() && source[i] != quote) text += source[i++];
+      if (i == source.size()) {
+        throw QueryError("unterminated string", start);
+      }
+      ++i;  // closing quote
+      tokens.push_back({Token::Kind::kString, std::move(text), start});
+    } else if (c == '=' || c == '!' || c == '<' || c == '>') {
+      std::string text(1, c);
+      ++i;
+      if (i < source.size() && (source[i] == '=' || source[i] == '~')) {
+        text += source[i++];
+      }
+      if (text != "==" && text != "!=" && text != "<" && text != "<=" &&
+          text != ">" && text != ">=" && text != "=~") {
+        throw QueryError("malformed operator '" + text + "'", start);
+      }
+      tokens.push_back({Token::Kind::kOp, std::move(text), start});
+    } else if (word_char(c)) {
+      std::string text;
+      while (i < source.size() && word_char(source[i])) text += source[i++];
+      tokens.push_back({Token::Kind::kWord, std::move(text), start});
+    } else {
+      throw QueryError(std::string("unexpected character '") + c + "'", start);
+    }
+  }
+  tokens.push_back({Token::Kind::kEnd, "", source.size()});
+  return tokens;
+}
+
+Query parse_query(std::string_view source) {
+  return Parser(source).parse();
+}
+
+std::string_view to_string(Field f) {
+  switch (f) {
+    case Field::kIface: return "iface";
+    case Field::kFunc: return "func";
+    case Field::kProcess: return "process";
+    case Field::kNode: return "node";
+    case Field::kType: return "type";
+    case Field::kObject: return "object";
+    case Field::kChain: return "chain";
+    case Field::kLatency: return "latency";
+    case Field::kTs: return "ts";
+    case Field::kOutcome: return "outcome";
+    case Field::kKind: return "kind";
+  }
+  return "?";
+}
+
+std::string_view to_string(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return "count";
+    case AggFunc::kSum: return "sum(latency)";
+    case AggFunc::kAvg: return "avg(latency)";
+    case AggFunc::kMin: return "min(latency)";
+    case AggFunc::kMax: return "max(latency)";
+    case AggFunc::kP50: return "p50(latency)";
+    case AggFunc::kP95: return "p95(latency)";
+    case AggFunc::kP99: return "p99(latency)";
+  }
+  return "?";
+}
+
+}  // namespace causeway::query

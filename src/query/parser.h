@@ -1,0 +1,65 @@
+// Tokenizer and recursive-descent parser for the query DSL.
+//
+//   query   := agg (',' agg)* clause*
+//   agg     := 'count' | ('sum'|'avg'|'min'|'max'|'p50'|'p95'|'p99')
+//              '(' 'latency' ')'
+//   clause  := 'where' or | 'group' 'by' field | 'since' number
+//            | 'until' number
+//   or      := and ('or' and)*
+//   and     := unary ('and' unary)*
+//   unary   := 'not' unary | '(' or ')' | pred
+//   pred    := field op value
+//   op      := '==' | '!=' | '<' | '<=' | '>' | '>=' | '=~'
+//   field   := 'iface'|'interface'|'func'|'function'|'process'|'node'
+//            | 'type'|'object'|'chain'|'latency'|'ts'|'outcome'|'kind'
+//   value   := word | quoted string | number | uuid
+//   number  := ['-'] digits ('ns'|'us'|'ms'|'s')?     (always stored in ns)
+//
+// Full reference with examples: docs/QUERY.md.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/ast.h"
+
+namespace causeway::query {
+
+// Parse/lex failure; the message names the offset and what was expected.
+class QueryError : public std::runtime_error {
+ public:
+  QueryError(const std::string& what, std::size_t pos)
+      : std::runtime_error(what + " (at offset " + std::to_string(pos) + ")"),
+        pos_(pos) {}
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::size_t pos_;
+};
+
+struct Token {
+  enum class Kind {
+    kWord,    // identifier / bare value / number / uuid
+    kString,  // quoted ('...' or "..."), quotes stripped
+    kOp,      // == != < <= > >= =~
+    kLParen,
+    kRParen,
+    kComma,
+    kEnd,
+  };
+  Kind kind{Kind::kEnd};
+  std::string text;
+  std::size_t pos{0};  // byte offset into the source
+};
+
+// Splits `source` into tokens (always ends with a kEnd token).  Throws
+// QueryError on characters that cannot start a token or an unterminated
+// quoted string.
+std::vector<Token> tokenize(std::string_view source);
+
+// Parses one complete query.  Throws QueryError on malformed input.
+Query parse_query(std::string_view source);
+
+}  // namespace causeway::query

@@ -1,0 +1,169 @@
+#include "store/catalog.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/trace_io.h"
+#include "common/wire.h"
+
+namespace causeway::store {
+
+using analysis::TraceIoError;
+
+namespace {
+
+constexpr std::uint32_t kCatalogMagic = 0x43574343;  // "CWCC"
+constexpr std::uint32_t kCatalogEnd = 0x43574345;    // "CWCE"
+constexpr std::uint32_t kCatalogVersion = 1;
+
+// Four 13-bit probes (8192 bits) straight out of the UUID's 128 random
+// bits -- chains are generated uniformly, so no re-hash is needed.
+std::array<std::uint32_t, 4> probes(const Uuid& chain) {
+  return {static_cast<std::uint32_t>(chain.hi & 8191),
+          static_cast<std::uint32_t>((chain.hi >> 13) & 8191),
+          static_cast<std::uint32_t>(chain.lo & 8191),
+          static_cast<std::uint32_t>((chain.lo >> 13) & 8191)};
+}
+
+}  // namespace
+
+void ChainDigest::insert(const Uuid& chain) {
+  for (const std::uint32_t bit : probes(chain)) {
+    words[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+  }
+}
+
+bool ChainDigest::may_contain(const Uuid& chain) const {
+  for (const std::uint32_t bit : probes(chain)) {
+    if ((words[bit >> 6] & (std::uint64_t{1} << (bit & 63))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ChainDigest::empty() const {
+  for (const std::uint64_t w : words) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool CatalogEntry::overlaps_time(std::int64_t since, std::int64_t until) const {
+  if (!has_records()) return false;
+  return max_ts >= since && min_ts <= until;
+}
+
+bool CatalogEntry::may_contain_chain(const Uuid& chain) const {
+  return chains.may_contain(chain);
+}
+
+std::uint64_t Catalog::total_records() const {
+  std::uint64_t total = 0;
+  for (const auto& e : entries) total += e.records;
+  return total;
+}
+
+std::vector<std::uint8_t> Catalog::encode() const {
+  WireBuffer out;
+  out.write_u32(kCatalogMagic);
+  out.write_u32(kCatalogVersion);
+  out.write_varint(entries.size());
+  for (const auto& e : entries) {
+    out.write_varint(e.file.size());
+    out.append_raw({reinterpret_cast<const std::uint8_t*>(e.file.data()),
+                    e.file.size()});
+    out.write_varint(e.bytes);
+    out.write_varint(e.segments);
+    out.write_varint(e.records);
+    out.write_varint(e.min_epoch);
+    out.write_varint(e.max_epoch);
+    out.write_svarint(e.min_ts);
+    out.write_svarint(e.max_ts);
+    out.write_varint(ChainDigest::kWords);
+    for (const std::uint64_t w : e.chains.words) out.write_u64(w);
+  }
+  out.write_u32(kCatalogEnd);
+  return std::move(out).take();
+}
+
+Catalog Catalog::decode(std::span<const std::uint8_t> bytes) {
+  try {
+    WireCursor in(bytes);
+    if (in.read_u32() != kCatalogMagic) {
+      throw TraceIoError("not a causeway store catalog");
+    }
+    if (in.read_u32() != kCatalogVersion) {
+      throw TraceIoError("unsupported store catalog version");
+    }
+    Catalog catalog;
+    const std::uint64_t count = in.read_varint();
+    if (count > in.remaining()) throw WireError("wire underflow");
+    catalog.entries.resize(static_cast<std::size_t>(count));
+    for (auto& e : catalog.entries) {
+      e.file = std::string(
+          in.read_view(static_cast<std::size_t>(in.read_varint())));
+      if (e.file.empty() ||
+          e.file.find('/') != std::string::npos ||
+          e.file.find('\\') != std::string::npos || e.file == "." ||
+          e.file == "..") {
+        throw TraceIoError("store catalog entry has an unsafe file name");
+      }
+      e.bytes = in.read_varint();
+      e.segments = in.read_varint();
+      e.records = in.read_varint();
+      e.min_epoch = in.read_varint();
+      e.max_epoch = in.read_varint();
+      e.min_ts = in.read_svarint();
+      e.max_ts = in.read_svarint();
+      const std::uint64_t words = in.read_varint();
+      if (words != ChainDigest::kWords) {
+        throw TraceIoError("unsupported store catalog digest size");
+      }
+      for (auto& w : e.chains.words) w = in.read_u64();
+    }
+    if (in.read_u32() != kCatalogEnd || in.remaining() != 0) {
+      throw TraceIoError("corrupt store catalog");
+    }
+    return catalog;
+  } catch (const WireError& e) {
+    throw TraceIoError(std::string("corrupt store catalog: ") + e.what());
+  }
+}
+
+std::optional<Catalog> load_catalog(const std::string& dir) {
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / kCatalogFileName;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw TraceIoError("read error on '" + path.string() + "'");
+  }
+  return Catalog::decode(bytes);
+}
+
+void save_catalog(const std::string& dir, const Catalog& catalog) {
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / kCatalogFileName;
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  const auto bytes = catalog.encode();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      throw TraceIoError("short write to '" + tmp.string() + "'");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw TraceIoError("cannot replace '" + path.string() +
+                       "': " + ec.message());
+  }
+}
+
+}  // namespace causeway::store

@@ -1,0 +1,90 @@
+// The store catalog: one small index file (`catalog.cwc`) describing every
+// sealed trace file in a store directory, so a query can decide which files
+// to open without touching them.
+//
+// Per sealed file the catalog keeps byte size and segment/record counts
+// (cheap sanity + progress accounting), the min/max record timestamp (the
+// value_start/value_end range, for time-window pruning), the epoch range,
+// and a bloom-style digest of every chain UUID that appears in the file
+// (for chain-equality pruning: "digest says no" is definitive, "digest says
+// maybe" costs one file open).  Entries are ordered; the writer appends as
+// it seals.
+//
+// The catalog is advisory-but-checked: the source of truth is always the
+// trace files themselves.  Readers validate an entry's byte size against
+// the file on disk before trusting its ranges, so a stale or hand-edited
+// catalog surfaces as a clean TraceIoError pointing at `--reindex`, never
+// as silently wrong query results.  Writes go through a temp file + rename
+// so a crash mid-update leaves the previous catalog intact.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace causeway::store {
+
+// 8192-bit bloom filter over chain UUIDs, 4 probes derived from the UUID's
+// own random bits (no extra hashing pass needed).  At ~1k distinct chains
+// per sealed file the false-positive rate is ~2%; at 4k it degrades toward
+// "open the file", never toward a wrong answer.
+struct ChainDigest {
+  static constexpr std::size_t kWords = 128;  // 128 x u64 = 8192 bits
+
+  std::array<std::uint64_t, kWords> words{};
+
+  void insert(const Uuid& chain);
+  bool may_contain(const Uuid& chain) const;
+  bool empty() const;
+};
+
+struct CatalogEntry {
+  std::string file;  // name relative to the store directory
+  std::uint64_t bytes{0};
+  std::uint64_t segments{0};
+  std::uint64_t records{0};
+  std::uint64_t min_epoch{std::numeric_limits<std::uint64_t>::max()};
+  std::uint64_t max_epoch{0};
+  // Record timestamp range over value_start/value_end; min > max means the
+  // file holds no records (possible but unusual).
+  std::int64_t min_ts{std::numeric_limits<std::int64_t>::max()};
+  std::int64_t max_ts{std::numeric_limits<std::int64_t>::min()};
+  ChainDigest chains;
+
+  bool has_records() const { return records > 0; }
+
+  // Pruning predicates ("maybe" answers are true).  The window is closed;
+  // pass the numeric limits for an unbounded side.
+  bool overlaps_time(std::int64_t since, std::int64_t until) const;
+  bool may_contain_chain(const Uuid& chain) const;
+};
+
+struct Catalog {
+  std::vector<CatalogEntry> entries;
+
+  std::uint64_t total_records() const;
+
+  // Serialized form ("CWCC" magic, version, entries, "CWCE" end mark).
+  std::vector<std::uint8_t> encode() const;
+  static Catalog decode(std::span<const std::uint8_t> bytes);
+};
+
+inline constexpr char kCatalogFileName[] = "catalog.cwc";
+
+// Loads `dir`/catalog.cwc.  nullopt when the file does not exist (a store
+// that never sealed, or a pre-catalog directory -- callers fall back to
+// directory listing + reindex).  Throws analysis::TraceIoError on a
+// malformed catalog.
+std::optional<Catalog> load_catalog(const std::string& dir);
+
+// Atomically replaces `dir`/catalog.cwc (temp file + rename).  Throws
+// analysis::TraceIoError on I/O failure.
+void save_catalog(const std::string& dir, const Catalog& catalog);
+
+}  // namespace causeway::store

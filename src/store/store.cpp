@@ -1,0 +1,420 @@
+#include "store/store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+namespace causeway::store {
+
+namespace fs = std::filesystem;
+using analysis::TraceIoError;
+
+namespace {
+
+constexpr char kCurrentFileName[] = "current.cwt";
+
+std::string sealed_name(std::uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "store-%06llu.cwt",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+// store-NNNNNN.cwt -> NNNNNN; nullopt for anything else (current.cwt,
+// foreign .cwt files a user copied in are indexed but never renumbered).
+std::optional<std::uint64_t> sealed_index(const std::string& name) {
+  constexpr std::string_view prefix = "store-";
+  constexpr std::string_view suffix = ".cwt";
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw TraceIoError("cannot open trace file '" + path.string() + "'");
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw TraceIoError("read error on '" + path.string() + "'");
+  }
+  return bytes;
+}
+
+void fold_record(CatalogEntry& e, std::uint64_t epoch, const Uuid& chain,
+                 std::int64_t start, std::int64_t end) {
+  e.records += 1;
+  e.min_epoch = std::min(e.min_epoch, epoch);
+  e.max_epoch = std::max(e.max_epoch, epoch);
+  e.min_ts = std::min(e.min_ts, start);
+  e.max_ts = std::max(e.max_ts, std::max(start, end));
+  e.chains.insert(chain);
+}
+
+void fold_bundle(CatalogEntry& e, const analysis::ColumnBundle& cols) {
+  e.segments += 1;
+  if (cols.count == 0) return;
+  e.min_epoch = std::min(e.min_epoch, cols.epoch);
+  e.max_epoch = std::max(e.max_epoch, cols.epoch);
+  for (const auto& run : cols.runs) e.chains.insert(run.chain);
+  e.records += cols.count;
+  for (std::size_t i = 0; i < cols.count; ++i) {
+    e.min_ts = std::min(e.min_ts, cols.value_start[i]);
+    e.max_ts =
+        std::max(e.max_ts, std::max(cols.value_start[i], cols.value_end[i]));
+  }
+}
+
+void fold_logs(CatalogEntry& e, const monitor::CollectedLogs& logs) {
+  e.segments += 1;
+  for (const auto& r : logs.records) {
+    fold_record(e, logs.epoch, r.chain, r.value_start, r.value_end);
+  }
+}
+
+// Reads a (repaired, trailer-terminated) trace file and computes its
+// catalog entry from scratch: walk block extents, decode each segment --
+// column-form for v4/v5, record-major for v2/v3 -- and fold the stats.
+CatalogEntry stat_file(const fs::path& path) {
+  CatalogEntry entry;
+  entry.file = path.filename().string();
+  const auto bytes = read_file(path);
+  entry.bytes = bytes.size();
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    std::size_t length = 0;
+    bool is_segment = false;
+    if (!analysis::probe_trace_block(
+            std::span<const std::uint8_t>(bytes).subspan(offset), length,
+            is_segment)) {
+      throw TraceIoError("incomplete segment in store file '" +
+                         path.string() + "' (run causeway-analyze --reindex)");
+    }
+    if (is_segment) {
+      const auto segment =
+          std::span<const std::uint8_t>(bytes).subspan(offset, length);
+      // Version word sits after the 4-byte magic in every format.
+      const std::uint32_t version =
+          static_cast<std::uint32_t>(segment[4]) |
+          static_cast<std::uint32_t>(segment[5]) << 8 |
+          static_cast<std::uint32_t>(segment[6]) << 16 |
+          static_cast<std::uint32_t>(segment[7]) << 24;
+      if (version >= analysis::kTraceFormatV4) {
+        fold_bundle(entry, analysis::decode_trace_segment_columns(segment));
+      } else {
+        fold_logs(entry, analysis::decode_trace_segment(segment));
+      }
+    }
+    offset += length;
+  }
+  return entry;
+}
+
+const CatalogEntry* find_entry(const Catalog& catalog,
+                               const std::string& file) {
+  for (const auto& e : catalog.entries) {
+    if (e.file == file) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+StoreWriter::StoreWriter(std::string dir, StoreOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.trace_format != analysis::kTraceFormatV4 &&
+      options_.trace_format != analysis::kTraceFormatV5) {
+    throw TraceIoError("store requires a columnar trace format (v4 or v5)");
+  }
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw TraceIoError("cannot create store directory '" + dir_ +
+                       "': " + ec.message());
+  }
+  // Recover whatever a previous writer left behind (including sealing a
+  // leftover current.cwt) so this writer starts from a consistent catalog.
+  reindex_store(dir_);
+  catalog_ = load_catalog(dir_).value_or(Catalog{});
+  for (const auto& e : catalog_.entries) {
+    if (const auto idx = sealed_index(e.file)) {
+      next_index_ = std::max(next_index_, *idx + 1);
+    }
+  }
+}
+
+StoreWriter::~StoreWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; an explicit close() surfaces errors.
+  }
+}
+
+void StoreWriter::ensure_open() {
+  if (closed_) throw TraceIoError("store writer is closed");
+  if (writer_) return;
+  const fs::path current = fs::path(dir_) / kCurrentFileName;
+  writer_ = std::make_unique<analysis::TraceWriter>(
+      current.string(), options_.trace_format, options_.checkpoint_every);
+  pending_ = CatalogEntry{};
+}
+
+void StoreWriter::append(const monitor::CollectedLogs& logs) {
+  ensure_open();
+  writer_->append(logs);
+  fold_logs(pending_, logs);
+  records_ += logs.records.size();
+  segments_ += 1;
+  maybe_rotate();
+}
+
+void StoreWriter::append(const analysis::ColumnBundle& cols) {
+  ensure_open();
+  writer_->append(cols);
+  fold_bundle(pending_, cols);
+  records_ += cols.count;
+  segments_ += 1;
+  maybe_rotate();
+}
+
+void StoreWriter::append_encoded(std::span<const std::uint8_t> segment) {
+  ensure_open();
+  // Decode first: a malformed segment must not reach the file, and the
+  // catalog stats need the records anyway.  The wire format of the incoming
+  // segment may differ from the store's own (a v4 publisher feeding a v5
+  // store); append_encoded persists the bytes verbatim either way.
+  const std::uint32_t version = segment.size() >= 8
+                                    ? (static_cast<std::uint32_t>(segment[4]) |
+                                       static_cast<std::uint32_t>(segment[5])
+                                           << 8 |
+                                       static_cast<std::uint32_t>(segment[6])
+                                           << 16 |
+                                       static_cast<std::uint32_t>(segment[7])
+                                           << 24)
+                                    : 0;
+  std::uint64_t count = 0;
+  if (version >= analysis::kTraceFormatV4) {
+    const auto cols = analysis::decode_trace_segment_columns(segment);
+    fold_bundle(pending_, cols);
+    count = cols.count;
+  } else {
+    const auto logs = analysis::decode_trace_segment(segment);
+    fold_logs(pending_, logs);
+    count = logs.records.size();
+  }
+  writer_->append_encoded(segment);
+  records_ += count;
+  segments_ += 1;
+  maybe_rotate();
+}
+
+void StoreWriter::maybe_rotate() {
+  if (!writer_) return;
+  const bool by_bytes = writer_->bytes_written() >= options_.rotate_bytes;
+  const bool by_segments = options_.rotate_segments > 0 &&
+                           writer_->segments() >= options_.rotate_segments;
+  if (by_bytes || by_segments) seal_current();
+}
+
+void StoreWriter::rotate() {
+  if (closed_) throw TraceIoError("store writer is closed");
+  seal_current();
+}
+
+void StoreWriter::seal_current() {
+  if (!writer_ || writer_->segments() == 0) return;
+  writer_->close();
+  const fs::path current = fs::path(dir_) / kCurrentFileName;
+  const std::string name = sealed_name(next_index_);
+  const fs::path sealed = fs::path(dir_) / name;
+  std::error_code ec;
+  fs::rename(current, sealed, ec);
+  if (ec) {
+    throw TraceIoError("cannot seal '" + current.string() +
+                       "': " + ec.message());
+  }
+  writer_.reset();
+  next_index_ += 1;
+  pending_.file = name;
+  pending_.bytes = fs::file_size(sealed, ec);
+  if (ec) {
+    throw TraceIoError("cannot stat '" + sealed.string() +
+                       "': " + ec.message());
+  }
+  catalog_.entries.push_back(std::move(pending_));
+  pending_ = CatalogEntry{};
+  save_catalog(dir_, catalog_);
+}
+
+void StoreWriter::close() {
+  if (closed_) return;
+  seal_current();
+  if (writer_) {
+    // Open but empty: close and remove the zero-segment file.
+    writer_->close();
+    writer_.reset();
+    std::error_code ec;
+    fs::remove(fs::path(dir_) / kCurrentFileName, ec);
+  }
+  closed_ = true;
+}
+
+bool is_store_directory(const std::string& path) {
+  std::error_code ec;
+  return fs::is_directory(path, ec);
+}
+
+StoreReindexResult reindex_store(const std::string& dir) {
+  if (!is_store_directory(dir)) {
+    throw TraceIoError("'" + dir + "' is not a store directory");
+  }
+  StoreReindexResult result;
+  // A corrupt catalog is exactly what --reindex repairs: treat it as
+  // absent and rebuild from the files.
+  std::optional<Catalog> loaded;
+  try {
+    loaded = load_catalog(dir);
+  } catch (const TraceIoError&) {
+    loaded = std::nullopt;
+  }
+  const bool had_catalog = loaded.has_value();
+  Catalog old_catalog = loaded ? *std::move(loaded) : Catalog{};
+
+  // Everything that should be indexed: sealed files already on disk, plus
+  // a leftover current.cwt (repaired and sealed under the next number).
+  std::vector<std::string> sealed_files;
+  std::uint64_t next_index = 1;
+  bool have_current = false;
+  for (const auto& de : fs::directory_iterator(dir)) {
+    if (!de.is_regular_file()) continue;
+    const std::string name = de.path().filename().string();
+    if (name == kCurrentFileName) {
+      have_current = true;
+      continue;
+    }
+    if (de.path().extension() != ".cwt") continue;
+    sealed_files.push_back(name);
+    if (const auto idx = sealed_index(name)) {
+      next_index = std::max(next_index, *idx + 1);
+    }
+  }
+
+  if (have_current) {
+    const fs::path current = fs::path(dir) / kCurrentFileName;
+    const auto repair = analysis::reindex_trace_file(current.string());
+    result.truncated_bytes += repair.truncated_bytes;
+    result.used_checkpoint |= repair.used_checkpoint;
+    if (repair.segments == 0) {
+      // Nothing survived (crash before the first complete segment): the
+      // empty file carries no data worth a catalog entry.
+      std::error_code ec;
+      fs::remove(current, ec);
+    } else {
+      const std::string name = sealed_name(next_index);
+      std::error_code ec;
+      fs::rename(current, fs::path(dir) / name, ec);
+      if (ec) {
+        throw TraceIoError("cannot seal '" + current.string() +
+                           "': " + ec.message());
+      }
+      sealed_files.push_back(name);
+      result.sealed_current = true;
+      result.files_repaired += 1;
+    }
+  }
+
+  std::sort(sealed_files.begin(), sealed_files.end());
+  Catalog rebuilt;
+  for (const std::string& name : sealed_files) {
+    const fs::path path = fs::path(dir) / name;
+    std::error_code ec;
+    const std::uint64_t size = fs::file_size(path, ec);
+    const CatalogEntry* known = ec ? nullptr : find_entry(old_catalog, name);
+    if (known != nullptr && known->bytes == size) {
+      // The catalog already describes this file at its current size --
+      // trust it and skip the decode.
+      rebuilt.entries.push_back(*known);
+      result.files_indexed += 1;
+      continue;
+    }
+    // Unknown or misdescribed: repair the file (appends a trailer and
+    // truncates a torn tail if the writer crashed mid-append), then restat.
+    const auto repair = analysis::reindex_trace_file(path.string());
+    result.truncated_bytes += repair.truncated_bytes;
+    result.used_checkpoint |= repair.used_checkpoint;
+    rebuilt.entries.push_back(stat_file(path));
+    result.files_indexed += 1;
+    result.files_repaired += 1;
+  }
+  result.dropped_entries = static_cast<std::size_t>(std::count_if(
+      old_catalog.entries.begin(), old_catalog.entries.end(),
+      [&](const CatalogEntry& e) {
+        return find_entry(rebuilt, e.file) == nullptr;
+      }));
+
+  const bool changed =
+      !had_catalog || rebuilt.entries.size() != old_catalog.entries.size() ||
+      result.files_repaired > 0 || result.dropped_entries > 0 ||
+      !std::equal(rebuilt.entries.begin(), rebuilt.entries.end(),
+                  old_catalog.entries.begin(),
+                  [](const CatalogEntry& a, const CatalogEntry& b) {
+                    return a.file == b.file && a.bytes == b.bytes;
+                  });
+  result.catalog_rewritten = changed;
+  if (changed) save_catalog(dir, rebuilt);
+  return result;
+}
+
+StoreView open_store(const std::string& dir) {
+  if (!is_store_directory(dir)) {
+    throw TraceIoError("'" + dir + "' is not a store directory");
+  }
+  StoreView view;
+  view.directory = dir;
+  const auto catalog = load_catalog(dir);
+  if (catalog) {
+    for (const auto& e : catalog->entries) {
+      const fs::path path = fs::path(dir) / e.file;
+      std::error_code ec;
+      const std::uint64_t size = fs::file_size(path, ec);
+      if (ec) {
+        throw TraceIoError("store catalog lists missing file '" +
+                           path.string() +
+                           "' (run causeway-analyze --reindex)");
+      }
+      if (size != e.bytes) {
+        throw TraceIoError("store catalog is stale for '" + path.string() +
+                           "' (run causeway-analyze --reindex)");
+      }
+      view.files.push_back(StoreFile{path.string(), e, true});
+    }
+  }
+  // The live file (writer running, or crashed before recovery) has no
+  // catalog entry; surface it so readers always scan it.
+  const fs::path current = fs::path(dir) / kCurrentFileName;
+  std::error_code ec;
+  if (fs::is_regular_file(current, ec)) {
+    StoreFile live;
+    live.path = current.string();
+    live.entry.file = kCurrentFileName;
+    live.indexed = false;
+    view.files.push_back(std::move(live));
+  }
+  return view;
+}
+
+}  // namespace causeway::store

@@ -1,0 +1,138 @@
+// The durable trace store: collectd's merged output as a retention-managed
+// directory instead of one unbounded `.cwt` (DESIGN.md Sec. 16).
+//
+// Layout of a store directory:
+//
+//   store-000001.cwt   sealed trace files, each a complete closed trace
+//   store-000002.cwt   (directory trailer + interior checkpoints)
+//   ...
+//   current.cwt        the live file the writer is appending to (absent
+//                      once the writer closed cleanly)
+//   catalog.cwc        the multi-file index (store/catalog.h)
+//
+// StoreWriter appends segments to current.cwt through a checkpointing
+// TraceWriter and *seals* it -- close, rename to the next store-NNNNNN
+// name, append a catalog entry, rewrite the catalog atomically -- whenever
+// the size/segment rotation threshold trips.  Every sealed file is an
+// ordinary trace file: every existing reader (causeway-analyze, TraceTail,
+// decode_trace) works on it unmodified.
+//
+// Crash safety is recovery-by-construction: whatever step a crash lands in
+// (mid-append, closed-but-unrenamed, renamed-but-uncataloged),
+// reindex_store() -- run explicitly via `causeway-analyze --reindex DIR` or
+// implicitly by the StoreWriter constructor -- repairs every file via the
+// checkpoint-aware reindex_trace_file, seals a leftover current.cwt, drops
+// catalog entries whose file vanished, re-indexes files the catalog missed
+// or misdescribes, and rewrites the catalog.  At most the unsealed tail
+// past the live file's last checkpoint is lost.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_io.h"
+#include "store/catalog.h"
+
+namespace causeway::store {
+
+struct StoreOptions {
+  // Seal current.cwt when its on-disk size reaches this many bytes.
+  std::uint64_t rotate_bytes{64ull << 20};
+  // Also seal after this many segments (0 = size-only rotation).
+  std::uint64_t rotate_segments{0};
+  // Segment format for the files this writer produces: v4, or v5 for
+  // per-column compression (store/catalog stay format-agnostic).
+  std::uint32_t trace_format{analysis::kTraceFormatDefault};
+  // Interior directory checkpoints in the live file, every N segments --
+  // what bounds the re-skim after a crash.  0 disables.
+  std::size_t checkpoint_every{16};
+};
+
+class StoreWriter {
+ public:
+  // Opens (creating if needed) `dir` as a store.  An existing store is
+  // recovered first -- exactly reindex_store() -- so a writer restarted
+  // over a crashed directory starts from a consistent catalog.  Throws
+  // analysis::TraceIoError on I/O failure or corruption.
+  explicit StoreWriter(std::string dir, StoreOptions options = {});
+  ~StoreWriter();
+  StoreWriter(const StoreWriter&) = delete;
+  StoreWriter& operator=(const StoreWriter&) = delete;
+
+  // Appends one segment (same forms TraceWriter accepts), updating the
+  // live file's pending catalog stats, and rotates if a threshold tripped.
+  void append(const monitor::CollectedLogs& logs);
+  void append(const analysis::ColumnBundle& cols);
+  void append_encoded(std::span<const std::uint8_t> segment);
+
+  // Seals current.cwt now (no-op when it holds no segments).
+  void rotate();
+
+  // Seals whatever is pending and writes the final catalog.  Idempotent;
+  // the destructor calls it, swallowing errors.
+  void close();
+
+  const std::string& directory() const { return dir_; }
+  std::uint64_t records() const { return records_; }
+  std::uint64_t segments() const { return segments_; }
+  std::size_t files_sealed() const { return catalog_.entries.size(); }
+
+ private:
+  void ensure_open();
+  void accumulate(std::uint64_t epoch, const Uuid& chain, std::int64_t start,
+                  std::int64_t end);
+  void note_bundle(const analysis::ColumnBundle& cols);
+  void maybe_rotate();
+  void seal_current();
+
+  std::string dir_;
+  StoreOptions options_;
+  Catalog catalog_;
+  std::unique_ptr<analysis::TraceWriter> writer_;
+  CatalogEntry pending_;  // stats for the live file
+  std::uint64_t next_index_{1};
+  std::uint64_t records_{0};
+  std::uint64_t segments_{0};
+  bool closed_{false};
+};
+
+// Whole-directory crash repair + catalog rebuild (see file header).
+struct StoreReindexResult {
+  std::size_t files_indexed{0};    // sealed files now described by the catalog
+  std::size_t files_repaired{0};   // files that needed reindex/truncate/restat
+  std::size_t dropped_entries{0};  // catalog entries whose file vanished
+  std::uint64_t truncated_bytes{0};
+  bool sealed_current{false};      // a leftover current.cwt was sealed
+  bool used_checkpoint{false};     // any repair resumed from a checkpoint
+  bool catalog_rewritten{false};   // catalog.cwc was replaced
+};
+StoreReindexResult reindex_store(const std::string& dir);
+
+// True when `path` looks like a store directory (exists and is a
+// directory) -- how `causeway-analyze --reindex` and `causeway-query` tell
+// a store from a plain trace file.
+bool is_store_directory(const std::string& path);
+
+// A validated read view: the catalog's entries joined with the files on
+// disk.  Every entry is checked against the file's actual size; a missing
+// or size-mismatched file throws analysis::TraceIoError naming the file
+// and pointing at `causeway-analyze --reindex` -- a lying catalog must
+// never silently skew query results.  A live current.cwt (writer still
+// running or crashed) is surfaced as an extra un-indexed file with no
+// entry stats, which a reader must always scan.
+struct StoreFile {
+  std::string path;       // absolute/openable path
+  CatalogEntry entry;     // stats (zeroed for the live file)
+  bool indexed{true};     // false: current.cwt, no catalog entry
+};
+struct StoreView {
+  std::string directory;
+  std::vector<StoreFile> files;
+};
+StoreView open_store(const std::string& dir);
+
+}  // namespace causeway::store

@@ -1,6 +1,7 @@
 #include "transport/ingest_sink.h"
 
 #include <chrono>
+#include <optional>
 
 namespace causeway::transport {
 
@@ -34,6 +35,13 @@ class Attribution {
 
 }  // namespace
 
+IngestSink::IngestSink(Options options) : options_(std::move(options)) {
+  if (!options_.store_dir.empty()) {
+    store_ = std::make_unique<store::StoreWriter>(options_.store_dir,
+                                                  options_.store_options);
+  }
+}
+
 void IngestSink::on_connect(const PeerInfo& peer) {
   if (options_.policy) options_.policy->on_peer_connect(peer, steady_ms());
   if (!options_.merged_path.empty()) {
@@ -58,13 +66,20 @@ void IngestSink::on_segment(const PeerInfo& peer,
       version |= static_cast<std::uint32_t>(segment[4 + i]) << (8 * i);
     }
   }
+  // A v5 store wants the segment's columns (to re-encode them with
+  // compression); decode once and share with the pipeline.
+  const bool transcode =
+      store_ && version >= 4 &&
+      options_.store_options.trace_format == analysis::kTraceFormatV5;
+  std::optional<analysis::ColumnBundle> cols;
+  if (version >= 4 && (options_.pipeline || transcode)) {
+    cols = analysis::decode_trace_segment_columns(segment);
+  }
   if (options_.pipeline) {
-    if (version >= 4) {
-      const analysis::ColumnBundle cols =
-          analysis::decode_trace_segment_columns(segment);
-      records = cols.count;
+    if (cols) {
+      records = cols->count;
       Attribution scope(options_.policy, peer.peer_id, now);
-      info = options_.pipeline->ingest(cols);
+      info = options_.pipeline->ingest(*cols);
     } else {
       const monitor::CollectedLogs logs =
           analysis::decode_trace_segment(segment);
@@ -72,8 +87,20 @@ void IngestSink::on_segment(const PeerInfo& peer,
       Attribution scope(options_.policy, peer.peer_id, now);
       info = options_.pipeline->ingest(logs);
     }
+  } else if (cols) {
+    records = cols->count;
   } else {
     records = analysis::decode_trace_segment(segment).records.size();
+  }
+  if (store_) {
+    // Stream to the store now -- durability is the point -- not at
+    // finalize.  Arrival order is fine: queries pair events by chain and
+    // event number, so the merged-file determinism dance is unnecessary.
+    if (transcode) {
+      store_->append(*cols);
+    } else {
+      store_->append_encoded(segment);
+    }
   }
   if (options_.policy) options_.policy->on_segment(peer, records, now);
   {
@@ -135,6 +162,12 @@ void IngestSink::on_disconnect(const PeerInfo& peer, bool) {
 
 IngestSink::Totals IngestSink::finalize() {
   std::lock_guard lk(mutex_);
+  if (store_) {
+    totals_.store_segments = store_->segments();
+    store_->close();  // seals the live file
+    totals_.store_files_sealed = store_->files_sealed();
+    store_.reset();
+  }
   if (!options_.merged_path.empty()) {
     analysis::TraceWriter writer(options_.merged_path,
                                  options_.merged_format);

@@ -44,6 +44,7 @@
 
 #include "analysis/pipeline.h"
 #include "analysis/trace_io.h"
+#include "store/store.h"
 #include "transport/policy.h"
 #include "transport/subscriber.h"
 
@@ -57,6 +58,17 @@ class IngestSink : public DaemonSink {
     // Merged trace path ("" = no merged file).
     std::string merged_path;
     std::uint32_t merged_format{analysis::kTraceFormatDefault};
+    // Durable store directory ("" = no store).  Unlike the merged file --
+    // which is buffered and written deterministically at shutdown -- the
+    // store streams every segment to disk *as it arrives*, through a
+    // checkpointing, rotating store::StoreWriter: segments survive a
+    // daemon crash up to the live file's last checkpoint, and sealed
+    // files are queryable while the daemon still runs.  With a v5
+    // store_options.trace_format, columnar (v4+) segments are transcoded
+    // so their columns pick up per-column compression; pre-columnar
+    // segments pass through verbatim.
+    std::string store_dir;
+    store::StoreOptions store_options;
     // Adaptive-monitoring policy to feed (not owned; may be null).  The
     // caller must also register it as a pipeline anomaly sink -- the
     // IngestSink only provides the attribution bracket.
@@ -70,9 +82,13 @@ class IngestSink : public DaemonSink {
     std::uint64_t publish_dropped_segments{0};
     std::uint64_t sampled_out_records{0};  // reported via CWST statuses
     std::size_t merged_segments{0};  // filled by finalize()
+    std::size_t store_files_sealed{0};
+    std::uint64_t store_segments{0};
   };
 
-  explicit IngestSink(Options options) : options_(std::move(options)) {}
+  // Opens (and recovers) the store directory when one is configured; see
+  // store::StoreWriter.  Throws analysis::TraceIoError on failure.
+  explicit IngestSink(Options options);
 
   // Invoked (on the daemon thread) after each pipeline epoch; lets a tool
   // print live summaries without subclassing.
@@ -103,6 +119,8 @@ class IngestSink : public DaemonSink {
   mutable std::mutex mutex_;
   Totals totals_;
   std::map<PeerKey, std::vector<std::vector<std::uint8_t>>> retained_;
+  // Touched only from the (serialized) daemon callbacks and finalize().
+  std::unique_ptr<store::StoreWriter> store_;
 };
 
 }  // namespace causeway::transport

@@ -1,0 +1,383 @@
+// Query-subsystem acceptance: tokenizer and parser (including every
+// type-checking rejection), span pairing and aggregation semantics, and the
+// catalog-driven planner pruning -- asserted through the QueryStats
+// counters, not trusted.
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_io.h"
+#include "query/engine.h"
+#include "store/store.h"
+
+namespace causeway::query {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- tokenizer
+
+TEST(Tokenize, WordsOpsStringsAndParens) {
+  const auto tokens = tokenize("count where iface == 'My::Iface' and x>=3us");
+  std::vector<Token::Kind> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<Token::Kind>{
+                       Token::Kind::kWord, Token::Kind::kWord,
+                       Token::Kind::kWord, Token::Kind::kOp,
+                       Token::Kind::kString, Token::Kind::kWord,
+                       Token::Kind::kWord, Token::Kind::kOp,
+                       Token::Kind::kWord, Token::Kind::kEnd}));
+  EXPECT_EQ(tokens[3].text, "==");
+  EXPECT_EQ(tokens[4].text, "My::Iface");
+  EXPECT_EQ(tokens[7].text, ">=");
+  EXPECT_EQ(tokens[8].text, "3us");
+}
+
+TEST(Tokenize, RejectsUnterminatedStringAndStrayChars) {
+  EXPECT_THROW(tokenize("count where iface == 'oops"), QueryError);
+  EXPECT_THROW(tokenize("count ; drop"), QueryError);
+  try {
+    tokenize("count @");
+    FAIL();
+  } catch (const QueryError& e) {
+    EXPECT_EQ(e.pos(), 6u);
+    EXPECT_NE(std::string(e.what()).find("offset 6"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------------ parser
+
+TEST(Parse, AggListWindowAndGroupBy) {
+  const Query q = parse_query(
+      "count, p95(latency), sum(latency) "
+      "where iface == A::B group by func since 10us until 2ms");
+  ASSERT_EQ(q.aggs.size(), 3u);
+  EXPECT_EQ(q.aggs[0], AggFunc::kCount);
+  EXPECT_EQ(q.aggs[1], AggFunc::kP95);
+  EXPECT_EQ(q.aggs[2], AggFunc::kSum);
+  ASSERT_TRUE(q.where);
+  EXPECT_EQ(q.where->kind, Expr::Kind::kPred);
+  EXPECT_EQ(q.where->pred.field, Field::kIface);
+  EXPECT_EQ(q.where->pred.text, "A::B");
+  ASSERT_TRUE(q.group_by.has_value());
+  EXPECT_EQ(*q.group_by, Field::kFunc);
+  EXPECT_EQ(q.since, std::optional<std::int64_t>(10'000));
+  EXPECT_EQ(q.until, std::optional<std::int64_t>(2'000'000));
+}
+
+TEST(Parse, BooleanStructureAndNot) {
+  const Query q = parse_query(
+      "count where (iface =~ snap or func == get) and not outcome == ok");
+  ASSERT_TRUE(q.where);
+  ASSERT_EQ(q.where->kind, Expr::Kind::kAnd);
+  ASSERT_EQ(q.where->args.size(), 2u);
+  EXPECT_EQ(q.where->args[0]->kind, Expr::Kind::kOr);
+  EXPECT_EQ(q.where->args[1]->kind, Expr::Kind::kNot);
+  EXPECT_EQ(q.where->args[1]->args[0]->pred.field, Field::kOutcome);
+}
+
+TEST(Parse, NumberUnitsAndLatencyThreshold) {
+  const Query q = parse_query("count where latency > 5ms");
+  EXPECT_EQ(q.where->pred.number, 5'000'000);
+  EXPECT_EQ(parse_query("count where latency > 7").where->pred.number, 7);
+  EXPECT_EQ(parse_query("count where latency > 2s").where->pred.number,
+            2'000'000'000);
+}
+
+TEST(Parse, ChainPredicateParsesUuid) {
+  const Query q = parse_query(
+      "count where chain == 01234567-89ab-cdef-0011-223344556677");
+  EXPECT_EQ(q.where->pred.field, Field::kChain);
+  EXPECT_EQ(q.where->pred.chain.hi, 0x0123456789abcdefull);
+  EXPECT_EQ(q.where->pred.chain.lo, 0x0011223344556677ull);
+}
+
+TEST(Parse, RejectsMalformedQueries) {
+  EXPECT_THROW(parse_query(""), QueryError);
+  EXPECT_THROW(parse_query("frobnicate"), QueryError);          // unknown agg
+  EXPECT_THROW(parse_query("p95"), QueryError);                 // missing (latency)
+  EXPECT_THROW(parse_query("count where bogus == 1"), QueryError);
+  EXPECT_THROW(parse_query("count where iface < x"), QueryError);   // order on string
+  EXPECT_THROW(parse_query("count where latency =~ 3"), QueryError);  // match on num
+  EXPECT_THROW(parse_query("count where chain > 1-2-3-4-5"), QueryError);
+  EXPECT_THROW(parse_query("count where chain == notauuid"), QueryError);
+  EXPECT_THROW(parse_query("count group by latency"), QueryError);  // numeric group
+  EXPECT_THROW(parse_query("count where a == b where c == d"), QueryError);
+  EXPECT_THROW(parse_query("count since 10 until 5"), QueryError);  // empty window
+  EXPECT_THROW(parse_query("count where (iface == x"), QueryError);  // unclosed
+  EXPECT_THROW(parse_query("count extra"), QueryError);  // trailing garbage
+}
+
+// ------------------------------------------------------------------ engine
+
+Uuid uuid(std::uint64_t hi, std::uint64_t lo) {
+  Uuid u;
+  u.hi = hi;
+  u.lo = lo;
+  return u;
+}
+
+// One sync call: stub open/close around skel open/close.  Latency is
+// close.value_start - open.value_end = 80ns with these stamps.
+void add_call(monitor::CollectedLogs& logs, const Uuid& chain,
+              std::uint64_t seq_base, std::int64_t base,
+              std::string_view iface, std::string_view func,
+              monitor::CallOutcome outcome,
+              std::int64_t latency_pad = 0) {
+  auto rec = [&](std::uint64_t seq, monitor::EventKind event,
+                 std::string_view process, std::int64_t start,
+                 std::int64_t end) {
+    monitor::TraceRecord r;
+    r.chain = chain;
+    r.seq = seq_base + seq;
+    r.event = event;
+    r.kind = monitor::CallKind::kSync;
+    r.outcome = outcome;
+    r.interface_name = iface;
+    r.function_name = func;
+    r.object_key = 42;
+    r.process_name = process;
+    r.node_name = "node0";
+    r.processor_type = "x86";
+    r.thread_ordinal = 1;
+    r.mode = monitor::ProbeMode::kLatency;
+    r.value_start = start;
+    r.value_end = end;
+    logs.records.push_back(r);
+  };
+  rec(1, monitor::EventKind::kStubStart, "client", base, base + 10);
+  rec(2, monitor::EventKind::kSkelStart, "server", base + 30, base + 40);
+  rec(3, monitor::EventKind::kSkelEnd, "server", base + 50, base + 60);
+  rec(4, monitor::EventKind::kStubEnd, "client", base + 90 + latency_pad,
+      base + 100 + latency_pad);
+}
+
+monitor::CollectedLogs base_logs(std::uint64_t epoch) {
+  monitor::CollectedLogs logs;
+  logs.epoch = epoch;
+  logs.domains.push_back({monitor::DomainIdentity{"client", "node0", "x86"},
+                          monitor::ProbeMode::kLatency, 0});
+  logs.domains.push_back({monitor::DomainIdentity{"server", "node0", "x86"},
+                          monitor::ProbeMode::kLatency, 0});
+  return logs;
+}
+
+// A scratch trace file with four calls across two interfaces; removed on
+// destruction.
+struct ScratchTrace {
+  fs::path path;
+  ScratchTrace() {
+    path = fs::temp_directory_path() /
+           ("causeway_query_" + std::to_string(::getpid()) + ".cwt");
+    auto logs = base_logs(1);
+    add_call(logs, uuid(1, 1), 0, 1'000, "Svc::Alpha", "get",
+             monitor::CallOutcome::kOk);
+    add_call(logs, uuid(1, 2), 10, 2'000, "Svc::Alpha", "put",
+             monitor::CallOutcome::kOk, 100);
+    add_call(logs, uuid(1, 3), 20, 3'000, "Svc::Beta", "get",
+             monitor::CallOutcome::kAppError, 400);
+    add_call(logs, uuid(1, 4), 30, 4'000, "Svc::Beta", "snap",
+             monitor::CallOutcome::kOk, 900);
+    analysis::write_trace_file(path.string(), logs);
+  }
+  ~ScratchTrace() { fs::remove(path); }
+  std::vector<std::string> inputs() const { return {path.string()}; }
+};
+
+double value(const QueryResult& r, std::size_t row, std::size_t col) {
+  return r.rows.at(row).values.at(col).value();
+}
+
+TEST(Engine, CountAndLatencyAggregates) {
+  ScratchTrace t;
+  // Each sync add_call pairs into one span (its stub open/close);
+  // latency = close.value_start - open.value_end = 80 + pad.
+  const QueryResult r = run_query(
+      parse_query("count, min(latency), max(latency), sum(latency)"),
+      t.inputs());
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(value(r, 0, 0), 4.0);
+  EXPECT_EQ(value(r, 0, 1), 80.0);
+  EXPECT_EQ(value(r, 0, 2), 980.0);
+  EXPECT_EQ(value(r, 0, 3), 80 + 180 + 480 + 980);
+  EXPECT_EQ(r.stats.spans_total, 4u);
+  EXPECT_EQ(r.stats.spans_matched, 4u);
+}
+
+TEST(Engine, GroupByInterfaceIsSorted) {
+  ScratchTrace t;
+  const QueryResult r = run_query(
+      parse_query("count, max(latency) group by iface"), t.inputs());
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].group, "Svc::Alpha");
+  EXPECT_EQ(r.rows[1].group, "Svc::Beta");
+  EXPECT_EQ(value(r, 0, 0), 2.0);
+  EXPECT_EQ(value(r, 1, 1), 980.0);
+  ASSERT_EQ(r.columns.size(), 3u);
+  EXPECT_EQ(r.columns[0], "iface");
+}
+
+TEST(Engine, WhereFiltersAndPercentiles) {
+  ScratchTrace t;
+  {
+    const QueryResult r = run_query(
+        parse_query("count where func == get and outcome != ok"), t.inputs());
+    EXPECT_EQ(value(r, 0, 0), 1.0);  // the Beta get call
+  }
+  {
+    const QueryResult r =
+        run_query(parse_query("count where latency > 100"), t.inputs());
+    EXPECT_EQ(value(r, 0, 0), 3.0);  // latencies 180, 480, 980
+  }
+  {
+    // p50 over the four spans [80, 180, 480, 980]: nearest-rank picks
+    // the 2nd; p99 the 4th.
+    const QueryResult r = run_query(
+        parse_query("p50(latency), p99(latency) where process == client"),
+        t.inputs());
+    EXPECT_EQ(value(r, 0, 0), 180.0);
+    EXPECT_EQ(value(r, 0, 1), 980.0);
+  }
+  {
+    const QueryResult r = run_query(
+        parse_query("count where iface =~ Beta or func == put"), t.inputs());
+    EXPECT_EQ(value(r, 0, 0), 3.0);
+  }
+}
+
+TEST(Engine, ChainEqualityAndWindow) {
+  ScratchTrace t;
+  {
+    const QueryResult r = run_query(
+        parse_query(
+            "count where chain == 00000000-0000-0001-0000-000000000003"),
+        t.inputs());
+    EXPECT_EQ(value(r, 0, 0), 1.0);
+  }
+  {
+    // Window [2000, 3200] keeps only the second call (opens at 2000,
+    // closes at 2200); the first opens before, the third closes after.
+    const QueryResult r =
+        run_query(parse_query("count since 2000 until 3200"), t.inputs());
+    EXPECT_EQ(value(r, 0, 0), 1.0);
+  }
+}
+
+TEST(Engine, EmptyMatchYieldsCountZeroAndNullStats) {
+  ScratchTrace t;
+  const QueryResult r = run_query(
+      parse_query("count, p95(latency) where iface == Absent"), t.inputs());
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(value(r, 0, 0), 0.0);
+  EXPECT_FALSE(r.rows[0].values[1].has_value());
+  EXPECT_NE(render_text(r).find("-"), std::string::npos);
+}
+
+TEST(Engine, RendersTextAndCsv) {
+  ScratchTrace t;
+  const QueryResult r = run_query(
+      parse_query("count group by outcome"), t.inputs());
+  const std::string text = render_text(r);
+  EXPECT_NE(text.find("outcome"), std::string::npos);
+  EXPECT_NE(text.find("app-error"), std::string::npos);
+  const std::string csv = render_csv(r);
+  EXPECT_NE(csv.find("outcome,count\n"), std::string::npos);
+  EXPECT_NE(csv.find("ok,3\n"), std::string::npos);
+}
+
+TEST(Engine, MissingInputThrows) {
+  EXPECT_THROW(
+      run_query(parse_query("count"), {"/no/such/trace.cwt"}),
+      analysis::TraceIoError);
+}
+
+// ------------------------------------------------------------- store plans
+
+struct ScratchStore {
+  fs::path path;
+  explicit ScratchStore(const std::string& name, std::uint32_t format) {
+    path = fs::temp_directory_path() /
+           ("causeway_qstore_" + name + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    store::StoreOptions options;
+    options.rotate_segments = 1;  // one sealed file per epoch
+    options.trace_format = format;
+    store::StoreWriter writer(path.string(), options);
+    // Three sealed files with disjoint time ranges and distinct chains.
+    for (std::uint64_t e = 1; e <= 3; ++e) {
+      auto logs = base_logs(e);
+      add_call(logs, uuid(0xaa, e), 0,
+               static_cast<std::int64_t>(e) * 100'000, "Svc::Alpha", "get",
+               monitor::CallOutcome::kOk);
+      writer.append(logs);
+    }
+    writer.close();
+  }
+  ~ScratchStore() { fs::remove_all(path); }
+  std::vector<std::string> inputs() const { return {path.string()}; }
+};
+
+TEST(Planner, TimeWindowPrunesWholeFiles) {
+  ScratchStore s("window", analysis::kTraceFormatV4);
+  const QueryResult r = run_query(
+      parse_query("count since 200000 until 210000"), s.inputs());
+  EXPECT_EQ(value(r, 0, 0), 1.0);  // the middle file's one call
+  EXPECT_EQ(r.stats.files_total, 3u);
+  EXPECT_EQ(r.stats.files_pruned, 2u);
+  EXPECT_EQ(r.stats.files_opened, 1u);
+  EXPECT_EQ(r.stats.segments_decoded, 1u);
+  EXPECT_EQ(r.stats.records_scanned, 4u);
+}
+
+TEST(Planner, RequiredChainPrunesViaDigest) {
+  ScratchStore s("chain", analysis::kTraceFormatV4);
+  const QueryResult r = run_query(
+      parse_query(
+          "count where chain == 00000000-0000-00aa-0000-000000000002"),
+      s.inputs());
+  EXPECT_EQ(value(r, 0, 0), 1.0);
+  EXPECT_EQ(r.stats.files_total, 3u);
+  EXPECT_GE(r.stats.files_pruned, 2u);  // digest may-contain is exact here
+  EXPECT_LE(r.stats.files_opened, 1u);
+}
+
+TEST(Planner, OredChainDoesNotPrune) {
+  ScratchStore s("orchain", analysis::kTraceFormatV4);
+  const QueryResult r = run_query(
+      parse_query("count where chain == 00000000-0000-00aa-0000-000000000002 "
+                  "or iface == Svc::Alpha"),
+      s.inputs());
+  EXPECT_EQ(value(r, 0, 0), 3.0);  // the or-arm matches every span
+  EXPECT_EQ(r.stats.files_pruned, 0u);
+  EXPECT_EQ(r.stats.files_opened, 3u);
+}
+
+TEST(Planner, CompressedAndUncompressedStoresAgreeByte) {
+  ScratchStore v4("cmp4", analysis::kTraceFormatV4);
+  ScratchStore v5("cmp5", analysis::kTraceFormatV5);
+  const Query q = parse_query(
+      "count, sum(latency), p95(latency) group by outcome");
+  const QueryResult r4 = run_query(q, v4.inputs());
+  const QueryResult r5 = run_query(q, v5.inputs());
+  EXPECT_EQ(render_text(r5), render_text(r4));
+  EXPECT_EQ(render_csv(r5), render_csv(r4));
+}
+
+TEST(Planner, StaleCatalogSurfacesCleanly) {
+  ScratchStore s("stale", analysis::kTraceFormatV4);
+  const auto victim = s.path / "store-000002.cwt";
+  fs::resize_file(victim, fs::file_size(victim) - 1);
+  try {
+    run_query(parse_query("count"), s.inputs());
+    FAIL() << "stale catalog must throw";
+  } catch (const analysis::TraceIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("--reindex"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace causeway::query

@@ -1,0 +1,288 @@
+// Forked end-to-end acceptance for the durable store + query pipeline: a
+// real `causeway-record --publish` feeds a real `causeway-collectd --store`
+// that rotates into sealed files, and `causeway-query` is then driven
+// against the resulting directory -- including the catalog-pruning stats, a
+// compressed (v5) vs uncompressed (v4) store identity check across ingest
+// shard counts, and a kill -9 of the daemon followed by
+// `causeway-analyze --reindex` crash repair.
+//
+// Tool binaries are injected at configure time (CAUSEWAY_*_BIN); children
+// are plain fork+exec with stdout/stderr captured to files.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "store/store.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tmp(const std::string& name) {
+  return ::testing::TempDir() + "cw_store_e2e_" +
+         std::to_string(::getpid()) + "_" + name;
+}
+
+// fork+exec with stdout/stderr redirected to files ("" = inherit).
+// Returns the child's exit status, or -1.
+int run(const std::vector<std::string>& argv, const std::string& out_path = "",
+        const std::string& err_path = "") {
+  std::vector<char*> cargv;
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    auto redirect = [](const std::string& path, int fd) {
+      if (path.empty()) return;
+      const int file =
+          ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (file >= 0) {
+        ::dup2(file, fd);
+        ::close(file);
+      }
+    };
+    redirect(out_path, STDOUT_FILENO);
+    redirect(err_path, STDERR_FILENO);
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+pid_t spawn(const std::vector<std::string>& argv) {
+  std::vector<char*> cargv;
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+  return pid;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+// Wait for the daemon's --addr-file (complete files end in a newline).
+bool wait_addr(const std::string& path) {
+  for (int i = 0; i < 1000; ++i) {
+    const std::string contents = slurp(path);
+    if (!contents.empty() && contents.back() == '\n') return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+// One store-producing run: daemon with the given store flags, one
+// publisher of the fixed workload, daemon reaped via --expect=1.
+void produce_store(const std::string& tag, const std::string& store_dir,
+                   const std::vector<std::string>& extra_daemon_flags,
+                   const std::string& mode = "latency") {
+  const std::string sock = tmp(tag + ".sock");
+  const std::string addr_file = tmp(tag + ".addr");
+  fs::remove(sock);
+  fs::remove(addr_file);
+  std::vector<std::string> daemon_args = {
+      CAUSEWAY_COLLECTD_BIN, "--listen=" + sock, "--store=" + store_dir,
+      "--expect=1",          "--quiet",          "--addr-file=" + addr_file};
+  daemon_args.insert(daemon_args.end(), extra_daemon_flags.begin(),
+                     extra_daemon_flags.end());
+  const pid_t daemon = spawn(daemon_args);
+  ASSERT_TRUE(wait_addr(addr_file)) << "daemon never bound " << sock;
+  ASSERT_EQ(run({CAUSEWAY_RECORD_BIN, "--workload=synthetic",
+                 "--mode=" + mode, "--transactions=80", "--seed=42",
+                 "--interval-ms=5", "--publish=" + sock}),
+            0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(daemon, &status, 0), daemon);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+// Runs causeway-query and returns its stdout; stats stderr (if requested)
+// goes to *stats_out.
+std::string query(const std::vector<std::string>& inputs,
+                  const std::string& q, std::string* stats_out = nullptr) {
+  const std::string out = tmp("q_out.txt");
+  const std::string err = tmp("q_err.txt");
+  std::vector<std::string> argv = {CAUSEWAY_QUERY_BIN};
+  argv.insert(argv.end(), inputs.begin(), inputs.end());
+  argv.push_back("--query=" + q);
+  argv.push_back("--format=csv");
+  if (stats_out) argv.push_back("--stats");
+  EXPECT_EQ(run(argv, out, err), 0) << slurp(err);
+  if (stats_out) *stats_out = slurp(err);
+  return slurp(out);
+}
+
+std::size_t sealed_count(const std::string& dir) {
+  std::size_t n = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("store-", 0) == 0) ++n;
+  }
+  return n;
+}
+
+TEST(StoreE2e, CollectdRotatesIntoSealedFilesAndQueryPrunes) {
+  const std::string dir = tmp("rotate_store");
+  fs::remove_all(dir);
+  produce_store("rotate", dir,
+                {"--rotate-segments=1", "--checkpoint-segments=1"});
+
+  // The run must have rotated into at least three sealed files plus the
+  // catalog (ISSUE acceptance floor).
+  ASSERT_GE(sealed_count(dir), 3u);
+  ASSERT_TRUE(fs::exists(fs::path(dir) / "catalog.cwc"));
+  ASSERT_FALSE(fs::exists(fs::path(dir) / "current.cwt"));
+
+  // Offline reference of the same seed: span counts are deterministic
+  // even in latency mode (only the latency *values* differ run to run).
+  const std::string ref = tmp("rotate_ref.cwt");
+  ASSERT_EQ(run({CAUSEWAY_RECORD_BIN, "--workload=synthetic",
+                 "--mode=latency", "--transactions=80", "--seed=42",
+                 "--out=" + ref}),
+            0);
+  EXPECT_EQ(query({dir}, "count, count group by iface"),
+            query({ref}, "count, count group by iface"));
+
+  // Time-window + interface-filter + p95 against the middle sealed file's
+  // timestamp range: the planner must open only the files whose catalog
+  // range intersects the window -- asserted through the decode counters,
+  // not trusted.
+  const causeway::store::StoreView view = causeway::store::open_store(dir);
+  ASSERT_GE(view.files.size(), 3u);
+  const auto& mid = view.files[view.files.size() / 2].entry;
+  std::string stats;
+  query({dir},
+        "count, p95(latency) where iface =~ Iface since " +
+            std::to_string(mid.min_ts) + " until " + std::to_string(mid.max_ts),
+        &stats);
+  std::size_t candidates = 0, pruned = 0, opened = 0;
+  ASSERT_EQ(std::sscanf(stats.c_str(),
+                        "[query] files: %zu candidates, %zu pruned by "
+                        "catalog, %zu opened",
+                        &candidates, &pruned, &opened),
+            3)
+      << stats;
+  EXPECT_EQ(candidates, view.files.size());
+  EXPECT_GE(pruned, 1u);
+  EXPECT_LT(opened, candidates);
+  EXPECT_EQ(opened + pruned, candidates);
+
+  // A window before every record prunes everything: no file opened.
+  query({dir}, "count since -2000000000 until -1000000000", &stats);
+  ASSERT_EQ(std::sscanf(stats.c_str(),
+                        "[query] files: %zu candidates, %zu pruned by "
+                        "catalog, %zu opened",
+                        &candidates, &pruned, &opened),
+            3);
+  EXPECT_EQ(opened, 0u);
+  EXPECT_EQ(pruned, candidates);
+}
+
+TEST(StoreE2e, CompressedStoreAndShardCountsQueryIdentically) {
+  // Same workload into an uncompressed v4 store (1 ingest shard) and a
+  // --compress v5 store (8 ingest shards).  Causality mode keeps records
+  // value-free, so every query result -- not just counts -- must be
+  // byte-identical across compression and shard count.
+  const std::string dir_v4 = tmp("plain_store");
+  const std::string dir_v5 = tmp("compressed_store");
+  fs::remove_all(dir_v4);
+  fs::remove_all(dir_v5);
+  produce_store("plain", dir_v4, {"--rotate-segments=2", "--ingest-shards=1"},
+                "causality");
+  produce_store("compressed", dir_v5,
+                {"--rotate-segments=2", "--ingest-shards=8", "--compress"},
+                "causality");
+
+  for (const std::string& q :
+       {std::string("count, count group by iface"),
+        std::string("count group by func"),
+        std::string("count where outcome != ok group by kind")}) {
+    EXPECT_EQ(query({dir_v5}, q), query({dir_v4}, q)) << q;
+  }
+
+  // The offline recording of the same seed agrees too.
+  const std::string ref = tmp("shard_ref.cwt");
+  ASSERT_EQ(run({CAUSEWAY_RECORD_BIN, "--workload=synthetic",
+                 "--mode=causality", "--transactions=80", "--seed=42",
+                 "--out=" + ref}),
+            0);
+  EXPECT_EQ(query({dir_v4}, "count group by iface"),
+            query({ref}, "count group by iface"));
+}
+
+TEST(StoreE2e, KillNineThenReindexLosesAtMostUncheckpointedTail) {
+  // Daemon with a large rotation threshold, so the live file accumulates
+  // checkpointed segments; the publisher completes, the daemon is killed
+  // with SIGKILL before any clean shutdown, and --reindex must recover
+  // every complete segment: with --checkpoint-segments=1 the unsealed
+  // tail past the last checkpoint is at most one torn segment, and here
+  // (the writes all completed) exactly zero records.
+  const std::string dir = tmp("kill_store");
+  const std::string sock = tmp("kill.sock");
+  const std::string addr_file = tmp("kill.addr");
+  fs::remove_all(dir);
+  fs::remove(sock);
+  fs::remove(addr_file);
+
+  const pid_t daemon = spawn({CAUSEWAY_COLLECTD_BIN, "--listen=" + sock,
+                              "--store=" + dir, "--rotate-segments=64",
+                              "--checkpoint-segments=1", "--quiet",
+                              "--addr-file=" + addr_file});
+  ASSERT_TRUE(wait_addr(addr_file));
+  ASSERT_EQ(run({CAUSEWAY_RECORD_BIN, "--workload=synthetic",
+                 "--mode=causality", "--transactions=80", "--seed=42",
+                 "--interval-ms=5", "--publish=" + sock}),
+            0);
+  // Give the daemon a beat to drain the socket, then kill it cold.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  ASSERT_EQ(::kill(daemon, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(daemon, &status, 0), daemon);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  // The crash left a live file (nothing rotated at this threshold) and no
+  // catalog entry for it.
+  ASSERT_TRUE(fs::exists(fs::path(dir) / "current.cwt"));
+
+  // Repair the whole directory, then the query result must match the
+  // offline recording exactly: no complete segment was lost.
+  const std::string reindex_out = tmp("reindex.txt");
+  ASSERT_EQ(run({CAUSEWAY_ANALYZE_BIN, dir, "--reindex"}, reindex_out), 0);
+  EXPECT_NE(slurp(reindex_out).find("store reindexed"), std::string::npos);
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "current.cwt"));
+  ASSERT_GE(sealed_count(dir), 1u);
+
+  const std::string ref = tmp("kill_ref.cwt");
+  ASSERT_EQ(run({CAUSEWAY_RECORD_BIN, "--workload=synthetic",
+                 "--mode=causality", "--transactions=80", "--seed=42",
+                 "--out=" + ref}),
+            0);
+  EXPECT_EQ(query({dir}, "count, count group by iface"),
+            query({ref}, "count, count group by iface"));
+}
+
+}  // namespace

@@ -50,6 +50,8 @@
 #include "analysis/export.h"
 #include "analysis/pipeline.h"
 #include "analysis/trace_io.h"
+#include "common/version.h"
+#include "store/store.h"
 
 using namespace causeway;
 
@@ -125,6 +127,9 @@ int main(int argc, char** argv) {
       format = arg.substr(2);
     } else if (arg == "--follow") {
       follow = true;
+    } else if (arg == "--version") {
+      std::fputs(version_banner("causeway-analyze").c_str(), stdout);
+      return 0;
     } else if (arg == "--reindex") {
       reindex = true;
     } else if (arg.rfind("--reencode=", 0) == 0) {
@@ -157,14 +162,31 @@ int main(int argc, char** argv) {
       int rc = 0;
       for (const auto& path : inputs) {
         try {
+          if (store::is_store_directory(path)) {
+            // A store directory: repair every trace file in it, seal a
+            // leftover live file, and rebuild the catalog.
+            const store::StoreReindexResult r = store::reindex_store(path);
+            std::printf(
+                "%s: store reindexed: %zu files indexed (%zu repaired%s%s), "
+                "%llu tail bytes truncated, %zu stale catalog entries "
+                "dropped%s\n",
+                path.c_str(), r.files_indexed, r.files_repaired,
+                r.sealed_current ? ", live file sealed" : "",
+                r.used_checkpoint ? ", resumed from checkpoint" : "",
+                static_cast<unsigned long long>(r.truncated_bytes),
+                r.dropped_entries,
+                r.catalog_rewritten ? "" : " -- catalog already consistent");
+            continue;
+          }
           const analysis::ReindexResult r =
               analysis::reindex_trace_file(path);
           if (r.rewritten) {
             std::printf(
                 "%s: reindexed %zu segments (%llu incomplete tail bytes "
-                "truncated)\n",
+                "truncated%s)\n",
                 path.c_str(), r.segments,
-                static_cast<unsigned long long>(r.truncated_bytes));
+                static_cast<unsigned long long>(r.truncated_bytes),
+                r.used_checkpoint ? ", resumed from checkpoint" : "");
           } else {
             std::printf("%s: already indexed (%zu segments), unchanged\n",
                         path.c_str(), r.segments);

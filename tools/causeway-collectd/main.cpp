@@ -19,7 +19,9 @@
 // Usage:
 //   causeway-collectd --listen=ADDR [--listen=ADDR ...]
 //                     [--relay=ADDR]
-//                     [--out=merged.cwt] [--trace-format=v3|v4]
+//                     [--out=merged.cwt] [--trace-format=v3|v4|v5]
+//                     [--store=DIR] [--rotate-bytes=N] [--rotate-segments=N]
+//                     [--checkpoint-segments=N] [--compress]
 //                     [--report=PATH | --report=-]
 //                     [--anomalies=stderr|jsonl:PATH|none]
 //                     [--ingest-shards=N]
@@ -29,6 +31,15 @@
 //                     [--policy-max-rps=N]
 //                     [--addr-file=PATH]
 //                     [--expect=N] [--idle-exit-ms=N] [--quiet]
+//
+// --store=DIR is the durable alternative to --out: segments stream into a
+// rotating, checkpointed trace store *as they arrive* (sealed
+// store-NNNNNN.cwt files plus a catalog.cwc index; see store/store.h), so
+// a daemon crash loses at most the live file's tail past its last
+// checkpoint, and `causeway-query DIR` works mid-run.  --rotate-bytes
+// (default 64MiB) / --rotate-segments bound the live file;
+// --checkpoint-segments (default 16) paces the interior checkpoints.
+// --compress makes the store write format v5 (per-column deflate).
 //
 // ADDR is "unix:/path", "tcp:host:port" (port 0 binds ephemeral), or a
 // bare socket path.  --listen repeats: one daemon can serve local
@@ -73,6 +84,8 @@
 #include "analysis/anomaly.h"
 #include "analysis/pipeline.h"
 #include "analysis/trace_io.h"
+#include "common/version.h"
+#include "store/store.h"
 #include "transport/ingest_sink.h"
 #include "transport/policy.h"
 #include "transport/relay_sink.h"
@@ -91,7 +104,9 @@ int usage() {
       stderr,
       "usage: causeway-collectd --listen=ADDR [--listen=ADDR ...]\n"
       "           [--relay=ADDR]\n"
-      "           [--out=merged.cwt] [--trace-format=v3|v4]\n"
+      "           [--out=merged.cwt] [--trace-format=v3|v4|v5]\n"
+      "           [--store=DIR] [--rotate-bytes=N] [--rotate-segments=N]\n"
+      "           [--checkpoint-segments=N] [--compress]\n"
       "           [--report=PATH|-] [--anomalies=stderr|jsonl:PATH|none]\n"
       "           [--ingest-shards=N] [--expect=N] [--idle-exit-ms=N]\n"
       "           [--policy=off|auto] [--policy-burst=N]\n"
@@ -117,6 +132,9 @@ int main(int argc, char** argv) {
   std::string relay_upstream;
   std::string addr_file;
   std::string out;
+  std::string store_dir;
+  store::StoreOptions store_options;
+  bool compress = false;
   std::string report;
   std::string anomalies = "none";
   std::uint32_t trace_format = analysis::kTraceFormatDefault;
@@ -137,14 +155,33 @@ int main(int argc, char** argv) {
       addr_file = arg.substr(12);
     } else if (arg.rfind("--out=", 0) == 0) {
       out = arg.substr(6);
+    } else if (arg.rfind("--store=", 0) == 0) {
+      store_dir = arg.substr(8);
+    } else if (arg.rfind("--rotate-bytes=", 0) == 0) {
+      store_options.rotate_bytes =
+          static_cast<std::uint64_t>(std::atoll(arg.c_str() + 15));
+    } else if (arg.rfind("--rotate-segments=", 0) == 0) {
+      store_options.rotate_segments =
+          static_cast<std::uint64_t>(std::atoll(arg.c_str() + 18));
+    } else if (arg.rfind("--checkpoint-segments=", 0) == 0) {
+      store_options.checkpoint_every =
+          static_cast<std::size_t>(std::atoll(arg.c_str() + 22));
+    } else if (arg == "--compress") {
+      compress = true;
+    } else if (arg == "--version") {
+      std::fputs(version_banner("causeway-collectd").c_str(), stdout);
+      return 0;
     } else if (arg.rfind("--trace-format=", 0) == 0) {
       const std::string format = arg.substr(15);
       if (format == "v3" || format == "3") {
         trace_format = analysis::kTraceFormatV3;
       } else if (format == "v4" || format == "4") {
         trace_format = analysis::kTraceFormatV4;
+      } else if (format == "v5" || format == "5") {
+        trace_format = analysis::kTraceFormatV5;
       } else {
-        std::fprintf(stderr, "unknown trace format '%s' (want v3 or v4)\n",
+        std::fprintf(stderr,
+                     "unknown trace format '%s' (want v3, v4 or v5)\n",
                      format.c_str());
         return 2;
       }
@@ -195,18 +232,29 @@ int main(int argc, char** argv) {
   }
   if (listens.empty()) return usage();
   const bool relaying = !relay_upstream.empty();
-  if (relaying &&
-      (!out.empty() || !report.empty() || anomalies != "none" || policy_on)) {
+  if (relaying && (!out.empty() || !store_dir.empty() || !report.empty() ||
+                   anomalies != "none" || policy_on)) {
     std::fprintf(stderr,
                  "causeway-collectd: --relay forwards everything upstream; "
-                 "--out/--report/--anomalies/--policy belong on the root "
-                 "daemon\n");
+                 "--out/--store/--report/--anomalies/--policy belong on the "
+                 "root daemon\n");
     return 2;
   }
-  if (!relaying && out.empty() && report.empty() && anomalies == "none") {
+  if (!relaying && out.empty() && store_dir.empty() && report.empty() &&
+      anomalies == "none") {
     std::fprintf(stderr,
                  "causeway-collectd: nothing to do -- pass --relay, --out, "
-                 "--report and/or --anomalies\n");
+                 "--store, --report and/or --anomalies\n");
+    return 2;
+  }
+  // --compress selects the v5 store format; the store is where cold
+  // columns pay off.  It does not retroactively change --trace-format for
+  // the merged file (which passes segments through verbatim).
+  store_options.trace_format =
+      compress ? analysis::kTraceFormatV5 : analysis::kTraceFormatV4;
+  if (compress && store_dir.empty()) {
+    std::fprintf(stderr,
+                 "causeway-collectd: --compress needs --store=DIR\n");
     return 2;
   }
 
@@ -270,6 +318,8 @@ int main(int argc, char** argv) {
       sink_options.pipeline = pipeline.get();
       sink_options.merged_path = out;
       sink_options.merged_format = trace_format;
+      sink_options.store_dir = store_dir;
+      sink_options.store_options = store_options;
       sink_options.policy = policy.get();
       ingest = std::make_unique<transport::IngestSink>(std::move(sink_options));
       if (!quiet && pipeline) {
@@ -389,6 +439,13 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(totals.publish_dropped_records),
           static_cast<unsigned long long>(stats.protocol_errors),
           out.empty() ? "" : " -> ", out.c_str());
+      if (!store_dir.empty()) {
+        std::fprintf(
+            stderr,
+            "[collectd] store: %llu segments into %zu sealed files at %s\n",
+            static_cast<unsigned long long>(totals.store_segments),
+            totals.store_files_sealed, store_dir.c_str());
+      }
       if (policy) {
         const transport::ControlPolicy::Stats ps = policy->stats();
         std::fprintf(

@@ -1,0 +1,128 @@
+// causeway-query -- ad-hoc aggregation queries over traces and stores.
+//
+// Runs the query DSL (docs/QUERY.md) against any mix of plain trace files
+// and store directories (causeway-collectd --store=DIR).  For a store, the
+// catalog prunes files the query cannot touch -- a time window outside a
+// file's timestamp range, a required chain the file's digest rules out --
+// before anything is opened; --stats prints exactly how much work the
+// pruning saved.
+//
+// Usage:
+//   causeway-query <store-dir|trace.cwt> [more ...]
+//                  [--query=QUERY] [--format=text|csv] [--stats]
+//                  [--version]
+//
+// Examples:
+//   causeway-query store/ --query='count, p95(latency) group by iface'
+//   causeway-query store/ --query='count where func =~ snap and
+//                                  outcome != ok since 0 until 30s'
+//   causeway-query run.cwt --query='count where chain == <uuid>' --stats
+//
+// Without --query, reads one query per line from stdin (a minimal REPL:
+// empty lines are skipped, 'exit'/'quit'/EOF ends it, a parse error is
+// reported and the loop continues).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_io.h"
+#include "common/version.h"
+#include "query/engine.h"
+#include "query/parser.h"
+
+using namespace causeway;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: causeway-query <store-dir|trace.cwt> [more ...]\n"
+               "           [--query=QUERY] [--format=text|csv] [--stats]\n"
+               "           [--version]\n"
+               "query language reference: docs/QUERY.md\n");
+  return 2;
+}
+
+void print_stats(const query::QueryStats& s) {
+  std::fprintf(
+      stderr,
+      "[query] files: %zu candidates, %zu pruned by catalog, %zu opened; "
+      "%zu segments decoded, %llu records scanned; spans: %llu paired, "
+      "%llu matched\n",
+      s.files_total, s.files_pruned, s.files_opened, s.segments_decoded,
+      static_cast<unsigned long long>(s.records_scanned),
+      static_cast<unsigned long long>(s.spans_total),
+      static_cast<unsigned long long>(s.spans_matched));
+}
+
+// Parse + run + render one query string.  Returns 0, or 1 on failure.
+int run_one(const std::string& text, const std::vector<std::string>& inputs,
+            const std::string& format, bool stats) {
+  try {
+    const query::Query q = query::parse_query(text);
+    const query::QueryResult result = query::run_query(q, inputs);
+    const std::string rendered = format == "csv"
+                                     ? query::render_csv(result)
+                                     : query::render_text(result);
+    std::fputs(rendered.c_str(), stdout);
+    std::fflush(stdout);
+    if (stats) print_stats(result.stats);
+    return 0;
+  } catch (const query::QueryError& e) {
+    std::fprintf(stderr, "causeway-query: parse error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "causeway-query: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string query_text;
+  std::string format = "text";
+  bool stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--query=", 0) == 0) {
+      query_text = arg.substr(8);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "csv") return usage();
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--version") {
+      std::fputs(version_banner("causeway-query").c_str(), stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  if (!query_text.empty()) {
+    return run_one(query_text, inputs, format, stats);
+  }
+
+  // REPL: one query per stdin line.  Parse errors don't end the session;
+  // I/O errors from the inputs do get reported but the loop continues too
+  // (the next query may prune the offending file away).
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    // Trim surrounding whitespace so "  exit " works.
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    const std::string text = line.substr(begin, end - begin + 1);
+    if (text == "exit" || text == "quit") break;
+    run_one(text, inputs, format, stats);
+  }
+  return 0;
+}

@@ -22,7 +22,7 @@
 //                   [--topology=mono|four|percomp|hybrid]   (pps)
 //                   [--jobs=N] [--transactions=N] [--seed=N]
 //                   [--stream] [--interval-ms=N] [--fixed-interval]
-//                   [--out=trace.cwt] [--trace-format=v3|v4] [--verify]
+//                   [--out=trace.cwt] [--trace-format=v3|v4|v5] [--verify]
 //                   [--publish=ADDR] [--publish-name=NAME] [--no-control]
 //
 // --verify reads the finished trace back through the analyzer's (parallel)
@@ -48,6 +48,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <string>
@@ -55,6 +56,7 @@
 #include <unistd.h>
 
 #include "analysis/trace_io.h"
+#include "common/version.h"
 #include "pps/pps_system.h"
 #include "transport/publisher.h"
 #include "workload/synthetic.h"
@@ -108,9 +110,11 @@ bool parse_args(int argc, char** argv, Args& args) {
         args.trace_format = analysis::kTraceFormatV3;
       } else if (format == "v4" || format == "4") {
         args.trace_format = analysis::kTraceFormatV4;
+      } else if (format == "v5" || format == "5") {
+        args.trace_format = analysis::kTraceFormatV5;
       } else {
-        std::fprintf(stderr, "unknown trace format '%s' (want v3 or v4)\n",
-                     v);
+        std::fprintf(stderr,
+                     "unknown trace format '%s' (want v3, v4 or v5)\n", v);
         return false;
       }
     } else if (arg == "--stream") {
@@ -127,6 +131,9 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.publish_name = v;
     } else if (arg == "--no-control") {
       args.accept_control = false;
+    } else if (arg == "--version") {
+      std::fputs(version_banner("causeway-record").c_str(), stdout);
+      std::exit(0);
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return false;
